@@ -1,0 +1,306 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "am/am_runtime.hpp"
+#include "core/runtime.hpp"
+#include "hetsim/cluster.hpp"
+#include "ir/kernel_builder.hpp"
+
+namespace tc::bench {
+
+namespace {
+
+using fabric::Fabric;
+using fabric::NodeId;
+using hetsim::HwProfile;
+using hetsim::Platform;
+
+constexpr int kLatencyPings = 8;
+constexpr int kRateMessages = 2000;
+
+/// A same-type node pair on one platform's fabric (the paper measures TSI
+/// between two A64FX, two BF2, or two Xeon systems).
+struct Pair {
+  Fabric fabric;
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  explicit Pair(const HwProfile& profile) {
+    fabric.set_default_link(profile.link);
+    src = fabric.add_node("src", profile.server_compute_scale);
+    dst = fabric.add_node("dst", profile.server_compute_scale);
+  }
+};
+
+double ns_to_us(std::int64_t ns) { return static_cast<double>(ns) * 1e-3; }
+
+/// Measures AM latency and message rate for the TSI workload.
+void measure_am(const HwProfile& profile, TsiResults& out) {
+  Pair pair(profile);
+  auto rt_src =
+      am::AmRuntime::create(pair.fabric, pair.src, am_options_for(profile));
+  auto rt_dst =
+      am::AmRuntime::create(pair.fabric, pair.dst, am_options_for(profile));
+  if (!rt_src.is_ok() || !rt_dst.is_ok()) return;
+
+  std::uint64_t counter = 0;
+  (*rt_dst)->set_target_ptr(&counter);
+  auto increment = [](am::AmContext& ctx, std::uint8_t*, std::uint64_t) {
+    ++*static_cast<std::uint64_t*>(ctx.target_ptr);
+  };
+  (void)(*rt_src)->register_handler(increment);
+  auto idx = (*rt_dst)->register_handler(increment);
+  if (!idx.is_ok()) return;
+
+  Bytes payload{0};
+  // AM frames are 8B header + 1B payload = 9B here; the paper's were 33B.
+  std::int64_t total_ns = 0;
+  for (int i = 0; i < kLatencyPings; ++i) {
+    const auto t0 = pair.fabric.now();
+    (void)(*rt_src)->send(pair.dst, *idx, as_span(payload));
+    (void)pair.fabric.run_until(
+        [&] { return counter == static_cast<std::uint64_t>(i) + 1; });
+    total_ns += pair.fabric.now() - t0;
+  }
+  out.active_message.total_us = ns_to_us(total_ns / kLatencyPings);
+  out.active_message.lookup_exec_us = ns_to_us(profile.am_exec_ns);
+  out.active_message.transmission_us =
+      out.active_message.total_us - out.active_message.lookup_exec_us;
+
+  const std::uint64_t base = counter;
+  const auto t0 = pair.fabric.now();
+  for (int i = 0; i < kRateMessages; ++i) {
+    (void)(*rt_src)->send(pair.dst, *idx, as_span(payload));
+  }
+  (void)pair.fabric.run_until([&] { return counter == base + kRateMessages; });
+  out.am_rate =
+      kRateMessages * 1e9 / static_cast<double>(pair.fabric.now() - t0);
+}
+
+/// Measures ifunc latency/rate; `uncached` ships the full frame every time.
+void measure_ifunc(const HwProfile& profile, bool uncached, TsiResults& out) {
+  Pair pair(profile);
+  core::RuntimeOptions options = hetsim::runtime_options_for(profile);
+  options.force_full_frames = uncached;
+  auto rt_src = core::Runtime::create(pair.fabric, pair.src, options);
+  auto rt_dst = core::Runtime::create(pair.fabric, pair.dst,
+                                      hetsim::runtime_options_for(profile));
+  if (!rt_src.is_ok() || !rt_dst.is_ok()) return;
+
+  auto lib =
+      core::IfuncLibrary::from_kernel(ir::KernelKind::kTargetSideIncrement);
+  if (!lib.is_ok()) return;
+  auto id = (*rt_src)->register_ifunc(std::move(*lib));
+  if (!id.is_ok()) return;
+
+  std::uint64_t counter = 0;
+  (*rt_dst)->set_target_ptr(&counter);
+  Bytes payload{0};
+
+  // Warm the target: pays the one-time JIT (charged to virtual time).
+  (void)(*rt_src)->send_ifunc(pair.dst, *id, as_span(payload));
+  (void)pair.fabric.run_until([&] { return counter == 1; });
+  out.real_jit_ms =
+      static_cast<double>((*rt_dst)->stats().real_jit_ns_total) * 1e-6;
+
+  TsiBreakdown& row = uncached ? out.uncached_bitcode : out.cached_bitcode;
+  std::int64_t total_ns = 0;
+  for (int i = 0; i < kLatencyPings; ++i) {
+    const auto t0 = pair.fabric.now();
+    (void)(*rt_src)->send_ifunc(pair.dst, *id, as_span(payload));
+    (void)pair.fabric.run_until(
+        [&] { return counter == static_cast<std::uint64_t>(i) + 2; });
+    total_ns += pair.fabric.now() - t0;
+  }
+  row.total_us = ns_to_us(total_ns / kLatencyPings);
+  row.lookup_exec_us = ns_to_us(profile.ifunc_exec_ns);
+  row.transmission_us = row.total_us - row.lookup_exec_us;
+  if (uncached) row.jit_ms = static_cast<double>(profile.jit_cost_ns) * 1e-6;
+
+  const std::uint64_t base = counter;
+  const auto t0 = pair.fabric.now();
+  for (int i = 0; i < kRateMessages; ++i) {
+    (void)(*rt_src)->send_ifunc(pair.dst, *id, as_span(payload));
+  }
+  (void)pair.fabric.run_until([&] { return counter == base + kRateMessages; });
+  const double rate =
+      kRateMessages * 1e9 / static_cast<double>(pair.fabric.now() - t0);
+  (uncached ? out.uncached_rate : out.cached_rate) = rate;
+}
+
+}  // namespace
+
+TsiResults run_tsi(Platform platform) {
+  const HwProfile& profile = profile_for(platform);
+  TsiResults out;
+  measure_am(profile, out);
+  measure_ifunc(profile, /*uncached=*/false, out);
+  measure_ifunc(profile, /*uncached=*/true, out);
+  return out;
+}
+
+void print_tsi_table(const char* title, const TsiResults& r) {
+  std::printf("=== %s: TSI overhead breakdown ===\n", title);
+  std::printf("%-14s %16s %18s %16s\n", "Stage", "Active Message",
+              "Uncached Bitcode", "Cached Bitcode");
+  std::printf("%-14s %13.2f us %15.2f us %13.2f us\n", "Lookup+Exec",
+              r.active_message.lookup_exec_us,
+              r.uncached_bitcode.lookup_exec_us,
+              r.cached_bitcode.lookup_exec_us);
+  std::printf("%-14s %16s    (%8.2f ms) %16s\n", "JIT", "N/A",
+              r.uncached_bitcode.jit_ms, "N/A");
+  std::printf("%-14s %13.2f us %15.2f us %13.2f us\n", "Transmission",
+              r.active_message.transmission_us,
+              r.uncached_bitcode.transmission_us,
+              r.cached_bitcode.transmission_us);
+  std::printf("%-14s %13.2f us %15.2f us %13.2f us\n", "Total",
+              r.active_message.total_us, r.uncached_bitcode.total_us,
+              r.cached_bitcode.total_us);
+  std::printf("(real host JIT of the TSI archive: %.2f ms; the virtual JIT "
+              "charge is the paper-calibrated constant)\n\n",
+              r.real_jit_ms);
+}
+
+void print_rate_table(const char* title, const TsiResults& r) {
+  const double lat_am = r.active_message.total_us;
+  const double lat_unc = r.uncached_bitcode.total_us;
+  const double lat_c = r.cached_bitcode.total_us;
+  std::printf("=== %s: TSI latencies and message rates ===\n", title);
+  std::printf("%-18s %10s %9s %16s %9s\n", "Method", "Latency", "Speedup",
+              "Message Rate", "Speedup");
+  std::printf("%-18s %7.2f us %8.2f%% %12.0f m/s %8.2f%%\n", "Active Message",
+              lat_am, (lat_am - lat_c) / lat_c * 100.0, r.am_rate,
+              (r.cached_rate - r.am_rate) / r.am_rate * 100.0);
+  std::printf("%-18s %7.2f us %9s %12.0f m/s %9s\n", "Cached Bitcode", lat_c,
+              "-", r.cached_rate, "-");
+  std::printf("%-18s %7.2f us %8.2f%% %12.0f m/s %8.2f%%\n",
+              "Uncached Bitcode", lat_unc, (lat_unc - lat_c) / lat_c * 100.0,
+              r.uncached_rate,
+              (r.cached_rate - r.uncached_rate) / r.uncached_rate * 100.0);
+  std::printf("\n");
+}
+
+namespace {
+
+StatusOr<DapcPoint> run_one_dapc(Platform platform, std::size_t servers,
+                                 xrdma::ChaseMode mode, std::uint64_t depth,
+                                 std::uint64_t chases,
+                                 std::int64_t hll_guard_ns_override) {
+  hetsim::ClusterConfig cluster_config;
+  cluster_config.platform = platform;
+  cluster_config.server_count = servers;
+  cluster_config.hll_guard_ns_override = hll_guard_ns_override;
+  TC_ASSIGN_OR_RETURN(auto cluster, hetsim::Cluster::create(cluster_config));
+
+  xrdma::DapcConfig config;
+  config.depth = depth;
+  config.chases = chases;
+  TC_ASSIGN_OR_RETURN(auto driver,
+                      xrdma::DapcDriver::create(*cluster, mode, config));
+  TC_ASSIGN_OR_RETURN(xrdma::DapcResult result, driver->run());
+  if (result.correct != result.completed) {
+    return internal_error("DAPC produced incorrect chase results");
+  }
+  DapcPoint point;
+  point.rate = result.chases_per_second;
+  return point;
+}
+
+}  // namespace
+
+std::vector<DapcSeries> dapc_depth_sweep(
+    Platform platform, std::size_t servers,
+    const std::vector<xrdma::ChaseMode>& modes,
+    const std::vector<std::uint64_t>& depths, std::uint64_t chases,
+    std::int64_t hll_guard_ns_override) {
+  std::vector<DapcSeries> out;
+  for (xrdma::ChaseMode mode : modes) {
+    DapcSeries series;
+    series.mode = mode;
+    for (std::uint64_t depth : depths) {
+      auto point = run_one_dapc(platform, servers, mode, depth, chases,
+                                hll_guard_ns_override);
+      if (!point.is_ok()) {
+        std::fprintf(stderr, "dapc %s depth=%llu failed: %s\n",
+                     chase_mode_name(mode),
+                     static_cast<unsigned long long>(depth),
+                     point.status().to_string().c_str());
+        continue;
+      }
+      point->x = depth;
+      series.points.push_back(*point);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+std::vector<DapcSeries> dapc_server_sweep(
+    Platform platform, const std::vector<std::size_t>& server_counts,
+    std::uint64_t depth, const std::vector<xrdma::ChaseMode>& modes,
+    std::uint64_t chases, std::int64_t hll_guard_ns_override) {
+  std::vector<DapcSeries> out;
+  for (xrdma::ChaseMode mode : modes) {
+    DapcSeries series;
+    series.mode = mode;
+    for (std::size_t servers : server_counts) {
+      auto point = run_one_dapc(platform, servers, mode, depth, chases,
+                                hll_guard_ns_override);
+      if (!point.is_ok()) {
+        std::fprintf(stderr, "dapc %s servers=%zu failed: %s\n",
+                     chase_mode_name(mode), servers,
+                     point.status().to_string().c_str());
+        continue;
+      }
+      point->x = servers;
+      series.points.push_back(*point);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+void print_dapc_figure(const char* title, const char* x_label,
+                       const std::vector<DapcSeries>& series) {
+  std::printf("=== %s ===\n", title);
+  std::printf("%-8s", x_label);
+  for (const DapcSeries& s : series) {
+    std::printf(" %18s", chase_mode_name(s.mode));
+  }
+  const DapcSeries* get_series = nullptr;
+  const DapcSeries* bitcode_series = nullptr;
+  for (const DapcSeries& s : series) {
+    if (s.mode == xrdma::ChaseMode::kGet) get_series = &s;
+    if (s.mode == xrdma::ChaseMode::kCachedBitcode) bitcode_series = &s;
+  }
+  if (get_series && bitcode_series) std::printf(" %18s", "get-bitcode %diff");
+  std::printf("\n");
+
+  const std::size_t rows =
+      series.empty() ? 0 : series.front().points.size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::printf("%-8llu",
+                static_cast<unsigned long long>(series.front().points[i].x));
+    for (const DapcSeries& s : series) {
+      if (i < s.points.size()) {
+        std::printf(" %12.1f c/s ", s.points[i].rate);
+      } else {
+        std::printf(" %18s", "-");
+      }
+    }
+    if (get_series && bitcode_series && i < get_series->points.size() &&
+        i < bitcode_series->points.size()) {
+      const double get = get_series->points[i].rate;
+      const double bitcode = bitcode_series->points[i].rate;
+      std::printf(" %17.1f%%", (bitcode - get) / get * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("(rates are chases/second in calibrated virtual time)\n\n");
+}
+
+bool fast_mode() { return std::getenv("TC_BENCH_FAST") != nullptr; }
+
+}  // namespace tc::bench

@@ -1,0 +1,75 @@
+// Shared harness for the paper-reproduction benchmarks: builds platform
+// pairs/clusters, runs the TSI overhead/rate measurements (Tables I-VI) and
+// the DAPC depth/scaling sweeps (Figures 5-12), and prints rows in the
+// paper's format. See EXPERIMENTS.md for paper-vs-measured records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hetsim/profiles.hpp"
+#include "xrdma/dapc.hpp"
+
+namespace tc::bench {
+
+/// One column of the Tables I-III breakdown.
+struct TsiBreakdown {
+  double lookup_exec_us = 0;
+  double jit_ms = -1;  ///< <0 = N/A
+  double transmission_us = 0;
+  double total_us = 0;
+};
+
+/// Results of the full TSI experiment on one platform.
+struct TsiResults {
+  TsiBreakdown active_message;
+  TsiBreakdown uncached_bitcode;
+  TsiBreakdown cached_bitcode;
+  double am_rate = 0;        ///< msg/sec
+  double uncached_rate = 0;
+  double cached_rate = 0;
+  double real_jit_ms = 0;    ///< measured on this host (not virtual)
+};
+
+/// Runs the TSI overhead experiment between a pair of same-type nodes.
+TsiResults run_tsi(hetsim::Platform platform);
+
+/// Prints Tables I-III style breakdown plus the real-host JIT note.
+void print_tsi_table(const char* title, const TsiResults& results);
+
+/// Prints Tables IV-VI style latency/message-rate rows with speedups.
+void print_rate_table(const char* title, const TsiResults& results);
+
+/// One DAPC measurement point.
+struct DapcPoint {
+  std::uint64_t x = 0;  ///< depth (figures 5-8) or server count (9-12)
+  double rate = 0;      ///< chases/second (virtual time)
+};
+
+struct DapcSeries {
+  xrdma::ChaseMode mode;
+  std::vector<DapcPoint> points;
+};
+
+/// Depth sweep at fixed server count (Figures 5-8).
+std::vector<DapcSeries> dapc_depth_sweep(
+    hetsim::Platform platform, std::size_t servers,
+    const std::vector<xrdma::ChaseMode>& modes,
+    const std::vector<std::uint64_t>& depths, std::uint64_t chases = 2,
+    std::int64_t hll_guard_ns_override = -1);
+
+/// Server-count sweep at fixed depth (Figures 9-12).
+std::vector<DapcSeries> dapc_server_sweep(
+    hetsim::Platform platform, const std::vector<std::size_t>& server_counts,
+    std::uint64_t depth, const std::vector<xrdma::ChaseMode>& modes,
+    std::uint64_t chases = 2, std::int64_t hll_guard_ns_override = -1);
+
+/// Prints a figure-style series table: one row per x, one column per mode,
+/// plus the paper's "Get - Bitcode % Diff" column when both are present.
+void print_dapc_figure(const char* title, const char* x_label,
+                       const std::vector<DapcSeries>& series);
+
+/// True when TC_BENCH_FAST is set: benches shrink sweeps for smoke runs.
+bool fast_mode();
+
+}  // namespace tc::bench

@@ -1,0 +1,17 @@
+// Reproduces Figure 10: chase rate vs server count at depth 4096 on Ookami,
+// including the cached binary line (2..64 servers).
+#include "bench_util.hpp"
+using namespace tc;
+int main() {
+  const std::uint64_t depth = bench::fast_mode() ? 256 : 4096;
+  const std::vector<std::size_t> counts =
+      bench::fast_mode() ? std::vector<std::size_t>{2, 4}
+                         : std::vector<std::size_t>{2, 4, 8, 16, 32, 64};
+  auto series = bench::dapc_server_sweep(
+      hetsim::Platform::kOokami, counts, depth,
+      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+       xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode});
+  bench::print_dapc_figure(
+      "Figure 10: Ookami DAPC scaling, depth 4096", "servers", series);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Reproduces Figure 11: chase rate vs server count at depth 4096,
+// Thor Xeon client and servers (2..16).
+#include "bench_util.hpp"
+using namespace tc;
+int main() {
+  const std::uint64_t depth = bench::fast_mode() ? 256 : 4096;
+  const std::vector<std::size_t> counts =
+      bench::fast_mode() ? std::vector<std::size_t>{2, 4}
+                         : std::vector<std::size_t>{2, 4, 8, 16};
+  auto series = bench::dapc_server_sweep(
+      hetsim::Platform::kThorXeon, counts, depth,
+      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+       xrdma::ChaseMode::kCachedBitcode});
+  bench::print_dapc_figure(
+      "Figure 11: Thor Xeon DAPC scaling, depth 4096", "servers", series);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Figure 12: chase rate vs server count at depth 4096 with the
+// HLL (Julia-analogue) frontend next to C, Thor BF2 servers.
+#include "bench_util.hpp"
+using namespace tc;
+int main() {
+  const std::uint64_t depth = bench::fast_mode() ? 256 : 4096;
+  const std::vector<std::size_t> counts =
+      bench::fast_mode() ? std::vector<std::size_t>{2, 4}
+                         : std::vector<std::size_t>{2, 4, 8, 16, 32};
+  auto series = bench::dapc_server_sweep(
+      hetsim::Platform::kThorBF2, counts, depth,
+      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+       xrdma::ChaseMode::kHllBitcode, xrdma::ChaseMode::kHllDrivesC,
+       xrdma::ChaseMode::kCachedBitcode});
+  bench::print_dapc_figure(
+      "Figure 12: Thor BF2 DAPC scaling with HLL frontend, depth 4096",
+      "servers", series);
+  return 0;
+}

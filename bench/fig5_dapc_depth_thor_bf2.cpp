@@ -1,0 +1,19 @@
+// Reproduces Figure 5: DAPC chase rate vs depth, Thor 32 servers
+// (Xeon client, BF2 DPU servers); Active Message vs GET vs cached bitcode.
+#include "bench_util.hpp"
+using namespace tc;
+int main() {
+  const std::size_t servers = bench::fast_mode() ? 4 : 32;
+  const std::vector<std::uint64_t> depths =
+      bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
+                         : std::vector<std::uint64_t>{1, 4, 16, 64, 256, 1024, 4096};
+  auto series = bench::dapc_depth_sweep(
+      hetsim::Platform::kThorBF2, servers,
+      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+       xrdma::ChaseMode::kCachedBitcode},
+      depths);
+  bench::print_dapc_figure("Figure 5: Thor 32-server DAPC depth sweep "
+                           "(Xeon client, BF2 servers)",
+                           "depth", series);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Figure 6: DAPC chase rate vs depth on Ookami with 64 servers,
+// including the cached *binary* (AOT object) representation line.
+#include "bench_util.hpp"
+using namespace tc;
+int main() {
+  const std::size_t servers = bench::fast_mode() ? 4 : 64;
+  const std::vector<std::uint64_t> depths =
+      bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
+                         : std::vector<std::uint64_t>{1, 4, 16, 64, 256, 1024, 4096};
+  auto series = bench::dapc_depth_sweep(
+      hetsim::Platform::kOokami, servers,
+      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+       xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode},
+      depths);
+  bench::print_dapc_figure("Figure 6: Ookami 64-server DAPC depth sweep",
+                           "depth", series);
+  return 0;
+}

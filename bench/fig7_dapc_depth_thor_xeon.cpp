@@ -1,0 +1,18 @@
+// Reproduces Figure 7: DAPC chase rate vs depth, Thor 16 Xeon servers.
+#include "bench_util.hpp"
+using namespace tc;
+int main() {
+  const std::size_t servers = bench::fast_mode() ? 4 : 16;
+  const std::vector<std::uint64_t> depths =
+      bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
+                         : std::vector<std::uint64_t>{1, 4, 16, 64, 256, 1024, 4096};
+  auto series = bench::dapc_depth_sweep(
+      hetsim::Platform::kThorXeon, servers,
+      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+       xrdma::ChaseMode::kCachedBitcode},
+      depths);
+  bench::print_dapc_figure(
+      "Figure 7: Thor 16-server DAPC depth sweep (Xeon client and servers)",
+      "depth", series);
+  return 0;
+}

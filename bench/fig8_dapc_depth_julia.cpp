@@ -1,0 +1,21 @@
+// Reproduces Figure 8: DAPC depth sweep with the high-level-language
+// frontend (the paper's Julia integration) next to the C frontend,
+// Thor 32 BF2 servers.
+#include "bench_util.hpp"
+using namespace tc;
+int main() {
+  const std::size_t servers = bench::fast_mode() ? 4 : 32;
+  const std::vector<std::uint64_t> depths =
+      bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
+                         : std::vector<std::uint64_t>{1, 4, 16, 64, 256, 1024, 4096};
+  auto series = bench::dapc_depth_sweep(
+      hetsim::Platform::kThorBF2, servers,
+      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+       xrdma::ChaseMode::kHllBitcode, xrdma::ChaseMode::kHllDrivesC,
+       xrdma::ChaseMode::kCachedBitcode},
+      depths);
+  bench::print_dapc_figure(
+      "Figure 8: Thor 32-server DAPC depth sweep, HLL (Julia-analogue) vs C",
+      "depth", series);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Table I: Ookami (A64FX pair) TSI overhead breakdown.
+#include "bench_util.hpp"
+int main() {
+  auto results = tc::bench::run_tsi(tc::hetsim::Platform::kOokami);
+  tc::bench::print_tsi_table("Table I / Ookami A64FX", results);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Table II: Thor BlueField-2 DPU pair TSI overhead breakdown.
+#include "bench_util.hpp"
+int main() {
+  auto results = tc::bench::run_tsi(tc::hetsim::Platform::kThorBF2);
+  tc::bench::print_tsi_table("Table II / Thor BF2", results);
+  return 0;
+}

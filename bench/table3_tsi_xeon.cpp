@@ -1,0 +1,7 @@
+// Reproduces Table III: Thor Xeon pair TSI overhead breakdown.
+#include "bench_util.hpp"
+int main() {
+  auto results = tc::bench::run_tsi(tc::hetsim::Platform::kThorXeon);
+  tc::bench::print_tsi_table("Table III / Thor Xeon", results);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Table IV: Ookami TSI latencies and message rates.
+#include "bench_util.hpp"
+int main() {
+  auto results = tc::bench::run_tsi(tc::hetsim::Platform::kOokami);
+  tc::bench::print_rate_table("Table IV / Ookami A64FX", results);
+  return 0;
+}

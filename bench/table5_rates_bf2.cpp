@@ -1,0 +1,7 @@
+// Reproduces Table V: Thor BF2 TSI latencies and message rates.
+#include "bench_util.hpp"
+int main() {
+  auto results = tc::bench::run_tsi(tc::hetsim::Platform::kThorBF2);
+  tc::bench::print_rate_table("Table V / Thor BF2", results);
+  return 0;
+}

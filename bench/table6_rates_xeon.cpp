@@ -1,0 +1,7 @@
+// Reproduces Table VI: Thor Xeon TSI latencies and message rates.
+#include "bench_util.hpp"
+int main() {
+  auto results = tc::bench::run_tsi(tc::hetsim::Platform::kThorXeon);
+  tc::bench::print_rate_table("Table VI / Thor Xeon", results);
+  return 0;
+}

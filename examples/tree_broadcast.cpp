@@ -1,0 +1,57 @@
+// X-RDMA collective demo: broadcast a value to every DPU with ONE injected
+// function that recursively halves its peer range — a binomial tree whose
+// algorithm travels inside the message. First round ships fat-bitcode along
+// each tree edge; repeats ride ~40-byte truncated frames and finish in
+// O(log N) serialized hops.
+//
+// Run: ./tree_broadcast [servers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "xrdma/collectives.hpp"
+
+using namespace tc;
+
+int main(int argc, char** argv) {
+  const std::size_t servers =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+
+  hetsim::ClusterConfig config;
+  config.platform = hetsim::Platform::kThorBF2;
+  config.server_count = servers;
+  auto cluster = hetsim::Cluster::create(config);
+  if (!cluster.is_ok()) {
+    std::fprintf(stderr, "%s\n", cluster.status().to_string().c_str());
+    return 1;
+  }
+
+  std::vector<xrdma::BroadcastSlot> slots(servers);
+  std::printf("broadcasting to %zu BF2 DPUs through a self-propagating "
+              "binomial tree...\n\n",
+              servers);
+
+  for (int round = 1; round <= 3; ++round) {
+    const std::uint64_t value = 0x1000 + round;
+    auto result = xrdma::tree_broadcast(**cluster, value, slots);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "round %d: %s\n", round,
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("round %d: delivered=%llu/%zu in %.1f us virtual — "
+                "%llu full frame(s), %llu truncated\n",
+                round, static_cast<unsigned long long>(result->delivered),
+                servers, static_cast<double>(result->virtual_ns) * 1e-3,
+                static_cast<unsigned long long>(result->frames_full),
+                static_cast<unsigned long long>(result->frames_truncated));
+    for (const auto& slot : slots) {
+      if (slot.value != value || slot.arrivals != 1) {
+        std::fprintf(stderr, "broadcast verification failed\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("\nround 1 JIT-compiled the traveling code once per DPU; "
+              "rounds 2-3 reused every cache.\n");
+  return 0;
+}

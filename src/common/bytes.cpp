@@ -1,0 +1,24 @@
+#include "common/bytes.hpp"
+
+namespace tc {
+
+Status ByteReader::short_read(std::size_t wanted) const {
+  return data_loss("short read: wanted " + std::to_string(wanted) +
+                   " bytes, have " + std::to_string(remaining()) +
+                   " at offset " + std::to_string(pos_));
+}
+
+std::string hex(ByteSpan data, std::size_t max_bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  const std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  std::string out;
+  out.reserve(2 * n + 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  if (n < data.size()) out += "...";
+  return out;
+}
+
+}  // namespace tc

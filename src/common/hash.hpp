@@ -1,0 +1,40 @@
+// FNV-1a hashing. Ifunc identities on the wire are 64-bit FNV-1a hashes of
+// the registered library name; frame integrity checks hash header fields.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace tc {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr std::uint64_t fnv1a64(ByteSpan data,
+                                std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::string_view s,
+                                std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Order-dependent combiner (boost-style, 64-bit constants).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4));
+}
+
+}  // namespace tc

@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace tc {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, std::string_view module,
+                   std::string_view msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[tc %s %.*s] %.*s\n", level_tag(level),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace tc

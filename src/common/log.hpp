@@ -1,0 +1,58 @@
+// Minimal leveled logger. The runtime is a library, so logging defaults to
+// warnings-only and writes to stderr; tests and benches can raise/lower the
+// level. Thread-safe (single global mutex; logging is not on fast paths).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace tc {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void write(LogLevel level, std::string_view module, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view module)
+      : level_(level), module_(module) {}
+  ~LogLine() { Logger::instance().write(level_, module_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view module_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace tc
+
+#define TC_LOG(level, module)                                  \
+  if (!::tc::Logger::instance().enabled(::tc::LogLevel::level)) \
+    ;                                                          \
+  else                                                         \
+    ::tc::detail::LogLine(::tc::LogLevel::level, module)

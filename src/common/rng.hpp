@@ -1,0 +1,63 @@
+// Deterministic RNG (SplitMix64 seeding a xoshiro256**). Used for pointer
+// table permutations and workload generation so every experiment is
+// reproducible from a seed printed in the bench output.
+#pragma once
+
+#include <cstdint>
+
+namespace tc {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Rejection-free multiply-shift; bias is negligible for our bounds.
+    unsigned __int128 m = static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace tc

@@ -1,0 +1,32 @@
+#include "common/status.hpp"
+
+namespace tc {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kUnimplemented: return "unimplemented";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kDataLoss: return "data_loss";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kJitFailure: return "jit_failure";
+    case ErrorCode::kBadBitcode: return "bad_bitcode";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out(error_code_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace tc

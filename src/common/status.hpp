@@ -1,0 +1,164 @@
+// Status / StatusOr error model for the Three-Chains reproduction.
+//
+// The runtime crosses several failure domains (wire decoding, LLVM JIT,
+// fabric delivery), so errors are carried as values rather than exceptions;
+// LLVM's Expected<> results are converted at the jit/ boundary.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tc {
+
+/// Canonical error space, deliberately small. Codes are part of the wire
+/// protocol for NACKs, so values are stable.
+enum class ErrorCode : std::uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+  kDataLoss = 9,       // corrupted frame / bad magic / CRC mismatch
+  kUnavailable = 10,   // endpoint or node unreachable
+  kJitFailure = 11,    // LLVM compile/link error
+  kBadBitcode = 12,    // unparsable or triple-less bitcode
+};
+
+/// Human-readable name of an ErrorCode (stable, lowercase, no spaces).
+std::string_view error_code_name(ErrorCode code);
+
+/// A cheap, movable status: OK carries nothing, errors carry code + message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string to_string() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status data_loss(std::string msg) {
+  return {ErrorCode::kDataLoss, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status jit_failure(std::string msg) {
+  return {ErrorCode::kJitFailure, std::move(msg)};
+}
+inline Status bad_bitcode(std::string msg) {
+  return {ErrorCode::kBadBitcode, std::move(msg)};
+}
+
+/// Value-or-error. Accessing value() on an error aborts in debug builds;
+/// callers must check ok() (or use value_or) first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.is_ok() && "StatusOr(Status) requires an error status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool is_ok() const { return status_.is_ok(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const& { return is_ok() ? *value_ : fallback; }
+
+  T* operator->() {
+    assert(is_ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(is_ok());
+    return &*value_;
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagation helpers. `expr` must yield a Status / StatusOr.
+#define TC_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::tc::Status _tc_status = (expr);             \
+    if (!_tc_status.is_ok()) return _tc_status;   \
+  } while (0)
+
+#define TC_CONCAT_INNER(a, b) a##b
+#define TC_CONCAT(a, b) TC_CONCAT_INNER(a, b)
+
+#define TC_ASSIGN_OR_RETURN(lhs, expr) \
+  TC_ASSIGN_OR_RETURN_IMPL(TC_CONCAT(_tc_sor_, __LINE__), lhs, expr)
+
+#define TC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.is_ok()) return tmp.status();         \
+  lhs = std::move(tmp).value()
+
+}  // namespace tc

@@ -1,0 +1,102 @@
+#include "core/context.hpp"
+
+#include "common/log.hpp"
+#include "core/runtime.hpp"
+
+namespace {
+tc::core::ExecContext* as_ctx(void* ctx) {
+  return static_cast<tc::core::ExecContext*>(ctx);
+}
+}  // namespace
+
+extern "C" {
+
+void* tc_ctx_target(void* ctx) { return as_ctx(ctx)->target_ptr; }
+
+std::uint64_t tc_ctx_node(void* ctx) { return as_ctx(ctx)->node; }
+
+std::uint64_t tc_ctx_peer_count(void* ctx) {
+  const auto* peers = as_ctx(ctx)->peers;
+  return peers == nullptr ? 0 : peers->size();
+}
+
+std::uint64_t tc_ctx_self_peer(void* ctx) { return as_ctx(ctx)->self_peer; }
+
+std::uint64_t* tc_ctx_shard_base(void* ctx) { return as_ctx(ctx)->shard_base; }
+
+std::uint64_t tc_ctx_shard_size(void* ctx) { return as_ctx(ctx)->shard_size; }
+
+std::int32_t tc_ctx_forward(void* ctx, std::uint64_t peer,
+                            const std::uint8_t* payload, std::uint64_t size) {
+  auto* context = as_ctx(ctx);
+  tc::Status status = context->runtime->ctx_forward(
+      *context, peer, tc::ByteSpan(payload, size));
+  if (!status.is_ok()) {
+    TC_LOG(kWarn, "ctx") << "forward failed: " << status.to_string();
+    return -1;
+  }
+  return 0;
+}
+
+std::int32_t tc_ctx_inject(void* ctx, std::uint64_t peer,
+                           const char* ifunc_name, const std::uint8_t* payload,
+                           std::uint64_t size) {
+  auto* context = as_ctx(ctx);
+  tc::Status status = context->runtime->ctx_inject(
+      *context, peer, ifunc_name, tc::ByteSpan(payload, size));
+  if (!status.is_ok()) {
+    TC_LOG(kWarn, "ctx") << "inject failed: " << status.to_string();
+    return -1;
+  }
+  return 0;
+}
+
+std::int32_t tc_ctx_reply(void* ctx, const std::uint8_t* data,
+                          std::uint64_t size) {
+  auto* context = as_ctx(ctx);
+  tc::Status status =
+      context->runtime->ctx_reply(*context, tc::ByteSpan(data, size));
+  if (!status.is_ok()) {
+    TC_LOG(kWarn, "ctx") << "reply failed: " << status.to_string();
+    return -1;
+  }
+  return 0;
+}
+
+std::int32_t tc_ctx_remote_write(void* ctx, std::uint64_t peer,
+                                 std::uint64_t offset,
+                                 const std::uint8_t* data,
+                                 std::uint64_t size) {
+  auto* context = as_ctx(ctx);
+  tc::Status status = context->runtime->ctx_remote_write(
+      *context, peer, offset, tc::ByteSpan(data, size));
+  if (!status.is_ok()) {
+    TC_LOG(kWarn, "ctx") << "remote_write failed: " << status.to_string();
+    return -1;
+  }
+  return 0;
+}
+
+void tc_hll_guard(void* ctx) { as_ctx(ctx)->runtime->ctx_hll_guard(*as_ctx(ctx)); }
+
+}  // extern "C"
+
+namespace tc::core {
+
+std::vector<std::pair<std::string, void*>> runtime_hook_symbols() {
+  return {
+      {"tc_ctx_target", reinterpret_cast<void*>(&tc_ctx_target)},
+      {"tc_ctx_node", reinterpret_cast<void*>(&tc_ctx_node)},
+      {"tc_ctx_peer_count", reinterpret_cast<void*>(&tc_ctx_peer_count)},
+      {"tc_ctx_self_peer", reinterpret_cast<void*>(&tc_ctx_self_peer)},
+      {"tc_ctx_shard_base", reinterpret_cast<void*>(&tc_ctx_shard_base)},
+      {"tc_ctx_shard_size", reinterpret_cast<void*>(&tc_ctx_shard_size)},
+      {"tc_ctx_forward", reinterpret_cast<void*>(&tc_ctx_forward)},
+      {"tc_ctx_inject", reinterpret_cast<void*>(&tc_ctx_inject)},
+      {"tc_ctx_reply", reinterpret_cast<void*>(&tc_ctx_reply)},
+      {"tc_ctx_remote_write", reinterpret_cast<void*>(&tc_ctx_remote_write)},
+      {"tc_hll_guard", reinterpret_cast<void*>(&tc_hll_guard)},
+  };
+}
+
+}  // namespace tc::core

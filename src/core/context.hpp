@@ -1,0 +1,72 @@
+// ExecContext: the per-invocation bridge between JIT-compiled ifunc code and
+// the runtime of the node it landed on. The extern "C" hook functions
+// declared in ir/abi.hpp are defined in context.cpp; they cast the opaque
+// ctx pointer back to ExecContext and call into the owning Runtime. ORC-JIT
+// resolves these symbols when the shipped code is linked on the target —
+// the concrete form of the paper's "remotely injected functions can
+// interact with external libraries including UCX itself".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "fabric/memory.hpp"
+
+namespace tc::core {
+
+class Runtime;
+
+struct ExecContext {
+  Runtime* runtime = nullptr;
+  /// Fabric node executing the ifunc.
+  fabric::NodeId node = 0;
+  /// Identity of the ifunc being executed (used by forward()).
+  std::uint64_t ifunc_id = 0;
+  /// Node that originated this request chain; replies route here.
+  fabric::NodeId origin_node = 0;
+  /// Application-supplied target pointer (paper §III-A).
+  void* target_ptr = nullptr;
+  /// Local pointer-table shard, if the application attached one (X-RDMA).
+  std::uint64_t* shard_base = nullptr;
+  std::uint64_t shard_size = 0;
+  /// Peer table for forward()/inject() (e.g. the DAPC server list) and this
+  /// node's index in it (~0ULL when not a member).
+  const std::vector<fabric::NodeId>* peers = nullptr;
+  std::uint64_t self_peer = ~0ull;
+
+  /// Per-invocation accounting, folded into runtime stats afterwards.
+  std::uint32_t forwards_issued = 0;
+  std::uint32_t injects_issued = 0;
+  std::uint32_t replies_issued = 0;
+  std::uint32_t hll_guard_calls = 0;
+};
+
+}  // namespace tc::core
+
+// --- the ifunc-visible hook ABI (see ir/abi.hpp for contracts) -------------
+extern "C" {
+void* tc_ctx_target(void* ctx);
+std::uint64_t tc_ctx_node(void* ctx);
+std::uint64_t tc_ctx_peer_count(void* ctx);
+std::uint64_t tc_ctx_self_peer(void* ctx);
+std::uint64_t* tc_ctx_shard_base(void* ctx);
+std::uint64_t tc_ctx_shard_size(void* ctx);
+std::int32_t tc_ctx_forward(void* ctx, std::uint64_t peer,
+                            const std::uint8_t* payload, std::uint64_t size);
+std::int32_t tc_ctx_inject(void* ctx, std::uint64_t peer,
+                           const char* ifunc_name, const std::uint8_t* payload,
+                           std::uint64_t size);
+std::int32_t tc_ctx_reply(void* ctx, const std::uint8_t* data,
+                          std::uint64_t size);
+std::int32_t tc_ctx_remote_write(void* ctx, std::uint64_t peer,
+                                 std::uint64_t offset,
+                                 const std::uint8_t* data,
+                                 std::uint64_t size);
+void tc_hll_guard(void* ctx);
+}
+
+namespace tc::core {
+/// The hook table handed to jit::EngineOptions::extra_symbols.
+std::vector<std::pair<std::string, void*>> runtime_hook_symbols();
+}  // namespace tc::core

@@ -1,0 +1,101 @@
+// Ifunc message frames — the contiguous memory block of paper Figs. 2/3:
+//
+//   [HEADER][PAYLOAD][MAGIC1][CODE (serialized fat archive)][MAGIC2]
+//
+// The same buffer serves both protocol states: a *full* send transmits the
+// whole frame; a *truncated* send (code already cached at the target)
+// transmits only the prefix through MAGIC1. The frame is never modified —
+// truncation is just a shorter send size, exactly as the paper passes a
+// smaller length to the UCP PUT.
+//
+// 26-byte header layout (little-endian):
+//   u16 frame magic | u8 version | u8 repr | u64 ifunc_id |
+//   u32 origin_node | u32 payload_size | u32 code_size | u16 header check
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "core/protocol.hpp"
+#include "ir/fat_bitcode.hpp"
+
+namespace tc::core {
+
+struct FrameHeader {
+  std::uint8_t repr = 0;  ///< ir::CodeRepr on the wire
+  bool code_only = false;  ///< carries code but no payload to execute
+  std::uint64_t ifunc_id = 0;
+  std::uint32_t origin_node = 0;
+  std::uint32_t payload_size = 0;
+  std::uint32_t code_size = 0;  ///< full-frame code-section size, always set
+};
+
+/// An immutable, reusable ifunc message (paper: "the ifunc message is never
+/// modified... the user might want to send it to another process later").
+class Frame {
+ public:
+  /// Assembles a frame from an ifunc's identity, serialized code archive,
+  /// and payload.
+  static StatusOr<Frame> build(std::uint64_t ifunc_id, ir::CodeRepr repr,
+                               ByteSpan code_archive, ByteSpan payload,
+                               std::uint32_t origin_node,
+                               bool code_only = false);
+
+  const Bytes& bytes() const { return bytes_; }
+  const FrameHeader& header() const { return header_; }
+
+  /// Size of a full transmission (through MAGIC2).
+  std::size_t full_size() const { return bytes_.size(); }
+  /// Size of a truncated transmission (through MAGIC1).
+  std::size_t truncated_size() const {
+    return kHeaderSize + header_.payload_size + kMagicSize;
+  }
+
+  ByteSpan full_view() const { return as_span(bytes_); }
+  ByteSpan truncated_view() const {
+    return ByteSpan(bytes_.data(), truncated_size());
+  }
+
+  // --- receive side ---------------------------------------------------------
+
+  /// Decodes and checks the fixed header of an incoming buffer.
+  static StatusOr<FrameHeader> peek_header(ByteSpan data);
+
+  /// Validates a received buffer: header check, magic delimiters, and that
+  /// its length matches either the full or the truncated form. Returns true
+  /// if the code section is present.
+  static StatusOr<bool> validate(ByteSpan data);
+
+  /// Views into a received buffer (header must have been validated).
+  static ByteSpan payload_view(ByteSpan data, const FrameHeader& header);
+  static ByteSpan code_view(ByteSpan data, const FrameHeader& header);
+
+ private:
+  Frame() = default;
+  FrameHeader header_;
+  Bytes bytes_;
+};
+
+// --- result frames -----------------------------------------------------------
+// Small two-sided messages used by the X-RDMA ReturnResult operation:
+//   u16 result magic | u32 origin_node | u32 data_size | data
+Bytes encode_result_frame(std::uint32_t origin_node, ByteSpan data);
+
+struct ResultFrame {
+  std::uint32_t origin_node = 0;
+  ByteSpan data;
+};
+StatusOr<ResultFrame> decode_result_frame(ByteSpan bytes);
+
+/// True if `bytes` starts with the result-frame magic.
+bool is_result_frame(ByteSpan bytes);
+
+// --- NACK control frames ------------------------------------------------------
+// "Resend the code for ifunc X" — emitted when a truncated frame arrives for
+// an ifunc the receiver does not have (e.g. after a restart or eviction).
+Bytes encode_nack_frame(std::uint64_t ifunc_id);
+StatusOr<std::uint64_t> decode_nack_frame(ByteSpan bytes);
+bool is_nack_frame(ByteSpan bytes);
+
+}  // namespace tc::core

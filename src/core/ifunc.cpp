@@ -1,0 +1,33 @@
+#include "core/ifunc.hpp"
+
+namespace tc::core {
+
+StatusOr<IfuncLibrary> IfuncLibrary::from_archive(std::string name,
+                                                  ir::FatBitcode archive) {
+  if (name.empty()) return invalid_argument("ifunc name must be non-empty");
+  if (archive.entries().empty()) {
+    return invalid_argument("ifunc archive has no entries");
+  }
+  IfuncLibrary lib;
+  lib.name_ = std::move(name);
+  lib.id_ = ifunc_id_for_name(lib.name_);
+  lib.serialized_ = archive.serialize();
+  lib.archive_ = std::move(archive);
+  return lib;
+}
+
+StatusOr<IfuncLibrary> IfuncLibrary::from_kernel(
+    ir::KernelKind kind, const ir::KernelOptions& options) {
+  TC_ASSIGN_OR_RETURN(ir::FatBitcode archive,
+                      ir::build_default_fat_kernel(kind, options));
+  // The sin_sum kernel calls sin() from libm: declare the dependency in the
+  // archive's deps manifest so targets dlopen it before invocation.
+  if (kind == ir::KernelKind::kSinSum) {
+    archive.add_dependency("libm.so.6");
+  }
+  std::string name = ir::kernel_name(kind);
+  if (options.hll_guards) name += "_hll";
+  return from_archive(std::move(name), std::move(archive));
+}
+
+}  // namespace tc::core

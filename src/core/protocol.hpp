@@ -1,0 +1,34 @@
+// Wire-protocol constants for ifunc message frames (paper Figs. 2 and 3).
+#pragma once
+
+#include <cstdint>
+
+namespace tc::core {
+
+/// First two bytes of every ifunc frame.
+inline constexpr std::uint16_t kFrameMagic = 0x7C43;  // "C|"
+/// First two bytes of a result (X-RDMA ReturnResult) frame.
+inline constexpr std::uint16_t kResultMagic = 0x7C52;  // "R|"
+/// First two bytes of a NACK control frame: "I got a truncated frame for an
+/// ifunc I don't have — resend the code" (cache-miss recovery extension;
+/// DESIGN.md §4). Followed by the u64 ifunc id.
+inline constexpr std::uint16_t kNackMagic = 0x7C4E;  // "N|"
+
+/// Bit in the header's repr byte marking a *code-only* frame: carries the
+/// archive but no payload to execute (the NACK resend path).
+inline constexpr std::uint8_t kReprCodeOnlyFlag = 0x80;
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Delimiter after the payload section — the receiver polls for this to
+/// detect that the payload of a (possibly truncated) frame has landed.
+inline constexpr std::uint32_t kMagicPayloadEnd = 0x314D4354;  // "TCM1"
+/// Delimiter after the code section — full-frame delivery marker.
+inline constexpr std::uint32_t kMagicCodeEnd = 0x324D4354;  // "TCM2"
+
+/// Fixed header size in bytes; see FrameHeader for the field layout.
+inline constexpr std::size_t kHeaderSize = 26;
+
+inline constexpr std::size_t kMagicSize = 4;
+
+}  // namespace tc::core

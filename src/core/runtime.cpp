@@ -1,0 +1,489 @@
+#include "core/runtime.hpp"
+
+#include <chrono>
+
+#include "common/hash.hpp"
+#include "common/log.hpp"
+#include "core/context.hpp"
+#include "ir/target_info.hpp"
+
+namespace tc::core {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t sent_key(fabric::NodeId peer, std::uint64_t ifunc_id) {
+  return hash_combine(peer, ifunc_id);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Runtime>> Runtime::create(fabric::Fabric& fabric,
+                                                   fabric::NodeId node,
+                                                   RuntimeOptions options) {
+  if (node >= fabric.node_count()) {
+    return invalid_argument("Runtime::create: no node " +
+                            std::to_string(node));
+  }
+  auto runtime =
+      std::unique_ptr<Runtime>(new Runtime(fabric, node, std::move(options)));
+  return runtime;
+}
+
+Runtime::Runtime(fabric::Fabric& fabric, fabric::NodeId node,
+                 RuntimeOptions options)
+    : fabric_(&fabric), node_(node), options_(std::move(options)) {
+  cache_ = jit::CodeCache(options_.cache_capacity);
+  for (auto& [name, address] : runtime_hook_symbols()) {
+    options_.engine.extra_symbols.emplace_back(std::move(name), address);
+  }
+  if (options_.auto_poll) {
+    fabric_->node(node_).worker.set_delivery_notifier([this] {
+      // Wake the progress engine: serialize one poll step with the node's
+      // other modeled work.
+      fabric_->execute_on(node_, 0, [this] { poll(1); });
+    });
+  }
+}
+
+Runtime::~Runtime() {
+  if (options_.auto_poll) {
+    fabric_->node(node_).worker.set_delivery_notifier(nullptr);
+  }
+}
+
+Status Runtime::ensure_engine() {
+  if (engine_) return Status::ok();
+  TC_ASSIGN_OR_RETURN(engine_, jit::OrcEngine::create(options_.engine));
+  return Status::ok();
+}
+
+fabric::Endpoint& Runtime::endpoint(fabric::NodeId dst) {
+  auto it = endpoints_.find(dst);
+  if (it == endpoints_.end()) {
+    it = endpoints_
+             .emplace(dst, std::make_unique<fabric::Endpoint>(*fabric_, node_,
+                                                              dst))
+             .first;
+  }
+  return *it->second;
+}
+
+// --- registration -------------------------------------------------------------
+
+StatusOr<std::uint64_t> Runtime::register_ifunc(IfuncLibrary library) {
+  const std::uint64_t id = library.id();
+  if (registry_.contains(id)) {
+    return already_exists("ifunc '" + library.name() + "' already registered");
+  }
+  names_.emplace(library.name(), id);
+  registry_.emplace(id, Registered{std::move(library), nullptr});
+  return id;
+}
+
+bool Runtime::is_registered(std::uint64_t ifunc_id) const {
+  return registry_.contains(ifunc_id);
+}
+
+StatusOr<std::uint64_t> Runtime::ifunc_id_by_name(
+    const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) return not_found("no ifunc named '" + name + "'");
+  return it->second;
+}
+
+Status Runtime::deregister_ifunc(std::uint64_t ifunc_id) {
+  auto it = registry_.find(ifunc_id);
+  if (it == registry_.end()) {
+    return not_found("ifunc " + std::to_string(ifunc_id) + " not registered");
+  }
+  names_.erase(it->second.library.name());
+  registry_.erase(it);
+  if (cache_.contains(ifunc_id)) {
+    TC_RETURN_IF_ERROR(cache_.erase(ifunc_id));
+  }
+  return Status::ok();
+}
+
+Status Runtime::expose_segment(void* base, std::size_t length) {
+  fabric::Node& node = fabric_->node(node_);
+  if (node.exposed_segment.has_value()) {
+    return already_exists("node " + std::to_string(node_) +
+                          " already exposes a segment");
+  }
+  TC_ASSIGN_OR_RETURN(fabric::MemRegion region,
+                      node.memory.register_memory(base, length));
+  node.exposed_segment = region;
+  return Status::ok();
+}
+
+void Runtime::set_peers(std::vector<fabric::NodeId> peers) {
+  peers_ = std::move(peers);
+  self_peer_ = ~0ull;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i] == node_) self_peer_ = i;
+  }
+}
+
+// --- sending ---------------------------------------------------------------------
+
+StatusOr<Frame> Runtime::create_message(std::uint64_t ifunc_id,
+                                        ByteSpan payload) const {
+  auto it = registry_.find(ifunc_id);
+  if (it == registry_.end()) {
+    return failed_precondition("create_message: ifunc " +
+                               std::to_string(ifunc_id) + " not registered");
+  }
+  const IfuncLibrary& lib = it->second.library;
+  return Frame::build(lib.id(), lib.repr(), as_span(lib.serialized_archive()),
+                      payload, node_);
+}
+
+Status Runtime::send_frame(fabric::NodeId dst, const Frame& frame,
+                           fabric::CompletionFn on_complete) {
+  if (dst == node_) {
+    return invalid_argument("send_frame: destination is the local node");
+  }
+  const std::uint64_t key = sent_key(dst, frame.header().ifunc_id);
+  const bool peer_has_code =
+      !options_.force_full_frames && sent_code_.contains(key);
+  if (peer_has_code) {
+    ++stats_.frames_sent_truncated;
+    stats_.code_bytes_saved += frame.full_size() - frame.truncated_size();
+    endpoint(dst).send(frame.truncated_view(), std::move(on_complete));
+  } else {
+    sent_code_.insert(key);
+    ++stats_.frames_sent_full;
+    stats_.code_bytes_sent += frame.header().code_size;
+    endpoint(dst).send(frame.full_view(), std::move(on_complete));
+  }
+  return Status::ok();
+}
+
+Status Runtime::send_ifunc(fabric::NodeId dst, std::uint64_t ifunc_id,
+                           ByteSpan payload,
+                           fabric::CompletionFn on_complete) {
+  TC_ASSIGN_OR_RETURN(Frame frame, create_message(ifunc_id, payload));
+  return send_frame(dst, frame, std::move(on_complete));
+}
+
+// --- receive path -------------------------------------------------------------
+
+std::size_t Runtime::poll(std::size_t max_frames) {
+  std::size_t processed = 0;
+  fabric::Worker& worker = fabric_->node(node_).worker;
+  while (processed < max_frames) {
+    auto msg = worker.try_recv();
+    if (!msg.has_value()) break;
+    ++processed;
+    Status status = process_message(*msg);
+    if (!status.is_ok()) {
+      ++stats_.protocol_errors;
+      TC_LOG(kWarn, "runtime") << "node " << node_
+                               << " dropped frame: " << status.to_string();
+    }
+  }
+  return processed;
+}
+
+Status Runtime::process_message(const fabric::ReceivedMessage& msg) {
+  ++stats_.frames_received;
+  ByteSpan data = as_span(msg.data);
+  if (is_result_frame(data)) {
+    TC_ASSIGN_OR_RETURN(ResultFrame result, decode_result_frame(data));
+    ++stats_.results_received;
+    if (result_handler_) result_handler_(result.data, msg.source);
+    return Status::ok();
+  }
+  if (is_nack_frame(data)) {
+    TC_ASSIGN_OR_RETURN(std::uint64_t ifunc_id, decode_nack_frame(data));
+    ++stats_.nacks_received;
+    auto it = registry_.find(ifunc_id);
+    if (it == registry_.end()) {
+      return not_found("NACK for ifunc " + std::to_string(ifunc_id) +
+                       " we never registered");
+    }
+    // Re-ship the code in a payload-less frame and forget the cached-at-peer
+    // assumption so future regular sends stay consistent.
+    const IfuncLibrary& lib = it->second.library;
+    TC_ASSIGN_OR_RETURN(
+        Frame frame,
+        Frame::build(ifunc_id, lib.repr(), as_span(lib.serialized_archive()),
+                     {}, node_, /*code_only=*/true));
+    endpoint(msg.source).send(frame.full_view(), {});
+    ++stats_.frames_sent_full;
+    stats_.code_bytes_sent += frame.header().code_size;
+    return Status::ok();
+  }
+  return process_ifunc_frame(data, msg.source);
+}
+
+std::int64_t Runtime::charge(std::int64_t configured_ns,
+                             std::int64_t measured_ns) {
+  // Calibrated constants are already per-platform measurements and charge
+  // raw; host-measured durations are retargeted by the node's scale.
+  if (configured_ns >= 0) {
+    fabric_->consume_compute(node_, configured_ns, /*scale_cost=*/false);
+    return configured_ns;
+  }
+  fabric_->consume_compute(node_, measured_ns);
+  return measured_ns;
+}
+
+Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
+  TC_ASSIGN_OR_RETURN(bool has_code, Frame::validate(data));
+  TC_ASSIGN_OR_RETURN(FrameHeader header, Frame::peek_header(data));
+
+  auto it = registry_.find(header.ifunc_id);
+  if (it == registry_.end()) {
+    if (!has_code) {
+      if (options_.nack_recovery) {
+        // Cache-miss recovery: stash the payload and ask the sender to
+        // re-ship the code (e.g. we restarted and lost the registry).
+        ByteSpan payload = Frame::payload_view(data, header);
+        pending_payloads_[header.ifunc_id].emplace_back(
+            Bytes(payload.begin(), payload.end()), header.origin_node);
+        endpoint(source).send(as_span(encode_nack_frame(header.ifunc_id)),
+                              {});
+        ++stats_.nacks_sent;
+        return Status::ok();
+      }
+      // The sender believed we had the code (or truncated erroneously).
+      return failed_precondition(
+          "truncated frame for unknown ifunc " +
+          std::to_string(header.ifunc_id));
+    }
+    // First sighting: auto-register from the shipped archive (paper §III-D).
+    TC_ASSIGN_OR_RETURN(
+        ir::FatBitcode archive,
+        ir::FatBitcode::deserialize(Frame::code_view(data, header)));
+    char name_buf[32];
+    std::snprintf(name_buf, sizeof(name_buf), "ifunc_%016llx",
+                  static_cast<unsigned long long>(header.ifunc_id));
+    TC_ASSIGN_OR_RETURN(
+        IfuncLibrary lib,
+        IfuncLibrary::from_archive(name_buf, std::move(archive)));
+    // The registry is keyed by the *wire* identity, which is authoritative:
+    // the synthetic local name hashes differently, but forwarded frames must
+    // carry the original id so caching stays consistent across hops.
+    ++stats_.auto_registered;
+    auto [reg_it, inserted] = registry_.emplace(
+        header.ifunc_id, Registered{std::move(lib), nullptr});
+    (void)inserted;
+    it = reg_it;
+  }
+
+  Registered& reg = it->second;
+  if (reg.entry == nullptr) {
+    TC_RETURN_IF_ERROR(compile_registered(reg));
+    // The wire identity may differ from the library-name hash for
+    // auto-registered ifuncs; cache under the wire id.
+    if (!cache_.contains(header.ifunc_id)) {
+      jit::CachedIfunc cached;
+      cached.entry = reg.entry;
+      cached.compile_stats = last_compile_stats_;
+      std::uint64_t evicted = 0;
+      TC_RETURN_IF_ERROR(cache_.insert(header.ifunc_id, cached, &evicted));
+      if (evicted != 0) {
+        ++stats_.cache_evictions;
+        if (auto evicted_it = registry_.find(evicted);
+            evicted_it != registry_.end()) {
+          // Release the JIT resources; the archive stays registered, so a
+          // later frame recompiles without a NACK round trip.
+          (void)engine_->remove_library(evicted_it->second.library.name());
+          evicted_it->second.entry = nullptr;
+        }
+      }
+    }
+  } else {
+    (void)cache_.find(header.ifunc_id);  // count the cache hit
+  }
+
+  // Drain any payloads that were waiting for this code (NACK recovery).
+  if (auto pending = pending_payloads_.find(header.ifunc_id);
+      pending != pending_payloads_.end()) {
+    for (auto& [payload, origin] : pending->second) {
+      execute_ifunc(reg, header.ifunc_id, std::move(payload), origin);
+    }
+    pending_payloads_.erase(pending);
+  }
+  if (header.code_only) return Status::ok();
+
+  // Copy the payload: ifuncs mutate it in place (e.g. the chaser refreshes
+  // addr/depth before forwarding itself).
+  ByteSpan payload = Frame::payload_view(data, header);
+  execute_ifunc(reg, header.ifunc_id, Bytes(payload.begin(), payload.end()),
+                header.origin_node);
+  return Status::ok();
+}
+
+Status Runtime::compile_registered(Registered& reg) {
+  TC_RETURN_IF_ERROR(ensure_engine());
+  const IfuncLibrary& lib = reg.library;
+  TC_ASSIGN_OR_RETURN(const ir::ArchiveEntry* entry,
+                      lib.archive().select(engine_->triple()));
+  jit::CompileStats compile_stats;
+  if (lib.repr() == ir::CodeRepr::kBitcode) {
+    TC_ASSIGN_OR_RETURN(
+        reg.entry,
+        engine_->add_ifunc_bitcode(lib.name(), as_span(entry->code),
+                                   lib.archive().dependencies(),
+                                   &compile_stats));
+    ++stats_.jit_compiles;
+    const std::int64_t measured = compile_stats.parse_ns +
+                                  compile_stats.optimize_ns +
+                                  compile_stats.compile_ns;
+    stats_.real_jit_ns_total += measured;
+    charge(options_.jit_cost_ns, measured);
+  } else {
+    TC_ASSIGN_OR_RETURN(
+        reg.entry,
+        engine_->add_ifunc_object(lib.name(), as_span(entry->code),
+                                  lib.archive().dependencies(),
+                                  &compile_stats));
+    ++stats_.object_links;
+    stats_.real_jit_ns_total += compile_stats.compile_ns;
+    charge(options_.link_cost_ns, compile_stats.compile_ns);
+  }
+  last_compile_stats_ = compile_stats;
+  return Status::ok();
+}
+
+void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
+                            Bytes payload, fabric::NodeId origin_node) {
+  // The lookup+exec charge lands before the ifunc's visible effects: the
+  // invocation is scheduled behind the charged interval.
+  abi::EntryFn entry = reg.entry;
+  const std::int64_t configured = options_.lookup_exec_cost_ns;
+  auto invoke = [this, entry, ifunc_id, origin_node,
+                 payload = std::move(payload)]() mutable {
+    ExecContext ctx;
+    ctx.runtime = this;
+    ctx.node = node_;
+    ctx.ifunc_id = ifunc_id;
+    ctx.origin_node = origin_node;
+    ctx.target_ptr = target_ptr_;
+    ctx.shard_base = shard_base_;
+    ctx.shard_size = shard_size_;
+    ctx.peers = &peers_;
+    ctx.self_peer = self_peer_;
+
+    const std::int64_t t0 = now_ns();
+    entry(&ctx, payload.data(), payload.size());
+    const std::int64_t measured = now_ns() - t0;
+    if (options_.lookup_exec_cost_ns < 0) {
+      fabric_->consume_compute(node_, measured);
+    }
+    ++stats_.frames_executed;
+    stats_.forwards += ctx.forwards_issued;
+    stats_.injects += ctx.injects_issued;
+    stats_.replies_sent += ctx.replies_issued;
+    // Advance virtual time to the end of the charged work (guard costs,
+    // measured execution) so callers observing fabric.now() after idling
+    // see the completion time, not the invocation time.
+    const auto busy = fabric_->node(node_).busy_until;
+    if (busy > fabric_->now()) fabric_->schedule_at(busy, [] {});
+  };
+  fabric_->execute_on(node_, configured >= 0 ? configured : 0,
+                      std::move(invoke), /*scale_cost=*/false);
+}
+
+// --- ExecContext services ---------------------------------------------------------
+
+Status Runtime::ctx_forward(ExecContext& ctx, std::uint64_t peer,
+                            ByteSpan payload) {
+  if (peers_.empty() || peer >= peers_.size()) {
+    return out_of_range("forward: peer index " + std::to_string(peer) +
+                        " out of range (peers=" +
+                        std::to_string(peers_.size()) + ")");
+  }
+  auto it = registry_.find(ctx.ifunc_id);
+  if (it == registry_.end()) {
+    return internal_error("forward: executing ifunc not in registry");
+  }
+  const IfuncLibrary& lib = it->second.library;
+  TC_ASSIGN_OR_RETURN(
+      Frame frame,
+      Frame::build(ctx.ifunc_id, lib.repr(), as_span(lib.serialized_archive()),
+                   payload, ctx.origin_node));
+  ++ctx.forwards_issued;
+  // Depart after the compute this invocation has charged so far (e.g. HLL
+  // guard costs for the loop iterations that preceded the forward).
+  fabric_->execute_on(node_, 0,
+                      [this, dst = peers_[peer], frame = std::move(frame)] {
+                        (void)send_frame(dst, frame);
+                      });
+  return Status::ok();
+}
+
+Status Runtime::ctx_inject(ExecContext& ctx, std::uint64_t peer,
+                           const char* ifunc_name, ByteSpan payload) {
+  if (ifunc_name == nullptr) return invalid_argument("inject: null name");
+  if (peers_.empty() || peer >= peers_.size()) {
+    return out_of_range("inject: peer index out of range");
+  }
+  TC_ASSIGN_OR_RETURN(std::uint64_t id, ifunc_id_by_name(ifunc_name));
+  const IfuncLibrary& lib = registry_.at(id).library;
+  // Keep the chain origin: results of injected work route to the request's
+  // originator, not to this intermediate node.
+  TC_ASSIGN_OR_RETURN(
+      Frame frame,
+      Frame::build(id, lib.repr(), as_span(lib.serialized_archive()), payload,
+                   ctx.origin_node));
+  ++ctx.injects_issued;
+  fabric_->execute_on(node_, 0,
+                      [this, dst = peers_[peer], frame = std::move(frame)] {
+                        (void)send_frame(dst, frame);
+                      });
+  return Status::ok();
+}
+
+Status Runtime::ctx_reply(ExecContext& ctx, ByteSpan data) {
+  Bytes result = encode_result_frame(node_, data);
+  ++ctx.replies_issued;
+  fabric_->execute_on(
+      node_, 0,
+      [this, origin = ctx.origin_node, result = std::move(result)] {
+        endpoint(origin).send(as_span(result), {});
+      });
+  return Status::ok();
+}
+
+Status Runtime::ctx_remote_write(ExecContext& ctx, std::uint64_t peer,
+                                 std::uint64_t offset, ByteSpan data) {
+  if (peers_.empty() || peer >= peers_.size()) {
+    return out_of_range("remote_write: peer index out of range");
+  }
+  const fabric::NodeId dst = peers_[peer];
+  const auto& segment = fabric_->node(dst).exposed_segment;
+  if (!segment.has_value()) {
+    return failed_precondition("remote_write: node " + std::to_string(dst) +
+                               " exposes no segment");
+  }
+  if (offset > segment->length || data.size() > segment->length - offset) {
+    return out_of_range("remote_write: exceeds exposed segment");
+  }
+  (void)ctx;
+  const fabric::RemoteAddr addr = segment->remote_addr(dst, offset);
+  ++stats_.remote_writes;
+  Bytes copy(data.begin(), data.end());
+  fabric_->execute_on(node_, 0, [this, dst, addr, copy = std::move(copy)] {
+    endpoint(dst).put(as_span(copy), addr, {});
+  });
+  return Status::ok();
+}
+
+void Runtime::ctx_hll_guard(ExecContext& ctx) {
+  ++ctx.hll_guard_calls;
+  if (options_.hll_guard_cost_ns > 0) {
+    fabric_->consume_compute(node_, options_.hll_guard_cost_ns,
+                             /*scale_cost=*/false);
+  }
+}
+
+}  // namespace tc::core

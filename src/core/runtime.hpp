@@ -1,0 +1,215 @@
+// Runtime: the per-node Three-Chains instance.
+//
+// One Runtime binds to one fabric node and provides the paper's workflow
+// (§III-A): register an ifunc library, create/send ifunc messages to peers,
+// and poll for incoming messages, which are auto-registered, JIT-compiled
+// (bitcode) or linked (binary objects), cached, and executed. Executing
+// ifuncs may recursively forward themselves, inject other ifuncs, or reply
+// to the chain's origin through the ExecContext hooks.
+//
+// Cost model: real JIT/link/exec work runs for real; the *virtual* time it
+// charges to the simulated node is either the measured wall time (default)
+// or a calibrated constant from a hardware profile (hetsim/profiles.hpp) —
+// this is how the paper's testbed timings are reproduced on one machine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/frame.hpp"
+#include "core/ifunc.hpp"
+#include "fabric/endpoint.hpp"
+#include "fabric/fabric.hpp"
+#include "jit/code_cache.hpp"
+#include "jit/engine.hpp"
+
+namespace tc::core {
+
+struct ExecContext;
+
+struct RuntimeOptions {
+  jit::EngineOptions engine;  ///< hook symbols are appended automatically
+
+  // Virtual-time charges. Negative = charge the measured real duration
+  // (scaled by the node's compute_scale); non-negative = charge the given
+  // constant, which is how hardware profiles pin the paper's numbers.
+  std::int64_t jit_cost_ns = -1;          ///< bitcode parse+optimize+compile
+  std::int64_t link_cost_ns = -1;         ///< object link (binary repr)
+  std::int64_t lookup_exec_cost_ns = -1;  ///< per-invocation lookup+execute
+  std::int64_t hll_guard_cost_ns = 0;     ///< per tc_hll_guard call
+
+  /// Process incoming frames automatically as fabric events (the polling
+  /// daemon thread of the paper). Disable for manual-poll unit tests.
+  bool auto_poll = true;
+
+  /// Disable sender-side truncation: every frame ships the full code
+  /// section. Used by benchmarks to measure the *uncached* rows of the
+  /// paper's tables in steady state.
+  bool force_full_frames = false;
+
+  /// Bound on resident JIT'd ifuncs (0 = unbounded). When full, the
+  /// least-recently-used ifunc is evicted: its JIT resources are released
+  /// and a later frame re-compiles from the retained archive (or triggers
+  /// the NACK recovery path if the archive is gone too).
+  std::size_t cache_capacity = 0;
+
+  /// Reply to truncated frames for unknown ifuncs with a NACK asking the
+  /// sender to re-ship the code (cache-miss recovery extension). When off,
+  /// such frames are dropped as protocol errors, as in the paper.
+  bool nack_recovery = true;
+};
+
+/// Handler for X-RDMA results returning to this node:
+/// (result bytes, node that sent the reply).
+using ResultHandler = std::function<void(ByteSpan, fabric::NodeId)>;
+
+class Runtime {
+ public:
+  static StatusOr<std::unique_ptr<Runtime>> create(fabric::Fabric& fabric,
+                                                   fabric::NodeId node,
+                                                   RuntimeOptions options = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  fabric::NodeId node_id() const { return node_; }
+  fabric::Fabric& fabric() { return *fabric_; }
+
+  // --- registration ---------------------------------------------------------
+  /// Registers an ifunc library for sending and/or local execution.
+  StatusOr<std::uint64_t> register_ifunc(IfuncLibrary library);
+  bool is_registered(std::uint64_t ifunc_id) const;
+  StatusOr<std::uint64_t> ifunc_id_by_name(const std::string& name) const;
+  Status deregister_ifunc(std::uint64_t ifunc_id);
+
+  // --- sending ---------------------------------------------------------------
+  /// Builds a reusable message frame for a registered ifunc.
+  StatusOr<Frame> create_message(std::uint64_t ifunc_id,
+                                 ByteSpan payload) const;
+
+  /// Sends a frame, applying the code-caching protocol: the first frame to
+  /// a peer travels in full, subsequent ones truncated (paper §III-D).
+  Status send_frame(fabric::NodeId dst, const Frame& frame,
+                    fabric::CompletionFn on_complete = {});
+
+  /// create_message + send_frame in one call.
+  Status send_ifunc(fabric::NodeId dst, std::uint64_t ifunc_id,
+                    ByteSpan payload, fabric::CompletionFn on_complete = {});
+
+  // --- target-side configuration ----------------------------------------------
+  void set_target_ptr(void* target) { target_ptr_ = target; }
+  void set_shard(std::uint64_t* base, std::uint64_t size) {
+    shard_base_ = base;
+    shard_size_ = size;
+  }
+  /// Declares the peer table used by ifunc forward()/inject(); this node's
+  /// own index is derived from the list (~0 if absent).
+  void set_peers(std::vector<fabric::NodeId> peers);
+
+  /// Exposes [base, base+length) for one-sided access by remote ifuncs
+  /// (tc_ctx_remote_write). The registration is published to the fabric's
+  /// segment directory — modeling the out-of-band rkey exchange real RDMA
+  /// deployments perform at setup time.
+  Status expose_segment(void* base, std::size_t length);
+  void set_result_handler(ResultHandler handler) {
+    result_handler_ = std::move(handler);
+  }
+
+  // --- progress ---------------------------------------------------------------
+  /// Processes up to `max_frames` received messages. With auto_poll this is
+  /// driven by delivery events; call manually when auto_poll is off.
+  std::size_t poll(std::size_t max_frames = SIZE_MAX);
+
+  // --- ExecContext services (called from the extern "C" hooks) ---------------
+  Status ctx_forward(ExecContext& ctx, std::uint64_t peer, ByteSpan payload);
+  Status ctx_inject(ExecContext& ctx, std::uint64_t peer,
+                    const char* ifunc_name, ByteSpan payload);
+  Status ctx_reply(ExecContext& ctx, ByteSpan data);
+  Status ctx_remote_write(ExecContext& ctx, std::uint64_t peer,
+                          std::uint64_t offset, ByteSpan data);
+  void ctx_hll_guard(ExecContext& ctx);
+
+  // --- introspection -----------------------------------------------------------
+  struct Stats {
+    std::uint64_t frames_sent_full = 0;
+    std::uint64_t frames_sent_truncated = 0;
+    std::uint64_t code_bytes_sent = 0;
+    std::uint64_t code_bytes_saved = 0;  ///< by truncation
+    std::uint64_t frames_received = 0;
+    std::uint64_t frames_executed = 0;
+    std::uint64_t auto_registered = 0;
+    std::uint64_t jit_compiles = 0;
+    std::uint64_t object_links = 0;
+    std::uint64_t forwards = 0;
+    std::uint64_t injects = 0;
+    std::uint64_t replies_sent = 0;
+    std::uint64_t results_received = 0;
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t remote_writes = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t nacks_received = 0;
+    std::uint64_t cache_evictions = 0;
+    std::int64_t real_jit_ns_total = 0;  ///< measured, not virtual
+  };
+  const Stats& stats() const { return stats_; }
+  const jit::CodeCache& cache() const { return cache_; }
+  fabric::Endpoint& endpoint(fabric::NodeId dst);
+
+  /// Last measured compile stats (for the overhead-breakdown benches).
+  const jit::CompileStats& last_compile_stats() const {
+    return last_compile_stats_;
+  }
+
+ private:
+  struct Registered {
+    IfuncLibrary library;
+    abi::EntryFn entry = nullptr;  ///< compiled lazily on first execution
+  };
+
+  Runtime(fabric::Fabric& fabric, fabric::NodeId node, RuntimeOptions options);
+
+  Status ensure_engine();
+  StatusOr<Registered*> find_registered(std::uint64_t ifunc_id);
+  Status compile_registered(Registered& reg);
+  Status process_message(const fabric::ReceivedMessage& msg);
+  Status process_ifunc_frame(ByteSpan data, fabric::NodeId source);
+  void execute_ifunc(Registered& reg, std::uint64_t ifunc_id, Bytes payload,
+                     fabric::NodeId origin_node);
+  std::int64_t charge(std::int64_t configured_ns, std::int64_t measured_ns);
+
+  fabric::Fabric* fabric_;
+  fabric::NodeId node_;
+  RuntimeOptions options_;
+
+  std::unique_ptr<jit::OrcEngine> engine_;
+  jit::CodeCache cache_;
+  jit::CompileStats last_compile_stats_;
+
+  std::unordered_map<std::uint64_t, Registered> registry_;
+  std::unordered_map<std::string, std::uint64_t> names_;
+  /// Payloads of truncated frames waiting for code (NACK recovery).
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<Bytes, fabric::NodeId>>>
+      pending_payloads_;
+  /// (peer << 32 | ifunc-id-fold) pairs that already received code.
+  std::unordered_set<std::uint64_t> sent_code_;
+  std::unordered_map<fabric::NodeId, std::unique_ptr<fabric::Endpoint>>
+      endpoints_;
+
+  void* target_ptr_ = nullptr;
+  std::uint64_t* shard_base_ = nullptr;
+  std::uint64_t shard_size_ = 0;
+  std::vector<fabric::NodeId> peers_;
+  std::uint64_t self_peer_ = ~0ull;
+  ResultHandler result_handler_;
+
+  Stats stats_;
+};
+
+}  // namespace tc::core

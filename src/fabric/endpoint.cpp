@@ -1,0 +1,116 @@
+#include "fabric/endpoint.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace tc::fabric {
+
+void Endpoint::put(ByteSpan data, const RemoteAddr& dst,
+                   CompletionFn on_complete) {
+  ++stats_.puts;
+  stats_.bytes_put += data.size();
+  auto& fstats = fabric_->mutable_stats();
+  ++fstats.puts;
+  fstats.bytes_on_wire += data.size();
+
+  if (dst.node != remote_) {
+    fabric_->schedule_after(0, [cb = std::move(on_complete)] {
+      if (cb) cb(invalid_argument("put: RemoteAddr names a different node"));
+    });
+    return;
+  }
+
+  Bytes copy(data.begin(), data.end());
+  const auto start = fabric_->reserve_injection(local_, remote_, data.size());
+  const auto arrival = start + wire_ns(copy.size());
+  fabric_->schedule_at(
+      arrival, [this, dst, copy = std::move(copy),
+              cb = std::move(on_complete)]() mutable {
+        auto target =
+            fabric_->node(dst.node).memory.translate(dst.rkey, dst.offset,
+                                                     copy.size());
+        if (!target.is_ok()) {
+          if (cb) cb(target.status());
+          return;
+        }
+        std::memcpy(*target, copy.data(), copy.size());
+        if (cb) cb(Status::ok());
+      });
+}
+
+void Endpoint::get(const RemoteAddr& src, std::size_t length,
+                   GetCompletionFn on_complete) {
+  ++stats_.gets;
+  stats_.bytes_got += length;
+  auto& fstats = fabric_->mutable_stats();
+  ++fstats.gets;
+  fstats.bytes_on_wire += length;
+
+  if (src.node != remote_) {
+    fabric_->schedule_after(0, [cb = std::move(on_complete)] {
+      if (cb) cb(invalid_argument("get: RemoteAddr names a different node"));
+    });
+    return;
+  }
+
+  const auto start = fabric_->reserve_injection(local_, remote_, 0);
+  const auto delay = fabric_->link(local_, remote_).round_trip_ns(length);
+  fabric_->schedule_at(
+      start + delay, [this, src, length, cb = std::move(on_complete)]() mutable {
+        auto source =
+            fabric_->node(src.node).memory.translate(src.rkey, src.offset,
+                                                     length);
+        if (!source.is_ok()) {
+          if (cb) cb(source.status());
+          return;
+        }
+        Bytes out(*source, *source + length);
+        if (cb) cb(std::move(out));
+      });
+}
+
+void Endpoint::am(AmId id, ByteSpan payload, CompletionFn on_complete) {
+  ++stats_.ams;
+  auto& fstats = fabric_->mutable_stats();
+  ++fstats.ams;
+  fstats.bytes_on_wire += payload.size();
+
+  Bytes copy(payload.begin(), payload.end());
+  const auto start = fabric_->reserve_injection(local_, remote_,
+                                                payload.size(), OpClass::kAm);
+  const auto arrival = start + wire_ns(copy.size());
+  const NodeId src = local_;
+  const NodeId dst = remote_;
+  fabric_->schedule_at(arrival, [this, id, src, dst, copy = std::move(copy),
+                                  cb = std::move(on_complete)]() mutable {
+    // Handler execution serializes with other compute on the target node.
+    fabric_->execute_on(
+        dst, /*cost_ns=*/0,
+        [this, id, src, dst, copy = std::move(copy),
+         cb = std::move(cb)]() mutable {
+          Status st =
+              fabric_->node(dst).worker.deliver_am(id, std::move(copy), src);
+          if (cb) cb(st);
+        });
+  });
+}
+
+void Endpoint::send(ByteSpan data, CompletionFn on_complete) {
+  ++stats_.sends;
+  auto& fstats = fabric_->mutable_stats();
+  ++fstats.sends;
+  fstats.bytes_on_wire += data.size();
+
+  Bytes copy(data.begin(), data.end());
+  const auto start = fabric_->reserve_injection(local_, remote_, data.size());
+  const auto arrival = start + wire_ns(copy.size());
+  const NodeId src = local_;
+  const NodeId dst = remote_;
+  fabric_->schedule_at(arrival, [this, src, dst, copy = std::move(copy),
+                                  cb = std::move(on_complete)]() mutable {
+    fabric_->node(dst).worker.deliver_message(std::move(copy), src);
+    if (cb) cb(Status::ok());
+  });
+}
+
+}  // namespace tc::fabric

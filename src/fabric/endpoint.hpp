@@ -1,0 +1,68 @@
+// Endpoint: a directed communication handle from a local node to a remote
+// node, analogous to a ucp_ep. Provides the four primitives the runtime is
+// built on:
+//   put   — one-sided write into remote registered memory (RDMA PUT)
+//   get   — one-sided read from remote registered memory (RDMA GET)
+//   am    — active message dispatched to a pre-registered remote handler
+//   send  — two-sided message landing in the remote worker's receive queue
+//
+// All operations are nonblocking: they schedule fabric events and invoke the
+// provided completion callback in virtual time. Completion callbacks may
+// issue further operations (this is how recursive ifunc injection works).
+#pragma once
+
+#include <functional>
+
+#include "fabric/fabric.hpp"
+
+namespace tc::fabric {
+
+using CompletionFn = std::function<void(Status)>;
+using GetCompletionFn = std::function<void(StatusOr<Bytes>)>;
+
+class Endpoint {
+ public:
+  Endpoint(Fabric& fabric, NodeId local, NodeId remote)
+      : fabric_(&fabric), local_(local), remote_(remote) {}
+
+  NodeId local() const { return local_; }
+  NodeId remote() const { return remote_; }
+  Fabric& fabric() const { return *fabric_; }
+
+  /// One-sided write of `data` to `dst` (which must be on remote()).
+  /// `on_complete` fires at initiator completion time.
+  void put(ByteSpan data, const RemoteAddr& dst, CompletionFn on_complete);
+
+  /// One-sided read of `length` bytes from `src` on the remote node.
+  void get(const RemoteAddr& src, std::size_t length,
+           GetCompletionFn on_complete);
+
+  /// Active message to remote handler `id`. The handler runs on the target
+  /// node after the wire time elapses (serialized with its other work).
+  void am(AmId id, ByteSpan payload, CompletionFn on_complete);
+
+  /// Two-sided eager send into the remote worker's receive queue.
+  void send(ByteSpan data, CompletionFn on_complete);
+
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t ams = 0;
+    std::uint64_t sends = 0;
+    std::uint64_t bytes_put = 0;
+    std::uint64_t bytes_got = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::int64_t wire_ns(std::size_t size) const {
+    return fabric_->link(local_, remote_).transmit_ns(size);
+  }
+
+  Fabric* fabric_;
+  NodeId local_;
+  NodeId remote_;
+  Stats stats_;
+};
+
+}  // namespace tc::fabric

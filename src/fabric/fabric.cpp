@@ -1,0 +1,133 @@
+#include "fabric/fabric.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace tc::fabric {
+
+namespace {
+std::uint64_t link_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+}  // namespace
+
+NodeId Fabric::add_node(std::string name, double compute_scale) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->name = std::move(name);
+  node->compute_scale = compute_scale;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+Node& Fabric::node(NodeId id) {
+  assert(id < nodes_.size() && "invalid NodeId");
+  return *nodes_[id];
+}
+
+const Node& Fabric::node(NodeId id) const {
+  assert(id < nodes_.size() && "invalid NodeId");
+  return *nodes_[id];
+}
+
+void Fabric::set_link(NodeId a, NodeId b, const LinkModel& model) {
+  links_[link_key(a, b)] = model;
+  links_[link_key(b, a)] = model;
+}
+
+const LinkModel& Fabric::link(NodeId src, NodeId dst) const {
+  auto it = links_.find(link_key(src, dst));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+void Fabric::schedule_at(VirtTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Fabric::execute_on(NodeId node_id, std::int64_t cost_ns,
+                        std::function<void()> fn, bool scale_cost) {
+  // Re-queue until the node is idle, charge the cost, then run the body at
+  // the *end* of the charged interval so its visible effects (sends,
+  // stores) occur after the modeled work completes.
+  auto attempt = std::make_shared<std::function<void()>>();
+  *attempt = [this, node_id, cost_ns, scale_cost, fn = std::move(fn),
+              attempt]() mutable {
+    Node& n = node(node_id);
+    if (n.busy_until > now_) {
+      schedule_at(n.busy_until, *attempt);
+      return;
+    }
+    consume_compute(node_id, cost_ns, scale_cost);
+    if (n.busy_until > now_) {
+      schedule_at(n.busy_until, std::move(fn));
+    } else {
+      fn();
+    }
+  };
+  schedule_at(now_, *attempt);
+}
+
+void Fabric::consume_compute(NodeId node_id, std::int64_t cost_ns,
+                             bool scale_cost) {
+  Node& n = node(node_id);
+  const auto charged =
+      scale_cost ? static_cast<std::int64_t>(static_cast<double>(cost_ns) *
+                                             n.compute_scale)
+                 : cost_ns;
+  const VirtTime start = n.busy_until > now_ ? n.busy_until : now_;
+  n.busy_until = start + charged;
+}
+
+VirtTime Fabric::reserve_injection(NodeId src, NodeId dst, std::size_t bytes,
+                                   OpClass cls) {
+  const LinkModel& model = link(src, dst);
+  VirtTime& busy = link_busy_[link_key(src, dst)];
+  const VirtTime start = busy > now_ ? busy : now_;
+  busy = start + model.occupancy_ns(bytes, cls);
+  return start;
+}
+
+bool Fabric::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event is moved out via const_cast
+  // which is safe because we pop immediately and never re-inspect it.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++stats_.events;
+  ev.fn();
+  return true;
+}
+
+std::size_t Fabric::run_until_idle(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (processed < max_events && step()) ++processed;
+  if (processed == max_events) {
+    TC_LOG(kWarn, "fabric") << "run_until_idle hit event budget "
+                            << max_events;
+  }
+  return processed;
+}
+
+Status Fabric::run_until(const std::function<bool()>& pred,
+                         std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!pred()) {
+    if (processed >= max_events) {
+      return resource_exhausted("run_until: event budget exhausted");
+    }
+    if (!step()) {
+      return failed_precondition(
+          "run_until: fabric idle before predicate satisfied");
+    }
+    ++processed;
+  }
+  return Status::ok();
+}
+
+}  // namespace tc::fabric

@@ -1,0 +1,67 @@
+// Link timing model for the simulated RDMA fabric.
+//
+// The paper's testbeds are ConnectX-6 100 Gb/s InfiniBand fabrics. Two
+// distinct timing paths are modeled, because the paper's measurements imply
+// different effective costs for them:
+//
+//  * latency path — one-way delivery time of a single message:
+//        latency_ns + per_op_ns + size * ns_per_byte
+//    ns_per_byte here is the *small-message effective* inverse bandwidth
+//    (well below line rate), calibrated from the cached/uncached
+//    transmission deltas in Tables I-III.
+//
+//  * occupancy path — how long one message holds the injection channel when
+//    messages are pipelined (message-rate experiments):
+//        gap_{send|am}_ns + size * gap_ns_per_byte
+//    The AM class carries a higher per-message gap than the PUT/send class
+//    (UCP AM protocol work vs one-sided writes), which is why cached ifuncs
+//    beat Active Messages on message rate in Tables IV-VI while latency
+//    stays comparable.
+#pragma once
+
+#include <cstdint>
+
+namespace tc::fabric {
+
+/// Virtual time in nanoseconds since simulation start.
+using VirtTime = std::int64_t;
+
+/// Operation class for injection-channel accounting.
+enum class OpClass : std::uint8_t { kSend = 0, kAm = 1 };
+
+struct LinkModel {
+  // latency path
+  std::int64_t latency_ns = 1000;  ///< propagation + NIC traversal
+  double ns_per_byte = 0.4;        ///< inverse small-message bandwidth
+  std::int64_t per_op_ns = 0;      ///< fixed initiator/target op overhead
+
+  // occupancy path
+  double gap_ns_per_byte = 0.4;    ///< inverse streaming bandwidth
+  std::int64_t gap_send_ns = 0;    ///< per-message gap, PUT/send class
+  std::int64_t gap_am_ns = 0;      ///< per-message gap, AM class
+
+  /// One-way wire time for a message of `size` bytes.
+  constexpr std::int64_t transmit_ns(std::size_t size) const {
+    return latency_ns + static_cast<std::int64_t>(ns_per_byte * size) +
+           per_op_ns;
+  }
+
+  /// Full round-trip time for a GET of `size` bytes: request (header-only)
+  /// plus response carrying the data.
+  constexpr std::int64_t round_trip_ns(std::size_t size) const {
+    return transmit_ns(0) + transmit_ns(size);
+  }
+
+  /// Injection-channel occupancy of one message.
+  constexpr std::int64_t occupancy_ns(std::size_t size, OpClass cls) const {
+    const std::int64_t gap =
+        cls == OpClass::kAm ? gap_am_ns : gap_send_ns;
+    return gap + static_cast<std::int64_t>(gap_ns_per_byte * size);
+  }
+};
+
+/// A zero-latency, infinite-bandwidth link used by unit tests that only care
+/// about functional behaviour.
+constexpr LinkModel instant_link() { return {0, 0.0, 0, 0.0, 0, 0}; }
+
+}  // namespace tc::fabric

@@ -1,0 +1,41 @@
+#include "fabric/memory.hpp"
+
+namespace tc::fabric {
+
+StatusOr<MemRegion> MemoryDomain::register_memory(void* base,
+                                                  std::size_t length) {
+  if (base == nullptr || length == 0) {
+    return invalid_argument("register_memory: null base or zero length");
+  }
+  MemRegion region;
+  region.rkey = next_rkey_++;
+  region.base = static_cast<std::uint8_t*>(base);
+  region.length = length;
+  regions_.emplace(region.rkey, region);
+  return region;
+}
+
+Status MemoryDomain::deregister(RKey rkey) {
+  if (regions_.erase(rkey) == 0) {
+    return not_found("deregister: unknown rkey " + std::to_string(rkey));
+  }
+  return Status::ok();
+}
+
+StatusOr<std::uint8_t*> MemoryDomain::translate(RKey rkey,
+                                                std::uint64_t offset,
+                                                std::size_t length) const {
+  auto it = regions_.find(rkey);
+  if (it == regions_.end()) {
+    return not_found("translate: unknown rkey " + std::to_string(rkey));
+  }
+  const MemRegion& region = it->second;
+  if (offset > region.length || length > region.length - offset) {
+    return out_of_range("remote access [" + std::to_string(offset) + ", " +
+                        std::to_string(offset + length) + ") exceeds region " +
+                        std::to_string(region.length));
+  }
+  return region.base + offset;
+}
+
+}  // namespace tc::fabric

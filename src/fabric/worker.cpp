@@ -1,0 +1,49 @@
+#include "fabric/worker.hpp"
+
+#include <utility>
+
+namespace tc::fabric {
+
+Status Worker::register_am(AmId id, AmHandler handler) {
+  if (!handler) return invalid_argument("register_am: empty handler");
+  auto [it, inserted] = am_table_.emplace(id, std::move(handler));
+  (void)it;
+  if (!inserted) {
+    return already_exists("AM id " + std::to_string(id) +
+                          " already registered");
+  }
+  return Status::ok();
+}
+
+Status Worker::unregister_am(AmId id) {
+  if (am_table_.erase(id) == 0) {
+    return not_found("AM id " + std::to_string(id) + " not registered");
+  }
+  return Status::ok();
+}
+
+std::optional<ReceivedMessage> Worker::try_recv() {
+  if (rx_queue_.empty()) return std::nullopt;
+  ReceivedMessage msg = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  return msg;
+}
+
+Status Worker::deliver_am(AmId id, Bytes payload, NodeId source) {
+  auto it = am_table_.find(id);
+  if (it == am_table_.end()) {
+    ++stats_.am_dispatch_misses;
+    return not_found("no AM handler for id " + std::to_string(id));
+  }
+  ++stats_.ams_delivered;
+  it->second(as_span(payload), source);
+  return Status::ok();
+}
+
+void Worker::deliver_message(Bytes data, NodeId source) {
+  ++stats_.messages_delivered;
+  rx_queue_.push_back(ReceivedMessage{std::move(data), source});
+  if (notify_) notify_();
+}
+
+}  // namespace tc::fabric

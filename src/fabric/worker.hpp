@@ -1,0 +1,68 @@
+// Worker: the per-node progress/dispatch object, analogous to a ucp_worker.
+//
+// A worker owns (a) the active-message handler table and (b) the two-sided
+// receive queue. One-sided PUT/GET traffic does not pass through the worker;
+// it lands directly in registered memory (see MemoryDomain), and higher
+// layers discover it by polling, exactly as the paper's ifunc receive path
+// polls MAGIC bytes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "fabric/memory.hpp"
+
+namespace tc::fabric {
+
+using AmId = std::uint16_t;
+
+/// Handler invoked on the *target* node when an active message arrives.
+using AmHandler = std::function<void(ByteSpan payload, NodeId source)>;
+
+struct ReceivedMessage {
+  Bytes data;
+  NodeId source = 0;
+};
+
+class Worker {
+ public:
+  /// Registers a handler for `id`. Fails with kAlreadyExists if taken.
+  Status register_am(AmId id, AmHandler handler);
+  Status unregister_am(AmId id);
+  bool has_am(AmId id) const { return am_table_.contains(id); }
+
+  /// Two-sided receive: pops the oldest queued message, if any.
+  std::optional<ReceivedMessage> try_recv();
+  std::size_t rx_queue_depth() const { return rx_queue_.size(); }
+
+  /// Installs a callback invoked on every deliver_message — the hook the
+  /// runtime's progress engine (the paper's polling daemon thread) uses to
+  /// wake up inside the discrete-event simulation.
+  void set_delivery_notifier(std::function<void()> notify) {
+    notify_ = std::move(notify);
+  }
+
+  // --- fabric-internal delivery hooks --------------------------------------
+  Status deliver_am(AmId id, Bytes payload, NodeId source);
+  void deliver_message(Bytes data, NodeId source);
+
+  struct Stats {
+    std::uint64_t ams_delivered = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t am_dispatch_misses = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<AmId, AmHandler> am_table_;
+  std::deque<ReceivedMessage> rx_queue_;
+  std::function<void()> notify_;
+  Stats stats_;
+};
+
+}  // namespace tc::fabric

@@ -1,0 +1,68 @@
+#include "hetsim/cluster.hpp"
+
+namespace tc::hetsim {
+
+core::RuntimeOptions runtime_options_for(const HwProfile& profile) {
+  core::RuntimeOptions options;
+  options.jit_cost_ns = profile.jit_cost_ns;
+  options.link_cost_ns = profile.link_cost_ns;
+  options.lookup_exec_cost_ns = profile.ifunc_exec_ns;
+  options.hll_guard_cost_ns = profile.hll_guard_ns;
+  return options;
+}
+
+am::AmRuntime::Options am_options_for(const HwProfile& profile) {
+  am::AmRuntime::Options options;
+  options.exec_cost_ns = profile.am_exec_ns;
+  return options;
+}
+
+StatusOr<std::unique_ptr<Cluster>> Cluster::create(
+    const ClusterConfig& config) {
+  if (config.server_count == 0) {
+    return invalid_argument("cluster needs at least one server");
+  }
+  auto cluster = std::unique_ptr<Cluster>(new Cluster());
+  cluster->profile_ = &profile_for(config.platform);
+  const HwProfile& profile = *cluster->profile_;
+
+  cluster->fabric_.set_default_link(profile.link);
+  cluster->client_ = cluster->fabric_.add_node(
+      "client", profile.client_compute_scale);
+  for (std::size_t i = 0; i < config.server_count; ++i) {
+    cluster->servers_.push_back(cluster->fabric_.add_node(
+        "server" + std::to_string(i), profile.server_compute_scale));
+  }
+
+  core::RuntimeOptions runtime_options = runtime_options_for(profile);
+  if (config.hll_guard_ns_override >= 0) {
+    runtime_options.hll_guard_cost_ns = config.hll_guard_ns_override;
+  }
+  am::AmRuntime::Options am_options = am_options_for(profile);
+  // Clusters host the DAPC-class workloads: per-hop request processing on
+  // the servers is heavier than the bare TSI ping (see HwProfile).
+  runtime_options.lookup_exec_cost_ns =
+      profile.ifunc_exec_ns + profile.dapc_ifunc_hop_ns;
+  am_options.exec_cost_ns = profile.am_exec_ns + profile.dapc_am_hop_ns;
+
+  const std::size_t node_count = cluster->fabric_.node_count();
+  for (fabric::NodeId node = 0; node < node_count; ++node) {
+    if (config.with_ifunc_runtimes) {
+      TC_ASSIGN_OR_RETURN(
+          auto runtime,
+          core::Runtime::create(cluster->fabric_, node, runtime_options));
+      runtime->set_peers(cluster->servers_);
+      cluster->runtimes_.push_back(std::move(runtime));
+    }
+    if (config.with_am_runtimes) {
+      TC_ASSIGN_OR_RETURN(
+          auto am_runtime,
+          am::AmRuntime::create(cluster->fabric_, node, am_options));
+      am_runtime->set_peers(cluster->servers_);
+      cluster->am_runtimes_.push_back(std::move(am_runtime));
+    }
+  }
+  return cluster;
+}
+
+}  // namespace tc::hetsim

@@ -1,0 +1,65 @@
+// Cluster: a virtual heterogeneous testbed — one client node plus N server
+// nodes (hosts or DPUs, per the platform profile) on a simulated RDMA
+// fabric, with Three-Chains and Active-Message runtimes attached and their
+// cost models wired to the profile's calibrated constants.
+//
+// This is the substitute for the paper's physical Ookami and Thor clusters
+// (DESIGN.md §1): the topology, runtimes and protocols are real; only the
+// wire/compute timings come from profiles.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "am/am_runtime.hpp"
+#include "core/runtime.hpp"
+#include "fabric/fabric.hpp"
+#include "hetsim/profiles.hpp"
+
+namespace tc::hetsim {
+
+struct ClusterConfig {
+  Platform platform = Platform::kThorXeon;
+  std::size_t server_count = 2;
+  bool with_ifunc_runtimes = true;  ///< attach core::Runtime on every node
+  bool with_am_runtimes = true;     ///< attach am::AmRuntime on every node
+  /// Override the per-guard HLL cost (<0 keeps the profile value).
+  std::int64_t hll_guard_ns_override = -1;
+};
+
+class Cluster {
+ public:
+  static StatusOr<std::unique_ptr<Cluster>> create(const ClusterConfig& config);
+
+  fabric::Fabric& fabric() { return fabric_; }
+  const HwProfile& profile() const { return *profile_; }
+
+  fabric::NodeId client_node() const { return client_; }
+  const std::vector<fabric::NodeId>& server_nodes() const { return servers_; }
+
+  /// Runtimes indexed by fabric node id (0 = client, 1.. = servers).
+  core::Runtime& runtime(fabric::NodeId node) { return *runtimes_.at(node); }
+  am::AmRuntime& am_runtime(fabric::NodeId node) {
+    return *am_runtimes_.at(node);
+  }
+  core::Runtime& client_runtime() { return runtime(client_); }
+
+  bool has_ifunc_runtimes() const { return !runtimes_.empty(); }
+  bool has_am_runtimes() const { return !am_runtimes_.empty(); }
+
+ private:
+  Cluster() = default;
+
+  fabric::Fabric fabric_;
+  const HwProfile* profile_ = nullptr;
+  fabric::NodeId client_ = 0;
+  std::vector<fabric::NodeId> servers_;
+  std::vector<std::unique_ptr<core::Runtime>> runtimes_;
+  std::vector<std::unique_ptr<am::AmRuntime>> am_runtimes_;
+};
+
+/// RuntimeOptions with the profile's calibrated virtual-time constants.
+core::RuntimeOptions runtime_options_for(const HwProfile& profile);
+am::AmRuntime::Options am_options_for(const HwProfile& profile);
+
+}  // namespace tc::hetsim

@@ -1,0 +1,55 @@
+#include "ir/bitcode.hpp"
+
+#include <llvm/Bitcode/BitcodeReader.h>
+#include <llvm/Bitcode/BitcodeWriter.h>
+#include <llvm/IR/Verifier.h>
+#include <llvm/Support/MemoryBuffer.h>
+#include <llvm/Support/raw_ostream.h>
+
+namespace tc::ir {
+
+namespace {
+llvm::MemoryBufferRef buffer_ref(ByteSpan bitcode, const char* name) {
+  return {llvm::StringRef(reinterpret_cast<const char*>(bitcode.data()),
+                          bitcode.size()),
+          name};
+}
+}  // namespace
+
+Bytes module_to_bitcode(const llvm::Module& module) {
+  llvm::SmallVector<char, 0> buffer;
+  llvm::raw_svector_ostream os(buffer);
+  llvm::WriteBitcodeToFile(module, os);
+  return Bytes(buffer.begin(), buffer.end());
+}
+
+StatusOr<std::unique_ptr<llvm::Module>> bitcode_to_module(
+    ByteSpan bitcode, llvm::LLVMContext& context, std::string name) {
+  auto parsed =
+      llvm::parseBitcodeFile(buffer_ref(bitcode, name.c_str()), context);
+  if (!parsed) {
+    return bad_bitcode("parseBitcodeFile: " +
+                       llvm::toString(parsed.takeError()));
+  }
+  return std::move(*parsed);
+}
+
+Status verify_module(const llvm::Module& module) {
+  std::string report;
+  llvm::raw_string_ostream os(report);
+  if (llvm::verifyModule(module, &os)) {
+    return bad_bitcode("verifier: " + os.str());
+  }
+  return Status::ok();
+}
+
+StatusOr<std::string> bitcode_triple(ByteSpan bitcode) {
+  auto triple = llvm::getBitcodeTargetTriple(buffer_ref(bitcode, "probe"));
+  if (!triple) {
+    return bad_bitcode("getBitcodeTargetTriple: " +
+                       llvm::toString(triple.takeError()));
+  }
+  return *triple;
+}
+
+}  // namespace tc::ir

@@ -1,0 +1,30 @@
+// LLVM bitcode (de)serialization and verification helpers.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include <llvm/IR/LLVMContext.h>
+#include <llvm/IR/Module.h>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace tc::ir {
+
+/// Serializes `module` to bitcode bytes.
+Bytes module_to_bitcode(const llvm::Module& module);
+
+/// Parses bitcode into a module owned by `context`.
+StatusOr<std::unique_ptr<llvm::Module>> bitcode_to_module(
+    ByteSpan bitcode, llvm::LLVMContext& context, std::string name = "ifunc");
+
+/// Runs the LLVM verifier; returns kBadBitcode with the verifier report on
+/// failure.
+Status verify_module(const llvm::Module& module);
+
+/// Reads just the target triple from a bitcode buffer (cheap; used for
+/// archive-entry sanity checks without materializing the module).
+StatusOr<std::string> bitcode_triple(ByteSpan bitcode);
+
+}  // namespace tc::ir

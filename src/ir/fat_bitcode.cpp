@@ -1,0 +1,136 @@
+#include "ir/fat_bitcode.hpp"
+
+#include <llvm/ADT/Triple.h>
+
+#include "common/hash.hpp"
+
+namespace tc::ir {
+
+namespace {
+constexpr std::uint32_t kMagicBitcode = 0x42464354u;  // 'TCFB'
+constexpr std::uint32_t kMagicObject = 0x4f464354u;   // 'TCFO'
+constexpr std::uint16_t kVersion = 1;
+
+std::uint32_t magic_for(CodeRepr repr) {
+  return repr == CodeRepr::kBitcode ? kMagicBitcode : kMagicObject;
+}
+}  // namespace
+
+Status FatBitcode::add_entry(TargetDescriptor target, Bytes code) {
+  if (code.empty()) return invalid_argument("add_entry: empty code");
+  const std::string norm = normalize_triple(target.triple);
+  for (const ArchiveEntry& e : entries_) {
+    if (normalize_triple(e.target.triple) == norm) {
+      return already_exists("archive already has an entry for " + norm);
+    }
+  }
+  entries_.push_back(ArchiveEntry{std::move(target), std::move(code)});
+  return Status::ok();
+}
+
+void FatBitcode::add_dependency(std::string library) {
+  for (const std::string& d : deps_) {
+    if (d == library) return;  // idempotent
+  }
+  deps_.push_back(std::move(library));
+}
+
+StatusOr<const ArchiveEntry*> FatBitcode::select(
+    const std::string& triple) const {
+  const llvm::Triple want(normalize_triple(triple));
+  // Pass 1: exact normalized-triple match. Pass 2: arch+OS match (the
+  // receiving JIT re-tunes CPU features anyway).
+  for (const ArchiveEntry& e : entries_) {
+    if (normalize_triple(e.target.triple) == want.str()) return &e;
+  }
+  for (const ArchiveEntry& e : entries_) {
+    const llvm::Triple have(normalize_triple(e.target.triple));
+    if (have.getArch() == want.getArch() && have.getOS() == want.getOS()) {
+      return &e;
+    }
+  }
+  return not_found("no archive entry for triple " + triple + " (have " +
+                   std::to_string(entries_.size()) + " entries)");
+}
+
+std::size_t FatBitcode::code_size() const {
+  std::size_t total = 0;
+  for (const ArchiveEntry& e : entries_) total += e.code.size();
+  return total;
+}
+
+Bytes FatBitcode::serialize() const {
+  ByteWriter w;
+  w.u32(magic_for(repr_));
+  w.u16(kVersion);
+  w.u16(static_cast<std::uint16_t>(entries_.size()));
+  w.u16(static_cast<std::uint16_t>(deps_.size()));
+  for (const ArchiveEntry& e : entries_) {
+    w.str(e.target.triple);
+    w.str(e.target.cpu);
+    w.str(e.target.features);
+    w.blob(as_span(e.code));
+  }
+  for (const std::string& d : deps_) w.str(d);
+  const std::uint64_t checksum = fnv1a64(as_span(w.bytes()));
+  w.u64(checksum);
+  return std::move(w).take();
+}
+
+StatusOr<FatBitcode> FatBitcode::deserialize(ByteSpan data) {
+  if (data.size() < 8 + 10) return data_loss("fat-bitcode: too short");
+  // Verify trailing checksum over everything before it.
+  {
+    ByteReader tail(data.subspan(data.size() - 8));
+    std::uint64_t stored = 0;
+    TC_RETURN_IF_ERROR(tail.u64(stored));
+    const std::uint64_t computed =
+        fnv1a64(data.subspan(0, data.size() - 8));
+    if (stored != computed) {
+      return data_loss("fat-bitcode: checksum mismatch");
+    }
+  }
+  ByteReader r(data.subspan(0, data.size() - 8));
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0, entry_count = 0, dep_count = 0;
+  TC_RETURN_IF_ERROR(r.u32(magic));
+  CodeRepr repr;
+  if (magic == kMagicBitcode) {
+    repr = CodeRepr::kBitcode;
+  } else if (magic == kMagicObject) {
+    repr = CodeRepr::kObject;
+  } else {
+    return data_loss("fat-bitcode: bad magic " + std::to_string(magic));
+  }
+  TC_RETURN_IF_ERROR(r.u16(version));
+  if (version != kVersion) {
+    return data_loss("fat-bitcode: unsupported version " +
+                     std::to_string(version));
+  }
+  TC_RETURN_IF_ERROR(r.u16(entry_count));
+  TC_RETURN_IF_ERROR(r.u16(dep_count));
+
+  FatBitcode out(repr);
+  for (std::uint16_t i = 0; i < entry_count; ++i) {
+    TargetDescriptor target;
+    ByteSpan code;
+    TC_RETURN_IF_ERROR(r.str(target.triple));
+    TC_RETURN_IF_ERROR(r.str(target.cpu));
+    TC_RETURN_IF_ERROR(r.str(target.features));
+    TC_RETURN_IF_ERROR(r.blob(code));
+    TC_RETURN_IF_ERROR(
+        out.add_entry(std::move(target), Bytes(code.begin(), code.end())));
+  }
+  for (std::uint16_t i = 0; i < dep_count; ++i) {
+    std::string dep;
+    TC_RETURN_IF_ERROR(r.str(dep));
+    out.add_dependency(std::move(dep));
+  }
+  if (!r.exhausted()) {
+    return data_loss("fat-bitcode: trailing garbage (" +
+                     std::to_string(r.remaining()) + " bytes)");
+  }
+  return out;
+}
+
+}  // namespace tc::ir

@@ -1,0 +1,68 @@
+// The fat-bitcode archive: one ifunc library's code for every ISA it may
+// land on, plus its dependency manifest (the paper's `foo.deps` file).
+//
+// Wire layout (all integers little-endian; see common/bytes.hpp):
+//   u32 magic 'TCFB' | u16 version | u16 entry_count | u16 dep_count
+//   per entry:  str triple | str cpu | str features | blob bitcode
+//   per dep:    str shared-library name (e.g. "libomp.so")
+//   u64 fnv1a checksum of everything above
+//
+// Archives also support a *binary* representation variant ('TCFO'), holding
+// relocatable ELF objects instead of bitcode — the AOT-compiled ifunc path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "ir/target_info.hpp"
+
+namespace tc::ir {
+
+/// Which code representation the archive carries (paper §III-B vs §III-C).
+enum class CodeRepr : std::uint8_t {
+  kBitcode = 0,  ///< LLVM IR bitcode, JIT-compiled on the target
+  kObject = 1,   ///< relocatable machine-code object, linked on the target
+};
+
+struct ArchiveEntry {
+  TargetDescriptor target;
+  Bytes code;
+};
+
+class FatBitcode {
+ public:
+  FatBitcode() = default;
+  explicit FatBitcode(CodeRepr repr) : repr_(repr) {}
+
+  CodeRepr repr() const { return repr_; }
+
+  /// Adds code for one target. Fails with kAlreadyExists on duplicate
+  /// normalized triples (one entry per ISA).
+  Status add_entry(TargetDescriptor target, Bytes code);
+
+  /// Declares a shared-library dependency to dlopen on the target before
+  /// invocation (the `.deps` manifest).
+  void add_dependency(std::string library);
+
+  const std::vector<ArchiveEntry>& entries() const { return entries_; }
+  const std::vector<std::string>& dependencies() const { return deps_; }
+
+  /// Selects the entry matching `triple` (normalized arch+OS match).
+  StatusOr<const ArchiveEntry*> select(const std::string& triple) const;
+
+  /// Total code bytes across entries (the "5159 bytes of bitcode" number).
+  std::size_t code_size() const;
+
+  Bytes serialize() const;
+  static StatusOr<FatBitcode> deserialize(ByteSpan data);
+
+ private:
+  CodeRepr repr_ = CodeRepr::kBitcode;
+  std::vector<ArchiveEntry> entries_;
+  std::vector<std::string> deps_;
+};
+
+}  // namespace tc::ir

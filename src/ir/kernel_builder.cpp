@@ -1,0 +1,646 @@
+#include "ir/kernel_builder.hpp"
+
+#include <llvm/IR/IRBuilder.h>
+#include <llvm/IR/Verifier.h>
+
+#include "ir/abi.hpp"
+#include "ir/bitcode.hpp"
+
+namespace tc::ir {
+
+namespace {
+
+/// Carries the in-progress module plus the declared hook functions.
+struct Emitter {
+  llvm::LLVMContext& ctx;
+  llvm::Module& mod;
+  llvm::IRBuilder<> b;
+  bool hll_guards;
+
+  llvm::Type* i8p;
+  llvm::Type* i64p;
+  llvm::Type* void_ty;
+  llvm::IntegerType* i8;
+  llvm::IntegerType* i32;
+  llvm::IntegerType* i64;
+  llvm::Type* f32;
+  llvm::Type* f64;
+
+  llvm::Function* entry = nullptr;
+  llvm::Value* arg_ctx = nullptr;
+  llvm::Value* arg_payload = nullptr;
+  llvm::Value* arg_size = nullptr;
+
+  Emitter(llvm::LLVMContext& c, llvm::Module& m, bool hll)
+      : ctx(c), mod(m), b(c), hll_guards(hll) {
+    i8 = b.getInt8Ty();
+    i32 = b.getInt32Ty();
+    i64 = b.getInt64Ty();
+    f32 = b.getFloatTy();
+    f64 = b.getDoubleTy();
+    i8p = b.getInt8PtrTy();
+    i64p = i64->getPointerTo();
+    void_ty = b.getVoidTy();
+  }
+
+  llvm::FunctionCallee hook(const char* name, llvm::Type* ret,
+                            std::initializer_list<llvm::Type*> params) {
+    return mod.getOrInsertFunction(
+        name, llvm::FunctionType::get(ret, params, false));
+  }
+
+  // Hook declarations (see ir/abi.hpp for semantics).
+  llvm::FunctionCallee hk_target() {
+    return hook(abi::kHookTarget, i8p, {i8p});
+  }
+  llvm::FunctionCallee hk_node() { return hook(abi::kHookNode, i64, {i8p}); }
+  llvm::FunctionCallee hk_peer_count() {
+    return hook(abi::kHookPeerCount, i64, {i8p});
+  }
+  llvm::FunctionCallee hk_self_peer() {
+    return hook(abi::kHookSelfPeer, i64, {i8p});
+  }
+  llvm::FunctionCallee hk_shard_base() {
+    return hook(abi::kHookShardBase, i64p, {i8p});
+  }
+  llvm::FunctionCallee hk_shard_size() {
+    return hook(abi::kHookShardSize, i64, {i8p});
+  }
+  llvm::FunctionCallee hk_forward() {
+    return hook(abi::kHookForward, i32, {i8p, i64, i8p, i64});
+  }
+  llvm::FunctionCallee hk_inject() {
+    return hook(abi::kHookInject, i32, {i8p, i64, i8p, i8p, i64});
+  }
+  llvm::FunctionCallee hk_reply() {
+    return hook(abi::kHookReply, i32, {i8p, i8p, i64});
+  }
+  llvm::FunctionCallee hk_hll_guard() {
+    return hook(abi::kHookHllGuard, void_ty, {i8p});
+  }
+  llvm::FunctionCallee hk_remote_write() {
+    return hook(abi::kHookRemoteWrite, i32, {i8p, i64, i64, i8p, i64});
+  }
+  /// `double sin(double)` — resolved from the libm.so.6 dependency the
+  /// archive declares, not emitted locally.
+  llvm::FunctionCallee libm_sin() {
+    return hook("sin", f64, {f64});
+  }
+
+  /// Emits the HLL dynamic-dispatch guard if this is an HLL-frontend build.
+  void guard() {
+    if (hll_guards) b.CreateCall(hk_hll_guard(), {arg_ctx});
+  }
+
+  /// Creates `void tc_main(i8* ctx, i8* payload, i64 size)` and positions
+  /// the builder at its entry block.
+  void begin_entry() {
+    auto* fty =
+        llvm::FunctionType::get(void_ty, {i8p, i8p, i64}, /*vararg=*/false);
+    entry = llvm::Function::Create(fty, llvm::Function::ExternalLinkage,
+                                   abi::kEntryName, &mod);
+    entry->getArg(0)->setName("ctx");
+    entry->getArg(1)->setName("payload");
+    entry->getArg(2)->setName("payload_size");
+    arg_ctx = entry->getArg(0);
+    arg_payload = entry->getArg(1);
+    arg_size = entry->getArg(2);
+    b.SetInsertPoint(llvm::BasicBlock::Create(ctx, "entry", entry));
+  }
+
+  llvm::BasicBlock* block(const char* name) {
+    return llvm::BasicBlock::Create(ctx, name, entry);
+  }
+
+  /// payload viewed as an i64 array; returns &payload64[index].
+  llvm::Value* payload_u64_ptr(unsigned index) {
+    auto* p64 = b.CreateBitCast(arg_payload, i64p, "pay64");
+    return b.CreateConstInBoundsGEP1_64(i64, p64, index);
+  }
+  llvm::Value* load_payload_u64(unsigned index, const char* name) {
+    return b.CreateLoad(i64, payload_u64_ptr(index), name);
+  }
+  void store_payload_u64(unsigned index, llvm::Value* value) {
+    b.CreateStore(value, payload_u64_ptr(index));
+  }
+};
+
+void emit_tsi(Emitter& e) {
+  e.begin_entry();
+  e.guard();
+  auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+  auto* counter = e.b.CreateBitCast(raw, e.i64p, "counter");
+  auto* old_value = e.b.CreateLoad(e.i64, counter, "old");
+  auto* new_value =
+      e.b.CreateAdd(old_value, llvm::ConstantInt::get(e.i64, 1), "new");
+  e.b.CreateStore(new_value, counter);
+  e.b.CreateRetVoid();
+}
+
+void emit_payload_sum(Emitter& e) {
+  e.begin_entry();
+  auto* entry_bb = e.b.GetInsertBlock();
+  auto* loop_bb = e.block("loop");
+  auto* body_bb = e.block("body");
+  auto* done_bb = e.block("done");
+
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(loop_bb);
+  auto* index = e.b.CreatePHI(e.i64, 2, "i");
+  auto* sum = e.b.CreatePHI(e.i64, 2, "sum");
+  index->addIncoming(llvm::ConstantInt::get(e.i64, 0), entry_bb);
+  sum->addIncoming(llvm::ConstantInt::get(e.i64, 0), entry_bb);
+  auto* more = e.b.CreateICmpULT(index, e.arg_size, "more");
+  e.b.CreateCondBr(more, body_bb, done_bb);
+
+  e.b.SetInsertPoint(body_bb);
+  e.guard();
+  auto* slot = e.b.CreateInBoundsGEP(e.i8, e.arg_payload, index, "slot");
+  auto* byte = e.b.CreateLoad(e.i8, slot, "byte");
+  auto* wide = e.b.CreateZExt(byte, e.i64, "wide");
+  auto* next_sum = e.b.CreateAdd(sum, wide, "next_sum");
+  auto* next_index =
+      e.b.CreateAdd(index, llvm::ConstantInt::get(e.i64, 1), "next_i");
+  index->addIncoming(next_index, e.b.GetInsertBlock());
+  sum->addIncoming(next_sum, e.b.GetInsertBlock());
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(done_bb);
+  auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+  auto* out = e.b.CreateBitCast(raw, e.i64p, "out");
+  e.b.CreateStore(sum, out);
+  e.b.CreateRetVoid();
+}
+
+// Payload layout: [n:u64][a:f32][x:f32*n][y:f32*n]; writes a*x[i]+y[i] into
+// the target buffer (f32[n]).
+void emit_saxpy(Emitter& e) {
+  e.begin_entry();
+  auto* f32p = e.f32->getPointerTo();
+
+  auto* n = e.load_payload_u64(0, "n");
+  auto* a_ptr = e.b.CreateBitCast(
+      e.b.CreateConstInBoundsGEP1_64(e.i8, e.arg_payload, 8), f32p, "a_ptr");
+  auto* a = e.b.CreateLoad(e.f32, a_ptr, "a");
+  auto* x_base = e.b.CreateBitCast(
+      e.b.CreateConstInBoundsGEP1_64(e.i8, e.arg_payload, 12), f32p, "x");
+  auto* x_bytes = e.b.CreateMul(n, llvm::ConstantInt::get(e.i64, 4));
+  auto* y_raw = e.b.CreateInBoundsGEP(
+      e.i8, e.b.CreateConstInBoundsGEP1_64(e.i8, e.arg_payload, 12), x_bytes);
+  auto* y_base = e.b.CreateBitCast(y_raw, f32p, "y");
+  auto* out_raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+  auto* out_base = e.b.CreateBitCast(out_raw, f32p, "out");
+
+  auto* entry_bb = e.b.GetInsertBlock();
+  auto* loop_bb = e.block("loop");
+  auto* body_bb = e.block("body");
+  auto* done_bb = e.block("done");
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(loop_bb);
+  auto* index = e.b.CreatePHI(e.i64, 2, "i");
+  index->addIncoming(llvm::ConstantInt::get(e.i64, 0), entry_bb);
+  e.b.CreateCondBr(e.b.CreateICmpULT(index, n, "more"), body_bb, done_bb);
+
+  e.b.SetInsertPoint(body_bb);
+  e.guard();
+  auto* xi = e.b.CreateLoad(
+      e.f32, e.b.CreateInBoundsGEP(e.f32, x_base, index), "xi");
+  auto* yi = e.b.CreateLoad(
+      e.f32, e.b.CreateInBoundsGEP(e.f32, y_base, index), "yi");
+  auto* axpy = e.b.CreateFAdd(e.b.CreateFMul(a, xi), yi, "axpy");
+  e.b.CreateStore(axpy, e.b.CreateInBoundsGEP(e.f32, out_base, index));
+  auto* next =
+      e.b.CreateAdd(index, llvm::ConstantInt::get(e.i64, 1), "next_i");
+  index->addIncoming(next, e.b.GetInsertBlock());
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(done_bb);
+  e.b.CreateRetVoid();
+}
+
+// Payload layout: [n:u64][x:f64*n]; writes the sum into *(double*)target.
+void emit_vec_reduce(Emitter& e) {
+  e.begin_entry();
+  auto* f64p = e.f64->getPointerTo();
+  auto* n = e.load_payload_u64(0, "n");
+  auto* x_base = e.b.CreateBitCast(
+      e.b.CreateConstInBoundsGEP1_64(e.i8, e.arg_payload, 8), f64p, "x");
+
+  auto* entry_bb = e.b.GetInsertBlock();
+  auto* loop_bb = e.block("loop");
+  auto* body_bb = e.block("body");
+  auto* done_bb = e.block("done");
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(loop_bb);
+  auto* index = e.b.CreatePHI(e.i64, 2, "i");
+  auto* acc = e.b.CreatePHI(e.f64, 2, "acc");
+  index->addIncoming(llvm::ConstantInt::get(e.i64, 0), entry_bb);
+  acc->addIncoming(llvm::ConstantFP::get(e.f64, 0.0), entry_bb);
+  e.b.CreateCondBr(e.b.CreateICmpULT(index, n, "more"), body_bb, done_bb);
+
+  e.b.SetInsertPoint(body_bb);
+  e.guard();
+  auto* xi = e.b.CreateLoad(
+      e.f64, e.b.CreateInBoundsGEP(e.f64, x_base, index), "xi");
+  auto* next_acc = e.b.CreateFAdd(acc, xi, "next_acc");
+  auto* next =
+      e.b.CreateAdd(index, llvm::ConstantInt::get(e.i64, 1), "next_i");
+  index->addIncoming(next, e.b.GetInsertBlock());
+  acc->addIncoming(next_acc, e.b.GetInsertBlock());
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(done_bb);
+  auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+  e.b.CreateStore(acc, e.b.CreateBitCast(raw, f64p, "out"));
+  e.b.CreateRetVoid();
+}
+
+// The DAPC chaser (paper §IV-C). Payload: [addr:u64][depth:u64].
+// Walks locally owned entries recursively (a loop after the tail-call
+// optimization the paper's C implementation also relies on); forwards
+// itself to the owning server when the next entry is remote; replies with
+// the final value when depth reaches zero.
+void emit_chaser(Emitter& e) {
+  e.begin_entry();
+  auto* shard_size =
+      e.b.CreateCall(e.hk_shard_size(), {e.arg_ctx}, "shard_size");
+  auto* self = e.b.CreateCall(e.hk_self_peer(), {e.arg_ctx}, "self");
+  auto* base = e.b.CreateCall(e.hk_shard_base(), {e.arg_ctx}, "base");
+  auto* addr0 = e.load_payload_u64(0, "addr0");
+  auto* depth0 = e.load_payload_u64(1, "depth0");
+  auto* entry_bb = e.b.GetInsertBlock();
+
+  auto* loop_bb = e.block("chase");
+  auto* local_bb = e.block("local");
+  auto* forward_bb = e.block("forward");
+  auto* step_bb = e.block("step");
+  auto* finish_bb = e.block("finish");
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(loop_bb);
+  auto* addr = e.b.CreatePHI(e.i64, 2, "addr");
+  auto* depth = e.b.CreatePHI(e.i64, 2, "depth");
+  addr->addIncoming(addr0, entry_bb);
+  depth->addIncoming(depth0, entry_bb);
+  auto* owner = e.b.CreateUDiv(addr, shard_size, "owner");
+  auto* is_local = e.b.CreateICmpEQ(owner, self, "is_local");
+  e.b.CreateCondBr(is_local, local_bb, forward_bb);
+
+  e.b.SetInsertPoint(forward_bb);
+  // Refresh the in-place payload and ship ourselves to the owning server.
+  e.store_payload_u64(0, addr);
+  e.store_payload_u64(1, depth);
+  e.b.CreateCall(e.hk_forward(),
+                 {e.arg_ctx, owner, e.arg_payload, e.arg_size});
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(local_bb);
+  e.guard();
+  auto* slot = e.b.CreateURem(addr, shard_size, "slot");
+  auto* value = e.b.CreateLoad(
+      e.i64, e.b.CreateInBoundsGEP(e.i64, base, slot), "value");
+  auto* next_depth =
+      e.b.CreateSub(depth, llvm::ConstantInt::get(e.i64, 1), "next_depth");
+  auto* exhausted = e.b.CreateICmpEQ(
+      next_depth, llvm::ConstantInt::get(e.i64, 0), "exhausted");
+  e.b.CreateCondBr(exhausted, finish_bb, step_bb);
+
+  e.b.SetInsertPoint(step_bb);
+  addr->addIncoming(value, step_bb);
+  depth->addIncoming(next_depth, step_bb);
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(finish_bb);
+  // ReturnResult: reply to the chain origin with the final value.
+  e.store_payload_u64(0, value);
+  e.b.CreateCall(e.hk_reply(),
+                 {e.arg_ctx, e.arg_payload, llvm::ConstantInt::get(e.i64, 8)});
+  e.b.CreateRetVoid();
+}
+
+// Payload: [ttl:u64][hops:u64]. Forwards itself around the peer ring until
+// ttl hits zero, then replies with the hop count.
+void emit_ring_hop(Emitter& e) {
+  e.begin_entry();
+  auto* ttl = e.load_payload_u64(0, "ttl");
+  auto* hops = e.load_payload_u64(1, "hops");
+  auto* done_bb = e.block("done");
+  auto* hop_bb = e.block("hop");
+  auto* is_done =
+      e.b.CreateICmpEQ(ttl, llvm::ConstantInt::get(e.i64, 0), "is_done");
+  e.b.CreateCondBr(is_done, done_bb, hop_bb);
+
+  e.b.SetInsertPoint(hop_bb);
+  e.guard();
+  e.store_payload_u64(
+      0, e.b.CreateSub(ttl, llvm::ConstantInt::get(e.i64, 1)));
+  e.store_payload_u64(
+      1, e.b.CreateAdd(hops, llvm::ConstantInt::get(e.i64, 1)));
+  auto* self = e.b.CreateCall(e.hk_self_peer(), {e.arg_ctx}, "self");
+  auto* count = e.b.CreateCall(e.hk_peer_count(), {e.arg_ctx}, "count");
+  auto* next = e.b.CreateURem(
+      e.b.CreateAdd(self, llvm::ConstantInt::get(e.i64, 1)), count, "next");
+  e.b.CreateCall(e.hk_forward(),
+                 {e.arg_ctx, next, e.arg_payload, e.arg_size});
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(done_bb);
+  e.b.CreateCall(e.hk_reply(),
+                 {e.arg_ctx, e.arg_payload,
+                  llvm::ConstantInt::get(e.i64, 16)});
+  e.b.CreateRetVoid();
+}
+
+// Payload: [peer:u64][arg:u64][name:NUL-terminated]. Injects the ifunc
+// registered locally under `name` to `peer` with an 8-byte payload `arg`.
+void emit_spawner(Emitter& e) {
+  e.begin_entry();
+  e.guard();
+  auto* peer = e.load_payload_u64(0, "peer");
+  auto* arg_ptr = e.payload_u64_ptr(1);
+  auto* name = e.b.CreateConstInBoundsGEP1_64(e.i8, e.arg_payload, 16, "name");
+  e.b.CreateCall(e.hk_inject(),
+                 {e.arg_ctx, peer, name,
+                  e.b.CreateBitCast(arg_ptr, e.i8p),
+                  llvm::ConstantInt::get(e.i64, 8)});
+  e.b.CreateRetVoid();
+}
+
+// Payload: [n:u64][x:f64*n]; computes sum(sin(x[i])) via libm into
+// *(double*)target. Exercises remote dynamic linking against a shared
+// library declared in the deps manifest.
+void emit_sin_sum(Emitter& e) {
+  e.begin_entry();
+  auto* f64p = e.f64->getPointerTo();
+  auto* n = e.load_payload_u64(0, "n");
+  auto* x_base = e.b.CreateBitCast(
+      e.b.CreateConstInBoundsGEP1_64(e.i8, e.arg_payload, 8), f64p, "x");
+
+  auto* entry_bb = e.b.GetInsertBlock();
+  auto* loop_bb = e.block("loop");
+  auto* body_bb = e.block("body");
+  auto* done_bb = e.block("done");
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(loop_bb);
+  auto* index = e.b.CreatePHI(e.i64, 2, "i");
+  auto* acc = e.b.CreatePHI(e.f64, 2, "acc");
+  index->addIncoming(llvm::ConstantInt::get(e.i64, 0), entry_bb);
+  acc->addIncoming(llvm::ConstantFP::get(e.f64, 0.0), entry_bb);
+  e.b.CreateCondBr(e.b.CreateICmpULT(index, n, "more"), body_bb, done_bb);
+
+  e.b.SetInsertPoint(body_bb);
+  e.guard();
+  auto* xi = e.b.CreateLoad(
+      e.f64, e.b.CreateInBoundsGEP(e.f64, x_base, index), "xi");
+  auto* sin_xi = e.b.CreateCall(e.libm_sin(), {xi}, "sin_xi");
+  auto* next_acc = e.b.CreateFAdd(acc, sin_xi, "next_acc");
+  auto* next =
+      e.b.CreateAdd(index, llvm::ConstantInt::get(e.i64, 1), "next_i");
+  index->addIncoming(next, e.b.GetInsertBlock());
+  acc->addIncoming(next_acc, e.b.GetInsertBlock());
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(done_bb);
+  auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+  e.b.CreateStore(acc, e.b.CreateBitCast(raw, f64p, "out"));
+  e.b.CreateRetVoid();
+}
+
+// Payload: [peer:u64][offset:u64][value:u64]. Writes `value` into the
+// exposed segment of `peer` at byte `offset` with a one-sided RDMA PUT
+// issued from inside the injected code, then replies with the hook status.
+void emit_remote_store(Emitter& e) {
+  e.begin_entry();
+  e.guard();
+  auto* peer = e.load_payload_u64(0, "peer");
+  auto* offset = e.load_payload_u64(1, "offset");
+  auto* value_ptr = e.b.CreateBitCast(e.payload_u64_ptr(2), e.i8p, "value");
+  auto* rc = e.b.CreateCall(
+      e.hk_remote_write(),
+      {e.arg_ctx, peer, offset, value_ptr, llvm::ConstantInt::get(e.i64, 8)},
+      "rc");
+  auto* rc_wide = e.b.CreateSExt(rc, e.i64, "rc_wide");
+  e.store_payload_u64(0, rc_wide);
+  e.b.CreateCall(e.hk_reply(),
+                 {e.arg_ctx, e.arg_payload, llvm::ConstantInt::get(e.i64, 8)});
+  e.b.CreateRetVoid();
+}
+
+// Welford's online algorithm over payload doubles [n:u64][x:f64*n].
+// target = double[3] {count, mean, M2}; updates in place so repeated
+// invocations stream (the "online" part).
+void emit_stats_summary(Emitter& e) {
+  e.begin_entry();
+  auto* f64p = e.f64->getPointerTo();
+  auto* n = e.load_payload_u64(0, "n");
+  auto* x_base = e.b.CreateBitCast(
+      e.b.CreateConstInBoundsGEP1_64(e.i8, e.arg_payload, 8), f64p, "x");
+  auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+  auto* state = e.b.CreateBitCast(raw, f64p, "state");
+  auto* count_ptr = state;
+  auto* mean_ptr = e.b.CreateConstInBoundsGEP1_64(e.f64, state, 1);
+  auto* m2_ptr = e.b.CreateConstInBoundsGEP1_64(e.f64, state, 2);
+  auto* count0 = e.b.CreateLoad(e.f64, count_ptr, "count0");
+  auto* mean0 = e.b.CreateLoad(e.f64, mean_ptr, "mean0");
+  auto* m20 = e.b.CreateLoad(e.f64, m2_ptr, "m20");
+  auto* entry_bb = e.b.GetInsertBlock();
+
+  auto* loop_bb = e.block("loop");
+  auto* body_bb = e.block("body");
+  auto* done_bb = e.block("done");
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(loop_bb);
+  auto* index = e.b.CreatePHI(e.i64, 2, "i");
+  auto* count = e.b.CreatePHI(e.f64, 2, "count");
+  auto* mean = e.b.CreatePHI(e.f64, 2, "mean");
+  auto* m2 = e.b.CreatePHI(e.f64, 2, "m2");
+  index->addIncoming(llvm::ConstantInt::get(e.i64, 0), entry_bb);
+  count->addIncoming(count0, entry_bb);
+  mean->addIncoming(mean0, entry_bb);
+  m2->addIncoming(m20, entry_bb);
+  e.b.CreateCondBr(e.b.CreateICmpULT(index, n, "more"), body_bb, done_bb);
+
+  e.b.SetInsertPoint(body_bb);
+  e.guard();
+  auto* xi = e.b.CreateLoad(
+      e.f64, e.b.CreateInBoundsGEP(e.f64, x_base, index), "xi");
+  // count' = count + 1; delta = x - mean; mean' = mean + delta / count';
+  // M2' = M2 + delta * (x - mean').
+  auto* count1 = e.b.CreateFAdd(count, llvm::ConstantFP::get(e.f64, 1.0));
+  auto* delta = e.b.CreateFSub(xi, mean, "delta");
+  auto* mean1 =
+      e.b.CreateFAdd(mean, e.b.CreateFDiv(delta, count1), "mean1");
+  auto* delta2 = e.b.CreateFSub(xi, mean1, "delta2");
+  auto* m21 = e.b.CreateFAdd(m2, e.b.CreateFMul(delta, delta2), "m21");
+  auto* next =
+      e.b.CreateAdd(index, llvm::ConstantInt::get(e.i64, 1), "next_i");
+  index->addIncoming(next, e.b.GetInsertBlock());
+  count->addIncoming(count1, e.b.GetInsertBlock());
+  mean->addIncoming(mean1, e.b.GetInsertBlock());
+  m2->addIncoming(m21, e.b.GetInsertBlock());
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(done_bb);
+  e.b.CreateStore(count, count_ptr);
+  e.b.CreateStore(mean, mean_ptr);
+  e.b.CreateStore(m2, m2_ptr);
+  e.b.CreateRetVoid();
+}
+
+// Payload: [base:u64][span:u64][value:u64]. Covers peers [base, base+span):
+// delivers `value` locally (target = u64[2] {value_slot, arrival_count}),
+// and recursively forwards itself to the midpoint of the upper half until
+// every peer in the range is covered — a binomial broadcast tree.
+void emit_tree_broadcast(Emitter& e) {
+  e.begin_entry();
+  auto* base0 = e.load_payload_u64(0, "base0");
+  auto* span0 = e.load_payload_u64(1, "span0");
+  auto* value = e.load_payload_u64(2, "value");
+  auto* entry_bb = e.b.GetInsertBlock();
+
+  auto* loop_bb = e.block("split");
+  auto* fan_bb = e.block("fan");
+  auto* done_bb = e.block("done");
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(loop_bb);
+  auto* base = e.b.CreatePHI(e.i64, 2, "base");
+  auto* span = e.b.CreatePHI(e.i64, 2, "span");
+  base->addIncoming(base0, entry_bb);
+  span->addIncoming(span0, entry_bb);
+  auto* leaf = e.b.CreateICmpULE(
+      span, llvm::ConstantInt::get(e.i64, 1), "leaf");
+  e.b.CreateCondBr(leaf, done_bb, fan_bb);
+
+  e.b.SetInsertPoint(fan_bb);
+  e.guard();
+  // mid = (span + 1) / 2: this node keeps [base, base+mid), delegates
+  // [base+mid, base+span) to the peer at base+mid.
+  auto* mid = e.b.CreateUDiv(
+      e.b.CreateAdd(span, llvm::ConstantInt::get(e.i64, 1)),
+      llvm::ConstantInt::get(e.i64, 2), "mid");
+  auto* right_base = e.b.CreateAdd(base, mid, "right_base");
+  auto* right_span = e.b.CreateSub(span, mid, "right_span");
+  e.store_payload_u64(0, right_base);
+  e.store_payload_u64(1, right_span);
+  e.b.CreateCall(e.hk_forward(),
+                 {e.arg_ctx, right_base, e.arg_payload, e.arg_size});
+  base->addIncoming(base, fan_bb);
+  span->addIncoming(mid, fan_bb);
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(done_bb);
+  auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+  auto* slot = e.b.CreateBitCast(raw, e.i64p, "slot");
+  e.b.CreateStore(value, slot);
+  auto* count_ptr = e.b.CreateConstInBoundsGEP1_64(e.i64, slot, 1);
+  auto* count = e.b.CreateLoad(e.i64, count_ptr, "count");
+  e.b.CreateStore(
+      e.b.CreateAdd(count, llvm::ConstantInt::get(e.i64, 1)), count_ptr);
+  e.b.CreateRetVoid();
+}
+
+}  // namespace
+
+const char* kernel_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kTargetSideIncrement: return "tsi";
+    case KernelKind::kPayloadSum: return "payload_sum";
+    case KernelKind::kSaxpy: return "saxpy";
+    case KernelKind::kVecReduce: return "vec_reduce";
+    case KernelKind::kChaser: return "dapc_chaser";
+    case KernelKind::kRingHop: return "ring_hop";
+    case KernelKind::kSpawner: return "spawner";
+    case KernelKind::kSinSum: return "sin_sum";
+    case KernelKind::kRemoteStore: return "remote_store";
+    case KernelKind::kStatsSummary: return "stats_summary";
+    case KernelKind::kTreeBroadcast: return "tree_broadcast";
+  }
+  return "unknown";
+}
+
+const char* kernel_description(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kTargetSideIncrement:
+      return "increments a 64-bit counter on the target node";
+    case KernelKind::kPayloadSum:
+      return "sums the payload bytes into the target word";
+    case KernelKind::kSaxpy:
+      return "single-precision a*x+y over payload arrays";
+    case KernelKind::kVecReduce:
+      return "sums a double array from the payload";
+    case KernelKind::kChaser:
+      return "X-RDMA distributed adaptive pointer chaser";
+    case KernelKind::kRingHop:
+      return "self-propagating ring traversal with TTL";
+    case KernelKind::kSpawner:
+      return "injects another registered ifunc chosen from its payload";
+    case KernelKind::kSinSum:
+      return "sums sin(x) over payload doubles via the libm dependency";
+    case KernelKind::kRemoteStore:
+      return "writes a value into a peer's exposed segment (X-RDMA PUT)";
+    case KernelKind::kStatsSummary:
+      return "streaming Welford statistics over payload doubles";
+    case KernelKind::kTreeBroadcast:
+      return "self-propagating binomial-tree broadcast across peers";
+  }
+  return "";
+}
+
+StatusOr<std::unique_ptr<llvm::Module>> build_kernel(
+    llvm::LLVMContext& context, KernelKind kind,
+    const TargetDescriptor& target, const KernelOptions& options) {
+  initialize_llvm();
+  TC_ASSIGN_OR_RETURN(auto machine, make_target_machine(target));
+
+  auto module = std::make_unique<llvm::Module>(kernel_name(kind), context);
+  module->setTargetTriple(normalize_triple(target.triple));
+  module->setDataLayout(machine->createDataLayout());
+
+  Emitter e(context, *module, options.hll_guards);
+  switch (kind) {
+    case KernelKind::kTargetSideIncrement: emit_tsi(e); break;
+    case KernelKind::kPayloadSum: emit_payload_sum(e); break;
+    case KernelKind::kSaxpy: emit_saxpy(e); break;
+    case KernelKind::kVecReduce: emit_vec_reduce(e); break;
+    case KernelKind::kChaser: emit_chaser(e); break;
+    case KernelKind::kRingHop: emit_ring_hop(e); break;
+    case KernelKind::kSpawner: emit_spawner(e); break;
+    case KernelKind::kSinSum: emit_sin_sum(e); break;
+    case KernelKind::kRemoteStore: emit_remote_store(e); break;
+    case KernelKind::kStatsSummary: emit_stats_summary(e); break;
+    case KernelKind::kTreeBroadcast: emit_tree_broadcast(e); break;
+  }
+  TC_RETURN_IF_ERROR(verify_module(*module));
+  return module;
+}
+
+StatusOr<FatBitcode> build_fat_kernel(KernelKind kind,
+                                      std::span<const TargetDescriptor> targets,
+                                      const KernelOptions& options) {
+  if (targets.empty()) {
+    return invalid_argument("build_fat_kernel: no targets");
+  }
+  FatBitcode archive(CodeRepr::kBitcode);
+  for (const TargetDescriptor& target : targets) {
+    llvm::LLVMContext context;
+    TC_ASSIGN_OR_RETURN(auto module,
+                        build_kernel(context, kind, target, options));
+    TC_RETURN_IF_ERROR(
+        archive.add_entry(target, module_to_bitcode(*module)));
+  }
+  return archive;
+}
+
+StatusOr<FatBitcode> build_default_fat_kernel(KernelKind kind,
+                                              const KernelOptions& options) {
+  const auto targets = default_fat_targets();
+  return build_fat_kernel(kind, targets, options);
+}
+
+}  // namespace tc::ir

@@ -1,0 +1,95 @@
+#include "ir/target_info.hpp"
+
+#include <mutex>
+
+#include <llvm/ADT/StringMap.h>
+#include <llvm/ADT/Triple.h>
+#include <llvm/MC/TargetRegistry.h>
+#include <llvm/Support/Host.h>
+#include <llvm/Support/TargetSelect.h>
+
+namespace tc::ir {
+
+void initialize_llvm() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    llvm::InitializeAllTargetInfos();
+    llvm::InitializeAllTargets();
+    llvm::InitializeAllTargetMCs();
+    llvm::InitializeAllAsmPrinters();
+    llvm::InitializeAllAsmParsers();
+  });
+}
+
+std::string host_triple() {
+  return normalize_triple(llvm::sys::getDefaultTargetTriple());
+}
+
+TargetDescriptor host_descriptor() {
+  TargetDescriptor desc;
+  desc.triple = host_triple();
+  desc.cpu = llvm::sys::getHostCPUName().str();
+  llvm::StringMap<bool> feature_map;
+  if (llvm::sys::getHostCPUFeatures(feature_map)) {
+    std::string features;
+    for (const auto& entry : feature_map) {
+      if (!features.empty()) features += ",";
+      features += (entry.second ? "+" : "-");
+      features += entry.first();
+    }
+    desc.features = features;
+  }
+  return desc;
+}
+
+std::vector<TargetDescriptor> default_fat_targets() {
+  initialize_llvm();
+  std::vector<TargetDescriptor> targets;
+  const std::string host = host_triple();
+  // Host entry first (tuned for the local CPU), then the other major ISA of
+  // the paper's testbeds with a generic CPU model.
+  TargetDescriptor host_desc = host_descriptor();
+  // Feature strings from getHostCPUFeatures can be very long; the archive
+  // stores them verbatim, so trim to the CPU name only — the JIT re-derives
+  // features from the CPU model.
+  host_desc.features.clear();
+  targets.push_back(host_desc);
+  if (llvm::Triple(host).getArch() == llvm::Triple::x86_64) {
+    targets.push_back({kTripleAArch64, "cortex-a72", ""});
+  } else {
+    targets.push_back({kTripleX86, "x86-64", ""});
+  }
+  return targets;
+}
+
+StatusOr<std::unique_ptr<llvm::TargetMachine>> make_target_machine(
+    const TargetDescriptor& desc, llvm::CodeGenOpt::Level opt_level) {
+  initialize_llvm();
+  std::string error;
+  const llvm::Target* target =
+      llvm::TargetRegistry::lookupTarget(desc.triple, error);
+  if (target == nullptr) {
+    return bad_bitcode("no LLVM target for triple '" + desc.triple +
+                       "': " + error);
+  }
+  llvm::TargetOptions options;
+  std::unique_ptr<llvm::TargetMachine> machine(target->createTargetMachine(
+      desc.triple, desc.cpu, desc.features, options, llvm::Reloc::PIC_,
+      llvm::None, opt_level, /*JIT=*/true));
+  if (machine == nullptr) {
+    return internal_error("createTargetMachine failed for " + desc.triple);
+  }
+  return machine;
+}
+
+bool triple_is_host_compatible(const std::string& triple) {
+  llvm::Triple host(host_triple());
+  llvm::Triple other(normalize_triple(triple));
+  return host.getArch() == other.getArch() && host.getOS() == other.getOS();
+}
+
+std::string normalize_triple(const std::string& triple) {
+  return llvm::Triple::normalize(triple);
+}
+
+}  // namespace tc::ir

@@ -1,0 +1,54 @@
+// Target-triple utilities: host detection, the set of triples a fat-bitcode
+// archive is built for, and TargetMachine construction (optionally tuned to
+// a specific µarch — the paper's "optimize for the target micro-architecture"
+// capability, e.g. SVE on A64FX or AVX2 on Xeon).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <llvm/Target/TargetMachine.h>
+
+#include "common/status.hpp"
+
+namespace tc::ir {
+
+/// Canonical triples used throughout the reproduction.
+inline constexpr const char* kTripleX86 = "x86_64-pc-linux-gnu";
+inline constexpr const char* kTripleAArch64 = "aarch64-unknown-linux-gnu";
+
+/// Describes the code-generation target for one bitcode archive entry.
+struct TargetDescriptor {
+  std::string triple;
+  std::string cpu;       ///< e.g. "a64fx", "cortex-a72", "broadwell"
+  std::string features;  ///< e.g. "+sve", "+avx2"
+
+  bool operator==(const TargetDescriptor&) const = default;
+};
+
+/// Initializes every LLVM backend exactly once (idempotent, thread-safe).
+void initialize_llvm();
+
+/// The triple of the process we are running in.
+std::string host_triple();
+
+/// Host CPU name + feature string as LLVM reports them.
+TargetDescriptor host_descriptor();
+
+/// The default multi-ISA set shipped in fat-bitcode archives: the host
+/// triple plus the "other" major ISA of the paper's testbeds.
+std::vector<TargetDescriptor> default_fat_targets();
+
+/// Creates a TargetMachine for `desc` (PIC relocation, JIT-compatible).
+StatusOr<std::unique_ptr<llvm::TargetMachine>> make_target_machine(
+    const TargetDescriptor& desc, llvm::CodeGenOpt::Level opt_level =
+                                      llvm::CodeGenOpt::Default);
+
+/// True if bitcode built for `triple` can execute in this process.
+bool triple_is_host_compatible(const std::string& triple);
+
+/// Normalizes a triple string (e.g. arm64 -> aarch64) for matching.
+std::string normalize_triple(const std::string& triple);
+
+}  // namespace tc::ir

@@ -1,0 +1,69 @@
+#include "ir/textual.hpp"
+
+#include <llvm/AsmParser/Parser.h>
+#include <llvm/IR/LLVMContext.h>
+#include <llvm/IR/Module.h>
+#include <llvm/Support/SourceMgr.h>
+#include <llvm/Support/raw_ostream.h>
+
+#include "ir/abi.hpp"
+#include "ir/bitcode.hpp"
+
+namespace tc::ir {
+
+namespace {
+
+StatusOr<Bytes> ll_to_bitcode(std::string_view ll_source,
+                              const TargetDescriptor& target) {
+  llvm::LLVMContext context;
+  llvm::SMDiagnostic diag;
+  std::unique_ptr<llvm::Module> module = llvm::parseAssemblyString(
+      llvm::StringRef(ll_source.data(), ll_source.size()), diag, context);
+  if (module == nullptr) {
+    std::string message;
+    llvm::raw_string_ostream os(message);
+    diag.print("ll", os, /*ShowColors=*/false);
+    return bad_bitcode("parse .ll: " + os.str());
+  }
+
+  const llvm::Function* entry = module->getFunction(abi::kEntryName);
+  if (entry == nullptr || entry->isDeclaration()) {
+    return bad_bitcode(std::string(".ll source does not define ") +
+                       abi::kEntryName);
+  }
+
+  TC_ASSIGN_OR_RETURN(auto machine, make_target_machine(target));
+  module->setTargetTriple(normalize_triple(target.triple));
+  module->setDataLayout(machine->createDataLayout());
+  TC_RETURN_IF_ERROR(verify_module(*module));
+  return module_to_bitcode(*module);
+}
+
+}  // namespace
+
+StatusOr<FatBitcode> archive_from_ll(
+    std::string_view ll_source, std::span<const TargetDescriptor> targets) {
+  if (targets.empty()) return invalid_argument("archive_from_ll: no targets");
+  FatBitcode archive(CodeRepr::kBitcode);
+  for (const TargetDescriptor& target : targets) {
+    TC_ASSIGN_OR_RETURN(Bytes bitcode, ll_to_bitcode(ll_source, target));
+    TC_RETURN_IF_ERROR(archive.add_entry(target, std::move(bitcode)));
+  }
+  return archive;
+}
+
+StatusOr<FatBitcode> archive_from_ll(std::string_view ll_source) {
+  const auto targets = default_fat_targets();
+  return archive_from_ll(ll_source, targets);
+}
+
+StatusOr<std::string> bitcode_to_ll(ByteSpan bitcode) {
+  llvm::LLVMContext context;
+  TC_ASSIGN_OR_RETURN(auto module, bitcode_to_module(bitcode, context));
+  std::string text;
+  llvm::raw_string_ostream os(text);
+  module->print(os, nullptr);
+  return os.str();
+}
+
+}  // namespace tc::ir

@@ -1,0 +1,34 @@
+// Textual-IR frontend: author ifunc libraries as LLVM assembly (.ll).
+//
+// The paper's users write ifuncs in C (or Julia) and the toolchain lowers
+// them to per-triple bitcode. Without a C compiler in this environment, the
+// closest user-facing authoring path is LLVM assembly: the source is parsed
+// once per target triple, retargeted (triple + datalayout), verified to
+// export the tc_main entry, and packed into a fat-bitcode archive exactly
+// like the built-in kernels.
+//
+// The .ll source should leave the target triple/datalayout unset (they are
+// stamped per archive entry) and must define:
+//     define void @tc_main(i8* %ctx, i8* %payload, i64 %size)
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "ir/fat_bitcode.hpp"
+#include "ir/target_info.hpp"
+
+namespace tc::ir {
+
+/// Parses `ll_source` for each target and packs a fat-bitcode archive.
+StatusOr<FatBitcode> archive_from_ll(std::string_view ll_source,
+                                     std::span<const TargetDescriptor> targets);
+
+/// Convenience: archive for default_fat_targets().
+StatusOr<FatBitcode> archive_from_ll(std::string_view ll_source);
+
+/// Disassembles one bitcode buffer back to textual IR (inspection tooling).
+StatusOr<std::string> bitcode_to_ll(ByteSpan bitcode);
+
+}  // namespace tc::ir

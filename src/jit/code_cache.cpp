@@ -1,0 +1,46 @@
+#include "jit/code_cache.hpp"
+
+namespace tc::jit {
+
+CachedIfunc* CodeCache::find(std::uint64_t ifunc_id) {
+  auto it = entries_.find(ifunc_id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  it->second.last_used_tick = ++tick_;
+  return &it->second;
+}
+
+Status CodeCache::insert(std::uint64_t ifunc_id, CachedIfunc ifunc,
+                         std::uint64_t* evicted) {
+  if (entries_.contains(ifunc_id)) {
+    return already_exists("ifunc " + std::to_string(ifunc_id) +
+                          " already cached");
+  }
+  if (capacity_ != 0 && entries_.size() >= capacity_) {
+    auto lru = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used_tick < lru->second.last_used_tick) lru = it;
+    }
+    if (evicted != nullptr) *evicted = lru->first;
+    entries_.erase(lru);
+    ++stats_.evictions;
+  }
+  ifunc.last_used_tick = ++tick_;
+  stats_.total_compile_ns += ifunc.compile_stats.parse_ns +
+                             ifunc.compile_stats.optimize_ns +
+                             ifunc.compile_stats.compile_ns;
+  entries_.emplace(ifunc_id, ifunc);
+  return Status::ok();
+}
+
+Status CodeCache::erase(std::uint64_t ifunc_id) {
+  if (entries_.erase(ifunc_id) == 0) {
+    return not_found("ifunc " + std::to_string(ifunc_id) + " not cached");
+  }
+  return Status::ok();
+}
+
+}  // namespace tc::jit

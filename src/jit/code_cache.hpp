@@ -1,0 +1,62 @@
+// CodeCache: the target-side registry of already-materialized ifuncs,
+// keyed by ifunc wire identity. A hit skips parse/optimize/compile entirely
+// and the frame sender may truncate the code section (paper §III-D).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "ir/abi.hpp"
+#include "jit/engine.hpp"
+
+namespace tc::jit {
+
+struct CachedIfunc {
+  abi::EntryFn entry = nullptr;
+  CompileStats compile_stats;
+  std::uint64_t invocations = 0;
+  std::uint64_t last_used_tick = 0;
+};
+
+class CodeCache {
+ public:
+  /// capacity 0 = unbounded. A bounded cache evicts its least-recently-used
+  /// entry on insert (the eviction is reported to the caller, which must
+  /// release the JIT resources — see Runtime).
+  explicit CodeCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Looks up by 64-bit ifunc identity; counts a hit or miss and freshens
+  /// the entry's LRU position.
+  CachedIfunc* find(std::uint64_t ifunc_id);
+
+  /// Inserts a newly compiled ifunc. Fails with kAlreadyExists on repeats —
+  /// a repeated full frame for a cached ifunc is a protocol anomaly the
+  /// runtime tolerates but the cache reports. When the cache is full, the
+  /// LRU entry is evicted and its id stored in `evicted` (if non-null).
+  Status insert(std::uint64_t ifunc_id, CachedIfunc ifunc,
+                std::uint64_t* evicted = nullptr);
+
+  Status erase(std::uint64_t ifunc_id);
+
+  bool contains(std::uint64_t ifunc_id) const {
+    return entries_.contains(ifunc_id);
+  }
+  std::size_t size() const { return entries_.size(); }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::int64_t total_compile_ns = 0;  ///< JIT time the cache amortizes
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::unordered_map<std::uint64_t, CachedIfunc> entries_;
+  Stats stats_;
+};
+
+}  // namespace tc::jit

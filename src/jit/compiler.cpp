@@ -1,0 +1,56 @@
+#include "jit/compiler.hpp"
+
+#include <llvm/IR/LegacyPassManager.h>
+#include <llvm/Support/raw_ostream.h>
+
+#include "ir/bitcode.hpp"
+
+namespace tc::jit {
+
+StatusOr<Bytes> compile_to_object(llvm::Module& module,
+                                  const ir::TargetDescriptor& target,
+                                  OptLevel level) {
+  TC_ASSIGN_OR_RETURN(auto machine, ir::make_target_machine(target));
+  const std::string module_triple =
+      ir::normalize_triple(module.getTargetTriple());
+  const std::string want_triple = ir::normalize_triple(target.triple);
+  if (module_triple != want_triple) {
+    return invalid_argument("compile_to_object: module triple " +
+                            module_triple + " != target " + want_triple);
+  }
+  TC_RETURN_IF_ERROR(optimize_module(module, *machine, level));
+
+  llvm::SmallVector<char, 0> buffer;
+  llvm::raw_svector_ostream os(buffer);
+  llvm::legacy::PassManager pm;
+  if (machine->addPassesToEmitFile(pm, os, nullptr,
+                                   llvm::CGFT_ObjectFile)) {
+    return jit_failure("target " + want_triple +
+                       " cannot emit object files");
+  }
+  pm.run(module);
+  return Bytes(buffer.begin(), buffer.end());
+}
+
+StatusOr<ir::FatBitcode> compile_archive_to_objects(
+    const ir::FatBitcode& bitcode_archive, OptLevel level) {
+  if (bitcode_archive.repr() != ir::CodeRepr::kBitcode) {
+    return invalid_argument(
+        "compile_archive_to_objects: archive is not bitcode");
+  }
+  ir::FatBitcode out(ir::CodeRepr::kObject);
+  for (const ir::ArchiveEntry& entry : bitcode_archive.entries()) {
+    llvm::LLVMContext context;
+    TC_ASSIGN_OR_RETURN(
+        auto module, ir::bitcode_to_module(as_span(entry.code), context));
+    TC_ASSIGN_OR_RETURN(Bytes object,
+                        compile_to_object(*module, entry.target, level));
+    TC_RETURN_IF_ERROR(out.add_entry(entry.target, std::move(object)));
+  }
+  for (const std::string& dep : bitcode_archive.dependencies()) {
+    out.add_dependency(dep);
+  }
+  return out;
+}
+
+}  // namespace tc::jit

@@ -1,0 +1,227 @@
+#include "jit/engine.hpp"
+
+#include <chrono>
+
+#include <llvm/ExecutionEngine/Orc/ExecutionUtils.h>
+#include <llvm/ExecutionEngine/Orc/JITTargetMachineBuilder.h>
+#include <llvm/ExecutionEngine/Orc/ThreadSafeModule.h>
+#include <llvm/Support/MemoryBuffer.h>
+
+#include "ir/bitcode.hpp"
+#include "ir/target_info.hpp"
+
+namespace tc::jit {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string llvm_error_string(llvm::Error err) {
+  return llvm::toString(std::move(err));
+}
+
+llvm::CodeGenOpt::Level codegen_level(OptLevel level) {
+  switch (level) {
+    case OptLevel::kO0: return llvm::CodeGenOpt::None;
+    case OptLevel::kO1: return llvm::CodeGenOpt::Less;
+    case OptLevel::kO2: return llvm::CodeGenOpt::Default;
+    case OptLevel::kO3: return llvm::CodeGenOpt::Aggressive;
+  }
+  return llvm::CodeGenOpt::Default;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<OrcEngine>> OrcEngine::create(
+    const EngineOptions& options) {
+  ir::initialize_llvm();
+
+  auto jtmb_or = options.tune_for_host
+                     ? llvm::orc::JITTargetMachineBuilder::detectHost()
+                     : llvm::orc::JITTargetMachineBuilder(
+                           llvm::Triple(ir::host_triple()));
+  if (!jtmb_or) {
+    return jit_failure("detectHost: " +
+                       llvm_error_string(jtmb_or.takeError()));
+  }
+  jtmb_or->setCodeGenOptLevel(codegen_level(options.opt_level));
+
+  auto jit_or = llvm::orc::LLJITBuilder()
+                    .setJITTargetMachineBuilder(std::move(*jtmb_or))
+                    .create();
+  if (!jit_or) {
+    return jit_failure("LLJITBuilder: " +
+                       llvm_error_string(jit_or.takeError()));
+  }
+
+  auto engine = std::unique_ptr<OrcEngine>(new OrcEngine());
+  engine->jit_ = std::move(*jit_or);
+  engine->options_ = options;
+  engine->triple_ =
+      engine->jit_->getTargetTriple().str();
+  return engine;
+}
+
+OrcEngine::~OrcEngine() = default;
+
+StatusOr<llvm::orc::JITDylib*> OrcEngine::make_dylib(
+    const std::string& name, const std::vector<std::string>& deps) {
+  auto dylib_or = jit_->createJITDylib(name);
+  if (!dylib_or) {
+    return jit_failure("createJITDylib(" + name + "): " +
+                       llvm_error_string(dylib_or.takeError()));
+  }
+  llvm::orc::JITDylib& dylib = *dylib_or;
+
+  // Source 0: explicit absolute definitions of the runtime hooks, so JIT'd
+  // ifuncs link against this runtime even in fully static executables.
+  if (!options_.extra_symbols.empty()) {
+    llvm::orc::SymbolMap hooks;
+    for (const auto& [sym_name, address] : options_.extra_symbols) {
+      hooks[jit_->mangleAndIntern(sym_name)] = llvm::JITEvaluatedSymbol(
+          static_cast<llvm::JITTargetAddress>(
+              reinterpret_cast<std::uintptr_t>(address)),
+          llvm::JITSymbolFlags::Exported | llvm::JITSymbolFlags::Callable);
+    }
+    if (auto err = dylib.define(llvm::orc::absoluteSymbols(std::move(hooks)))) {
+      return jit_failure("define hooks: " +
+                         llvm_error_string(std::move(err)));
+    }
+  }
+
+  const char prefix = jit_->getDataLayout().getGlobalPrefix();
+  // Source 1: the host process — runtime hooks and libc.
+  auto process_gen =
+      llvm::orc::DynamicLibrarySearchGenerator::GetForCurrentProcess(prefix);
+  if (!process_gen) {
+    return jit_failure("process symbol generator: " +
+                       llvm_error_string(process_gen.takeError()));
+  }
+  dylib.addGenerator(std::move(*process_gen));
+
+  // Source 2: the declared dependency manifest (`foo.deps`), dlopen'ed now,
+  // before invocation — matching the paper's workflow.
+  for (const std::string& dep : deps) {
+    auto dep_gen = llvm::orc::DynamicLibrarySearchGenerator::Load(
+        dep.c_str(), prefix);
+    if (!dep_gen) {
+      return not_found("dependency '" + dep +
+                       "': " + llvm_error_string(dep_gen.takeError()));
+    }
+    dylib.addGenerator(std::move(*dep_gen));
+  }
+  return &dylib;
+}
+
+StatusOr<abi::EntryFn> OrcEngine::add_ifunc_bitcode(
+    const std::string& name, ByteSpan bitcode,
+    const std::vector<std::string>& deps, CompileStats* stats) {
+  CompileStats local_stats;
+  local_stats.code_bytes = bitcode.size();
+
+  const std::int64_t t0 = now_ns();
+  auto context = std::make_unique<llvm::LLVMContext>();
+  auto module_or = ir::bitcode_to_module(bitcode, *context, name);
+  if (!module_or.is_ok()) return module_or.status();
+  std::unique_ptr<llvm::Module> module = std::move(module_or).value();
+  const std::int64_t t1 = now_ns();
+  local_stats.parse_ns = t1 - t0;
+
+  // Retarget the portable bitcode at the *local* machine and optimize with
+  // its µarch in view (the fat-bitcode entry may carry a generic CPU).
+  {
+    ir::TargetDescriptor host = ir::host_descriptor();
+    if (!options_.tune_for_host) host.cpu.clear(), host.features.clear();
+    if (!ir::triple_is_host_compatible(module->getTargetTriple())) {
+      return bad_bitcode("module triple " + module->getTargetTriple() +
+                         " does not run on host " + triple_);
+    }
+    TC_ASSIGN_OR_RETURN(auto machine, ir::make_target_machine(host));
+    module->setDataLayout(machine->createDataLayout());
+    TC_RETURN_IF_ERROR(
+        optimize_module(*module, *machine, options_.opt_level));
+  }
+  const std::int64_t t2 = now_ns();
+  local_stats.optimize_ns = t2 - t1;
+
+  TC_ASSIGN_OR_RETURN(llvm::orc::JITDylib * dylib, make_dylib(name, deps));
+  if (auto err = jit_->addIRModule(
+          *dylib, llvm::orc::ThreadSafeModule(std::move(module),
+                                              std::move(context)))) {
+    return jit_failure("addIRModule(" + name + "): " +
+                       llvm_error_string(std::move(err)));
+  }
+  auto entry_or = jit_->lookup(*dylib, abi::kEntryName);
+  if (!entry_or) {
+    return jit_failure("lookup " + std::string(abi::kEntryName) + " in " +
+                       name + ": " + llvm_error_string(entry_or.takeError()));
+  }
+  local_stats.compile_ns = now_ns() - t2;
+  ++library_count_;
+  if (stats != nullptr) *stats = local_stats;
+  return reinterpret_cast<abi::EntryFn>(
+      static_cast<std::uintptr_t>(entry_or->getAddress()));
+}
+
+StatusOr<abi::EntryFn> OrcEngine::add_ifunc_object(
+    const std::string& name, ByteSpan object,
+    const std::vector<std::string>& deps, CompileStats* stats) {
+  CompileStats local_stats;
+  local_stats.code_bytes = object.size();
+
+  const std::int64_t t0 = now_ns();
+  TC_ASSIGN_OR_RETURN(llvm::orc::JITDylib * dylib, make_dylib(name, deps));
+  auto buffer = llvm::MemoryBuffer::getMemBufferCopy(
+      llvm::StringRef(reinterpret_cast<const char*>(object.data()),
+                      object.size()),
+      name);
+  if (auto err = jit_->addObjectFile(*dylib, std::move(buffer))) {
+    return jit_failure("addObjectFile(" + name + "): " +
+                       llvm_error_string(std::move(err)));
+  }
+  auto entry_or = jit_->lookup(*dylib, abi::kEntryName);
+  if (!entry_or) {
+    return jit_failure("lookup " + std::string(abi::kEntryName) + " in " +
+                       name + ": " + llvm_error_string(entry_or.takeError()));
+  }
+  local_stats.compile_ns = now_ns() - t0;  // pure link cost
+  ++library_count_;
+  if (stats != nullptr) *stats = local_stats;
+  return reinterpret_cast<abi::EntryFn>(
+      static_cast<std::uintptr_t>(entry_or->getAddress()));
+}
+
+Status OrcEngine::remove_library(const std::string& ifunc_name) {
+  llvm::orc::JITDylib* dylib =
+      jit_->getExecutionSession().getJITDylibByName(ifunc_name);
+  if (dylib == nullptr) {
+    return not_found("no ifunc library named " + ifunc_name);
+  }
+  if (auto err = jit_->getExecutionSession().removeJITDylib(*dylib)) {
+    return jit_failure("removeJITDylib(" + ifunc_name +
+                       "): " + llvm_error_string(std::move(err)));
+  }
+  --library_count_;
+  return Status::ok();
+}
+
+StatusOr<std::uint64_t> OrcEngine::lookup(const std::string& ifunc_name,
+                                          const std::string& symbol) {
+  llvm::orc::JITDylib* dylib =
+      jit_->getExecutionSession().getJITDylibByName(ifunc_name);
+  if (dylib == nullptr) {
+    return not_found("no ifunc library named " + ifunc_name);
+  }
+  auto sym_or = jit_->lookup(*dylib, symbol);
+  if (!sym_or) {
+    return not_found("symbol " + symbol + " in " + ifunc_name + ": " +
+                     llvm_error_string(sym_or.takeError()));
+  }
+  return sym_or->getAddress();
+}
+
+}  // namespace tc::jit

@@ -1,0 +1,98 @@
+// OrcEngine: the per-node JIT, wrapping LLVM ORC's LLJIT.
+//
+// Each receiving runtime owns one engine. Every ifunc library materializes
+// into its own JITDylib (so each can export the same `tc_main` entry), with
+// two symbol sources attached:
+//   1. the host process itself — resolving the tc_ctx_* runtime hooks, i.e.
+//      remotely injected code dynamically links against the communication
+//      runtime (the paper's headline linking capability), and
+//   2. the ifunc's declared shared-library dependencies, dlopen'ed on demand
+//      (the `.deps` manifest).
+//
+// Both representations land here: bitcode is optimized + compiled by ORC;
+// pre-compiled relocatable objects are only linked (RuntimeDyld), which is
+// the binary-ifunc fast path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <llvm/ExecutionEngine/Orc/LLJIT.h>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "ir/abi.hpp"
+#include "jit/optimizer.hpp"
+
+namespace tc::jit {
+
+struct EngineOptions {
+  OptLevel opt_level = OptLevel::kO2;
+  /// Tune codegen for the host µarch (CPU name + features), the paper's
+  /// "emit machine code specialized for the CPU it is running on".
+  bool tune_for_host = true;
+  /// Host symbols injected into every ifunc dylib as absolute definitions
+  /// (the tc_ctx_* runtime hooks). Entries are (symbol name, address).
+  /// Explicit definitions keep the link independent of whether the hosting
+  /// executable exported its symbols dynamically (-rdynamic).
+  std::vector<std::pair<std::string, void*>> extra_symbols;
+};
+
+/// Per-addition compile statistics (feeds the overhead-breakdown tables).
+struct CompileStats {
+  std::int64_t parse_ns = 0;     ///< bitcode -> module (0 for objects)
+  std::int64_t optimize_ns = 0;  ///< IR pipeline (0 for objects)
+  std::int64_t compile_ns = 0;   ///< ORC materialization + link
+  std::size_t code_bytes = 0;    ///< input representation size
+};
+
+class OrcEngine {
+ public:
+  static StatusOr<std::unique_ptr<OrcEngine>> create(
+      const EngineOptions& options = {});
+
+  ~OrcEngine();
+  OrcEngine(const OrcEngine&) = delete;
+  OrcEngine& operator=(const OrcEngine&) = delete;
+
+  /// Adds an ifunc library from bitcode: parse, optimize for the local
+  /// machine, JIT-compile, link deps, and resolve the entry point.
+  StatusOr<abi::EntryFn> add_ifunc_bitcode(
+      const std::string& name, ByteSpan bitcode,
+      const std::vector<std::string>& deps, CompileStats* stats = nullptr);
+
+  /// Adds an ifunc library from a pre-compiled relocatable object: link
+  /// only — no IR work (binary representation).
+  StatusOr<abi::EntryFn> add_ifunc_object(
+      const std::string& name, ByteSpan object,
+      const std::vector<std::string>& deps, CompileStats* stats = nullptr);
+
+  /// Looks up an arbitrary symbol inside a previously added ifunc library.
+  StatusOr<std::uint64_t> lookup(const std::string& ifunc_name,
+                                 const std::string& symbol);
+
+  /// Removes a previously added ifunc library, releasing its JIT'd code
+  /// (the de-registration path; also used by cache eviction). Entry
+  /// pointers obtained from it become invalid.
+  Status remove_library(const std::string& ifunc_name);
+
+  /// Number of ifunc libraries materialized in this engine.
+  std::size_t library_count() const { return library_count_; }
+
+  /// The triple this engine generates code for (host).
+  const std::string& triple() const { return triple_; }
+
+ private:
+  OrcEngine() = default;
+
+  StatusOr<llvm::orc::JITDylib*> make_dylib(
+      const std::string& name, const std::vector<std::string>& deps);
+
+  std::unique_ptr<llvm::orc::LLJIT> jit_;
+  EngineOptions options_;
+  std::string triple_;
+  std::size_t library_count_ = 0;
+};
+
+}  // namespace tc::jit

@@ -1,0 +1,35 @@
+#include "jit/optimizer.hpp"
+
+#include <llvm/Passes/PassBuilder.h>
+
+namespace tc::jit {
+
+Status optimize_module(llvm::Module& module, llvm::TargetMachine& machine,
+                       OptLevel level) {
+  if (level == OptLevel::kO0) return Status::ok();
+
+  llvm::OptimizationLevel opt;
+  switch (level) {
+    case OptLevel::kO1: opt = llvm::OptimizationLevel::O1; break;
+    case OptLevel::kO2: opt = llvm::OptimizationLevel::O2; break;
+    default: opt = llvm::OptimizationLevel::O3; break;
+  }
+
+  llvm::LoopAnalysisManager lam;
+  llvm::FunctionAnalysisManager fam;
+  llvm::CGSCCAnalysisManager cgam;
+  llvm::ModuleAnalysisManager mam;
+
+  llvm::PassBuilder pb(&machine);
+  pb.registerModuleAnalyses(mam);
+  pb.registerCGSCCAnalyses(cgam);
+  pb.registerFunctionAnalyses(fam);
+  pb.registerLoopAnalyses(lam);
+  pb.crossRegisterProxies(lam, fam, cgam, mam);
+
+  llvm::ModulePassManager mpm = pb.buildPerModuleDefaultPipeline(opt);
+  mpm.run(module, mam);
+  return Status::ok();
+}
+
+}  // namespace tc::jit

@@ -1,0 +1,20 @@
+// IR optimization pipeline used before JIT codegen. Mirrors the paper's
+// observation that shipping *unoptimized* portable bitcode and optimizing on
+// the target lets the backend specialize for the local µarch (SVE on A64FX,
+// AVX2 on Xeon) — the pipeline runs with the receiving node's TargetMachine.
+#pragma once
+
+#include <llvm/IR/Module.h>
+#include <llvm/Target/TargetMachine.h>
+
+#include "common/status.hpp"
+
+namespace tc::jit {
+
+enum class OptLevel : std::uint8_t { kO0 = 0, kO1 = 1, kO2 = 2, kO3 = 3 };
+
+/// Runs the standard per-module pipeline at `level` tuned for `machine`.
+Status optimize_module(llvm::Module& module, llvm::TargetMachine& machine,
+                       OptLevel level);
+
+}  // namespace tc::jit

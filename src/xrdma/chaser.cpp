@@ -1,0 +1,82 @@
+#include "xrdma/chaser.hpp"
+
+#include "common/log.hpp"
+#include "ir/kernel_builder.hpp"
+#include "jit/compiler.hpp"
+
+namespace tc::xrdma {
+
+Bytes encode_chase_payload(const ChaseRequest& request) {
+  ByteWriter w;
+  w.u64(request.address);
+  w.u64(request.depth);
+  return std::move(w).take();
+}
+
+StatusOr<ChaseRequest> decode_chase_payload(ByteSpan payload) {
+  ByteReader r(payload);
+  ChaseRequest request;
+  TC_RETURN_IF_ERROR(r.u64(request.address));
+  TC_RETURN_IF_ERROR(r.u64(request.depth));
+  return request;
+}
+
+StatusOr<std::uint64_t> decode_chase_result(ByteSpan data) {
+  ByteReader r(data);
+  std::uint64_t value = 0;
+  TC_RETURN_IF_ERROR(r.u64(value));
+  return value;
+}
+
+StatusOr<core::IfuncLibrary> build_chaser_library(ir::CodeRepr repr,
+                                                  bool hll_frontend) {
+  ir::KernelOptions options;
+  options.hll_guards = hll_frontend;
+  TC_ASSIGN_OR_RETURN(
+      ir::FatBitcode archive,
+      ir::build_default_fat_kernel(ir::KernelKind::kChaser, options));
+  std::string name = ir::kernel_name(ir::KernelKind::kChaser);
+  if (hll_frontend) name += "_hll";
+  if (repr == ir::CodeRepr::kObject) {
+    TC_ASSIGN_OR_RETURN(archive, jit::compile_archive_to_objects(archive));
+    name += "_bin";
+  }
+  return core::IfuncLibrary::from_archive(std::move(name),
+                                          std::move(archive));
+}
+
+am::AmHandlerFn make_chase_am_handler() {
+  // Mirrors emit_chaser() in ir/kernel_builder.cpp instruction for
+  // instruction; the pair is kept in lockstep by the mode-equivalence tests.
+  return [](am::AmContext& ctx, std::uint8_t* payload, std::uint64_t size) {
+    auto request_or = decode_chase_payload(ByteSpan(payload, size));
+    if (!request_or.is_ok()) {
+      TC_LOG(kWarn, "xrdma") << "AM chaser: bad payload";
+      return;
+    }
+    std::uint64_t address = request_or->address;
+    std::uint64_t depth = request_or->depth;
+    const std::uint64_t shard_size = ctx.shard_size;
+
+    while (true) {
+      const std::uint64_t owner = address / shard_size;
+      if (owner != ctx.self_peer) {
+        const ChaseRequest forward{address, depth};
+        const Bytes fresh = encode_chase_payload(forward);
+        (void)ctx.runtime->send((*ctx.peers)[owner], ctx.handler_index,
+                                as_span(fresh), ctx.origin_node);
+        return;
+      }
+      const std::uint64_t value = ctx.shard_base[address % shard_size];
+      if (--depth == 0) {
+        ByteWriter w;
+        w.u64(value);
+        (void)ctx.runtime->reply(ctx, as_span(w.bytes()));
+        return;
+      }
+      address = value;
+    }
+  };
+}
+
+}  // namespace tc::xrdma

@@ -1,0 +1,38 @@
+// The X-RDMA Chaser and ReturnResult operations (paper §IV-C): payload
+// codec, ifunc-library construction for every code representation, and the
+// predeployed Active-Message equivalent of the chase logic.
+#pragma once
+
+#include "am/am_runtime.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "core/ifunc.hpp"
+
+namespace tc::xrdma {
+
+/// Wire payload of a Chaser operation (two little-endian u64s; the chaser
+/// mutates them in place when it forwards itself).
+struct ChaseRequest {
+  std::uint64_t address = 0;  ///< first element to access
+  std::uint64_t depth = 0;    ///< remaining lookups
+};
+
+Bytes encode_chase_payload(const ChaseRequest& request);
+StatusOr<ChaseRequest> decode_chase_payload(ByteSpan payload);
+
+/// Decodes the 8-byte ReturnResult payload (the final chased value).
+StatusOr<std::uint64_t> decode_chase_result(ByteSpan data);
+
+/// Builds the Chaser ifunc library.
+///  repr = kBitcode → multi-ISA fat-bitcode, JIT-compiled on servers;
+///  repr = kObject  → AOT-compiled relocatable objects, link-only deploy.
+///  hll_frontend    → emit the high-level-language (Julia-analogue) IR.
+StatusOr<core::IfuncLibrary> build_chaser_library(
+    ir::CodeRepr repr = ir::CodeRepr::kBitcode, bool hll_frontend = false);
+
+/// The predeployed AM handler implementing the identical chase logic in
+/// native C++ (the paper's Active Message evaluation baseline). Must be
+/// registered under the same index on every node.
+am::AmHandlerFn make_chase_am_handler();
+
+}  // namespace tc::xrdma

@@ -1,0 +1,75 @@
+#include "xrdma/collectives.hpp"
+
+#include "ir/kernel_builder.hpp"
+
+namespace tc::xrdma {
+
+StatusOr<BroadcastResult> tree_broadcast(hetsim::Cluster& cluster,
+                                         std::uint64_t value,
+                                         std::vector<BroadcastSlot>& slots) {
+  const auto& servers = cluster.server_nodes();
+  if (slots.size() != servers.size()) {
+    return invalid_argument("tree_broadcast: one slot per server required");
+  }
+  if (!cluster.has_ifunc_runtimes()) {
+    return failed_precondition("cluster built without ifunc runtimes");
+  }
+
+  core::Runtime& client = cluster.client_runtime();
+  const std::string kernel = ir::kernel_name(ir::KernelKind::kTreeBroadcast);
+  std::uint64_t ifunc_id = 0;
+  if (auto existing = client.ifunc_id_by_name(kernel); existing.is_ok()) {
+    ifunc_id = *existing;  // reuse across repeated broadcasts
+  } else {
+    TC_ASSIGN_OR_RETURN(
+        core::IfuncLibrary library,
+        core::IfuncLibrary::from_kernel(ir::KernelKind::kTreeBroadcast));
+    TC_ASSIGN_OR_RETURN(ifunc_id, client.register_ifunc(std::move(library)));
+  }
+
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    slots[i].arrivals = 0;
+    cluster.runtime(servers[i]).set_target_ptr(&slots[i]);
+  }
+
+  auto frames_before = [&cluster, &servers] {
+    std::uint64_t full = cluster.client_runtime().stats().frames_sent_full;
+    std::uint64_t trunc =
+        cluster.client_runtime().stats().frames_sent_truncated;
+    for (auto node : servers) {
+      full += cluster.runtime(node).stats().frames_sent_full;
+      trunc += cluster.runtime(node).stats().frames_sent_truncated;
+    }
+    return std::pair{full, trunc};
+  };
+  const auto [full0, trunc0] = frames_before();
+
+  ByteWriter w;
+  w.u64(0);                    // base peer of the covered range
+  w.u64(servers.size());       // span
+  w.u64(value);
+  fabric::Fabric& fabric = cluster.fabric();
+  const auto t0 = fabric.now();
+  TC_RETURN_IF_ERROR(client.send_ifunc(servers[0], ifunc_id,
+                                       as_span(w.bytes())));
+  Status run = fabric.run_until([&] {
+    for (const BroadcastSlot& slot : slots) {
+      if (slot.arrivals == 0) return false;
+    }
+    return true;
+  });
+  if (!run.is_ok()) return run;
+  fabric.run_until_idle();  // drain trailing busy/no-op events
+
+  BroadcastResult result;
+  result.virtual_ns = fabric.now() - t0;
+  for (const BroadcastSlot& slot : slots) {
+    if (slot.value == value && slot.arrivals >= 1) ++result.delivered;
+  }
+  const auto [full1, trunc1] = frames_before();
+  result.frames_full = full1 - full0;
+  result.frames_truncated = trunc1 - trunc0;
+  return result;
+}
+
+}  // namespace tc::xrdma

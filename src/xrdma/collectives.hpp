@@ -1,0 +1,39 @@
+// X-RDMA collectives built purely from recursive ifunc propagation.
+//
+// tree_broadcast(): one injected function delivers a value to every server
+// in O(log N) network depth by recursively halving its peer range — the
+// code itself is the collective algorithm, carried in the message. First
+// execution ships fat-bitcode along every tree edge; repeats ride truncated
+// frames and the per-node code caches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hetsim/cluster.hpp"
+
+namespace tc::xrdma {
+
+struct BroadcastResult {
+  std::uint64_t delivered = 0;     ///< servers that received the value
+  std::int64_t virtual_ns = 0;     ///< completion time (virtual)
+  std::uint64_t frames_full = 0;   ///< tree edges that shipped code
+  std::uint64_t frames_truncated = 0;
+};
+
+/// Per-server landing slot for a broadcast: {value, arrival_count}.
+struct BroadcastSlot {
+  std::uint64_t value = 0;
+  std::uint64_t arrivals = 0;
+};
+
+/// Broadcasts `value` from the cluster's client to every server through the
+/// self-propagating tree kernel. `slots` must have one entry per server and
+/// outlive the call; each server's runtime target pointer is set to its
+/// slot. Reusable: repeat calls ride the warmed code caches.
+StatusOr<BroadcastResult> tree_broadcast(hetsim::Cluster& cluster,
+                                         std::uint64_t value,
+                                         std::vector<BroadcastSlot>& slots);
+
+}  // namespace tc::xrdma

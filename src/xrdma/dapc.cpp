@@ -1,0 +1,228 @@
+#include "xrdma/dapc.hpp"
+
+#include "common/log.hpp"
+#include "hll/frontend.hpp"
+
+namespace tc::xrdma {
+
+const char* chase_mode_name(ChaseMode mode) {
+  switch (mode) {
+    case ChaseMode::kActiveMessage: return "active_message";
+    case ChaseMode::kGet: return "get";
+    case ChaseMode::kCachedBitcode: return "cached_bitcode";
+    case ChaseMode::kCachedBinary: return "cached_binary";
+    case ChaseMode::kHllBitcode: return "hll_bitcode";
+    case ChaseMode::kHllDrivesC: return "hll_drives_c";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<DapcDriver>> DapcDriver::create(
+    hetsim::Cluster& cluster, ChaseMode mode, DapcConfig config) {
+  if (config.depth == 0 || config.chases == 0) {
+    return invalid_argument("DAPC: depth and chases must be positive");
+  }
+  auto driver = std::unique_ptr<DapcDriver>(
+      new DapcDriver(cluster, mode, config));
+  TC_RETURN_IF_ERROR(driver->setup());
+  return driver;
+}
+
+Status DapcDriver::setup() {
+  PointerTableConfig table_config;
+  table_config.entries_per_shard = config_.entries_per_shard;
+  table_config.shard_count = cluster_->server_nodes().size();
+  table_config.seed = config_.seed;
+  TC_ASSIGN_OR_RETURN(table_, DistributedPointerTable::build(table_config));
+
+  const auto& servers = cluster_->server_nodes();
+  switch (mode_) {
+    case ChaseMode::kCachedBitcode:
+    case ChaseMode::kCachedBinary:
+    case ChaseMode::kHllBitcode:
+    case ChaseMode::kHllDrivesC: {
+      if (!cluster_->has_ifunc_runtimes()) {
+        return failed_precondition("cluster built without ifunc runtimes");
+      }
+      const ir::CodeRepr repr = mode_ == ChaseMode::kCachedBinary
+                                    ? ir::CodeRepr::kObject
+                                    : ir::CodeRepr::kBitcode;
+      StatusOr<core::IfuncLibrary> library_or =
+          mode_ == ChaseMode::kHllDrivesC
+              ? hll::build_library(ir::KernelKind::kChaser,
+                                   /*drive_with_c=*/true)
+              : build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode);
+      if (!library_or.is_ok()) return library_or.status();
+      core::IfuncLibrary library = std::move(library_or).value();
+      TC_ASSIGN_OR_RETURN(
+          chaser_ifunc_id_,
+          cluster_->client_runtime().register_ifunc(std::move(library)));
+      for (std::size_t i = 0; i < servers.size(); ++i) {
+        auto& shard = table_.shard(i);
+        cluster_->runtime(servers[i]).set_shard(shard.data(), shard.size());
+      }
+      break;
+    }
+    case ChaseMode::kActiveMessage: {
+      if (!cluster_->has_am_runtimes()) {
+        return failed_precondition("cluster built without AM runtimes");
+      }
+      // Predeployment: the handler is registered on every node, same index.
+      const std::size_t node_count = cluster_->fabric().node_count();
+      for (fabric::NodeId node = 0; node < node_count; ++node) {
+        TC_ASSIGN_OR_RETURN(
+            am_handler_index_,
+            cluster_->am_runtime(node).register_handler(
+                make_chase_am_handler()));
+      }
+      for (std::size_t i = 0; i < servers.size(); ++i) {
+        auto& shard = table_.shard(i);
+        cluster_->am_runtime(servers[i])
+            .set_shard(shard.data(), shard.size());
+      }
+      break;
+    }
+    case ChaseMode::kGet: {
+      // Expose each shard for one-sided access and record its rkey.
+      for (std::size_t i = 0; i < servers.size(); ++i) {
+        auto& shard = table_.shard(i);
+        TC_ASSIGN_OR_RETURN(
+            fabric::MemRegion region,
+            cluster_->fabric().node(servers[i]).memory.register_memory(
+                shard.data(), shard.size() * sizeof(std::uint64_t)));
+        shard_regions_.push_back(region);
+      }
+      break;
+    }
+  }
+  return Status::ok();
+}
+
+StatusOr<DapcResult> DapcDriver::run() {
+  // Deterministic workload: the same starts in warmup and timed runs, so the
+  // warmup walks exactly the paths whose code/caches the timed run needs.
+  Xoshiro256 rng(config_.seed ^ 0x5eedull);
+  starts_.clear();
+  expected_.clear();
+  for (std::uint64_t i = 0; i < config_.chases; ++i) {
+    const std::uint64_t start = rng.below(table_.total_entries());
+    starts_.push_back(start);
+    expected_.push_back(table_.chase_expected(start, config_.depth));
+  }
+
+  if (config_.warmup) {
+    TC_ASSIGN_OR_RETURN(DapcResult warm, run_batch());
+    if (warm.correct != warm.completed) {
+      return internal_error("DAPC warmup produced incorrect results");
+    }
+  }
+  return run_batch();
+}
+
+StatusOr<DapcResult> DapcDriver::run_batch() {
+  values_.assign(config_.chases, 0);
+  next_chase_ = 0;
+  completed_ = 0;
+  failed_ = false;
+
+  fabric::Fabric& fabric = cluster_->fabric();
+  const fabric::NodeId client = cluster_->client_node();
+
+  // Route results: record the value, then fire the next chase (sequential
+  // operations, as in the paper's rate measurement).
+  auto on_result = [this](ByteSpan data, fabric::NodeId) {
+    auto value_or = decode_chase_result(data);
+    if (!value_or.is_ok()) {
+      failed_ = true;
+      return;
+    }
+    values_[completed_++] = *value_or;
+    if (completed_ < config_.chases) {
+      Status status = issue_chase(completed_);
+      if (!status.is_ok()) failed_ = true;
+    }
+  };
+  if (mode_ == ChaseMode::kActiveMessage) {
+    cluster_->am_runtime(client).set_result_handler(on_result);
+  } else if (mode_ != ChaseMode::kGet) {
+    cluster_->client_runtime().set_result_handler(on_result);
+  }
+
+  const auto t0 = fabric.now();
+  TC_RETURN_IF_ERROR(issue_chase(0));
+  Status run_status = fabric.run_until(
+      [this] { return failed_ || completed_ == config_.chases; });
+  if (!run_status.is_ok()) return run_status;
+  if (failed_) return internal_error("DAPC chase failed mid-run");
+  const auto elapsed = fabric.now() - t0;
+
+  DapcResult result;
+  result.completed = completed_;
+  result.virtual_ns = elapsed;
+  result.values = values_;
+  for (std::uint64_t i = 0; i < config_.chases; ++i) {
+    if (values_[i] == expected_[i]) ++result.correct;
+  }
+  result.chases_per_second =
+      elapsed > 0 ? static_cast<double>(completed_) * 1e9 /
+                        static_cast<double>(elapsed)
+                  : 0.0;
+  return result;
+}
+
+Status DapcDriver::issue_chase(std::uint64_t index) {
+  const std::uint64_t start = starts_[index];
+  const std::uint64_t owner = table_.owner_of(start);
+  const fabric::NodeId dst = cluster_->server_nodes()[owner];
+  const ChaseRequest request{start, config_.depth};
+
+  switch (mode_) {
+    case ChaseMode::kCachedBitcode:
+    case ChaseMode::kCachedBinary:
+    case ChaseMode::kHllBitcode:
+    case ChaseMode::kHllDrivesC:
+      return cluster_->client_runtime().send_ifunc(
+          dst, chaser_ifunc_id_, as_span(encode_chase_payload(request)));
+    case ChaseMode::kActiveMessage:
+      return cluster_->am_runtime(cluster_->client_node())
+          .send(dst, am_handler_index_,
+                as_span(encode_chase_payload(request)));
+    case ChaseMode::kGet:
+      return issue_get_step(start, config_.depth);
+  }
+  return internal_error("unreachable");
+}
+
+Status DapcDriver::issue_get_step(std::uint64_t address,
+                                  std::uint64_t depth_left) {
+  // GBPC: the client walks the chain itself, one RDMA GET per step (paper
+  // §IV-D) — simpler code, but every hop is a full client round trip.
+  const std::uint64_t owner = table_.owner_of(address);
+  const std::uint64_t slot = table_.slot_of(address);
+  const fabric::NodeId server = cluster_->server_nodes()[owner];
+  fabric::RemoteAddr remote{server, shard_regions_[owner].rkey,
+                            slot * sizeof(std::uint64_t)};
+
+  auto& runtime = cluster_->client_runtime();
+  runtime.endpoint(server).get(
+      remote, sizeof(std::uint64_t),
+      [this, depth_left](StatusOr<Bytes> data) {
+        if (!data.is_ok() || data->size() != sizeof(std::uint64_t)) {
+          failed_ = true;
+          return;
+        }
+        std::uint64_t value = 0;
+        std::memcpy(&value, data->data(), sizeof(value));
+        if (depth_left == 1) {
+          values_[completed_++] = value;
+          if (completed_ < config_.chases) {
+            if (!issue_chase(completed_).is_ok()) failed_ = true;
+          }
+          return;
+        }
+        if (!issue_get_step(value, depth_left - 1).is_ok()) failed_ = true;
+      });
+  return Status::ok();
+}
+
+}  // namespace tc::xrdma

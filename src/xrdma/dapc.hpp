@@ -1,0 +1,101 @@
+// DAPC — the Distributed Adaptive Pointer Chasing miniapp (paper §IV-C/D)
+// and its evaluation driver. One client issues pointer-chase operations of a
+// given depth against a table sharded over N servers, in one of five
+// execution modes:
+//
+//   kActiveMessage — predeployed native handler, index+payload requests
+//                    (the paper's baseline upper bound);
+//   kGet           — GBPC: client-driven iterative RDMA GETs (lower bound);
+//   kCachedBitcode — X-RDMA Chaser ifunc, fat-bitcode representation;
+//   kCachedBinary  — Chaser ifunc, AOT object (binary) representation;
+//   kHllBitcode    — Chaser built by the high-level-language frontend
+//                    (the Julia-integration analogue);
+//   kHllDrivesC    — HLL client driving C-frontend bitcode (the paper's
+//                    "Julia driving the bitcode generated from C").
+//
+// Every mode computes the identical chase (verified against a reference
+// walk), so measured differences are pure protocol/runtime effects.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hetsim/cluster.hpp"
+#include "xrdma/chaser.hpp"
+#include "xrdma/pointer_table.hpp"
+
+namespace tc::xrdma {
+
+enum class ChaseMode {
+  kActiveMessage,
+  kGet,
+  kCachedBitcode,
+  kCachedBinary,
+  kHllBitcode,
+  kHllDrivesC,
+};
+
+const char* chase_mode_name(ChaseMode mode);
+
+struct DapcConfig {
+  std::uint64_t depth = 64;
+  std::uint64_t chases = 8;  ///< sequential operations per measurement
+  std::uint64_t entries_per_shard = 4096;
+  std::uint64_t seed = 0xDA9Cull;
+  /// Run the full workload once untimed first, so code caches (sender-side
+  /// sent-tables, server-side JIT caches) are hot — the "cached" rows of the
+  /// paper. Set false to measure cold-start behaviour.
+  bool warmup = true;
+};
+
+struct DapcResult {
+  std::uint64_t completed = 0;
+  std::uint64_t correct = 0;
+  std::int64_t virtual_ns = 0;
+  double chases_per_second = 0.0;
+  /// Final value of each chase in issue order (mode-equivalence tests).
+  std::vector<std::uint64_t> values;
+};
+
+class DapcDriver {
+ public:
+  static StatusOr<std::unique_ptr<DapcDriver>> create(hetsim::Cluster& cluster,
+                                                      ChaseMode mode,
+                                                      DapcConfig config);
+
+  /// Executes the configured workload and reports the virtual-time rate.
+  StatusOr<DapcResult> run();
+
+  const DistributedPointerTable& table() const { return table_; }
+  ChaseMode mode() const { return mode_; }
+
+ private:
+  DapcDriver(hetsim::Cluster& cluster, ChaseMode mode, DapcConfig config)
+      : cluster_(&cluster), mode_(mode), config_(config) {}
+
+  Status setup();
+  StatusOr<DapcResult> run_batch();
+  Status issue_chase(std::uint64_t index);
+  Status issue_get_step(std::uint64_t address, std::uint64_t depth_left);
+
+  hetsim::Cluster* cluster_;
+  ChaseMode mode_;
+  DapcConfig config_;
+  DistributedPointerTable table_;
+
+  // Per-run state driven by completion callbacks.
+  std::vector<std::uint64_t> starts_;
+  std::vector<std::uint64_t> expected_;
+  std::vector<std::uint64_t> values_;
+  std::uint64_t next_chase_ = 0;
+  std::uint64_t completed_ = 0;
+  bool failed_ = false;
+
+  // Mode-specific handles.
+  std::uint64_t chaser_ifunc_id_ = 0;
+  std::uint16_t am_handler_index_ = 0;
+  std::vector<fabric::MemRegion> shard_regions_;  // GET mode rkeys
+};
+
+}  // namespace tc::xrdma

@@ -1,0 +1,61 @@
+#include "xrdma/pointer_table.hpp"
+
+#include <numeric>
+
+namespace tc::xrdma {
+
+StatusOr<DistributedPointerTable> DistributedPointerTable::build(
+    const PointerTableConfig& config) {
+  if (config.entries_per_shard == 0 || config.shard_count == 0) {
+    return invalid_argument("pointer table: zero shards or shard size");
+  }
+  const std::uint64_t total = config.entries_per_shard * config.shard_count;
+  if (total < 2) {
+    return invalid_argument("pointer table: need at least 2 entries");
+  }
+
+  // Fisher-Yates a tour of all addresses, then link consecutive tour stops
+  // into one cycle: entry[tour[k]] = tour[k+1].
+  std::vector<std::uint64_t> tour(total);
+  std::iota(tour.begin(), tour.end(), 0);
+  Xoshiro256 rng(config.seed);
+  for (std::uint64_t i = total - 1; i > 0; --i) {
+    const std::uint64_t j = rng.below(i + 1);
+    std::swap(tour[i], tour[j]);
+  }
+
+  DistributedPointerTable table;
+  table.total_ = total;
+  table.shard_size_ = config.entries_per_shard;
+  table.shards_.assign(config.shard_count,
+                       std::vector<std::uint64_t>(config.entries_per_shard));
+  for (std::uint64_t k = 0; k < total; ++k) {
+    const std::uint64_t from = tour[k];
+    const std::uint64_t to = tour[(k + 1) % total];
+    table.shards_[table.owner_of(from)][table.slot_of(from)] = to;
+  }
+  return table;
+}
+
+std::uint64_t DistributedPointerTable::chase_expected(
+    std::uint64_t start, std::uint64_t depth) const {
+  std::uint64_t address = start;
+  std::uint64_t value = address;
+  for (std::uint64_t i = 0; i < depth; ++i) {
+    value = lookup(address);
+    address = value;
+  }
+  return value;
+}
+
+double DistributedPointerTable::remote_fraction() const {
+  std::uint64_t remote = 0;
+  for (std::uint64_t server = 0; server < shards_.size(); ++server) {
+    for (std::uint64_t value : shards_[server]) {
+      if (owner_of(value) != server) ++remote;
+    }
+  }
+  return static_cast<double>(remote) / static_cast<double>(total_);
+}
+
+}  // namespace tc::xrdma

@@ -1,0 +1,73 @@
+// The distributed pointer table of the DAPC miniapp (paper §IV-C): a single
+// logical array of 64-bit entries, split into equal shards across servers,
+// indexed server-major ("the entries are indexed using the server number
+// first"): global address A lives on server A / shard_size, local slot
+// A % shard_size.
+//
+// Entries hold a random permutation forming one Hamiltonian cycle over all
+// addresses, so a chase of any depth from any start never revisits its start
+// prematurely and every lookup is an unpredictable (cache-hostile) jump —
+// the same construction used by classic pointer-chase benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace tc::xrdma {
+
+struct PointerTableConfig {
+  std::uint64_t entries_per_shard = 4096;
+  std::uint64_t shard_count = 2;
+  std::uint64_t seed = 0x7c3a1b5ull;
+};
+
+class DistributedPointerTable {
+ public:
+  /// Creates an empty table; populate with build().
+  DistributedPointerTable() = default;
+
+  static StatusOr<DistributedPointerTable> build(
+      const PointerTableConfig& config);
+
+  std::uint64_t total_entries() const { return total_; }
+  std::uint64_t shard_size() const { return shard_size_; }
+  std::uint64_t shard_count() const { return shards_.size(); }
+
+  /// Mutable shard storage — attach to server runtimes / register for RDMA.
+  std::vector<std::uint64_t>& shard(std::uint64_t server) {
+    return shards_[server];
+  }
+  const std::vector<std::uint64_t>& shard(std::uint64_t server) const {
+    return shards_[server];
+  }
+
+  std::uint64_t owner_of(std::uint64_t address) const {
+    return address / shard_size_;
+  }
+  std::uint64_t slot_of(std::uint64_t address) const {
+    return address % shard_size_;
+  }
+
+  /// Reference lookup through the sharded layout.
+  std::uint64_t lookup(std::uint64_t address) const {
+    return shards_[owner_of(address)][slot_of(address)];
+  }
+
+  /// Reference chase (ground truth for every execution mode): performs
+  /// `depth` lookups from `start` and returns the final value loaded.
+  std::uint64_t chase_expected(std::uint64_t start, std::uint64_t depth) const;
+
+  /// Fraction of steps in a full-cycle walk whose next entry lives on a
+  /// different server (analytical cross-traffic estimate used in docs).
+  double remote_fraction() const;
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t shard_size_ = 0;
+  std::vector<std::vector<std::uint64_t>> shards_;
+};
+
+}  // namespace tc::xrdma

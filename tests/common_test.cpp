@@ -1,0 +1,260 @@
+// Unit and property tests for src/common: Status/StatusOr, byte
+// serialization, hashing, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/bytes.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace tc {
+namespace {
+
+// --- Status -------------------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = not_found("missing thing");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.to_string(), "not_found: missing thing");
+}
+
+TEST(Status, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(invalid_argument("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(already_exists("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(failed_precondition("").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(out_of_range("").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(unimplemented("").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(internal_error("").code(), ErrorCode::kInternal);
+  EXPECT_EQ(resource_exhausted("").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(data_loss("").code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(unavailable("").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(jit_failure("").code(), ErrorCode::kJitFailure);
+  EXPECT_EQ(bad_bitcode("").code(), ErrorCode::kBadBitcode);
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_EQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_EQ(error_code_name(ErrorCode::kDataLoss), "data_loss");
+  EXPECT_EQ(error_code_name(ErrorCode::kJitFailure), "jit_failure");
+  EXPECT_EQ(error_code_name(ErrorCode::kBadBitcode), "bad_bitcode");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(not_found("nope"));
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOr, MoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.is_ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+namespace helpers {
+StatusOr<int> fails() { return internal_error("boom"); }
+Status propagates() {
+  TC_ASSIGN_OR_RETURN(int x, fails());
+  (void)x;
+  return Status::ok();
+}
+}  // namespace helpers
+
+TEST(StatusOr, AssignOrReturnPropagates) {
+  Status s = helpers::propagates();
+  EXPECT_EQ(s.code(), ErrorCode::kInternal);
+}
+
+// --- ByteWriter / ByteReader ---------------------------------------------------
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.25);
+  const Bytes buf = std::move(w).take();
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8 + 8 + 8);
+
+  ByteReader r(as_span(buf));
+  std::uint8_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t c = 0;
+  std::uint64_t d = 0;
+  std::int64_t e = 0;
+  double f = 0;
+  ASSERT_TRUE(r.u8(a).is_ok());
+  ASSERT_TRUE(r.u16(b).is_ok());
+  ASSERT_TRUE(r.u32(c).is_ok());
+  ASSERT_TRUE(r.u64(d).is_ok());
+  ASSERT_TRUE(r.i64(e).is_ok());
+  ASSERT_TRUE(r.f64(f).is_ok());
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0xBEEF);
+  EXPECT_EQ(c, 0xDEADBEEFu);
+  EXPECT_EQ(d, 0x0123456789ABCDEFull);
+  EXPECT_EQ(e, -42);
+  EXPECT_DOUBLE_EQ(f, 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x04030201);
+  const Bytes buf = std::move(w).take();
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(Bytes, BlobAndStringRoundTrip) {
+  ByteWriter w;
+  w.str("hello");
+  w.blob(as_span(std::string_view("\x00\x01\x02", 3)));
+  const Bytes buf = std::move(w).take();
+
+  ByteReader r(as_span(buf));
+  std::string s;
+  ByteSpan blob;
+  ASSERT_TRUE(r.str(s).is_ok());
+  ASSERT_TRUE(r.blob(blob).is_ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_EQ(blob.size(), 3u);
+  EXPECT_EQ(blob[2], 2);
+}
+
+TEST(Bytes, ShortReadFails) {
+  ByteWriter w;
+  w.u16(7);
+  const Bytes buf = std::move(w).take();
+  ByteReader r(as_span(buf));
+  std::uint32_t v = 0;
+  Status s = r.u32(v);
+  EXPECT_EQ(s.code(), ErrorCode::kDataLoss);
+}
+
+TEST(Bytes, BlobLengthBeyondBufferFails) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(1);
+  const Bytes buf = std::move(w).take();
+  ByteReader r(as_span(buf));
+  ByteSpan out;
+  EXPECT_EQ(r.blob(out).code(), ErrorCode::kDataLoss);
+}
+
+TEST(Bytes, SkipAndPosition) {
+  Bytes buf(10, 0);
+  ByteReader r(as_span(buf));
+  ASSERT_TRUE(r.skip(4).is_ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_EQ(r.skip(7).code(), ErrorCode::kDataLoss);
+}
+
+TEST(Bytes, HexFormatting) {
+  Bytes buf = {0x00, 0xff, 0x1a};
+  EXPECT_EQ(hex(as_span(buf)), "00ff1a");
+  Bytes big(100, 0xab);
+  const std::string h = hex(as_span(big), 4);
+  EXPECT_EQ(h, "abababab...");
+}
+
+class BytesRoundTripP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BytesRoundTripP, RawRoundTripAcrossSizes) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(n + 1);
+  Bytes data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+
+  ByteWriter w;
+  w.blob(as_span(data));
+  const Bytes buf = std::move(w).take();
+  ByteReader r(as_span(buf));
+  ByteSpan out;
+  ASSERT_TRUE(r.blob(out).is_ok());
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), out.begin(), out.end()));
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BytesRoundTripP,
+                         ::testing::Values(0, 1, 2, 7, 8, 63, 64, 255, 256,
+                                           4095, 4096, 65536));
+
+// --- hashing -------------------------------------------------------------------
+
+TEST(Hash, KnownFnv1aVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(std::string_view("")), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64(std::string_view("a")), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64(std::string_view("foobar")), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, SpanAndStringAgree) {
+  const std::string s = "three-chains";
+  EXPECT_EQ(fnv1a64(std::string_view(s)), fnv1a64(as_span(s)));
+}
+
+TEST(Hash, CombineIsOrderDependent) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(0, 0), 0u);
+}
+
+// --- RNG ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 4096ull, 1000000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(11);
+  bool seen[8] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.below(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace tc

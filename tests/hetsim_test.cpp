@@ -1,0 +1,162 @@
+// Tests for the hardware-profile calibration and the virtual-cluster
+// builder, including TSI latency relationships the paper reports.
+#include <gtest/gtest.h>
+
+#include "core/ifunc.hpp"
+#include "hetsim/cluster.hpp"
+#include "hetsim/profiles.hpp"
+
+namespace tc::hetsim {
+namespace {
+
+constexpr Platform kAll[] = {Platform::kOokami, Platform::kThorBF2,
+                             Platform::kThorXeon};
+
+class ProfileP : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(ProfileP, SanityOfConstants) {
+  const HwProfile& p = profile_for(GetParam());
+  EXPECT_FALSE(p.name.empty());
+  EXPECT_GT(p.link.latency_ns, 0);
+  EXPECT_GT(p.link.ns_per_byte, 0.0);
+  EXPECT_GT(p.jit_cost_ns, 100'000);  // JIT is always ≥ 0.1 ms
+  EXPECT_LT(p.link_cost_ns, p.jit_cost_ns);  // binary deploy beats JIT
+  EXPECT_GT(p.ifunc_exec_ns, 0);
+  EXPECT_GE(p.client_compute_scale, 1.0);
+  EXPECT_GE(p.server_compute_scale, 1.0);
+}
+
+TEST_P(ProfileP, CachedSendBeatsAmOnOccupancy) {
+  // Tables IV-VI: cached ifuncs achieve a higher message rate than AM.
+  const HwProfile& p = profile_for(GetParam());
+  const auto send_gap = p.link.occupancy_ns(31, fabric::OpClass::kSend);
+  const auto am_gap = p.link.occupancy_ns(33, fabric::OpClass::kAm);
+  EXPECT_LT(send_gap, am_gap);
+}
+
+TEST_P(ProfileP, UncachedTransmissionRoughlyDoublesCached) {
+  // Tables I-III: uncached bitcode transmission is ~86%-135% slower.
+  const HwProfile& p = profile_for(GetParam());
+  const double cached = static_cast<double>(p.link.transmit_ns(31));
+  const double uncached = static_cast<double>(p.link.transmit_ns(31 + 5159));
+  const double ratio = uncached / cached;
+  EXPECT_GT(ratio, 1.5) << p.name;
+  EXPECT_LT(ratio, 3.0) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, ProfileP, ::testing::ValuesIn(kAll));
+
+TEST(Profiles, JitCostOrderingMatchesPaper) {
+  // 6.59 ms (A64FX) > 4.50 ms (BF2) > 0.83 ms (Xeon).
+  EXPECT_GT(profile_for(Platform::kOokami).jit_cost_ns,
+            profile_for(Platform::kThorBF2).jit_cost_ns);
+  EXPECT_GT(profile_for(Platform::kThorBF2).jit_cost_ns,
+            profile_for(Platform::kThorXeon).jit_cost_ns);
+}
+
+TEST(Profiles, XeonIsTheFastestFabric) {
+  const auto& xeon = profile_for(Platform::kThorXeon).link;
+  const auto& ookami = profile_for(Platform::kOokami).link;
+  const auto& bf2 = profile_for(Platform::kThorBF2).link;
+  EXPECT_LT(xeon.transmit_ns(31), bf2.transmit_ns(31));
+  EXPECT_LT(bf2.transmit_ns(31), ookami.transmit_ns(31));
+}
+
+TEST(Profiles, Bf2ServersAreSlowCores) {
+  EXPECT_GT(profile_for(Platform::kThorBF2).server_compute_scale, 1.5);
+  EXPECT_EQ(profile_for(Platform::kThorXeon).server_compute_scale, 1.0);
+}
+
+// --- cluster builder ---------------------------------------------------------------
+
+TEST(Cluster, TopologyAndRuntimes) {
+  ClusterConfig config;
+  config.platform = Platform::kThorXeon;
+  config.server_count = 4;
+  auto cluster = Cluster::create(config);
+  ASSERT_TRUE(cluster.is_ok()) << cluster.status().to_string();
+  EXPECT_EQ((*cluster)->fabric().node_count(), 5u);
+  EXPECT_EQ((*cluster)->server_nodes().size(), 4u);
+  EXPECT_EQ((*cluster)->client_node(), 0u);
+  EXPECT_TRUE((*cluster)->has_ifunc_runtimes());
+  EXPECT_TRUE((*cluster)->has_am_runtimes());
+  // Every server runtime knows the peer table.
+  for (auto node : (*cluster)->server_nodes()) {
+    EXPECT_EQ(&(*cluster)->runtime(node), &(*cluster)->runtime(node));
+  }
+}
+
+TEST(Cluster, ZeroServersRejected) {
+  ClusterConfig config;
+  config.server_count = 0;
+  EXPECT_EQ(Cluster::create(config).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Cluster, ComputeScaleAppliedToServers) {
+  ClusterConfig config;
+  config.platform = Platform::kThorBF2;
+  config.server_count = 2;
+  auto cluster = Cluster::create(config);
+  ASSERT_TRUE(cluster.is_ok());
+  const double scale = profile_for(Platform::kThorBF2).server_compute_scale;
+  for (auto node : (*cluster)->server_nodes()) {
+    EXPECT_DOUBLE_EQ((*cluster)->fabric().node(node).compute_scale, scale);
+  }
+  EXPECT_DOUBLE_EQ(
+      (*cluster)->fabric().node((*cluster)->client_node()).compute_scale,
+      profile_for(Platform::kThorBF2).client_compute_scale);
+}
+
+class TsiLatencyP : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(TsiLatencyP, CachedVsUncachedVsSecondSend) {
+  // Reproduces the relationship of Tables I-III in virtual time: the first
+  // (uncached) ifunc pays transmission of the fat archive plus the JIT;
+  // subsequent (cached) sends take roughly the AM-scale latency.
+  ClusterConfig config;
+  config.platform = GetParam();
+  config.server_count = 1;
+  auto cluster_or = Cluster::create(config);
+  ASSERT_TRUE(cluster_or.is_ok());
+  Cluster& cluster = **cluster_or;
+
+  auto lib = core::IfuncLibrary::from_kernel(
+      ir::KernelKind::kTargetSideIncrement);
+  ASSERT_TRUE(lib.is_ok());
+  auto id = cluster.client_runtime().register_ifunc(std::move(*lib));
+  ASSERT_TRUE(id.is_ok());
+
+  const auto server = cluster.server_nodes()[0];
+  std::uint64_t counter = 0;
+  cluster.runtime(server).set_target_ptr(&counter);
+  auto& fabric = cluster.fabric();
+
+  Bytes payload{0};
+  const auto t0 = fabric.now();
+  ASSERT_TRUE(cluster.client_runtime()
+                  .send_ifunc(server, *id, as_span(payload))
+                  .is_ok());
+  ASSERT_TRUE(fabric.run_until([&] { return counter == 1; }).is_ok());
+  const auto uncached_ns = fabric.now() - t0;
+
+  const auto t1 = fabric.now();
+  ASSERT_TRUE(cluster.client_runtime()
+                  .send_ifunc(server, *id, as_span(payload))
+                  .is_ok());
+  ASSERT_TRUE(fabric.run_until([&] { return counter == 2; }).is_ok());
+  const auto cached_ns = fabric.now() - t1;
+
+  const HwProfile& profile = profile_for(GetParam());
+  // Uncached pays the one-time JIT (ms scale on every platform).
+  EXPECT_GT(uncached_ns, profile.jit_cost_ns);
+  // Cached latency is µs scale: within 3x of the bare AM wire time.
+  EXPECT_LT(cached_ns, 3 * profile.link.transmit_ns(33));
+  // And the cached/uncached gap is at least 100x (ms vs µs).
+  EXPECT_GT(uncached_ns / std::max<std::int64_t>(cached_ns, 1), 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, TsiLatencyP, ::testing::ValuesIn(kAll));
+
+}  // namespace
+}  // namespace tc::hetsim

@@ -1,0 +1,261 @@
+// Cross-module integration scenarios: mixed workloads on heterogeneous
+// clusters, caching + eviction + NACK interplay under recursive forwarding,
+// and interleaved multi-ifunc traffic — the "whole system under stress"
+// suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hll/frontend.hpp"
+#include "xrdma/collectives.hpp"
+#include "xrdma/dapc.hpp"
+
+namespace tc {
+namespace {
+
+using core::IfuncLibrary;
+using core::Runtime;
+
+TEST(Integration, MixedKernelsInterleavedOnOneCluster) {
+  // One BF2 cluster, three different ifuncs in flight against the same
+  // servers: TSI counters, payload sums, and vec reductions, interleaved.
+  hetsim::ClusterConfig cc;
+  cc.platform = hetsim::Platform::kThorBF2;
+  cc.server_count = 4;
+  auto cluster = hetsim::Cluster::create(cc);
+  ASSERT_TRUE(cluster.is_ok());
+  auto& client = (*cluster)->client_runtime();
+
+  auto tsi = client.register_ifunc(
+      *IfuncLibrary::from_kernel(ir::KernelKind::kTargetSideIncrement));
+  auto sum = client.register_ifunc(
+      *IfuncLibrary::from_kernel(ir::KernelKind::kPayloadSum));
+  auto reduce = client.register_ifunc(
+      *IfuncLibrary::from_kernel(ir::KernelKind::kVecReduce));
+  ASSERT_TRUE(tsi.is_ok());
+  ASSERT_TRUE(sum.is_ok());
+  ASSERT_TRUE(reduce.is_ok());
+
+  // Per-server landing area: counter, sum, reduction.
+  struct Landing {
+    std::uint64_t word = 0;
+    double value = 0;
+  };
+  std::vector<Landing> landings((*cluster)->server_nodes().size());
+
+  ByteWriter reduce_payload;
+  reduce_payload.u64(8);
+  double expected_reduce = 0;
+  for (int i = 0; i < 8; ++i) {
+    reduce_payload.f64(1.5 * i);
+    expected_reduce += 1.5 * i;
+  }
+  Bytes sum_payload{10, 20, 30};
+
+  auto& fabric = (*cluster)->fabric();
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t s = 0; s < landings.size(); ++s) {
+      const auto node = (*cluster)->server_nodes()[s];
+      // Alternate which target pointer is active per kernel by re-pointing
+      // before each send; the DES delivers in order per link.
+      (*cluster)->runtime(node).set_target_ptr(&landings[s].word);
+      ASSERT_TRUE(client.send_ifunc(node, *tsi, as_span(Bytes{0})).is_ok());
+      fabric.run_until_idle();
+      ASSERT_TRUE(client.send_ifunc(node, *sum, as_span(sum_payload)).is_ok());
+      fabric.run_until_idle();
+      (*cluster)->runtime(node).set_target_ptr(&landings[s].value);
+      ASSERT_TRUE(
+          client.send_ifunc(node, *reduce, as_span(reduce_payload.bytes()))
+              .is_ok());
+      fabric.run_until_idle();
+    }
+  }
+
+  for (const Landing& landing : landings) {
+    // TSI incremented 3x then payload_sum overwrote with 60, 3 rounds: the
+    // last write wins per round; word ends as sum result.
+    EXPECT_EQ(landing.word, 60u);
+    EXPECT_DOUBLE_EQ(landing.value, expected_reduce);
+  }
+  // Each server compiled each of the three ifuncs exactly once.
+  for (auto node : (*cluster)->server_nodes()) {
+    EXPECT_EQ((*cluster)->runtime(node).stats().jit_compiles, 3u);
+    EXPECT_EQ((*cluster)->runtime(node).stats().frames_executed, 9u);
+  }
+  // Client sent 3 full frames per server, the rest truncated.
+  EXPECT_EQ(client.stats().frames_sent_full, 3 * landings.size());
+  EXPECT_EQ(client.stats().frames_sent_truncated, 6 * landings.size());
+}
+
+TEST(Integration, EvictionTriggersNackOnForwardedCode) {
+  // A ring of three nodes where the middle node has a tiny cache: the ring
+  // ifunc keeps getting evicted by interleaved other traffic, and the NACK
+  // path must transparently restore it mid-propagation.
+  fabric::Fabric fabric;
+  fabric.set_default_link(fabric::instant_link());
+  std::vector<fabric::NodeId> nodes;
+  for (int i = 0; i < 3; ++i) nodes.push_back(fabric.add_node("n"));
+
+  core::RuntimeOptions tiny_cache;
+  tiny_cache.cache_capacity = 1;
+  auto rt0 = Runtime::create(fabric, nodes[0]);
+  auto rt1 = Runtime::create(fabric, nodes[1], tiny_cache);
+  auto rt2 = Runtime::create(fabric, nodes[2]);
+  ASSERT_TRUE(rt0.is_ok());
+  ASSERT_TRUE(rt1.is_ok());
+  ASSERT_TRUE(rt2.is_ok());
+  for (auto* rt : {rt0->get(), rt1->get(), rt2->get()}) {
+    (*rt).set_peers(nodes);
+  }
+
+  auto ring = (*rt0)->register_ifunc(
+      *IfuncLibrary::from_kernel(ir::KernelKind::kRingHop));
+  auto tsi = (*rt0)->register_ifunc(
+      *IfuncLibrary::from_kernel(ir::KernelKind::kTargetSideIncrement));
+  ASSERT_TRUE(ring.is_ok());
+  ASSERT_TRUE(tsi.is_ok());
+
+  std::uint64_t counter = 0;
+  (*rt1)->set_target_ptr(&counter);
+
+  bool done = false;
+  std::uint64_t hops = 0;
+  (*rt0)->set_result_handler([&](ByteSpan data, fabric::NodeId) {
+    ByteReader r(data);
+    std::uint64_t ttl = 0;
+    (void)r.u64(ttl);
+    (void)r.u64(hops);
+    done = true;
+  });
+
+  // Run several short rings; between rings, evict the ring code from node 1
+  // by injecting TSI (capacity-1 cache).
+  for (int round = 0; round < 3; ++round) {
+    done = false;
+    ByteWriter w;
+    w.u64(6);
+    w.u64(0);
+    ASSERT_TRUE((*rt0)->send_ifunc(nodes[1], *ring, as_span(w.bytes())).is_ok());
+    ASSERT_TRUE(fabric.run_until([&] { return done; }).is_ok());
+    EXPECT_EQ(hops, 6u);
+    ASSERT_TRUE((*rt0)->send_ifunc(nodes[1], *tsi, as_span(Bytes{0})).is_ok());
+    fabric.run_until_idle();
+  }
+  EXPECT_EQ(counter, 3u);
+  // The tiny cache must have evicted and recompiled across rounds; either
+  // the eviction path (registry retained → silent recompile) or the NACK
+  // path must have fired — never a protocol error.
+  EXPECT_GT((*rt1)->stats().cache_evictions, 0u);
+  EXPECT_EQ((*rt1)->stats().protocol_errors, 0u);
+  EXPECT_GT((*rt1)->stats().jit_compiles, 2u);
+}
+
+TEST(Integration, BroadcastThenChaseSharesCaches) {
+  // Two different X-RDMA applications back to back on one cluster: the
+  // collective and the pointer chase coexist without cross-talk.
+  hetsim::ClusterConfig cc;
+  cc.platform = hetsim::Platform::kThorXeon;
+  cc.server_count = 4;
+  auto cluster = hetsim::Cluster::create(cc);
+  ASSERT_TRUE(cluster.is_ok());
+
+  std::vector<xrdma::BroadcastSlot> slots(4);
+  auto broadcast = xrdma::tree_broadcast(**cluster, 7, slots);
+  ASSERT_TRUE(broadcast.is_ok());
+  EXPECT_EQ(broadcast->delivered, 4u);
+
+  xrdma::DapcConfig config;
+  config.depth = 32;
+  config.chases = 3;
+  config.entries_per_shard = 64;
+  auto driver = xrdma::DapcDriver::create(
+      **cluster, xrdma::ChaseMode::kCachedBitcode, config);
+  ASSERT_TRUE(driver.is_ok());
+  auto result = (*driver)->run();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->correct, 3u);
+
+  // And the broadcast still works afterwards, fully cached.
+  auto again = xrdma::tree_broadcast(**cluster, 9, slots);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again->delivered, 4u);
+  EXPECT_EQ(again->frames_full, 0u);
+}
+
+TEST(Integration, HllAndCKernelsCoexistOnOneEngine) {
+  fabric::Fabric fabric;
+  fabric.set_default_link(fabric::instant_link());
+  const auto a = fabric.add_node("a");
+  const auto b = fabric.add_node("b");
+  auto rt_a = Runtime::create(fabric, a);
+  auto rt_b = Runtime::create(fabric, b);
+  ASSERT_TRUE(rt_a.is_ok());
+  ASSERT_TRUE(rt_b.is_ok());
+
+  auto c_lib = IfuncLibrary::from_kernel(ir::KernelKind::kPayloadSum);
+  auto hll_lib = hll::build_library(ir::KernelKind::kPayloadSum);
+  ASSERT_TRUE(c_lib.is_ok());
+  ASSERT_TRUE(hll_lib.is_ok());
+  auto c_id = (*rt_a)->register_ifunc(std::move(*c_lib));
+  auto hll_id = (*rt_a)->register_ifunc(std::move(*hll_lib));
+  ASSERT_TRUE(c_id.is_ok());
+  ASSERT_TRUE(hll_id.is_ok());
+
+  std::uint64_t out = 0;
+  (*rt_b)->set_target_ptr(&out);
+  Bytes payload{5, 6, 7};
+  for (auto id : {*c_id, *hll_id}) {
+    out = 0;
+    ASSERT_TRUE((*rt_a)->send_ifunc(b, id, as_span(payload)).is_ok());
+    fabric.run_until_idle();
+    EXPECT_EQ(out, 18u);
+  }
+  EXPECT_EQ((*rt_b)->stats().jit_compiles, 2u);
+}
+
+TEST(Integration, ManyNodeAllToAllTsi) {
+  // Scale check: every node sends TSI to every other node. One JIT per
+  // receiving node regardless of N-1 senders (identical wire identity).
+  fabric::Fabric fabric;
+  fabric.set_default_link(fabric::instant_link());
+  constexpr int kNodes = 16;  // 16x15 frames keeps the test quick
+  std::vector<fabric::NodeId> nodes;
+  std::vector<std::unique_ptr<Runtime>> runtimes;
+  std::vector<std::uint64_t> counters(kNodes, 0);
+  for (int i = 0; i < kNodes; ++i) nodes.push_back(fabric.add_node("n"));
+  for (int i = 0; i < kNodes; ++i) {
+    auto rt = Runtime::create(fabric, nodes[i]);
+    ASSERT_TRUE(rt.is_ok());
+    (*rt)->set_target_ptr(&counters[i]);
+    runtimes.push_back(std::move(*rt));
+  }
+
+  // Every node registers the same library (same name → same wire id).
+  std::uint64_t id = 0;
+  for (auto& rt : runtimes) {
+    auto lib_i = IfuncLibrary::from_kernel(ir::KernelKind::kTargetSideIncrement);
+    ASSERT_TRUE(lib_i.is_ok());
+    auto id_or = rt->register_ifunc(std::move(*lib_i));
+    ASSERT_TRUE(id_or.is_ok());
+    id = *id_or;
+  }
+
+  Bytes payload{0};
+  for (int src = 0; src < kNodes; ++src) {
+    for (int dst = 0; dst < kNodes; ++dst) {
+      if (src == dst) continue;
+      ASSERT_TRUE(
+          runtimes[src]->send_ifunc(nodes[dst], id, as_span(payload)).is_ok());
+    }
+  }
+  fabric.run_until_idle();
+
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(counters[i], static_cast<std::uint64_t>(kNodes - 1)) << i;
+    // Local registration means no auto-register and exactly one JIT.
+    EXPECT_EQ(runtimes[i]->stats().jit_compiles, 1u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace tc

@@ -1,0 +1,316 @@
+// Tests for the X-RDMA layer: pointer-table invariants, the Chaser payload
+// codec, and — the strongest system property — DAPC result equivalence
+// across every execution mode (AM, GET, bitcode, binary, HLL).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "xrdma/chaser.hpp"
+#include "xrdma/dapc.hpp"
+#include "xrdma/pointer_table.hpp"
+
+namespace tc::xrdma {
+namespace {
+
+// --- pointer table --------------------------------------------------------------
+
+class TableShapeP
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(TableShapeP, EntriesFormOnePermutationCycle) {
+  const auto [shards, per_shard] = GetParam();
+  PointerTableConfig config;
+  config.shard_count = shards;
+  config.entries_per_shard = per_shard;
+  auto table = DistributedPointerTable::build(config);
+  ASSERT_TRUE(table.is_ok());
+  const std::uint64_t total = shards * per_shard;
+  EXPECT_EQ(table->total_entries(), total);
+
+  // Permutation: every address appears exactly once as a value.
+  std::vector<bool> seen(total, false);
+  for (std::uint64_t addr = 0; addr < total; ++addr) {
+    const std::uint64_t value = table->lookup(addr);
+    ASSERT_LT(value, total);
+    ASSERT_FALSE(seen[value]) << "duplicate value " << value;
+    seen[value] = true;
+  }
+
+  // Single cycle: walking from 0 returns to 0 after exactly `total` steps.
+  std::uint64_t cursor = 0;
+  for (std::uint64_t i = 0; i < total; ++i) cursor = table->lookup(cursor);
+  EXPECT_EQ(cursor, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TableShapeP,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8, 16),
+                       ::testing::Values(2, 16, 256)));
+
+TEST(PointerTable, ServerMajorAddressing) {
+  PointerTableConfig config;
+  config.shard_count = 4;
+  config.entries_per_shard = 100;
+  auto table = DistributedPointerTable::build(config);
+  ASSERT_TRUE(table.is_ok());
+  EXPECT_EQ(table->owner_of(0), 0u);
+  EXPECT_EQ(table->owner_of(99), 0u);
+  EXPECT_EQ(table->owner_of(100), 1u);
+  EXPECT_EQ(table->owner_of(399), 3u);
+  EXPECT_EQ(table->slot_of(250), 50u);
+}
+
+TEST(PointerTable, DeterministicPerSeed) {
+  PointerTableConfig config;
+  config.shard_count = 2;
+  config.entries_per_shard = 64;
+  auto a = DistributedPointerTable::build(config);
+  auto b = DistributedPointerTable::build(config);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  for (std::uint64_t i = 0; i < a->total_entries(); ++i) {
+    EXPECT_EQ(a->lookup(i), b->lookup(i));
+  }
+  config.seed ^= 1;
+  auto c = DistributedPointerTable::build(config);
+  ASSERT_TRUE(c.is_ok());
+  std::uint64_t diffs = 0;
+  for (std::uint64_t i = 0; i < a->total_entries(); ++i) {
+    if (a->lookup(i) != c->lookup(i)) ++diffs;
+  }
+  EXPECT_GT(diffs, a->total_entries() / 2);
+}
+
+TEST(PointerTable, RemoteFractionGrowsWithServers) {
+  // Paper §IV-E: "the partitioning is refined as the number of servers
+  // increases, thus the fraction of cross-server communication rises."
+  double previous = 0.0;
+  for (std::uint64_t shards : {2, 4, 8, 16}) {
+    PointerTableConfig config;
+    config.shard_count = shards;
+    config.entries_per_shard = 512;
+    auto table = DistributedPointerTable::build(config);
+    ASSERT_TRUE(table.is_ok());
+    const double fraction = table->remote_fraction();
+    EXPECT_GT(fraction, previous);
+    // Random permutation: expected remote fraction ≈ 1 - 1/shards.
+    EXPECT_NEAR(fraction, 1.0 - 1.0 / static_cast<double>(shards), 0.05);
+    previous = fraction;
+  }
+}
+
+TEST(PointerTable, ChaseExpectedMatchesManualWalk) {
+  PointerTableConfig config;
+  config.shard_count = 3;
+  config.entries_per_shard = 32;
+  auto table = DistributedPointerTable::build(config);
+  ASSERT_TRUE(table.is_ok());
+  std::uint64_t cursor = 17;
+  for (int d = 1; d <= 10; ++d) {
+    cursor = table->lookup(cursor);
+    EXPECT_EQ(table->chase_expected(17, d), cursor);
+  }
+}
+
+TEST(PointerTable, InvalidConfigRejected) {
+  PointerTableConfig config;
+  config.shard_count = 0;
+  EXPECT_FALSE(DistributedPointerTable::build(config).is_ok());
+  config.shard_count = 1;
+  config.entries_per_shard = 0;
+  EXPECT_FALSE(DistributedPointerTable::build(config).is_ok());
+}
+
+// --- chaser codec ----------------------------------------------------------------
+
+TEST(ChaserCodec, PayloadRoundTrip) {
+  const ChaseRequest request{0xABCD, 4096};
+  Bytes wire = encode_chase_payload(request);
+  EXPECT_EQ(wire.size(), 16u);
+  auto decoded = decode_chase_payload(as_span(wire));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->address, request.address);
+  EXPECT_EQ(decoded->depth, request.depth);
+}
+
+TEST(ChaserCodec, ShortPayloadRejected) {
+  Bytes tiny(7, 0);
+  EXPECT_FALSE(decode_chase_payload(as_span(tiny)).is_ok());
+}
+
+TEST(ChaserCodec, LibraryNamesEncodeVariant) {
+  auto bitcode = build_chaser_library(ir::CodeRepr::kBitcode, false);
+  auto binary = build_chaser_library(ir::CodeRepr::kObject, false);
+  auto hll = build_chaser_library(ir::CodeRepr::kBitcode, true);
+  ASSERT_TRUE(bitcode.is_ok());
+  ASSERT_TRUE(binary.is_ok());
+  ASSERT_TRUE(hll.is_ok());
+  EXPECT_EQ(bitcode->name(), "dapc_chaser");
+  EXPECT_EQ(binary->name(), "dapc_chaser_bin");
+  EXPECT_EQ(hll->name(), "dapc_chaser_hll");
+  EXPECT_EQ(binary->repr(), ir::CodeRepr::kObject);
+  // Distinct names → distinct wire identities → independent caching.
+  EXPECT_NE(bitcode->id(), binary->id());
+  EXPECT_NE(bitcode->id(), hll->id());
+}
+
+// --- DAPC drivers -----------------------------------------------------------------
+
+constexpr ChaseMode kAllModes[] = {
+    ChaseMode::kActiveMessage, ChaseMode::kGet,        ChaseMode::kCachedBitcode,
+    ChaseMode::kCachedBinary,  ChaseMode::kHllBitcode, ChaseMode::kHllDrivesC};
+
+std::unique_ptr<hetsim::Cluster> small_cluster(std::size_t servers) {
+  hetsim::ClusterConfig config;
+  config.platform = hetsim::Platform::kThorXeon;
+  config.server_count = servers;
+  auto cluster = hetsim::Cluster::create(config);
+  EXPECT_TRUE(cluster.is_ok());
+  return std::move(cluster).value();
+}
+
+DapcConfig small_config() {
+  DapcConfig config;
+  config.depth = 32;
+  config.chases = 4;
+  config.entries_per_shard = 128;
+  return config;
+}
+
+class DapcModeP : public ::testing::TestWithParam<ChaseMode> {};
+
+TEST_P(DapcModeP, AllResultsCorrect) {
+  auto cluster = small_cluster(3);
+  auto driver = DapcDriver::create(*cluster, GetParam(), small_config());
+  ASSERT_TRUE(driver.is_ok()) << driver.status().to_string();
+  auto result = (*driver)->run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->completed, 4u);
+  EXPECT_EQ(result->correct, 4u);
+  EXPECT_GT(result->chases_per_second, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DapcModeP, ::testing::ValuesIn(kAllModes),
+                         [](const auto& info) {
+                           return chase_mode_name(info.param);
+                         });
+
+TEST(DapcEquivalence, EveryModeObservesIdenticalValues) {
+  // The strongest property in the system: six completely different
+  // execution pipelines (native AM handler, client-driven GETs, JIT'd
+  // bitcode, linked objects, HLL-guarded bitcode) must produce the same
+  // value sequence for the same seed.
+  std::vector<std::uint64_t> reference;
+  for (ChaseMode mode : kAllModes) {
+    auto cluster = small_cluster(4);
+    auto driver = DapcDriver::create(*cluster, mode, small_config());
+    ASSERT_TRUE(driver.is_ok()) << chase_mode_name(mode);
+    auto result = (*driver)->run();
+    ASSERT_TRUE(result.is_ok())
+        << chase_mode_name(mode) << ": " << result.status().to_string();
+    EXPECT_EQ(result->correct, result->completed) << chase_mode_name(mode);
+    if (reference.empty()) {
+      reference = result->values;
+    } else {
+      EXPECT_EQ(result->values, reference) << chase_mode_name(mode);
+    }
+  }
+}
+
+class DapcShapeP : public ::testing::TestWithParam<
+                       std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(DapcShapeP, BitcodeModeCorrectAcrossShapes) {
+  const auto [depth, servers] = GetParam();
+  auto cluster = small_cluster(servers);
+  DapcConfig config = small_config();
+  config.depth = depth;
+  config.chases = 3;
+  auto driver =
+      DapcDriver::create(*cluster, ChaseMode::kCachedBitcode, config);
+  ASSERT_TRUE(driver.is_ok());
+  auto result = (*driver)->run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->correct, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DapcShapeP,
+    ::testing::Combine(::testing::Values(1, 2, 16, 128),
+                       ::testing::Values(1, 2, 5, 8)));
+
+TEST(DapcPerformance, GetIsSlowerThanIfuncAtDepth) {
+  // Paper Figs. 5-7: the chaser beats GBPC because only cross-shard hops
+  // touch the network, while GBPC pays a full round trip per lookup.
+  auto config = small_config();
+  config.depth = 128;
+  config.chases = 2;
+
+  auto cluster_get = small_cluster(4);
+  auto get = DapcDriver::create(*cluster_get, ChaseMode::kGet, config);
+  ASSERT_TRUE(get.is_ok());
+  auto get_result = (*get)->run();
+  ASSERT_TRUE(get_result.is_ok());
+
+  auto cluster_bc = small_cluster(4);
+  auto bitcode =
+      DapcDriver::create(*cluster_bc, ChaseMode::kCachedBitcode, config);
+  ASSERT_TRUE(bitcode.is_ok());
+  auto bc_result = (*bitcode)->run();
+  ASSERT_TRUE(bc_result.is_ok());
+
+  EXPECT_GT(bc_result->chases_per_second, get_result->chases_per_second);
+}
+
+TEST(DapcPerformance, AmAndBitcodeWithinFewPercent) {
+  // Paper §V-D: AM performs between 3% and 7% better than cached bitcode.
+  auto config = small_config();
+  config.depth = 256;
+  config.chases = 2;
+
+  auto cluster_am = small_cluster(4);
+  auto am = DapcDriver::create(*cluster_am, ChaseMode::kActiveMessage, config);
+  ASSERT_TRUE(am.is_ok());
+  auto am_result = (*am)->run();
+  ASSERT_TRUE(am_result.is_ok());
+
+  auto cluster_bc = small_cluster(4);
+  auto bitcode =
+      DapcDriver::create(*cluster_bc, ChaseMode::kCachedBitcode, config);
+  ASSERT_TRUE(bitcode.is_ok());
+  auto bc_result = (*bitcode)->run();
+  ASSERT_TRUE(bc_result.is_ok());
+
+  const double ratio =
+      am_result->chases_per_second / bc_result->chases_per_second;
+  EXPECT_GT(ratio, 0.90);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST(DapcDriver, InvalidConfigRejected) {
+  auto cluster = small_cluster(2);
+  DapcConfig config = small_config();
+  config.depth = 0;
+  EXPECT_FALSE(
+      DapcDriver::create(*cluster, ChaseMode::kGet, config).is_ok());
+  config = small_config();
+  config.chases = 0;
+  EXPECT_FALSE(
+      DapcDriver::create(*cluster, ChaseMode::kGet, config).is_ok());
+}
+
+TEST(DapcDriver, ColdRunStillCorrect) {
+  auto cluster = small_cluster(2);
+  DapcConfig config = small_config();
+  config.warmup = false;
+  auto driver =
+      DapcDriver::create(*cluster, ChaseMode::kCachedBitcode, config);
+  ASSERT_TRUE(driver.is_ok());
+  auto result = (*driver)->run();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->correct, result->completed);
+}
+
+}  // namespace
+}  // namespace tc::xrdma

@@ -1,0 +1,188 @@
+// tc_inspect — command-line inspector for Three-Chains wire artifacts.
+//
+//   tc_inspect demo                      build the TSI demo archive and dump it
+//   tc_inspect archive <file>            dump a serialized fat-bitcode archive
+//   tc_inspect frame <file>              decode an ifunc message frame
+//   tc_inspect disas <file> [triple]     disassemble one archive entry to .ll
+//   tc_inspect emit-demo <file>          write the TSI demo archive to a file
+//
+// Useful when debugging what actually travels on the wire: entry triples,
+// code sizes, deps manifests, header fields, delimiter placement.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/frame.hpp"
+#include "ir/fat_bitcode.hpp"
+#include "ir/kernel_builder.hpp"
+#include "ir/textual.hpp"
+
+using namespace tc;
+
+namespace {
+
+StatusOr<Bytes> read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return not_found(std::string("cannot open ") + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+int dump_archive(const ir::FatBitcode& archive) {
+  std::printf("fat archive: repr=%s entries=%zu deps=%zu code=%zu bytes "
+              "(serialized %zu bytes)\n",
+              archive.repr() == ir::CodeRepr::kBitcode ? "bitcode" : "object",
+              archive.entries().size(), archive.dependencies().size(),
+              archive.code_size(), archive.serialize().size());
+  for (const ir::ArchiveEntry& entry : archive.entries()) {
+    std::printf("  entry: triple=%-28s cpu=%-12s %zu bytes\n",
+                entry.target.triple.c_str(),
+                entry.target.cpu.empty() ? "(generic)"
+                                         : entry.target.cpu.c_str(),
+                entry.code.size());
+  }
+  for (const std::string& dep : archive.dependencies()) {
+    std::printf("  dep: %s\n", dep.c_str());
+  }
+  return 0;
+}
+
+int cmd_archive(const char* path) {
+  auto data = read_file(path);
+  if (!data.is_ok()) {
+    std::fprintf(stderr, "%s\n", data.status().to_string().c_str());
+    return 1;
+  }
+  auto archive = ir::FatBitcode::deserialize(as_span(*data));
+  if (!archive.is_ok()) {
+    std::fprintf(stderr, "not a fat archive: %s\n",
+                 archive.status().to_string().c_str());
+    return 1;
+  }
+  return dump_archive(*archive);
+}
+
+int cmd_frame(const char* path) {
+  auto data = read_file(path);
+  if (!data.is_ok()) {
+    std::fprintf(stderr, "%s\n", data.status().to_string().c_str());
+    return 1;
+  }
+  auto header = core::Frame::peek_header(as_span(*data));
+  if (!header.is_ok()) {
+    std::fprintf(stderr, "bad frame header: %s\n",
+                 header.status().to_string().c_str());
+    return 1;
+  }
+  auto has_code = core::Frame::validate(as_span(*data));
+  std::printf("ifunc frame: id=%016llx repr=%s%s origin=node%u\n",
+              static_cast<unsigned long long>(header->ifunc_id),
+              header->repr == 0 ? "bitcode" : "object",
+              header->code_only ? " (code-only)" : "",
+              header->origin_node);
+  std::printf("  payload: %u bytes\n", header->payload_size);
+  std::printf("  code:    %u bytes (%s)\n", header->code_size,
+              has_code.is_ok() && *has_code ? "present"
+                                            : "truncated / not delivered");
+  std::printf("  sizes:   truncated=%zu full=%zu\n",
+              core::kHeaderSize + header->payload_size + core::kMagicSize,
+              core::kHeaderSize + header->payload_size + core::kMagicSize +
+                  header->code_size + core::kMagicSize);
+  if (has_code.is_ok() && *has_code) {
+    auto archive = ir::FatBitcode::deserialize(
+        core::Frame::code_view(as_span(*data), *header));
+    if (archive.is_ok()) {
+      std::printf("  embedded ");
+      dump_archive(*archive);
+    }
+  }
+  return 0;
+}
+
+int cmd_disas(const char* path, const char* triple) {
+  auto data = read_file(path);
+  if (!data.is_ok()) {
+    std::fprintf(stderr, "%s\n", data.status().to_string().c_str());
+    return 1;
+  }
+  auto archive = ir::FatBitcode::deserialize(as_span(*data));
+  if (!archive.is_ok()) {
+    std::fprintf(stderr, "not a fat archive: %s\n",
+                 archive.status().to_string().c_str());
+    return 1;
+  }
+  const std::string want = triple != nullptr ? triple : ir::host_triple();
+  auto entry = archive->select(want);
+  if (!entry.is_ok()) {
+    std::fprintf(stderr, "%s\n", entry.status().to_string().c_str());
+    return 1;
+  }
+  auto text = ir::bitcode_to_ll(as_span((*entry)->code));
+  if (!text.is_ok()) {
+    std::fprintf(stderr, "%s\n", text.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(text->c_str(), stdout);
+  return 0;
+}
+
+StatusOr<ir::FatBitcode> demo_archive() {
+  return ir::build_default_fat_kernel(ir::KernelKind::kTargetSideIncrement);
+}
+
+int cmd_demo() {
+  auto archive = demo_archive();
+  if (!archive.is_ok()) {
+    std::fprintf(stderr, "%s\n", archive.status().to_string().c_str());
+    return 1;
+  }
+  return dump_archive(*archive);
+}
+
+int cmd_emit_demo(const char* path) {
+  auto archive = demo_archive();
+  if (!archive.is_ok()) {
+    std::fprintf(stderr, "%s\n", archive.status().to_string().c_str());
+    return 1;
+  }
+  const Bytes wire = archive->serialize();
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(wire.data()),
+            static_cast<std::streamsize>(wire.size()));
+  std::printf("wrote %zu bytes to %s\n", wire.size(), path);
+  return out ? 0 : 1;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: tc_inspect demo\n"
+               "       tc_inspect archive <file>\n"
+               "       tc_inspect frame <file>\n"
+               "       tc_inspect disas <file> [triple]\n"
+               "       tc_inspect emit-demo <file>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "demo") == 0) return cmd_demo();
+  if (std::strcmp(cmd, "archive") == 0 && argc >= 3) {
+    return cmd_archive(argv[2]);
+  }
+  if (std::strcmp(cmd, "frame") == 0 && argc >= 3) return cmd_frame(argv[2]);
+  if (std::strcmp(cmd, "disas") == 0 && argc >= 3) {
+    return cmd_disas(argv[2], argc >= 4 ? argv[3] : nullptr);
+  }
+  if (std::strcmp(cmd, "emit-demo") == 0 && argc >= 3) {
+    return cmd_emit_demo(argv[2]);
+  }
+  usage();
+  return 2;
+}
