@@ -10,7 +10,8 @@ int main() {
   auto series = bench::dapc_server_sweep(
       hetsim::Platform::kOokami, counts, depth,
       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode});
+       xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode,
+       xrdma::ChaseMode::kInterpreted});
   bench::print_dapc_figure(
       "Figure 10: Ookami DAPC scaling, depth 4096", "servers", series);
   return 0;

@@ -10,7 +10,8 @@ int main() {
   auto series = bench::dapc_server_sweep(
       hetsim::Platform::kThorXeon, counts, depth,
       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kCachedBitcode});
+       xrdma::ChaseMode::kCachedBitcode,
+       xrdma::ChaseMode::kInterpreted});
   bench::print_dapc_figure(
       "Figure 11: Thor Xeon DAPC scaling, depth 4096", "servers", series);
   return 0;

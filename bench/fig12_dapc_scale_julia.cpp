@@ -11,7 +11,8 @@ int main() {
       hetsim::Platform::kThorBF2, counts, depth,
       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
        xrdma::ChaseMode::kHllBitcode, xrdma::ChaseMode::kHllDrivesC,
-       xrdma::ChaseMode::kCachedBitcode});
+       xrdma::ChaseMode::kCachedBitcode,
+       xrdma::ChaseMode::kInterpreted});
   bench::print_dapc_figure(
       "Figure 12: Thor BF2 DAPC scaling with HLL frontend, depth 4096",
       "servers", series);

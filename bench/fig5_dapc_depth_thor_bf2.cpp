@@ -10,7 +10,8 @@ int main() {
   auto series = bench::dapc_depth_sweep(
       hetsim::Platform::kThorBF2, servers,
       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kCachedBitcode},
+       xrdma::ChaseMode::kCachedBitcode,
+       xrdma::ChaseMode::kInterpreted},
       depths);
   bench::print_dapc_figure("Figure 5: Thor 32-server DAPC depth sweep "
                            "(Xeon client, BF2 servers)",

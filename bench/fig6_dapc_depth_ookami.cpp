@@ -10,7 +10,8 @@ int main() {
   auto series = bench::dapc_depth_sweep(
       hetsim::Platform::kOokami, servers,
       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode},
+       xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode,
+       xrdma::ChaseMode::kInterpreted},
       depths);
   bench::print_dapc_figure("Figure 6: Ookami 64-server DAPC depth sweep",
                            "depth", series);

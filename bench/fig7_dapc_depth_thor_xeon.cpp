@@ -9,7 +9,8 @@ int main() {
   auto series = bench::dapc_depth_sweep(
       hetsim::Platform::kThorXeon, servers,
       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kCachedBitcode},
+       xrdma::ChaseMode::kCachedBitcode,
+       xrdma::ChaseMode::kInterpreted},
       depths);
   bench::print_dapc_figure(
       "Figure 7: Thor 16-server DAPC depth sweep (Xeon client and servers)",

@@ -12,7 +12,8 @@ int main() {
       hetsim::Platform::kThorBF2, servers,
       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
        xrdma::ChaseMode::kHllBitcode, xrdma::ChaseMode::kHllDrivesC,
-       xrdma::ChaseMode::kCachedBitcode},
+       xrdma::ChaseMode::kCachedBitcode,
+       xrdma::ChaseMode::kInterpreted},
       depths);
   bench::print_dapc_figure(
       "Figure 8: Thor 32-server DAPC depth sweep, HLL (Julia-analogue) vs C",

@@ -1,0 +1,154 @@
+// Micro-benchmarks for tiered ifunc execution (google-benchmark): the
+// *first-invocation* latency of each code representation, measured for real
+// on this host. This is the cold-path story of the tiered design — the
+// interpreter executes a freshly arrived portable ifunc in microseconds
+// while the bitcode representation first pays the one-time JIT compile
+// (the paper's uncached-row stall: 0.83-6.59 ms depending on platform),
+// and the AOT object representation pays a link.
+//
+// Builds with or without LLVM; without it only the interpreter tier and its
+// steady-state cost are reported.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/context.hpp"
+#include "ir/kernels.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/interp.hpp"
+#include "vm/lower.hpp"
+
+#if TC_WITH_LLVM
+#include "ir/bitcode.hpp"
+#include "ir/kernel_builder.hpp"
+#include "jit/compiler.hpp"
+#include "jit/engine.hpp"
+#endif
+
+namespace {
+
+using namespace tc;
+
+core::ExecContext make_ctx(std::uint64_t* counter) {
+  core::ExecContext ctx;
+  ctx.target_ptr = counter;
+  return ctx;
+}
+
+Bytes portable_tsi_wire() {
+  auto program = vm::lower_kernel(ir::KernelKind::kTargetSideIncrement);
+  return program->serialize();
+}
+
+// First invocation, interpreter tier: decode + validate + run. No compile.
+void BM_FirstInvocation_Interpreter(benchmark::State& state) {
+  const Bytes wire = portable_tsi_wire();
+  std::uint64_t counter = 0;
+  std::uint8_t payload = 0;
+  for (auto _ : state) {
+    auto program = vm::Program::deserialize(as_span(wire));
+    core::ExecContext ctx = make_ctx(&counter);
+    vm::HookTable hooks = core::runtime_vm_hooks(ctx);
+    auto r = vm::execute(*program, hooks, &payload, 1);
+    benchmark::DoNotOptimize(r);
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_FirstInvocation_Interpreter)->Unit(benchmark::kMicrosecond);
+
+// Steady state, interpreter tier: the per-invocation dispatch tax.
+void BM_SteadyState_Interpreter(benchmark::State& state) {
+  auto program = vm::lower_kernel(ir::KernelKind::kPayloadSum);
+  Bytes payload(static_cast<std::size_t>(state.range(0)), 3);
+  std::uint64_t sum = 0;
+  core::ExecContext ctx = make_ctx(&sum);
+  vm::HookTable hooks = core::runtime_vm_hooks(ctx);
+  for (auto _ : state) {
+    auto r = vm::execute(*program, hooks, payload.data(), payload.size());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SteadyState_Interpreter)->Arg(64)->Arg(4096);
+
+#if TC_WITH_LLVM
+
+Bytes tsi_bitcode() {
+  llvm::LLVMContext context;
+  auto module = ir::build_kernel(context, ir::KernelKind::kTargetSideIncrement,
+                                 ir::host_descriptor());
+  return ir::module_to_bitcode(**module);
+}
+
+Bytes tsi_object() {
+  llvm::LLVMContext context;
+  auto module = ir::build_kernel(context, ir::KernelKind::kTargetSideIncrement,
+                                 ir::host_descriptor());
+  auto object = jit::compile_to_object(**module, ir::host_descriptor());
+  return std::move(object).value();
+}
+
+jit::EngineOptions hook_options() {
+  jit::EngineOptions options;
+  options.extra_symbols = core::runtime_hook_symbols();
+  return options;
+}
+
+// First invocation, bitcode tier: parse + optimize + codegen + link + run —
+// the stall the interpreter tier removes from the cold path.
+void BM_FirstInvocation_BitcodeJit(benchmark::State& state) {
+  const Bytes bitcode = tsi_bitcode();
+  std::uint64_t counter = 0;
+  std::uint8_t payload = 0;
+  int n = 0;
+  for (auto _ : state) {
+    auto engine = jit::OrcEngine::create(hook_options());
+    auto entry = (*engine)->add_ifunc_bitcode("tsi" + std::to_string(n++),
+                                              as_span(bitcode), {});
+    core::ExecContext ctx = make_ctx(&counter);
+    (*entry)(&ctx, &payload, 1);
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_FirstInvocation_BitcodeJit)->Unit(benchmark::kMicrosecond);
+
+// First invocation, binary tier: link only + run.
+void BM_FirstInvocation_ObjectLink(benchmark::State& state) {
+  const Bytes object = tsi_object();
+  std::uint64_t counter = 0;
+  std::uint8_t payload = 0;
+  int n = 0;
+  for (auto _ : state) {
+    auto engine = jit::OrcEngine::create(hook_options());
+    auto entry = (*engine)->add_ifunc_object("tsi" + std::to_string(n++),
+                                             as_span(object), {});
+    core::ExecContext ctx = make_ctx(&counter);
+    (*entry)(&ctx, &payload, 1);
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_FirstInvocation_ObjectLink)->Unit(benchmark::kMicrosecond);
+
+// Steady state, JIT tier: what promotion buys once the ifunc is hot.
+void BM_SteadyState_Jit(benchmark::State& state) {
+  llvm::LLVMContext context;
+  auto module = ir::build_kernel(context, ir::KernelKind::kPayloadSum,
+                                 ir::host_descriptor());
+  auto engine = jit::OrcEngine::create(hook_options());
+  auto entry = (*engine)->add_ifunc_bitcode(
+      "payload_sum", as_span(ir::module_to_bitcode(**module)), {});
+  Bytes payload(static_cast<std::size_t>(state.range(0)), 3);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    core::ExecContext ctx = make_ctx(&sum);
+    (*entry)(&ctx, payload.data(), payload.size());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SteadyState_Jit)->Arg(64)->Arg(4096);
+
+#endif  // TC_WITH_LLVM
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,6 +9,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"

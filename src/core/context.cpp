@@ -1,5 +1,7 @@
 #include "core/context.hpp"
 
+#include <cmath>
+
 #include "common/log.hpp"
 #include "core/runtime.hpp"
 
@@ -82,6 +84,26 @@ void tc_hll_guard(void* ctx) { as_ctx(ctx)->runtime->ctx_hll_guard(*as_ctx(ctx))
 }  // extern "C"
 
 namespace tc::core {
+
+vm::HookTable runtime_vm_hooks(ExecContext& ctx) {
+  vm::HookTable hooks;
+  hooks.ctx = &ctx;
+  hooks.target = &tc_ctx_target;
+  hooks.node = &tc_ctx_node;
+  hooks.peer_count = &tc_ctx_peer_count;
+  hooks.self_peer = &tc_ctx_self_peer;
+  hooks.shard_base = &tc_ctx_shard_base;
+  hooks.shard_size = &tc_ctx_shard_size;
+  hooks.forward = &tc_ctx_forward;
+  hooks.inject = &tc_ctx_inject;
+  hooks.reply = &tc_ctx_reply;
+  hooks.remote_write = &tc_ctx_remote_write;
+  hooks.hll_guard = &tc_hll_guard;
+  // The libm dependency the sin_sum archive declares; the interpreter binds
+  // it statically (the host runtime already links libm).
+  hooks.sin_fn = [](double x) { return std::sin(x); };
+  return hooks;
+}
 
 std::vector<std::pair<std::string, void*>> runtime_hook_symbols() {
   return {

@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "fabric/memory.hpp"
+#include "vm/interp.hpp"
 
 namespace tc::core {
 
@@ -69,4 +72,9 @@ void tc_hll_guard(void* ctx);
 namespace tc::core {
 /// The hook table handed to jit::EngineOptions::extra_symbols.
 std::vector<std::pair<std::string, void*>> runtime_hook_symbols();
+
+/// The same hook surface for the interpreter tier: a vm::HookTable whose
+/// entries are exactly the extern "C" functions above, bound to `ctx` —
+/// interpreted and JIT'd code observe identical runtime behavior.
+vm::HookTable runtime_vm_hooks(ExecContext& ctx);
 }  // namespace tc::core

@@ -92,7 +92,7 @@ StatusOr<FrameHeader> Frame::peek_header(ByteSpan data) {
   if (check != header_check(data.subspan(0, 24))) {
     return data_loss("header check mismatch");
   }
-  if (h.repr > static_cast<std::uint8_t>(ir::CodeRepr::kObject)) {
+  if (h.repr > static_cast<std::uint8_t>(ir::CodeRepr::kPortable)) {
     return data_loss("unknown code representation " + std::to_string(h.repr));
   }
   return h;

@@ -1,6 +1,24 @@
 #include "core/ifunc.hpp"
 
+#if TC_WITH_LLVM
+#include "ir/bitcode.hpp"
+#include "ir/kernel_builder.hpp"
+#endif
+#include "vm/lower.hpp"
+
 namespace tc::core {
+
+namespace {
+
+/// The sin_sum kernel calls sin() from libm: declare the dependency in the
+/// archive's deps manifest so targets dlopen it before invocation.
+void declare_kernel_deps(ir::KernelKind kind, ir::FatBitcode& archive) {
+  if (kind == ir::KernelKind::kSinSum) {
+    archive.add_dependency("libm.so.6");
+  }
+}
+
+}  // namespace
 
 StatusOr<IfuncLibrary> IfuncLibrary::from_archive(std::string name,
                                                   ir::FatBitcode archive) {
@@ -18,14 +36,54 @@ StatusOr<IfuncLibrary> IfuncLibrary::from_archive(std::string name,
 
 StatusOr<IfuncLibrary> IfuncLibrary::from_kernel(
     ir::KernelKind kind, const ir::KernelOptions& options) {
+#if TC_WITH_LLVM
   TC_ASSIGN_OR_RETURN(ir::FatBitcode archive,
                       ir::build_default_fat_kernel(kind, options));
-  // The sin_sum kernel calls sin() from libm: declare the dependency in the
-  // archive's deps manifest so targets dlopen it before invocation.
-  if (kind == ir::KernelKind::kSinSum) {
-    archive.add_dependency("libm.so.6");
-  }
+  declare_kernel_deps(kind, archive);
   std::string name = ir::kernel_name(kind);
+  if (options.hll_guards) name += "_hll";
+  return from_archive(std::move(name), std::move(archive));
+#else
+  (void)kind;
+  (void)options;
+  return failed_precondition(
+      "bitcode kernels need LLVM (built with TC_WITH_LLVM=OFF); use "
+      "from_portable_kernel");
+#endif
+}
+
+std::string portable_kernel_name(ir::KernelKind kind) {
+  return std::string(ir::kernel_name(kind)) + "_vm";
+}
+
+StatusOr<IfuncLibrary> IfuncLibrary::from_portable_kernel(
+    ir::KernelKind kind, const ir::KernelOptions& options) {
+  TC_ASSIGN_OR_RETURN(ir::FatBitcode archive,
+                      vm::build_portable_kernel(kind, options));
+  declare_kernel_deps(kind, archive);
+  std::string name = portable_kernel_name(kind);
+  if (options.hll_guards) name += "_hll";
+  return from_archive(std::move(name), std::move(archive));
+}
+
+StatusOr<IfuncLibrary> IfuncLibrary::from_tiered_kernel(
+    ir::KernelKind kind, const ir::KernelOptions& options) {
+  TC_ASSIGN_OR_RETURN(ir::FatBitcode archive,
+                      vm::build_portable_kernel(kind, options));
+#if TC_WITH_LLVM
+  // Ride the per-ISA bitcode alongside the portable entry so the receiving
+  // runtime can promote past the interpreter once the ifunc is hot. Without
+  // LLVM the archive stays portable-only and runs interpreted forever.
+  for (const ir::TargetDescriptor& target : ir::default_fat_targets()) {
+    llvm::LLVMContext context;
+    TC_ASSIGN_OR_RETURN(auto module,
+                        ir::build_kernel(context, kind, target, options));
+    TC_RETURN_IF_ERROR(
+        archive.add_entry(target, ir::module_to_bitcode(*module)));
+  }
+#endif
+  declare_kernel_deps(kind, archive);
+  std::string name = std::string(ir::kernel_name(kind)) + "_tiered";
   if (options.hll_guards) name += "_hll";
   return from_archive(std::move(name), std::move(archive));
 }

@@ -11,7 +11,7 @@
 #include "common/hash.hpp"
 #include "common/status.hpp"
 #include "ir/fat_bitcode.hpp"
-#include "ir/kernel_builder.hpp"
+#include "ir/kernels.hpp"
 
 namespace tc::core {
 
@@ -20,6 +20,10 @@ inline std::uint64_t ifunc_id_for_name(std::string_view name) {
   return fnv1a64(name);
 }
 
+/// Registered name of a stock kernel's portable-bytecode variant (the
+/// naming convention from_portable_kernel applies).
+std::string portable_kernel_name(ir::KernelKind kind);
+
 class IfuncLibrary {
  public:
   /// Wraps a built archive under `name`. The archive must be non-empty.
@@ -27,8 +31,22 @@ class IfuncLibrary {
                                              ir::FatBitcode archive);
 
   /// Builds one of the stock kernels for the default target set — the
-  /// one-call path used by examples and benchmarks.
+  /// one-call path used by examples and benchmarks. Requires TC_WITH_LLVM
+  /// (fails with kFailedPrecondition otherwise).
   static StatusOr<IfuncLibrary> from_kernel(
+      ir::KernelKind kind, const ir::KernelOptions& options = {});
+
+  /// Builds a stock kernel as a portable-only ('TCFP') archive — the
+  /// interpreter tier, available with or without LLVM. Library name is
+  /// `<kernel>_vm`, a distinct wire identity from the bitcode variants.
+  static StatusOr<IfuncLibrary> from_portable_kernel(
+      ir::KernelKind kind, const ir::KernelOptions& options = {});
+
+  /// Builds a *tiered* archive: a portable entry (interpreted immediately
+  /// on arrival, zero compile) plus — when LLVM is compiled in — per-ISA
+  /// bitcode entries the receiving runtime promotes to once the ifunc is
+  /// hot. Library name is `<kernel>_tiered`.
+  static StatusOr<IfuncLibrary> from_tiered_kernel(
       ir::KernelKind kind, const ir::KernelOptions& options = {});
 
   const std::string& name() const { return name_; }

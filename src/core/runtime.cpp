@@ -58,9 +58,15 @@ Runtime::~Runtime() {
 }
 
 Status Runtime::ensure_engine() {
+#if TC_WITH_LLVM
   if (engine_) return Status::ok();
   TC_ASSIGN_OR_RETURN(engine_, jit::OrcEngine::create(options_.engine));
   return Status::ok();
+#else
+  return failed_precondition(
+      "this runtime was built without LLVM (TC_WITH_LLVM=OFF); only the "
+      "portable interpreter tier can execute ifuncs");
+#endif
 }
 
 fabric::Endpoint& Runtime::endpoint(fabric::NodeId dst) {
@@ -279,27 +285,8 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
   }
 
   Registered& reg = it->second;
-  if (reg.entry == nullptr) {
-    TC_RETURN_IF_ERROR(compile_registered(reg));
-    // The wire identity may differ from the library-name hash for
-    // auto-registered ifuncs; cache under the wire id.
-    if (!cache_.contains(header.ifunc_id)) {
-      jit::CachedIfunc cached;
-      cached.entry = reg.entry;
-      cached.compile_stats = last_compile_stats_;
-      std::uint64_t evicted = 0;
-      TC_RETURN_IF_ERROR(cache_.insert(header.ifunc_id, cached, &evicted));
-      if (evicted != 0) {
-        ++stats_.cache_evictions;
-        if (auto evicted_it = registry_.find(evicted);
-            evicted_it != registry_.end()) {
-          // Release the JIT resources; the archive stays registered, so a
-          // later frame recompiles without a NACK round trip.
-          (void)engine_->remove_library(evicted_it->second.library.name());
-          evicted_it->second.entry = nullptr;
-        }
-      }
-    }
+  if (reg.entry == nullptr && !reg.has_program) {
+    TC_RETURN_IF_ERROR(materialize_and_cache(reg, header.ifunc_id));
   } else {
     (void)cache_.find(header.ifunc_id);  // count the cache hit
   }
@@ -323,44 +310,147 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
 }
 
 Status Runtime::compile_registered(Registered& reg) {
+#if TC_WITH_LLVM
   TC_RETURN_IF_ERROR(ensure_engine());
   const IfuncLibrary& lib = reg.library;
   TC_ASSIGN_OR_RETURN(const ir::ArchiveEntry* entry,
                       lib.archive().select(engine_->triple()));
   jit::CompileStats compile_stats;
-  if (lib.repr() == ir::CodeRepr::kBitcode) {
+  if (lib.repr() == ir::CodeRepr::kObject) {
+    TC_ASSIGN_OR_RETURN(
+        reg.entry,
+        engine_->add_ifunc_object(lib.name(), as_span(entry->code),
+                                  lib.archive().dependencies(),
+                                  &compile_stats));
+    reg.tier = jit::Tier::kLinked;
+    ++stats_.object_links;
+    stats_.real_jit_ns_total += compile_stats.compile_ns;
+    charge(options_.link_cost_ns, compile_stats.compile_ns);
+  } else {
+    // kBitcode archives, and the bitcode entries riding in a kPortable
+    // archive (tier promotion).
     TC_ASSIGN_OR_RETURN(
         reg.entry,
         engine_->add_ifunc_bitcode(lib.name(), as_span(entry->code),
                                    lib.archive().dependencies(),
                                    &compile_stats));
+    reg.tier = jit::Tier::kJit;
     ++stats_.jit_compiles;
     const std::int64_t measured = compile_stats.parse_ns +
                                   compile_stats.optimize_ns +
                                   compile_stats.compile_ns;
     stats_.real_jit_ns_total += measured;
     charge(options_.jit_cost_ns, measured);
-  } else {
-    TC_ASSIGN_OR_RETURN(
-        reg.entry,
-        engine_->add_ifunc_object(lib.name(), as_span(entry->code),
-                                  lib.archive().dependencies(),
-                                  &compile_stats));
-    ++stats_.object_links;
-    stats_.real_jit_ns_total += compile_stats.compile_ns;
-    charge(options_.link_cost_ns, compile_stats.compile_ns);
   }
   last_compile_stats_ = compile_stats;
   return Status::ok();
+#else
+  (void)reg;
+  return ensure_engine();  // reports the without-LLVM precondition failure
+#endif
+}
+
+Status Runtime::load_portable(Registered& reg) {
+  const IfuncLibrary& lib = reg.library;
+  TC_ASSIGN_OR_RETURN(const ir::ArchiveEntry* entry,
+                      lib.archive().select_portable());
+  const std::int64_t t0 = now_ns();
+  TC_ASSIGN_OR_RETURN(reg.program, vm::Program::deserialize(as_span(entry->code)));
+  const std::int64_t measured = now_ns() - t0;
+  reg.has_program = true;
+  reg.tier = jit::Tier::kInterpreted;
+  ++stats_.portable_loads;
+  // The decode is the entire cold-path cost of this tier — microseconds
+  // where the JIT tier pays milliseconds.
+  charge(options_.portable_load_cost_ns, measured);
+  jit::CompileStats compile_stats;
+  compile_stats.code_bytes = entry->code.size();
+  compile_stats.parse_ns = measured;
+  last_compile_stats_ = compile_stats;
+  return Status::ok();
+}
+
+Status Runtime::materialize_registered(Registered& reg) {
+  if (reg.library.repr() == ir::CodeRepr::kPortable) {
+    return load_portable(reg);
+  }
+  return compile_registered(reg);
+}
+
+Status Runtime::materialize_and_cache(Registered& reg,
+                                      std::uint64_t ifunc_id) {
+  TC_RETURN_IF_ERROR(materialize_registered(reg));
+  // The wire identity may differ from the library-name hash for
+  // auto-registered ifuncs; cache under the wire id.
+  if (cache_.contains(ifunc_id)) return Status::ok();
+  jit::CachedIfunc cached;
+  cached.entry = reg.entry;
+  cached.tier = reg.tier;
+  cached.compile_stats = last_compile_stats_;
+  std::uint64_t evicted = 0;
+  TC_RETURN_IF_ERROR(cache_.insert(ifunc_id, cached, &evicted));
+  if (evicted != 0) {
+    ++stats_.cache_evictions;
+    if (auto evicted_it = registry_.find(evicted);
+        evicted_it != registry_.end()) {
+      // Release the materialized tier; the archive stays registered, so
+      // a later frame re-materializes without a NACK round trip.
+      Registered& victim = evicted_it->second;
+#if TC_WITH_LLVM
+      if (victim.entry != nullptr && engine_ != nullptr) {
+        (void)engine_->remove_library(victim.library.name());
+      }
+#endif
+      victim.entry = nullptr;
+      victim.has_program = false;
+      victim.program = vm::Program();
+      victim.promotable = true;
+    }
+  }
+  return Status::ok();
+}
+
+void Runtime::maybe_promote(Registered& reg, std::uint64_t ifunc_id) {
+  if (reg.tier != jit::Tier::kInterpreted || options_.interp_only ||
+      !reg.promotable || reg.invocations < options_.promote_after) {
+    return;
+  }
+#if TC_WITH_LLVM
+  // Promotion needs a bitcode entry for this host riding in the portable
+  // archive; probe once and remember a miss.
+  if (!reg.library.archive().select(ir::host_triple()).is_ok()) {
+    reg.promotable = false;
+    return;
+  }
+  Status status = compile_registered(reg);
+  if (!status.is_ok()) {
+    TC_LOG(kWarn, "runtime") << "node " << node_ << " promotion of '"
+                             << reg.library.name()
+                             << "' failed: " << status.to_string();
+    reg.promotable = false;
+    return;
+  }
+  ++stats_.tier_promotions;
+  if (jit::CachedIfunc* cached = cache_.peek(ifunc_id); cached != nullptr) {
+    cached->entry = reg.entry;
+    cached->tier = reg.tier;
+    cached->compile_stats = last_compile_stats_;
+  }
+#else
+  (void)ifunc_id;
+  reg.promotable = false;  // no JIT tier to promote to
+#endif
 }
 
 void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
                             Bytes payload, fabric::NodeId origin_node) {
   // The lookup+exec charge lands before the ifunc's visible effects: the
-  // invocation is scheduled behind the charged interval.
-  abi::EntryFn entry = reg.entry;
+  // invocation is scheduled behind the charged interval. `reg` is stable:
+  // unordered_map never moves nodes, and deregistration is not reachable
+  // from inside the event this lambda runs in.
+  Registered* regp = &reg;
   const std::int64_t configured = options_.lookup_exec_cost_ns;
-  auto invoke = [this, entry, ifunc_id, origin_node,
+  auto invoke = [this, regp, ifunc_id, origin_node,
                  payload = std::move(payload)]() mutable {
     ExecContext ctx;
     ctx.runtime = this;
@@ -373,16 +463,57 @@ void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
     ctx.peers = &peers_;
     ctx.self_peer = self_peer_;
 
+    if (regp->entry == nullptr && !regp->has_program) {
+      // A bounded cache can evict this ifunc between frame processing and
+      // this scheduled invocation; re-materialize from the retained
+      // archive rather than calling through a released tier.
+      Status status = materialize_and_cache(*regp, ifunc_id);
+      if (!status.is_ok()) {
+        ++stats_.protocol_errors;
+        TC_LOG(kWarn, "runtime")
+            << "node " << node_ << " re-materialization of '"
+            << regp->library.name() << "' failed: " << status.to_string();
+        return;
+      }
+    }
+    const bool interpreted = regp->entry == nullptr && regp->has_program;
     const std::int64_t t0 = now_ns();
-    entry(&ctx, payload.data(), payload.size());
+    std::uint64_t interp_ops = 0;
+    if (interpreted) {
+      vm::HookTable hooks = runtime_vm_hooks(ctx);
+      auto result =
+          vm::execute(regp->program, hooks, payload.data(), payload.size());
+      if (!result.is_ok()) {
+        ++stats_.protocol_errors;
+        TC_LOG(kWarn, "runtime")
+            << "node " << node_ << " interpreter fault in '"
+            << regp->library.name() << "': " << result.status().to_string();
+        return;
+      }
+      interp_ops = result->ops;
+      ++stats_.interp_executions;
+      stats_.interp_ops += interp_ops;
+    } else {
+      regp->entry(&ctx, payload.data(), payload.size());
+    }
     const std::int64_t measured = now_ns() - t0;
-    if (options_.lookup_exec_cost_ns < 0) {
+    if (interpreted && options_.interp_op_ns >= 0) {
+      // Calibrated interpreter tax: dispatch cost × instructions retired.
+      fabric_->consume_compute(
+          node_, options_.interp_op_ns * static_cast<std::int64_t>(interp_ops),
+          /*scale_cost=*/false);
+    } else if (options_.lookup_exec_cost_ns < 0) {
       fabric_->consume_compute(node_, measured);
     }
     ++stats_.frames_executed;
+    ++regp->invocations;
+    if (jit::CachedIfunc* cached = cache_.peek(ifunc_id); cached != nullptr) {
+      cached->invocations = regp->invocations;
+    }
     stats_.forwards += ctx.forwards_issued;
     stats_.injects += ctx.injects_issued;
     stats_.replies_sent += ctx.replies_issued;
+    maybe_promote(*regp, ifunc_id);
     // Advance virtual time to the end of the charged work (guard costs,
     // measured execution) so callers observing fabric.now() after idling
     // see the completion time, not the invocation time.

@@ -11,6 +11,13 @@
 // charges to the simulated node is either the measured wall time (default)
 // or a calibrated constant from a hardware profile (hetsim/profiles.hpp) —
 // this is how the paper's testbed timings are reproduced on one machine.
+//
+// Tiered execution: frames carrying the portable representation ('TCFP')
+// are decoded and *interpreted* immediately on first arrival — no compile
+// stall at all — and, when the archive also ships bitcode and LLVM is
+// compiled in, promoted to the ORC-JIT tier once their invocation count
+// crosses `promote_after`. TC_WITH_LLVM=OFF builds run the interpreter
+// tier only.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -27,7 +35,11 @@
 #include "fabric/endpoint.hpp"
 #include "fabric/fabric.hpp"
 #include "jit/code_cache.hpp"
+#include "vm/bytecode.hpp"
+
+#if TC_WITH_LLVM
 #include "jit/engine.hpp"
+#endif
 
 namespace tc::core {
 
@@ -43,6 +55,19 @@ struct RuntimeOptions {
   std::int64_t link_cost_ns = -1;         ///< object link (binary repr)
   std::int64_t lookup_exec_cost_ns = -1;  ///< per-invocation lookup+execute
   std::int64_t hll_guard_cost_ns = 0;     ///< per tc_hll_guard call
+  /// Per-instruction cost of the interpreter tier (hetsim profiles pin a
+  /// calibrated per-platform value; <0 charges the measured wall time).
+  std::int64_t interp_op_ns = -1;
+  /// One-time decode+validate of a portable program on first arrival —
+  /// the (tiny) cold-path cost that replaces the JIT stall.
+  std::int64_t portable_load_cost_ns = -1;
+
+  /// Invocation count at which an interpreted ifunc whose archive also
+  /// carries host bitcode is promoted to the JIT tier.
+  std::uint64_t promote_after = 8;
+  /// Pin the interpreter tier: never promote, even when bitcode and LLVM
+  /// are available (the tier-pinned / VM-only configuration).
+  bool interp_only = false;
 
   /// Process incoming frames automatically as fabric events (the polling
   /// daemon thread of the paper). Disable for manual-poll unit tests.
@@ -155,6 +180,10 @@ class Runtime {
     std::uint64_t nacks_sent = 0;
     std::uint64_t nacks_received = 0;
     std::uint64_t cache_evictions = 0;
+    std::uint64_t portable_loads = 0;      ///< portable programs decoded
+    std::uint64_t interp_executions = 0;   ///< invocations run interpreted
+    std::uint64_t interp_ops = 0;          ///< bytecode instructions retired
+    std::uint64_t tier_promotions = 0;     ///< interpreter -> JIT promotions
     std::int64_t real_jit_ns_total = 0;  ///< measured, not virtual
   };
   const Stats& stats() const { return stats_; }
@@ -170,6 +199,15 @@ class Runtime {
   struct Registered {
     IfuncLibrary library;
     abi::EntryFn entry = nullptr;  ///< compiled lazily on first execution
+    /// Decoded portable program (interpreter tier), when the archive ships
+    /// the portable representation.
+    vm::Program program;
+    bool has_program = false;
+    jit::Tier tier = jit::Tier::kJit;
+    std::uint64_t invocations = 0;
+    /// Cleared when promotion is impossible (no host bitcode entry), so
+    /// the archive is probed once, not per invocation.
+    bool promotable = true;
   };
 
   Runtime(fabric::Fabric& fabric, fabric::NodeId node, RuntimeOptions options);
@@ -177,6 +215,15 @@ class Runtime {
   Status ensure_engine();
   StatusOr<Registered*> find_registered(std::uint64_t ifunc_id);
   Status compile_registered(Registered& reg);
+  Status load_portable(Registered& reg);
+  /// Materializes whatever tier the library's representation calls for:
+  /// portable -> interpreter (zero compile), bitcode/object -> engine.
+  Status materialize_registered(Registered& reg);
+  /// materialize_registered + CodeCache insert (with LRU eviction of the
+  /// loser's materialized tier). Also the recovery path when a bounded
+  /// cache evicts an ifunc that still has an invocation in flight.
+  Status materialize_and_cache(Registered& reg, std::uint64_t ifunc_id);
+  void maybe_promote(Registered& reg, std::uint64_t ifunc_id);
   Status process_message(const fabric::ReceivedMessage& msg);
   Status process_ifunc_frame(ByteSpan data, fabric::NodeId source);
   void execute_ifunc(Registered& reg, std::uint64_t ifunc_id, Bytes payload,
@@ -187,7 +234,9 @@ class Runtime {
   fabric::NodeId node_;
   RuntimeOptions options_;
 
+#if TC_WITH_LLVM
   std::unique_ptr<jit::OrcEngine> engine_;
+#endif
   jit::CodeCache cache_;
   jit::CompileStats last_compile_stats_;
 

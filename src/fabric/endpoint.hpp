@@ -11,6 +11,8 @@
 // issue further operations (this is how recursive ifunc injection works).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "fabric/fabric.hpp"

@@ -19,6 +19,8 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"

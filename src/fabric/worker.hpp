@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"

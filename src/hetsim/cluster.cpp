@@ -8,6 +8,8 @@ core::RuntimeOptions runtime_options_for(const HwProfile& profile) {
   options.link_cost_ns = profile.link_cost_ns;
   options.lookup_exec_cost_ns = profile.ifunc_exec_ns;
   options.hll_guard_cost_ns = profile.hll_guard_ns;
+  options.interp_op_ns = profile.interp_op_ns;
+  options.portable_load_cost_ns = profile.vm_load_ns;
   return options;
 }
 

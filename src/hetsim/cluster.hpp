@@ -8,6 +8,8 @@
 // wire/compute timings come from profiles.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 

@@ -31,6 +31,8 @@ HwProfile make_ookami() {
   p.ifunc_exec_ns = 50;           // Table I Lookup+Exec, cached
   p.am_exec_ns = 80;
   p.hll_guard_ns = 400;
+  p.interp_op_ns = 18;            // A64FX: weak single-thread dispatch
+  p.vm_load_ns = 6'000;
   p.dapc_ifunc_hop_ns = 1400;     // Fig. 6: Get-Bitcode gap ~= +30% @64 srv
   p.dapc_am_hop_ns = 1300;
   return p;
@@ -54,6 +56,8 @@ HwProfile make_thor_bf2() {
   p.ifunc_exec_ns = 10;           // Table II Lookup+Exec
   p.am_exec_ns = 10;
   p.hll_guard_ns = 700;
+  p.interp_op_ns = 25;            // Cortex-A72 switch-dispatch cost
+  p.vm_load_ns = 8'000;
   // Raw (unscaled) per-hop cost of the A72 receive path, calibrated to the
   // Fig. 5 Get-Bitcode gap of ~+20% at 32 servers.
   p.dapc_ifunc_hop_ns = 1200;
@@ -79,6 +83,8 @@ HwProfile make_thor_xeon() {
   p.ifunc_exec_ns = 15;
   p.am_exec_ns = 10;
   p.hll_guard_ns = 250;
+  p.interp_op_ns = 6;             // Xeon: ~15 cycles/op at 2.6 GHz
+  p.vm_load_ns = 2'000;
   p.dapc_ifunc_hop_ns = 200;      // Fig. 7: gap ~= +75% @16 srv
   p.dapc_am_hop_ns = 150;
   return p;

@@ -46,6 +46,18 @@ struct HwProfile {
   /// Per-guard cost of the high-level-language (Julia-analogue) frontend.
   std::int64_t hll_guard_ns = 0;
 
+  /// Interpreter tier (portable bytecode). Per-retired-instruction dispatch
+  /// cost, calibrated per core type from interpreter microbenchmarks
+  /// (switch-dispatch interpreters run ~10-30 cycles/op; slower on the
+  /// in-order-leaning A64FX and the BF2's Cortex-A72 than on the Xeon).
+  /// <0 matches the RuntimeOptions sentinel: charge measured wall time —
+  /// an uncalibrated profile falls back to measurement instead of running
+  /// the interpreter for free.
+  std::int64_t interp_op_ns = -1;
+  /// One-time decode+validate of a portable program on first arrival — the
+  /// cold-path cost that replaces the JIT compile (µs, not ms).
+  std::int64_t vm_load_ns = -1;
+
   /// DAPC per-hop request-processing costs. The paper's DAPC hops carry
   /// more per-message server work than the bare TSI ping (frame decode,
   /// payload rewrite, forward-frame assembly, heavier polling) — these are

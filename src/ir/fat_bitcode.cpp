@@ -1,20 +1,33 @@
 #include "ir/fat_bitcode.hpp"
 
-#include <llvm/ADT/Triple.h>
-
 #include "common/hash.hpp"
 
 namespace tc::ir {
 
 namespace {
-constexpr std::uint32_t kMagicBitcode = 0x42464354u;  // 'TCFB'
-constexpr std::uint32_t kMagicObject = 0x4f464354u;   // 'TCFO'
+constexpr std::uint32_t kMagicBitcode = 0x42464354u;   // 'TCFB'
+constexpr std::uint32_t kMagicObject = 0x4f464354u;    // 'TCFO'
+constexpr std::uint32_t kMagicPortable = 0x50464354u;  // 'TCFP'
 constexpr std::uint16_t kVersion = 1;
 
 std::uint32_t magic_for(CodeRepr repr) {
-  return repr == CodeRepr::kBitcode ? kMagicBitcode : kMagicObject;
+  switch (repr) {
+    case CodeRepr::kBitcode: return kMagicBitcode;
+    case CodeRepr::kObject: return kMagicObject;
+    case CodeRepr::kPortable: return kMagicPortable;
+  }
+  return kMagicBitcode;
 }
 }  // namespace
+
+const char* code_repr_name(CodeRepr repr) {
+  switch (repr) {
+    case CodeRepr::kBitcode: return "bitcode";
+    case CodeRepr::kObject: return "object";
+    case CodeRepr::kPortable: return "portable";
+  }
+  return "unknown";
+}
 
 Status FatBitcode::add_entry(TargetDescriptor target, Bytes code) {
   if (code.empty()) return invalid_argument("add_entry: empty code");
@@ -37,20 +50,31 @@ void FatBitcode::add_dependency(std::string library) {
 
 StatusOr<const ArchiveEntry*> FatBitcode::select(
     const std::string& triple) const {
-  const llvm::Triple want(normalize_triple(triple));
+  const std::string want = normalize_triple(triple);
   // Pass 1: exact normalized-triple match. Pass 2: arch+OS match (the
-  // receiving JIT re-tunes CPU features anyway).
+  // receiving JIT re-tunes CPU features anyway). Portable pseudo-entries
+  // never satisfy an ISA lookup — promotion asks for them explicitly.
   for (const ArchiveEntry& e : entries_) {
-    if (normalize_triple(e.target.triple) == want.str()) return &e;
+    if (e.target.triple == kTriplePortable) continue;
+    if (normalize_triple(e.target.triple) == want) return &e;
   }
   for (const ArchiveEntry& e : entries_) {
-    const llvm::Triple have(normalize_triple(e.target.triple));
-    if (have.getArch() == want.getArch() && have.getOS() == want.getOS()) {
+    if (e.target.triple == kTriplePortable) continue;
+    const std::string have = normalize_triple(e.target.triple);
+    if (triple_arch(have) == triple_arch(want) &&
+        triple_os(have) == triple_os(want)) {
       return &e;
     }
   }
   return not_found("no archive entry for triple " + triple + " (have " +
                    std::to_string(entries_.size()) + " entries)");
+}
+
+StatusOr<const ArchiveEntry*> FatBitcode::select_portable() const {
+  for (const ArchiveEntry& e : entries_) {
+    if (e.target.triple == kTriplePortable) return &e;
+  }
+  return not_found("archive has no portable-bytecode entry");
 }
 
 std::size_t FatBitcode::code_size() const {
@@ -99,6 +123,8 @@ StatusOr<FatBitcode> FatBitcode::deserialize(ByteSpan data) {
     repr = CodeRepr::kBitcode;
   } else if (magic == kMagicObject) {
     repr = CodeRepr::kObject;
+  } else if (magic == kMagicPortable) {
+    repr = CodeRepr::kPortable;
   } else {
     return data_loss("fat-bitcode: bad magic " + std::to_string(magic));
   }

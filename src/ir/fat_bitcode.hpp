@@ -8,10 +8,15 @@
 //   u64 fnv1a checksum of everything above
 //
 // Archives also support a *binary* representation variant ('TCFO'), holding
-// relocatable ELF objects instead of bitcode — the AOT-compiled ifunc path.
+// relocatable ELF objects instead of bitcode — the AOT-compiled ifunc path —
+// and a *portable* variant ('TCFP') whose primary entry is ISA-independent
+// bytecode (src/vm/) executed by the interpreter tier with zero compile. A
+// portable archive may additionally carry per-ISA bitcode entries, which is
+// what lets the runtime promote a hot interpreted ifunc to the JIT tier.
 #pragma once
 
-#include <optional>
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,11 +26,16 @@
 
 namespace tc::ir {
 
-/// Which code representation the archive carries (paper §III-B vs §III-C).
+/// Which code representation the archive carries (paper §III-B vs §III-C;
+/// kPortable is this reproduction's interpreter tier). Values are wire
+/// protocol (frame header repr byte) and stable.
 enum class CodeRepr : std::uint8_t {
-  kBitcode = 0,  ///< LLVM IR bitcode, JIT-compiled on the target
-  kObject = 1,   ///< relocatable machine-code object, linked on the target
+  kBitcode = 0,   ///< LLVM IR bitcode, JIT-compiled on the target
+  kObject = 1,    ///< relocatable machine-code object, linked on the target
+  kPortable = 2,  ///< portable bytecode, interpreted (+ optional bitcode)
 };
+
+const char* code_repr_name(CodeRepr repr);
 
 struct ArchiveEntry {
   TargetDescriptor target;
@@ -51,7 +61,11 @@ class FatBitcode {
   const std::vector<std::string>& dependencies() const { return deps_; }
 
   /// Selects the entry matching `triple` (normalized arch+OS match).
+  /// Portable entries never match an ISA triple — use select_portable().
   StatusOr<const ArchiveEntry*> select(const std::string& triple) const;
+
+  /// Selects the ISA-independent portable-bytecode entry, if present.
+  StatusOr<const ArchiveEntry*> select_portable() const;
 
   /// Total code bytes across entries (the "5159 bytes of bitcode" number).
   std::size_t code_size() const;

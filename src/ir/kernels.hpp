@@ -1,0 +1,60 @@
+// The stock ifunc kernel catalogue: kinds, names, and frontend options.
+//
+// This header is LLVM-free on purpose — the portable-bytecode lowering
+// (src/vm/lower.cpp) and the runtime registry need the catalogue in
+// TC_WITH_LLVM=OFF builds, where the IRBuilder emitters of
+// ir/kernel_builder.hpp are compiled out.
+#pragma once
+
+namespace tc::ir {
+
+enum class KernelKind {
+  /// Target-Side Increment (paper §IV-B): `++*(uint64_t*)target`.
+  kTargetSideIncrement,
+  /// Sums payload bytes into `*(uint64_t*)target` (test workhorse).
+  kPayloadSum,
+  /// Single-precision a*x+y over payload arrays; vectorizable, used to
+  /// demonstrate µarch-specific codegen (AVX2 vs NEON/SVE).
+  kSaxpy,
+  /// Sums a double array from the payload into `*(double*)target`.
+  kVecReduce,
+  /// The X-RDMA DAPC chaser (paper §IV-C): walks the local pointer-table
+  /// shard, forwards itself to the owning server on a miss, replies with
+  /// the final value when depth is exhausted.
+  kChaser,
+  /// Self-propagating ring hop: forwards itself peer-to-peer until its TTL
+  /// expires, then replies with the hop count (recursive-propagation demo).
+  kRingHop,
+  /// Code-generating code: injects a *different* named ifunc to a peer
+  /// chosen from its payload ("dynamically select new functions").
+  kSpawner,
+  /// Sums sin(x) over payload doubles by calling `sin` from libm — the
+  /// shipped code links against a shared-library dependency declared in
+  /// its deps manifest (the paper's `foo.deps` workflow, §III-C).
+  kSinSum,
+  /// Issues a one-sided remote write into a peer's exposed segment — an
+  /// X-RDMA operation that "modifies remote memory" from injected code.
+  kRemoteStore,
+  /// Welford online statistics (count/mean/M2) over payload doubles into a
+  /// 3-double target — the paper's "online-statistics ... for data
+  /// processing on DPUs" direction, as a streaming kernel.
+  kStatsSummary,
+  /// Binomial-tree broadcast: recursively halves its peer range, forwarding
+  /// itself to the midpoint of the other half — an O(log N)-depth X-RDMA
+  /// collective built purely from self-propagation.
+  kTreeBroadcast,
+};
+
+/// Stable library name used for registration and wire identity.
+const char* kernel_name(KernelKind kind);
+
+/// One-line human description (used by examples and docs).
+const char* kernel_description(KernelKind kind);
+
+struct KernelOptions {
+  /// Emit tc_hll_guard() dynamic-dispatch guards around loop bodies — the
+  /// high-level-language (Julia-analogue) frontend signature.
+  bool hll_guards = false;
+};
+
+}  // namespace tc::ir

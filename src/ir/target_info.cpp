@@ -1,5 +1,6 @@
 #include "ir/target_info.hpp"
 
+#if TC_WITH_LLVM
 #include <mutex>
 
 #include <llvm/ADT/StringMap.h>
@@ -7,8 +8,57 @@
 #include <llvm/MC/TargetRegistry.h>
 #include <llvm/Support/Host.h>
 #include <llvm/Support/TargetSelect.h>
+#endif
 
 namespace tc::ir {
+
+namespace {
+
+/// Canonical spelling of common architecture aliases (the subset of
+/// llvm::Triple normalization this project relies on).
+std::string canonical_arch(const std::string& arch) {
+  if (arch == "arm64" || arch == "arm64e") return "aarch64";
+  if (arch == "amd64" || arch == "x86-64") return "x86_64";
+  return arch;
+}
+
+}  // namespace
+
+std::string triple_arch(const std::string& triple) {
+  const std::size_t dash = triple.find('-');
+  return canonical_arch(dash == std::string::npos ? triple
+                                                  : triple.substr(0, dash));
+}
+
+std::string triple_os(const std::string& triple) {
+  // The OS is the first component after the arch that names a known OS;
+  // vendor fields ("pc", "unknown", "none") are skipped. Good enough for
+  // the canonical triples this project ships.
+  static constexpr const char* kKnown[] = {"linux", "darwin", "macosx",
+                                           "freebsd", "windows"};
+  std::size_t start = triple.find('-');
+  while (start != std::string::npos) {
+    ++start;
+    const std::size_t end = triple.find('-', start);
+    const std::string part = triple.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    for (const char* os : kKnown) {
+      if (part.rfind(os, 0) == 0) return os;
+    }
+    start = end;
+  }
+  return "";
+}
+
+bool triple_is_host_compatible(const std::string& triple) {
+  const std::string norm = normalize_triple(triple);
+  if (norm == kTriplePortable) return true;
+  const std::string host = host_triple();
+  return triple_arch(norm) == triple_arch(host) &&
+         triple_os(norm) == triple_os(host);
+}
+
+#if TC_WITH_LLVM
 
 void initialize_llvm() {
   static std::once_flag once;
@@ -23,6 +73,13 @@ void initialize_llvm() {
 
 std::string host_triple() {
   return normalize_triple(llvm::sys::getDefaultTargetTriple());
+}
+
+std::string normalize_triple(const std::string& triple) {
+  // The portable pseudo-triple is wire-stable; keep it out of LLVM's
+  // component padding so both build flavors agree on the spelling.
+  if (triple == kTriplePortable) return triple;
+  return llvm::Triple::normalize(triple);
 }
 
 TargetDescriptor host_descriptor() {
@@ -82,14 +139,25 @@ StatusOr<std::unique_ptr<llvm::TargetMachine>> make_target_machine(
   return machine;
 }
 
-bool triple_is_host_compatible(const std::string& triple) {
-  llvm::Triple host(host_triple());
-  llvm::Triple other(normalize_triple(triple));
-  return host.getArch() == other.getArch() && host.getOS() == other.getOS();
+#else  // !TC_WITH_LLVM
+
+std::string host_triple() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return kTripleX86;
+#elif defined(__aarch64__) || defined(_M_ARM64)
+  return kTripleAArch64;
+#else
+  return "unknown-unknown-unknown";
+#endif
 }
 
 std::string normalize_triple(const std::string& triple) {
-  return llvm::Triple::normalize(triple);
+  if (triple == kTriplePortable) return triple;
+  const std::size_t dash = triple.find('-');
+  if (dash == std::string::npos) return canonical_arch(triple);
+  return canonical_arch(triple.substr(0, dash)) + triple.substr(dash);
 }
+
+#endif  // TC_WITH_LLVM
 
 }  // namespace tc::ir

@@ -2,21 +2,31 @@
 // archive is built for, and TargetMachine construction (optionally tuned to
 // a specific µarch — the paper's "optimize for the target micro-architecture"
 // capability, e.g. SVE on A64FX or AVX2 on Xeon).
+//
+// The triple/descriptor surface is LLVM-free so archives can be built,
+// shipped, and matched in TC_WITH_LLVM=OFF builds (the portable-bytecode
+// tier); TargetMachine construction and host µarch detection are only
+// available when LLVM is compiled in.
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
-#include <llvm/Target/TargetMachine.h>
-
 #include "common/status.hpp"
+
+#if TC_WITH_LLVM
+#include <memory>
+
+#include <llvm/Target/TargetMachine.h>
+#endif
 
 namespace tc::ir {
 
 /// Canonical triples used throughout the reproduction.
 inline constexpr const char* kTripleX86 = "x86_64-pc-linux-gnu";
 inline constexpr const char* kTripleAArch64 = "aarch64-unknown-linux-gnu";
+/// Pseudo-triple of ISA-independent portable-bytecode archive entries.
+inline constexpr const char* kTriplePortable = "portable";
 
 /// Describes the code-generation target for one bitcode archive entry.
 struct TargetDescriptor {
@@ -27,11 +37,28 @@ struct TargetDescriptor {
   bool operator==(const TargetDescriptor&) const = default;
 };
 
+/// The triple of the process we are running in. Without LLVM this is
+/// derived from the compiler's predefined macros.
+std::string host_triple();
+
+/// Normalizes a triple string (e.g. arm64 -> aarch64) for matching.
+std::string normalize_triple(const std::string& triple);
+
+/// Architecture component of a (normalized) triple — "x86_64", "aarch64",
+/// "portable", ... Used for archive-entry matching.
+std::string triple_arch(const std::string& triple);
+
+/// Operating-system component of a triple ("linux", "darwin", ...); empty
+/// when the triple has no recognizable OS component.
+std::string triple_os(const std::string& triple);
+
+/// True if code built for `triple` can execute in this process (arch + OS
+/// match, or the triple is the portable pseudo-triple).
+bool triple_is_host_compatible(const std::string& triple);
+
+#if TC_WITH_LLVM
 /// Initializes every LLVM backend exactly once (idempotent, thread-safe).
 void initialize_llvm();
-
-/// The triple of the process we are running in.
-std::string host_triple();
 
 /// Host CPU name + feature string as LLVM reports them.
 TargetDescriptor host_descriptor();
@@ -44,11 +71,6 @@ std::vector<TargetDescriptor> default_fat_targets();
 StatusOr<std::unique_ptr<llvm::TargetMachine>> make_target_machine(
     const TargetDescriptor& desc, llvm::CodeGenOpt::Level opt_level =
                                       llvm::CodeGenOpt::Default);
-
-/// True if bitcode built for `triple` can execute in this process.
-bool triple_is_host_compatible(const std::string& triple);
-
-/// Normalizes a triple string (e.g. arm64 -> aarch64) for matching.
-std::string normalize_triple(const std::string& triple);
+#endif  // TC_WITH_LLVM
 
 }  // namespace tc::ir

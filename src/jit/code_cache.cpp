@@ -2,6 +2,15 @@
 
 namespace tc::jit {
 
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kInterpreted: return "interpreted";
+    case Tier::kJit: return "jit";
+    case Tier::kLinked: return "linked";
+  }
+  return "unknown";
+}
+
 CachedIfunc* CodeCache::find(std::uint64_t ifunc_id) {
   auto it = entries_.find(ifunc_id);
   if (it == entries_.end()) {
@@ -11,6 +20,11 @@ CachedIfunc* CodeCache::find(std::uint64_t ifunc_id) {
   ++stats_.hits;
   it->second.last_used_tick = ++tick_;
   return &it->second;
+}
+
+CachedIfunc* CodeCache::peek(std::uint64_t ifunc_id) {
+  auto it = entries_.find(ifunc_id);
+  return it == entries_.end() ? nullptr : &it->second;
 }
 
 Status CodeCache::insert(std::uint64_t ifunc_id, CachedIfunc ifunc,

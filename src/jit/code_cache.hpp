@@ -1,6 +1,11 @@
 // CodeCache: the target-side registry of already-materialized ifuncs,
 // keyed by ifunc wire identity. A hit skips parse/optimize/compile entirely
 // and the frame sender may truncate the code section (paper §III-D).
+//
+// With tiered execution an entry also records *which* tier currently backs
+// it: portable archives enter at Tier::kInterpreted (zero compile) and are
+// rewritten in place to Tier::kJit when the runtime promotes them past the
+// invocation threshold.
 #pragma once
 
 #include <cstdint>
@@ -8,12 +13,14 @@
 
 #include "common/status.hpp"
 #include "ir/abi.hpp"
-#include "jit/engine.hpp"
+#include "jit/jit_types.hpp"
 
 namespace tc::jit {
 
 struct CachedIfunc {
+  /// Native entry point; null while the entry is interpreter-backed.
   abi::EntryFn entry = nullptr;
+  Tier tier = Tier::kJit;
   CompileStats compile_stats;
   std::uint64_t invocations = 0;
   std::uint64_t last_used_tick = 0;
@@ -29,6 +36,10 @@ class CodeCache {
   /// Looks up by 64-bit ifunc identity; counts a hit or miss and freshens
   /// the entry's LRU position.
   CachedIfunc* find(std::uint64_t ifunc_id);
+
+  /// Protocol-neutral lookup: no hit/miss accounting, no LRU freshening.
+  /// Used for bookkeeping updates (invocation counts, tier promotion).
+  CachedIfunc* peek(std::uint64_t ifunc_id);
 
   /// Inserts a newly compiled ifunc. Fails with kAlreadyExists on repeats —
   /// a repeated full frame for a cached ifunc is a protocol anomaly the

@@ -23,29 +23,10 @@
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "ir/abi.hpp"
+#include "jit/jit_types.hpp"
 #include "jit/optimizer.hpp"
 
 namespace tc::jit {
-
-struct EngineOptions {
-  OptLevel opt_level = OptLevel::kO2;
-  /// Tune codegen for the host µarch (CPU name + features), the paper's
-  /// "emit machine code specialized for the CPU it is running on".
-  bool tune_for_host = true;
-  /// Host symbols injected into every ifunc dylib as absolute definitions
-  /// (the tc_ctx_* runtime hooks). Entries are (symbol name, address).
-  /// Explicit definitions keep the link independent of whether the hosting
-  /// executable exported its symbols dynamically (-rdynamic).
-  std::vector<std::pair<std::string, void*>> extra_symbols;
-};
-
-/// Per-addition compile statistics (feeds the overhead-breakdown tables).
-struct CompileStats {
-  std::int64_t parse_ns = 0;     ///< bitcode -> module (0 for objects)
-  std::int64_t optimize_ns = 0;  ///< IR pipeline (0 for objects)
-  std::int64_t compile_ns = 0;   ///< ORC materialization + link
-  std::size_t code_bytes = 0;    ///< input representation size
-};
 
 class OrcEngine {
  public:

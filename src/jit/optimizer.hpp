@@ -8,10 +8,9 @@
 #include <llvm/Target/TargetMachine.h>
 
 #include "common/status.hpp"
+#include "jit/jit_types.hpp"
 
 namespace tc::jit {
-
-enum class OptLevel : std::uint8_t { kO0 = 0, kO1 = 1, kO2 = 2, kO3 = 3 };
 
 /// Runs the standard per-module pipeline at `level` tuned for `machine`.
 Status optimize_module(llvm::Module& module, llvm::TargetMachine& machine,

@@ -1,0 +1,253 @@
+#include "vm/interp.hpp"
+
+#include <cstring>
+
+namespace tc::vm {
+
+namespace {
+
+inline double as_f64(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t f64_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline float as_f32(std::uint64_t bits) {
+  const std::uint32_t low = static_cast<std::uint32_t>(bits);
+  float v;
+  std::memcpy(&v, &low, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t f32_bits(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline std::uint8_t* mem_addr(std::uint64_t base, std::int32_t offset) {
+  return reinterpret_cast<std::uint8_t*>(
+      base + static_cast<std::uint64_t>(static_cast<std::int64_t>(offset)));
+}
+
+}  // namespace
+
+StatusOr<InterpResult> execute(const Program& program, const HookTable& hooks,
+                               std::uint8_t* payload,
+                               std::uint64_t payload_size,
+                               const InterpOptions& options) {
+  std::uint64_t regs[kMaxRegisters] = {};
+  // Entry convention: r0 = payload pointer, r1 = payload size.
+  regs[0] = reinterpret_cast<std::uint64_t>(payload);
+  regs[1] = payload_size;
+
+  const Instr* code = program.code().data();
+  const std::size_t code_size = program.code().size();
+  const std::uint64_t* pool = program.pool().data();
+
+  InterpResult result;
+  std::size_t pc = 0;
+  while (pc < code_size) {
+    if (++result.ops > options.max_ops) {
+      return resource_exhausted("vm: op budget (" +
+                                std::to_string(options.max_ops) +
+                                ") exhausted");
+    }
+    const Instr in = code[pc];
+    ++pc;
+    switch (in.op) {
+      case Opcode::kNop: break;
+      case Opcode::kLdi:
+        regs[in.a] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(in.imm));
+        break;
+      case Opcode::kLdk: regs[in.a] = pool[in.imm]; break;
+      case Opcode::kMov: regs[in.a] = regs[in.b]; break;
+      case Opcode::kAdd: regs[in.a] = regs[in.b] + regs[in.c]; break;
+      case Opcode::kSub: regs[in.a] = regs[in.b] - regs[in.c]; break;
+      case Opcode::kMul: regs[in.a] = regs[in.b] * regs[in.c]; break;
+      case Opcode::kUdiv:
+        if (regs[in.c] == 0) {
+          return internal_error("vm: division by zero at instr " +
+                                std::to_string(pc - 1));
+        }
+        regs[in.a] = regs[in.b] / regs[in.c];
+        break;
+      case Opcode::kUrem:
+        if (regs[in.c] == 0) {
+          return internal_error("vm: remainder by zero at instr " +
+                                std::to_string(pc - 1));
+        }
+        regs[in.a] = regs[in.b] % regs[in.c];
+        break;
+      case Opcode::kAnd: regs[in.a] = regs[in.b] & regs[in.c]; break;
+      case Opcode::kOr: regs[in.a] = regs[in.b] | regs[in.c]; break;
+      case Opcode::kXor: regs[in.a] = regs[in.b] ^ regs[in.c]; break;
+      case Opcode::kShl: regs[in.a] = regs[in.b] << (regs[in.c] & 63); break;
+      case Opcode::kShr: regs[in.a] = regs[in.b] >> (regs[in.c] & 63); break;
+      case Opcode::kCeq: regs[in.a] = regs[in.b] == regs[in.c] ? 1 : 0; break;
+      case Opcode::kCne: regs[in.a] = regs[in.b] != regs[in.c] ? 1 : 0; break;
+      case Opcode::kCult: regs[in.a] = regs[in.b] < regs[in.c] ? 1 : 0; break;
+      case Opcode::kCule:
+        regs[in.a] = regs[in.b] <= regs[in.c] ? 1 : 0;
+        break;
+      case Opcode::kFadd:
+        regs[in.a] = f64_bits(as_f64(regs[in.b]) + as_f64(regs[in.c]));
+        break;
+      case Opcode::kFsub:
+        regs[in.a] = f64_bits(as_f64(regs[in.b]) - as_f64(regs[in.c]));
+        break;
+      case Opcode::kFmul:
+        regs[in.a] = f64_bits(as_f64(regs[in.b]) * as_f64(regs[in.c]));
+        break;
+      case Opcode::kFdiv:
+        regs[in.a] = f64_bits(as_f64(regs[in.b]) / as_f64(regs[in.c]));
+        break;
+      case Opcode::kFadd32:
+        regs[in.a] = f32_bits(as_f32(regs[in.b]) + as_f32(regs[in.c]));
+        break;
+      case Opcode::kFmul32:
+        regs[in.a] = f32_bits(as_f32(regs[in.b]) * as_f32(regs[in.c]));
+        break;
+      case Opcode::kLd8: regs[in.a] = *mem_addr(regs[in.b], in.imm); break;
+      case Opcode::kLd32: {
+        std::uint32_t v;
+        std::memcpy(&v, mem_addr(regs[in.b], in.imm), sizeof(v));
+        regs[in.a] = v;
+        break;
+      }
+      case Opcode::kLd64: {
+        std::uint64_t v;
+        std::memcpy(&v, mem_addr(regs[in.b], in.imm), sizeof(v));
+        regs[in.a] = v;
+        break;
+      }
+      case Opcode::kSt32: {
+        const std::uint32_t v = static_cast<std::uint32_t>(regs[in.a]);
+        std::memcpy(mem_addr(regs[in.b], in.imm), &v, sizeof(v));
+        break;
+      }
+      case Opcode::kSt64:
+        std::memcpy(mem_addr(regs[in.b], in.imm), &regs[in.a],
+                    sizeof(std::uint64_t));
+        break;
+      case Opcode::kBr: pc = static_cast<std::size_t>(in.imm); break;
+      case Opcode::kBrz:
+        if (regs[in.a] == 0) pc = static_cast<std::size_t>(in.imm);
+        break;
+      case Opcode::kBrnz:
+        if (regs[in.a] != 0) pc = static_cast<std::size_t>(in.imm);
+        break;
+      case Opcode::kHook: {
+        const HookId hook = static_cast<HookId>(in.a);
+        const std::uint64_t* args = &regs[in.c];
+        switch (hook) {
+          case HookId::kTarget:
+            if (hooks.target == nullptr) {
+              return failed_precondition("vm: target hook not provided");
+            }
+            regs[in.b] =
+                reinterpret_cast<std::uint64_t>(hooks.target(hooks.ctx));
+            break;
+          case HookId::kNode:
+            if (hooks.node == nullptr) {
+              return failed_precondition("vm: node hook not provided");
+            }
+            regs[in.b] = hooks.node(hooks.ctx);
+            break;
+          case HookId::kPeerCount:
+            if (hooks.peer_count == nullptr) {
+              return failed_precondition("vm: peer_count hook not provided");
+            }
+            regs[in.b] = hooks.peer_count(hooks.ctx);
+            break;
+          case HookId::kSelfPeer:
+            if (hooks.self_peer == nullptr) {
+              return failed_precondition("vm: self_peer hook not provided");
+            }
+            regs[in.b] = hooks.self_peer(hooks.ctx);
+            break;
+          case HookId::kShardBase:
+            if (hooks.shard_base == nullptr) {
+              return failed_precondition("vm: shard_base hook not provided");
+            }
+            regs[in.b] =
+                reinterpret_cast<std::uint64_t>(hooks.shard_base(hooks.ctx));
+            break;
+          case HookId::kShardSize:
+            if (hooks.shard_size == nullptr) {
+              return failed_precondition("vm: shard_size hook not provided");
+            }
+            regs[in.b] = hooks.shard_size(hooks.ctx);
+            break;
+          case HookId::kForward:
+            if (hooks.forward == nullptr) {
+              return failed_precondition("vm: forward hook not provided");
+            }
+            regs[in.b] = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(hooks.forward(
+                    hooks.ctx, args[0],
+                    reinterpret_cast<const std::uint8_t*>(args[1]),
+                    args[2])));
+            break;
+          case HookId::kInject:
+            if (hooks.inject == nullptr) {
+              return failed_precondition("vm: inject hook not provided");
+            }
+            regs[in.b] = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(hooks.inject(
+                    hooks.ctx, args[0],
+                    reinterpret_cast<const char*>(args[1]),
+                    reinterpret_cast<const std::uint8_t*>(args[2]),
+                    args[3])));
+            break;
+          case HookId::kReply:
+            if (hooks.reply == nullptr) {
+              return failed_precondition("vm: reply hook not provided");
+            }
+            regs[in.b] = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(hooks.reply(
+                    hooks.ctx,
+                    reinterpret_cast<const std::uint8_t*>(args[0]),
+                    args[1])));
+            break;
+          case HookId::kRemoteWrite:
+            if (hooks.remote_write == nullptr) {
+              return failed_precondition("vm: remote_write hook not provided");
+            }
+            regs[in.b] = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(hooks.remote_write(
+                    hooks.ctx, args[0], args[1],
+                    reinterpret_cast<const std::uint8_t*>(args[2]),
+                    args[3])));
+            break;
+          case HookId::kHllGuard:
+            if (hooks.hll_guard == nullptr) {
+              return failed_precondition("vm: hll_guard hook not provided");
+            }
+            hooks.hll_guard(hooks.ctx);
+            break;
+          case HookId::kSin:
+            if (hooks.sin_fn == nullptr) {
+              return failed_precondition("vm: sin hook not provided");
+            }
+            regs[in.b] = f64_bits(hooks.sin_fn(as_f64(args[0])));
+            break;
+        }
+        break;
+      }
+      case Opcode::kRet: return result;
+    }
+  }
+  // Unreachable for validated programs (last instruction is a terminator),
+  // but keep the fail-safe so a logic bug here cannot become UB.
+  return internal_error("vm: execution ran off the end of the program");
+}
+
+}  // namespace tc::vm

@@ -1,0 +1,66 @@
+// The portable-bytecode interpreter — the zero-compile execution tier.
+//
+// execute() runs a validated Program against the same `tc_main(ctx,
+// payload, size)` contract the JIT'd representations implement: the payload
+// is mutated in place, and every interaction with the hosting node goes
+// through a HookTable whose entries are exactly the tc_ctx_* hook functions
+// of ir/abi.hpp (the runtime fills the table with the very same extern "C"
+// symbols ORC resolves for JIT'd code, so the two tiers observe identical
+// runtime behavior).
+//
+// The interpreter counts executed instructions; hetsim charges virtual time
+// as ops × the platform profile's calibrated per-op cost, which is how the
+// tier slots into the paper's cost model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "vm/bytecode.hpp"
+
+namespace tc::vm {
+
+/// Dispatch table for the kHook instruction. Signatures mirror the hook ABI
+/// in ir/abi.hpp one to one; `ctx` is the opaque per-invocation context
+/// passed to every hook (the runtime's ExecContext).
+struct HookTable {
+  void* ctx = nullptr;
+  void* (*target)(void*) = nullptr;
+  std::uint64_t (*node)(void*) = nullptr;
+  std::uint64_t (*peer_count)(void*) = nullptr;
+  std::uint64_t (*self_peer)(void*) = nullptr;
+  std::uint64_t* (*shard_base)(void*) = nullptr;
+  std::uint64_t (*shard_size)(void*) = nullptr;
+  std::int32_t (*forward)(void*, std::uint64_t, const std::uint8_t*,
+                          std::uint64_t) = nullptr;
+  std::int32_t (*inject)(void*, std::uint64_t, const char*,
+                         const std::uint8_t*, std::uint64_t) = nullptr;
+  std::int32_t (*reply)(void*, const std::uint8_t*, std::uint64_t) = nullptr;
+  std::int32_t (*remote_write)(void*, std::uint64_t, std::uint64_t,
+                               const std::uint8_t*, std::uint64_t) = nullptr;
+  void (*hll_guard)(void*) = nullptr;
+  /// The libm dependency of the sin_sum kernel (deps manifest: libm.so.6).
+  double (*sin_fn)(double) = nullptr;
+};
+
+struct InterpOptions {
+  /// Fuel limit: executing more instructions than this fails with
+  /// kResourceExhausted instead of hanging the node on a looping program.
+  std::uint64_t max_ops = 1ull << 30;
+};
+
+struct InterpResult {
+  std::uint64_t ops = 0;  ///< instructions executed (virtual-time charge base)
+};
+
+/// Interprets `program` over a mutable payload. The program must have come
+/// out of Program::deserialize()/Assembler::finish() (i.e. be validated);
+/// runtime faults that static validation cannot rule out — division by
+/// zero, a missing hook implementation, fuel exhaustion — surface as error
+/// Statuses, never as UB or crashes.
+StatusOr<InterpResult> execute(const Program& program, const HookTable& hooks,
+                               std::uint8_t* payload,
+                               std::uint64_t payload_size,
+                               const InterpOptions& options = {});
+
+}  // namespace tc::vm

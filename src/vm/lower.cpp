@@ -1,0 +1,354 @@
+#include "vm/lower.hpp"
+
+#include "ir/target_info.hpp"
+
+namespace tc::vm {
+
+namespace {
+
+// Register conventions shared by all kernels. r0/r1 are fixed by the entry
+// ABI; kernels allocate upwards from r2. Hook calls with arguments marshal
+// them into the consecutive scratch window starting at kArg0.
+constexpr std::uint8_t P = 0;   ///< payload pointer (entry ABI)
+constexpr std::uint8_t N = 1;   ///< payload size (entry ABI)
+constexpr std::uint8_t kArg0 = 12;
+constexpr std::uint8_t kArg1 = 13;
+constexpr std::uint8_t kArg2 = 14;
+constexpr std::uint8_t kArg3 = 15;
+constexpr std::uint16_t kRegs = 16;
+
+/// Mirrors Emitter::guard(): the HLL frontend's dynamic-dispatch tax.
+void guard(Assembler& a, const ir::KernelOptions& options) {
+  if (options.hll_guards) a.hook(HookId::kHllGuard, 0);
+}
+
+// `++*(uint64_t*)target` — see emit_tsi().
+void lower_tsi(Assembler& a, const ir::KernelOptions& o) {
+  guard(a, o);
+  a.hook(HookId::kTarget, 2);
+  a.ld64(3, 2);
+  a.li(4, 1);
+  a.alu(Opcode::kAdd, 3, 3, 4);
+  a.st64(3, 2);
+  a.ret();
+}
+
+// Byte-sum of the payload into *(u64*)target — see emit_payload_sum().
+void lower_payload_sum(Assembler& a, const ir::KernelOptions& o) {
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.li(2, 0);  // i
+  a.li(3, 0);  // sum
+  a.li(6, 1);
+  a.bind(loop);
+  a.alu(Opcode::kCult, 4, 2, N);
+  a.brz(4, done);
+  guard(a, o);
+  a.alu(Opcode::kAdd, 5, P, 2);
+  a.ld8(5, 5);
+  a.alu(Opcode::kAdd, 3, 3, 5);
+  a.alu(Opcode::kAdd, 2, 2, 6);
+  a.br(loop);
+  a.bind(done);
+  a.hook(HookId::kTarget, 4);
+  a.st64(3, 4);
+  a.ret();
+}
+
+// [n:u64][a:f32][x:f32*n][y:f32*n] → target[i] = a*x[i]+y[i] — emit_saxpy().
+void lower_saxpy(Assembler& a, const ir::KernelOptions& o) {
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.ld64(2, P, 0);   // n
+  a.ld32(3, P, 8);   // a
+  a.li(13, 4);
+  a.li(12, 1);
+  a.li(11, 12);
+  a.alu(Opcode::kAdd, 4, P, 11);   // x = payload + 12
+  a.alu(Opcode::kMul, 11, 2, 13);  // x_bytes = n*4
+  a.alu(Opcode::kAdd, 5, 4, 11);   // y = x + x_bytes
+  a.hook(HookId::kTarget, 6);      // out
+  a.li(7, 0);                      // i
+  a.bind(loop);
+  a.alu(Opcode::kCult, 11, 7, 2);
+  a.brz(11, done);
+  guard(a, o);
+  a.alu(Opcode::kMul, 8, 7, 13);   // byte offset
+  a.alu(Opcode::kAdd, 11, 4, 8);
+  a.ld32(9, 11);                   // xi
+  a.alu(Opcode::kAdd, 11, 5, 8);
+  a.ld32(10, 11);                  // yi
+  a.alu(Opcode::kFmul32, 11, 3, 9);
+  a.alu(Opcode::kFadd32, 11, 11, 10);  // a*xi + yi
+  a.alu(Opcode::kAdd, 9, 6, 8);
+  a.st32(11, 9);
+  a.alu(Opcode::kAdd, 7, 7, 12);
+  a.br(loop);
+  a.bind(done);
+  a.ret();
+}
+
+// [n:u64][x:f64*n] → *(double*)target = Σx — emit_vec_reduce().
+void lower_vec_reduce(Assembler& a, const ir::KernelOptions& o) {
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.ld64(2, P);      // n
+  a.li(3, 0);        // acc = 0.0 (bit pattern 0)
+  a.li(4, 0);        // i
+  a.li(7, 1);
+  a.li(8, 8);
+  a.bind(loop);
+  a.alu(Opcode::kCult, 5, 4, 2);
+  a.brz(5, done);
+  guard(a, o);
+  a.alu(Opcode::kMul, 5, 4, 8);
+  a.alu(Opcode::kAdd, 5, P, 5);
+  a.ld64(6, 5, 8);   // x[i] at payload + 8 + i*8
+  a.alu(Opcode::kFadd, 3, 3, 6);
+  a.alu(Opcode::kAdd, 4, 4, 7);
+  a.br(loop);
+  a.bind(done);
+  a.hook(HookId::kTarget, 5);
+  a.st64(3, 5);
+  a.ret();
+}
+
+// The DAPC chaser — emit_chaser(). Payload: [addr:u64][depth:u64].
+void lower_chaser(Assembler& a, const ir::KernelOptions& o) {
+  const auto loop = a.make_label();
+  const auto local = a.make_label();
+  const auto step = a.make_label();
+  a.hook(HookId::kShardSize, 2);
+  a.hook(HookId::kSelfPeer, 3);
+  a.hook(HookId::kShardBase, 4);
+  a.ld64(5, P, 0);   // addr
+  a.ld64(6, P, 8);   // depth
+  a.li(10, 1);
+  a.li(11, 8);
+  a.bind(loop);
+  a.alu(Opcode::kUdiv, 7, 5, 2);   // owner = addr / shard_size
+  a.alu(Opcode::kCeq, 8, 7, 3);
+  a.brnz(8, local);
+  // forward: refresh the in-place payload, ship to the owning server.
+  a.st64(5, P, 0);
+  a.st64(6, P, 8);
+  a.mov(kArg0, 7);
+  a.mov(kArg1, P);
+  a.mov(kArg2, N);
+  a.hook(HookId::kForward, 8, kArg0);
+  a.ret();
+  a.bind(local);
+  guard(a, o);
+  a.alu(Opcode::kUrem, 8, 5, 2);   // slot
+  a.alu(Opcode::kMul, 8, 8, 11);
+  a.alu(Opcode::kAdd, 8, 4, 8);
+  a.ld64(9, 8);                    // value
+  a.alu(Opcode::kSub, 6, 6, 10);   // next_depth
+  a.brnz(6, step);
+  // finish: ReturnResult with the final value.
+  a.st64(9, P, 0);
+  a.mov(kArg1, P);
+  a.mov(kArg2, 11);                // size = 8
+  a.hook(HookId::kReply, 8, kArg1);
+  a.ret();
+  a.bind(step);
+  a.mov(5, 9);
+  a.br(loop);
+}
+
+// Ring traversal with TTL — emit_ring_hop(). Payload: [ttl:u64][hops:u64].
+void lower_ring_hop(Assembler& a, const ir::KernelOptions& o) {
+  const auto done = a.make_label();
+  a.ld64(2, P, 0);   // ttl
+  a.ld64(3, P, 8);   // hops
+  a.li(10, 1);
+  a.brz(2, done);
+  guard(a, o);
+  a.alu(Opcode::kSub, 4, 2, 10);
+  a.st64(4, P, 0);
+  a.alu(Opcode::kAdd, 4, 3, 10);
+  a.st64(4, P, 8);
+  a.hook(HookId::kSelfPeer, 5);
+  a.hook(HookId::kPeerCount, 6);
+  a.alu(Opcode::kAdd, 4, 5, 10);
+  a.alu(Opcode::kUrem, 4, 4, 6);   // next = (self+1) % count
+  a.mov(kArg0, 4);
+  a.mov(kArg1, P);
+  a.mov(kArg2, N);
+  a.hook(HookId::kForward, 4, kArg0);
+  a.ret();
+  a.bind(done);
+  a.li(4, 16);
+  a.mov(kArg1, P);
+  a.mov(kArg2, 4);
+  a.hook(HookId::kReply, 4, kArg1);
+  a.ret();
+}
+
+// Code-injecting code — emit_spawner().
+// Payload: [peer:u64][arg:u64][name:NUL-terminated].
+void lower_spawner(Assembler& a, const ir::KernelOptions& o) {
+  guard(a, o);
+  a.ld64(kArg0, P, 0);             // peer
+  a.li(2, 16);
+  a.alu(Opcode::kAdd, kArg1, P, 2);  // name
+  a.li(2, 8);
+  a.alu(Opcode::kAdd, kArg2, P, 2);  // arg pointer
+  a.li(kArg3, 8);                    // arg size
+  a.hook(HookId::kInject, 2, kArg0);
+  a.ret();
+}
+
+// Σ sin(x) over payload doubles via the libm dependency — emit_sin_sum().
+void lower_sin_sum(Assembler& a, const ir::KernelOptions& o) {
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.ld64(2, P);      // n
+  a.li(3, 0);        // acc
+  a.li(4, 0);        // i
+  a.li(7, 1);
+  a.li(8, 8);
+  a.bind(loop);
+  a.alu(Opcode::kCult, 5, 4, 2);
+  a.brz(5, done);
+  guard(a, o);
+  a.alu(Opcode::kMul, 5, 4, 8);
+  a.alu(Opcode::kAdd, 5, P, 5);
+  a.ld64(6, 5, 8);
+  a.hook(HookId::kSin, 6, 6);      // r6 = sin(r6)
+  a.alu(Opcode::kFadd, 3, 3, 6);
+  a.alu(Opcode::kAdd, 4, 4, 7);
+  a.br(loop);
+  a.bind(done);
+  a.hook(HookId::kTarget, 5);
+  a.st64(3, 5);
+  a.ret();
+}
+
+// One-sided RDMA PUT from injected code — emit_remote_store().
+// Payload: [peer:u64][offset:u64][value:u64].
+void lower_remote_store(Assembler& a, const ir::KernelOptions& o) {
+  guard(a, o);
+  a.ld64(kArg0, P, 0);              // peer
+  a.ld64(kArg1, P, 8);              // offset
+  a.li(2, 16);
+  a.alu(Opcode::kAdd, kArg2, P, 2);  // value pointer
+  a.li(kArg3, 8);
+  a.hook(HookId::kRemoteWrite, 3, kArg0);
+  a.st64(3, P, 0);                   // rc (sign-extended by the hook)
+  a.mov(kArg1, P);
+  a.mov(kArg2, kArg3);               // size = 8
+  a.hook(HookId::kReply, 2, kArg1);
+  a.ret();
+}
+
+// Streaming Welford statistics — emit_stats_summary().
+// Payload: [n:u64][x:f64*n]; target = double[3] {count, mean, M2}.
+void lower_stats_summary(Assembler& a, const ir::KernelOptions& o) {
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.ld64(2, P);                    // n
+  a.hook(HookId::kTarget, 3);      // state
+  a.ld64(4, 3, 0);                 // count
+  a.ld64(5, 3, 8);                 // mean
+  a.ld64(6, 3, 16);                // M2
+  a.li(7, 0);                      // i
+  a.li(12, 1);
+  a.li(13, 8);
+  a.lf(14, 1.0);
+  a.bind(loop);
+  a.alu(Opcode::kCult, 8, 7, 2);
+  a.brz(8, done);
+  guard(a, o);
+  a.alu(Opcode::kMul, 8, 7, 13);
+  a.alu(Opcode::kAdd, 8, P, 8);
+  a.ld64(9, 8, 8);                 // xi
+  // count' = count + 1; delta = x - mean; mean' = mean + delta / count';
+  // M2' = M2 + delta * (x - mean') — identical op order to the IR emitter.
+  a.alu(Opcode::kFadd, 4, 4, 14);
+  a.alu(Opcode::kFsub, 10, 9, 5);
+  a.alu(Opcode::kFdiv, 11, 10, 4);
+  a.alu(Opcode::kFadd, 5, 5, 11);
+  a.alu(Opcode::kFsub, 11, 9, 5);
+  a.alu(Opcode::kFmul, 11, 10, 11);
+  a.alu(Opcode::kFadd, 6, 6, 11);
+  a.alu(Opcode::kAdd, 7, 7, 12);
+  a.br(loop);
+  a.bind(done);
+  a.st64(4, 3, 0);
+  a.st64(5, 3, 8);
+  a.st64(6, 3, 16);
+  a.ret();
+}
+
+// Binomial broadcast tree — emit_tree_broadcast().
+// Payload: [base:u64][span:u64][value:u64].
+void lower_tree_broadcast(Assembler& a, const ir::KernelOptions& o) {
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.ld64(2, P, 0);   // base
+  a.ld64(3, P, 8);   // span
+  a.ld64(4, P, 16);  // value
+  a.li(10, 1);
+  a.li(11, 2);
+  a.bind(loop);
+  a.alu(Opcode::kCule, 5, 3, 10);  // leaf when span <= 1
+  a.brnz(5, done);
+  guard(a, o);
+  // mid = (span + 1) / 2: keep [base, base+mid), delegate the rest.
+  a.alu(Opcode::kAdd, 5, 3, 10);
+  a.alu(Opcode::kUdiv, 5, 5, 11);
+  a.alu(Opcode::kAdd, 6, 2, 5);    // right_base
+  a.alu(Opcode::kSub, 7, 3, 5);    // right_span
+  a.st64(6, P, 0);
+  a.st64(7, P, 8);
+  a.mov(kArg0, 6);
+  a.mov(kArg1, P);
+  a.mov(kArg2, N);
+  a.hook(HookId::kForward, 8, kArg0);
+  a.mov(3, 5);                     // span = mid
+  a.br(loop);
+  a.bind(done);
+  a.hook(HookId::kTarget, 5);
+  a.st64(4, 5, 0);                 // value slot
+  a.ld64(6, 5, 8);                 // arrival count
+  a.alu(Opcode::kAdd, 6, 6, 10);
+  a.st64(6, 5, 8);
+  a.ret();
+}
+
+}  // namespace
+
+StatusOr<Program> lower_kernel(ir::KernelKind kind,
+                               const ir::KernelOptions& options) {
+  Assembler a;
+  switch (kind) {
+    case ir::KernelKind::kTargetSideIncrement: lower_tsi(a, options); break;
+    case ir::KernelKind::kPayloadSum: lower_payload_sum(a, options); break;
+    case ir::KernelKind::kSaxpy: lower_saxpy(a, options); break;
+    case ir::KernelKind::kVecReduce: lower_vec_reduce(a, options); break;
+    case ir::KernelKind::kChaser: lower_chaser(a, options); break;
+    case ir::KernelKind::kRingHop: lower_ring_hop(a, options); break;
+    case ir::KernelKind::kSpawner: lower_spawner(a, options); break;
+    case ir::KernelKind::kSinSum: lower_sin_sum(a, options); break;
+    case ir::KernelKind::kRemoteStore: lower_remote_store(a, options); break;
+    case ir::KernelKind::kStatsSummary:
+      lower_stats_summary(a, options);
+      break;
+    case ir::KernelKind::kTreeBroadcast:
+      lower_tree_broadcast(a, options);
+      break;
+  }
+  return a.finish(kRegs);
+}
+
+StatusOr<ir::FatBitcode> build_portable_kernel(ir::KernelKind kind,
+                                               const ir::KernelOptions& options) {
+  TC_ASSIGN_OR_RETURN(Program program, lower_kernel(kind, options));
+  ir::FatBitcode archive(ir::CodeRepr::kPortable);
+  TC_RETURN_IF_ERROR(archive.add_entry(
+      ir::TargetDescriptor{ir::kTriplePortable, "", ""}, program.serialize()));
+  return archive;
+}
+
+}  // namespace tc::vm

@@ -1,0 +1,28 @@
+// Lowering of the stock kernel catalogue to portable bytecode — the
+// LLVM-free twin of ir/kernel_builder.cpp.
+//
+// Every kernel here is kept in semantic lockstep with its IRBuilder emitter
+// (same loads, same operation order, same hook calls), so the interpreter
+// tier produces bit-identical results to the JIT tiers — the property the
+// VM↔JIT mode-equivalence tests pin down. Because this path needs no LLVM,
+// it is also what makes TC_WITH_LLVM=OFF builds able to ship and execute
+// ifuncs at all.
+#pragma once
+
+#include "common/status.hpp"
+#include "ir/fat_bitcode.hpp"
+#include "ir/kernels.hpp"
+#include "vm/bytecode.hpp"
+
+namespace tc::vm {
+
+/// Lowers one stock kernel to a validated portable program.
+StatusOr<Program> lower_kernel(ir::KernelKind kind,
+                               const ir::KernelOptions& options = {});
+
+/// Packs the lowered kernel into a portable ('TCFP') archive holding a
+/// single ISA-independent entry.
+StatusOr<ir::FatBitcode> build_portable_kernel(
+    ir::KernelKind kind, const ir::KernelOptions& options = {});
+
+}  // namespace tc::vm

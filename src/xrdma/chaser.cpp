@@ -1,8 +1,11 @@
 #include "xrdma/chaser.hpp"
 
 #include "common/log.hpp"
+#include "ir/kernels.hpp"
+#if TC_WITH_LLVM
 #include "ir/kernel_builder.hpp"
 #include "jit/compiler.hpp"
+#endif
 
 namespace tc::xrdma {
 
@@ -32,6 +35,13 @@ StatusOr<core::IfuncLibrary> build_chaser_library(ir::CodeRepr repr,
                                                   bool hll_frontend) {
   ir::KernelOptions options;
   options.hll_guards = hll_frontend;
+  if (repr == ir::CodeRepr::kPortable) {
+    // The interpreter tier: portable-only archive, zero compile on the
+    // servers — and the only representation available without LLVM.
+    return core::IfuncLibrary::from_portable_kernel(ir::KernelKind::kChaser,
+                                                    options);
+  }
+#if TC_WITH_LLVM
   TC_ASSIGN_OR_RETURN(
       ir::FatBitcode archive,
       ir::build_default_fat_kernel(ir::KernelKind::kChaser, options));
@@ -43,6 +53,11 @@ StatusOr<core::IfuncLibrary> build_chaser_library(ir::CodeRepr repr,
   }
   return core::IfuncLibrary::from_archive(std::move(name),
                                           std::move(archive));
+#else
+  return failed_precondition(
+      "bitcode/object chaser libraries need LLVM (TC_WITH_LLVM=OFF); use "
+      "ir::CodeRepr::kPortable");
+#endif
 }
 
 am::AmHandlerFn make_chase_am_handler() {

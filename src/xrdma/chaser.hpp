@@ -3,6 +3,8 @@
 // predeployed Active-Message equivalent of the chase logic.
 #pragma once
 
+#include <cstdint>
+
 #include "am/am_runtime.hpp"
 #include "common/bytes.hpp"
 #include "common/status.hpp"
@@ -24,9 +26,11 @@ StatusOr<ChaseRequest> decode_chase_payload(ByteSpan payload);
 StatusOr<std::uint64_t> decode_chase_result(ByteSpan data);
 
 /// Builds the Chaser ifunc library.
-///  repr = kBitcode → multi-ISA fat-bitcode, JIT-compiled on servers;
-///  repr = kObject  → AOT-compiled relocatable objects, link-only deploy.
-///  hll_frontend    → emit the high-level-language (Julia-analogue) IR.
+///  repr = kBitcode  → multi-ISA fat-bitcode, JIT-compiled on servers;
+///  repr = kObject   → AOT-compiled relocatable objects, link-only deploy;
+///  repr = kPortable → portable bytecode, interpreted on servers with zero
+///                     compile (works in TC_WITH_LLVM=OFF builds).
+///  hll_frontend     → emit the high-level-language (Julia-analogue) IR.
 StatusOr<core::IfuncLibrary> build_chaser_library(
     ir::CodeRepr repr = ir::CodeRepr::kBitcode, bool hll_frontend = false);
 

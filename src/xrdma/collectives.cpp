@@ -1,6 +1,8 @@
 #include "xrdma/collectives.hpp"
 
-#include "ir/kernel_builder.hpp"
+#include <string>
+
+#include "ir/kernels.hpp"
 
 namespace tc::xrdma {
 
@@ -16,14 +18,27 @@ StatusOr<BroadcastResult> tree_broadcast(hetsim::Cluster& cluster,
   }
 
   core::Runtime& client = cluster.client_runtime();
+  // Bitcode representation when the toolchain is available; the portable
+  // interpreter tier otherwise (distinct wire name, identical semantics).
+#if TC_WITH_LLVM
   const std::string kernel = ir::kernel_name(ir::KernelKind::kTreeBroadcast);
+#else
+  const std::string kernel =
+      core::portable_kernel_name(ir::KernelKind::kTreeBroadcast);
+#endif
   std::uint64_t ifunc_id = 0;
   if (auto existing = client.ifunc_id_by_name(kernel); existing.is_ok()) {
     ifunc_id = *existing;  // reuse across repeated broadcasts
   } else {
+#if TC_WITH_LLVM
     TC_ASSIGN_OR_RETURN(
         core::IfuncLibrary library,
         core::IfuncLibrary::from_kernel(ir::KernelKind::kTreeBroadcast));
+#else
+    TC_ASSIGN_OR_RETURN(core::IfuncLibrary library,
+                        core::IfuncLibrary::from_portable_kernel(
+                            ir::KernelKind::kTreeBroadcast));
+#endif
     TC_ASSIGN_OR_RETURN(ifunc_id, client.register_ifunc(std::move(library)));
   }
 

@@ -1,7 +1,9 @@
 #include "xrdma/dapc.hpp"
 
 #include "common/log.hpp"
+#if TC_WITH_LLVM
 #include "hll/frontend.hpp"
+#endif
 
 namespace tc::xrdma {
 
@@ -11,6 +13,7 @@ const char* chase_mode_name(ChaseMode mode) {
     case ChaseMode::kGet: return "get";
     case ChaseMode::kCachedBitcode: return "cached_bitcode";
     case ChaseMode::kCachedBinary: return "cached_binary";
+    case ChaseMode::kInterpreted: return "interpreted";
     case ChaseMode::kHllBitcode: return "hll_bitcode";
     case ChaseMode::kHllDrivesC: return "hll_drives_c";
   }
@@ -39,19 +42,24 @@ Status DapcDriver::setup() {
   switch (mode_) {
     case ChaseMode::kCachedBitcode:
     case ChaseMode::kCachedBinary:
+    case ChaseMode::kInterpreted:
     case ChaseMode::kHllBitcode:
     case ChaseMode::kHllDrivesC: {
       if (!cluster_->has_ifunc_runtimes()) {
         return failed_precondition("cluster built without ifunc runtimes");
       }
-      const ir::CodeRepr repr = mode_ == ChaseMode::kCachedBinary
-                                    ? ir::CodeRepr::kObject
-                                    : ir::CodeRepr::kBitcode;
+      ir::CodeRepr repr = ir::CodeRepr::kBitcode;
+      if (mode_ == ChaseMode::kCachedBinary) repr = ir::CodeRepr::kObject;
+      if (mode_ == ChaseMode::kInterpreted) repr = ir::CodeRepr::kPortable;
       StatusOr<core::IfuncLibrary> library_or =
+#if TC_WITH_LLVM
           mode_ == ChaseMode::kHllDrivesC
               ? hll::build_library(ir::KernelKind::kChaser,
                                    /*drive_with_c=*/true)
               : build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode);
+#else
+          build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode);
+#endif
       if (!library_or.is_ok()) return library_or.status();
       core::IfuncLibrary library = std::move(library_or).value();
       TC_ASSIGN_OR_RETURN(
@@ -179,6 +187,7 @@ Status DapcDriver::issue_chase(std::uint64_t index) {
   switch (mode_) {
     case ChaseMode::kCachedBitcode:
     case ChaseMode::kCachedBinary:
+    case ChaseMode::kInterpreted:
     case ChaseMode::kHllBitcode:
     case ChaseMode::kHllDrivesC:
       return cluster_->client_runtime().send_ifunc(

@@ -8,6 +8,9 @@
 //   kGet           — GBPC: client-driven iterative RDMA GETs (lower bound);
 //   kCachedBitcode — X-RDMA Chaser ifunc, fat-bitcode representation;
 //   kCachedBinary  — Chaser ifunc, AOT object (binary) representation;
+//   kInterpreted   — Chaser ifunc, portable-bytecode representation run by
+//                    the vm interpreter tier (zero compile; the only ifunc
+//                    mode available in TC_WITH_LLVM=OFF builds);
 //   kHllBitcode    — Chaser built by the high-level-language frontend
 //                    (the Julia-integration analogue);
 //   kHllDrivesC    — HLL client driving C-frontend bitcode (the paper's
@@ -17,6 +20,7 @@
 // walk), so measured differences are pure protocol/runtime effects.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -32,6 +36,7 @@ enum class ChaseMode {
   kGet,
   kCachedBitcode,
   kCachedBinary,
+  kInterpreted,
   kHllBitcode,
   kHllDrivesC,
 };

@@ -85,6 +85,7 @@ TEST(Broadcast, SlotCountMismatchRejected) {
             ErrorCode::kInvalidArgument);
 }
 
+#if TC_WITH_LLVM
 TEST(HllDrivesC, MatchesCBitcodeResultsAndSpeed) {
   // Fig. 8/12: "Julia driving the bitcode generated from C is demonstrating
   // excellent performance" — identical code, HLL-owned identity.
@@ -136,6 +137,7 @@ TEST(HllDrivesC, FasterThanHllBitcode) {
 
   EXPECT_GT(c_result->chases_per_second, hll_result->chases_per_second);
 }
+#endif  // TC_WITH_LLVM
 
 }  // namespace
 }  // namespace tc::xrdma

@@ -108,6 +108,18 @@ TEST(Cluster, ComputeScaleAppliedToServers) {
       profile_for(Platform::kThorBF2).client_compute_scale);
 }
 
+TEST_P(ProfileP, InterpreterTierConstantsCalibrated) {
+  const HwProfile& p = profile_for(GetParam());
+  // A per-op dispatch exists and is cheap relative to everything else.
+  EXPECT_GT(p.interp_op_ns, 0);
+  EXPECT_LT(p.interp_op_ns, p.hll_guard_ns);
+  // Loading a portable program is µs-scale — orders of magnitude under the
+  // JIT compile it replaces on the cold path.
+  EXPECT_GT(p.vm_load_ns, 0);
+  EXPECT_LT(p.vm_load_ns * 50, p.jit_cost_ns);
+}
+
+#if TC_WITH_LLVM
 class TsiLatencyP : public ::testing::TestWithParam<Platform> {};
 
 TEST_P(TsiLatencyP, CachedVsUncachedVsSecondSend) {
@@ -157,6 +169,50 @@ TEST_P(TsiLatencyP, CachedVsUncachedVsSecondSend) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPlatforms, TsiLatencyP, ::testing::ValuesIn(kAll));
+#endif  // TC_WITH_LLVM
+
+class VmTierLatencyP : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(VmTierLatencyP, PortableFirstSendAvoidsTheJitStall) {
+  // The tentpole property in virtual time: the first invocation of a
+  // portable ifunc costs µs (wire + decode + interpret), not the ms-scale
+  // JIT compile the bitcode representation pays on the same platform.
+  ClusterConfig config;
+  config.platform = GetParam();
+  config.server_count = 1;
+  auto cluster_or = Cluster::create(config);
+  ASSERT_TRUE(cluster_or.is_ok());
+  Cluster& cluster = **cluster_or;
+
+  auto lib = core::IfuncLibrary::from_portable_kernel(
+      ir::KernelKind::kTargetSideIncrement);
+  ASSERT_TRUE(lib.is_ok()) << lib.status().to_string();
+  auto id = cluster.client_runtime().register_ifunc(std::move(*lib));
+  ASSERT_TRUE(id.is_ok());
+
+  const auto server = cluster.server_nodes()[0];
+  std::uint64_t counter = 0;
+  cluster.runtime(server).set_target_ptr(&counter);
+  auto& fabric = cluster.fabric();
+
+  Bytes payload{0};
+  const auto t0 = fabric.now();
+  ASSERT_TRUE(cluster.client_runtime()
+                  .send_ifunc(server, *id, as_span(payload))
+                  .is_ok());
+  ASSERT_TRUE(fabric.run_until([&] { return counter == 1; }).is_ok());
+  const auto first_ns = fabric.now() - t0;
+
+  const HwProfile& profile = profile_for(GetParam());
+  // No JIT on the cold path: the entire first invocation is far below the
+  // platform's one-time compile cost.
+  EXPECT_LT(first_ns, profile.jit_cost_ns / 10);
+  EXPECT_EQ(cluster.runtime(server).stats().jit_compiles, 0u);
+  EXPECT_EQ(cluster.runtime(server).stats().portable_loads, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, VmTierLatencyP,
+                         ::testing::ValuesIn(kAll));
 
 }  // namespace
 }  // namespace tc::hetsim

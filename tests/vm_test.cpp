@@ -1,0 +1,876 @@
+// Tests for the portable-bytecode subsystem (src/vm/): format validation
+// and malformed-input rejection, interpreter semantics against stub hooks,
+// tiered CodeCache bookkeeping, runtime-level zero-compile execution, and —
+// when LLVM is available — bit-exact equivalence between the interpreter
+// tier and the ORC-JIT tier for every computational kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/context.hpp"
+#include "core/runtime.hpp"
+#include "ir/kernels.hpp"
+#include "jit/code_cache.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/interp.hpp"
+#include "vm/lower.hpp"
+
+#if TC_WITH_LLVM
+#include "ir/bitcode.hpp"
+#include "ir/kernel_builder.hpp"
+#include "jit/engine.hpp"
+#endif
+
+namespace tc::vm {
+namespace {
+
+// --- program format ------------------------------------------------------------
+
+Program simple_program() {
+  Assembler a;
+  a.li(2, 41);
+  a.li(3, 1);
+  a.alu(Opcode::kAdd, 2, 2, 3);
+  a.st64(2, 0);  // *(u64*)payload = 42
+  a.ret();
+  auto program = a.finish(8);
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+  return std::move(program).value();
+}
+
+TEST(Bytecode, SerializeRoundTrip) {
+  Program program = simple_program();
+  Bytes wire = program.serialize();
+  EXPECT_EQ(wire.size(), program.serialized_size());
+  auto back = Program::deserialize(as_span(wire));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->reg_count(), program.reg_count());
+  ASSERT_EQ(back->code().size(), program.code().size());
+  for (std::size_t i = 0; i < program.code().size(); ++i) {
+    EXPECT_EQ(back->code()[i].op, program.code()[i].op);
+    EXPECT_EQ(back->code()[i].imm, program.code()[i].imm);
+  }
+  EXPECT_EQ(back->pool(), program.pool());
+}
+
+TEST(Bytecode, ConstantPoolSpillsWideImmediates) {
+  Assembler a;
+  a.li(2, 0x1122334455667788ull);  // not sext32-representable -> pool
+  a.li(3, -7);                     // sext32 -> inline
+  a.li(4, 0x1122334455667788ull);  // deduplicated
+  a.ret();
+  auto program = a.finish(8);
+  ASSERT_TRUE(program.is_ok());
+  EXPECT_EQ(program->pool().size(), 1u);
+  EXPECT_EQ(program->pool()[0], 0x1122334455667788ull);
+  EXPECT_EQ(program->code()[0].op, Opcode::kLdk);
+  EXPECT_EQ(program->code()[1].op, Opcode::kLdi);
+}
+
+TEST(Bytecode, DisassembleMentionsEveryInstruction) {
+  Program program = simple_program();
+  const std::string text = disassemble(program);
+  EXPECT_NE(text.find("ldi"), std::string::npos);
+  EXPECT_NE(text.find("add"), std::string::npos);
+  EXPECT_NE(text.find("st64"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+// --- malformed input rejection (bounds-checked decode, no UB) -------------------
+
+TEST(BytecodeRejection, TruncatedBuffers) {
+  const Bytes wire = simple_program().serialize();
+  for (std::size_t cut : {0ul, 1ul, 8ul, wire.size() / 2, wire.size() - 1}) {
+    auto r = Program::deserialize(ByteSpan(wire.data(), cut));
+    EXPECT_FALSE(r.is_ok()) << "accepted a " << cut << "-byte prefix";
+  }
+}
+
+TEST(BytecodeRejection, CorruptedBytesNeverAccepted) {
+  // Flip each byte in turn: either the checksum catches it, or (for the
+  // checksum bytes themselves) the mismatch does. Nothing may crash.
+  const Bytes wire = simple_program().serialize();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    Bytes bad = wire;
+    bad[i] ^= 0x5A;
+    auto r = Program::deserialize(as_span(bad));
+    EXPECT_FALSE(r.is_ok()) << "accepted corruption at byte " << i;
+  }
+}
+
+/// Re-serializes a tampered program with a fresh (valid) checksum so the
+/// *structural* validation layer is what rejects it.
+Bytes reseal(Bytes wire, std::size_t offset, std::uint8_t value) {
+  wire[offset] = value;
+  Bytes body(wire.begin(), wire.end() - 8);
+  const std::uint64_t checksum = fnv1a64(as_span(body));
+  for (int i = 0; i < 8; ++i) {
+    wire[wire.size() - 8 + i] =
+        static_cast<std::uint8_t>(checksum >> (8 * i));
+  }
+  return wire;
+}
+
+TEST(BytecodeRejection, StructurallyInvalidPrograms) {
+  const Bytes wire = simple_program().serialize();
+  constexpr std::size_t kHeader = 4 + 2 + 2 + 4 + 4;
+  // First instruction starts at kHeader: [op][a][b][c][imm32].
+  // Unknown opcode:
+  EXPECT_FALSE(Program::deserialize(as_span(reseal(wire, kHeader, 0xFF))).is_ok());
+  // Register out of range (reg_count is 8):
+  EXPECT_FALSE(
+      Program::deserialize(as_span(reseal(wire, kHeader + 1, 63))).is_ok());
+  // Trailing non-terminator: overwrite the final ret with a nop.
+  const std::size_t last_op = kHeader + (simple_program().code().size() - 1) * 8;
+  EXPECT_FALSE(Program::deserialize(
+                   as_span(reseal(wire, last_op,
+                                  static_cast<std::uint8_t>(Opcode::kNop))))
+                   .is_ok());
+}
+
+TEST(BytecodeRejection, BranchAndPoolAndHookRanges) {
+  {
+    Assembler a;
+    const auto label = a.make_label();
+    a.bind(label);
+    a.br(label);
+    auto ok = a.finish(4);
+    ASSERT_TRUE(ok.is_ok());
+    Bytes wire = ok->serialize();
+    // Point the branch outside the program (imm lives at header+4).
+    EXPECT_FALSE(
+        Program::deserialize(as_span(reseal(wire, 16 + 4, 9))).is_ok());
+  }
+  {
+    // kLdk with no pool.
+    std::vector<Instr> code{{Opcode::kLdk, 2, 0, 0, 0},
+                            {Opcode::kRet, 0, 0, 0, 0}};
+    EXPECT_FALSE(Program::validate(8, code, {}).is_ok());
+  }
+  {
+    // Unknown hook id and out-of-range hook args.
+    std::vector<Instr> code{{Opcode::kHook, 200, 0, 0, 0},
+                            {Opcode::kRet, 0, 0, 0, 0}};
+    EXPECT_FALSE(Program::validate(8, code, {}).is_ok());
+    code[0] = {Opcode::kHook, static_cast<std::uint8_t>(HookId::kInject), 2,
+               6, 0};  // args r6..r9 but only 8 registers
+    EXPECT_FALSE(Program::validate(8, code, {}).is_ok());
+  }
+  {
+    // Register count outside the supported band.
+    std::vector<Instr> code{{Opcode::kRet, 0, 0, 0, 0}};
+    EXPECT_FALSE(Program::validate(1, code, {}).is_ok());
+    EXPECT_FALSE(Program::validate(kMaxRegisters + 1, code, {}).is_ok());
+    EXPECT_TRUE(Program::validate(2, code, {}).is_ok());
+  }
+}
+
+// --- interpreter semantics -----------------------------------------------------
+
+/// Stub hook environment: function pointers can't capture, so the state
+/// rides behind the ctx pointer exactly as the real runtime does it.
+struct StubEnv {
+  std::uint64_t target[4] = {};
+  std::uint64_t* shard = nullptr;
+  std::uint64_t shard_size = 0;
+  std::uint64_t self_peer = 0;
+  std::uint64_t peer_count = 0;
+  std::uint64_t guards = 0;
+  struct Forward {
+    std::uint64_t peer;
+    Bytes payload;
+  };
+  std::vector<Forward> forwards;
+  std::vector<Bytes> replies;
+};
+
+HookTable stub_hooks(StubEnv& env) {
+  HookTable h;
+  h.ctx = &env;
+  h.target = [](void* c) -> void* {
+    return static_cast<StubEnv*>(c)->target;
+  };
+  h.node = [](void*) -> std::uint64_t { return 7; };
+  h.peer_count = [](void* c) -> std::uint64_t {
+    return static_cast<StubEnv*>(c)->peer_count;
+  };
+  h.self_peer = [](void* c) -> std::uint64_t {
+    return static_cast<StubEnv*>(c)->self_peer;
+  };
+  h.shard_base = [](void* c) -> std::uint64_t* {
+    return static_cast<StubEnv*>(c)->shard;
+  };
+  h.shard_size = [](void* c) -> std::uint64_t {
+    return static_cast<StubEnv*>(c)->shard_size;
+  };
+  h.forward = [](void* c, std::uint64_t peer, const std::uint8_t* p,
+                 std::uint64_t n) -> std::int32_t {
+    static_cast<StubEnv*>(c)->forwards.push_back(
+        {peer, Bytes(p, p + n)});
+    return 0;
+  };
+  h.inject = [](void*, std::uint64_t, const char*, const std::uint8_t*,
+                std::uint64_t) -> std::int32_t { return 0; };
+  h.reply = [](void* c, const std::uint8_t* p,
+               std::uint64_t n) -> std::int32_t {
+    static_cast<StubEnv*>(c)->replies.push_back(Bytes(p, p + n));
+    return 0;
+  };
+  h.remote_write = [](void*, std::uint64_t, std::uint64_t,
+                      const std::uint8_t*, std::uint64_t) -> std::int32_t {
+    return -3;
+  };
+  h.hll_guard = [](void* c) { ++static_cast<StubEnv*>(c)->guards; };
+  h.sin_fn = [](double x) { return std::sin(x); };
+  return h;
+}
+
+Program lowered(ir::KernelKind kind, bool hll = false) {
+  ir::KernelOptions options;
+  options.hll_guards = hll;
+  auto program = lower_kernel(kind, options);
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+  return std::move(program).value();
+}
+
+TEST(Interp, PayloadSum) {
+  StubEnv env;
+  Bytes payload = {1, 2, 3, 250, 7};
+  auto r = execute(lowered(ir::KernelKind::kPayloadSum), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(env.target[0], 263u);
+  EXPECT_GT(r->ops, payload.size());  // at least one op per byte
+}
+
+TEST(Interp, TsiIncrements) {
+  StubEnv env;
+  env.target[0] = 41;
+  std::uint8_t dummy = 0;
+  auto r = execute(lowered(ir::KernelKind::kTargetSideIncrement),
+                   stub_hooks(env), &dummy, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(env.target[0], 42u);
+}
+
+TEST(Interp, VecReduce) {
+  StubEnv env;
+  ByteWriter w;
+  const std::vector<double> xs = {1.5, -2.25, 4.0, 1e9, 3.125};
+  w.u64(xs.size());
+  for (double x : xs) w.f64(x);
+  Bytes payload = std::move(w).take();
+  auto r = execute(lowered(ir::KernelKind::kVecReduce), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  double got;
+  std::memcpy(&got, env.target, sizeof(got));
+  EXPECT_EQ(got, sum);  // same op order -> bit-exact
+}
+
+TEST(Interp, SaxpyMatchesScalarReference) {
+  StubEnv env;
+  const std::vector<float> x = {1.0f, 2.5f, -3.0f, 0.125f};
+  const std::vector<float> y = {0.5f, -1.0f, 2.0f, 8.0f};
+  const float a = 1.75f;
+  ByteWriter w;
+  w.u64(x.size());
+  std::uint32_t a_bits;
+  std::memcpy(&a_bits, &a, 4);
+  w.u32(a_bits);
+  for (float v : x) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    w.u32(bits);
+  }
+  for (float v : y) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    w.u32(bits);
+  }
+  Bytes payload = std::move(w).take();
+  // env.target doubles as the float output buffer (32 bytes >= 4 floats).
+  auto r = execute(lowered(ir::KernelKind::kSaxpy), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  const float* got = reinterpret_cast<const float*>(env.target);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(got[i], a * x[i] + y[i]) << i;
+  }
+}
+
+TEST(Interp, StatsSummaryWelford) {
+  StubEnv env;
+  const std::vector<double> xs = {4.0, 7.0, 13.0, 16.0};
+  ByteWriter w;
+  w.u64(xs.size());
+  for (double x : xs) w.f64(x);
+  Bytes payload = std::move(w).take();
+  auto r = execute(lowered(ir::KernelKind::kStatsSummary), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  double state[3];
+  std::memcpy(state, env.target, sizeof(state));
+  EXPECT_EQ(state[0], 4.0);   // count
+  EXPECT_EQ(state[1], 10.0);  // mean
+  EXPECT_EQ(state[2], 90.0);  // M2
+}
+
+TEST(Interp, SinSumUsesLibmHook) {
+  StubEnv env;
+  ByteWriter w;
+  const std::vector<double> xs = {0.1, 1.2, -2.3};
+  w.u64(xs.size());
+  for (double x : xs) w.f64(x);
+  Bytes payload = std::move(w).take();
+  auto r = execute(lowered(ir::KernelKind::kSinSum), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  double expect = 0;
+  for (double x : xs) expect += std::sin(x);
+  double got;
+  std::memcpy(&got, env.target, sizeof(got));
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Interp, ChaserWalksLocallyAndForwards) {
+  // Shard 1 of 2, entries 4..7 local. Chain: 5 -> 6 -> 2 (remote).
+  StubEnv env;
+  std::uint64_t shard[4] = {9, 6, 2, 11};  // addresses 4,5,6,7
+  env.shard = shard;
+  env.shard_size = 4;
+  env.self_peer = 1;
+  ByteWriter w;
+  w.u64(5);  // start address (local: 5/4 == 1)
+  w.u64(10);
+  Bytes payload = std::move(w).take();
+  auto r = execute(lowered(ir::KernelKind::kChaser), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  // lookup(5)=6 (depth 9 left), lookup(6)=2 -> owner 0 != self -> forward.
+  ASSERT_EQ(env.forwards.size(), 1u);
+  EXPECT_EQ(env.forwards[0].peer, 0u);
+  std::uint64_t fwd_addr = 0, fwd_depth = 0;
+  std::memcpy(&fwd_addr, env.forwards[0].payload.data(), 8);
+  std::memcpy(&fwd_depth, env.forwards[0].payload.data() + 8, 8);
+  EXPECT_EQ(fwd_addr, 2u);
+  EXPECT_EQ(fwd_depth, 8u);
+  EXPECT_TRUE(env.replies.empty());
+}
+
+TEST(Interp, ChaserRepliesWhenDepthExhausted) {
+  StubEnv env;
+  std::uint64_t shard[4] = {3, 0, 1, 2};
+  env.shard = shard;
+  env.shard_size = 4;
+  env.self_peer = 0;
+  env.peer_count = 1;
+  ByteWriter w;
+  w.u64(1);
+  w.u64(3);  // 1 -> 0 -> 3 -> reply(2)? walk: v=shard[1]=0 d2; v=shard[0]=3 d1...
+  Bytes payload = std::move(w).take();
+  auto r = execute(lowered(ir::KernelKind::kChaser), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(env.replies.size(), 1u);
+  // depth 3: lookup(1)=0, lookup(0)=3, lookup(3)=2 -> reply 2.
+  std::uint64_t value = 0;
+  std::memcpy(&value, env.replies[0].data(), 8);
+  EXPECT_EQ(value, 2u);
+}
+
+TEST(Interp, RingHopForwardsUntilTtlExpires) {
+  StubEnv env;
+  env.self_peer = 2;
+  env.peer_count = 5;
+  ByteWriter w;
+  w.u64(3);  // ttl
+  w.u64(9);  // hops so far
+  Bytes payload = std::move(w).take();
+  auto r = execute(lowered(ir::KernelKind::kRingHop), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(env.forwards.size(), 1u);
+  EXPECT_EQ(env.forwards[0].peer, 3u);  // (self+1) % count
+  std::uint64_t ttl = 0, hops = 0;
+  std::memcpy(&ttl, env.forwards[0].payload.data(), 8);
+  std::memcpy(&hops, env.forwards[0].payload.data() + 8, 8);
+  EXPECT_EQ(ttl, 2u);
+  EXPECT_EQ(hops, 10u);
+
+  // Expired TTL replies with the full 16-byte payload.
+  env.forwards.clear();
+  ByteWriter w2;
+  w2.u64(0);
+  w2.u64(4);
+  Bytes done = std::move(w2).take();
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kRingHop), stub_hooks(env),
+                      done.data(), done.size())
+                  .is_ok());
+  EXPECT_TRUE(env.forwards.empty());
+  ASSERT_EQ(env.replies.size(), 1u);
+  EXPECT_EQ(env.replies[0].size(), 16u);
+}
+
+TEST(Interp, TreeBroadcastCoversRangeAndDelivers) {
+  StubEnv env;
+  ByteWriter w;
+  w.u64(0);   // base
+  w.u64(8);   // span
+  w.u64(77);  // value
+  Bytes payload = std::move(w).take();
+  auto r = execute(lowered(ir::KernelKind::kTreeBroadcast), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  // Span 8 -> forwards to 4, then (span 4) to 2, then (span 2) to 1.
+  ASSERT_EQ(env.forwards.size(), 3u);
+  EXPECT_EQ(env.forwards[0].peer, 4u);
+  EXPECT_EQ(env.forwards[1].peer, 2u);
+  EXPECT_EQ(env.forwards[2].peer, 1u);
+  EXPECT_EQ(env.target[0], 77u);  // local delivery
+  EXPECT_EQ(env.target[1], 1u);   // arrival count
+}
+
+TEST(Interp, RemoteStoreReportsHookStatus) {
+  StubEnv env;  // stub remote_write returns -3
+  ByteWriter w;
+  w.u64(1);
+  w.u64(16);
+  w.u64(0xABC);
+  Bytes payload = std::move(w).take();
+  auto r = execute(lowered(ir::KernelKind::kRemoteStore), stub_hooks(env),
+                   payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(env.replies.size(), 1u);
+  std::int64_t rc = 0;
+  std::memcpy(&rc, env.replies[0].data(), 8);
+  EXPECT_EQ(rc, -3);  // sign-extended i32 hook status
+}
+
+TEST(Interp, HllGuardsFireOncePerIteration) {
+  StubEnv env;
+  Bytes payload(10, 1);
+  auto r = execute(lowered(ir::KernelKind::kPayloadSum, /*hll=*/true),
+                   stub_hooks(env), payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(env.guards, payload.size());
+  // The plain build emits zero guards.
+  env.guards = 0;
+  auto r2 = execute(lowered(ir::KernelKind::kPayloadSum), stub_hooks(env),
+                    payload.data(), payload.size());
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(env.guards, 0u);
+  EXPECT_LT(r2->ops, r->ops);  // guards cost interpreter ops
+}
+
+TEST(Interp, DivisionByZeroTrapsCleanly) {
+  Assembler a;
+  a.li(2, 1);
+  a.li(3, 0);
+  a.alu(Opcode::kUdiv, 2, 2, 3);
+  a.ret();
+  auto program = a.finish(4);
+  ASSERT_TRUE(program.is_ok());
+  StubEnv env;
+  std::uint8_t dummy = 0;
+  auto r = execute(*program, stub_hooks(env), &dummy, 0);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+}
+
+TEST(Interp, InfiniteLoopRunsOutOfFuel) {
+  Assembler a;
+  const auto top = a.make_label();
+  a.bind(top);
+  a.br(top);
+  auto program = a.finish(2);
+  ASSERT_TRUE(program.is_ok());
+  StubEnv env;
+  InterpOptions options;
+  options.max_ops = 10'000;
+  std::uint8_t dummy = 0;
+  auto r = execute(*program, stub_hooks(env), &dummy, 0, options);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(Interp, MissingHookIsAnErrorNotACrash) {
+  HookTable empty;  // all null
+  StubEnv env;
+  std::uint8_t dummy = 0;
+  auto r = execute(lowered(ir::KernelKind::kTargetSideIncrement), empty,
+                   &dummy, 0);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+// --- portable archives ----------------------------------------------------------
+
+TEST(PortableArchive, RoundTripsThroughTcfp) {
+  auto archive = build_portable_kernel(ir::KernelKind::kChaser);
+  ASSERT_TRUE(archive.is_ok());
+  EXPECT_EQ(archive->repr(), ir::CodeRepr::kPortable);
+  Bytes wire = archive->serialize();
+  auto back = ir::FatBitcode::deserialize(as_span(wire));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->repr(), ir::CodeRepr::kPortable);
+  auto entry = back->select_portable();
+  ASSERT_TRUE(entry.is_ok());
+  EXPECT_EQ((*entry)->target.triple, ir::kTriplePortable);
+  auto program = Program::deserialize(as_span((*entry)->code));
+  ASSERT_TRUE(program.is_ok());
+  // Portable entries must never satisfy an ISA lookup.
+  EXPECT_FALSE(archive->select(ir::kTripleX86).is_ok());
+}
+
+// --- tiered CodeCache -----------------------------------------------------------
+
+TEST(TieredCache, TierNamesStable) {
+  EXPECT_STREQ(jit::tier_name(jit::Tier::kInterpreted), "interpreted");
+  EXPECT_STREQ(jit::tier_name(jit::Tier::kJit), "jit");
+  EXPECT_STREQ(jit::tier_name(jit::Tier::kLinked), "linked");
+}
+
+TEST(TieredCache, LruEvictionAcrossTiers) {
+  jit::CodeCache cache(2);
+  jit::CachedIfunc interp;
+  interp.tier = jit::Tier::kInterpreted;
+  jit::CachedIfunc native;
+  native.tier = jit::Tier::kJit;
+  ASSERT_TRUE(cache.insert(1, interp).is_ok());
+  ASSERT_TRUE(cache.insert(2, native).is_ok());
+  // Touch 1 so 2 becomes LRU.
+  ASSERT_NE(cache.find(1), nullptr);
+  std::uint64_t evicted = 0;
+  ASSERT_TRUE(cache.insert(3, interp, &evicted).is_ok());
+  EXPECT_EQ(evicted, 2u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.find(1)->tier, jit::Tier::kInterpreted);
+}
+
+TEST(TieredCache, PromotionRewritesTierInPlace) {
+  jit::CodeCache cache;
+  jit::CachedIfunc entry;
+  entry.tier = jit::Tier::kInterpreted;
+  ASSERT_TRUE(cache.insert(42, entry).is_ok());
+  jit::CachedIfunc* cached = cache.peek(42);
+  ASSERT_NE(cached, nullptr);
+  cached->tier = jit::Tier::kJit;
+  cached->invocations = 9;
+  EXPECT_EQ(cache.find(42)->tier, jit::Tier::kJit);
+  EXPECT_EQ(cache.find(42)->invocations, 9u);
+}
+
+TEST(TieredCache, PeekDoesNotDisturbProtocolStats) {
+  jit::CodeCache cache;
+  jit::CachedIfunc entry;
+  ASSERT_TRUE(cache.insert(5, entry).is_ok());
+  (void)cache.peek(5);
+  (void)cache.peek(6);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+// --- runtime integration: the zero-compile tier ---------------------------------
+
+class VmRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fabric_.set_default_link(fabric::instant_link());
+    a_ = fabric_.add_node("a");
+    b_ = fabric_.add_node("b");
+    rt_a_ = create_runtime(a_);
+    rt_b_ = create_runtime(b_);
+  }
+
+  std::unique_ptr<core::Runtime> create_runtime(
+      fabric::NodeId node, core::RuntimeOptions options = {}) {
+    auto rt = core::Runtime::create(fabric_, node, options);
+    EXPECT_TRUE(rt.is_ok()) << rt.status().to_string();
+    return std::move(rt).value();
+  }
+
+  fabric::Fabric fabric_;
+  fabric::NodeId a_ = 0, b_ = 0;
+  std::unique_ptr<core::Runtime> rt_a_, rt_b_;
+};
+
+TEST_F(VmRuntimeTest, PortableIfuncExecutesWithZeroCompiles) {
+  auto lib = core::IfuncLibrary::from_portable_kernel(
+      ir::KernelKind::kTargetSideIncrement);
+  ASSERT_TRUE(lib.is_ok()) << lib.status().to_string();
+  EXPECT_EQ(lib->repr(), ir::CodeRepr::kPortable);
+  auto id = rt_a_->register_ifunc(std::move(*lib));
+  ASSERT_TRUE(id.is_ok());
+
+  std::uint64_t counter = 0;
+  rt_b_->set_target_ptr(&counter);
+  Bytes payload{0};
+  ASSERT_TRUE(rt_a_->send_ifunc(b_, *id, as_span(payload)).is_ok());
+  fabric_.run_until_idle();
+
+  EXPECT_EQ(counter, 1u);
+  EXPECT_EQ(rt_b_->stats().jit_compiles, 0u);
+  EXPECT_EQ(rt_b_->stats().object_links, 0u);
+  EXPECT_EQ(rt_b_->stats().portable_loads, 1u);
+  EXPECT_EQ(rt_b_->stats().interp_executions, 1u);
+  EXPECT_GT(rt_b_->stats().interp_ops, 0u);
+
+  // Second send rides the truncated-frame path and the cached program.
+  ASSERT_TRUE(rt_a_->send_ifunc(b_, *id, as_span(payload)).is_ok());
+  fabric_.run_until_idle();
+  EXPECT_EQ(counter, 2u);
+  EXPECT_EQ(rt_b_->stats().portable_loads, 1u);
+  EXPECT_EQ(rt_b_->stats().interp_executions, 2u);
+  EXPECT_EQ(rt_b_->stats().frames_sent_truncated, 0u);  // b sent nothing
+  EXPECT_EQ(rt_a_->stats().frames_sent_truncated, 1u);
+}
+
+TEST_F(VmRuntimeTest, MalformedPortableCodeIsDroppedAsProtocolError) {
+  // Hand-build a frame whose portable archive carries a corrupted program.
+  auto archive = build_portable_kernel(ir::KernelKind::kTargetSideIncrement);
+  ASSERT_TRUE(archive.is_ok());
+  Bytes program_wire = (*archive).entries()[0].code;
+  program_wire[12] ^= 0xFF;  // corrupt an instruction byte
+  ir::FatBitcode bad(ir::CodeRepr::kPortable);
+  ASSERT_TRUE(
+      bad.add_entry({ir::kTriplePortable, "", ""}, program_wire).is_ok());
+  auto lib = core::IfuncLibrary::from_archive("evil_vm", std::move(bad));
+  ASSERT_TRUE(lib.is_ok());
+  auto id = rt_a_->register_ifunc(std::move(*lib));
+  ASSERT_TRUE(id.is_ok());
+
+  std::uint64_t counter = 0;
+  rt_b_->set_target_ptr(&counter);
+  Bytes payload{0};
+  ASSERT_TRUE(rt_a_->send_ifunc(b_, *id, as_span(payload)).is_ok());
+  fabric_.run_until_idle();
+  EXPECT_EQ(counter, 0u);
+  EXPECT_EQ(rt_b_->stats().frames_executed, 0u);
+  EXPECT_EQ(rt_b_->stats().protocol_errors, 1u);
+}
+
+TEST(VmRuntimeEviction, InFlightInvocationSurvivesEviction) {
+  // Regression: with a bounded cache, frame B can be processed (evicting
+  // ifunc A and releasing its materialized tier) after A's invocation event
+  // is queued but before it runs. The runtime must re-materialize from the
+  // retained archive instead of calling through the released tier.
+  fabric::Fabric fabric;
+  fabric.set_default_link(fabric::instant_link());
+  const auto na = fabric.add_node("a");
+  const auto nb = fabric.add_node("b");
+  core::RuntimeOptions recv_options;
+  recv_options.cache_capacity = 1;
+  auto send_rt = core::Runtime::create(fabric, na);
+  auto recv_rt = core::Runtime::create(fabric, nb, recv_options);
+  ASSERT_TRUE(send_rt.is_ok());
+  ASSERT_TRUE(recv_rt.is_ok());
+
+  auto tsi = core::IfuncLibrary::from_portable_kernel(
+      ir::KernelKind::kTargetSideIncrement);
+  auto sum = core::IfuncLibrary::from_portable_kernel(
+      ir::KernelKind::kPayloadSum);
+  ASSERT_TRUE(tsi.is_ok());
+  ASSERT_TRUE(sum.is_ok());
+  auto tsi_id = (*send_rt)->register_ifunc(std::move(*tsi));
+  auto sum_id = (*send_rt)->register_ifunc(std::move(*sum));
+  ASSERT_TRUE(tsi_id.is_ok());
+  ASSERT_TRUE(sum_id.is_ok());
+
+  std::uint64_t target = 0;
+  (*recv_rt)->set_target_ptr(&target);
+  // Back-to-back sends: both frames land before either invocation runs.
+  Bytes empty{0};
+  Bytes five{5};
+  ASSERT_TRUE((*send_rt)->send_ifunc(nb, *tsi_id, as_span(empty)).is_ok());
+  ASSERT_TRUE((*send_rt)->send_ifunc(nb, *sum_id, as_span(five)).is_ok());
+  fabric.run_until_idle();
+
+  EXPECT_EQ((*recv_rt)->stats().frames_executed, 2u);
+  EXPECT_EQ(target, 5u);  // tsi ran (1), then payload_sum overwrote (5)
+  EXPECT_GE((*recv_rt)->stats().cache_evictions, 1u);
+  EXPECT_EQ((*recv_rt)->stats().protocol_errors, 0u);
+}
+
+#if TC_WITH_LLVM
+TEST_F(VmRuntimeTest, TieredArchivePromotesAfterThreshold) {
+  auto lib = core::IfuncLibrary::from_tiered_kernel(
+      ir::KernelKind::kTargetSideIncrement);
+  ASSERT_TRUE(lib.is_ok()) << lib.status().to_string();
+  EXPECT_EQ(lib->repr(), ir::CodeRepr::kPortable);
+
+  core::RuntimeOptions options;
+  options.promote_after = 3;
+  fabric::Fabric fabric;
+  fabric.set_default_link(fabric::instant_link());
+  const auto na = fabric.add_node("a");
+  const auto nb = fabric.add_node("b");
+  auto send_rt = core::Runtime::create(fabric, na);
+  auto recv_rt = core::Runtime::create(fabric, nb, options);
+  ASSERT_TRUE(send_rt.is_ok());
+  ASSERT_TRUE(recv_rt.is_ok());
+
+  auto id = (*send_rt)->register_ifunc(std::move(*lib));
+  ASSERT_TRUE(id.is_ok());
+  std::uint64_t counter = 0;
+  (*recv_rt)->set_target_ptr(&counter);
+  Bytes payload{0};
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE((*send_rt)->send_ifunc(nb, *id, as_span(payload)).is_ok());
+    fabric.run_until_idle();
+    EXPECT_EQ(counter, static_cast<std::uint64_t>(i));
+  }
+  const auto& stats = (*recv_rt)->stats();
+  // First three invocations interpret; the third crosses the threshold and
+  // promotes, so invocations 4 and 5 run JIT'd.
+  EXPECT_EQ(stats.portable_loads, 1u);
+  EXPECT_EQ(stats.interp_executions, 3u);
+  EXPECT_EQ(stats.tier_promotions, 1u);
+  EXPECT_EQ(stats.jit_compiles, 1u);
+  EXPECT_EQ(stats.frames_executed, 5u);
+}
+
+TEST_F(VmRuntimeTest, InterpOnlyPinNeverPromotes) {
+  auto lib = core::IfuncLibrary::from_tiered_kernel(
+      ir::KernelKind::kTargetSideIncrement);
+  ASSERT_TRUE(lib.is_ok());
+
+  core::RuntimeOptions options;
+  options.promote_after = 1;
+  options.interp_only = true;
+  fabric::Fabric fabric;
+  fabric.set_default_link(fabric::instant_link());
+  const auto na = fabric.add_node("a");
+  const auto nb = fabric.add_node("b");
+  auto send_rt = core::Runtime::create(fabric, na);
+  auto recv_rt = core::Runtime::create(fabric, nb, options);
+  ASSERT_TRUE(send_rt.is_ok());
+  ASSERT_TRUE(recv_rt.is_ok());
+  auto id = (*send_rt)->register_ifunc(std::move(*lib));
+  ASSERT_TRUE(id.is_ok());
+  std::uint64_t counter = 0;
+  (*recv_rt)->set_target_ptr(&counter);
+  Bytes payload{0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*send_rt)->send_ifunc(nb, *id, as_span(payload)).is_ok());
+    fabric.run_until_idle();
+  }
+  EXPECT_EQ(counter, 4u);
+  EXPECT_EQ((*recv_rt)->stats().tier_promotions, 0u);
+  EXPECT_EQ((*recv_rt)->stats().jit_compiles, 0u);
+  EXPECT_EQ((*recv_rt)->stats().interp_executions, 4u);
+}
+
+// --- VM ↔ JIT bit-exact equivalence ---------------------------------------------
+
+class VmJitEquivalence : public ::testing::Test {
+ protected:
+  static Bytes kernel_bitcode(ir::KernelKind kind) {
+    llvm::LLVMContext context;
+    auto module = ir::build_kernel(context, kind, ir::host_descriptor());
+    EXPECT_TRUE(module.is_ok());
+    return ir::module_to_bitcode(**module);
+  }
+
+  /// Runs the kernel both ways over identical payload/target and returns
+  /// (jit_target, vm_target) for comparison.
+  void run_both(ir::KernelKind kind, const Bytes& payload,
+                std::vector<std::uint8_t>& jit_target,
+                std::vector<std::uint8_t>& vm_target) {
+    jit::EngineOptions options;
+    options.extra_symbols = core::runtime_hook_symbols();
+    auto engine = jit::OrcEngine::create(options);
+    ASSERT_TRUE(engine.is_ok());
+    auto entry = (*engine)->add_ifunc_bitcode(
+        ir::kernel_name(kind), as_span(kernel_bitcode(kind)), {"libm.so.6"});
+    ASSERT_TRUE(entry.is_ok()) << entry.status().to_string();
+
+    core::ExecContext ctx;
+    ctx.target_ptr = jit_target.data();
+    Bytes jit_payload = payload;
+    (*entry)(&ctx, jit_payload.data(), jit_payload.size());
+
+    // The computational kernels only touch the target and sin hooks.
+    void* vm_target_ptr = vm_target.data();
+    HookTable hooks;
+    hooks.ctx = &vm_target_ptr;
+    hooks.target = [](void* c) -> void* { return *static_cast<void**>(c); };
+    hooks.sin_fn = [](double x) { return std::sin(x); };
+    Bytes vm_payload = payload;
+    auto r = execute(lowered(kind), hooks, vm_payload.data(),
+                     vm_payload.size());
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    EXPECT_EQ(vm_payload, jit_payload) << "payload mutation diverged";
+  }
+};
+
+TEST_F(VmJitEquivalence, ComputationalKernelsBitIdentical) {
+  struct Case {
+    ir::KernelKind kind;
+    Bytes payload;
+    std::size_t target_bytes;
+  };
+  std::vector<Case> cases;
+  {
+    cases.push_back({ir::KernelKind::kTargetSideIncrement, Bytes{0}, 8});
+    Bytes raw = {3, 1, 4, 1, 5, 9, 2, 6, 255, 0, 128};
+    cases.push_back({ir::KernelKind::kPayloadSum, raw, 8});
+  }
+  {
+    ByteWriter w;
+    const std::vector<double> xs = {0.5, -1.25, 3.75, 1e-3, 9.5, -2e6};
+    w.u64(xs.size());
+    for (double x : xs) w.f64(x);
+    cases.push_back({ir::KernelKind::kVecReduce, std::move(w).take(), 8});
+  }
+  {
+    ByteWriter w;
+    const std::vector<double> xs = {0.25, 1.5, -0.75, 2.0};
+    w.u64(xs.size());
+    for (double x : xs) w.f64(x);
+    cases.push_back({ir::KernelKind::kSinSum, std::move(w).take(), 8});
+    ByteWriter w2;
+    w2.u64(xs.size());
+    for (double x : xs) w2.f64(x);
+    cases.push_back({ir::KernelKind::kStatsSummary, std::move(w2).take(), 24});
+  }
+  {
+    ByteWriter w;
+    const std::vector<float> x = {1.0f, -2.0f, 0.5f, 3.25f, 7.0f};
+    const std::vector<float> y = {0.1f, 0.2f, -0.3f, 4.0f, -5.5f};
+    w.u64(x.size());
+    const float a = 2.5f;
+    std::uint32_t bits;
+    std::memcpy(&bits, &a, 4);
+    w.u32(bits);
+    for (float v : x) {
+      std::memcpy(&bits, &v, 4);
+      w.u32(bits);
+    }
+    for (float v : y) {
+      std::memcpy(&bits, &v, 4);
+      w.u32(bits);
+    }
+    cases.push_back({ir::KernelKind::kSaxpy, std::move(w).take(), 20});
+  }
+
+  for (const Case& c : cases) {
+    std::vector<std::uint8_t> jit_target(c.target_bytes, 0);
+    std::vector<std::uint8_t> vm_target(c.target_bytes, 0);
+    run_both(c.kind, c.payload, jit_target, vm_target);
+    EXPECT_EQ(jit_target, vm_target)
+        << "tier divergence in " << ir::kernel_name(c.kind);
+  }
+}
+#endif  // TC_WITH_LLVM
+
+}  // namespace
+}  // namespace tc::vm

@@ -140,6 +140,11 @@ TEST(ChaserCodec, ShortPayloadRejected) {
 }
 
 TEST(ChaserCodec, LibraryNamesEncodeVariant) {
+  auto portable = build_chaser_library(ir::CodeRepr::kPortable, false);
+  ASSERT_TRUE(portable.is_ok());
+  EXPECT_EQ(portable->name(), "dapc_chaser_vm");
+  EXPECT_EQ(portable->repr(), ir::CodeRepr::kPortable);
+#if TC_WITH_LLVM
   auto bitcode = build_chaser_library(ir::CodeRepr::kBitcode, false);
   auto binary = build_chaser_library(ir::CodeRepr::kObject, false);
   auto hll = build_chaser_library(ir::CodeRepr::kBitcode, true);
@@ -153,13 +158,23 @@ TEST(ChaserCodec, LibraryNamesEncodeVariant) {
   // Distinct names → distinct wire identities → independent caching.
   EXPECT_NE(bitcode->id(), binary->id());
   EXPECT_NE(bitcode->id(), hll->id());
+  EXPECT_NE(bitcode->id(), portable->id());
+#else
+  // Bitcode/object representations need LLVM.
+  EXPECT_FALSE(build_chaser_library(ir::CodeRepr::kBitcode, false).is_ok());
+  EXPECT_FALSE(build_chaser_library(ir::CodeRepr::kObject, false).is_ok());
+#endif
 }
 
 // --- DAPC drivers -----------------------------------------------------------------
 
 constexpr ChaseMode kAllModes[] = {
-    ChaseMode::kActiveMessage, ChaseMode::kGet,        ChaseMode::kCachedBitcode,
-    ChaseMode::kCachedBinary,  ChaseMode::kHllBitcode, ChaseMode::kHllDrivesC};
+    ChaseMode::kActiveMessage, ChaseMode::kGet, ChaseMode::kInterpreted,
+#if TC_WITH_LLVM
+    ChaseMode::kCachedBitcode, ChaseMode::kCachedBinary,
+    ChaseMode::kHllBitcode,    ChaseMode::kHllDrivesC,
+#endif
+};
 
 std::unique_ptr<hetsim::Cluster> small_cluster(std::size_t servers) {
   hetsim::ClusterConfig config;
@@ -221,14 +236,18 @@ TEST(DapcEquivalence, EveryModeObservesIdenticalValues) {
 class DapcShapeP : public ::testing::TestWithParam<
                        std::tuple<std::uint64_t, std::size_t>> {};
 
-TEST_P(DapcShapeP, BitcodeModeCorrectAcrossShapes) {
+TEST_P(DapcShapeP, IfuncModesCorrectAcrossShapes) {
   const auto [depth, servers] = GetParam();
+#if TC_WITH_LLVM
+  const ChaseMode mode = ChaseMode::kCachedBitcode;
+#else
+  const ChaseMode mode = ChaseMode::kInterpreted;
+#endif
   auto cluster = small_cluster(servers);
   DapcConfig config = small_config();
   config.depth = depth;
   config.chases = 3;
-  auto driver =
-      DapcDriver::create(*cluster, ChaseMode::kCachedBitcode, config);
+  auto driver = DapcDriver::create(*cluster, mode, config);
   ASSERT_TRUE(driver.is_ok());
   auto result = (*driver)->run();
   ASSERT_TRUE(result.is_ok()) << result.status().to_string();
@@ -240,6 +259,52 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 16, 128),
                        ::testing::Values(1, 2, 5, 8)));
 
+TEST(DapcPerformance, GetIsSlowerThanInterpretedAtDepth) {
+  // The interpreter pays a per-op dispatch tax but still walks local
+  // entries without touching the network, so it beats GBPC exactly like
+  // the JIT'd chaser does.
+  auto config = small_config();
+  config.depth = 128;
+  config.chases = 2;
+
+  auto cluster_get = small_cluster(4);
+  auto get = DapcDriver::create(*cluster_get, ChaseMode::kGet, config);
+  ASSERT_TRUE(get.is_ok());
+  auto get_result = (*get)->run();
+  ASSERT_TRUE(get_result.is_ok());
+
+  auto cluster_vm = small_cluster(4);
+  auto interp =
+      DapcDriver::create(*cluster_vm, ChaseMode::kInterpreted, config);
+  ASSERT_TRUE(interp.is_ok());
+  auto vm_result = (*interp)->run();
+  ASSERT_TRUE(vm_result.is_ok());
+
+  EXPECT_GT(vm_result->chases_per_second, get_result->chases_per_second);
+}
+
+TEST(DapcInterpreted, VmOnlyRunCompletesWithZeroJitCompiles) {
+  // Acceptance: a VM-tier DAPC run never touches the JIT — the servers
+  // execute the shipped portable bytecode as-is.
+  auto cluster = small_cluster(3);
+  auto driver =
+      DapcDriver::create(*cluster, ChaseMode::kInterpreted, small_config());
+  ASSERT_TRUE(driver.is_ok()) << driver.status().to_string();
+  auto result = (*driver)->run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->correct, result->completed);
+  std::uint64_t interp_total = 0;
+  for (fabric::NodeId node = 0; node < cluster->fabric().node_count();
+       ++node) {
+    const auto& stats = cluster->runtime(node).stats();
+    EXPECT_EQ(stats.jit_compiles, 0u) << "node " << node;
+    EXPECT_EQ(stats.object_links, 0u) << "node " << node;
+    interp_total += stats.interp_executions;
+  }
+  EXPECT_GT(interp_total, 0u);
+}
+
+#if TC_WITH_LLVM
 TEST(DapcPerformance, GetIsSlowerThanIfuncAtDepth) {
   // Paper Figs. 5-7: the chaser beats GBPC because only cross-shard hops
   // touch the network, while GBPC pays a full round trip per lookup.
@@ -287,6 +352,7 @@ TEST(DapcPerformance, AmAndBitcodeWithinFewPercent) {
   EXPECT_GT(ratio, 0.90);
   EXPECT_LT(ratio, 1.15);
 }
+#endif  // TC_WITH_LLVM
 
 TEST(DapcDriver, InvalidConfigRejected) {
   auto cluster = small_cluster(2);
@@ -301,11 +367,15 @@ TEST(DapcDriver, InvalidConfigRejected) {
 }
 
 TEST(DapcDriver, ColdRunStillCorrect) {
+#if TC_WITH_LLVM
+  const ChaseMode mode = ChaseMode::kCachedBitcode;
+#else
+  const ChaseMode mode = ChaseMode::kInterpreted;
+#endif
   auto cluster = small_cluster(2);
   DapcConfig config = small_config();
   config.warmup = false;
-  auto driver =
-      DapcDriver::create(*cluster, ChaseMode::kCachedBitcode, config);
+  auto driver = DapcDriver::create(*cluster, mode, config);
   ASSERT_TRUE(driver.is_ok());
   auto result = (*driver)->run();
   ASSERT_TRUE(result.is_ok());

@@ -1,10 +1,14 @@
 // tc_inspect — command-line inspector for Three-Chains wire artifacts.
 //
 //   tc_inspect demo                      build the TSI demo archive and dump it
-//   tc_inspect archive <file>            dump a serialized fat-bitcode archive
+//   tc_inspect archive <file>            dump a serialized fat archive
+//                                        (TCFB bitcode / TCFO object / TCFP portable)
 //   tc_inspect frame <file>              decode an ifunc message frame
-//   tc_inspect disas <file> [triple]     disassemble one archive entry to .ll
+//   tc_inspect disas <file> [triple]     disassemble one archive entry —
+//                                        portable entries print vm mnemonics,
+//                                        bitcode entries print .ll (needs LLVM)
 //   tc_inspect emit-demo <file>          write the TSI demo archive to a file
+//   tc_inspect emit-vm-demo <file>       write the portable TSI archive
 //
 // Useful when debugging what actually travels on the wire: entry triples,
 // code sizes, deps manifests, header fields, delimiter placement.
@@ -15,8 +19,14 @@
 
 #include "core/frame.hpp"
 #include "ir/fat_bitcode.hpp"
+#include "ir/kernels.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/lower.hpp"
+
+#if TC_WITH_LLVM
 #include "ir/kernel_builder.hpp"
 #include "ir/textual.hpp"
+#endif
 
 using namespace tc;
 
@@ -33,9 +43,9 @@ StatusOr<Bytes> read_file(const char* path) {
 int dump_archive(const ir::FatBitcode& archive) {
   std::printf("fat archive: repr=%s entries=%zu deps=%zu code=%zu bytes "
               "(serialized %zu bytes)\n",
-              archive.repr() == ir::CodeRepr::kBitcode ? "bitcode" : "object",
-              archive.entries().size(), archive.dependencies().size(),
-              archive.code_size(), archive.serialize().size());
+              ir::code_repr_name(archive.repr()), archive.entries().size(),
+              archive.dependencies().size(), archive.code_size(),
+              archive.serialize().size());
   for (const ir::ArchiveEntry& entry : archive.entries()) {
     std::printf("  entry: triple=%-28s cpu=%-12s %zu bytes\n",
                 entry.target.triple.c_str(),
@@ -79,7 +89,7 @@ int cmd_frame(const char* path) {
   auto has_code = core::Frame::validate(as_span(*data));
   std::printf("ifunc frame: id=%016llx repr=%s%s origin=node%u\n",
               static_cast<unsigned long long>(header->ifunc_id),
-              header->repr == 0 ? "bitcode" : "object",
+              ir::code_repr_name(static_cast<ir::CodeRepr>(header->repr)),
               header->code_only ? " (code-only)" : "",
               header->origin_node);
   std::printf("  payload: %u bytes\n", header->payload_size);
@@ -101,6 +111,17 @@ int cmd_frame(const char* path) {
   return 0;
 }
 
+int disas_portable(const ir::ArchiveEntry& entry) {
+  auto program = vm::Program::deserialize(as_span(entry.code));
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "bad portable program: %s\n",
+                 program.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(vm::disassemble(*program).c_str(), stdout);
+  return 0;
+}
+
 int cmd_disas(const char* path, const char* triple) {
   auto data = read_file(path);
   if (!data.is_ok()) {
@@ -113,6 +134,22 @@ int cmd_disas(const char* path, const char* triple) {
                  archive.status().to_string().c_str());
     return 1;
   }
+  // Portable archives (or an explicit "portable" triple) disassemble to vm
+  // mnemonics — no LLVM involved.
+  if (triple != nullptr && std::string(triple) == ir::kTriplePortable) {
+    auto entry = archive->select_portable();
+    if (!entry.is_ok()) {
+      std::fprintf(stderr, "%s\n", entry.status().to_string().c_str());
+      return 1;
+    }
+    return disas_portable(**entry);
+  }
+  if (triple == nullptr && archive->repr() == ir::CodeRepr::kPortable) {
+    if (auto entry = archive->select_portable(); entry.is_ok()) {
+      return disas_portable(**entry);
+    }
+  }
+#if TC_WITH_LLVM
   const std::string want = triple != nullptr ? triple : ir::host_triple();
   auto entry = archive->select(want);
   if (!entry.is_ok()) {
@@ -126,10 +163,31 @@ int cmd_disas(const char* path, const char* triple) {
   }
   std::fputs(text->c_str(), stdout);
   return 0;
+#else
+  std::fprintf(stderr,
+               "bitcode disassembly needs LLVM (built with TC_WITH_LLVM=OFF); "
+               "only portable entries can be shown\n");
+  return 1;
+#endif
 }
 
+int write_archive(const ir::FatBitcode& archive, const char* path) {
+  const Bytes wire = archive.serialize();
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(wire.data()),
+            static_cast<std::streamsize>(wire.size()));
+  std::printf("wrote %zu bytes to %s\n", wire.size(), path);
+  return out ? 0 : 1;
+}
+
+// The TSI demo archive: multi-ISA bitcode when the toolchain is available,
+// the portable representation otherwise.
 StatusOr<ir::FatBitcode> demo_archive() {
+#if TC_WITH_LLVM
   return ir::build_default_fat_kernel(ir::KernelKind::kTargetSideIncrement);
+#else
+  return vm::build_portable_kernel(ir::KernelKind::kTargetSideIncrement);
+#endif
 }
 
 int cmd_demo() {
@@ -147,12 +205,16 @@ int cmd_emit_demo(const char* path) {
     std::fprintf(stderr, "%s\n", archive.status().to_string().c_str());
     return 1;
   }
-  const Bytes wire = archive->serialize();
-  std::ofstream out(path, std::ios::binary);
-  out.write(reinterpret_cast<const char*>(wire.data()),
-            static_cast<std::streamsize>(wire.size()));
-  std::printf("wrote %zu bytes to %s\n", wire.size(), path);
-  return out ? 0 : 1;
+  return write_archive(*archive, path);
+}
+
+int cmd_emit_vm_demo(const char* path) {
+  auto archive = vm::build_portable_kernel(ir::KernelKind::kTargetSideIncrement);
+  if (!archive.is_ok()) {
+    std::fprintf(stderr, "%s\n", archive.status().to_string().c_str());
+    return 1;
+  }
+  return write_archive(*archive, path);
 }
 
 void usage() {
@@ -160,8 +222,9 @@ void usage() {
                "usage: tc_inspect demo\n"
                "       tc_inspect archive <file>\n"
                "       tc_inspect frame <file>\n"
-               "       tc_inspect disas <file> [triple]\n"
-               "       tc_inspect emit-demo <file>\n");
+               "       tc_inspect disas <file> [triple|portable]\n"
+               "       tc_inspect emit-demo <file>\n"
+               "       tc_inspect emit-vm-demo <file>\n");
 }
 
 }  // namespace
@@ -182,6 +245,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "emit-demo") == 0 && argc >= 3) {
     return cmd_emit_demo(argv[2]);
+  }
+  if (std::strcmp(cmd, "emit-vm-demo") == 0 && argc >= 3) {
+    return cmd_emit_vm_demo(argv[2]);
   }
   usage();
   return 2;
