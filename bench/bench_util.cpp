@@ -1,7 +1,10 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "am/am_runtime.hpp"
 #include "core/runtime.hpp"
@@ -187,7 +190,9 @@ namespace {
 StatusOr<DapcPoint> run_one_dapc(Platform platform, std::size_t servers,
                                  xrdma::ChaseMode mode, std::uint64_t depth,
                                  std::uint64_t chases,
-                                 std::int64_t hll_guard_ns_override) {
+                                 std::int64_t hll_guard_ns_override,
+                                 std::uint64_t window = 1,
+                                 std::size_t batch_frames = 1) {
   hetsim::ClusterConfig cluster_config;
   cluster_config.platform = platform;
   cluster_config.server_count = servers;
@@ -197,6 +202,8 @@ StatusOr<DapcPoint> run_one_dapc(Platform platform, std::size_t servers,
   xrdma::DapcConfig config;
   config.depth = depth;
   config.chases = chases;
+  config.window = window;
+  config.batch_frames = batch_frames;
   TC_ASSIGN_OR_RETURN(auto driver,
                       xrdma::DapcDriver::create(*cluster, mode, config));
   TC_ASSIGN_OR_RETURN(xrdma::DapcResult result, driver->run());
@@ -299,6 +306,125 @@ void print_dapc_figure(const char* title, const char* x_label,
     std::printf("\n");
   }
   std::printf("(rates are chases/second in calibrated virtual time)\n\n");
+}
+
+std::vector<DapcSeries> dapc_window_sweep(
+    Platform platform, std::size_t servers,
+    const std::vector<xrdma::ChaseMode>& modes,
+    const std::vector<std::uint64_t>& windows, std::uint64_t depth,
+    std::uint64_t chases, std::size_t batch_frames) {
+  std::vector<DapcSeries> out;
+  for (xrdma::ChaseMode mode : modes) {
+    DapcSeries series;
+    series.mode = mode;
+    for (std::uint64_t window : windows) {
+      const std::size_t batch =
+          batch_frames != 0
+              ? batch_frames
+              : static_cast<std::size_t>(std::min<std::uint64_t>(window, 8));
+      auto point = run_one_dapc(platform, servers, mode, depth, chases,
+                                /*hll_guard_ns_override=*/-1, window, batch);
+      if (!point.is_ok()) {
+        std::fprintf(stderr, "dapc %s window=%llu failed: %s\n",
+                     chase_mode_name(mode),
+                     static_cast<unsigned long long>(window),
+                     point.status().to_string().c_str());
+        continue;
+      }
+      point->x = window;
+      series.points.push_back(*point);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+// --- machine-readable output (--json) ----------------------------------------
+
+std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+void append_json(const std::string& path, const std::string& object) {
+  if (path.empty()) return;
+  std::string document;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      document.assign((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    }
+  }
+  // Splice into the existing top-level array (created on first append), so
+  // the file is a valid JSON document after every bench run.
+  const std::size_t end = document.find_last_of(']');
+  if (end == std::string::npos) {
+    document = "[\n" + object + "\n]\n";
+  } else {
+    document = document.substr(0, end);
+    while (!document.empty() &&
+           (document.back() == '\n' || document.back() == ' ')) {
+      document.pop_back();
+    }
+    document += ",\n" + object + "\n]\n";
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << document;
+}
+
+namespace {
+
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string tsi_breakdown_json(const TsiBreakdown& b) {
+  std::string out = "{\"lookup_exec_us\":" + json_number(b.lookup_exec_us) +
+                    ",\"transmission_us\":" + json_number(b.transmission_us) +
+                    ",\"total_us\":" + json_number(b.total_us);
+  if (b.jit_ms >= 0) out += ",\"jit_ms\":" + json_number(b.jit_ms);
+  return out + "}";
+}
+
+}  // namespace
+
+std::string dapc_series_json(const char* bench, const char* platform,
+                             const char* x_label,
+                             const std::vector<DapcSeries>& series) {
+  std::string out = "{\"bench\":\"" + std::string(bench) +
+                    "\",\"platform\":\"" + platform + "\",\"x\":\"" +
+                    x_label + "\",\"unit\":\"chases_per_second\",\"series\":[";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    if (s != 0) out += ",";
+    out += "{\"mode\":\"" + std::string(chase_mode_name(series[s].mode)) +
+           "\",\"points\":[";
+    for (std::size_t i = 0; i < series[s].points.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"x\":" +
+             std::to_string(series[s].points[i].x) + ",\"rate\":" +
+             json_number(series[s].points[i].rate) + "}";
+    }
+    out += "]}";
+  }
+  return out + "]}";
+}
+
+std::string tsi_json(const char* bench, const char* platform,
+                     const TsiResults& r) {
+  return "{\"bench\":\"" + std::string(bench) + "\",\"platform\":\"" +
+         platform + "\",\"tsi\":{\"active_message\":" +
+         tsi_breakdown_json(r.active_message) + ",\"uncached_bitcode\":" +
+         tsi_breakdown_json(r.uncached_bitcode) + ",\"cached_bitcode\":" +
+         tsi_breakdown_json(r.cached_bitcode) +
+         ",\"rates_per_sec\":{\"active_message\":" + json_number(r.am_rate) +
+         ",\"uncached_bitcode\":" + json_number(r.uncached_rate) +
+         ",\"cached_bitcode\":" + json_number(r.cached_rate) +
+         "},\"real_host_jit_ms\":" + json_number(r.real_jit_ms) + "}}";
 }
 
 bool fast_mode() { return std::getenv("TC_BENCH_FAST") != nullptr; }

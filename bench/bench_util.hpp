@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "hetsim/profiles.hpp"
@@ -68,6 +69,40 @@ std::vector<DapcSeries> dapc_server_sweep(
 /// plus the paper's "Get - Bitcode % Diff" column when both are present.
 void print_dapc_figure(const char* title, const char* x_label,
                        const std::vector<DapcSeries>& series);
+
+/// Async-window sweep (fig_async_window): rate vs in-flight window W at
+/// fixed depth and server count. W == 1 runs the classic synchronous
+/// protocol (and must reproduce the fig5-fig12 numbers exactly); W > 1
+/// pipelines W tagged chases per initiator, with sender-side frame
+/// batching on the ifunc modes (`batch_frames` caps the coalescing; 0
+/// derives min(W, 8)).
+std::vector<DapcSeries> dapc_window_sweep(
+    hetsim::Platform platform, std::size_t servers,
+    const std::vector<xrdma::ChaseMode>& modes,
+    const std::vector<std::uint64_t>& windows, std::uint64_t depth,
+    std::uint64_t chases, std::size_t batch_frames = 0);
+
+// --- machine-readable output (--json) ----------------------------------------
+// Every bench main accepts `--json <path>`: results are appended to `path`
+// as one JSON object per run inside a single top-level array, so repeated
+// bench invocations build up one valid JSON document (BENCH_dapc.json /
+// BENCH_tsi.json at the repo root are the canonical perf trajectory).
+
+/// Returns the path following `--json`, or "" when absent.
+std::string json_path_from_args(int argc, char** argv);
+
+/// Appends `object` (a serialized JSON object) to the array in `path`,
+/// creating the file as `[object]` if needed. No-op when `path` is empty.
+void append_json(const std::string& path, const std::string& object);
+
+/// Serializes one DAPC figure (depth/server/window sweep) to JSON.
+std::string dapc_series_json(const char* bench, const char* platform,
+                             const char* x_label,
+                             const std::vector<DapcSeries>& series);
+
+/// Serializes one TSI table (overhead breakdown + rates) to JSON.
+std::string tsi_json(const char* bench, const char* platform,
+                     const TsiResults& results);
 
 /// True when TC_BENCH_FAST is set: benches shrink sweeps for smoke runs.
 bool fast_mode();

@@ -2,7 +2,7 @@
 // HLL (Julia-analogue) frontend next to C, Thor BF2 servers.
 #include "bench_util.hpp"
 using namespace tc;
-int main() {
+int main(int argc, char** argv) {
   const std::uint64_t depth = bench::fast_mode() ? 256 : 4096;
   const std::vector<std::size_t> counts =
       bench::fast_mode() ? std::vector<std::size_t>{2, 4}
@@ -16,5 +16,9 @@ int main() {
   bench::print_dapc_figure(
       "Figure 12: Thor BF2 DAPC scaling with HLL frontend, depth 4096",
       "servers", series);
+  bench::append_json(
+      bench::json_path_from_args(argc, argv),
+      bench::dapc_series_json("fig12", "thor_bf2", "servers",
+                               series));
   return 0;
 }

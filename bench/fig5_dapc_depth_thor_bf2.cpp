@@ -2,7 +2,7 @@
 // (Xeon client, BF2 DPU servers); Active Message vs GET vs cached bitcode.
 #include "bench_util.hpp"
 using namespace tc;
-int main() {
+int main(int argc, char** argv) {
   const std::size_t servers = bench::fast_mode() ? 4 : 32;
   const std::vector<std::uint64_t> depths =
       bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
@@ -16,5 +16,9 @@ int main() {
   bench::print_dapc_figure("Figure 5: Thor 32-server DAPC depth sweep "
                            "(Xeon client, BF2 servers)",
                            "depth", series);
+  bench::append_json(
+      bench::json_path_from_args(argc, argv),
+      bench::dapc_series_json("fig5", "thor_bf2", "depth",
+                               series));
   return 0;
 }

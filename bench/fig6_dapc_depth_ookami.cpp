@@ -2,7 +2,7 @@
 // including the cached *binary* (AOT object) representation line.
 #include "bench_util.hpp"
 using namespace tc;
-int main() {
+int main(int argc, char** argv) {
   const std::size_t servers = bench::fast_mode() ? 4 : 64;
   const std::vector<std::uint64_t> depths =
       bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
@@ -15,5 +15,9 @@ int main() {
       depths);
   bench::print_dapc_figure("Figure 6: Ookami 64-server DAPC depth sweep",
                            "depth", series);
+  bench::append_json(
+      bench::json_path_from_args(argc, argv),
+      bench::dapc_series_json("fig6", "ookami_a64fx", "depth",
+                               series));
   return 0;
 }

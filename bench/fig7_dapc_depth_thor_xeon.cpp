@@ -1,7 +1,7 @@
 // Reproduces Figure 7: DAPC chase rate vs depth, Thor 16 Xeon servers.
 #include "bench_util.hpp"
 using namespace tc;
-int main() {
+int main(int argc, char** argv) {
   const std::size_t servers = bench::fast_mode() ? 4 : 16;
   const std::vector<std::uint64_t> depths =
       bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
@@ -15,5 +15,9 @@ int main() {
   bench::print_dapc_figure(
       "Figure 7: Thor 16-server DAPC depth sweep (Xeon client and servers)",
       "depth", series);
+  bench::append_json(
+      bench::json_path_from_args(argc, argv),
+      bench::dapc_series_json("fig7", "thor_xeon", "depth",
+                               series));
   return 0;
 }

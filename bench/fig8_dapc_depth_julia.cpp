@@ -3,7 +3,7 @@
 // Thor 32 BF2 servers.
 #include "bench_util.hpp"
 using namespace tc;
-int main() {
+int main(int argc, char** argv) {
   const std::size_t servers = bench::fast_mode() ? 4 : 32;
   const std::vector<std::uint64_t> depths =
       bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
@@ -18,5 +18,9 @@ int main() {
   bench::print_dapc_figure(
       "Figure 8: Thor 32-server DAPC depth sweep, HLL (Julia-analogue) vs C",
       "depth", series);
+  bench::append_json(
+      bench::json_path_from_args(argc, argv),
+      bench::dapc_series_json("fig8", "thor_bf2", "depth",
+                               series));
   return 0;
 }

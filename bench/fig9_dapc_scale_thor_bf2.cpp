@@ -2,7 +2,7 @@
 // Thor (Xeon client, BF2 servers).
 #include "bench_util.hpp"
 using namespace tc;
-int main() {
+int main(int argc, char** argv) {
   const std::uint64_t depth = bench::fast_mode() ? 256 : 4096;
   const std::vector<std::size_t> counts =
       bench::fast_mode() ? std::vector<std::size_t>{2, 4}
@@ -14,5 +14,9 @@ int main() {
        xrdma::ChaseMode::kInterpreted});
   bench::print_dapc_figure(
       "Figure 9: Thor BF2 DAPC scaling, depth 4096", "servers", series);
+  bench::append_json(
+      bench::json_path_from_args(argc, argv),
+      bench::dapc_series_json("fig9", "thor_bf2", "servers",
+                               series));
   return 0;
 }

@@ -1,0 +1,46 @@
+// Async-pipeline sweep (beyond the paper): DAPC chase rate vs in-flight
+// window W on all three platforms. W = 1 is the paper's synchronous
+// evaluation and must reproduce the fig5-fig12 numbers exactly; W > 1
+// keeps W tagged chases outstanding per initiator with sender-side frame
+// batching, so the rate climbs from latency-bound toward the fabric/server
+// throughput knee. See EXPERIMENTS.md ("Async window sweep").
+#include "bench_util.hpp"
+using namespace tc;
+
+int main(int argc, char** argv) {
+  const std::string json = bench::json_path_from_args(argc, argv);
+  const bool fast = bench::fast_mode();
+  const std::size_t servers = fast ? 4 : 8;
+  const std::uint64_t depth = fast ? 32 : 64;
+  const std::uint64_t chases = fast ? 32 : 128;
+  const std::vector<std::uint64_t> windows =
+      fast ? std::vector<std::uint64_t>{1, 4, 16}
+           : std::vector<std::uint64_t>{1, 2, 4, 8, 16, 32, 64};
+  const std::vector<xrdma::ChaseMode> modes = {
+      xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+      xrdma::ChaseMode::kInterpreted,
+#if TC_WITH_LLVM
+      xrdma::ChaseMode::kCachedBitcode, xrdma::ChaseMode::kCachedBinary,
+      xrdma::ChaseMode::kHllBitcode,    xrdma::ChaseMode::kHllDrivesC,
+#endif
+  };
+  const hetsim::Platform platforms[] = {hetsim::Platform::kThorBF2,
+                                        hetsim::Platform::kOokami,
+                                        hetsim::Platform::kThorXeon};
+
+  for (hetsim::Platform platform : platforms) {
+    auto series =
+        bench::dapc_window_sweep(platform, servers, modes, windows, depth,
+                                 chases);
+    std::string title =
+        std::string("Async window sweep: ") + hetsim::platform_name(platform) +
+        ", " + std::to_string(servers) + " servers, depth " +
+        std::to_string(depth);
+    bench::print_dapc_figure(title.c_str(), "window", series);
+    bench::append_json(json,
+                       bench::dapc_series_json("fig_async_window",
+                                               hetsim::platform_name(platform),
+                                               "window", series));
+  }
+  return 0;
+}

@@ -1,7 +1,10 @@
 // Reproduces Table I: Ookami (A64FX pair) TSI overhead breakdown.
 #include "bench_util.hpp"
-int main() {
+int main(int argc, char** argv) {
   auto results = tc::bench::run_tsi(tc::hetsim::Platform::kOokami);
   tc::bench::print_tsi_table("Table I / Ookami A64FX", results);
+  tc::bench::append_json(
+      tc::bench::json_path_from_args(argc, argv),
+      tc::bench::tsi_json("table1", "ookami_a64fx", results));
   return 0;
 }

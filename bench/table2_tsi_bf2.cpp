@@ -1,7 +1,10 @@
 // Reproduces Table II: Thor BlueField-2 DPU pair TSI overhead breakdown.
 #include "bench_util.hpp"
-int main() {
+int main(int argc, char** argv) {
   auto results = tc::bench::run_tsi(tc::hetsim::Platform::kThorBF2);
   tc::bench::print_tsi_table("Table II / Thor BF2", results);
+  tc::bench::append_json(
+      tc::bench::json_path_from_args(argc, argv),
+      tc::bench::tsi_json("table2", "thor_bf2", results));
   return 0;
 }

@@ -1,7 +1,10 @@
 // Reproduces Table III: Thor Xeon pair TSI overhead breakdown.
 #include "bench_util.hpp"
-int main() {
+int main(int argc, char** argv) {
   auto results = tc::bench::run_tsi(tc::hetsim::Platform::kThorXeon);
   tc::bench::print_tsi_table("Table III / Thor Xeon", results);
+  tc::bench::append_json(
+      tc::bench::json_path_from_args(argc, argv),
+      tc::bench::tsi_json("table3", "thor_xeon", results));
   return 0;
 }

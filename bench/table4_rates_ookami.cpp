@@ -1,7 +1,10 @@
 // Reproduces Table IV: Ookami TSI latencies and message rates.
 #include "bench_util.hpp"
-int main() {
+int main(int argc, char** argv) {
   auto results = tc::bench::run_tsi(tc::hetsim::Platform::kOokami);
   tc::bench::print_rate_table("Table IV / Ookami A64FX", results);
+  tc::bench::append_json(
+      tc::bench::json_path_from_args(argc, argv),
+      tc::bench::tsi_json("table4", "ookami_a64fx", results));
   return 0;
 }

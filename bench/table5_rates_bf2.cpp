@@ -1,7 +1,10 @@
 // Reproduces Table V: Thor BF2 TSI latencies and message rates.
 #include "bench_util.hpp"
-int main() {
+int main(int argc, char** argv) {
   auto results = tc::bench::run_tsi(tc::hetsim::Platform::kThorBF2);
   tc::bench::print_rate_table("Table V / Thor BF2", results);
+  tc::bench::append_json(
+      tc::bench::json_path_from_args(argc, argv),
+      tc::bench::tsi_json("table5", "thor_bf2", results));
   return 0;
 }

@@ -1,7 +1,10 @@
 // Reproduces Table VI: Thor Xeon TSI latencies and message rates.
 #include "bench_util.hpp"
-int main() {
+int main(int argc, char** argv) {
   auto results = tc::bench::run_tsi(tc::hetsim::Platform::kThorXeon);
   tc::bench::print_rate_table("Table VI / Thor Xeon", results);
+  tc::bench::append_json(
+      tc::bench::json_path_from_args(argc, argv),
+      tc::bench::tsi_json("table6", "thor_xeon", results));
   return 0;
 }

@@ -189,4 +189,66 @@ bool is_nack_frame(ByteSpan bytes) {
   return bytes[0] == (kNackMagic & 0xff) && bytes[1] == (kNackMagic >> 8);
 }
 
+StatusOr<Bytes> encode_batch_frame(const std::vector<Bytes>& parts) {
+  if (parts.size() > 0xFFFF) {
+    return invalid_argument("batch of " + std::to_string(parts.size()) +
+                            " parts exceeds the u16 wire count");
+  }
+  ByteWriter w;
+  w.u16(kBatchMagic);
+  w.u8(kProtocolVersion);
+  w.u8(0);  // reserved
+  w.u16(static_cast<std::uint16_t>(parts.size()));
+  for (const Bytes& part : parts) {
+    if (part.size() > std::numeric_limits<std::uint32_t>::max()) {
+      return invalid_argument("batch part exceeds the u32 wire length");
+    }
+    w.u32(static_cast<std::uint32_t>(part.size()));
+    w.raw(as_span(part));
+  }
+  return std::move(w).take();
+}
+
+StatusOr<std::vector<ByteSpan>> decode_batch_frame(ByteSpan bytes) {
+  ByteReader r(bytes);
+  std::uint16_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t reserved = 0;
+  std::uint16_t count = 0;
+  TC_RETURN_IF_ERROR(r.u16(magic));
+  if (magic != kBatchMagic) return data_loss("not a batch frame");
+  TC_RETURN_IF_ERROR(r.u8(version));
+  if (version != kProtocolVersion) {
+    return data_loss("unsupported batch protocol version " +
+                     std::to_string(version));
+  }
+  TC_RETURN_IF_ERROR(r.u8(reserved));
+  TC_RETURN_IF_ERROR(r.u16(count));
+  if (count == 0) return data_loss("empty batch frame");
+
+  std::vector<ByteSpan> parts;
+  parts.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    std::uint32_t length = 0;
+    TC_RETURN_IF_ERROR(r.u32(length));
+    if (length > r.remaining()) {
+      return data_loss("batch sub-frame " + std::to_string(i) +
+                       " overruns the container");
+    }
+    ByteSpan part = bytes.subspan(bytes.size() - r.remaining(), length);
+    if (is_batch_frame(part)) {
+      return data_loss("nested batch frame");
+    }
+    parts.push_back(part);
+    TC_RETURN_IF_ERROR(r.skip(length));
+  }
+  if (!r.exhausted()) return data_loss("batch frame trailing bytes");
+  return parts;
+}
+
+bool is_batch_frame(ByteSpan bytes) {
+  if (bytes.size() < 2) return false;
+  return bytes[0] == (kBatchMagic & 0xff) && bytes[1] == (kBatchMagic >> 8);
+}
+
 }  // namespace tc::core

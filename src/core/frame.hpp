@@ -98,4 +98,16 @@ Bytes encode_nack_frame(std::uint64_t ifunc_id);
 StatusOr<std::uint64_t> decode_nack_frame(ByteSpan bytes);
 bool is_nack_frame(ByteSpan bytes);
 
+// --- batch container frames ---------------------------------------------------
+// Several small frames coalesced into one wire message (protocol v2); see
+// kBatchMagic for the layout. Parts must themselves be non-batch frames —
+// batches never nest — and the receiver processes them in order, so
+// sender-side FIFO per destination is preserved. Fails if the part count
+// exceeds the wire's u16 (the runtime's coalescing window is capped well
+// below that).
+StatusOr<Bytes> encode_batch_frame(const std::vector<Bytes>& parts);
+/// Views into `bytes` — valid only while the container buffer lives.
+StatusOr<std::vector<ByteSpan>> decode_batch_frame(ByteSpan bytes);
+bool is_batch_frame(ByteSpan bytes);
+
 }  // namespace tc::core

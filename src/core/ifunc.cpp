@@ -42,6 +42,7 @@ StatusOr<IfuncLibrary> IfuncLibrary::from_kernel(
   declare_kernel_deps(kind, archive);
   std::string name = ir::kernel_name(kind);
   if (options.hll_guards) name += "_hll";
+  if (options.chaser_tagged) name += "_w";
   return from_archive(std::move(name), std::move(archive));
 #else
   (void)kind;
@@ -63,6 +64,7 @@ StatusOr<IfuncLibrary> IfuncLibrary::from_portable_kernel(
   declare_kernel_deps(kind, archive);
   std::string name = portable_kernel_name(kind);
   if (options.hll_guards) name += "_hll";
+  if (options.chaser_tagged) name += "_w";
   return from_archive(std::move(name), std::move(archive));
 }
 
@@ -85,6 +87,7 @@ StatusOr<IfuncLibrary> IfuncLibrary::from_tiered_kernel(
   declare_kernel_deps(kind, archive);
   std::string name = std::string(ir::kernel_name(kind)) + "_tiered";
   if (options.hll_guards) name += "_hll";
+  if (options.chaser_tagged) name += "_w";
   return from_archive(std::move(name), std::move(archive));
 }
 

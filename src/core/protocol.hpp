@@ -13,12 +13,23 @@ inline constexpr std::uint16_t kResultMagic = 0x7C52;  // "R|"
 /// ifunc I don't have — resend the code" (cache-miss recovery extension;
 /// DESIGN.md §4). Followed by the u64 ifunc id.
 inline constexpr std::uint16_t kNackMagic = 0x7C4E;  // "N|"
+/// First two bytes of a *batch container* frame: several small ifunc /
+/// result / NACK frames coalesced into one wire message so back-to-back
+/// sends to the same endpoint amortize the per-message injection gap.
+/// Layout: u16 magic | u8 version | u8 reserved | u16 count |
+///         count × { u32 length | sub-frame bytes }.
+/// Batches never nest.
+inline constexpr std::uint16_t kBatchMagic = 0x7C42;  // "B|"
 
 /// Bit in the header's repr byte marking a *code-only* frame: carries the
 /// archive but no payload to execute (the NACK resend path).
 inline constexpr std::uint8_t kReprCodeOnlyFlag = 0x80;
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2: adds the batch container frame (kBatchMagic) to the wire protocol.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
+/// Fixed prefix of a batch container before the length-prefixed sub-frames.
+inline constexpr std::size_t kBatchHeaderSize = 6;
 
 /// Delimiter after the payload section — the receiver polls for this to
 /// detect that the payload of a (possibly truncated) frame has landed.

@@ -1,5 +1,6 @@
 #include "core/runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/hash.hpp"
@@ -38,6 +39,7 @@ StatusOr<std::unique_ptr<Runtime>> Runtime::create(fabric::Fabric& fabric,
 Runtime::Runtime(fabric::Fabric& fabric, fabric::NodeId node,
                  RuntimeOptions options)
     : fabric_(&fabric), node_(node), options_(std::move(options)) {
+  alive_token_ = std::make_shared<Runtime*>(this);
   cache_ = jit::CodeCache(options_.cache_capacity);
   for (auto& [name, address] : runtime_hook_symbols()) {
     options_.engine.extra_symbols.emplace_back(std::move(name), address);
@@ -52,6 +54,16 @@ Runtime::Runtime(fabric::Fabric& fabric, fabric::NodeId node,
 }
 
 Runtime::~Runtime() {
+  // Like closing a socket with unsent buffers: frames still waiting in a
+  // batch are cancelled, not silently lost — each queued completion hears
+  // about it. (Shipping them here would schedule fabric events against
+  // endpoints this destructor is about to free.)
+  for (auto& [dst, batch] : pending_batches_) {
+    (void)dst;
+    for (fabric::CompletionFn& fn : batch.completions) {
+      if (fn) fn(unavailable("runtime destroyed with batched frames pending"));
+    }
+  }
   if (options_.auto_poll) {
     fabric_->node(node_).worker.set_delivery_notifier(nullptr);
   }
@@ -158,17 +170,111 @@ Status Runtime::send_frame(fabric::NodeId dst, const Frame& frame,
   const std::uint64_t key = sent_key(dst, frame.header().ifunc_id);
   const bool peer_has_code =
       !options_.force_full_frames && sent_code_.contains(key);
+  ByteSpan view;
   if (peer_has_code) {
     ++stats_.frames_sent_truncated;
     stats_.code_bytes_saved += frame.full_size() - frame.truncated_size();
-    endpoint(dst).send(frame.truncated_view(), std::move(on_complete));
+    view = frame.truncated_view();
   } else {
     sent_code_.insert(key);
     ++stats_.frames_sent_full;
     stats_.code_bytes_sent += frame.header().code_size;
-    endpoint(dst).send(frame.full_view(), std::move(on_complete));
+    view = frame.full_view();
+  }
+  if (options_.batch.max_frames > 1) {
+    enqueue_batched_frame(dst, view, std::move(on_complete));
+  } else {
+    endpoint(dst).send(view, std::move(on_complete));
   }
   return Status::ok();
+}
+
+void Runtime::set_batch_options(BatchOptions batch) {
+  // Ship whatever is queued first: a direct send under the new
+  // configuration must not overtake frames batched under the old one.
+  for (auto& [dst, pending] : pending_batches_) {
+    if (!pending.frames.empty()) flush_batch(dst);
+  }
+  options_.batch = batch;
+}
+
+void Runtime::enqueue_batched_frame(fabric::NodeId dst, ByteSpan frame_bytes,
+                                    fabric::CompletionFn on_complete) {
+  // The container's part count is a u16 on the wire; an absurd max_frames
+  // must flush early rather than overflow the count.
+  const std::size_t max_frames =
+      std::min<std::size_t>(options_.batch.max_frames, 0xFFFF);
+  PendingBatch& batch = pending_batches_[dst];
+  batch.frames.emplace_back(frame_bytes.begin(), frame_bytes.end());
+  batch.completions.push_back(std::move(on_complete));
+  if (batch.frames.size() >= max_frames) {
+    ++stats_.batch_full_flushes;
+    flush_batch(dst);
+    return;
+  }
+  if (!batch.deadline_armed) {
+    // Arm the flush deadline for this batch generation. If the batch fills
+    // and ships first, the generation moves on and the event is a no-op.
+    // The weak token makes the event safe when it outlives the Runtime —
+    // the fabric cannot cancel queued events.
+    batch.deadline_armed = true;
+    const std::uint64_t armed_generation = batch.generation;
+    fabric_->schedule_after(
+        options_.batch.flush_ns,
+        [alive = std::weak_ptr<Runtime*>(alive_token_), dst,
+         armed_generation] {
+          auto token = alive.lock();
+          if (!token) return;
+          Runtime& self = **token;
+          auto it = self.pending_batches_.find(dst);
+          if (it == self.pending_batches_.end() ||
+              it->second.generation != armed_generation ||
+              it->second.frames.empty()) {
+            return;
+          }
+          ++self.stats_.batch_deadline_flushes;
+          self.flush_batch(dst);
+        });
+  }
+}
+
+void Runtime::flush_batch(fabric::NodeId dst) {
+  auto it = pending_batches_.find(dst);
+  if (it == pending_batches_.end() || it->second.frames.empty()) return;
+  PendingBatch& batch = it->second;
+  std::vector<Bytes> frames = std::move(batch.frames);
+  std::vector<fabric::CompletionFn> completions =
+      std::move(batch.completions);
+  batch.frames.clear();
+  batch.completions.clear();
+  ++batch.generation;
+  batch.deadline_armed = false;
+
+  if (frames.size() == 1) {
+    // A lone frame ships bare: no container overhead, and the receive path
+    // is identical to the unbatched protocol.
+    endpoint(dst).send(as_span(frames.front()),
+                       std::move(completions.front()));
+    return;
+  }
+  StatusOr<Bytes> container = encode_batch_frame(frames);
+  if (!container.is_ok()) {
+    // Unreachable with the enqueue-side u16 cap, but never drop frames on
+    // a codec refusal — ship them individually instead.
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      endpoint(dst).send(as_span(frames[i]), std::move(completions[i]));
+    }
+    return;
+  }
+  ++stats_.batches_sent;
+  stats_.frames_coalesced += frames.size();
+  endpoint(dst).send_batch(
+      as_span(*container), frames.size(),
+      [completions = std::move(completions)](Status status) {
+        for (const fabric::CompletionFn& fn : completions) {
+          if (fn) fn(status);
+        }
+      });
 }
 
 Status Runtime::send_ifunc(fabric::NodeId dst, std::uint64_t ifunc_id,
@@ -198,12 +304,39 @@ std::size_t Runtime::poll(std::size_t max_frames) {
 }
 
 Status Runtime::process_message(const fabric::ReceivedMessage& msg) {
-  ++stats_.frames_received;
   ByteSpan data = as_span(msg.data);
+  if (is_batch_frame(data)) {
+    TC_ASSIGN_OR_RETURN(std::vector<ByteSpan> parts,
+                        decode_batch_frame(data));
+    ++stats_.batches_received;
+    for (ByteSpan part : parts) {
+      if (options_.batch_unpack_cost_ns > 0) {
+        fabric_->consume_compute(node_, options_.batch_unpack_cost_ns,
+                                 /*scale_cost=*/false);
+      }
+      ++stats_.frames_received;
+      // A bad sub-frame must not poison its batch-mates: each is counted
+      // and dropped individually, the rest of the container still lands
+      // (the partial-redelivery guarantee the NACK tests rely on).
+      Status status = process_frame(part, msg.source);
+      if (!status.is_ok()) {
+        ++stats_.protocol_errors;
+        TC_LOG(kWarn, "runtime")
+            << "node " << node_
+            << " dropped batched frame: " << status.to_string();
+      }
+    }
+    return Status::ok();
+  }
+  ++stats_.frames_received;
+  return process_frame(data, msg.source);
+}
+
+Status Runtime::process_frame(ByteSpan data, fabric::NodeId source) {
   if (is_result_frame(data)) {
     TC_ASSIGN_OR_RETURN(ResultFrame result, decode_result_frame(data));
     ++stats_.results_received;
-    if (result_handler_) result_handler_(result.data, msg.source);
+    if (result_handler_) result_handler_(result.data, source);
     return Status::ok();
   }
   if (is_nack_frame(data)) {
@@ -221,12 +354,12 @@ Status Runtime::process_message(const fabric::ReceivedMessage& msg) {
         Frame frame,
         Frame::build(ifunc_id, lib.repr(), as_span(lib.serialized_archive()),
                      {}, node_, /*code_only=*/true));
-    endpoint(msg.source).send(frame.full_view(), {});
+    endpoint(source).send(frame.full_view(), {});
     ++stats_.frames_sent_full;
     stats_.code_bytes_sent += frame.header().code_size;
     return Status::ok();
   }
-  return process_ifunc_frame(data, msg.source);
+  return process_ifunc_frame(data, source);
 }
 
 std::int64_t Runtime::charge(std::int64_t configured_ns,
@@ -250,13 +383,20 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
     if (!has_code) {
       if (options_.nack_recovery) {
         // Cache-miss recovery: stash the payload and ask the sender to
-        // re-ship the code (e.g. we restarted and lost the registry).
+        // re-ship the code (e.g. we restarted and lost the registry). A
+        // batched window can carry several truncated frames for the same
+        // missing ifunc; only the first stashed payload raises a NACK —
+        // one code resend redelivers the whole window, without duplicates.
         ByteSpan payload = Frame::payload_view(data, header);
-        pending_payloads_[header.ifunc_id].emplace_back(
-            Bytes(payload.begin(), payload.end()), header.origin_node);
-        endpoint(source).send(as_span(encode_nack_frame(header.ifunc_id)),
-                              {});
-        ++stats_.nacks_sent;
+        auto& pending = pending_payloads_[header.ifunc_id];
+        const bool first_pending = pending.empty();
+        pending.emplace_back(Bytes(payload.begin(), payload.end()),
+                             header.origin_node);
+        if (first_pending) {
+          endpoint(source).send(as_span(encode_nack_frame(header.ifunc_id)),
+                                {});
+          ++stats_.nacks_sent;
+        }
         return Status::ok();
       }
       // The sender believed we had the code (or truncated erroneously).

@@ -45,6 +45,21 @@ namespace tc::core {
 
 struct ExecContext;
 
+/// Sender-side frame coalescing (protocol v2 batch containers). With
+/// max_frames > 1, send_frame() queues outgoing ifunc frames per
+/// destination and ships them as one batched wire message when either the
+/// batch fills or the flush deadline (armed when the first frame of a batch
+/// is queued) expires — amortizing the per-message injection gap across the
+/// window, at the cost of up to flush_ns added latency for a lone frame.
+struct BatchOptions {
+  /// Frames coalesced into one wire message; <= 1 disables batching
+  /// entirely (the send path is then byte-for-byte the classic protocol).
+  std::size_t max_frames = 1;
+  /// Flush deadline: how long the first queued frame of a batch may wait
+  /// for companions before the batch is shipped regardless.
+  std::int64_t flush_ns = 300;
+};
+
 struct RuntimeOptions {
   jit::EngineOptions engine;  ///< hook symbols are appended automatically
 
@@ -88,6 +103,16 @@ struct RuntimeOptions {
   /// sender to re-ship the code (cache-miss recovery extension). When off,
   /// such frames are dropped as protocol errors, as in the paper.
   bool nack_recovery = true;
+
+  /// Sender-side frame coalescing; defaults to disabled (max_frames = 1),
+  /// which preserves the paper's one-frame-per-message wire behaviour
+  /// exactly. Also adjustable after creation via set_batch_options().
+  BatchOptions batch;
+
+  /// Per-sub-frame decode charge when a batch container is unpacked on
+  /// receive (header walk + dispatch); hetsim profiles pin a calibrated
+  /// per-platform value. Applies only to batched traffic.
+  std::int64_t batch_unpack_cost_ns = 0;
 };
 
 /// Handler for X-RDMA results returning to this node:
@@ -126,6 +151,12 @@ class Runtime {
   /// create_message + send_frame in one call.
   Status send_ifunc(fabric::NodeId dst, std::uint64_t ifunc_id,
                     ByteSpan payload, fabric::CompletionFn on_complete = {});
+
+  /// Reconfigures sender-side coalescing (see BatchOptions). Frames
+  /// already queued are flushed first, so per-destination FIFO order is
+  /// preserved across the reconfiguration.
+  void set_batch_options(BatchOptions batch);
+  const BatchOptions& batch_options() const { return options_.batch; }
 
   // --- target-side configuration ----------------------------------------------
   void set_target_ptr(void* target) { target_ptr_ = target; }
@@ -179,6 +210,11 @@ class Runtime {
     std::uint64_t remote_writes = 0;
     std::uint64_t nacks_sent = 0;
     std::uint64_t nacks_received = 0;
+    std::uint64_t batches_sent = 0;        ///< coalesced wire messages out
+    std::uint64_t frames_coalesced = 0;    ///< frames shipped inside them
+    std::uint64_t batch_full_flushes = 0;  ///< batch reached max_frames
+    std::uint64_t batch_deadline_flushes = 0;  ///< flush_ns expired
+    std::uint64_t batches_received = 0;    ///< batch containers unpacked
     std::uint64_t cache_evictions = 0;
     std::uint64_t portable_loads = 0;      ///< portable programs decoded
     std::uint64_t interp_executions = 0;   ///< invocations run interpreted
@@ -225,7 +261,14 @@ class Runtime {
   Status materialize_and_cache(Registered& reg, std::uint64_t ifunc_id);
   void maybe_promote(Registered& reg, std::uint64_t ifunc_id);
   Status process_message(const fabric::ReceivedMessage& msg);
+  /// One logical (non-batch) frame: result / NACK / ifunc dispatch.
+  Status process_frame(ByteSpan data, fabric::NodeId source);
   Status process_ifunc_frame(ByteSpan data, fabric::NodeId source);
+  /// Queues an encoded frame for coalescing toward `dst` (batching on).
+  void enqueue_batched_frame(fabric::NodeId dst, ByteSpan frame_bytes,
+                             fabric::CompletionFn on_complete);
+  /// Ships everything queued for `dst` as one wire message.
+  void flush_batch(fabric::NodeId dst);
   void execute_ifunc(Registered& reg, std::uint64_t ifunc_id, Bytes payload,
                      fabric::NodeId origin_node);
   std::int64_t charge(std::int64_t configured_ns, std::int64_t measured_ns);
@@ -248,6 +291,22 @@ class Runtime {
       pending_payloads_;
   /// (peer << 32 | ifunc-id-fold) pairs that already received code.
   std::unordered_set<std::uint64_t> sent_code_;
+  /// Keeps armed flush-deadline events from touching a destroyed Runtime:
+  /// they capture a weak_ptr to this token and no-op once it expires. The
+  /// fabric has no event cancellation, so a stale (generation-bumped)
+  /// deadline can outlive the Runtime inside the event queue.
+  std::shared_ptr<Runtime*> alive_token_;
+  /// Outgoing frames awaiting coalescing, per destination (batching on).
+  struct PendingBatch {
+    std::vector<Bytes> frames;
+    std::vector<fabric::CompletionFn> completions;
+    /// Incremented on every flush; an armed deadline event only fires a
+    /// flush if the generation it captured is still current (i.e. the
+    /// batch it was armed for has not already shipped full).
+    std::uint64_t generation = 0;
+    bool deadline_armed = false;
+  };
+  std::unordered_map<fabric::NodeId, PendingBatch> pending_batches_;
   std::unordered_map<fabric::NodeId, std::unique_ptr<fabric::Endpoint>>
       endpoints_;
 

@@ -96,13 +96,28 @@ void Endpoint::am(AmId id, ByteSpan payload, CompletionFn on_complete) {
 }
 
 void Endpoint::send(ByteSpan data, CompletionFn on_complete) {
+  send_impl(data, /*fragments=*/1, std::move(on_complete));
+}
+
+void Endpoint::send_batch(ByteSpan data, std::size_t fragments,
+                          CompletionFn on_complete) {
+  send_impl(data, fragments, std::move(on_complete));
+}
+
+void Endpoint::send_impl(ByteSpan data, std::size_t fragments,
+                         CompletionFn on_complete) {
   ++stats_.sends;
+  if (fragments > 1) {
+    ++stats_.batch_sends;
+    stats_.batched_fragments += fragments;
+  }
   auto& fstats = fabric_->mutable_stats();
   ++fstats.sends;
   fstats.bytes_on_wire += data.size();
 
   Bytes copy(data.begin(), data.end());
-  const auto start = fabric_->reserve_injection(local_, remote_, data.size());
+  const auto start = fabric_->reserve_injection_batch(
+      local_, remote_, data.size(), fragments);
   const auto arrival = start + wire_ns(copy.size());
   const NodeId src = local_;
   const NodeId dst = remote_;

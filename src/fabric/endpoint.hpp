@@ -46,17 +46,32 @@ class Endpoint {
   /// Two-sided eager send into the remote worker's receive queue.
   void send(ByteSpan data, CompletionFn on_complete);
 
+  /// Two-sided send of a *coalesced* message carrying `fragments` logical
+  /// frames (a core::Runtime batch container). Delivery is identical to
+  /// send(); the injection channel is charged one per-message gap plus the
+  /// link's per-item batch cost per extra fragment, which is what makes
+  /// coalescing cheaper than `fragments` back-to-back sends.
+  void send_batch(ByteSpan data, std::size_t fragments,
+                  CompletionFn on_complete);
+
   struct Stats {
     std::uint64_t puts = 0;
     std::uint64_t gets = 0;
     std::uint64_t ams = 0;
     std::uint64_t sends = 0;
+    std::uint64_t batch_sends = 0;      ///< coalesced wire messages
+    std::uint64_t batched_fragments = 0;  ///< logical frames inside them
     std::uint64_t bytes_put = 0;
     std::uint64_t bytes_got = 0;
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Shared body of send()/send_batch(): one two-sided delivery whose
+  /// injection occupancy accounts for `fragments` logical frames.
+  void send_impl(ByteSpan data, std::size_t fragments,
+                 CompletionFn on_complete);
+
   std::int64_t wire_ns(std::size_t size) const {
     return fabric_->link(local_, remote_).transmit_ns(size);
   }

@@ -84,10 +84,16 @@ void Fabric::consume_compute(NodeId node_id, std::int64_t cost_ns,
 
 VirtTime Fabric::reserve_injection(NodeId src, NodeId dst, std::size_t bytes,
                                    OpClass cls) {
+  return reserve_injection_batch(src, dst, bytes, /*fragments=*/1, cls);
+}
+
+VirtTime Fabric::reserve_injection_batch(NodeId src, NodeId dst,
+                                         std::size_t bytes,
+                                         std::size_t fragments, OpClass cls) {
   const LinkModel& model = link(src, dst);
   VirtTime& busy = link_busy_[link_key(src, dst)];
   const VirtTime start = busy > now_ ? busy : now_;
-  busy = start + model.occupancy_ns(bytes, cls);
+  busy = start + model.batch_occupancy_ns(bytes, fragments, cls);
   return start;
 }
 

@@ -93,6 +93,14 @@ class Fabric {
   VirtTime reserve_injection(NodeId src, NodeId dst, std::size_t bytes,
                              OpClass cls = OpClass::kSend);
 
+  /// reserve_injection for a coalesced message of `fragments` logical
+  /// frames: the channel is held for one per-message gap plus the link's
+  /// per-item batch cost for each extra fragment (LinkModel::
+  /// batch_occupancy_ns). fragments == 1 degenerates to reserve_injection.
+  VirtTime reserve_injection_batch(NodeId src, NodeId dst, std::size_t bytes,
+                                   std::size_t fragments,
+                                   OpClass cls = OpClass::kSend);
+
   // --- progress ---------------------------------------------------------------
   /// Processes the next event. Returns false when the queue is empty.
   bool step();

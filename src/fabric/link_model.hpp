@@ -39,6 +39,11 @@ struct LinkModel {
   double gap_ns_per_byte = 0.4;    ///< inverse streaming bandwidth
   std::int64_t gap_send_ns = 0;    ///< per-message gap, PUT/send class
   std::int64_t gap_am_ns = 0;      ///< per-message gap, AM class
+  /// Injection cost of each *additional* sub-frame in a batched (coalesced)
+  /// message: the doorbell/descriptor work the NIC still pays per logical
+  /// frame, but without the full per-message gap. Calibrated per platform;
+  /// must stay well below gap_send_ns for batching to pay off.
+  std::int64_t gap_batch_item_ns = 0;
 
   /// One-way wire time for a message of `size` bytes.
   constexpr std::int64_t transmit_ns(std::size_t size) const {
@@ -58,10 +63,25 @@ struct LinkModel {
         cls == OpClass::kAm ? gap_am_ns : gap_send_ns;
     return gap + static_cast<std::int64_t>(gap_ns_per_byte * size);
   }
+
+  /// Injection-channel occupancy of one *coalesced* message carrying
+  /// `fragments` logical frames: one full per-message gap plus the (much
+  /// smaller) per-item cost for each extra fragment. With fragments == 1
+  /// this is exactly occupancy_ns — an unbatched send costs the same
+  /// whether or not batching is enabled.
+  constexpr std::int64_t batch_occupancy_ns(std::size_t size,
+                                            std::size_t fragments,
+                                            OpClass cls) const {
+    const std::int64_t extra =
+        fragments > 1
+            ? static_cast<std::int64_t>(fragments - 1) * gap_batch_item_ns
+            : 0;
+    return occupancy_ns(size, cls) + extra;
+  }
 };
 
 /// A zero-latency, infinite-bandwidth link used by unit tests that only care
 /// about functional behaviour.
-constexpr LinkModel instant_link() { return {0, 0.0, 0, 0.0, 0, 0}; }
+constexpr LinkModel instant_link() { return {0, 0.0, 0, 0.0, 0, 0, 0}; }
 
 }  // namespace tc::fabric

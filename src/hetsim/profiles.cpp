@@ -33,6 +33,10 @@ HwProfile make_ookami() {
   p.hll_guard_ns = 400;
   p.interp_op_ns = 18;            // A64FX: weak single-thread dispatch
   p.vm_load_ns = 6'000;
+  // Batching: one descriptor update per extra sub-frame (~1/4 of the full
+  // per-message gap) on the wire; header walk + dispatch on unpack.
+  p.link.gap_batch_item_ns = 150;
+  p.batch_unpack_ns = 120;
   p.dapc_ifunc_hop_ns = 1400;     // Fig. 6: Get-Bitcode gap ~= +30% @64 srv
   p.dapc_am_hop_ns = 1300;
   return p;
@@ -58,6 +62,9 @@ HwProfile make_thor_bf2() {
   p.hll_guard_ns = 700;
   p.interp_op_ns = 25;            // Cortex-A72 switch-dispatch cost
   p.vm_load_ns = 8'000;
+  // Batching: the A72 receive path makes unpack the costlier share.
+  p.link.gap_batch_item_ns = 180;
+  p.batch_unpack_ns = 150;
   // Raw (unscaled) per-hop cost of the A72 receive path, calibrated to the
   // Fig. 5 Get-Bitcode gap of ~+20% at 32 servers.
   p.dapc_ifunc_hop_ns = 1200;
@@ -85,6 +92,9 @@ HwProfile make_thor_xeon() {
   p.hll_guard_ns = 250;
   p.interp_op_ns = 6;             // Xeon: ~15 cycles/op at 2.6 GHz
   p.vm_load_ns = 2'000;
+  // Batching: Xeon runs near line rate, so both shares are small.
+  p.link.gap_batch_item_ns = 45;
+  p.batch_unpack_ns = 30;
   p.dapc_ifunc_hop_ns = 200;      // Fig. 7: gap ~= +75% @16 srv
   p.dapc_am_hop_ns = 150;
   return p;

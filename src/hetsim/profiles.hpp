@@ -58,6 +58,15 @@ struct HwProfile {
   /// cold-path cost that replaces the JIT compile (µs, not ms).
   std::int64_t vm_load_ns = -1;
 
+  /// Frame-batching overheads (protocol v2 coalesced sends). Injection of
+  /// each additional sub-frame in a batched message costs the NIC a
+  /// doorbell/descriptor update but not the full per-message gap
+  /// (link.gap_batch_item_ns carries the link-side share); the receiver
+  /// pays this per-sub-frame decode charge when unpacking the container.
+  /// Calibrated alongside interp_op_ns: the unpack is a short header walk,
+  /// tens of ns on a Xeon, ~4x that on the weaker A64FX/A72 cores.
+  std::int64_t batch_unpack_ns = 0;
+
   /// DAPC per-hop request-processing costs. The paper's DAPC hops carry
   /// more per-message server work than the bare TSI ping (frame decode,
   /// payload rewrite, forward-frame assembly, heavier polling) — these are

@@ -9,13 +9,15 @@
 namespace tc::hll {
 
 StatusOr<core::IfuncLibrary> build_library(ir::KernelKind kind,
-                                           bool drive_with_c) {
+                                           bool drive_with_c, bool tagged) {
   ir::KernelOptions options;
   options.hll_guards = !drive_with_c;
+  options.chaser_tagged = tagged;
   TC_ASSIGN_OR_RETURN(ir::FatBitcode archive,
                       ir::build_default_fat_kernel(kind, options));
   std::string name = std::string("hll_") + ir::kernel_name(kind);
   if (drive_with_c) name += "_c";
+  if (tagged) name += "_w";
   return core::IfuncLibrary::from_archive(std::move(name),
                                           std::move(archive));
 }

@@ -21,9 +21,11 @@ namespace tc::hll {
 
 /// Builds an ifunc library through the HLL frontend. With drive_with_c the
 /// code itself is the C-frontend emission (no guards) — only the client-side
-/// integration is "high-level".
+/// integration is "high-level". `tagged` builds the async-window chaser
+/// variant (see xrdma::build_chaser_library).
 StatusOr<core::IfuncLibrary> build_library(ir::KernelKind kind,
-                                           bool drive_with_c = false);
+                                           bool drive_with_c = false,
+                                           bool tagged = false);
 
 /// Counts tc_hll_guard call sites in a bitcode module — test/diagnostic
 /// helper proving the frontend actually emitted its guards.

@@ -16,6 +16,7 @@ struct Emitter {
   llvm::Module& mod;
   llvm::IRBuilder<> b;
   bool hll_guards;
+  bool chaser_tagged = false;
 
   llvm::Type* i8p;
   llvm::Type* i64p;
@@ -31,8 +32,9 @@ struct Emitter {
   llvm::Value* arg_payload = nullptr;
   llvm::Value* arg_size = nullptr;
 
-  Emitter(llvm::LLVMContext& c, llvm::Module& m, bool hll)
-      : ctx(c), mod(m), b(c), hll_guards(hll) {
+  Emitter(llvm::LLVMContext& c, llvm::Module& m, bool hll,
+          bool tagged = false)
+      : ctx(c), mod(m), b(c), hll_guards(hll), chaser_tagged(tagged) {
     i8 = b.getInt8Ty();
     i32 = b.getInt32Ty();
     i64 = b.getInt64Ty();
@@ -258,11 +260,15 @@ void emit_vec_reduce(Emitter& e) {
   e.b.CreateRetVoid();
 }
 
-// The DAPC chaser (paper §IV-C). Payload: [addr:u64][depth:u64].
-// Walks locally owned entries recursively (a loop after the tail-call
-// optimization the paper's C implementation also relies on); forwards
-// itself to the owning server when the next entry is remote; replies with
-// the final value when depth reaches zero.
+// The DAPC chaser (paper §IV-C). Payload: [addr:u64][depth:u64] — or, for
+// the *tagged* variant (e.chaser_tagged; the async-window protocol),
+// [addr:u64][depth:u64][tag:u64]. Walks locally owned entries recursively
+// (a loop after the tail-call optimization the paper's C implementation
+// also relies on); forwards itself to the owning server when the next
+// entry is remote — the tag rides along in the untouched payload tail;
+// replies with the final value (classic) or [value][tag] (tagged) when
+// depth reaches zero. Two build-time variants, not a runtime payload-size
+// dispatch: the classic instruction stream must stay exactly the paper's.
 void emit_chaser(Emitter& e) {
   e.begin_entry();
   auto* shard_size =
@@ -314,10 +320,18 @@ void emit_chaser(Emitter& e) {
   e.b.CreateBr(loop_bb);
 
   e.b.SetInsertPoint(finish_bb);
-  // ReturnResult: reply to the chain origin with the final value.
+  // ReturnResult: reply to the chain origin with the final value — plus
+  // the routing tag for the tagged (async-window) variant.
   e.store_payload_u64(0, value);
-  e.b.CreateCall(e.hk_reply(),
-                 {e.arg_ctx, e.arg_payload, llvm::ConstantInt::get(e.i64, 8)});
+  if (e.chaser_tagged) {
+    auto* tag = e.load_payload_u64(2, "tag");
+    e.store_payload_u64(1, tag);
+    e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
+                                  llvm::ConstantInt::get(e.i64, 16)});
+  } else {
+    e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
+                                  llvm::ConstantInt::get(e.i64, 8)});
+  }
   e.b.CreateRetVoid();
 }
 
@@ -557,7 +571,7 @@ StatusOr<std::unique_ptr<llvm::Module>> build_kernel(
   module->setTargetTriple(normalize_triple(target.triple));
   module->setDataLayout(machine->createDataLayout());
 
-  Emitter e(context, *module, options.hll_guards);
+  Emitter e(context, *module, options.hll_guards, options.chaser_tagged);
   switch (kind) {
     case KernelKind::kTargetSideIncrement: emit_tsi(e); break;
     case KernelKind::kPayloadSum: emit_payload_sum(e); break;

@@ -55,6 +55,13 @@ struct KernelOptions {
   /// Emit tc_hll_guard() dynamic-dispatch guards around loop bodies — the
   /// high-level-language (Julia-analogue) frontend signature.
   bool hll_guards = false;
+  /// Chaser only: build the *tagged* (pipelined-window) variant, which
+  /// expects [addr:u64][depth:u64][tag:u64] payloads and replies
+  /// [value:u64][tag:u64]. A separate kernel variant — with its own wire
+  /// identity — rather than a runtime payload-size dispatch, so the
+  /// classic chaser's instruction stream (and thus the interpreter tier's
+  /// per-op virtual-time charge) is untouched at window = 1.
+  bool chaser_tagged = false;
 };
 
 }  // namespace tc::ir

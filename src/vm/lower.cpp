@@ -113,7 +113,11 @@ void lower_vec_reduce(Assembler& a, const ir::KernelOptions& o) {
   a.ret();
 }
 
-// The DAPC chaser — emit_chaser(). Payload: [addr:u64][depth:u64].
+// The DAPC chaser — emit_chaser(). Payload: [addr:u64][depth:u64], or —
+// for the tagged (async-window) build-time variant — [addr][depth][tag].
+// Two variants rather than a runtime size dispatch: the interpreter tier
+// charges per retired instruction, so the classic instruction stream must
+// stay exactly as calibrated for the fig5-fig12 numbers.
 void lower_chaser(Assembler& a, const ir::KernelOptions& o) {
   const auto loop = a.make_label();
   const auto local = a.make_label();
@@ -129,7 +133,8 @@ void lower_chaser(Assembler& a, const ir::KernelOptions& o) {
   a.alu(Opcode::kUdiv, 7, 5, 2);   // owner = addr / shard_size
   a.alu(Opcode::kCeq, 8, 7, 3);
   a.brnz(8, local);
-  // forward: refresh the in-place payload, ship to the owning server.
+  // forward: refresh the in-place payload, ship to the owning server (the
+  // tagged variant's tail rides along untouched in bytes [16, 24)).
   a.st64(5, P, 0);
   a.st64(6, P, 8);
   a.mov(kArg0, 7);
@@ -145,10 +150,15 @@ void lower_chaser(Assembler& a, const ir::KernelOptions& o) {
   a.ld64(9, 8);                    // value
   a.alu(Opcode::kSub, 6, 6, 10);   // next_depth
   a.brnz(6, step);
-  // finish: ReturnResult with the final value.
+  // finish: ReturnResult with the final value (tagged: plus the tag).
   a.st64(9, P, 0);
+  if (o.chaser_tagged) {
+    a.ld64(9, P, 16);              // tag
+    a.st64(9, P, 8);
+    a.li(11, 16);
+  }
   a.mov(kArg1, P);
-  a.mov(kArg2, 11);                // size = 8
+  a.mov(kArg2, 11);                // size = 8 (classic) or 16 (tagged)
   a.hook(HookId::kReply, 8, kArg1);
   a.ret();
   a.bind(step);

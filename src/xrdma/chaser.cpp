@@ -1,5 +1,7 @@
 #include "xrdma/chaser.hpp"
 
+#include <cstring>
+
 #include "common/log.hpp"
 #include "ir/kernels.hpp"
 #if TC_WITH_LLVM
@@ -24,17 +26,36 @@ StatusOr<ChaseRequest> decode_chase_payload(ByteSpan payload) {
   return request;
 }
 
-StatusOr<std::uint64_t> decode_chase_result(ByteSpan data) {
+Bytes encode_tagged_chase_payload(const ChaseRequest& request,
+                                  std::uint64_t tag) {
+  ByteWriter w;
+  w.u64(request.address);
+  w.u64(request.depth);
+  w.u64(tag);
+  return std::move(w).take();
+}
+
+StatusOr<ChaseReply> decode_chase_reply(ByteSpan data) {
+  if (data.size() != 8 && data.size() != 16) {
+    return data_loss("chase reply must be 8 (classic) or 16 (tagged) bytes, "
+                     "got " + std::to_string(data.size()));
+  }
   ByteReader r(data);
-  std::uint64_t value = 0;
-  TC_RETURN_IF_ERROR(r.u64(value));
-  return value;
+  ChaseReply reply;
+  TC_RETURN_IF_ERROR(r.u64(reply.value));
+  if (data.size() == 16) {
+    TC_RETURN_IF_ERROR(r.u64(reply.tag));
+    reply.tagged = true;
+  }
+  return reply;
 }
 
 StatusOr<core::IfuncLibrary> build_chaser_library(ir::CodeRepr repr,
-                                                  bool hll_frontend) {
+                                                  bool hll_frontend,
+                                                  bool tagged) {
   ir::KernelOptions options;
   options.hll_guards = hll_frontend;
+  options.chaser_tagged = tagged;
   if (repr == ir::CodeRepr::kPortable) {
     // The interpreter tier: portable-only archive, zero compile on the
     // servers — and the only representation available without LLVM.
@@ -51,6 +72,7 @@ StatusOr<core::IfuncLibrary> build_chaser_library(ir::CodeRepr repr,
     TC_ASSIGN_OR_RETURN(archive, jit::compile_archive_to_objects(archive));
     name += "_bin";
   }
+  if (tagged) name += "_w";
   return core::IfuncLibrary::from_archive(std::move(name),
                                           std::move(archive));
 #else
@@ -62,22 +84,29 @@ StatusOr<core::IfuncLibrary> build_chaser_library(ir::CodeRepr repr,
 
 am::AmHandlerFn make_chase_am_handler() {
   // Mirrors emit_chaser() in ir/kernel_builder.cpp instruction for
-  // instruction; the pair is kept in lockstep by the mode-equivalence tests.
+  // instruction; the pair is kept in lockstep by the mode-equivalence
+  // tests. Dispatches on the payload size exactly as the ifunc kernels do:
+  // 16 bytes = classic single-chase, 24 bytes = tagged (pipelined) chase.
   return [](am::AmContext& ctx, std::uint8_t* payload, std::uint64_t size) {
     auto request_or = decode_chase_payload(ByteSpan(payload, size));
-    if (!request_or.is_ok()) {
+    if (!request_or.is_ok() || (size != 16 && size != 24)) {
       TC_LOG(kWarn, "xrdma") << "AM chaser: bad payload";
       return;
     }
     std::uint64_t address = request_or->address;
     std::uint64_t depth = request_or->depth;
+    const bool tagged = size == 24;
+    std::uint64_t tag = 0;
+    if (tagged) std::memcpy(&tag, payload + 16, sizeof(tag));
     const std::uint64_t shard_size = ctx.shard_size;
 
     while (true) {
       const std::uint64_t owner = address / shard_size;
       if (owner != ctx.self_peer) {
         const ChaseRequest forward{address, depth};
-        const Bytes fresh = encode_chase_payload(forward);
+        const Bytes fresh =
+            tagged ? encode_tagged_chase_payload(forward, tag)
+                   : encode_chase_payload(forward);
         (void)ctx.runtime->send((*ctx.peers)[owner], ctx.handler_index,
                                 as_span(fresh), ctx.origin_node);
         return;
@@ -86,6 +115,7 @@ am::AmHandlerFn make_chase_am_handler() {
       if (--depth == 0) {
         ByteWriter w;
         w.u64(value);
+        if (tagged) w.u64(tag);
         (void)ctx.runtime->reply(ctx, as_span(w.bytes()));
         return;
       }

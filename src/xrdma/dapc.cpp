@@ -1,5 +1,7 @@
 #include "xrdma/dapc.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #if TC_WITH_LLVM
 #include "hll/frontend.hpp"
@@ -20,10 +22,30 @@ const char* chase_mode_name(ChaseMode mode) {
   return "unknown";
 }
 
+DapcDriver::~DapcDriver() {
+  // Detach everything this driver hung on the shared cluster: the result
+  // handler's lambda captures this driver, and stale replies still queued
+  // in the fabric (e.g. after a mid-run failure) must not dispatch into a
+  // destroyed object.
+  if (mode_ == ChaseMode::kActiveMessage) {
+    if (cluster_->has_am_runtimes()) {
+      cluster_->am_runtime(cluster_->client_node()).set_result_handler({});
+    }
+  } else if (mode_ != ChaseMode::kGet && cluster_->has_ifunc_runtimes()) {
+    cluster_->client_runtime().set_result_handler({});
+  }
+  if (batch_overridden_) {
+    cluster_->client_runtime().set_batch_options(saved_batch_);
+  }
+}
+
 StatusOr<std::unique_ptr<DapcDriver>> DapcDriver::create(
     hetsim::Cluster& cluster, ChaseMode mode, DapcConfig config) {
   if (config.depth == 0 || config.chases == 0) {
     return invalid_argument("DAPC: depth and chases must be positive");
+  }
+  if (config.window == 0) {
+    return invalid_argument("DAPC: window must be at least 1");
   }
   auto driver = std::unique_ptr<DapcDriver>(
       new DapcDriver(cluster, mode, config));
@@ -51,14 +73,19 @@ Status DapcDriver::setup() {
       ir::CodeRepr repr = ir::CodeRepr::kBitcode;
       if (mode_ == ChaseMode::kCachedBinary) repr = ir::CodeRepr::kObject;
       if (mode_ == ChaseMode::kInterpreted) repr = ir::CodeRepr::kPortable;
+      // Window > 1 deploys the *tagged* chaser variant, whose replies
+      // carry the routing tag for out-of-order completion.
+      const bool tagged = config_.window > 1;
       StatusOr<core::IfuncLibrary> library_or =
 #if TC_WITH_LLVM
           mode_ == ChaseMode::kHllDrivesC
               ? hll::build_library(ir::KernelKind::kChaser,
-                                   /*drive_with_c=*/true)
-              : build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode);
+                                   /*drive_with_c=*/true, tagged)
+              : build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode,
+                                     tagged);
 #else
-          build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode);
+          build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode,
+                               tagged);
 #endif
       if (!library_or.is_ok()) return library_or.status();
       core::IfuncLibrary library = std::move(library_or).value();
@@ -68,6 +95,17 @@ Status DapcDriver::setup() {
       for (std::size_t i = 0; i < servers.size(); ++i) {
         auto& shard = table_.shard(i);
         cluster_->runtime(servers[i]).set_shard(shard.data(), shard.size());
+      }
+      if (config_.window > 1 && config_.batch_frames > 1) {
+        // Pipelined issue: back-to-back frames from the initiator destined
+        // for the same server coalesce into batched wire messages. The
+        // previous options are restored when this driver is destroyed.
+        saved_batch_ = cluster_->client_runtime().batch_options();
+        batch_overridden_ = true;
+        core::BatchOptions batch;
+        batch.max_frames = config_.batch_frames;
+        batch.flush_ns = config_.batch_flush_ns;
+        cluster_->client_runtime().set_batch_options(batch);
       }
       break;
     }
@@ -136,18 +174,27 @@ StatusOr<DapcResult> DapcDriver::run_batch() {
   fabric::Fabric& fabric = cluster_->fabric();
   const fabric::NodeId client = cluster_->client_node();
 
-  // Route results: record the value, then fire the next chase (sequential
-  // operations, as in the paper's rate measurement).
+  // Route results: record the value, then refill the window. With window
+  // == 1 this is the paper's sequential rate measurement; with window > 1
+  // replies are tagged so out-of-order completions route to their chase.
   auto on_result = [this](ByteSpan data, fabric::NodeId) {
-    auto value_or = decode_chase_result(data);
-    if (!value_or.is_ok()) {
+    auto reply_or = decode_chase_reply(data);
+    if (!reply_or.is_ok()) {
       failed_ = true;
       return;
     }
-    values_[completed_++] = *value_or;
-    if (completed_ < config_.chases) {
-      Status status = issue_chase(completed_);
-      if (!status.is_ok()) failed_ = true;
+    if (config_.window > 1) {
+      if (!reply_or->tagged || reply_or->tag >= config_.chases) {
+        failed_ = true;
+        return;
+      }
+      on_chase_complete(reply_or->tag, reply_or->value);
+    } else {
+      if (reply_or->tagged) {
+        failed_ = true;
+        return;
+      }
+      on_chase_complete(completed_, reply_or->value);
     }
   };
   if (mode_ == ChaseMode::kActiveMessage) {
@@ -156,8 +203,13 @@ StatusOr<DapcResult> DapcDriver::run_batch() {
     cluster_->client_runtime().set_result_handler(on_result);
   }
 
+  const std::uint64_t initial =
+      std::min<std::uint64_t>(config_.window, config_.chases);
   const auto t0 = fabric.now();
-  TC_RETURN_IF_ERROR(issue_chase(0));
+  for (std::uint64_t i = 0; i < initial; ++i) {
+    TC_RETURN_IF_ERROR(issue_chase(i));
+  }
+  next_chase_ = initial;
   Status run_status = fabric.run_until(
       [this] { return failed_ || completed_ == config_.chases; });
   if (!run_status.is_ok()) return run_status;
@@ -178,11 +230,26 @@ StatusOr<DapcResult> DapcDriver::run_batch() {
   return result;
 }
 
+void DapcDriver::on_chase_complete(std::uint64_t index, std::uint64_t value) {
+  values_[index] = value;
+  ++completed_;
+  if (next_chase_ < config_.chases) {
+    Status status = issue_chase(next_chase_++);
+    if (!status.is_ok()) failed_ = true;
+  }
+}
+
 Status DapcDriver::issue_chase(std::uint64_t index) {
   const std::uint64_t start = starts_[index];
   const std::uint64_t owner = table_.owner_of(start);
   const fabric::NodeId dst = cluster_->server_nodes()[owner];
   const ChaseRequest request{start, config_.depth};
+  // Pipelined windows carry the chase index as the routing tag; the
+  // classic window keeps the paper's 16-byte payload byte-for-byte.
+  auto payload = [&] {
+    return config_.window > 1 ? encode_tagged_chase_payload(request, index)
+                              : encode_chase_payload(request);
+  };
 
   switch (mode_) {
     case ChaseMode::kCachedBitcode:
@@ -190,22 +257,24 @@ Status DapcDriver::issue_chase(std::uint64_t index) {
     case ChaseMode::kInterpreted:
     case ChaseMode::kHllBitcode:
     case ChaseMode::kHllDrivesC:
-      return cluster_->client_runtime().send_ifunc(
-          dst, chaser_ifunc_id_, as_span(encode_chase_payload(request)));
+      return cluster_->client_runtime().send_ifunc(dst, chaser_ifunc_id_,
+                                                   as_span(payload()));
     case ChaseMode::kActiveMessage:
       return cluster_->am_runtime(cluster_->client_node())
-          .send(dst, am_handler_index_,
-                as_span(encode_chase_payload(request)));
+          .send(dst, am_handler_index_, as_span(payload()));
     case ChaseMode::kGet:
-      return issue_get_step(start, config_.depth);
+      return issue_get_step(index, start, config_.depth);
   }
   return internal_error("unreachable");
 }
 
-Status DapcDriver::issue_get_step(std::uint64_t address,
+Status DapcDriver::issue_get_step(std::uint64_t chase_index,
+                                  std::uint64_t address,
                                   std::uint64_t depth_left) {
   // GBPC: the client walks the chain itself, one RDMA GET per step (paper
-  // §IV-D) — simpler code, but every hop is a full client round trip.
+  // §IV-D) — simpler code, but every hop is a full client round trip. With
+  // window > 1 several of these walks run concurrently; each carries its
+  // chase index down the callback chain.
   const std::uint64_t owner = table_.owner_of(address);
   const std::uint64_t slot = table_.slot_of(address);
   const fabric::NodeId server = cluster_->server_nodes()[owner];
@@ -215,7 +284,7 @@ Status DapcDriver::issue_get_step(std::uint64_t address,
   auto& runtime = cluster_->client_runtime();
   runtime.endpoint(server).get(
       remote, sizeof(std::uint64_t),
-      [this, depth_left](StatusOr<Bytes> data) {
+      [this, chase_index, depth_left](StatusOr<Bytes> data) {
         if (!data.is_ok() || data->size() != sizeof(std::uint64_t)) {
           failed_ = true;
           return;
@@ -223,13 +292,12 @@ Status DapcDriver::issue_get_step(std::uint64_t address,
         std::uint64_t value = 0;
         std::memcpy(&value, data->data(), sizeof(value));
         if (depth_left == 1) {
-          values_[completed_++] = value;
-          if (completed_ < config_.chases) {
-            if (!issue_chase(completed_).is_ok()) failed_ = true;
-          }
+          on_chase_complete(chase_index, value);
           return;
         }
-        if (!issue_get_step(value, depth_left - 1).is_ok()) failed_ = true;
+        if (!issue_get_step(chase_index, value, depth_left - 1).is_ok()) {
+          failed_ = true;
+        }
       });
   return Status::ok();
 }

@@ -52,6 +52,21 @@ struct DapcConfig {
   /// sent-tables, server-side JIT caches) are hot — the "cached" rows of the
   /// paper. Set false to measure cold-start behaviour.
   bool warmup = true;
+
+  /// In-flight window: how many chases the initiator keeps outstanding at
+  /// once. 1 (default) is the paper's synchronous evaluation, preserved
+  /// byte-for-byte on the wire. >1 switches the ifunc/AM modes to the
+  /// tagged chase protocol ([addr][depth][tag] requests, [value][tag]
+  /// replies) so out-of-order completions route to the right chase, and
+  /// runs GET mode as `window` concurrent client-driven walks.
+  std::uint64_t window = 1;
+  /// Sender-side frame coalescing on the *initiator* (ifunc modes only):
+  /// frames per batched wire message. <= 1 leaves the classic
+  /// one-frame-per-message protocol; used with window > 1, back-to-back
+  /// issues destined for the same server share one injection gap.
+  std::size_t batch_frames = 1;
+  /// Flush deadline for a partially filled batch (see core::BatchOptions).
+  std::int64_t batch_flush_ns = 300;
 };
 
 struct DapcResult {
@@ -68,6 +83,10 @@ class DapcDriver {
   static StatusOr<std::unique_ptr<DapcDriver>> create(hetsim::Cluster& cluster,
                                                       ChaseMode mode,
                                                       DapcConfig config);
+  /// Restores the client runtime's batch options if this driver overrode
+  /// them — the cluster outlives the driver and later users (a W = 1
+  /// driver, collectives) must see the classic send path.
+  ~DapcDriver();
 
   /// Executes the configured workload and reports the virtual-time rate.
   StatusOr<DapcResult> run();
@@ -82,7 +101,10 @@ class DapcDriver {
   Status setup();
   StatusOr<DapcResult> run_batch();
   Status issue_chase(std::uint64_t index);
-  Status issue_get_step(std::uint64_t address, std::uint64_t depth_left);
+  Status issue_get_step(std::uint64_t chase_index, std::uint64_t address,
+                        std::uint64_t depth_left);
+  /// Records one completed chase and refills the window.
+  void on_chase_complete(std::uint64_t index, std::uint64_t value);
 
   hetsim::Cluster* cluster_;
   ChaseMode mode_;
@@ -101,6 +123,10 @@ class DapcDriver {
   std::uint64_t chaser_ifunc_id_ = 0;
   std::uint16_t am_handler_index_ = 0;
   std::vector<fabric::MemRegion> shard_regions_;  // GET mode rkeys
+  /// Client batch options to restore at destruction (windowed ifunc modes
+  /// override them on the shared cluster runtime).
+  core::BatchOptions saved_batch_;
+  bool batch_overridden_ = false;
 };
 
 }  // namespace tc::xrdma

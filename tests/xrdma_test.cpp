@@ -233,6 +233,36 @@ TEST(DapcEquivalence, EveryModeObservesIdenticalValues) {
   }
 }
 
+TEST(DapcEquivalence, WindowedModesObserveIdenticalValues) {
+  // The async-pipeline extension of the above: W = 4 in-flight tagged
+  // chases (with sender-side frame batching on the ifunc modes) must still
+  // produce the synchronous value sequence in every execution pipeline,
+  // even though completions now arrive out of order.
+  std::vector<std::uint64_t> reference;
+  {
+    auto cluster = small_cluster(4);
+    auto driver = DapcDriver::create(*cluster, ChaseMode::kActiveMessage,
+                                     small_config());
+    ASSERT_TRUE(driver.is_ok());
+    auto result = (*driver)->run();
+    ASSERT_TRUE(result.is_ok());
+    reference = result->values;
+  }
+  DapcConfig windowed = small_config();
+  windowed.window = 4;
+  windowed.batch_frames = 4;
+  for (ChaseMode mode : kAllModes) {
+    auto cluster = small_cluster(4);
+    auto driver = DapcDriver::create(*cluster, mode, windowed);
+    ASSERT_TRUE(driver.is_ok()) << chase_mode_name(mode);
+    auto result = (*driver)->run();
+    ASSERT_TRUE(result.is_ok())
+        << chase_mode_name(mode) << ": " << result.status().to_string();
+    EXPECT_EQ(result->correct, result->completed) << chase_mode_name(mode);
+    EXPECT_EQ(result->values, reference) << chase_mode_name(mode);
+  }
+}
+
 class DapcShapeP : public ::testing::TestWithParam<
                        std::tuple<std::uint64_t, std::size_t>> {};
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Doc-link checker: fails if a markdown file references a repo path that
+# does not exist. Scans (a) relative markdown links [text](path) and
+# (b) backtick-quoted repo paths like `src/core/runtime.hpp` or
+# `bench/fig_async_window`. External URLs and section anchors are ignored.
+#
+# Usage: tools/check_doc_links.sh [file...]   (default: the repo's top-level
+# markdown plus tools/README.md)
+set -uo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root"
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md EXPERIMENTS.md ROADMAP.md CHANGES.md tools/README.md)
+fi
+
+fail=0
+
+check_path() {
+  local doc=$1 ref=$2
+  # Strip a trailing section anchor.
+  local path=${ref%%#*}
+  [ -z "$path" ] && return 0
+  case $path in
+    http://*|https://*|mailto:*) return 0 ;;
+  esac
+  local base
+  base=$(dirname "$doc")
+  if [ -e "$path" ] || [ -e "$base/$path" ]; then
+    return 0
+  fi
+  # Module paths may omit the src/ prefix (`vm/bytecode.hpp`), and bench
+  # binaries are referenced without the build prefix or .cpp extension
+  # (`bench/fig5_...`, `build/tc_inspect`); resolve those against their own
+  # directories only, so a wrong-directory reference still fails.
+  local stripped=${path#build/}
+  if [ -e "src/$path" ] || [ -e "$stripped" ] ||
+     ls "${path}".* > /dev/null 2>&1 ||
+     ls "bench/${stripped}".* > /dev/null 2>&1 ||
+     ls "tools/${stripped}".* > /dev/null 2>&1; then
+    return 0
+  fi
+  echo "ERROR: $doc references missing path: $ref"
+  fail=1
+}
+
+for doc in "${files[@]}"; do
+  if [ ! -f "$doc" ]; then
+    echo "ERROR: doc file missing: $doc"
+    fail=1
+    continue
+  fi
+  # Markdown links [text](path)
+  while IFS= read -r ref; do
+    check_path "$doc" "$ref"
+  done < <(grep -oE '\]\([^)[:space:]]+\)' "$doc" | sed 's/^](//; s/)$//')
+  # Backtick-quoted repo paths (must contain a slash to look like a path).
+  while IFS= read -r ref; do
+    check_path "$doc" "$ref"
+  done < <(grep -oE '`[A-Za-z0-9_./-]+/[A-Za-z0-9_./-]+`' "$doc" |
+           tr -d '`' | grep -vE '^(bits|std|usr)/' )
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc-link check FAILED"
+  exit 1
+fi
+echo "doc-link check passed (${files[*]})"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable perf trajectory at the repo root:
+#   BENCH_tsi.json  — Tables I-VI (TSI overhead + message rates)
+#   BENCH_dapc.json — Figures 5-12 + the async window sweep
+#
+# Usage: tools/run_bench_json.sh <build-dir> [out-dir]
+# Honors TC_BENCH_FAST=1 for shrunk smoke sweeps (CI).
+set -euo pipefail
+
+build_dir=${1:?usage: tools/run_bench_json.sh <build-dir> [out-dir]}
+out_dir=${2:-$(dirname "$0")/..}
+mkdir -p "$out_dir"
+
+tsi_json="$out_dir/BENCH_tsi.json"
+dapc_json="$out_dir/BENCH_dapc.json"
+rm -f "$tsi_json" "$dapc_json"
+
+for bench in table1_tsi_ookami table2_tsi_bf2 table3_tsi_xeon \
+             table4_rates_ookami table5_rates_bf2 table6_rates_xeon; do
+  "$build_dir/$bench" --json "$tsi_json" > /dev/null
+  echo "ran $bench"
+done
+
+for bench in fig5_dapc_depth_thor_bf2 fig6_dapc_depth_ookami \
+             fig7_dapc_depth_thor_xeon fig8_dapc_depth_julia \
+             fig9_dapc_scale_thor_bf2 fig10_dapc_scale_ookami \
+             fig11_dapc_scale_thor_xeon fig12_dapc_scale_julia \
+             fig_async_window; do
+  "$build_dir/$bench" --json "$dapc_json" > /dev/null
+  echo "ran $bench"
+done
+
+echo "wrote $tsi_json and $dapc_json"
