@@ -270,7 +270,8 @@ std::vector<DapcSeries> dapc_server_sweep(
 }
 
 void print_dapc_figure(const char* title, const char* x_label,
-                       const std::vector<DapcSeries>& series) {
+                       const std::vector<DapcSeries>& series,
+                       const char* rate_note) {
   std::printf("=== %s ===\n", title);
   std::printf("%-8s", x_label);
   for (const DapcSeries& s : series) {
@@ -305,7 +306,7 @@ void print_dapc_figure(const char* title, const char* x_label,
     }
     std::printf("\n");
   }
-  std::printf("(rates are chases/second in calibrated virtual time)\n\n");
+  std::printf("%s\n\n", rate_note);
 }
 
 std::vector<DapcSeries> dapc_window_sweep(
@@ -332,6 +333,54 @@ std::vector<DapcSeries> dapc_window_sweep(
         continue;
       }
       point->x = window;
+      series.points.push_back(*point);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+std::vector<DapcSeries> dapc_initiator_sweep(
+    Platform platform, hetsim::Backend backend, std::size_t servers,
+    const std::vector<xrdma::ChaseMode>& modes,
+    const std::vector<std::uint64_t>& initiator_counts, std::uint64_t depth,
+    std::uint64_t chases, std::uint64_t window) {
+  std::vector<DapcSeries> out;
+  for (xrdma::ChaseMode mode : modes) {
+    DapcSeries series;
+    series.mode = mode;
+    for (std::uint64_t initiators : initiator_counts) {
+      auto point = [&]() -> StatusOr<DapcPoint> {
+        hetsim::ClusterConfig cluster_config;
+        cluster_config.platform = platform;
+        cluster_config.backend = backend;
+        cluster_config.server_count = servers;
+        cluster_config.client_count = initiators;
+        TC_ASSIGN_OR_RETURN(auto cluster,
+                            hetsim::Cluster::create(cluster_config));
+        xrdma::DapcConfig config;
+        config.depth = depth;
+        config.chases = chases;
+        config.window = window;
+        config.initiators = initiators;
+        TC_ASSIGN_OR_RETURN(auto driver,
+                            xrdma::DapcDriver::create(*cluster, mode, config));
+        TC_ASSIGN_OR_RETURN(xrdma::DapcResult result, driver->run());
+        if (result.correct != result.completed) {
+          return internal_error("DAPC produced incorrect chase results");
+        }
+        DapcPoint p;
+        p.rate = result.chases_per_second;
+        return p;
+      }();
+      if (!point.is_ok()) {
+        std::fprintf(stderr, "dapc %s backend=%s initiators=%llu failed: %s\n",
+                     chase_mode_name(mode), hetsim::backend_name(backend),
+                     static_cast<unsigned long long>(initiators),
+                     point.status().to_string().c_str());
+        continue;
+      }
+      point->x = initiators;
       series.points.push_back(*point);
     }
     out.push_back(std::move(series));

@@ -67,8 +67,13 @@ std::vector<DapcSeries> dapc_server_sweep(
 
 /// Prints a figure-style series table: one row per x, one column per mode,
 /// plus the paper's "Get - Bitcode % Diff" column when both are present.
-void print_dapc_figure(const char* title, const char* x_label,
-                       const std::vector<DapcSeries>& series);
+/// `rate_note` is the footer describing what the rates mean (virtual-time
+/// figures keep the default; wall-clock sweeps say so).
+void print_dapc_figure(
+    const char* title, const char* x_label,
+    const std::vector<DapcSeries>& series,
+    const char* rate_note =
+        "(rates are chases/second in calibrated virtual time)");
 
 /// Async-window sweep (fig_async_window): rate vs in-flight window W at
 /// fixed depth and server count. W == 1 runs the classic synchronous
@@ -81,6 +86,19 @@ std::vector<DapcSeries> dapc_window_sweep(
     const std::vector<xrdma::ChaseMode>& modes,
     const std::vector<std::uint64_t>& windows, std::uint64_t depth,
     std::uint64_t chases, std::size_t batch_frames = 0);
+
+/// Multi-initiator sweep (fig_mt_scale): aggregate chase rate vs M
+/// concurrent initiators, each with its own client node and in-flight
+/// window W, on the chosen transport backend. Backend::kSim reports
+/// deterministic virtual-time rates; Backend::kShm runs M real OS threads
+/// against per-node progress threads and reports wall-clock rates — the
+/// two columns of the wall-clock vs virtual-time methodology in
+/// EXPERIMENTS.md.
+std::vector<DapcSeries> dapc_initiator_sweep(
+    hetsim::Platform platform, hetsim::Backend backend, std::size_t servers,
+    const std::vector<xrdma::ChaseMode>& modes,
+    const std::vector<std::uint64_t>& initiator_counts, std::uint64_t depth,
+    std::uint64_t chases, std::uint64_t window);
 
 // --- machine-readable output (--json) ----------------------------------------
 // Every bench main accepts `--json <path>`: results are appended to `path`

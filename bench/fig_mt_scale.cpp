@@ -1,0 +1,64 @@
+// Multi-initiator scaling sweep (beyond the paper): aggregate DAPC chase
+// rate vs M concurrent initiators, each with its own client node and an
+// in-flight window W, across all seven chase modes — measured twice:
+//
+//  * sim — the calibrated virtual-time backend. M initiators interleave
+//    deterministically in one event timeline; rates are the modeled
+//    Thor-Xeon numbers and are bit-for-bit reproducible.
+//  * shm — the real-threads shared-memory transport. M OS threads drive M
+//    client nodes against one progress thread per server; rates are real
+//    wall-clock on this host.
+//
+// Comparing the two columns for the same (M, mode) point is the
+// "wall-clock vs virtual-time" methodology described in EXPERIMENTS.md:
+// the virtual column isolates protocol effects under the paper's timing
+// model, the wall column shows what this machine actually sustains.
+#include "bench_util.hpp"
+using namespace tc;
+
+int main(int argc, char** argv) {
+  const std::string json = bench::json_path_from_args(argc, argv);
+  const bool fast = bench::fast_mode();
+  const std::size_t servers = fast ? 2 : 4;
+  const std::uint64_t depth = fast ? 16 : 64;
+  const std::uint64_t chases = fast ? 16 : 64;  // per initiator
+  const std::uint64_t window = fast ? 2 : 8;
+  const std::vector<std::uint64_t> initiators =
+      fast ? std::vector<std::uint64_t>{1, 2, 4}
+           : std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<xrdma::ChaseMode> modes = {
+      xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+      xrdma::ChaseMode::kInterpreted,
+#if TC_WITH_LLVM
+      xrdma::ChaseMode::kCachedBitcode, xrdma::ChaseMode::kCachedBinary,
+      xrdma::ChaseMode::kHllBitcode,    xrdma::ChaseMode::kHllDrivesC,
+#endif
+  };
+  const hetsim::Platform platform = hetsim::Platform::kThorXeon;
+
+  for (hetsim::Backend backend :
+       {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+    auto series = bench::dapc_initiator_sweep(platform, backend, servers,
+                                              modes, initiators, depth,
+                                              chases, window);
+    std::string title = std::string("Multi-initiator scaling (") +
+                        hetsim::backend_name(backend) + " backend, " +
+                        (backend == hetsim::Backend::kSim ? "virtual-time"
+                                                          : "wall-clock") +
+                        " rates): " + std::to_string(servers) +
+                        " servers, depth " + std::to_string(depth) +
+                        ", W=" + std::to_string(window);
+    bench::print_dapc_figure(
+        title.c_str(), "initiators", series,
+        backend == hetsim::Backend::kSim
+            ? "(rates are chases/second in calibrated virtual time)"
+            : "(rates are real wall-clock chases/second on this host)");
+    const std::string bench_name =
+        std::string("fig_mt_scale_") + hetsim::backend_name(backend);
+    bench::append_json(json, bench::dapc_series_json(
+                                 bench_name.c_str(),
+                                 hetsim::platform_name(platform),
+                                 "initiators", series));
+  }
+  return 0;
+}

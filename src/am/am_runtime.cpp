@@ -1,6 +1,8 @@
 #include "am/am_runtime.hpp"
 
 #include <chrono>
+#include <cstdlib>
+#include <mutex>
 
 #include "common/log.hpp"
 
@@ -35,30 +37,44 @@ StatusOr<std::unique_ptr<AmRuntime>> AmRuntime::create(fabric::Fabric& fabric,
     return invalid_argument("AmRuntime::create: no node " +
                             std::to_string(node));
   }
+  auto transport = std::make_unique<fabric::SimTransport>(fabric);
+  fabric::Transport& transport_ref = *transport;
+  TC_ASSIGN_OR_RETURN(auto runtime, create(transport_ref, node, options));
+  runtime->owned_transport_ = std::move(transport);
+  return runtime;
+}
+
+StatusOr<std::unique_ptr<AmRuntime>> AmRuntime::create(
+    fabric::Transport& transport, fabric::NodeId node, Options options) {
+  if (node >= transport.node_count()) {
+    return invalid_argument("AmRuntime::create: no node " +
+                            std::to_string(node));
+  }
   auto runtime =
-      std::unique_ptr<AmRuntime>(new AmRuntime(fabric, node, options));
-  TC_RETURN_IF_ERROR(fabric.node(node).worker.register_am(
-      kAmChannel, [raw = runtime.get()](ByteSpan frame,
-                                        fabric::NodeId source) {
+      std::unique_ptr<AmRuntime>(new AmRuntime(transport, node, options));
+  TC_RETURN_IF_ERROR(transport.register_am_handler(
+      node, kAmChannel,
+      [raw = runtime.get()](ByteSpan frame, fabric::NodeId source) {
         raw->on_am(frame, source);
       }));
   return runtime;
 }
 
-AmRuntime::AmRuntime(fabric::Fabric& fabric, fabric::NodeId node,
+AmRuntime::AmRuntime(fabric::Transport& transport, fabric::NodeId node,
                      Options options)
-    : fabric_(&fabric), node_(node), options_(options) {}
+    : transport_(&transport), node_(node), options_(options) {}
 
 AmRuntime::~AmRuntime() {
-  (void)fabric_->node(node_).worker.unregister_am(kAmChannel);
+  (void)transport_->unregister_am_handler(node_, kAmChannel);
 }
 
 StatusOr<std::uint16_t> AmRuntime::register_handler(AmHandlerFn handler) {
   if (!handler) return invalid_argument("register_handler: empty handler");
+  std::unique_lock lock(handlers_mu_);
   if (handlers_.size() >= kResultIndex) {
     return resource_exhausted("AM handler table full");
   }
-  handlers_.push_back(std::move(handler));
+  handlers_.push_back(std::make_shared<const AmHandlerFn>(std::move(handler)));
   return static_cast<std::uint16_t>(handlers_.size() - 1);
 }
 
@@ -71,34 +87,36 @@ void AmRuntime::set_peers(std::vector<fabric::NodeId> peers) {
 }
 
 fabric::Endpoint& AmRuntime::endpoint(fabric::NodeId dst) {
-  auto it = endpoints_.find(dst);
-  if (it == endpoints_.end()) {
-    it = endpoints_
-             .emplace(dst, std::make_unique<fabric::Endpoint>(*fabric_, node_,
-                                                              dst))
-             .first;
+  auto* sim = dynamic_cast<fabric::SimTransport*>(transport_);
+  if (sim == nullptr) {
+    TC_LOG(kError, "am") << "node " << node_
+                         << ": endpoint() called on the '"
+                         << transport_->name() << "' backend";
+    std::abort();
   }
-  return *it->second;
+  return sim->endpoint(node_, dst);
 }
 
 Status AmRuntime::send(fabric::NodeId dst, std::uint16_t index,
                        ByteSpan payload, std::uint32_t origin_node) {
-  if (index >= handlers_.size()) {
-    return invalid_argument("AM send: handler index " +
-                            std::to_string(index) + " not registered here");
+  {
+    std::shared_lock lock(handlers_mu_);
+    if (index >= handlers_.size()) {
+      return invalid_argument("AM send: handler index " +
+                              std::to_string(index) + " not registered here");
+    }
   }
   ++stats_.sent;
-  endpoint(dst).am(kAmChannel, as_span(encode_am_frame(index, origin_node,
-                                                       payload)),
-                   {});
+  transport_->post_am(node_, dst, kAmChannel,
+                      as_span(encode_am_frame(index, origin_node, payload)),
+                      {});
   return Status::ok();
 }
 
 Status AmRuntime::reply(const AmContext& ctx, ByteSpan data) {
   ++stats_.replies;
-  endpoint(ctx.origin_node)
-      .am(kAmChannel,
-          as_span(encode_am_frame(kResultIndex, node_, data)), {});
+  transport_->post_am(node_, ctx.origin_node, kAmChannel,
+                      as_span(encode_am_frame(kResultIndex, node_, data)), {});
   return Status::ok();
 }
 
@@ -120,7 +138,14 @@ void AmRuntime::on_am(ByteSpan frame, fabric::NodeId source) {
     if (result_handler_) result_handler_(payload, origin);
     return;
   }
-  if (index >= handlers_.size()) {
+  // Pin the handler under the shared lock and invoke it unlocked, so the
+  // handler body may re-enter this runtime (send, reply, register).
+  std::shared_ptr<const AmHandlerFn> handler;
+  {
+    std::shared_lock lock(handlers_mu_);
+    if (index < handlers_.size()) handler = handlers_[index];
+  }
+  if (!handler) {
     ++stats_.errors;
     TC_LOG(kWarn, "am") << "node " << node_ << ": no AM handler " << index;
     return;
@@ -130,10 +155,10 @@ void AmRuntime::on_am(ByteSpan frame, fabric::NodeId source) {
   // (replies, forwards), matching the ifunc execution path.
   Bytes mutable_payload(payload.begin(), payload.end());
   const std::int64_t configured = options_.exec_cost_ns;
-  fabric_->execute_on(
+  transport_->execute_on(
       node_, configured >= 0 ? configured : 0,
       // Calibrated constants charge raw (see Runtime::charge).
-      [this, index, origin,
+      [this, index, origin, handler = std::move(handler),
        mutable_payload = std::move(mutable_payload)]() mutable {
         AmContext ctx;
         ctx.runtime = this;
@@ -147,14 +172,13 @@ void AmRuntime::on_am(ByteSpan frame, fabric::NodeId source) {
         ctx.handler_index = index;
 
         const std::int64_t t0 = now_ns();
-        handlers_[index](ctx, mutable_payload.data(), mutable_payload.size());
+        (*handler)(ctx, mutable_payload.data(), mutable_payload.size());
         const std::int64_t measured = now_ns() - t0;
         if (options_.exec_cost_ns < 0) {
-          fabric_->consume_compute(node_, measured);
+          transport_->consume_compute(node_, measured, /*scale_cost=*/true);
         }
         ++stats_.executed;
-        const auto busy = fabric_->node(node_).busy_until;
-        if (busy > fabric_->now()) fabric_->schedule_at(busy, [] {});
+        transport_->sync_to_compute_horizon(node_);
       },
       /*scale_cost=*/false);
 }

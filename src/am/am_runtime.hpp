@@ -5,11 +5,16 @@
 // no code motion, no JIT, no dynamic linking.
 //
 // Frame layout: u16 am magic | u16 handler index | u32 origin | payload.
+//
+// Dispatch is re-entrant and the handler table is lock-guarded: a handler
+// body may send further AMs, reply, or register new handlers while other
+// progress threads (shm backend) dispatch concurrently.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -18,6 +23,8 @@
 #include "common/status.hpp"
 #include "fabric/endpoint.hpp"
 #include "fabric/fabric.hpp"
+#include "fabric/sim_transport.hpp"
+#include "fabric/transport.hpp"
 
 namespace tc::am {
 
@@ -53,12 +60,17 @@ class AmRuntime {
  public:
   using Options = AmOptions;
 
+  /// Attaches to a simulated-fabric node (owns a SimTransport adapter).
   static StatusOr<std::unique_ptr<AmRuntime>> create(fabric::Fabric& fabric,
                                                      fabric::NodeId node,
                                                      Options options = {});
+  /// Attaches to a node of any Transport backend (sim or shm).
+  static StatusOr<std::unique_ptr<AmRuntime>> create(
+      fabric::Transport& transport, fabric::NodeId node, Options options = {});
   ~AmRuntime();
 
   fabric::NodeId node_id() const { return node_; }
+  fabric::Transport& transport() { return *transport_; }
 
   /// Registers a handler; the returned index must be identical on every
   /// node (predeployment discipline — register in the same order).
@@ -95,18 +107,23 @@ class AmRuntime {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Sim backend only (see Runtime::endpoint).
   fabric::Endpoint& endpoint(fabric::NodeId dst);
 
  private:
-  AmRuntime(fabric::Fabric& fabric, fabric::NodeId node, Options options);
+  AmRuntime(fabric::Transport& transport, fabric::NodeId node,
+            Options options);
   void on_am(ByteSpan frame, fabric::NodeId source);
 
-  fabric::Fabric* fabric_;
+  fabric::Transport* transport_;
+  std::unique_ptr<fabric::SimTransport> owned_transport_;
   fabric::NodeId node_;
   Options options_;
-  std::vector<AmHandlerFn> handlers_;
-  std::unordered_map<fabric::NodeId, std::unique_ptr<fabric::Endpoint>>
-      endpoints_;
+  /// Guards the handler table; dispatch pins the handler (shared_ptr copy,
+  /// not a function copy) under the lock and invokes it unlocked
+  /// (re-entrancy).
+  mutable std::shared_mutex handlers_mu_;
+  std::vector<std::shared_ptr<const AmHandlerFn>> handlers_;
 
   void* target_ptr_ = nullptr;
   std::uint64_t* shard_base_ = nullptr;

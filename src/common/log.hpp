@@ -1,8 +1,11 @@
 // Minimal leveled logger. The runtime is a library, so logging defaults to
 // warnings-only and writes to stderr; tests and benches can raise/lower the
-// level. Thread-safe (single global mutex; logging is not on fast paths).
+// level. Fully thread-safe: the sink is serialized by a global mutex and the
+// level is atomic, so progress threads of the real-threads (shm) transport
+// can log while another thread reconfigures the level.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <sstream>
 #include <string_view>
@@ -15,17 +18,20 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
   bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >=
+           static_cast<int>(level_.load(std::memory_order_relaxed));
   }
 
   void write(LogLevel level, std::string_view module, std::string_view msg);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::mutex mu_;
 };
 

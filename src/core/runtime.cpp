@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "common/hash.hpp"
 #include "common/log.hpp"
@@ -31,42 +32,87 @@ StatusOr<std::unique_ptr<Runtime>> Runtime::create(fabric::Fabric& fabric,
     return invalid_argument("Runtime::create: no node " +
                             std::to_string(node));
   }
-  auto runtime =
-      std::unique_ptr<Runtime>(new Runtime(fabric, node, std::move(options)));
+  auto transport = std::make_unique<fabric::SimTransport>(fabric);
+  auto runtime = std::unique_ptr<Runtime>(
+      new Runtime(*transport, node, std::move(options)));
+  runtime->owned_transport_ = std::move(transport);
+  runtime->attach_notifier();
   return runtime;
 }
 
-Runtime::Runtime(fabric::Fabric& fabric, fabric::NodeId node,
+StatusOr<std::unique_ptr<Runtime>> Runtime::create(
+    fabric::Transport& transport, fabric::NodeId node,
+    RuntimeOptions options) {
+  if (node >= transport.node_count()) {
+    return invalid_argument("Runtime::create: no node " +
+                            std::to_string(node));
+  }
+  auto runtime = std::unique_ptr<Runtime>(
+      new Runtime(transport, node, std::move(options)));
+  runtime->attach_notifier();
+  return runtime;
+}
+
+Runtime::Runtime(fabric::Transport& transport, fabric::NodeId node,
                  RuntimeOptions options)
-    : fabric_(&fabric), node_(node), options_(std::move(options)) {
+    : transport_(&transport), node_(node), options_(std::move(options)) {
   alive_token_ = std::make_shared<Runtime*>(this);
   cache_ = jit::CodeCache(options_.cache_capacity);
   for (auto& [name, address] : runtime_hook_symbols()) {
     options_.engine.extra_symbols.emplace_back(std::move(name), address);
   }
-  if (options_.auto_poll) {
-    fabric_->node(node_).worker.set_delivery_notifier([this] {
-      // Wake the progress engine: serialize one poll step with the node's
-      // other modeled work.
-      fabric_->execute_on(node_, 0, [this] { poll(1); });
-    });
-  }
+}
+
+void Runtime::attach_notifier() {
+  if (!options_.auto_poll) return;
+  transport_->set_delivery_notifier(node_, [this] {
+    // Wake the progress engine: serialize one poll step with the node's
+    // other modeled work (on the shm backend this runs inline on the
+    // node's progress context).
+    transport_->execute_on(node_, 0, [this] { poll(1); },
+                           /*scale_cost=*/true);
+  });
 }
 
 Runtime::~Runtime() {
   // Like closing a socket with unsent buffers: frames still waiting in a
   // batch are cancelled, not silently lost — each queued completion hears
   // about it. (Shipping them here would schedule fabric events against
-  // endpoints this destructor is about to free.)
-  for (auto& [dst, batch] : pending_batches_) {
-    (void)dst;
-    for (fabric::CompletionFn& fn : batch.completions) {
-      if (fn) fn(unavailable("runtime destroyed with batched frames pending"));
+  // endpoints this destructor is about to free.) Completions are extracted
+  // under the shard lock and invoked outside it, like every flush path —
+  // a callback may re-enter the coalescer.
+  std::vector<fabric::CompletionFn> cancelled;
+  for (BatchShard& shard : batch_shards_) {
+    std::lock_guard lock(shard.mu);
+    for (auto& [dst, batch] : shard.batches) {
+      (void)dst;
+      for (fabric::CompletionFn& fn : batch.completions) {
+        if (fn) cancelled.push_back(std::move(fn));
+      }
+      batch.frames.clear();
+      batch.completions.clear();
     }
   }
-  if (options_.auto_poll) {
-    fabric_->node(node_).worker.set_delivery_notifier(nullptr);
+  for (fabric::CompletionFn& fn : cancelled) {
+    fn(unavailable("runtime destroyed with batched frames pending"));
   }
+  if (options_.auto_poll) {
+    transport_->set_delivery_notifier(node_, nullptr);
+  }
+}
+
+fabric::SimTransport* Runtime::sim_transport() {
+  auto* sim = dynamic_cast<fabric::SimTransport*>(transport_);
+  if (sim == nullptr) {
+    // A sim-only accessor (fabric(), endpoint()) on a wall-clock backend is
+    // a programming error; fail loudly even in release builds rather than
+    // returning through a null reference.
+    TC_LOG(kError, "runtime")
+        << "node " << node_ << ": sim-only accessor called on the '"
+        << transport_->name() << "' backend";
+    std::abort();
+  }
+  return sim;
 }
 
 Status Runtime::ensure_engine() {
@@ -82,14 +128,7 @@ Status Runtime::ensure_engine() {
 }
 
 fabric::Endpoint& Runtime::endpoint(fabric::NodeId dst) {
-  auto it = endpoints_.find(dst);
-  if (it == endpoints_.end()) {
-    it = endpoints_
-             .emplace(dst, std::make_unique<fabric::Endpoint>(*fabric_, node_,
-                                                              dst))
-             .first;
-  }
-  return *it->second;
+  return sim_transport()->endpoint(node_, dst);
 }
 
 // --- registration -------------------------------------------------------------
@@ -129,15 +168,7 @@ Status Runtime::deregister_ifunc(std::uint64_t ifunc_id) {
 }
 
 Status Runtime::expose_segment(void* base, std::size_t length) {
-  fabric::Node& node = fabric_->node(node_);
-  if (node.exposed_segment.has_value()) {
-    return already_exists("node " + std::to_string(node_) +
-                          " already exposes a segment");
-  }
-  TC_ASSIGN_OR_RETURN(fabric::MemRegion region,
-                      node.memory.register_memory(base, length));
-  node.exposed_segment = region;
-  return Status::ok();
+  return transport_->expose_segment(node_, base, length);
 }
 
 void Runtime::set_peers(std::vector<fabric::NodeId> peers) {
@@ -168,15 +199,18 @@ Status Runtime::send_frame(fabric::NodeId dst, const Frame& frame,
     return invalid_argument("send_frame: destination is the local node");
   }
   const std::uint64_t key = sent_key(dst, frame.header().ifunc_id);
-  const bool peer_has_code =
-      !options_.force_full_frames && sent_code_.contains(key);
+  bool peer_has_code = false;
+  {
+    std::lock_guard lock(sent_code_mu_);
+    peer_has_code = !options_.force_full_frames && sent_code_.contains(key);
+    if (!peer_has_code) sent_code_.insert(key);
+  }
   ByteSpan view;
   if (peer_has_code) {
     ++stats_.frames_sent_truncated;
     stats_.code_bytes_saved += frame.full_size() - frame.truncated_size();
     view = frame.truncated_view();
   } else {
-    sent_code_.insert(key);
     ++stats_.frames_sent_full;
     stats_.code_bytes_sent += frame.header().code_size;
     view = frame.full_view();
@@ -184,7 +218,8 @@ Status Runtime::send_frame(fabric::NodeId dst, const Frame& frame,
   if (options_.batch.max_frames > 1) {
     enqueue_batched_frame(dst, view, std::move(on_complete));
   } else {
-    endpoint(dst).send(view, std::move(on_complete));
+    transport_->post_send(node_, dst, view, /*fragments=*/1,
+                          std::move(on_complete));
   }
   return Status::ok();
 }
@@ -192,8 +227,15 @@ Status Runtime::send_frame(fabric::NodeId dst, const Frame& frame,
 void Runtime::set_batch_options(BatchOptions batch) {
   // Ship whatever is queued first: a direct send under the new
   // configuration must not overtake frames batched under the old one.
-  for (auto& [dst, pending] : pending_batches_) {
-    if (!pending.frames.empty()) flush_batch(dst);
+  for (BatchShard& shard : batch_shards_) {
+    std::vector<fabric::NodeId> dirty;
+    {
+      std::lock_guard lock(shard.mu);
+      for (auto& [dst, pending] : shard.batches) {
+        if (!pending.frames.empty()) dirty.push_back(dst);
+      }
+    }
+    for (fabric::NodeId dst : dirty) flush_batch(dst);
   }
   options_.batch = batch;
 }
@@ -204,57 +246,97 @@ void Runtime::enqueue_batched_frame(fabric::NodeId dst, ByteSpan frame_bytes,
   // must flush early rather than overflow the count.
   const std::size_t max_frames =
       std::min<std::size_t>(options_.batch.max_frames, 0xFFFF);
-  PendingBatch& batch = pending_batches_[dst];
-  batch.frames.emplace_back(frame_bytes.begin(), frame_bytes.end());
-  batch.completions.push_back(std::move(on_complete));
-  if (batch.frames.size() >= max_frames) {
-    ++stats_.batch_full_flushes;
-    flush_batch(dst);
+  BatchShard& shard = batch_shard(dst);
+  std::vector<Bytes> full_frames;
+  std::vector<fabric::CompletionFn> full_completions;
+  bool arm_deadline = false;
+  std::uint64_t armed_generation = 0;
+  {
+    std::lock_guard lock(shard.mu);
+    PendingBatch& batch = shard.batches[dst];
+    batch.frames.emplace_back(frame_bytes.begin(), frame_bytes.end());
+    batch.completions.push_back(std::move(on_complete));
+    if (batch.frames.size() >= max_frames) {
+      ++stats_.batch_full_flushes;
+      full_frames = std::move(batch.frames);
+      full_completions = std::move(batch.completions);
+      batch.frames.clear();
+      batch.completions.clear();
+      ++batch.generation;
+      batch.deadline_armed = false;
+    } else if (!batch.deadline_armed) {
+      batch.deadline_armed = true;
+      arm_deadline = true;
+      armed_generation = batch.generation;
+    }
+  }
+  if (!full_frames.empty()) {
+    ship_batch(dst, std::move(full_frames), std::move(full_completions));
     return;
   }
-  if (!batch.deadline_armed) {
+  if (arm_deadline) {
     // Arm the flush deadline for this batch generation. If the batch fills
     // and ships first, the generation moves on and the event is a no-op.
     // The weak token makes the event safe when it outlives the Runtime —
     // the fabric cannot cancel queued events.
-    batch.deadline_armed = true;
-    const std::uint64_t armed_generation = batch.generation;
-    fabric_->schedule_after(
-        options_.batch.flush_ns,
+    transport_->schedule_after(
+        node_, options_.batch.flush_ns,
         [alive = std::weak_ptr<Runtime*>(alive_token_), dst,
          armed_generation] {
           auto token = alive.lock();
           if (!token) return;
           Runtime& self = **token;
-          auto it = self.pending_batches_.find(dst);
-          if (it == self.pending_batches_.end() ||
-              it->second.generation != armed_generation ||
-              it->second.frames.empty()) {
-            return;
+          BatchShard& sh = self.batch_shard(dst);
+          std::vector<Bytes> frames;
+          std::vector<fabric::CompletionFn> completions;
+          {
+            std::lock_guard lock(sh.mu);
+            auto it = sh.batches.find(dst);
+            if (it == sh.batches.end() ||
+                it->second.generation != armed_generation ||
+                it->second.frames.empty()) {
+              return;
+            }
+            ++self.stats_.batch_deadline_flushes;
+            frames = std::move(it->second.frames);
+            completions = std::move(it->second.completions);
+            it->second.frames.clear();
+            it->second.completions.clear();
+            ++it->second.generation;
+            it->second.deadline_armed = false;
           }
-          ++self.stats_.batch_deadline_flushes;
-          self.flush_batch(dst);
+          self.ship_batch(dst, std::move(frames), std::move(completions));
         });
   }
 }
 
 void Runtime::flush_batch(fabric::NodeId dst) {
-  auto it = pending_batches_.find(dst);
-  if (it == pending_batches_.end() || it->second.frames.empty()) return;
-  PendingBatch& batch = it->second;
-  std::vector<Bytes> frames = std::move(batch.frames);
-  std::vector<fabric::CompletionFn> completions =
-      std::move(batch.completions);
-  batch.frames.clear();
-  batch.completions.clear();
-  ++batch.generation;
-  batch.deadline_armed = false;
+  BatchShard& shard = batch_shard(dst);
+  std::vector<Bytes> frames;
+  std::vector<fabric::CompletionFn> completions;
+  {
+    std::lock_guard lock(shard.mu);
+    auto it = shard.batches.find(dst);
+    if (it == shard.batches.end() || it->second.frames.empty()) return;
+    PendingBatch& batch = it->second;
+    frames = std::move(batch.frames);
+    completions = std::move(batch.completions);
+    batch.frames.clear();
+    batch.completions.clear();
+    ++batch.generation;
+    batch.deadline_armed = false;
+  }
+  ship_batch(dst, std::move(frames), std::move(completions));
+}
 
+void Runtime::ship_batch(fabric::NodeId dst, std::vector<Bytes> frames,
+                         std::vector<fabric::CompletionFn> completions) {
+  if (frames.empty()) return;
   if (frames.size() == 1) {
     // A lone frame ships bare: no container overhead, and the receive path
     // is identical to the unbatched protocol.
-    endpoint(dst).send(as_span(frames.front()),
-                       std::move(completions.front()));
+    transport_->post_send(node_, dst, as_span(frames.front()), /*fragments=*/1,
+                          std::move(completions.front()));
     return;
   }
   StatusOr<Bytes> container = encode_batch_frame(frames);
@@ -262,14 +344,15 @@ void Runtime::flush_batch(fabric::NodeId dst) {
     // Unreachable with the enqueue-side u16 cap, but never drop frames on
     // a codec refusal — ship them individually instead.
     for (std::size_t i = 0; i < frames.size(); ++i) {
-      endpoint(dst).send(as_span(frames[i]), std::move(completions[i]));
+      transport_->post_send(node_, dst, as_span(frames[i]), /*fragments=*/1,
+                            std::move(completions[i]));
     }
     return;
   }
   ++stats_.batches_sent;
   stats_.frames_coalesced += frames.size();
-  endpoint(dst).send_batch(
-      as_span(*container), frames.size(),
+  transport_->post_send(
+      node_, dst, as_span(*container), frames.size(),
       [completions = std::move(completions)](Status status) {
         for (const fabric::CompletionFn& fn : completions) {
           if (fn) fn(status);
@@ -288,9 +371,8 @@ Status Runtime::send_ifunc(fabric::NodeId dst, std::uint64_t ifunc_id,
 
 std::size_t Runtime::poll(std::size_t max_frames) {
   std::size_t processed = 0;
-  fabric::Worker& worker = fabric_->node(node_).worker;
   while (processed < max_frames) {
-    auto msg = worker.try_recv();
+    auto msg = transport_->try_recv(node_);
     if (!msg.has_value()) break;
     ++processed;
     Status status = process_message(*msg);
@@ -311,8 +393,8 @@ Status Runtime::process_message(const fabric::ReceivedMessage& msg) {
     ++stats_.batches_received;
     for (ByteSpan part : parts) {
       if (options_.batch_unpack_cost_ns > 0) {
-        fabric_->consume_compute(node_, options_.batch_unpack_cost_ns,
-                                 /*scale_cost=*/false);
+        transport_->consume_compute(node_, options_.batch_unpack_cost_ns,
+                                    /*scale_cost=*/false);
       }
       ++stats_.frames_received;
       // A bad sub-frame must not poison its batch-mates: each is counted
@@ -354,7 +436,8 @@ Status Runtime::process_frame(ByteSpan data, fabric::NodeId source) {
         Frame frame,
         Frame::build(ifunc_id, lib.repr(), as_span(lib.serialized_archive()),
                      {}, node_, /*code_only=*/true));
-    endpoint(source).send(frame.full_view(), {});
+    transport_->post_send(node_, source, frame.full_view(), /*fragments=*/1,
+                          {});
     ++stats_.frames_sent_full;
     stats_.code_bytes_sent += frame.header().code_size;
     return Status::ok();
@@ -367,10 +450,10 @@ std::int64_t Runtime::charge(std::int64_t configured_ns,
   // Calibrated constants are already per-platform measurements and charge
   // raw; host-measured durations are retargeted by the node's scale.
   if (configured_ns >= 0) {
-    fabric_->consume_compute(node_, configured_ns, /*scale_cost=*/false);
+    transport_->consume_compute(node_, configured_ns, /*scale_cost=*/false);
     return configured_ns;
   }
-  fabric_->consume_compute(node_, measured_ns);
+  transport_->consume_compute(node_, measured_ns, /*scale_cost=*/true);
   return measured_ns;
 }
 
@@ -388,13 +471,18 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
         // missing ifunc; only the first stashed payload raises a NACK —
         // one code resend redelivers the whole window, without duplicates.
         ByteSpan payload = Frame::payload_view(data, header);
-        auto& pending = pending_payloads_[header.ifunc_id];
-        const bool first_pending = pending.empty();
-        pending.emplace_back(Bytes(payload.begin(), payload.end()),
-                             header.origin_node);
+        bool first_pending = false;
+        {
+          std::lock_guard lock(pending_payloads_mu_);
+          auto& pending = pending_payloads_[header.ifunc_id];
+          first_pending = pending.empty();
+          pending.emplace_back(Bytes(payload.begin(), payload.end()),
+                               header.origin_node);
+        }
         if (first_pending) {
-          endpoint(source).send(as_span(encode_nack_frame(header.ifunc_id)),
-                                {});
+          transport_->post_send(node_, source,
+                                as_span(encode_nack_frame(header.ifunc_id)),
+                                /*fragments=*/1, {});
           ++stats_.nacks_sent;
         }
         return Status::ok();
@@ -432,12 +520,17 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
   }
 
   // Drain any payloads that were waiting for this code (NACK recovery).
-  if (auto pending = pending_payloads_.find(header.ifunc_id);
-      pending != pending_payloads_.end()) {
-    for (auto& [payload, origin] : pending->second) {
-      execute_ifunc(reg, header.ifunc_id, std::move(payload), origin);
+  std::vector<std::pair<Bytes, fabric::NodeId>> drained;
+  {
+    std::lock_guard lock(pending_payloads_mu_);
+    if (auto pending = pending_payloads_.find(header.ifunc_id);
+        pending != pending_payloads_.end()) {
+      drained = std::move(pending->second);
+      pending_payloads_.erase(pending);
     }
-    pending_payloads_.erase(pending);
+  }
+  for (auto& [payload, origin] : drained) {
+    execute_ifunc(reg, header.ifunc_id, std::move(payload), origin);
   }
   if (header.code_only) return Status::ok();
 
@@ -639,11 +732,11 @@ void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
     const std::int64_t measured = now_ns() - t0;
     if (interpreted && options_.interp_op_ns >= 0) {
       // Calibrated interpreter tax: dispatch cost × instructions retired.
-      fabric_->consume_compute(
+      transport_->consume_compute(
           node_, options_.interp_op_ns * static_cast<std::int64_t>(interp_ops),
           /*scale_cost=*/false);
     } else if (options_.lookup_exec_cost_ns < 0) {
-      fabric_->consume_compute(node_, measured);
+      transport_->consume_compute(node_, measured, /*scale_cost=*/true);
     }
     ++stats_.frames_executed;
     ++regp->invocations;
@@ -657,11 +750,10 @@ void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
     // Advance virtual time to the end of the charged work (guard costs,
     // measured execution) so callers observing fabric.now() after idling
     // see the completion time, not the invocation time.
-    const auto busy = fabric_->node(node_).busy_until;
-    if (busy > fabric_->now()) fabric_->schedule_at(busy, [] {});
+    transport_->sync_to_compute_horizon(node_);
   };
-  fabric_->execute_on(node_, configured >= 0 ? configured : 0,
-                      std::move(invoke), /*scale_cost=*/false);
+  transport_->execute_on(node_, configured >= 0 ? configured : 0,
+                         std::move(invoke), /*scale_cost=*/false);
 }
 
 // --- ExecContext services ---------------------------------------------------------
@@ -685,10 +777,12 @@ Status Runtime::ctx_forward(ExecContext& ctx, std::uint64_t peer,
   ++ctx.forwards_issued;
   // Depart after the compute this invocation has charged so far (e.g. HLL
   // guard costs for the loop iterations that preceded the forward).
-  fabric_->execute_on(node_, 0,
-                      [this, dst = peers_[peer], frame = std::move(frame)] {
-                        (void)send_frame(dst, frame);
-                      });
+  transport_->execute_on(
+      node_, 0,
+      [this, dst = peers_[peer], frame = std::move(frame)] {
+        (void)send_frame(dst, frame);
+      },
+      /*scale_cost=*/true);
   return Status::ok();
 }
 
@@ -707,21 +801,25 @@ Status Runtime::ctx_inject(ExecContext& ctx, std::uint64_t peer,
       Frame::build(id, lib.repr(), as_span(lib.serialized_archive()), payload,
                    ctx.origin_node));
   ++ctx.injects_issued;
-  fabric_->execute_on(node_, 0,
-                      [this, dst = peers_[peer], frame = std::move(frame)] {
-                        (void)send_frame(dst, frame);
-                      });
+  transport_->execute_on(
+      node_, 0,
+      [this, dst = peers_[peer], frame = std::move(frame)] {
+        (void)send_frame(dst, frame);
+      },
+      /*scale_cost=*/true);
   return Status::ok();
 }
 
 Status Runtime::ctx_reply(ExecContext& ctx, ByteSpan data) {
   Bytes result = encode_result_frame(node_, data);
   ++ctx.replies_issued;
-  fabric_->execute_on(
+  transport_->execute_on(
       node_, 0,
       [this, origin = ctx.origin_node, result = std::move(result)] {
-        endpoint(origin).send(as_span(result), {});
-      });
+        transport_->post_send(node_, origin, as_span(result), /*fragments=*/1,
+                              {});
+      },
+      /*scale_cost=*/true);
   return Status::ok();
 }
 
@@ -731,7 +829,7 @@ Status Runtime::ctx_remote_write(ExecContext& ctx, std::uint64_t peer,
     return out_of_range("remote_write: peer index out of range");
   }
   const fabric::NodeId dst = peers_[peer];
-  const auto& segment = fabric_->node(dst).exposed_segment;
+  const auto segment = transport_->exposed_segment(dst);
   if (!segment.has_value()) {
     return failed_precondition("remote_write: node " + std::to_string(dst) +
                                " exposes no segment");
@@ -743,17 +841,20 @@ Status Runtime::ctx_remote_write(ExecContext& ctx, std::uint64_t peer,
   const fabric::RemoteAddr addr = segment->remote_addr(dst, offset);
   ++stats_.remote_writes;
   Bytes copy(data.begin(), data.end());
-  fabric_->execute_on(node_, 0, [this, dst, addr, copy = std::move(copy)] {
-    endpoint(dst).put(as_span(copy), addr, {});
-  });
+  transport_->execute_on(
+      node_, 0,
+      [this, addr, copy = std::move(copy)] {
+        transport_->post_put(node_, addr, as_span(copy), {});
+      },
+      /*scale_cost=*/true);
   return Status::ok();
 }
 
 void Runtime::ctx_hll_guard(ExecContext& ctx) {
   ++ctx.hll_guard_calls;
   if (options_.hll_guard_cost_ns > 0) {
-    fabric_->consume_compute(node_, options_.hll_guard_cost_ns,
-                             /*scale_cost=*/false);
+    transport_->consume_compute(node_, options_.hll_guard_cost_ns,
+                                /*scale_cost=*/false);
   }
 }
 

@@ -20,9 +20,11 @@
 // tier only.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,6 +36,8 @@
 #include "core/ifunc.hpp"
 #include "fabric/endpoint.hpp"
 #include "fabric/fabric.hpp"
+#include "fabric/sim_transport.hpp"
+#include "fabric/transport.hpp"
 #include "jit/code_cache.hpp"
 #include "vm/bytecode.hpp"
 
@@ -121,15 +125,25 @@ using ResultHandler = std::function<void(ByteSpan, fabric::NodeId)>;
 
 class Runtime {
  public:
+  /// Attaches to a node of the simulated backend: the runtime wraps the
+  /// fabric in its own SimTransport, preserving the historical per-runtime
+  /// endpoint bookkeeping exactly.
   static StatusOr<std::unique_ptr<Runtime>> create(fabric::Fabric& fabric,
                                                    fabric::NodeId node,
                                                    RuntimeOptions options = {});
+  /// Attaches to a node of any Transport backend (sim or shm). The
+  /// transport must outlive the runtime.
+  static StatusOr<std::unique_ptr<Runtime>> create(
+      fabric::Transport& transport, fabric::NodeId node,
+      RuntimeOptions options = {});
   ~Runtime();
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
   fabric::NodeId node_id() const { return node_; }
-  fabric::Fabric& fabric() { return *fabric_; }
+  /// The simulated fabric. Only valid for runtimes on the sim backend.
+  fabric::Fabric& fabric() { return sim_transport()->fabric(); }
+  fabric::Transport& transport() { return *transport_; }
 
   // --- registration ---------------------------------------------------------
   /// Registers an ifunc library for sending and/or local execution.
@@ -224,6 +238,8 @@ class Runtime {
   };
   const Stats& stats() const { return stats_; }
   const jit::CodeCache& cache() const { return cache_; }
+  /// The (this node, dst) endpoint. Sim backend only — the shm backend has
+  /// no per-pair endpoint objects; use transport().post_* there.
   fabric::Endpoint& endpoint(fabric::NodeId dst);
 
   /// Last measured compile stats (for the overhead-breakdown benches).
@@ -246,7 +262,11 @@ class Runtime {
     bool promotable = true;
   };
 
-  Runtime(fabric::Fabric& fabric, fabric::NodeId node, RuntimeOptions options);
+  Runtime(fabric::Transport& transport, fabric::NodeId node,
+          RuntimeOptions options);
+  void attach_notifier();
+  /// Downcast to the sim backend; fails loudly elsewhere.
+  fabric::SimTransport* sim_transport();
 
   Status ensure_engine();
   StatusOr<Registered*> find_registered(std::uint64_t ifunc_id);
@@ -269,11 +289,16 @@ class Runtime {
                              fabric::CompletionFn on_complete);
   /// Ships everything queued for `dst` as one wire message.
   void flush_batch(fabric::NodeId dst);
+  /// Ships one extracted batch (already detached from the pending shard).
+  void ship_batch(fabric::NodeId dst, std::vector<Bytes> frames,
+                  std::vector<fabric::CompletionFn> completions);
   void execute_ifunc(Registered& reg, std::uint64_t ifunc_id, Bytes payload,
                      fabric::NodeId origin_node);
   std::int64_t charge(std::int64_t configured_ns, std::int64_t measured_ns);
 
-  fabric::Fabric* fabric_;
+  fabric::Transport* transport_;
+  /// Set when this runtime was created from a Fabric& (owns its adapter).
+  std::unique_ptr<fabric::SimTransport> owned_transport_;
   fabric::NodeId node_;
   RuntimeOptions options_;
 
@@ -286,10 +311,15 @@ class Runtime {
   std::unordered_map<std::uint64_t, Registered> registry_;
   std::unordered_map<std::string, std::uint64_t> names_;
   /// Payloads of truncated frames waiting for code (NACK recovery).
+  /// Mutex-guarded: the receive path may run on a progress thread while
+  /// another context inspects or drains the same ifunc's backlog.
+  std::mutex pending_payloads_mu_;
   std::unordered_map<std::uint64_t,
                      std::vector<std::pair<Bytes, fabric::NodeId>>>
       pending_payloads_;
   /// (peer << 32 | ifunc-id-fold) pairs that already received code.
+  /// Guarded so concurrent initiator contexts can share one runtime.
+  std::mutex sent_code_mu_;
   std::unordered_set<std::uint64_t> sent_code_;
   /// Keeps armed flush-deadline events from touching a destroyed Runtime:
   /// they capture a weak_ptr to this token and no-op once it expires. The
@@ -306,9 +336,19 @@ class Runtime {
     std::uint64_t generation = 0;
     bool deadline_armed = false;
   };
-  std::unordered_map<fabric::NodeId, PendingBatch> pending_batches_;
-  std::unordered_map<fabric::NodeId, std::unique_ptr<fabric::Endpoint>>
-      endpoints_;
+  /// The coalescer is sharded by destination so concurrent initiator
+  /// contexts sharing this runtime only contend when they target the same
+  /// shard. Batches are extracted under the shard lock and shipped outside
+  /// it (send paths may re-enter the coalescer).
+  static constexpr std::size_t kBatchShards = 8;
+  struct BatchShard {
+    std::mutex mu;
+    std::unordered_map<fabric::NodeId, PendingBatch> batches;
+  };
+  std::array<BatchShard, kBatchShards> batch_shards_;
+  BatchShard& batch_shard(fabric::NodeId dst) {
+    return batch_shards_[dst % kBatchShards];
+  }
 
   void* target_ptr_ = nullptr;
   std::uint64_t* shard_base_ = nullptr;

@@ -16,11 +16,9 @@
 #include <functional>
 
 #include "fabric/fabric.hpp"
+#include "fabric/transport.hpp"
 
 namespace tc::fabric {
-
-using CompletionFn = std::function<void(Status)>;
-using GetCompletionFn = std::function<void(StatusOr<Bytes>)>;
 
 class Endpoint {
  public:

@@ -1,0 +1,87 @@
+#include "fabric/sim_transport.hpp"
+
+#include <utility>
+
+namespace tc::fabric {
+
+Endpoint& SimTransport::endpoint(NodeId src, NodeId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = endpoints_.find(key);
+  if (it == endpoints_.end()) {
+    it = endpoints_
+             .emplace(key, std::make_unique<Endpoint>(*fabric_, src, dst))
+             .first;
+  }
+  return *it->second;
+}
+
+void SimTransport::post_send(NodeId src, NodeId dst, ByteSpan data,
+                             std::size_t fragments,
+                             CompletionFn on_complete) {
+  if (fragments > 1) {
+    endpoint(src, dst).send_batch(data, fragments, std::move(on_complete));
+  } else {
+    endpoint(src, dst).send(data, std::move(on_complete));
+  }
+}
+
+void SimTransport::post_am(NodeId src, NodeId dst, AmId id, ByteSpan payload,
+                           CompletionFn on_complete) {
+  endpoint(src, dst).am(id, payload, std::move(on_complete));
+}
+
+void SimTransport::post_put(NodeId src, const RemoteAddr& dst, ByteSpan data,
+                            CompletionFn on_complete) {
+  endpoint(src, dst.node).put(data, dst, std::move(on_complete));
+}
+
+void SimTransport::post_get(NodeId src, const RemoteAddr& addr,
+                            std::size_t length, GetCompletionFn on_complete) {
+  endpoint(src, addr.node).get(addr, length, std::move(on_complete));
+}
+
+StatusOr<MemRegion> SimTransport::register_window(NodeId node, void* base,
+                                                  std::size_t length) {
+  return fabric_->node(node).memory.register_memory(base, length);
+}
+
+Status SimTransport::expose_segment(NodeId node, void* base,
+                                    std::size_t length) {
+  Node& n = fabric_->node(node);
+  if (n.exposed_segment.has_value()) {
+    return already_exists("node " + std::to_string(node) +
+                          " already exposes a segment");
+  }
+  TC_ASSIGN_OR_RETURN(MemRegion region, n.memory.register_memory(base, length));
+  n.exposed_segment = region;
+  return Status::ok();
+}
+
+std::optional<MemRegion> SimTransport::exposed_segment(NodeId node) const {
+  return fabric_->node(node).exposed_segment;
+}
+
+Status SimTransport::register_am_handler(NodeId node, AmId id,
+                                         AmHandler handler) {
+  return fabric_->node(node).worker.register_am(id, std::move(handler));
+}
+
+Status SimTransport::unregister_am_handler(NodeId node, AmId id) {
+  return fabric_->node(node).worker.unregister_am(id);
+}
+
+std::optional<ReceivedMessage> SimTransport::try_recv(NodeId node) {
+  return fabric_->node(node).worker.try_recv();
+}
+
+void SimTransport::set_delivery_notifier(NodeId node,
+                                         std::function<void()> notify) {
+  fabric_->node(node).worker.set_delivery_notifier(std::move(notify));
+}
+
+void SimTransport::sync_to_compute_horizon(NodeId node) {
+  const VirtTime busy = fabric_->node(node).busy_until;
+  if (busy > fabric_->now()) fabric_->schedule_at(busy, [] {});
+}
+
+}  // namespace tc::fabric

@@ -1,0 +1,85 @@
+// SimTransport: the deterministic discrete-event backend, adapting the
+// original fabric::Fabric engine (virtual time, calibrated link/compute
+// models) to the pluggable Transport interface. All state of consequence
+// lives in the shared Fabric — several SimTransports may wrap the same
+// Fabric (one per runtime, preserving the historical per-runtime endpoint
+// bookkeeping) and observe one coherent simulated cluster.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "fabric/endpoint.hpp"
+#include "fabric/fabric.hpp"
+#include "fabric/transport.hpp"
+
+namespace tc::fabric {
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(Fabric& fabric) : fabric_(&fabric) {}
+
+  Fabric& fabric() { return *fabric_; }
+
+  /// The (src, dst) endpoint carrying this transport's traffic — exposed
+  /// because endpoint stats (sends, batched fragments) are part of the
+  /// simulated backend's observable surface.
+  Endpoint& endpoint(NodeId src, NodeId dst);
+
+  // --- Transport ------------------------------------------------------------
+  const char* name() const override { return "sim"; }
+  bool deterministic() const override { return true; }
+  std::size_t node_count() const override { return fabric_->node_count(); }
+
+  void post_send(NodeId src, NodeId dst, ByteSpan data, std::size_t fragments,
+                 CompletionFn on_complete) override;
+  void post_am(NodeId src, NodeId dst, AmId id, ByteSpan payload,
+               CompletionFn on_complete) override;
+  void post_put(NodeId src, const RemoteAddr& dst, ByteSpan data,
+                CompletionFn on_complete) override;
+  void post_get(NodeId src, const RemoteAddr& addr, std::size_t length,
+                GetCompletionFn on_complete) override;
+
+  StatusOr<MemRegion> register_window(NodeId node, void* base,
+                                      std::size_t length) override;
+  Status expose_segment(NodeId node, void* base, std::size_t length) override;
+  std::optional<MemRegion> exposed_segment(NodeId node) const override;
+
+  Status register_am_handler(NodeId node, AmId id, AmHandler handler) override;
+  Status unregister_am_handler(NodeId node, AmId id) override;
+  std::optional<ReceivedMessage> try_recv(NodeId node) override;
+  void set_delivery_notifier(NodeId node,
+                             std::function<void()> notify) override;
+
+  std::int64_t now_ns() const override { return fabric_->now(); }
+  void consume_compute(NodeId node, std::int64_t cost_ns,
+                       bool scale_cost) override {
+    fabric_->consume_compute(node, cost_ns, scale_cost);
+  }
+  void execute_on(NodeId node, std::int64_t cost_ns, std::function<void()> fn,
+                  bool scale_cost) override {
+    fabric_->execute_on(node, cost_ns, std::move(fn), scale_cost);
+  }
+  void schedule_after(NodeId node, std::int64_t delay_ns,
+                      std::function<void()> fn) override {
+    (void)node;  // the event queue is global in the simulation
+    fabric_->schedule_after(delay_ns, std::move(fn));
+  }
+  void sync_to_compute_horizon(NodeId node) override;
+
+  bool progress(NodeId node) override {
+    (void)node;  // one event queue drives every node
+    return fabric_->step();
+  }
+  Status run_until(NodeId node, const std::function<bool()>& pred) override {
+    (void)node;
+    return fabric_->run_until(pred);
+  }
+
+ private:
+  Fabric* fabric_;
+  // (src << 32 | dst) -> lazily created endpoint, as runtimes always did.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace tc::fabric

@@ -6,7 +6,9 @@ namespace tc::fabric {
 
 Status Worker::register_am(AmId id, AmHandler handler) {
   if (!handler) return invalid_argument("register_am: empty handler");
-  auto [it, inserted] = am_table_.emplace(id, std::move(handler));
+  std::unique_lock lock(am_mu_);
+  auto [it, inserted] = am_table_.emplace(
+      id, std::make_shared<const AmHandler>(std::move(handler)));
   (void)it;
   if (!inserted) {
     return already_exists("AM id " + std::to_string(id) +
@@ -16,6 +18,7 @@ Status Worker::register_am(AmId id, AmHandler handler) {
 }
 
 Status Worker::unregister_am(AmId id) {
+  std::unique_lock lock(am_mu_);
   if (am_table_.erase(id) == 0) {
     return not_found("AM id " + std::to_string(id) + " not registered");
   }
@@ -23,6 +26,7 @@ Status Worker::unregister_am(AmId id) {
 }
 
 std::optional<ReceivedMessage> Worker::try_recv() {
+  std::lock_guard lock(rx_mu_);
   if (rx_queue_.empty()) return std::nullopt;
   ReceivedMessage msg = std::move(rx_queue_.front());
   rx_queue_.pop_front();
@@ -30,20 +34,35 @@ std::optional<ReceivedMessage> Worker::try_recv() {
 }
 
 Status Worker::deliver_am(AmId id, Bytes payload, NodeId source) {
-  auto it = am_table_.find(id);
-  if (it == am_table_.end()) {
-    ++stats_.am_dispatch_misses;
-    return not_found("no AM handler for id " + std::to_string(id));
+  // Pin the handler under the lock (refcount bump, no function copy) and
+  // dispatch unlocked: the handler may send, recurse into this worker, or
+  // (un)register handlers.
+  std::shared_ptr<const AmHandler> handler;
+  {
+    std::shared_lock lock(am_mu_);
+    auto it = am_table_.find(id);
+    if (it == am_table_.end()) {
+      am_dispatch_misses_.fetch_add(1, std::memory_order_relaxed);
+      return not_found("no AM handler for id " + std::to_string(id));
+    }
+    handler = it->second;
   }
-  ++stats_.ams_delivered;
-  it->second(as_span(payload), source);
+  ams_delivered_.fetch_add(1, std::memory_order_relaxed);
+  (*handler)(as_span(payload), source);
   return Status::ok();
 }
 
 void Worker::deliver_message(Bytes data, NodeId source) {
-  ++stats_.messages_delivered;
-  rx_queue_.push_back(ReceivedMessage{std::move(data), source});
-  if (notify_) notify_();
+  messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+  std::function<void()> notify;
+  {
+    std::lock_guard lock(rx_mu_);
+    rx_queue_.push_back(ReceivedMessage{std::move(data), source});
+    notify = notify_;
+  }
+  // Notify unlocked: the notifier typically polls, and poll() re-enters
+  // try_recv on this same mutex.
+  if (notify) notify();
 }
 
 }  // namespace tc::fabric

@@ -5,12 +5,24 @@
 // it lands directly in registered memory (see MemoryDomain), and higher
 // layers discover it by polling, exactly as the paper's ifunc receive path
 // polls MAGIC bytes.
+//
+// Thread safety: the simulated fabric is single-threaded, but the shm
+// transport delivers into workers from per-node progress threads while
+// other threads register handlers or poll, so every mutable surface here is
+// guarded. AM dispatch is re-entrant: the handler is copied out under a
+// shared lock and invoked unlocked, so a handler may deliver further
+// messages, (un)register handlers, or recurse through the worker without
+// deadlocking.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -35,16 +47,23 @@ class Worker {
   /// Registers a handler for `id`. Fails with kAlreadyExists if taken.
   Status register_am(AmId id, AmHandler handler);
   Status unregister_am(AmId id);
-  bool has_am(AmId id) const { return am_table_.contains(id); }
+  bool has_am(AmId id) const {
+    std::shared_lock lock(am_mu_);
+    return am_table_.contains(id);
+  }
 
   /// Two-sided receive: pops the oldest queued message, if any.
   std::optional<ReceivedMessage> try_recv();
-  std::size_t rx_queue_depth() const { return rx_queue_.size(); }
+  std::size_t rx_queue_depth() const {
+    std::lock_guard lock(rx_mu_);
+    return rx_queue_.size();
+  }
 
   /// Installs a callback invoked on every deliver_message — the hook the
   /// runtime's progress engine (the paper's polling daemon thread) uses to
   /// wake up inside the discrete-event simulation.
   void set_delivery_notifier(std::function<void()> notify) {
+    std::lock_guard lock(rx_mu_);
     notify_ = std::move(notify);
   }
 
@@ -52,18 +71,32 @@ class Worker {
   Status deliver_am(AmId id, Bytes payload, NodeId source);
   void deliver_message(Bytes data, NodeId source);
 
+  /// Counter snapshot (the live counters are atomics shared across delivery
+  /// threads).
   struct Stats {
     std::uint64_t ams_delivered = 0;
     std::uint64_t messages_delivered = 0;
     std::uint64_t am_dispatch_misses = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.ams_delivered = ams_delivered_.load(std::memory_order_relaxed);
+    s.messages_delivered = messages_delivered_.load(std::memory_order_relaxed);
+    s.am_dispatch_misses = am_dispatch_misses_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
-  std::unordered_map<AmId, AmHandler> am_table_;
+  mutable std::shared_mutex am_mu_;
+  /// Handlers are held by shared_ptr so dispatch copies a refcount under
+  /// the lock, not a whole std::function (AM delivery is a hot path).
+  std::unordered_map<AmId, std::shared_ptr<const AmHandler>> am_table_;
+  mutable std::mutex rx_mu_;
   std::deque<ReceivedMessage> rx_queue_;
   std::function<void()> notify_;
-  Stats stats_;
+  std::atomic<std::uint64_t> ams_delivered_{0};
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::uint64_t> am_dispatch_misses_{0};
 };
 
 }  // namespace tc::fabric

@@ -1,6 +1,18 @@
 #include "hetsim/cluster.hpp"
 
+#include <cstdlib>
+
+#include "common/log.hpp"
+
 namespace tc::hetsim {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kSim: return "sim";
+    case Backend::kShm: return "shm";
+  }
+  return "unknown";
+}
 
 core::RuntimeOptions runtime_options_for(const HwProfile& profile) {
   core::RuntimeOptions options;
@@ -20,21 +32,61 @@ am::AmRuntime::Options am_options_for(const HwProfile& profile) {
   return options;
 }
 
+Cluster::~Cluster() {
+  // The shm progress threads dispatch into the runtimes (delivery
+  // notifiers, AM handlers); they must stop before any runtime is freed.
+  if (shm_ != nullptr) shm_->stop_progress_threads();
+}
+
+fabric::Fabric& Cluster::fabric() {
+  if (backend_ != Backend::kSim) {
+    // Returning the empty fabric_ would surface as an out-of-bounds node
+    // access far from the caller; fail here, loudly, in every build type.
+    TC_LOG(kError, "hetsim")
+        << "Cluster::fabric() called on the '" << backend_name(backend_)
+        << "' backend; use transport()";
+    std::abort();
+  }
+  return fabric_;
+}
+
 StatusOr<std::unique_ptr<Cluster>> Cluster::create(
     const ClusterConfig& config) {
   if (config.server_count == 0) {
     return invalid_argument("cluster needs at least one server");
   }
+  if (config.client_count == 0) {
+    return invalid_argument("cluster needs at least one client");
+  }
   auto cluster = std::unique_ptr<Cluster>(new Cluster());
+  cluster->backend_ = config.backend;
   cluster->profile_ = &profile_for(config.platform);
   const HwProfile& profile = *cluster->profile_;
 
-  cluster->fabric_.set_default_link(profile.link);
-  cluster->client_ = cluster->fabric_.add_node(
-      "client", profile.client_compute_scale);
-  for (std::size_t i = 0; i < config.server_count; ++i) {
-    cluster->servers_.push_back(cluster->fabric_.add_node(
-        "server" + std::to_string(i), profile.server_compute_scale));
+  const std::size_t node_count = config.client_count + config.server_count;
+  if (config.backend == Backend::kSim) {
+    cluster->fabric_.set_default_link(profile.link);
+    for (std::size_t i = 0; i < config.client_count; ++i) {
+      cluster->clients_.push_back(cluster->fabric_.add_node(
+          config.client_count == 1 ? "client" : "client" + std::to_string(i),
+          profile.client_compute_scale));
+    }
+    for (std::size_t i = 0; i < config.server_count; ++i) {
+      cluster->servers_.push_back(cluster->fabric_.add_node(
+          "server" + std::to_string(i), profile.server_compute_scale));
+    }
+    cluster->sim_ = std::make_unique<fabric::SimTransport>(cluster->fabric_);
+    cluster->transport_ = cluster->sim_.get();
+  } else {
+    cluster->shm_ = std::make_unique<fabric::ShmTransport>(node_count);
+    cluster->transport_ = cluster->shm_.get();
+    for (std::size_t i = 0; i < config.client_count; ++i) {
+      cluster->clients_.push_back(static_cast<fabric::NodeId>(i));
+    }
+    for (std::size_t i = 0; i < config.server_count; ++i) {
+      cluster->servers_.push_back(
+          static_cast<fabric::NodeId>(config.client_count + i));
+    }
   }
 
   core::RuntimeOptions runtime_options = runtime_options_for(profile);
@@ -48,22 +100,35 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::create(
       profile.ifunc_exec_ns + profile.dapc_ifunc_hop_ns;
   am_options.exec_cost_ns = profile.am_exec_ns + profile.dapc_am_hop_ns;
 
-  const std::size_t node_count = cluster->fabric_.node_count();
   for (fabric::NodeId node = 0; node < node_count; ++node) {
     if (config.with_ifunc_runtimes) {
-      TC_ASSIGN_OR_RETURN(
-          auto runtime,
-          core::Runtime::create(cluster->fabric_, node, runtime_options));
-      runtime->set_peers(cluster->servers_);
-      cluster->runtimes_.push_back(std::move(runtime));
+      // Sim runtimes attach to the fabric directly (each owns its
+      // SimTransport adapter, the historical per-runtime endpoint layout);
+      // shm runtimes share the cluster's transport.
+      auto runtime_or =
+          config.backend == Backend::kSim
+              ? core::Runtime::create(cluster->fabric_, node, runtime_options)
+              : core::Runtime::create(*cluster->transport_, node,
+                                      runtime_options);
+      if (!runtime_or.is_ok()) return runtime_or.status();
+      (*runtime_or)->set_peers(cluster->servers_);
+      cluster->runtimes_.push_back(std::move(*runtime_or));
     }
     if (config.with_am_runtimes) {
-      TC_ASSIGN_OR_RETURN(
-          auto am_runtime,
-          am::AmRuntime::create(cluster->fabric_, node, am_options));
-      am_runtime->set_peers(cluster->servers_);
-      cluster->am_runtimes_.push_back(std::move(am_runtime));
+      auto am_or =
+          config.backend == Backend::kSim
+              ? am::AmRuntime::create(cluster->fabric_, node, am_options)
+              : am::AmRuntime::create(*cluster->transport_, node, am_options);
+      if (!am_or.is_ok()) return am_or.status();
+      (*am_or)->set_peers(cluster->servers_);
+      cluster->am_runtimes_.push_back(std::move(*am_or));
     }
+  }
+
+  if (config.backend == Backend::kShm) {
+    // Servers run the paper's daemon-thread model for real; initiator
+    // nodes are driven inline by the workload's own threads.
+    cluster->shm_->start_progress_threads(cluster->servers_);
   }
   return cluster;
 }

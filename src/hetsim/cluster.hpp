@@ -1,11 +1,19 @@
-// Cluster: a virtual heterogeneous testbed — one client node plus N server
-// nodes (hosts or DPUs, per the platform profile) on a simulated RDMA
-// fabric, with Three-Chains and Active-Message runtimes attached and their
-// cost models wired to the profile's calibrated constants.
+// Cluster: a virtual heterogeneous testbed — M client (initiator) nodes
+// plus N server nodes (hosts or DPUs, per the platform profile) with
+// Three-Chains and Active-Message runtimes attached.
 //
-// This is the substitute for the paper's physical Ookami and Thor clusters
-// (DESIGN.md §1): the topology, runtimes and protocols are real; only the
-// wire/compute timings come from profiles.
+// Two interchangeable fabric backends (see fabric/transport.hpp):
+//
+//  * Backend::kSim (default) — the deterministic discrete-event fabric with
+//    the profile's calibrated wire/compute timings. This is the substitute
+//    for the paper's physical Ookami and Thor clusters (DESIGN.md §1): the
+//    topology, runtimes and protocols are real; only the timings come from
+//    profiles. Bit-for-bit reproducible.
+//  * Backend::kShm — the real-threads shared-memory transport: every server
+//    node gets a dedicated progress thread, initiator nodes are driven by
+//    the application's own threads, and measurements are wall-clock. The
+//    profile's virtual-time constants are ignored (real work takes real
+//    time); everything else — protocols, JIT tiers, caching — is identical.
 #pragma once
 
 #include <cstddef>
@@ -16,13 +24,23 @@
 #include "am/am_runtime.hpp"
 #include "core/runtime.hpp"
 #include "fabric/fabric.hpp"
+#include "fabric/shm_transport.hpp"
+#include "fabric/sim_transport.hpp"
 #include "hetsim/profiles.hpp"
 
 namespace tc::hetsim {
 
+enum class Backend { kSim, kShm };
+
+const char* backend_name(Backend backend);
+
 struct ClusterConfig {
   Platform platform = Platform::kThorXeon;
+  Backend backend = Backend::kSim;
   std::size_t server_count = 2;
+  /// Initiator nodes. Node ids: clients [0, client_count), servers
+  /// [client_count, client_count + server_count).
+  std::size_t client_count = 1;
   bool with_ifunc_runtimes = true;  ///< attach core::Runtime on every node
   bool with_am_runtimes = true;     ///< attach am::AmRuntime on every node
   /// Override the per-guard HLL cost (<0 keeps the profile value).
@@ -32,19 +50,26 @@ struct ClusterConfig {
 class Cluster {
  public:
   static StatusOr<std::unique_ptr<Cluster>> create(const ClusterConfig& config);
+  ~Cluster();
 
-  fabric::Fabric& fabric() { return fabric_; }
+  Backend backend() const { return backend_; }
+  /// The backend-neutral fabric surface every layer above should prefer.
+  fabric::Transport& transport() { return *transport_; }
+  /// The simulated fabric. Sim backend only.
+  fabric::Fabric& fabric();
   const HwProfile& profile() const { return *profile_; }
+  std::size_t node_count() const { return transport_->node_count(); }
 
-  fabric::NodeId client_node() const { return client_; }
+  fabric::NodeId client_node() const { return clients_.front(); }
+  const std::vector<fabric::NodeId>& client_nodes() const { return clients_; }
   const std::vector<fabric::NodeId>& server_nodes() const { return servers_; }
 
-  /// Runtimes indexed by fabric node id (0 = client, 1.. = servers).
+  /// Runtimes indexed by fabric node id (clients first, then servers).
   core::Runtime& runtime(fabric::NodeId node) { return *runtimes_.at(node); }
   am::AmRuntime& am_runtime(fabric::NodeId node) {
     return *am_runtimes_.at(node);
   }
-  core::Runtime& client_runtime() { return runtime(client_); }
+  core::Runtime& client_runtime() { return runtime(client_node()); }
 
   bool has_ifunc_runtimes() const { return !runtimes_.empty(); }
   bool has_am_runtimes() const { return !am_runtimes_.empty(); }
@@ -52,9 +77,16 @@ class Cluster {
  private:
   Cluster() = default;
 
+  Backend backend_ = Backend::kSim;
+  // Transports are declared before the runtimes so they are destroyed
+  // after them; the shm progress threads are stopped explicitly in the
+  // destructor before any runtime goes away.
   fabric::Fabric fabric_;
+  std::unique_ptr<fabric::SimTransport> sim_;
+  std::unique_ptr<fabric::ShmTransport> shm_;
+  fabric::Transport* transport_ = nullptr;
   const HwProfile* profile_ = nullptr;
-  fabric::NodeId client_ = 0;
+  std::vector<fabric::NodeId> clients_;
   std::vector<fabric::NodeId> servers_;
   std::vector<std::unique_ptr<core::Runtime>> runtimes_;
   std::vector<std::unique_ptr<am::AmRuntime>> am_runtimes_;

@@ -11,49 +11,141 @@ const char* tier_name(Tier tier) {
   return "unknown";
 }
 
+CodeCache::CodeCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity),
+      shards_(shards == 0 ? kDefaultShards : shards) {}
+
+// Moves are configuration-time only (Runtime construction), never
+// concurrent with use; counters transfer relaxed.
+CodeCache::CodeCache(CodeCache&& other) noexcept
+    : capacity_(other.capacity_),
+      tick_(other.tick_.load(std::memory_order_relaxed)),
+      size_(other.size_.load(std::memory_order_relaxed)),
+      shards_(std::move(other.shards_)),
+      hits_(other.hits_.load(std::memory_order_relaxed)),
+      misses_(other.misses_.load(std::memory_order_relaxed)),
+      evictions_(other.evictions_.load(std::memory_order_relaxed)),
+      total_compile_ns_(
+          other.total_compile_ns_.load(std::memory_order_relaxed)) {}
+
+CodeCache& CodeCache::operator=(CodeCache&& other) noexcept {
+  capacity_ = other.capacity_;
+  tick_ = other.tick_.load(std::memory_order_relaxed);
+  size_ = other.size_.load(std::memory_order_relaxed);
+  shards_ = std::move(other.shards_);
+  hits_ = other.hits_.load(std::memory_order_relaxed);
+  misses_ = other.misses_.load(std::memory_order_relaxed);
+  evictions_ = other.evictions_.load(std::memory_order_relaxed);
+  total_compile_ns_ = other.total_compile_ns_.load(std::memory_order_relaxed);
+  return *this;
+}
+
 CachedIfunc* CodeCache::find(std::uint64_t ifunc_id) {
-  auto it = entries_.find(ifunc_id);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Shard& shard = shards_[shard_for(ifunc_id)];
+  std::lock_guard lock(shard.mu);
+  auto it = shard.entries.find(ifunc_id);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++stats_.hits;
-  it->second.last_used_tick = ++tick_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  it->second.last_used_tick.store(
+      tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
   return &it->second;
 }
 
 CachedIfunc* CodeCache::peek(std::uint64_t ifunc_id) {
-  auto it = entries_.find(ifunc_id);
-  return it == entries_.end() ? nullptr : &it->second;
+  Shard& shard = shards_[shard_for(ifunc_id)];
+  std::lock_guard lock(shard.mu);
+  auto it = shard.entries.find(ifunc_id);
+  return it == shard.entries.end() ? nullptr : &it->second;
 }
 
-Status CodeCache::insert(std::uint64_t ifunc_id, CachedIfunc ifunc,
+bool CodeCache::contains(std::uint64_t ifunc_id) const {
+  const Shard& shard = shards_[shard_for(ifunc_id)];
+  std::lock_guard lock(shard.mu);
+  return shard.entries.contains(ifunc_id);
+}
+
+Status CodeCache::insert(std::uint64_t ifunc_id, const CachedIfunc& ifunc,
                          std::uint64_t* evicted) {
-  if (entries_.contains(ifunc_id)) {
-    return already_exists("ifunc " + std::to_string(ifunc_id) +
-                          " already cached");
-  }
-  if (capacity_ != 0 && entries_.size() >= capacity_) {
-    auto lru = entries_.begin();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second.last_used_tick < lru->second.last_used_tick) lru = it;
+  const std::size_t home = shard_for(ifunc_id);
+  if (capacity_ == 0) {
+    // Unbounded: single-shard critical section, the concurrent hot path.
+    Shard& shard = shards_[home];
+    std::lock_guard lock(shard.mu);
+    if (shard.entries.contains(ifunc_id)) {
+      return already_exists("ifunc " + std::to_string(ifunc_id) +
+                            " already cached");
     }
-    if (evicted != nullptr) *evicted = lru->first;
-    entries_.erase(lru);
-    ++stats_.evictions;
+    auto [it, inserted] = shard.entries.emplace(ifunc_id, ifunc);
+    (void)inserted;
+    it->second.last_used_tick.store(
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    total_compile_ns_.fetch_add(ifunc.compile_stats.parse_ns +
+                                    ifunc.compile_stats.optimize_ns +
+                                    ifunc.compile_stats.compile_ns,
+                                std::memory_order_relaxed);
+    return Status::ok();
   }
-  ifunc.last_used_tick = ++tick_;
-  stats_.total_compile_ns += ifunc.compile_stats.parse_ns +
-                             ifunc.compile_stats.optimize_ns +
-                             ifunc.compile_stats.compile_ns;
-  entries_.emplace(ifunc_id, ifunc);
-  return Status::ok();
+
+  // Bounded: take every shard lock (index order — deadlock-free) so the
+  // duplicate check, the global-LRU scan and the insert are one atomic
+  // step. Bounded caches are small and eviction-heavy by definition; exact
+  // LRU matters more than shard parallelism here.
+  for (Shard& shard : shards_) shard.mu.lock();
+  Status status = Status::ok();
+  if (shards_[home].entries.contains(ifunc_id)) {
+    status = already_exists("ifunc " + std::to_string(ifunc_id) +
+                            " already cached");
+  } else {
+    if (size_.load(std::memory_order_relaxed) >= capacity_) {
+      Shard* lru_shard = nullptr;
+      std::uint64_t lru_id = 0;
+      std::uint64_t lru_tick = ~0ull;
+      for (Shard& shard : shards_) {
+        for (auto& [id, entry] : shard.entries) {
+          const std::uint64_t t =
+              entry.last_used_tick.load(std::memory_order_relaxed);
+          if (t < lru_tick) {
+            lru_tick = t;
+            lru_id = id;
+            lru_shard = &shard;
+          }
+        }
+      }
+      if (lru_shard != nullptr) {
+        if (evicted != nullptr) *evicted = lru_id;
+        lru_shard->entries.erase(lru_id);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    auto [it, inserted] = shards_[home].entries.emplace(ifunc_id, ifunc);
+    (void)inserted;
+    it->second.last_used_tick.store(
+        tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    total_compile_ns_.fetch_add(ifunc.compile_stats.parse_ns +
+                                    ifunc.compile_stats.optimize_ns +
+                                    ifunc.compile_stats.compile_ns,
+                                std::memory_order_relaxed);
+  }
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) it->mu.unlock();
+  return status;
 }
 
 Status CodeCache::erase(std::uint64_t ifunc_id) {
-  if (entries_.erase(ifunc_id) == 0) {
+  Shard& shard = shards_[shard_for(ifunc_id)];
+  std::lock_guard lock(shard.mu);
+  if (shard.entries.erase(ifunc_id) == 0) {
     return not_found("ifunc " + std::to_string(ifunc_id) + " not cached");
   }
+  size_.fetch_sub(1, std::memory_order_relaxed);
   return Status::ok();
 }
 

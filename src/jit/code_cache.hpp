@@ -6,10 +6,32 @@
 // it: portable archives enter at Tier::kInterpreted (zero compile) and are
 // rewritten in place to Tier::kJit when the runtime promotes them past the
 // invocation threshold.
+//
+// Concurrency: the cache is N-way sharded (hash of the ifunc identity picks
+// the shard) with one mutex per shard, so concurrent lookups/inserts from
+// different progress threads only contend when they collide on a shard.
+// LRU ordering and the hot per-entry fields (tier, entry pointer,
+// invocation counter) are atomics: a promotion thread can rewrite the tier
+// in place while an executing thread reads through the entry. Bounded
+// caches keep the *global* LRU discipline: an insert that must evict takes
+// every shard lock (in index order) and scans for the globally
+// least-recently-used entry — eviction is the rare path, lookups stay
+// single-shard.
+//
+// Pointer stability: find()/peek() return pointers into node-based
+// storage. On an *unbounded* cache concurrent inserts never invalidate
+// them; on a bounded cache a concurrent insert may evict — and free — the
+// globally-LRU entry, so callers sharing a bounded cache across threads
+// must coordinate entry lifetime externally (the Runtime does: each
+// bounded cache is driven by its node's single progress context). erase()
+// is likewise the caller's lifecycle responsibility, as before sharding.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.hpp"
 #include "ir/abi.hpp"
@@ -19,19 +41,40 @@ namespace tc::jit {
 
 struct CachedIfunc {
   /// Native entry point; null while the entry is interpreter-backed.
-  abi::EntryFn entry = nullptr;
-  Tier tier = Tier::kJit;
+  std::atomic<abi::EntryFn> entry{nullptr};
+  std::atomic<Tier> tier{Tier::kJit};
   CompileStats compile_stats;
-  std::uint64_t invocations = 0;
-  std::uint64_t last_used_tick = 0;
+  std::atomic<std::uint64_t> invocations{0};
+  std::atomic<std::uint64_t> last_used_tick{0};
+
+  CachedIfunc() = default;
+  CachedIfunc(const CachedIfunc& other) { *this = other; }
+  CachedIfunc& operator=(const CachedIfunc& other) {
+    entry.store(other.entry.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    tier.store(other.tier.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    compile_stats = other.compile_stats;
+    invocations.store(other.invocations.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    last_used_tick.store(other.last_used_tick.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 class CodeCache {
  public:
+  static constexpr std::size_t kDefaultShards = 8;
+
   /// capacity 0 = unbounded. A bounded cache evicts its least-recently-used
   /// entry on insert (the eviction is reported to the caller, which must
-  /// release the JIT resources — see Runtime).
-  explicit CodeCache(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// release the JIT resources — see Runtime). `shards` 0 picks the
+  /// default shard count.
+  explicit CodeCache(std::size_t capacity = 0, std::size_t shards = 0);
+
+  CodeCache(CodeCache&& other) noexcept;
+  CodeCache& operator=(CodeCache&& other) noexcept;
 
   /// Looks up by 64-bit ifunc identity; counts a hit or miss and freshens
   /// the entry's LRU position.
@@ -44,16 +87,16 @@ class CodeCache {
   /// Inserts a newly compiled ifunc. Fails with kAlreadyExists on repeats —
   /// a repeated full frame for a cached ifunc is a protocol anomaly the
   /// runtime tolerates but the cache reports. When the cache is full, the
-  /// LRU entry is evicted and its id stored in `evicted` (if non-null).
-  Status insert(std::uint64_t ifunc_id, CachedIfunc ifunc,
+  /// globally-LRU entry is evicted and its id stored in `evicted` (if
+  /// non-null).
+  Status insert(std::uint64_t ifunc_id, const CachedIfunc& ifunc,
                 std::uint64_t* evicted = nullptr);
 
   Status erase(std::uint64_t ifunc_id);
 
-  bool contains(std::uint64_t ifunc_id) const {
-    return entries_.contains(ifunc_id);
-  }
-  std::size_t size() const { return entries_.size(); }
+  bool contains(std::uint64_t ifunc_id) const;
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::size_t shard_count() const { return shards_.size(); }
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -61,13 +104,36 @@ class CodeCache {
     std::uint64_t evictions = 0;
     std::int64_t total_compile_ns = 0;  ///< JIT time the cache amortizes
   };
-  const Stats& stats() const { return stats_; }
+  /// Counter snapshot (the live counters are atomics).
+  Stats stats() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.total_compile_ns = total_compile_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, CachedIfunc> entries;
+  };
+
+  std::size_t shard_for(std::uint64_t ifunc_id) const {
+    // Fibonacci mix: wire identities are hashes already, but unit tests use
+    // small sequential ids and should still spread across shards.
+    return (ifunc_id * 0x9E3779B97F4A7C15ull >> 32) % shards_.size();
+  }
+
   std::size_t capacity_;
-  std::uint64_t tick_ = 0;
-  std::unordered_map<std::uint64_t, CachedIfunc> entries_;
-  Stats stats_;
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::size_t> size_{0};
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::int64_t> total_compile_ns_{0};
 };
 
 }  // namespace tc::jit

@@ -1,6 +1,8 @@
 #include "xrdma/dapc.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <thread>
 
 #include "common/log.hpp"
 #if TC_WITH_LLVM
@@ -24,18 +26,27 @@ const char* chase_mode_name(ChaseMode mode) {
 
 DapcDriver::~DapcDriver() {
   // Detach everything this driver hung on the shared cluster: the result
-  // handler's lambda captures this driver, and stale replies still queued
+  // handlers' lambdas capture this driver, and stale replies still queued
   // in the fabric (e.g. after a mid-run failure) must not dispatch into a
   // destroyed object.
-  if (mode_ == ChaseMode::kActiveMessage) {
-    if (cluster_->has_am_runtimes()) {
-      cluster_->am_runtime(cluster_->client_node()).set_result_handler({});
-    }
-  } else if (mode_ != ChaseMode::kGet && cluster_->has_ifunc_runtimes()) {
-    cluster_->client_runtime().set_result_handler({});
-  }
+  detach_result_handlers();
   if (batch_overridden_) {
-    cluster_->client_runtime().set_batch_options(saved_batch_);
+    for (const Initiator& init : initiators_) {
+      cluster_->runtime(init.node).set_batch_options(
+          saved_batch_[init.index]);
+    }
+  }
+}
+
+void DapcDriver::detach_result_handlers() {
+  for (const Initiator& init : initiators_) {
+    if (mode_ == ChaseMode::kActiveMessage) {
+      if (cluster_->has_am_runtimes()) {
+        cluster_->am_runtime(init.node).set_result_handler({});
+      }
+    } else if (mode_ != ChaseMode::kGet && cluster_->has_ifunc_runtimes()) {
+      cluster_->runtime(init.node).set_result_handler({});
+    }
   }
 }
 
@@ -47,8 +58,18 @@ StatusOr<std::unique_ptr<DapcDriver>> DapcDriver::create(
   if (config.window == 0) {
     return invalid_argument("DAPC: window must be at least 1");
   }
+  if (config.initiators == 0) {
+    return invalid_argument("DAPC: initiators must be at least 1");
+  }
+  if (config.initiators > cluster.client_nodes().size()) {
+    return invalid_argument(
+        "DAPC: " + std::to_string(config.initiators) +
+        " initiators but the cluster has only " +
+        std::to_string(cluster.client_nodes().size()) + " client node(s)");
+  }
   auto driver = std::unique_ptr<DapcDriver>(
       new DapcDriver(cluster, mode, config));
+  driver->alive_token_ = std::make_shared<DapcDriver*>(driver.get());
   TC_RETURN_IF_ERROR(driver->setup());
   return driver;
 }
@@ -59,6 +80,12 @@ Status DapcDriver::setup() {
   table_config.shard_count = cluster_->server_nodes().size();
   table_config.seed = config_.seed;
   TC_ASSIGN_OR_RETURN(table_, DistributedPointerTable::build(table_config));
+
+  initiators_.resize(config_.initiators);
+  for (std::size_t i = 0; i < config_.initiators; ++i) {
+    initiators_[i].index = i;
+    initiators_[i].node = cluster_->client_nodes()[i];
+  }
 
   const auto& servers = cluster_->server_nodes();
   switch (mode_) {
@@ -76,36 +103,45 @@ Status DapcDriver::setup() {
       // Window > 1 deploys the *tagged* chaser variant, whose replies
       // carry the routing tag for out-of-order completion.
       const bool tagged = config_.window > 1;
-      StatusOr<core::IfuncLibrary> library_or =
+      // Every initiator runtime registers its own copy of the library; the
+      // wire identity (content hash) is common, so server-side caching is
+      // shared across initiators exactly as with one sender.
+      for (const Initiator& init : initiators_) {
+        StatusOr<core::IfuncLibrary> library_or =
 #if TC_WITH_LLVM
-          mode_ == ChaseMode::kHllDrivesC
-              ? hll::build_library(ir::KernelKind::kChaser,
-                                   /*drive_with_c=*/true, tagged)
-              : build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode,
-                                     tagged);
+            mode_ == ChaseMode::kHllDrivesC
+                ? hll::build_library(ir::KernelKind::kChaser,
+                                     /*drive_with_c=*/true, tagged)
+                : build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode,
+                                       tagged);
 #else
-          build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode,
-                               tagged);
+            build_chaser_library(repr, mode_ == ChaseMode::kHllBitcode,
+                                 tagged);
 #endif
-      if (!library_or.is_ok()) return library_or.status();
-      core::IfuncLibrary library = std::move(library_or).value();
-      TC_ASSIGN_OR_RETURN(
-          chaser_ifunc_id_,
-          cluster_->client_runtime().register_ifunc(std::move(library)));
+        if (!library_or.is_ok()) return library_or.status();
+        core::IfuncLibrary library = std::move(library_or).value();
+        TC_ASSIGN_OR_RETURN(
+            chaser_ifunc_id_,
+            cluster_->runtime(init.node).register_ifunc(std::move(library)));
+      }
       for (std::size_t i = 0; i < servers.size(); ++i) {
         auto& shard = table_.shard(i);
         cluster_->runtime(servers[i]).set_shard(shard.data(), shard.size());
       }
       if (config_.window > 1 && config_.batch_frames > 1) {
-        // Pipelined issue: back-to-back frames from the initiator destined
-        // for the same server coalesce into batched wire messages. The
-        // previous options are restored when this driver is destroyed.
-        saved_batch_ = cluster_->client_runtime().batch_options();
+        // Pipelined issue: back-to-back frames from an initiator destined
+        // for the same server coalesce into batched wire messages. Each
+        // runtime's previous options are restored when this driver is
+        // destroyed.
         batch_overridden_ = true;
         core::BatchOptions batch;
         batch.max_frames = config_.batch_frames;
         batch.flush_ns = config_.batch_flush_ns;
-        cluster_->client_runtime().set_batch_options(batch);
+        for (const Initiator& init : initiators_) {
+          saved_batch_.push_back(
+              cluster_->runtime(init.node).batch_options());
+          cluster_->runtime(init.node).set_batch_options(batch);
+        }
       }
       break;
     }
@@ -114,7 +150,7 @@ Status DapcDriver::setup() {
         return failed_precondition("cluster built without AM runtimes");
       }
       // Predeployment: the handler is registered on every node, same index.
-      const std::size_t node_count = cluster_->fabric().node_count();
+      const std::size_t node_count = cluster_->node_count();
       for (fabric::NodeId node = 0; node < node_count; ++node) {
         TC_ASSIGN_OR_RETURN(
             am_handler_index_,
@@ -134,8 +170,9 @@ Status DapcDriver::setup() {
         auto& shard = table_.shard(i);
         TC_ASSIGN_OR_RETURN(
             fabric::MemRegion region,
-            cluster_->fabric().node(servers[i]).memory.register_memory(
-                shard.data(), shard.size() * sizeof(std::uint64_t)));
+            cluster_->transport().register_window(
+                servers[i], shard.data(),
+                shard.size() * sizeof(std::uint64_t)));
         shard_regions_.push_back(region);
       }
       break;
@@ -147,13 +184,18 @@ Status DapcDriver::setup() {
 StatusOr<DapcResult> DapcDriver::run() {
   // Deterministic workload: the same starts in warmup and timed runs, so the
   // warmup walks exactly the paths whose code/caches the timed run needs.
-  Xoshiro256 rng(config_.seed ^ 0x5eedull);
-  starts_.clear();
-  expected_.clear();
-  for (std::uint64_t i = 0; i < config_.chases; ++i) {
-    const std::uint64_t start = rng.below(table_.total_entries());
-    starts_.push_back(start);
-    expected_.push_back(table_.chase_expected(start, config_.depth));
+  // Initiator 0 draws the classic sequence (bit-for-bit with the
+  // single-initiator driver); further initiators perturb the stream seed.
+  for (Initiator& init : initiators_) {
+    Xoshiro256 rng(config_.seed ^ 0x5eedull ^
+                   (0x9E3779B97F4A7C15ull * init.index));
+    init.starts.clear();
+    init.expected.clear();
+    for (std::uint64_t i = 0; i < config_.chases; ++i) {
+      const std::uint64_t start = rng.below(table_.total_entries());
+      init.starts.push_back(start);
+      init.expected.push_back(table_.chase_expected(start, config_.depth));
+    }
   }
 
   if (config_.warmup) {
@@ -165,87 +207,136 @@ StatusOr<DapcResult> DapcDriver::run() {
   return run_batch();
 }
 
-StatusOr<DapcResult> DapcDriver::run_batch() {
-  values_.assign(config_.chases, 0);
-  next_chase_ = 0;
-  completed_ = 0;
-  failed_ = false;
-
-  fabric::Fabric& fabric = cluster_->fabric();
-  const fabric::NodeId client = cluster_->client_node();
-
+void DapcDriver::install_result_handler(Initiator& init) {
   // Route results: record the value, then refill the window. With window
   // == 1 this is the paper's sequential rate measurement; with window > 1
   // replies are tagged so out-of-order completions route to their chase.
-  auto on_result = [this](ByteSpan data, fabric::NodeId) {
+  Initiator* state = &init;
+  auto on_result = [this, state](ByteSpan data, fabric::NodeId) {
     auto reply_or = decode_chase_reply(data);
     if (!reply_or.is_ok()) {
-      failed_ = true;
+      state->failed = true;
       return;
     }
     if (config_.window > 1) {
       if (!reply_or->tagged || reply_or->tag >= config_.chases) {
-        failed_ = true;
+        state->failed = true;
         return;
       }
-      on_chase_complete(reply_or->tag, reply_or->value);
+      on_chase_complete(*state, reply_or->tag, reply_or->value);
     } else {
       if (reply_or->tagged) {
-        failed_ = true;
+        state->failed = true;
         return;
       }
-      on_chase_complete(completed_, reply_or->value);
+      on_chase_complete(*state, state->completed, reply_or->value);
     }
   };
   if (mode_ == ChaseMode::kActiveMessage) {
-    cluster_->am_runtime(client).set_result_handler(on_result);
+    cluster_->am_runtime(init.node).set_result_handler(on_result);
   } else if (mode_ != ChaseMode::kGet) {
-    cluster_->client_runtime().set_result_handler(on_result);
+    cluster_->runtime(init.node).set_result_handler(on_result);
+  }
+}
+
+StatusOr<DapcResult> DapcDriver::run_batch() {
+  for (Initiator& init : initiators_) {
+    init.values.assign(config_.chases, 0);
+    init.next_chase = 0;
+    init.completed = 0;
+    init.failed = false;
+    install_result_handler(init);
   }
 
   const std::uint64_t initial =
       std::min<std::uint64_t>(config_.window, config_.chases);
-  const auto t0 = fabric.now();
-  for (std::uint64_t i = 0; i < initial; ++i) {
-    TC_RETURN_IF_ERROR(issue_chase(i));
+  fabric::Transport& transport = cluster_->transport();
+  const auto t0 = transport.now_ns();
+
+  if (cluster_->backend() == hetsim::Backend::kSim) {
+    // Deterministic interleaving: all initiators issue into one virtual
+    // timeline and a single event loop drains it. next_chase is set
+    // *before* issuing so a completion delivered mid-issue (possible on
+    // backpressure-driven progress) refills from the right index.
+    for (Initiator& init : initiators_) {
+      init.next_chase = initial;
+      for (std::uint64_t i = 0; i < initial; ++i) {
+        TC_RETURN_IF_ERROR(issue_chase(init, i));
+      }
+    }
+    Status run_status = transport.run_until(cluster_->client_node(), [this] {
+      for (const Initiator& init : initiators_) {
+        if (init.failed) return true;
+        if (init.completed != config_.chases) return false;
+      }
+      return true;
+    });
+    if (!run_status.is_ok()) return run_status;
+  } else {
+    // Real concurrency: one OS thread per initiator drives its own client
+    // node — issuing, progressing and completing entirely on that thread.
+    std::vector<std::thread> threads;
+    std::vector<Status> thread_status(initiators_.size(), Status::ok());
+    for (std::size_t i = 0; i < initiators_.size(); ++i) {
+      threads.emplace_back([this, i, initial, &transport, &thread_status] {
+        Initiator& init = initiators_[i];
+        init.next_chase = initial;
+        for (std::uint64_t c = 0; c < initial; ++c) {
+          Status status = issue_chase(init, c);
+          if (!status.is_ok()) {
+            thread_status[i] = std::move(status);
+            init.failed = true;
+            return;
+          }
+        }
+        thread_status[i] = transport.run_until(init.node, [this, &init] {
+          return init.failed || init.completed == config_.chases;
+        });
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (Status& status : thread_status) {
+      if (!status.is_ok()) return std::move(status);
+    }
   }
-  next_chase_ = initial;
-  Status run_status = fabric.run_until(
-      [this] { return failed_ || completed_ == config_.chases; });
-  if (!run_status.is_ok()) return run_status;
-  if (failed_) return internal_error("DAPC chase failed mid-run");
-  const auto elapsed = fabric.now() - t0;
+  const auto elapsed = transport.now_ns() - t0;
 
   DapcResult result;
-  result.completed = completed_;
+  result.wall_clock = !transport.deterministic();
   result.virtual_ns = elapsed;
-  result.values = values_;
-  for (std::uint64_t i = 0; i < config_.chases; ++i) {
-    if (values_[i] == expected_[i]) ++result.correct;
+  for (const Initiator& init : initiators_) {
+    if (init.failed) return internal_error("DAPC chase failed mid-run");
+    result.completed += init.completed;
+    for (std::uint64_t i = 0; i < config_.chases; ++i) {
+      if (init.values[i] == init.expected[i]) ++result.correct;
+      result.values.push_back(init.values[i]);
+    }
   }
   result.chases_per_second =
-      elapsed > 0 ? static_cast<double>(completed_) * 1e9 /
+      elapsed > 0 ? static_cast<double>(result.completed) * 1e9 /
                         static_cast<double>(elapsed)
                   : 0.0;
   return result;
 }
 
-void DapcDriver::on_chase_complete(std::uint64_t index, std::uint64_t value) {
-  values_[index] = value;
-  ++completed_;
-  if (next_chase_ < config_.chases) {
-    Status status = issue_chase(next_chase_++);
-    if (!status.is_ok()) failed_ = true;
+void DapcDriver::on_chase_complete(Initiator& init, std::uint64_t index,
+                                   std::uint64_t value) {
+  init.values[index] = value;
+  ++init.completed;
+  if (init.next_chase < config_.chases) {
+    Status status = issue_chase(init, init.next_chase++);
+    if (!status.is_ok()) init.failed = true;
   }
 }
 
-Status DapcDriver::issue_chase(std::uint64_t index) {
-  const std::uint64_t start = starts_[index];
+Status DapcDriver::issue_chase(Initiator& init, std::uint64_t index) {
+  const std::uint64_t start = init.starts[index];
   const std::uint64_t owner = table_.owner_of(start);
   const fabric::NodeId dst = cluster_->server_nodes()[owner];
   const ChaseRequest request{start, config_.depth};
   // Pipelined windows carry the chase index as the routing tag; the
-  // classic window keeps the paper's 16-byte payload byte-for-byte.
+  // classic window keeps the paper's 16-byte payload byte-for-byte. Tags
+  // are initiator-local: each initiator's replies return to its own node.
   auto payload = [&] {
     return config_.window > 1 ? encode_tagged_chase_payload(request, index)
                               : encode_chase_payload(request);
@@ -257,18 +348,18 @@ Status DapcDriver::issue_chase(std::uint64_t index) {
     case ChaseMode::kInterpreted:
     case ChaseMode::kHllBitcode:
     case ChaseMode::kHllDrivesC:
-      return cluster_->client_runtime().send_ifunc(dst, chaser_ifunc_id_,
-                                                   as_span(payload()));
+      return cluster_->runtime(init.node).send_ifunc(dst, chaser_ifunc_id_,
+                                                     as_span(payload()));
     case ChaseMode::kActiveMessage:
-      return cluster_->am_runtime(cluster_->client_node())
+      return cluster_->am_runtime(init.node)
           .send(dst, am_handler_index_, as_span(payload()));
     case ChaseMode::kGet:
-      return issue_get_step(index, start, config_.depth);
+      return issue_get_step(init, index, start, config_.depth);
   }
   return internal_error("unreachable");
 }
 
-Status DapcDriver::issue_get_step(std::uint64_t chase_index,
+Status DapcDriver::issue_get_step(Initiator& init, std::uint64_t chase_index,
                                   std::uint64_t address,
                                   std::uint64_t depth_left) {
   // GBPC: the client walks the chain itself, one RDMA GET per step (paper
@@ -281,22 +372,31 @@ Status DapcDriver::issue_get_step(std::uint64_t chase_index,
   fabric::RemoteAddr remote{server, shard_regions_[owner].rkey,
                             slot * sizeof(std::uint64_t)};
 
-  auto& runtime = cluster_->client_runtime();
-  runtime.endpoint(server).get(
-      remote, sizeof(std::uint64_t),
-      [this, chase_index, depth_left](StatusOr<Bytes> data) {
+  // Stale completions (stashed in the transport or queued as sim events
+  // past a mid-run failure) must not dispatch into a destroyed driver:
+  // resolve the initiator through the weak liveness token, by index.
+  const std::size_t init_index = init.index;
+  cluster_->transport().post_get(
+      init.node, remote, sizeof(std::uint64_t),
+      [alive = std::weak_ptr<DapcDriver*>(alive_token_), init_index,
+       chase_index, depth_left](StatusOr<Bytes> data) {
+        auto token = alive.lock();
+        if (!token) return;
+        DapcDriver& self = **token;
+        Initiator& state = self.initiators_[init_index];
         if (!data.is_ok() || data->size() != sizeof(std::uint64_t)) {
-          failed_ = true;
+          state.failed = true;
           return;
         }
         std::uint64_t value = 0;
         std::memcpy(&value, data->data(), sizeof(value));
         if (depth_left == 1) {
-          on_chase_complete(chase_index, value);
+          self.on_chase_complete(state, chase_index, value);
           return;
         }
-        if (!issue_get_step(chase_index, value, depth_left - 1).is_ok()) {
-          failed_ = true;
+        if (!self.issue_get_step(state, chase_index, value, depth_left - 1)
+                 .is_ok()) {
+          state.failed = true;
         }
       });
   return Status::ok();

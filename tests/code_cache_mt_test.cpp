@@ -1,0 +1,152 @@
+// Concurrency coverage for the sharded jit::CodeCache: lookups, inserts and
+// tier promotions racing across threads, plus LRU-eviction correctness when
+// a bounded cache is hammered from many threads at once. Runs under the CI
+// ThreadSanitizer job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "jit/code_cache.hpp"
+
+namespace tc::jit {
+namespace {
+
+TEST(CodeCacheSharding, SpreadsKeysAcrossShards) {
+  CodeCache cache;
+  EXPECT_EQ(cache.shard_count(), CodeCache::kDefaultShards);
+  for (std::uint64_t id = 1; id <= 64; ++id) {
+    ASSERT_TRUE(cache.insert(id, {}).is_ok());
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  for (std::uint64_t id = 1; id <= 64; ++id) {
+    EXPECT_NE(cache.find(id), nullptr);
+  }
+}
+
+TEST(CodeCacheSharding, GlobalLruSurvivesShardBoundaries) {
+  // Keys land on different shards; eviction must still pick the *global*
+  // least-recently-used entry, not a per-shard victim.
+  CodeCache cache(/*capacity=*/4);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(cache.insert(id, {}).is_ok());
+  }
+  // Freshen everything except 2.
+  ASSERT_NE(cache.find(1), nullptr);
+  ASSERT_NE(cache.find(3), nullptr);
+  ASSERT_NE(cache.find(4), nullptr);
+  std::uint64_t evicted = 0;
+  ASSERT_TRUE(cache.insert(5, {}, &evicted).is_ok());
+  EXPECT_EQ(evicted, 2u);
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(CodeCacheMt, ConcurrentInsertAndLookup) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 512;
+  CodeCache cache;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      const std::uint64_t base = static_cast<std::uint64_t>(t) * kPerThread;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        CachedIfunc entry;
+        entry.compile_stats.compile_ns = 10;
+        ASSERT_TRUE(cache.insert(base + i, entry).is_ok());
+        // Interleave lookups of our own and other threads' key ranges.
+        (void)cache.find(base + i);
+        (void)cache.find((base + i * 7) % (kThreads * kPerThread));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(cache.size(), kThreads * kPerThread);
+  for (std::uint64_t id = 0; id < kThreads * kPerThread; ++id) {
+    ASSERT_NE(cache.peek(id), nullptr) << "lost entry " << id;
+  }
+  EXPECT_EQ(cache.stats().total_compile_ns,
+            static_cast<std::int64_t>(kThreads * kPerThread * 10));
+}
+
+TEST(CodeCacheMt, ConcurrentPromotionsAreNotTorn) {
+  // Writers promote interpreter-tier entries in place (tier + entry pointer
+  // + invocation counts) while readers call through find(); every read must
+  // observe a coherent tier value.
+  constexpr std::uint64_t kEntries = 64;
+  CodeCache cache;
+  for (std::uint64_t id = 0; id < kEntries; ++id) {
+    CachedIfunc entry;
+    entry.tier = Tier::kInterpreted;
+    ASSERT_TRUE(cache.insert(id, entry).is_ok());
+  }
+  constexpr int kReaders = 4;
+  constexpr int kPasses = 200;
+  std::atomic<std::uint64_t> bad_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (std::uint64_t id = 0; id < kEntries; ++id) {
+          CachedIfunc* hit = cache.find(id);
+          if (hit == nullptr) {
+            bad_reads.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const Tier tier = hit->tier;
+          if (tier != Tier::kInterpreted && tier != Tier::kJit) {
+            bad_reads.fetch_add(1, std::memory_order_relaxed);
+          }
+          hit->invocations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // The promoter: flip every entry to the JIT tier, as Runtime::maybe_promote
+  // does once an ifunc crosses the invocation threshold.
+  for (std::uint64_t id = 0; id < kEntries; ++id) {
+    CachedIfunc* entry = cache.peek(id);
+    ASSERT_NE(entry, nullptr);
+    entry->tier = Tier::kJit;
+  }
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(bad_reads.load(), 0u);
+  for (std::uint64_t id = 0; id < kEntries; ++id) {
+    EXPECT_EQ(cache.peek(id)->tier, Tier::kJit);
+    EXPECT_EQ(cache.peek(id)->invocations, kReaders * kPasses);
+  }
+}
+
+TEST(CodeCacheMt, BoundedCacheKeepsCapacityUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 256;
+  constexpr std::size_t kCapacity = 32;
+  CodeCache cache(kCapacity);
+  std::atomic<std::uint64_t> inserted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::uint64_t base = static_cast<std::uint64_t>(t) * kPerThread;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        if (cache.insert(base + i, {}).is_ok()) {
+          inserted.fetch_add(1, std::memory_order_relaxed);
+        }
+        (void)cache.find(base + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Distinct keys: every insert must have succeeded, the cache must sit
+  // exactly at capacity, and the eviction count must balance the books.
+  EXPECT_EQ(inserted.load(), kThreads * kPerThread);
+  EXPECT_EQ(cache.size(), kCapacity);
+  EXPECT_EQ(cache.stats().evictions, kThreads * kPerThread - kCapacity);
+}
+
+}  // namespace
+}  // namespace tc::jit

@@ -263,6 +263,123 @@ TEST(DapcEquivalence, WindowedModesObserveIdenticalValues) {
   }
 }
 
+std::unique_ptr<hetsim::Cluster> small_shm_cluster(std::size_t servers,
+                                                   std::size_t clients = 1) {
+  hetsim::ClusterConfig config;
+  config.platform = hetsim::Platform::kThorXeon;
+  config.backend = hetsim::Backend::kShm;
+  config.server_count = servers;
+  config.client_count = clients;
+  auto cluster = hetsim::Cluster::create(config);
+  EXPECT_TRUE(cluster.is_ok());
+  return std::move(cluster).value();
+}
+
+TEST(DapcBackendEquivalence, EveryModeObservesIdenticalValuesOnShm) {
+  // The pluggable-transport acceptance property: all chase modes walk the
+  // identical address/value sequence whether the fabric is the calibrated
+  // virtual-time simulation or real threads over shared-memory rings.
+  for (ChaseMode mode : kAllModes) {
+    std::vector<std::uint64_t> reference;
+    {
+      auto sim_cluster = small_cluster(3);
+      auto driver = DapcDriver::create(*sim_cluster, mode, small_config());
+      ASSERT_TRUE(driver.is_ok()) << chase_mode_name(mode);
+      auto result = (*driver)->run();
+      ASSERT_TRUE(result.is_ok())
+          << chase_mode_name(mode) << ": " << result.status().to_string();
+      EXPECT_FALSE(result->wall_clock);
+      reference = result->values;
+    }
+    auto shm_cluster = small_shm_cluster(3);
+    auto driver = DapcDriver::create(*shm_cluster, mode, small_config());
+    ASSERT_TRUE(driver.is_ok()) << chase_mode_name(mode);
+    auto result = (*driver)->run();
+    ASSERT_TRUE(result.is_ok())
+        << chase_mode_name(mode) << ": " << result.status().to_string();
+    EXPECT_TRUE(result->wall_clock);
+    EXPECT_EQ(result->correct, result->completed) << chase_mode_name(mode);
+    EXPECT_EQ(result->values, reference) << chase_mode_name(mode);
+    EXPECT_GT(result->chases_per_second, 0.0) << chase_mode_name(mode);
+  }
+}
+
+TEST(DapcBackendEquivalence, MultiInitiatorWindowedMatchesAcrossBackends) {
+  // M = 2 initiators × W = 2 in-flight tagged chases: virtual-time
+  // interleaving and real concurrent client threads must converge on the
+  // same per-initiator value sequences.
+  DapcConfig config = small_config();
+  config.window = 2;
+  config.initiators = 2;
+  std::vector<std::uint64_t> reference;
+  {
+    hetsim::ClusterConfig sim_config;
+    sim_config.platform = hetsim::Platform::kThorXeon;
+    sim_config.server_count = 3;
+    sim_config.client_count = 2;
+    auto sim_cluster = hetsim::Cluster::create(sim_config);
+    ASSERT_TRUE(sim_cluster.is_ok());
+    auto driver = DapcDriver::create(**sim_cluster,
+                                     ChaseMode::kInterpreted, config);
+    ASSERT_TRUE(driver.is_ok()) << driver.status().to_string();
+    auto result = (*driver)->run();
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_EQ(result->completed, 2 * config.chases);
+    EXPECT_EQ(result->correct, result->completed);
+    reference = result->values;
+  }
+  auto shm_cluster = small_shm_cluster(3, /*clients=*/2);
+  auto driver =
+      DapcDriver::create(*shm_cluster, ChaseMode::kInterpreted, config);
+  ASSERT_TRUE(driver.is_ok()) << driver.status().to_string();
+  auto result = (*driver)->run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->completed, 2 * config.chases);
+  EXPECT_EQ(result->correct, result->completed);
+  EXPECT_EQ(result->values, reference);
+}
+
+TEST(DapcMultiInitiator, SimStaysDeterministicWithConcurrentInitiators) {
+  // M > 1 on the simulated backend interleaves in virtual time; two runs
+  // must agree on every value *and* on the virtual-time clock.
+  DapcConfig config = small_config();
+  config.initiators = 3;
+  config.window = 2;
+  std::vector<std::uint64_t> values;
+  std::int64_t virtual_ns = 0;
+  for (int round = 0; round < 2; ++round) {
+    hetsim::ClusterConfig cluster_config;
+    cluster_config.platform = hetsim::Platform::kThorXeon;
+    cluster_config.server_count = 2;
+    cluster_config.client_count = 3;
+    auto cluster = hetsim::Cluster::create(cluster_config);
+    ASSERT_TRUE(cluster.is_ok());
+    auto driver =
+        DapcDriver::create(**cluster, ChaseMode::kInterpreted, config);
+    ASSERT_TRUE(driver.is_ok());
+    auto result = (*driver)->run();
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_EQ(result->correct, result->completed);
+    if (round == 0) {
+      values = result->values;
+      virtual_ns = result->virtual_ns;
+    } else {
+      EXPECT_EQ(result->values, values);
+      EXPECT_EQ(result->virtual_ns, virtual_ns);
+    }
+  }
+}
+
+TEST(DapcMultiInitiator, RejectsMoreInitiatorsThanClientNodes) {
+  auto cluster = small_cluster(2);  // one client node
+  DapcConfig config = small_config();
+  config.initiators = 2;
+  auto driver =
+      DapcDriver::create(*cluster, ChaseMode::kInterpreted, config);
+  EXPECT_FALSE(driver.is_ok());
+  EXPECT_EQ(driver.status().code(), ErrorCode::kInvalidArgument);
+}
+
 class DapcShapeP : public ::testing::TestWithParam<
                        std::tuple<std::uint64_t, std::size_t>> {};
 

@@ -2,6 +2,12 @@
 # Regenerates the machine-readable perf trajectory at the repo root:
 #   BENCH_tsi.json  — Tables I-VI (TSI overhead + message rates)
 #   BENCH_dapc.json — Figures 5-12 + the async window sweep
+#   BENCH_shm.json  — fig_mt_scale: multi-initiator scaling on the sim
+#                     (virtual-time) and shm (real-threads wall-clock)
+#                     transport backends
+#
+# BENCH_tsi/BENCH_dapc virtual-time numbers are machine-independent;
+# BENCH_shm wall-clock rates depend on the host that ran them.
 #
 # Usage: tools/run_bench_json.sh <build-dir> [out-dir]
 # Honors TC_BENCH_FAST=1 for shrunk smoke sweeps (CI).
@@ -13,7 +19,8 @@ mkdir -p "$out_dir"
 
 tsi_json="$out_dir/BENCH_tsi.json"
 dapc_json="$out_dir/BENCH_dapc.json"
-rm -f "$tsi_json" "$dapc_json"
+shm_json="$out_dir/BENCH_shm.json"
+rm -f "$tsi_json" "$dapc_json" "$shm_json"
 
 for bench in table1_tsi_ookami table2_tsi_bf2 table3_tsi_xeon \
              table4_rates_ookami table5_rates_bf2 table6_rates_xeon; do
@@ -30,4 +37,7 @@ for bench in fig5_dapc_depth_thor_bf2 fig6_dapc_depth_ookami \
   echo "ran $bench"
 done
 
-echo "wrote $tsi_json and $dapc_json"
+"$build_dir/fig_mt_scale" --json "$shm_json" > /dev/null
+echo "ran fig_mt_scale"
+
+echo "wrote $tsi_json, $dapc_json and $shm_json"
