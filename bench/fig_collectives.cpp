@@ -1,0 +1,192 @@
+// Collective-suite latency sweep (beyond the paper): warm completion
+// latency of the ifunc-built collectives — broadcast, reduce(sum),
+// allreduce(sum) and the barrier — versus server count N, on both
+// transport backends and in all three code representations the kernels
+// travel as (fat bitcode, AOT objects, portable bytecode).
+//
+//  * sim — calibrated Thor-Xeon virtual time; deterministic, so one run
+//    per point is the exact answer.
+//  * shm — real progress threads, wall-clock on this host; each point is
+//    the median of three repetitions after a full warmup round (the same
+//    methodology as fig_mt_scale).
+//
+// Every measured call is warm: the first (untimed) round ships the kernel
+// code along every tree edge, the timed rounds ride truncated frames and
+// the per-node code caches — the steady state a long-running collective
+// workload lives in.
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "xrdma/collectives.hpp"
+
+using namespace tc;
+
+namespace {
+
+enum class Coll { kBroadcast, kReduce, kAllreduce, kBarrier };
+
+const char* coll_name(Coll coll) {
+  switch (coll) {
+    case Coll::kBroadcast: return "broadcast";
+    case Coll::kReduce: return "reduce_sum";
+    case Coll::kAllreduce: return "allreduce_sum";
+    case Coll::kBarrier: return "barrier";
+  }
+  return "unknown";
+}
+
+StatusOr<std::int64_t> run_once(xrdma::CollectiveEngine& engine, Coll coll,
+                                std::uint64_t round) {
+  StatusOr<xrdma::CollectiveResult> result = [&] {
+    switch (coll) {
+      case Coll::kBroadcast: return engine.broadcast(0xB000 + round);
+      case Coll::kReduce: return engine.reduce(xrdma::CollectiveOp::kSum);
+      case Coll::kAllreduce:
+        return engine.allreduce(xrdma::CollectiveOp::kSum);
+      case Coll::kBarrier: return engine.barrier();
+    }
+    return engine.barrier();
+  }();
+  TC_RETURN_IF_ERROR(result.status());
+  return result->elapsed_ns;
+}
+
+StatusOr<std::int64_t> measure(xrdma::CollectiveEngine& engine, Coll coll,
+                               bool wall_clock) {
+  // Warm round: ships code, compiles/decodes, touches every cache.
+  TC_ASSIGN_OR_RETURN(std::int64_t warm, run_once(engine, coll, 0));
+  if (!wall_clock) return run_once(engine, coll, 1);  // deterministic
+  (void)warm;
+  std::vector<std::int64_t> laps;
+  for (std::uint64_t rep = 1; rep <= 3; ++rep) {
+    TC_ASSIGN_OR_RETURN(std::int64_t ns, run_once(engine, coll, rep));
+    laps.push_back(ns);
+  }
+  std::sort(laps.begin(), laps.end());
+  return laps[laps.size() / 2];  // median-of-3 against scheduler noise
+}
+
+struct Series {
+  std::string mode;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> points;  // (N, ns)
+};
+
+std::string series_json(const char* bench, const char* platform,
+                        const std::vector<Series>& series) {
+  std::string out = std::string("{\"bench\":\"") + bench +
+                    "\",\"platform\":\"" + platform +
+                    "\",\"x\":\"servers\",\"unit\":\"latency_ns\","
+                    "\"series\":[";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    if (s != 0) out += ",";
+    out += "{\"mode\":\"" + series[s].mode + "\",\"points\":[";
+    for (std::size_t i = 0; i < series[s].points.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"x\":" + std::to_string(series[s].points[i].first) +
+             ",\"latency_ns\":" +
+             std::to_string(series[s].points[i].second) + "}";
+    }
+    out += "]}";
+  }
+  return out + "]}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = bench::json_path_from_args(argc, argv);
+  const bool fast = bench::fast_mode();
+  const std::vector<std::size_t> server_counts =
+      fast ? std::vector<std::size_t>{2, 4, 8}
+           : std::vector<std::size_t>{2, 4, 8, 16, 32};
+  const std::vector<xrdma::CollectiveRepr> reprs = {
+      xrdma::CollectiveRepr::kPortable,
+      xrdma::CollectiveRepr::kBitcode,
+      xrdma::CollectiveRepr::kObject,
+  };
+  const std::vector<Coll> colls = {Coll::kBroadcast, Coll::kReduce,
+                                   Coll::kAllreduce, Coll::kBarrier};
+  const hetsim::Platform platform = hetsim::Platform::kThorXeon;
+
+  for (hetsim::Backend backend :
+       {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+    const bool wall = backend == hetsim::Backend::kShm;
+    std::vector<Series> all;
+    for (xrdma::CollectiveRepr repr : reprs) {
+      for (Coll coll : colls) {
+        Series series;
+        series.mode = std::string(coll_name(coll)) + "_" +
+                      xrdma::collective_repr_name(repr);
+        all.push_back(series);
+      }
+    }
+    for (std::size_t n : server_counts) {
+      hetsim::ClusterConfig cluster_config;
+      cluster_config.platform = platform;
+      cluster_config.backend = backend;
+      cluster_config.server_count = n;
+      auto cluster = hetsim::Cluster::create(cluster_config);
+      if (!cluster.is_ok()) {
+        std::fprintf(stderr, "cluster(%zu, %s) failed: %s\n", n,
+                     hetsim::backend_name(backend),
+                     cluster.status().to_string().c_str());
+        continue;
+      }
+      std::size_t series_index = 0;
+      for (xrdma::CollectiveRepr repr : reprs) {
+        xrdma::CollectiveConfig config;
+        config.repr = repr;
+        auto engine = xrdma::CollectiveEngine::create(**cluster, config);
+        if (!engine.is_ok()) {
+          std::fprintf(stderr, "engine(%s) failed: %s\n",
+                       xrdma::collective_repr_name(repr),
+                       engine.status().to_string().c_str());
+          series_index += colls.size();
+          continue;
+        }
+        for (std::size_t s = 0; s < n; ++s) {
+          (*engine)->set_contribution(s, 1000 + 17 * s);
+        }
+        for (Coll coll : colls) {
+          auto ns = measure(**engine, coll, wall);
+          if (ns.is_ok()) {
+            all[series_index].points.push_back({n, *ns});
+          } else {
+            std::fprintf(stderr, "%s N=%zu failed: %s\n",
+                         all[series_index].mode.c_str(), n,
+                         ns.status().to_string().c_str());
+          }
+          ++series_index;
+        }
+      }
+    }
+
+    std::printf("\nCollective latency vs N (%s backend, %s):\n",
+                hetsim::backend_name(backend),
+                wall ? "wall-clock on this host"
+                     : "calibrated Thor-Xeon virtual time");
+    std::printf("%10s", "N");
+    for (const Series& s : all) std::printf("  %24s", s.mode.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < server_counts.size(); ++i) {
+      const std::size_t n = server_counts[i];
+      std::printf("%10zu", n);
+      for (const Series& s : all) {
+        double us = -1.0;
+        for (const auto& [x, ns] : s.points) {
+          if (x == n) us = static_cast<double>(ns) * 1e-3;
+        }
+        std::printf("  %22.1fus", us);
+      }
+      std::printf("\n");
+    }
+
+    const std::string bench_name =
+        std::string("fig_collectives_") + hetsim::backend_name(backend);
+    bench::append_json(json,
+                       series_json(bench_name.c_str(),
+                                   hetsim::platform_name(platform), all));
+  }
+  return 0;
+}

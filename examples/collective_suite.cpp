@@ -1,0 +1,107 @@
+// The collective suite in one sitting: broadcast, reduce, allreduce and a
+// barrier — each a self-propagating ifunc whose algorithm travels inside
+// the message — run back to back on BOTH fabric backends: the calibrated
+// deterministic simulation (virtual-time results) and the real-threads
+// shared-memory transport (wall-clock results, one progress thread per
+// DPU). Same kernels, same protocol, same caches; only the fabric under
+// them changes.
+//
+// Run: ./collective_suite [servers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "xrdma/collectives.hpp"
+
+using namespace tc;
+
+namespace {
+
+int run_backend(hetsim::Backend backend, std::size_t servers) {
+  hetsim::ClusterConfig config;
+  config.platform = hetsim::Platform::kThorBF2;
+  config.backend = backend;
+  config.server_count = servers;
+  auto cluster = hetsim::Cluster::create(config);
+  if (!cluster.is_ok()) {
+    std::fprintf(stderr, "%s\n", cluster.status().to_string().c_str());
+    return 1;
+  }
+  auto engine = xrdma::CollectiveEngine::create(**cluster);
+  if (!engine.is_ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().to_string().c_str());
+    return 1;
+  }
+
+  const char* unit =
+      backend == hetsim::Backend::kSim ? "us virtual" : "us wall";
+  std::printf("--- %s backend (%zu DPUs) ---\n",
+              hetsim::backend_name(backend), servers);
+
+  // Broadcast: one injected function covers every DPU in O(log N) hops.
+  auto bcast = (*engine)->broadcast(0xBEEF);
+  if (!bcast.is_ok()) return 1;
+  std::printf("broadcast : delivered %llu/%zu in %8.1f %s "
+              "(%llu full frames, %llu truncated)\n",
+              static_cast<unsigned long long>(bcast->delivered), servers,
+              static_cast<double>(bcast->elapsed_ns) * 1e-3, unit,
+              static_cast<unsigned long long>(bcast->frames_full),
+              static_cast<unsigned long long>(bcast->frames_truncated));
+
+  // Reduce: every DPU contributes; partials fold up the same tree.
+  std::uint64_t expected = 0;
+  for (std::size_t s = 0; s < servers; ++s) {
+    (*engine)->set_contribution(s, (s + 1) * 11);
+    expected += (s + 1) * 11;
+  }
+  auto sum = (*engine)->reduce(xrdma::CollectiveOp::kSum);
+  if (!sum.is_ok()) return 1;
+  std::printf("reduce    : sum = %llu (expected %llu) in %8.1f %s\n",
+              static_cast<unsigned long long>(sum->value),
+              static_cast<unsigned long long>(expected),
+              static_cast<double>(sum->elapsed_ns) * 1e-3, unit);
+
+  // Allreduce: the folded total lands back on every DPU.
+  auto all = (*engine)->allreduce(xrdma::CollectiveOp::kMax);
+  if (!all.is_ok()) return 1;
+  std::printf("allreduce : max = %llu on all %llu DPUs in %8.1f %s\n",
+              static_cast<unsigned long long>(all->value),
+              static_cast<unsigned long long>(all->delivered),
+              static_cast<double>(all->elapsed_ns) * 1e-3, unit);
+
+  // Barrier: fan-in of one count per DPU, then a broadcast release.
+  auto barrier = (*engine)->barrier();
+  if (!barrier.is_ok()) return 1;
+  std::printf("barrier   : all %llu DPUs passed (seq %llu) in %8.1f %s\n\n",
+              static_cast<unsigned long long>(barrier->delivered),
+              static_cast<unsigned long long>(barrier->value),
+              static_cast<double>(barrier->elapsed_ns) * 1e-3, unit);
+
+  // Sanity: the barrier's release broadcast was the last value to land.
+  for (std::size_t s = 0; s < servers; ++s) {
+    if ((*engine)->broadcast_value(s) != barrier->value) {
+      std::fprintf(stderr, "verification failed on server %zu\n", s);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t servers =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+  std::printf("code-as-collective suite across %zu BF2 DPUs — the same "
+              "traveling kernels on two fabrics:\n\n",
+              servers);
+  if (int rc = run_backend(hetsim::Backend::kSim, servers); rc != 0) {
+    return rc;
+  }
+  if (int rc = run_backend(hetsim::Backend::kShm, servers); rc != 0) {
+    return rc;
+  }
+  std::printf("the first round on each backend shipped the kernels once "
+              "per tree edge;\nevery later collective rode truncated "
+              "frames and warm code caches.\n");
+  return 0;
+}

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -206,35 +207,38 @@ class Runtime {
   void ctx_hll_guard(ExecContext& ctx);
 
   // --- introspection -----------------------------------------------------------
+  /// Counters are atomic: on the shm backend they are bumped from server
+  /// progress threads while collective/bench drivers aggregate them from
+  /// initiator threads, so plain words would race (TSan-visibly).
   struct Stats {
-    std::uint64_t frames_sent_full = 0;
-    std::uint64_t frames_sent_truncated = 0;
-    std::uint64_t code_bytes_sent = 0;
-    std::uint64_t code_bytes_saved = 0;  ///< by truncation
-    std::uint64_t frames_received = 0;
-    std::uint64_t frames_executed = 0;
-    std::uint64_t auto_registered = 0;
-    std::uint64_t jit_compiles = 0;
-    std::uint64_t object_links = 0;
-    std::uint64_t forwards = 0;
-    std::uint64_t injects = 0;
-    std::uint64_t replies_sent = 0;
-    std::uint64_t results_received = 0;
-    std::uint64_t protocol_errors = 0;
-    std::uint64_t remote_writes = 0;
-    std::uint64_t nacks_sent = 0;
-    std::uint64_t nacks_received = 0;
-    std::uint64_t batches_sent = 0;        ///< coalesced wire messages out
-    std::uint64_t frames_coalesced = 0;    ///< frames shipped inside them
-    std::uint64_t batch_full_flushes = 0;  ///< batch reached max_frames
-    std::uint64_t batch_deadline_flushes = 0;  ///< flush_ns expired
-    std::uint64_t batches_received = 0;    ///< batch containers unpacked
-    std::uint64_t cache_evictions = 0;
-    std::uint64_t portable_loads = 0;      ///< portable programs decoded
-    std::uint64_t interp_executions = 0;   ///< invocations run interpreted
-    std::uint64_t interp_ops = 0;          ///< bytecode instructions retired
-    std::uint64_t tier_promotions = 0;     ///< interpreter -> JIT promotions
-    std::int64_t real_jit_ns_total = 0;  ///< measured, not virtual
+    std::atomic<std::uint64_t> frames_sent_full{0};
+    std::atomic<std::uint64_t> frames_sent_truncated{0};
+    std::atomic<std::uint64_t> code_bytes_sent{0};
+    std::atomic<std::uint64_t> code_bytes_saved{0};  ///< by truncation
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> frames_executed{0};
+    std::atomic<std::uint64_t> auto_registered{0};
+    std::atomic<std::uint64_t> jit_compiles{0};
+    std::atomic<std::uint64_t> object_links{0};
+    std::atomic<std::uint64_t> forwards{0};
+    std::atomic<std::uint64_t> injects{0};
+    std::atomic<std::uint64_t> replies_sent{0};
+    std::atomic<std::uint64_t> results_received{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> remote_writes{0};
+    std::atomic<std::uint64_t> nacks_sent{0};
+    std::atomic<std::uint64_t> nacks_received{0};
+    std::atomic<std::uint64_t> batches_sent{0};  ///< coalesced messages out
+    std::atomic<std::uint64_t> frames_coalesced{0};  ///< frames inside them
+    std::atomic<std::uint64_t> batch_full_flushes{0};  ///< hit max_frames
+    std::atomic<std::uint64_t> batch_deadline_flushes{0};  ///< flush_ns hit
+    std::atomic<std::uint64_t> batches_received{0};  ///< containers unpacked
+    std::atomic<std::uint64_t> cache_evictions{0};
+    std::atomic<std::uint64_t> portable_loads{0};  ///< programs decoded
+    std::atomic<std::uint64_t> interp_executions{0};  ///< interpreted runs
+    std::atomic<std::uint64_t> interp_ops{0};  ///< bytecode instrs retired
+    std::atomic<std::uint64_t> tier_promotions{0};  ///< interp -> JIT
+    std::atomic<std::int64_t> real_jit_ns_total{0};  ///< measured, not virtual
   };
   const Stats& stats() const { return stats_; }
   const jit::CodeCache& cache() const { return cache_; }

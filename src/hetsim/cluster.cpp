@@ -38,6 +38,15 @@ Cluster::~Cluster() {
   if (shm_ != nullptr) shm_->stop_progress_threads();
 }
 
+Status Cluster::drive_until(fabric::NodeId node,
+                            const std::function<bool()>& pred) {
+  return transport_->run_until(node, pred);
+}
+
+void Cluster::settle() {
+  if (backend_ == Backend::kSim) fabric_.run_until_idle();
+}
+
 fabric::Fabric& Cluster::fabric() {
   if (backend_ != Backend::kSim) {
     // Returning the empty fabric_ would surface as an out-of-bounds node

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -73,6 +74,18 @@ class Cluster {
 
   bool has_ifunc_runtimes() const { return !runtimes_.empty(); }
   bool has_am_runtimes() const { return !am_runtimes_.empty(); }
+
+  // --- backend-neutral completion hooks --------------------------------------
+  /// Drives the backend from `node`'s progress context until `pred()`
+  /// holds. On the simulated backend this is the global event loop (every
+  /// node advances in one virtual timeline); on shm the calling thread
+  /// becomes `node`'s progress context and spins it, so predicates over
+  /// state fed by that node's completions/results fire on this thread.
+  Status drive_until(fabric::NodeId node, const std::function<bool()>& pred);
+  /// Drains trailing simulated events (busy/no-op tails) so now_ns() reads
+  /// the completion horizon rather than the predicate-flip instant. No-op
+  /// on wall-clock backends — real time has already passed.
+  void settle();
 
  private:
   Cluster() = default;

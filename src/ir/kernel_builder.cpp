@@ -551,11 +551,256 @@ void emit_tree_broadcast(Emitter& e) {
   e.b.SetInsertPoint(done_bb);
   auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
   auto* slot = e.b.CreateBitCast(raw, e.i64p, "slot");
-  e.b.CreateStore(value, slot);
+  // Release-ordered slot stores: on the real-threads backend this node's
+  // progress thread publishes into a slot the initiator polls with acquire
+  // loads; the arrival count must not become visible before the value.
+  auto* value_store = e.b.CreateStore(value, slot);
+  value_store->setAtomic(llvm::AtomicOrdering::Release);
+  value_store->setAlignment(llvm::Align(8));
   auto* count_ptr = e.b.CreateConstInBoundsGEP1_64(e.i64, slot, 1);
   auto* count = e.b.CreateLoad(e.i64, count_ptr, "count");
-  e.b.CreateStore(
+  auto* count_store = e.b.CreateStore(
       e.b.CreateAdd(count, llvm::ConstantInt::get(e.i64, 1)), count_ptr);
+  count_store->setAtomic(llvm::AtomicOrdering::Release);
+  count_store->setAlignment(llvm::Align(8));
+  e.b.CreateRetVoid();
+}
+
+// Collective-suite broadcast. Payload: [base][span][value][lane][root],
+// all u64; base/span are tree positions relative to the root server, so
+// the peer owning a position is (position + root) % peer_count. The target
+// is an array of 64-byte collective cells indexed by lane ({value,
+// arrivals} at words 0/1); each leaf delivery acks [0][lane][value] to the
+// chain origin, which is how the initiator detects completion on the
+// wall-clock backend without polling remote memory.
+void emit_collective_broadcast(Emitter& e) {
+  e.begin_entry();
+  auto* base0 = e.load_payload_u64(0, "base0");
+  auto* span0 = e.load_payload_u64(1, "span0");
+  auto* count = e.b.CreateCall(e.hk_peer_count(), {e.arg_ctx}, "count");
+  auto* entry_bb = e.b.GetInsertBlock();
+
+  auto* loop_bb = e.block("split");
+  auto* fan_bb = e.block("fan");
+  auto* done_bb = e.block("done");
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(loop_bb);
+  auto* base = e.b.CreatePHI(e.i64, 2, "base");
+  auto* span = e.b.CreatePHI(e.i64, 2, "span");
+  base->addIncoming(base0, entry_bb);
+  span->addIncoming(span0, entry_bb);
+  auto* leaf = e.b.CreateICmpULE(
+      span, llvm::ConstantInt::get(e.i64, 1), "leaf");
+  e.b.CreateCondBr(leaf, done_bb, fan_bb);
+
+  e.b.SetInsertPoint(fan_bb);
+  e.guard();
+  auto* mid = e.b.CreateUDiv(
+      e.b.CreateAdd(span, llvm::ConstantInt::get(e.i64, 1)),
+      llvm::ConstantInt::get(e.i64, 2), "mid");
+  auto* right_base = e.b.CreateAdd(base, mid, "right_base");
+  auto* right_span = e.b.CreateSub(span, mid, "right_span");
+  e.store_payload_u64(0, right_base);
+  e.store_payload_u64(1, right_span);
+  auto* root = e.load_payload_u64(4, "root");
+  auto* dest = e.b.CreateURem(
+      e.b.CreateAdd(right_base, root), count, "dest");
+  e.b.CreateCall(e.hk_forward(),
+                 {e.arg_ctx, dest, e.arg_payload, e.arg_size});
+  base->addIncoming(base, fan_bb);
+  span->addIncoming(mid, fan_bb);
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(done_bb);
+  auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+  auto* lane = e.load_payload_u64(3, "lane");
+  auto* cell_off = e.b.CreateMul(
+      lane, llvm::ConstantInt::get(e.i64, 64), "cell_off");
+  auto* cell = e.b.CreateBitCast(
+      e.b.CreateInBoundsGEP(e.i8, raw, cell_off), e.i64p, "cell");
+  auto* value = e.load_payload_u64(2, "value");
+  // Release-ordered like emit_tree_broadcast: cells may be read by other
+  // threads (the value store must be visible before the arrival count).
+  auto* value_store = e.b.CreateStore(value, cell);
+  value_store->setAtomic(llvm::AtomicOrdering::Release);
+  value_store->setAlignment(llvm::Align(8));
+  auto* count_ptr = e.b.CreateConstInBoundsGEP1_64(e.i64, cell, 1);
+  auto* arrivals = e.b.CreateLoad(e.i64, count_ptr, "arrivals");
+  auto* count_store = e.b.CreateStore(
+      e.b.CreateAdd(arrivals, llvm::ConstantInt::get(e.i64, 1)), count_ptr);
+  count_store->setAtomic(llvm::AtomicOrdering::Release);
+  count_store->setAlignment(llvm::Align(8));
+  // Ack to origin: [kind=0][lane][value].
+  e.store_payload_u64(0, llvm::ConstantInt::get(e.i64, 0));
+  e.store_payload_u64(1, lane);
+  e.store_payload_u64(2, value);
+  e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
+                                llvm::ConstantInt::get(e.i64, 24)});
+  e.b.CreateRetVoid();
+}
+
+// Collective-suite reduction. One kernel, two message kinds (payload word
+// 0): fan-out [0][base][span][parent][lane][op][root] descends the halving
+// tree counting delegated children; contribute [1][lane][value] climbs the
+// tree folding partials (0 sum, 1 min, 2 max, 3 count) into the per-lane
+// cell {contrib@16, acc@24, expected@32, arrived@40, parent@48, op@56}
+// until the root (parent == ~0) replies [1][lane][acc] to the origin.
+void emit_collective_reduce(Emitter& e) {
+  e.begin_entry();
+  auto* kind = e.load_payload_u64(0, "kind");
+  auto* fanout_bb = e.block("fanout");
+  auto* contrib_bb = e.block("contribute");
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(kind, llvm::ConstantInt::get(e.i64, 0), "is_fanout"),
+      fanout_bb, contrib_bb);
+
+  auto cell_for_lane = [&e](llvm::Value* lane) {
+    auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+    auto* off = e.b.CreateMul(
+        lane, llvm::ConstantInt::get(e.i64, 64), "cell_off");
+    return e.b.CreateBitCast(
+        e.b.CreateInBoundsGEP(e.i8, raw, off), e.i64p, "cell");
+  };
+  auto cell_word = [&e](llvm::Value* cell, unsigned word) {
+    return e.b.CreateConstInBoundsGEP1_64(e.i64, cell, word);
+  };
+
+  // --- fan-out ---------------------------------------------------------------
+  e.b.SetInsertPoint(fanout_bb);
+  auto* base0 = e.load_payload_u64(1, "base0");
+  auto* span0 = e.load_payload_u64(2, "span0");
+  auto* parent = e.load_payload_u64(3, "parent");
+  auto* self = e.b.CreateCall(e.hk_self_peer(), {e.arg_ctx}, "self");
+  auto* count = e.b.CreateCall(e.hk_peer_count(), {e.arg_ctx}, "count");
+
+  auto* floop_bb = e.block("fan_split");
+  auto* fsplit_bb = e.block("fan_delegate");
+  auto* ffin_bb = e.block("fan_fin");
+  e.b.CreateBr(floop_bb);
+
+  e.b.SetInsertPoint(floop_bb);
+  auto* base = e.b.CreatePHI(e.i64, 2, "base");
+  auto* span = e.b.CreatePHI(e.i64, 2, "span");
+  auto* children = e.b.CreatePHI(e.i64, 2, "children");
+  base->addIncoming(base0, fanout_bb);
+  span->addIncoming(span0, fanout_bb);
+  children->addIncoming(llvm::ConstantInt::get(e.i64, 0), fanout_bb);
+  auto* at_leaf = e.b.CreateICmpULE(
+      span, llvm::ConstantInt::get(e.i64, 1), "at_leaf");
+  e.b.CreateCondBr(at_leaf, ffin_bb, fsplit_bb);
+
+  e.b.SetInsertPoint(fsplit_bb);
+  e.guard();
+  auto* mid = e.b.CreateUDiv(
+      e.b.CreateAdd(span, llvm::ConstantInt::get(e.i64, 1)),
+      llvm::ConstantInt::get(e.i64, 2), "mid");
+  auto* right_base = e.b.CreateAdd(base, mid, "right_base");
+  auto* right_span = e.b.CreateSub(span, mid, "right_span");
+  e.store_payload_u64(1, right_base);
+  e.store_payload_u64(2, right_span);
+  e.store_payload_u64(3, self);  // the child's parent is this node
+  auto* root = e.load_payload_u64(6, "root");
+  auto* dest = e.b.CreateURem(
+      e.b.CreateAdd(right_base, root), count, "dest");
+  e.b.CreateCall(e.hk_forward(),
+                 {e.arg_ctx, dest, e.arg_payload, e.arg_size});
+  base->addIncoming(base, fsplit_bb);
+  span->addIncoming(mid, fsplit_bb);
+  children->addIncoming(
+      e.b.CreateAdd(children, llvm::ConstantInt::get(e.i64, 1)), fsplit_bb);
+  e.b.CreateBr(floop_bb);
+
+  e.b.SetInsertPoint(ffin_bb);
+  auto* lane = e.load_payload_u64(4, "lane");
+  auto* cell = cell_for_lane(lane);
+  auto* op = e.load_payload_u64(5, "op");
+  auto* contrib = e.b.CreateLoad(e.i64, cell_word(cell, 2), "contrib");
+  // Own contribution: 1 for op kCount (3), the cell's contrib otherwise.
+  auto* own = e.b.CreateSelect(
+      e.b.CreateICmpEQ(op, llvm::ConstantInt::get(e.i64, 3), "is_count"),
+      llvm::ConstantInt::get(e.i64, 1), contrib, "own");
+  auto* internal_bb = e.block("fan_internal");
+  auto* leaf_bb = e.block("fan_leaf");
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(children, llvm::ConstantInt::get(e.i64, 0)),
+      leaf_bb, internal_bb);
+
+  e.b.SetInsertPoint(internal_bb);
+  e.b.CreateStore(own, cell_word(cell, 3));       // acc
+  e.b.CreateStore(children, cell_word(cell, 4));  // expected
+  e.b.CreateStore(llvm::ConstantInt::get(e.i64, 0), cell_word(cell, 5));
+  e.b.CreateStore(parent, cell_word(cell, 6));
+  e.b.CreateStore(op, cell_word(cell, 7));
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(leaf_bb);
+  // Childless: contribute [1][lane][own] to the parent — or reply to the
+  // origin when this leaf is also the root (N == 1).
+  e.store_payload_u64(0, llvm::ConstantInt::get(e.i64, 1));
+  e.store_payload_u64(1, lane);
+  e.store_payload_u64(2, own);
+  auto* lsend_bb = e.block("fan_leaf_send");
+  auto* lreply_bb = e.block("fan_leaf_reply");
+  auto* is_root = e.b.CreateICmpEQ(
+      parent, llvm::ConstantInt::get(e.i64, ~0ull), "is_root");
+  e.b.CreateCondBr(is_root, lreply_bb, lsend_bb);
+  e.b.SetInsertPoint(lsend_bb);
+  e.b.CreateCall(e.hk_forward(), {e.arg_ctx, parent, e.arg_payload,
+                                  llvm::ConstantInt::get(e.i64, 24)});
+  e.b.CreateRetVoid();
+  e.b.SetInsertPoint(lreply_bb);
+  e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
+                                llvm::ConstantInt::get(e.i64, 24)});
+  e.b.CreateRetVoid();
+
+  // --- contribute ------------------------------------------------------------
+  e.b.SetInsertPoint(contrib_bb);
+  auto* clane = e.load_payload_u64(1, "clane");
+  auto* ccell = cell_for_lane(clane);
+  e.guard();
+  auto* v = e.load_payload_u64(2, "v");
+  auto* cop = e.b.CreateLoad(e.i64, cell_word(ccell, 7), "cop");
+  auto* acc = e.b.CreateLoad(e.i64, cell_word(ccell, 3), "acc");
+  auto* lt = e.b.CreateICmpULT(acc, v, "acc_lt_v");
+  auto* minv = e.b.CreateSelect(lt, acc, v, "minv");
+  auto* maxv = e.b.CreateSelect(lt, v, acc, "maxv");
+  auto* sum = e.b.CreateAdd(acc, v, "sum");
+  auto* folded = e.b.CreateSelect(
+      e.b.CreateICmpEQ(cop, llvm::ConstantInt::get(e.i64, 1)), minv,
+      e.b.CreateSelect(
+          e.b.CreateICmpEQ(cop, llvm::ConstantInt::get(e.i64, 2)), maxv,
+          sum),
+      "folded");
+  e.b.CreateStore(folded, cell_word(ccell, 3));
+  auto* arrived = e.b.CreateAdd(
+      e.b.CreateLoad(e.i64, cell_word(ccell, 5), "arrived0"),
+      llvm::ConstantInt::get(e.i64, 1), "arrived");
+  e.b.CreateStore(arrived, cell_word(ccell, 5));
+  auto* expected = e.b.CreateLoad(e.i64, cell_word(ccell, 4), "expected");
+  auto* climb_bb = e.block("climb");
+  auto* quiet_bb = e.block("quiet");
+  e.b.CreateCondBr(e.b.CreateICmpEQ(arrived, expected, "complete"),
+                   climb_bb, quiet_bb);
+
+  e.b.SetInsertPoint(climb_bb);
+  e.store_payload_u64(2, folded);
+  auto* cparent = e.b.CreateLoad(e.i64, cell_word(ccell, 6), "cparent");
+  auto* csend_bb = e.block("climb_send");
+  auto* creply_bb = e.block("climb_reply");
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(cparent, llvm::ConstantInt::get(e.i64, ~0ull)),
+      creply_bb, csend_bb);
+  e.b.SetInsertPoint(csend_bb);
+  e.b.CreateCall(e.hk_forward(), {e.arg_ctx, cparent, e.arg_payload,
+                                  llvm::ConstantInt::get(e.i64, 24)});
+  e.b.CreateRetVoid();
+  e.b.SetInsertPoint(creply_bb);
+  e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
+                                llvm::ConstantInt::get(e.i64, 24)});
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(quiet_bb);
   e.b.CreateRetVoid();
 }
 
@@ -584,6 +829,10 @@ StatusOr<std::unique_ptr<llvm::Module>> build_kernel(
     case KernelKind::kRemoteStore: emit_remote_store(e); break;
     case KernelKind::kStatsSummary: emit_stats_summary(e); break;
     case KernelKind::kTreeBroadcast: emit_tree_broadcast(e); break;
+    case KernelKind::kCollectiveBroadcast:
+      emit_collective_broadcast(e);
+      break;
+    case KernelKind::kCollectiveReduce: emit_collective_reduce(e); break;
   }
   TC_RETURN_IF_ERROR(verify_module(*module));
   return module;

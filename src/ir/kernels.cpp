@@ -15,6 +15,8 @@ const char* kernel_name(KernelKind kind) {
     case KernelKind::kRemoteStore: return "remote_store";
     case KernelKind::kStatsSummary: return "stats_summary";
     case KernelKind::kTreeBroadcast: return "tree_broadcast";
+    case KernelKind::kCollectiveBroadcast: return "coll_bcast";
+    case KernelKind::kCollectiveReduce: return "coll_reduce";
   }
   return "unknown";
 }
@@ -43,6 +45,10 @@ const char* kernel_description(KernelKind kind) {
       return "streaming Welford statistics over payload doubles";
     case KernelKind::kTreeBroadcast:
       return "self-propagating binomial-tree broadcast across peers";
+    case KernelKind::kCollectiveBroadcast:
+      return "lane-aware rooted broadcast with per-leaf origin acks";
+    case KernelKind::kCollectiveReduce:
+      return "binomial-tree reduction (sum/min/max/count) with root reply";
   }
   return "";
 }

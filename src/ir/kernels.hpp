@@ -43,6 +43,19 @@ enum class KernelKind {
   /// itself to the midpoint of the other half — an O(log N)-depth X-RDMA
   /// collective built purely from self-propagation.
   kTreeBroadcast,
+  /// Transport-generic broadcast of the collective suite: the same halving
+  /// tree as kTreeBroadcast, but lane-aware (concurrent collectives land in
+  /// per-lane cells), rooted anywhere (tree positions rotate around an
+  /// arbitrary root server), and *acked* — every leaf delivery replies to
+  /// the chain origin, so the initiator completes by draining its own
+  /// progress context instead of polling remote memory.
+  kCollectiveBroadcast,
+  /// Fan-in companion of the suite: one kernel carries both phases of a
+  /// binomial reduction. Fan-out messages descend the halving tree
+  /// recording each node's child count; contribute messages climb back up,
+  /// folding partial values (sum/min/max/count) into per-lane cells until
+  /// the root replies to the origin with the final value.
+  kCollectiveReduce,
 };
 
 /// Stable library name used for registration and wire identity.

@@ -36,6 +36,35 @@ inline std::uint8_t* mem_addr(std::uint64_t base, std::int32_t offset) {
       base + static_cast<std::uint64_t>(static_cast<std::int64_t>(offset)));
 }
 
+// On the real-threads backend interpreted ifuncs run on server progress
+// threads and publish results into application memory other threads poll
+// (e.g. broadcast slots). Real compiled code gets tear-free word accesses
+// from the hardware; give interpreted code the same guarantee: naturally
+// aligned word loads/stores are relaxed-width atomics with acquire/release
+// ordering (free on x86, a plain lda/stl pair on AArch64), so a poller
+// that acquires a flag word observes every store the ifunc made before
+// releasing it. Unaligned accesses (packed payload bytes, single-threaded
+// by the progress contract) keep the plain memcpy path.
+template <typename T>
+inline T load_word(const std::uint8_t* addr) {
+  if ((reinterpret_cast<std::uintptr_t>(addr) & (sizeof(T) - 1)) == 0) {
+    return __atomic_load_n(reinterpret_cast<const T*>(addr),
+                           __ATOMIC_ACQUIRE);
+  }
+  T v;
+  std::memcpy(&v, addr, sizeof(T));
+  return v;
+}
+
+template <typename T>
+inline void store_word(std::uint8_t* addr, T value) {
+  if ((reinterpret_cast<std::uintptr_t>(addr) & (sizeof(T) - 1)) == 0) {
+    __atomic_store_n(reinterpret_cast<T*>(addr), value, __ATOMIC_RELEASE);
+    return;
+  }
+  std::memcpy(addr, &value, sizeof(T));
+}
+
 }  // namespace
 
 StatusOr<InterpResult> execute(const Program& program, const HookTable& hooks,
@@ -116,26 +145,18 @@ StatusOr<InterpResult> execute(const Program& program, const HookTable& hooks,
         regs[in.a] = f32_bits(as_f32(regs[in.b]) * as_f32(regs[in.c]));
         break;
       case Opcode::kLd8: regs[in.a] = *mem_addr(regs[in.b], in.imm); break;
-      case Opcode::kLd32: {
-        std::uint32_t v;
-        std::memcpy(&v, mem_addr(regs[in.b], in.imm), sizeof(v));
-        regs[in.a] = v;
+      case Opcode::kLd32:
+        regs[in.a] = load_word<std::uint32_t>(mem_addr(regs[in.b], in.imm));
         break;
-      }
-      case Opcode::kLd64: {
-        std::uint64_t v;
-        std::memcpy(&v, mem_addr(regs[in.b], in.imm), sizeof(v));
-        regs[in.a] = v;
+      case Opcode::kLd64:
+        regs[in.a] = load_word<std::uint64_t>(mem_addr(regs[in.b], in.imm));
         break;
-      }
-      case Opcode::kSt32: {
-        const std::uint32_t v = static_cast<std::uint32_t>(regs[in.a]);
-        std::memcpy(mem_addr(regs[in.b], in.imm), &v, sizeof(v));
+      case Opcode::kSt32:
+        store_word<std::uint32_t>(mem_addr(regs[in.b], in.imm),
+                                  static_cast<std::uint32_t>(regs[in.a]));
         break;
-      }
       case Opcode::kSt64:
-        std::memcpy(mem_addr(regs[in.b], in.imm), &regs[in.a],
-                    sizeof(std::uint64_t));
+        store_word<std::uint64_t>(mem_addr(regs[in.b], in.imm), regs[in.a]);
         break;
       case Opcode::kBr: pc = static_cast<std::size_t>(in.imm); break;
       case Opcode::kBrz:

@@ -327,6 +327,219 @@ void lower_tree_broadcast(Assembler& a, const ir::KernelOptions& o) {
   a.ret();
 }
 
+// Collective-suite broadcast — emit_collective_broadcast().
+// Payload: [base:u64][span:u64][value:u64][lane:u64][root:u64]. base/span
+// are tree positions relative to the root; the actual peer of a position
+// is (position + root) % peer_count. The per-server target is an array of
+// 64-byte collective cells indexed by lane ({value, arrivals} at offsets
+// 0/8); after delivering locally, the leaf replies [0][lane][value] to the
+// chain origin so the initiator can complete by draining its own progress
+// context instead of polling remote memory.
+void lower_collective_broadcast(Assembler& a, const ir::KernelOptions& o) {
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.ld64(2, P, 0);   // base (tree position)
+  a.ld64(3, P, 8);   // span
+  a.li(10, 1);
+  a.li(11, 2);
+  a.hook(HookId::kPeerCount, 9);
+  a.bind(loop);
+  a.alu(Opcode::kCule, 5, 3, 10);  // leaf when span <= 1
+  a.brnz(5, done);
+  guard(a, o);
+  // mid = (span + 1) / 2: keep [base, base+mid), delegate the rest.
+  a.alu(Opcode::kAdd, 5, 3, 10);
+  a.alu(Opcode::kUdiv, 5, 5, 11);
+  a.alu(Opcode::kAdd, 6, 2, 5);    // right_base
+  a.alu(Opcode::kSub, 7, 3, 5);    // right_span
+  a.st64(6, P, 0);
+  a.st64(7, P, 8);
+  a.ld64(8, P, 32);                // root
+  a.alu(Opcode::kAdd, 8, 6, 8);
+  a.alu(Opcode::kUrem, 8, 8, 9);   // dest = (right_base + root) % count
+  a.mov(kArg0, 8);
+  a.mov(kArg1, P);
+  a.mov(kArg2, N);
+  a.hook(HookId::kForward, 8, kArg0);
+  a.mov(3, 5);                     // span = mid
+  a.br(loop);
+  a.bind(done);
+  a.hook(HookId::kTarget, 5);
+  a.ld64(6, P, 24);                // lane
+  a.li(7, 64);
+  a.alu(Opcode::kMul, 6, 6, 7);
+  a.alu(Opcode::kAdd, 5, 5, 6);    // cell = target + lane * 64
+  a.ld64(4, P, 16);                // value
+  a.st64(4, 5, 0);                 // cell.value
+  a.ld64(6, 5, 8);
+  a.alu(Opcode::kAdd, 6, 6, 10);
+  a.st64(6, 5, 8);                 // cell.arrivals += 1
+  // Ack to origin: [kind=0][lane][value].
+  a.ld64(6, P, 24);                // lane (offset 24 still untouched)
+  a.li(7, 0);
+  a.st64(7, P, 0);
+  a.st64(6, P, 8);
+  a.st64(4, P, 16);
+  a.mov(kArg1, P);
+  a.li(kArg2, 24);
+  a.hook(HookId::kReply, 8, kArg1);
+  a.ret();
+}
+
+// Collective-suite reduction — emit_collective_reduce(). One kernel, two
+// message kinds discriminated by payload word 0:
+//   fan-out    [0][base][span][parent][lane][op][root]  (56 bytes)
+//   contribute [1][lane][value]                         (24 bytes)
+// Fan-out descends the halving tree: every split forwards the lower half's
+// twin to its midpoint peer and counts a child; a node that delegated
+// children parks {acc = own value, expected, arrived = 0, parent, op} in
+// its per-lane cell, a childless leaf contributes straight to its parent.
+// Contributions fold into the cell (sum/min/max; count folds ones) and,
+// when the last child has reported, climb to the parent — or, at the root
+// (parent == ~0), reply [1][lane][acc] to the chain origin.
+void lower_collective_reduce(Assembler& a, const ir::KernelOptions& o) {
+  const auto contribute = a.make_label();
+  const auto floop = a.make_label();
+  const auto ffin = a.make_label();
+  const auto have_one = a.make_label();
+  const auto leaf = a.make_label();
+  const auto send_up = a.make_label();
+  const auto reply_out = a.make_label();
+  const auto cmin = a.make_label();
+  const auto cmax = a.make_label();
+  const auto fold = a.make_label();
+  const auto store = a.make_label();
+  const auto climb = a.make_label();
+  const auto quiet = a.make_label();
+
+  a.ld64(2, P, 0);                 // kind
+  a.brnz(2, contribute);
+
+  // --- fan-out ---------------------------------------------------------------
+  a.ld64(2, P, 8);                 // base (tree position)
+  a.ld64(3, P, 16);                // span
+  a.ld64(15, P, 24);               // parent (actual peer index, ~0 at root)
+  a.li(4, 0);                      // children
+  a.li(10, 1);
+  a.li(11, 2);
+  a.hook(HookId::kSelfPeer, 5);
+  a.hook(HookId::kPeerCount, 9);
+  a.bind(floop);
+  a.alu(Opcode::kCule, 6, 3, 10);  // leaf when span <= 1
+  a.brnz(6, ffin);
+  guard(a, o);
+  a.alu(Opcode::kAdd, 6, 3, 10);
+  a.alu(Opcode::kUdiv, 6, 6, 11);  // mid
+  a.alu(Opcode::kAdd, 7, 2, 6);    // right_base
+  a.alu(Opcode::kSub, 8, 3, 6);    // right_span
+  a.st64(7, P, 8);
+  a.st64(8, P, 16);
+  a.st64(5, P, 24);                // child's parent = self
+  a.ld64(8, P, 48);                // root
+  a.alu(Opcode::kAdd, 7, 7, 8);
+  a.alu(Opcode::kUrem, 7, 7, 9);   // dest = (right_base + root) % count
+  a.mov(kArg0, 7);
+  a.mov(kArg1, P);
+  a.mov(kArg2, N);
+  a.hook(HookId::kForward, 7, kArg0);
+  a.alu(Opcode::kAdd, 4, 4, 10);   // ++children
+  a.mov(3, 6);                     // span = mid
+  a.br(floop);
+  a.bind(ffin);
+  a.hook(HookId::kTarget, 5);
+  a.ld64(6, P, 32);                // lane
+  a.li(7, 64);
+  a.alu(Opcode::kMul, 6, 6, 7);
+  a.alu(Opcode::kAdd, 5, 5, 6);    // cell = target + lane * 64
+  // Own contribution: 1 for op kCount (3), cell.contrib otherwise.
+  a.ld64(7, P, 40);                // op
+  a.li(8, 3);
+  a.alu(Opcode::kCeq, 8, 7, 8);
+  a.li(6, 1);
+  a.brnz(8, have_one);
+  a.ld64(6, 5, 16);                // cell.contrib
+  a.bind(have_one);
+  a.brz(4, leaf);
+  // Internal node: park the partial state and wait for contributions.
+  a.st64(6, 5, 24);                // cell.acc = own value
+  a.st64(4, 5, 32);                // cell.expected = children
+  a.li(7, 0);
+  a.st64(7, 5, 40);                // cell.arrived = 0
+  a.st64(15, 5, 48);               // cell.parent
+  a.ld64(7, P, 40);
+  a.st64(7, 5, 56);                // cell.op
+  a.ret();
+  a.bind(leaf);
+  // Childless: contribute [1][lane][value] straight to the parent (or
+  // reply to the origin when this leaf is also the root: N == 1).
+  a.ld64(7, P, 32);                // lane (before rewriting words 0..2)
+  a.li(8, 1);
+  a.st64(8, P, 0);
+  a.st64(7, P, 8);
+  a.st64(6, P, 16);
+  a.alu(Opcode::kAdd, 8, 15, 10);  // parent + 1 == 0  <=>  root
+  a.brz(8, reply_out);
+  a.mov(kArg0, 15);
+  a.mov(kArg1, P);
+  a.li(kArg2, 24);
+  a.hook(HookId::kForward, 7, kArg0);
+  a.ret();
+  a.bind(reply_out);
+  a.mov(kArg1, P);
+  a.li(kArg2, 24);
+  a.hook(HookId::kReply, 7, kArg1);
+  a.ret();
+
+  // --- contribute ------------------------------------------------------------
+  a.bind(contribute);
+  a.hook(HookId::kTarget, 5);
+  a.ld64(6, P, 8);                 // lane
+  a.li(7, 64);
+  a.alu(Opcode::kMul, 6, 6, 7);
+  a.alu(Opcode::kAdd, 5, 5, 6);    // cell
+  guard(a, o);
+  a.li(10, 1);
+  a.ld64(6, P, 16);                // v
+  a.ld64(7, 5, 56);                // op
+  a.ld64(8, 5, 24);                // acc
+  a.alu(Opcode::kCeq, 3, 7, 10);   // op == kMin
+  a.brnz(3, cmin);
+  a.li(2, 2);
+  a.alu(Opcode::kCeq, 3, 7, 2);    // op == kMax
+  a.brnz(3, cmax);
+  a.bind(fold);
+  a.alu(Opcode::kAdd, 8, 8, 6);    // sum / count
+  a.br(store);
+  a.bind(cmin);
+  a.alu(Opcode::kCult, 3, 8, 6);   // acc < v: keep acc
+  a.brnz(3, store);
+  a.mov(8, 6);
+  a.br(store);
+  a.bind(cmax);
+  a.alu(Opcode::kCult, 3, 8, 6);   // acc < v: take v
+  a.brz(3, store);
+  a.mov(8, 6);
+  a.bind(store);
+  a.st64(8, 5, 24);                // cell.acc
+  a.ld64(6, 5, 40);
+  a.alu(Opcode::kAdd, 6, 6, 10);
+  a.st64(6, 5, 40);                // ++cell.arrived
+  a.ld64(7, 5, 32);                // cell.expected
+  a.alu(Opcode::kCeq, 7, 6, 7);
+  a.brz(7, quiet);
+  a.bind(climb);
+  a.st64(8, P, 16);                // payload value = folded acc
+  a.ld64(15, 5, 48);               // parent
+  a.alu(Opcode::kAdd, 2, 15, 10);
+  a.brz(2, reply_out);             // root: reply [1][lane][acc] to origin
+  a.mov(kArg0, 15);
+  a.mov(kArg1, P);
+  a.li(kArg2, 24);
+  a.hook(HookId::kForward, 3, kArg0);
+  a.bind(quiet);
+  a.ret();
+}
+
 }  // namespace
 
 StatusOr<Program> lower_kernel(ir::KernelKind kind,
@@ -347,6 +560,12 @@ StatusOr<Program> lower_kernel(ir::KernelKind kind,
       break;
     case ir::KernelKind::kTreeBroadcast:
       lower_tree_broadcast(a, options);
+      break;
+    case ir::KernelKind::kCollectiveBroadcast:
+      lower_collective_broadcast(a, options);
+      break;
+    case ir::KernelKind::kCollectiveReduce:
+      lower_collective_reduce(a, options);
       break;
   }
   return a.finish(kRegs);

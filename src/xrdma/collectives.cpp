@@ -1,10 +1,74 @@
 #include "xrdma/collectives.hpp"
 
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "ir/kernels.hpp"
+#if TC_WITH_LLVM
+#include "ir/kernel_builder.hpp"
+#include "jit/compiler.hpp"
+#endif
 
 namespace tc::xrdma {
+
+namespace {
+
+/// Builds a collective kernel library in the requested representation,
+/// mirroring build_chaser_library(): portable archives work in every build
+/// flavor, bitcode/object need LLVM. Names (and thus wire identities) are
+/// representation-distinct: `<kernel>`, `<kernel>_bin`, `<kernel>_vm`.
+StatusOr<core::IfuncLibrary> build_collective_library(ir::KernelKind kind,
+                                                      CollectiveRepr repr) {
+  if (repr == CollectiveRepr::kPortable) {
+    return core::IfuncLibrary::from_portable_kernel(kind);
+  }
+#if TC_WITH_LLVM
+  if (repr == CollectiveRepr::kBitcode) {
+    return core::IfuncLibrary::from_kernel(kind);
+  }
+  TC_ASSIGN_OR_RETURN(ir::FatBitcode archive,
+                      ir::build_default_fat_kernel(kind, {}));
+  TC_ASSIGN_OR_RETURN(archive, jit::compile_archive_to_objects(archive));
+  return core::IfuncLibrary::from_archive(
+      std::string(ir::kernel_name(kind)) + "_bin", std::move(archive));
+#else
+  return failed_precondition(
+      "bitcode/object collective libraries need LLVM (TC_WITH_LLVM=OFF); "
+      "use CollectiveRepr::kPortable");
+#endif
+}
+
+/// The registered name build_collective_library() will produce — computed
+/// up front so the reuse check costs a lookup, not an archive build.
+std::string collective_library_name(ir::KernelKind kind,
+                                    CollectiveRepr repr) {
+  switch (repr) {
+    case CollectiveRepr::kPortable: return core::portable_kernel_name(kind);
+    case CollectiveRepr::kObject:
+      return std::string(ir::kernel_name(kind)) + "_bin";
+    case CollectiveRepr::kBitcode: break;
+  }
+  return ir::kernel_name(kind);
+}
+
+/// Registers `kind`/`repr` on `runtime`, or reuses a registration a
+/// previous engine (or broadcast call) already made on it — without
+/// paying the IR build / AOT compile when the library already exists.
+StatusOr<std::uint64_t> register_or_reuse(core::Runtime& runtime,
+                                          ir::KernelKind kind,
+                                          CollectiveRepr repr) {
+  if (auto existing =
+          runtime.ifunc_id_by_name(collective_library_name(kind, repr));
+      existing.is_ok()) {
+    return *existing;
+  }
+  TC_ASSIGN_OR_RETURN(core::IfuncLibrary library,
+                      build_collective_library(kind, repr));
+  return runtime.register_ifunc(std::move(library));
+}
+
+}  // namespace
 
 StatusOr<BroadcastResult> tree_broadcast(hetsim::Cluster& cluster,
                                          std::uint64_t value,
@@ -43,7 +107,7 @@ StatusOr<BroadcastResult> tree_broadcast(hetsim::Cluster& cluster,
   }
 
   for (std::size_t i = 0; i < servers.size(); ++i) {
-    slots[i].arrivals = 0;
+    slots[i].arrivals.store(0, std::memory_order_relaxed);
     cluster.runtime(servers[i]).set_target_ptr(&slots[i]);
   }
 
@@ -63,27 +127,388 @@ StatusOr<BroadcastResult> tree_broadcast(hetsim::Cluster& cluster,
   w.u64(0);                    // base peer of the covered range
   w.u64(servers.size());       // span
   w.u64(value);
-  fabric::Fabric& fabric = cluster.fabric();
-  const auto t0 = fabric.now();
+  fabric::Transport& transport = cluster.transport();
+  const auto t0 = transport.now_ns();
   TC_RETURN_IF_ERROR(client.send_ifunc(servers[0], ifunc_id,
                                        as_span(w.bytes())));
-  Status run = fabric.run_until([&] {
+  // Completion: on sim the deterministic event loop runs until every slot
+  // saw its arrival; on shm the initiator thread spins its own progress
+  // context while the server progress threads publish into the atomic
+  // slots (release word-stores from the traveling kernel pair with the
+  // acquire polls here).
+  Status run = cluster.drive_until(cluster.client_node(), [&slots] {
     for (const BroadcastSlot& slot : slots) {
-      if (slot.arrivals == 0) return false;
+      if (slot.arrivals.load(std::memory_order_acquire) == 0) return false;
     }
     return true;
   });
   if (!run.is_ok()) return run;
-  fabric.run_until_idle();  // drain trailing busy/no-op events
+  cluster.settle();  // drain trailing busy/no-op events (sim)
 
   BroadcastResult result;
-  result.virtual_ns = fabric.now() - t0;
+  result.virtual_ns = transport.now_ns() - t0;
+  result.wall_clock = !transport.deterministic();
   for (const BroadcastSlot& slot : slots) {
-    if (slot.value == value && slot.arrivals >= 1) ++result.delivered;
+    if (slot.value.load(std::memory_order_acquire) == value &&
+        slot.arrivals.load(std::memory_order_acquire) >= 1) {
+      ++result.delivered;
+    }
   }
   const auto [full1, trunc1] = frames_before();
   result.frames_full = full1 - full0;
   result.frames_truncated = trunc1 - trunc0;
+  return result;
+}
+
+// --- the collective suite ----------------------------------------------------
+
+const char* collective_op_name(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kSum: return "sum";
+    case CollectiveOp::kMin: return "min";
+    case CollectiveOp::kMax: return "max";
+    case CollectiveOp::kCount: return "count";
+  }
+  return "unknown";
+}
+
+const char* collective_repr_name(CollectiveRepr repr) {
+  switch (repr) {
+    case CollectiveRepr::kBitcode: return "bitcode";
+    case CollectiveRepr::kObject: return "object";
+    case CollectiveRepr::kPortable: return "portable";
+  }
+  return "unknown";
+}
+
+StatusOr<std::unique_ptr<CollectiveEngine>> CollectiveEngine::create(
+    hetsim::Cluster& cluster, CollectiveConfig config) {
+  auto engine =
+      std::unique_ptr<CollectiveEngine>(new CollectiveEngine(cluster));
+  TC_RETURN_IF_ERROR(engine->setup(config));
+  return engine;
+}
+
+Status CollectiveEngine::setup(const CollectiveConfig& config) {
+  if (!cluster_->has_ifunc_runtimes()) {
+    return failed_precondition("cluster built without ifunc runtimes");
+  }
+  if (config.lanes == 0) {
+    return invalid_argument("collectives: at least one lane required");
+  }
+  if (config.lanes > cluster_->client_nodes().size()) {
+    return invalid_argument(
+        "collectives: " + std::to_string(config.lanes) +
+        " lanes but the cluster has only " +
+        std::to_string(cluster_->client_nodes().size()) + " client node(s)");
+  }
+  const auto& servers = cluster_->server_nodes();
+  if (config.root >= servers.size()) {
+    return invalid_argument("collectives: root server index out of range");
+  }
+  root_ = config.root;
+
+  cells_.reserve(servers.size());
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    cells_.push_back(std::make_unique<CollectiveCell[]>(config.lanes));
+    cluster_->runtime(servers[s]).set_target_ptr(cells_[s].get());
+  }
+
+  lanes_.resize(config.lanes);
+  for (std::size_t i = 0; i < config.lanes; ++i) {
+    Lane& lane = lanes_[i];
+    lane.node = cluster_->client_nodes()[i];
+    core::Runtime& runtime = cluster_->runtime(lane.node);
+    TC_ASSIGN_OR_RETURN(
+        lane.bcast_ifunc,
+        register_or_reuse(runtime, ir::KernelKind::kCollectiveBroadcast,
+                          config.repr));
+    TC_ASSIGN_OR_RETURN(
+        lane.reduce_ifunc,
+        register_or_reuse(runtime, ir::KernelKind::kCollectiveReduce,
+                          config.repr));
+    install_result_handler(i);
+  }
+  return Status::ok();
+}
+
+CollectiveEngine::~CollectiveEngine() {
+  // Detach everything hung on the shared cluster: result-handler lambdas
+  // capture this engine, and the server target pointers alias cell arrays
+  // about to be freed.
+  for (const Lane& lane : lanes_) {
+    cluster_->runtime(lane.node).set_result_handler({});
+  }
+  for (fabric::NodeId node : cluster_->server_nodes()) {
+    cluster_->runtime(node).set_target_ptr(nullptr);
+  }
+}
+
+void CollectiveEngine::install_result_handler(std::size_t lane_index) {
+  // Acks and reduce results for lane i return to client node i and fire on
+  // that node's progress context — the lane state below is only ever
+  // touched by its own driving thread.
+  cluster_->runtime(lanes_[lane_index].node)
+      .set_result_handler([this, lane_index](ByteSpan data, fabric::NodeId) {
+        Lane& lane = lanes_[lane_index];
+        if (data.size() != 24) {
+          lane.failed = true;
+          return;
+        }
+        ByteReader r(data);
+        std::uint64_t kind = 0, reply_lane = 0, value = 0;
+        if (!r.u64(kind).is_ok() || !r.u64(reply_lane).is_ok() ||
+            !r.u64(value).is_ok() || reply_lane != lane_index) {
+          lane.failed = true;
+          return;
+        }
+        if (kind == 0) {
+          ++lane.acks;  // a leaf delivery acked
+        } else if (kind == 1) {
+          lane.reduce_value = value;  // the root folded everything
+          lane.have_reduce_value = true;
+        } else {
+          lane.failed = true;
+        }
+      });
+}
+
+void CollectiveEngine::set_contribution(std::size_t server,
+                                        std::uint64_t value,
+                                        std::size_t lane) {
+  cells_.at(server)[lane].contrib.store(value, std::memory_order_release);
+}
+
+std::uint64_t CollectiveEngine::broadcast_value(std::size_t server,
+                                                std::size_t lane) const {
+  return cells_.at(server)[lane].value.load(std::memory_order_acquire);
+}
+
+std::uint64_t CollectiveEngine::broadcast_arrivals(std::size_t server,
+                                                   std::size_t lane) const {
+  return cells_.at(server)[lane].arrivals.load(std::memory_order_acquire);
+}
+
+std::pair<std::uint64_t, std::uint64_t> CollectiveEngine::frame_counts()
+    const {
+  std::uint64_t full = 0, truncated = 0;
+  const std::size_t nodes = cluster_->node_count();
+  for (fabric::NodeId node = 0; node < nodes; ++node) {
+    const auto& stats = cluster_->runtime(node).stats();
+    full += stats.frames_sent_full;
+    truncated += stats.frames_sent_truncated;
+  }
+  return {full, truncated};
+}
+
+Status CollectiveEngine::issue_broadcast(Lane& lane, std::size_t lane_index,
+                                         std::uint64_t value) {
+  const auto& servers = cluster_->server_nodes();
+  ByteWriter w;
+  w.u64(0);                    // tree position of the root
+  w.u64(servers.size());       // span
+  w.u64(value);
+  w.u64(lane_index);
+  w.u64(root_);
+  return cluster_->runtime(lane.node).send_ifunc(
+      servers[root_], lane.bcast_ifunc, as_span(w.bytes()));
+}
+
+Status CollectiveEngine::issue_reduce(Lane& lane, std::size_t lane_index,
+                                      CollectiveOp op) {
+  const auto& servers = cluster_->server_nodes();
+  ByteWriter w;
+  w.u64(0);                    // kind: fan-out
+  w.u64(0);                    // tree position of the root
+  w.u64(servers.size());       // span
+  w.u64(~0ull);                // parent: the root replies to the origin
+  w.u64(lane_index);
+  w.u64(static_cast<std::uint64_t>(op));
+  w.u64(root_);
+  return cluster_->runtime(lane.node).send_ifunc(
+      servers[root_], lane.reduce_ifunc, as_span(w.bytes()));
+}
+
+StatusOr<CollectiveResult> CollectiveEngine::broadcast(std::uint64_t value,
+                                                       std::size_t lane_index) {
+  if (lane_index >= lanes_.size()) {
+    return invalid_argument("collectives: lane out of range");
+  }
+  Lane& lane = lanes_[lane_index];
+  const std::size_t n = cluster_->server_nodes().size();
+  for (std::size_t s = 0; s < n; ++s) {
+    cells_[s][lane_index].arrivals.store(0, std::memory_order_relaxed);
+  }
+  lane.acks = 0;
+  lane.failed = false;
+
+  CollectiveResult result;
+  const auto frames0 = frame_counts();
+  fabric::Transport& transport = cluster_->transport();
+  const auto t0 = transport.now_ns();
+  TC_RETURN_IF_ERROR(issue_broadcast(lane, lane_index, value));
+  TC_RETURN_IF_ERROR(cluster_->drive_until(lane.node, [&lane, n] {
+    return lane.failed || lane.acks == n;
+  }));
+  cluster_->settle();
+  if (lane.failed) {
+    return internal_error("collective broadcast failed mid-flight");
+  }
+  result.elapsed_ns = transport.now_ns() - t0;
+  result.wall_clock = !transport.deterministic();
+  result.delivered = lane.acks;
+  result.value = value;
+  const auto frames1 = frame_counts();
+  result.frames_full = frames1.first - frames0.first;
+  result.frames_truncated = frames1.second - frames0.second;
+  return result;
+}
+
+StatusOr<CollectiveResult> CollectiveEngine::reduce(CollectiveOp op,
+                                                    std::size_t lane_index) {
+  if (lane_index >= lanes_.size()) {
+    return invalid_argument("collectives: lane out of range");
+  }
+  Lane& lane = lanes_[lane_index];
+  lane.have_reduce_value = false;
+  lane.failed = false;
+
+  CollectiveResult result;
+  const auto frames0 = frame_counts();
+  fabric::Transport& transport = cluster_->transport();
+  const auto t0 = transport.now_ns();
+  TC_RETURN_IF_ERROR(issue_reduce(lane, lane_index, op));
+  TC_RETURN_IF_ERROR(cluster_->drive_until(lane.node, [&lane] {
+    return lane.failed || lane.have_reduce_value;
+  }));
+  cluster_->settle();
+  if (lane.failed) {
+    return internal_error("collective reduce failed mid-flight");
+  }
+  result.elapsed_ns = transport.now_ns() - t0;
+  result.wall_clock = !transport.deterministic();
+  result.delivered = cluster_->server_nodes().size();
+  result.value = lane.reduce_value;
+  const auto frames1 = frame_counts();
+  result.frames_full = frames1.first - frames0.first;
+  result.frames_truncated = frames1.second - frames0.second;
+  return result;
+}
+
+StatusOr<CollectiveResult> CollectiveEngine::allreduce(CollectiveOp op,
+                                                       std::size_t lane_index) {
+  TC_ASSIGN_OR_RETURN(CollectiveResult folded, reduce(op, lane_index));
+  TC_ASSIGN_OR_RETURN(CollectiveResult spread,
+                      broadcast(folded.value, lane_index));
+  CollectiveResult result;
+  result.delivered = spread.delivered;
+  result.value = folded.value;
+  result.elapsed_ns = folded.elapsed_ns + spread.elapsed_ns;
+  result.wall_clock = folded.wall_clock;
+  result.frames_full = folded.frames_full + spread.frames_full;
+  result.frames_truncated =
+      folded.frames_truncated + spread.frames_truncated;
+  return result;
+}
+
+StatusOr<CollectiveResult> CollectiveEngine::barrier(std::size_t lane_index) {
+  // Fan-in: every server folds a 1; the root total must be the server
+  // count. Release: a broadcast of a fresh sequence number — once its acks
+  // are home, every server has executed both barrier phases.
+  TC_ASSIGN_OR_RETURN(CollectiveResult fan_in,
+                      reduce(CollectiveOp::kCount, lane_index));
+  if (fan_in.value != cluster_->server_nodes().size()) {
+    return internal_error("barrier fan-in folded " +
+                          std::to_string(fan_in.value) + " of " +
+                          std::to_string(cluster_->server_nodes().size()) +
+                          " servers");
+  }
+  const std::uint64_t seq =
+      barrier_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  TC_ASSIGN_OR_RETURN(CollectiveResult release, broadcast(seq, lane_index));
+  CollectiveResult result;
+  result.delivered = release.delivered;
+  result.value = seq;
+  result.elapsed_ns = fan_in.elapsed_ns + release.elapsed_ns;
+  result.wall_clock = fan_in.wall_clock;
+  result.frames_full = fan_in.frames_full + release.frames_full;
+  result.frames_truncated =
+      fan_in.frames_truncated + release.frames_truncated;
+  return result;
+}
+
+StatusOr<CollectiveResult> CollectiveEngine::broadcast_all(
+    const std::vector<std::uint64_t>& values) {
+  if (values.empty() || values.size() > lanes_.size()) {
+    return invalid_argument(
+        "collectives: broadcast_all needs 1..lanes values");
+  }
+  const std::size_t m = values.size();
+  const std::size_t n = cluster_->server_nodes().size();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t s = 0; s < n; ++s) {
+      cells_[s][i].arrivals.store(0, std::memory_order_relaxed);
+    }
+    lanes_[i].acks = 0;
+    lanes_[i].failed = false;
+  }
+
+  CollectiveResult result;
+  const auto frames0 = frame_counts();
+  fabric::Transport& transport = cluster_->transport();
+  const auto t0 = transport.now_ns();
+
+  if (cluster_->backend() == hetsim::Backend::kSim) {
+    // Deterministic interleaving: every lane issues into the one virtual
+    // timeline, a single event loop drains them all.
+    for (std::size_t i = 0; i < m; ++i) {
+      TC_RETURN_IF_ERROR(issue_broadcast(lanes_[i], i, values[i]));
+    }
+    TC_RETURN_IF_ERROR(cluster_->drive_until(cluster_->client_node(),
+                                             [this, m, n] {
+      for (std::size_t i = 0; i < m; ++i) {
+        if (lanes_[i].failed) return true;
+        if (lanes_[i].acks != n) return false;
+      }
+      return true;
+    }));
+  } else {
+    // Real concurrency: one OS thread per initiator issues and completes
+    // its own lane on its own client node.
+    std::vector<std::thread> threads;
+    std::vector<Status> status(m, Status::ok());
+    for (std::size_t i = 0; i < m; ++i) {
+      threads.emplace_back([this, i, n, &values, &status] {
+        Lane& lane = lanes_[i];
+        Status s = issue_broadcast(lane, i, values[i]);
+        if (!s.is_ok()) {
+          status[i] = std::move(s);
+          lane.failed = true;
+          return;
+        }
+        status[i] = cluster_->drive_until(lane.node, [&lane, n] {
+          return lane.failed || lane.acks == n;
+        });
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (Status& s : status) {
+      if (!s.is_ok()) return std::move(s);
+    }
+  }
+  cluster_->settle();
+
+  for (std::size_t i = 0; i < m; ++i) {
+    if (lanes_[i].failed) {
+      return internal_error("concurrent broadcast failed mid-flight");
+    }
+    result.delivered += lanes_[i].acks;
+  }
+  result.elapsed_ns = transport.now_ns() - t0;
+  result.wall_clock = !transport.deterministic();
+  const auto frames1 = frame_counts();
+  result.frames_full = frames1.first - frames0.first;
+  result.frames_truncated = frames1.second - frames0.second;
   return result;
 }
 

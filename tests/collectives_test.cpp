@@ -1,8 +1,13 @@
-// Tests for the X-RDMA tree-broadcast collective and the HLL-drives-C DAPC
-// mode added on top of the paper's evaluated set.
+// Tests for the X-RDMA collective suite: the transport-generic
+// tree_broadcast plus the CollectiveEngine (broadcast / reduce / allreduce
+// / barrier), run as one conformance body against both cluster backends
+// (deterministic sim, real-threads shm) and every available code
+// representation — and the HLL-drives-C DAPC mode that rides along in this
+// binary.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <numeric>
 
 #include "xrdma/collectives.hpp"
 #include "xrdma/dapc.hpp"
@@ -10,16 +15,21 @@
 namespace tc::xrdma {
 namespace {
 
-std::unique_ptr<hetsim::Cluster> make_cluster(std::size_t servers,
-                                              hetsim::Platform platform =
-                                                  hetsim::Platform::kThorXeon) {
+std::unique_ptr<hetsim::Cluster> make_cluster(
+    std::size_t servers, hetsim::Backend backend = hetsim::Backend::kSim,
+    std::size_t clients = 1,
+    hetsim::Platform platform = hetsim::Platform::kThorXeon) {
   hetsim::ClusterConfig config;
   config.platform = platform;
+  config.backend = backend;
   config.server_count = servers;
+  config.client_count = clients;
   auto cluster = hetsim::Cluster::create(config);
   EXPECT_TRUE(cluster.is_ok());
   return std::move(cluster).value();
 }
+
+// --- the historical tree_broadcast (sim results must stay bit-for-bit) -------
 
 class BroadcastP : public ::testing::TestWithParam<std::size_t> {};
 
@@ -30,6 +40,7 @@ TEST_P(BroadcastP, DeliversToEveryServer) {
   auto result = tree_broadcast(*cluster, 0xC0FFEE, slots);
   ASSERT_TRUE(result.is_ok()) << result.status().to_string();
   EXPECT_EQ(result->delivered, n);
+  EXPECT_FALSE(result->wall_clock);
   for (const BroadcastSlot& slot : slots) {
     EXPECT_EQ(slot.value, 0xC0FFEEull);
     EXPECT_EQ(slot.arrivals, 1u);  // binomial tree: exactly one frame each
@@ -85,6 +96,283 @@ TEST(Broadcast, SlotCountMismatchRejected) {
             ErrorCode::kInvalidArgument);
 }
 
+// The transport refactor's regression: the same collective must run on the
+// real-threads backend (server progress threads publish into the atomic
+// slots; the initiator thread polls them through its own progress driver).
+TEST(Broadcast, DeliversOnShmBackend) {
+  constexpr std::size_t n = 8;
+  auto cluster = make_cluster(n, hetsim::Backend::kShm);
+  std::vector<BroadcastSlot> slots(n);
+  auto first = tree_broadcast(*cluster, 0xFEED, slots);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  EXPECT_EQ(first->delivered, n);
+  EXPECT_TRUE(first->wall_clock);
+  EXPECT_EQ(first->frames_full, n);
+  for (const BroadcastSlot& slot : slots) {
+    EXPECT_EQ(slot.value, 0xFEEDull);
+    EXPECT_EQ(slot.arrivals, 1u);
+  }
+  auto second = tree_broadcast(*cluster, 0xBEEF, slots);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second->delivered, n);
+  EXPECT_EQ(second->frames_full, 0u);
+  EXPECT_EQ(second->frames_truncated, n);
+}
+
+// --- the collective suite: one conformance body, every backend x repr --------
+
+struct SuiteParam {
+  hetsim::Backend backend;
+  CollectiveRepr repr;
+};
+
+std::vector<SuiteParam> suite_params() {
+  std::vector<SuiteParam> out;
+  for (hetsim::Backend backend :
+       {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+    out.push_back({backend, CollectiveRepr::kPortable});
+#if TC_WITH_LLVM
+    out.push_back({backend, CollectiveRepr::kBitcode});
+    out.push_back({backend, CollectiveRepr::kObject});
+#endif
+  }
+  return out;
+}
+
+std::string suite_param_name(
+    const ::testing::TestParamInfo<SuiteParam>& info) {
+  return std::string(hetsim::backend_name(info.param.backend)) + "_" +
+         collective_repr_name(info.param.repr);
+}
+
+class CollectiveSuiteP : public ::testing::TestWithParam<SuiteParam> {
+ protected:
+  std::unique_ptr<CollectiveEngine> make_engine(
+      hetsim::Cluster& cluster, std::size_t lanes = 1, std::size_t root = 0) {
+    CollectiveConfig config;
+    config.lanes = lanes;
+    config.root = root;
+    config.repr = GetParam().repr;
+    auto engine = CollectiveEngine::create(cluster, config);
+    EXPECT_TRUE(engine.is_ok()) << engine.status().to_string();
+    return std::move(engine).value();
+  }
+};
+
+TEST_P(CollectiveSuiteP, BroadcastDeliversToEveryServer) {
+  for (std::size_t n : {1ul, 2ul, 3ul, 5ul, 8ul}) {
+    auto cluster = make_cluster(n, GetParam().backend);
+    auto engine = make_engine(*cluster);
+    auto result = engine->broadcast(0xABCD + n);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_EQ(result->delivered, n);
+    EXPECT_EQ(result->wall_clock,
+              GetParam().backend == hetsim::Backend::kShm);
+    // Tree edges that shipped code: client->root plus one per remaining
+    // server (acks are result frames, not code frames).
+    EXPECT_EQ(result->frames_full, n);
+    EXPECT_EQ(result->frames_truncated, 0u);
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_EQ(engine->broadcast_value(s), 0xABCD + n) << "server " << s;
+      EXPECT_EQ(engine->broadcast_arrivals(s), 1u) << "server " << s;
+    }
+  }
+}
+
+TEST_P(CollectiveSuiteP, RepeatCallsRideTruncatedFrames) {
+  constexpr std::size_t n = 8;
+  auto cluster = make_cluster(n, GetParam().backend);
+  auto engine = make_engine(*cluster);
+  ASSERT_TRUE(engine->broadcast(1).is_ok());
+  auto warm = engine->broadcast(2);
+  ASSERT_TRUE(warm.is_ok());
+  EXPECT_EQ(warm->delivered, n);
+  EXPECT_EQ(warm->frames_full, 0u);
+  EXPECT_EQ(warm->frames_truncated, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_EQ(engine->broadcast_value(s), 2u);
+    EXPECT_EQ(engine->broadcast_arrivals(s), 1u);  // exactly-once per call
+  }
+  // The reduction kernel warms the same way: first fan-in ships code both
+  // down (fan-out) and up (contribute) every edge, repeats ship none.
+  for (std::size_t s = 0; s < n; ++s) engine->set_contribution(s, s + 1);
+  auto cold = engine->reduce(CollectiveOp::kSum);
+  ASSERT_TRUE(cold.is_ok());
+  EXPECT_EQ(cold->frames_full, 2 * n - 1);
+  auto hot = engine->reduce(CollectiveOp::kSum);
+  ASSERT_TRUE(hot.is_ok());
+  EXPECT_EQ(hot->frames_full, 0u);
+  EXPECT_EQ(hot->frames_truncated, 2 * n - 1);
+  EXPECT_EQ(hot->value, cold->value);
+}
+
+TEST_P(CollectiveSuiteP, ReduceFoldsSumMinMax) {
+  const std::vector<std::uint64_t> contribs = {11, 3, 77, 3, 50};
+  auto cluster = make_cluster(contribs.size(), GetParam().backend);
+  auto engine = make_engine(*cluster);
+  for (std::size_t s = 0; s < contribs.size(); ++s) {
+    engine->set_contribution(s, contribs[s]);
+  }
+  auto sum = engine->reduce(CollectiveOp::kSum);
+  ASSERT_TRUE(sum.is_ok()) << sum.status().to_string();
+  EXPECT_EQ(sum->value,
+            std::accumulate(contribs.begin(), contribs.end(), 0ull));
+  EXPECT_EQ(sum->delivered, contribs.size());
+  auto min = engine->reduce(CollectiveOp::kMin);
+  ASSERT_TRUE(min.is_ok());
+  EXPECT_EQ(min->value, 3u);
+  auto max = engine->reduce(CollectiveOp::kMax);
+  ASSERT_TRUE(max.is_ok());
+  EXPECT_EQ(max->value, 77u);
+}
+
+TEST_P(CollectiveSuiteP, ArbitraryRootServers) {
+  constexpr std::size_t n = 6;
+  for (std::size_t root : {1ul, 3ul, 5ul}) {
+    auto cluster = make_cluster(n, GetParam().backend);
+    auto engine = make_engine(*cluster, /*lanes=*/1, root);
+    auto bcast = engine->broadcast(4242);
+    ASSERT_TRUE(bcast.is_ok()) << bcast.status().to_string();
+    EXPECT_EQ(bcast->delivered, n) << "root " << root;
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_EQ(engine->broadcast_value(s), 4242u)
+          << "root " << root << " server " << s;
+      EXPECT_EQ(engine->broadcast_arrivals(s), 1u);
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      engine->set_contribution(s, 100 + s);
+    }
+    auto sum = engine->reduce(CollectiveOp::kSum);
+    ASSERT_TRUE(sum.is_ok());
+    EXPECT_EQ(sum->value, 6 * 100ull + 0 + 1 + 2 + 3 + 4 + 5)
+        << "root " << root;
+  }
+}
+
+TEST_P(CollectiveSuiteP, AllreducePublishesTheTotalEverywhere) {
+  constexpr std::size_t n = 5;
+  auto cluster = make_cluster(n, GetParam().backend);
+  auto engine = make_engine(*cluster);
+  std::uint64_t expected = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    engine->set_contribution(s, (s + 1) * 7);
+    expected += (s + 1) * 7;
+  }
+  auto result = engine->allreduce(CollectiveOp::kSum);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->value, expected);
+  EXPECT_EQ(result->delivered, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_EQ(engine->broadcast_value(s), expected) << "server " << s;
+  }
+}
+
+TEST_P(CollectiveSuiteP, BarrierCompletesAndSequences) {
+  constexpr std::size_t n = 7;
+  auto cluster = make_cluster(n, GetParam().backend);
+  auto engine = make_engine(*cluster);
+  auto first = engine->barrier();
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  EXPECT_EQ(first->delivered, n);
+  EXPECT_EQ(first->value, 1u);
+  auto second = engine->barrier();
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second->value, 2u);
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_EQ(engine->broadcast_value(s), 2u);  // the release sequence
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BackendsAndReprs, CollectiveSuiteP,
+                         ::testing::ValuesIn(suite_params()),
+                         suite_param_name);
+
+// --- cross-backend and multi-initiator properties ----------------------------
+
+TEST(CollectiveBackendEquivalence, ReduceValuesMatchSimAndShm) {
+  const std::vector<std::uint64_t> contribs = {901, 17, 444, 86, 2, 555};
+  std::vector<std::uint64_t> sim_values, shm_values;
+  for (hetsim::Backend backend :
+       {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+    auto cluster = make_cluster(contribs.size(), backend);
+    auto engine = CollectiveEngine::create(*cluster);
+    ASSERT_TRUE(engine.is_ok());
+    for (std::size_t s = 0; s < contribs.size(); ++s) {
+      (*engine)->set_contribution(s, contribs[s]);
+    }
+    auto& out = backend == hetsim::Backend::kSim ? sim_values : shm_values;
+    for (CollectiveOp op : {CollectiveOp::kSum, CollectiveOp::kMin,
+                            CollectiveOp::kMax, CollectiveOp::kCount}) {
+      auto result = (*engine)->reduce(op);
+      ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+      out.push_back(result->value);
+    }
+    auto all = (*engine)->allreduce(CollectiveOp::kMax);
+    ASSERT_TRUE(all.is_ok());
+    out.push_back(all->value);
+  }
+  EXPECT_EQ(sim_values, shm_values);
+}
+
+class MultiInitiatorP : public ::testing::TestWithParam<hetsim::Backend> {};
+
+TEST_P(MultiInitiatorP, ConcurrentBroadcastsLandInTheirLanes) {
+  constexpr std::size_t n = 6;
+  constexpr std::size_t m = 3;
+  auto cluster = make_cluster(n, GetParam(), /*clients=*/m);
+  CollectiveConfig config;
+  config.lanes = m;
+  auto engine = CollectiveEngine::create(*cluster, config);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+  const std::vector<std::uint64_t> values = {0x111, 0x222, 0x333};
+  auto result = (*engine)->broadcast_all(values);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->delivered, m * n);
+  for (std::size_t lane = 0; lane < m; ++lane) {
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_EQ((*engine)->broadcast_value(s, lane), values[lane])
+          << "lane " << lane << " server " << s;
+      EXPECT_EQ((*engine)->broadcast_arrivals(s, lane), 1u);
+    }
+  }
+  // Repeat: the concurrent lanes ride the warmed caches too.
+  auto warm = (*engine)->broadcast_all({0x444, 0x555, 0x666});
+  ASSERT_TRUE(warm.is_ok());
+  EXPECT_EQ(warm->delivered, m * n);
+  EXPECT_EQ(warm->frames_full, 0u);
+  for (std::size_t lane = 0; lane < m; ++lane) {
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_EQ((*engine)->broadcast_value(s, lane), 0x444u + 0x111 * lane);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MultiInitiatorP,
+                         ::testing::Values(hetsim::Backend::kSim,
+                                           hetsim::Backend::kShm),
+                         [](const ::testing::TestParamInfo<hetsim::Backend>&
+                               info) {
+                           return hetsim::backend_name(info.param);
+                         });
+
+TEST(CollectiveEngineApi, RejectsBadConfigs) {
+  auto cluster = make_cluster(4);
+  CollectiveConfig too_many_lanes;
+  too_many_lanes.lanes = 2;  // cluster has one client node
+  EXPECT_EQ(CollectiveEngine::create(*cluster, too_many_lanes)
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  CollectiveConfig bad_root;
+  bad_root.root = 4;
+  EXPECT_EQ(CollectiveEngine::create(*cluster, bad_root).status().code(),
+            ErrorCode::kInvalidArgument);
+  auto engine = CollectiveEngine::create(*cluster);
+  ASSERT_TRUE(engine.is_ok());
+  EXPECT_EQ((*engine)->broadcast(1, /*lane=*/5).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
 #if TC_WITH_LLVM
 TEST(HllDrivesC, MatchesCBitcodeResultsAndSpeed) {
   // Fig. 8/12: "Julia driving the bitcode generated from C is demonstrating
@@ -121,14 +409,16 @@ TEST(HllDrivesC, FasterThanHllBitcode) {
   config.chases = 2;
   config.entries_per_shard = 128;
 
-  auto cluster_h = make_cluster(4, hetsim::Platform::kThorBF2);
+  auto cluster_h = make_cluster(4, hetsim::Backend::kSim, 1,
+                                hetsim::Platform::kThorBF2);
   auto hll_driver =
       DapcDriver::create(*cluster_h, ChaseMode::kHllBitcode, config);
   ASSERT_TRUE(hll_driver.is_ok());
   auto hll_result = (*hll_driver)->run();
   ASSERT_TRUE(hll_result.is_ok());
 
-  auto cluster_c = make_cluster(4, hetsim::Platform::kThorBF2);
+  auto cluster_c = make_cluster(4, hetsim::Backend::kSim, 1,
+                                hetsim::Platform::kThorBF2);
   auto c_driver =
       DapcDriver::create(*cluster_c, ChaseMode::kHllDrivesC, config);
   ASSERT_TRUE(c_driver.is_ok());

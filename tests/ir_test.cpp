@@ -57,7 +57,8 @@ constexpr KernelKind kAllKernels[] = {
     KernelKind::kChaser,              KernelKind::kRingHop,
     KernelKind::kSpawner,             KernelKind::kSinSum,
     KernelKind::kRemoteStore,         KernelKind::kStatsSummary,
-    KernelKind::kTreeBroadcast,
+    KernelKind::kTreeBroadcast,       KernelKind::kCollectiveBroadcast,
+    KernelKind::kCollectiveReduce,
 };
 
 class KernelBuildP

@@ -174,6 +174,9 @@ TEST(BytecodeRejection, BranchAndPoolAndHookRanges) {
 /// rides behind the ctx pointer exactly as the real runtime does it.
 struct StubEnv {
   std::uint64_t target[4] = {};
+  /// When set, the target hook returns this instead (collective kernels
+  /// address the target as an array of 64-byte cells).
+  std::uint64_t* target_override = nullptr;
   std::uint64_t* shard = nullptr;
   std::uint64_t shard_size = 0;
   std::uint64_t self_peer = 0;
@@ -191,7 +194,10 @@ HookTable stub_hooks(StubEnv& env) {
   HookTable h;
   h.ctx = &env;
   h.target = [](void* c) -> void* {
-    return static_cast<StubEnv*>(c)->target;
+    StubEnv* env = static_cast<StubEnv*>(c);
+    return env->target_override != nullptr
+               ? static_cast<void*>(env->target_override)
+               : static_cast<void*>(env->target);
   };
   h.node = [](void*) -> std::uint64_t { return 7; };
   h.peer_count = [](void* c) -> std::uint64_t {
@@ -434,6 +440,204 @@ TEST(Interp, TreeBroadcastCoversRangeAndDelivers) {
   EXPECT_EQ(env.forwards[2].peer, 1u);
   EXPECT_EQ(env.target[0], 77u);  // local delivery
   EXPECT_EQ(env.target[1], 1u);   // arrival count
+}
+
+TEST(Interp, CollectiveBroadcastFansOutDeliversAndAcks) {
+  StubEnv env;
+  env.peer_count = 8;
+  alignas(64) std::uint64_t cells[16] = {};  // two 8-word lanes
+  env.target_override = cells;
+  ByteWriter w;
+  w.u64(0);   // base (tree position)
+  w.u64(8);   // span
+  w.u64(99);  // value
+  w.u64(1);   // lane -> second cell
+  w.u64(0);   // root
+  Bytes payload = std::move(w).take();
+  auto r = execute(lowered(ir::KernelKind::kCollectiveBroadcast),
+                   stub_hooks(env), payload.data(), payload.size());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  // Same halving tree as tree_broadcast: delegates to 4, 2, 1.
+  ASSERT_EQ(env.forwards.size(), 3u);
+  EXPECT_EQ(env.forwards[0].peer, 4u);
+  EXPECT_EQ(env.forwards[1].peer, 2u);
+  EXPECT_EQ(env.forwards[2].peer, 1u);
+  EXPECT_EQ(cells[8], 99u);  // lane 1 cell: value
+  EXPECT_EQ(cells[9], 1u);   // lane 1 cell: arrivals
+  EXPECT_EQ(cells[0], 0u);   // lane 0 untouched
+  // Leaf ack to the chain origin: [kind=0][lane][value].
+  ASSERT_EQ(env.replies.size(), 1u);
+  ASSERT_EQ(env.replies[0].size(), 24u);
+  std::uint64_t kind = 0, lane = 0, value = 0;
+  std::memcpy(&kind, env.replies[0].data(), 8);
+  std::memcpy(&lane, env.replies[0].data() + 8, 8);
+  std::memcpy(&value, env.replies[0].data() + 16, 8);
+  EXPECT_EQ(kind, 0u);
+  EXPECT_EQ(lane, 1u);
+  EXPECT_EQ(value, 99u);
+}
+
+TEST(Interp, CollectiveBroadcastRotatesAroundRoot) {
+  StubEnv env;
+  env.peer_count = 8;
+  alignas(64) std::uint64_t cells[8] = {};
+  env.target_override = cells;
+  ByteWriter w;
+  w.u64(0);
+  w.u64(8);
+  w.u64(5);
+  w.u64(0);
+  w.u64(5);  // root = server 5: destinations rotate by 5 mod 8
+  Bytes payload = std::move(w).take();
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kCollectiveBroadcast),
+                      stub_hooks(env), payload.data(), payload.size())
+                  .is_ok());
+  ASSERT_EQ(env.forwards.size(), 3u);
+  EXPECT_EQ(env.forwards[0].peer, (4u + 5u) % 8u);
+  EXPECT_EQ(env.forwards[1].peer, (2u + 5u) % 8u);
+  EXPECT_EQ(env.forwards[2].peer, (1u + 5u) % 8u);
+}
+
+Bytes reduce_fanout_payload(std::uint64_t span, std::uint64_t parent,
+                            std::uint64_t op, std::uint64_t lane = 0,
+                            std::uint64_t root = 0) {
+  ByteWriter w;
+  w.u64(0);  // kind: fan-out
+  w.u64(0);  // base
+  w.u64(span);
+  w.u64(parent);
+  w.u64(lane);
+  w.u64(op);
+  w.u64(root);
+  return std::move(w).take();
+}
+
+Bytes reduce_contribute_payload(std::uint64_t lane, std::uint64_t value) {
+  ByteWriter w;
+  w.u64(1);  // kind: contribute
+  w.u64(lane);
+  w.u64(value);
+  return std::move(w).take();
+}
+
+TEST(Interp, CollectiveReduceLeafContributesToParent) {
+  StubEnv env;
+  env.peer_count = 8;
+  env.self_peer = 6;
+  alignas(64) std::uint64_t cells[8] = {};
+  cells[2] = 42;  // contrib
+  env.target_override = cells;
+  Bytes payload = reduce_fanout_payload(/*span=*/1, /*parent=*/3,
+                                        /*op=*/0);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kCollectiveReduce),
+                      stub_hooks(env), payload.data(), payload.size())
+                  .is_ok());
+  // Childless: one contribute [1][lane][42] straight to peer 3.
+  ASSERT_EQ(env.forwards.size(), 1u);
+  EXPECT_EQ(env.forwards[0].peer, 3u);
+  ASSERT_EQ(env.forwards[0].payload.size(), 24u);
+  std::uint64_t kind = 0, lane = 0, value = 0;
+  std::memcpy(&kind, env.forwards[0].payload.data(), 8);
+  std::memcpy(&lane, env.forwards[0].payload.data() + 8, 8);
+  std::memcpy(&value, env.forwards[0].payload.data() + 16, 8);
+  EXPECT_EQ(kind, 1u);
+  EXPECT_EQ(lane, 0u);
+  EXPECT_EQ(value, 42u);
+  EXPECT_TRUE(env.replies.empty());
+}
+
+TEST(Interp, CollectiveReduceSoloRootRepliesImmediately) {
+  StubEnv env;
+  env.peer_count = 1;
+  env.self_peer = 0;
+  alignas(64) std::uint64_t cells[8] = {};
+  cells[2] = 7;
+  env.target_override = cells;
+  Bytes payload = reduce_fanout_payload(/*span=*/1, /*parent=*/~0ull,
+                                        /*op=*/0);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kCollectiveReduce),
+                      stub_hooks(env), payload.data(), payload.size())
+                  .is_ok());
+  EXPECT_TRUE(env.forwards.empty());
+  ASSERT_EQ(env.replies.size(), 1u);
+  std::uint64_t value = 0;
+  std::memcpy(&value, env.replies[0].data() + 16, 8);
+  EXPECT_EQ(value, 7u);
+}
+
+TEST(Interp, CollectiveReduceInternalNodeFoldsAndClimbs) {
+  StubEnv env;
+  env.peer_count = 4;
+  env.self_peer = 0;
+  alignas(64) std::uint64_t cells[8] = {};
+  cells[2] = 100;  // own contribution
+  env.target_override = cells;
+  // Root fan-out over 4 servers: delegates positions 2 and 1 (2 children).
+  Bytes fanout = reduce_fanout_payload(/*span=*/4, /*parent=*/~0ull,
+                                       /*op=*/0);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kCollectiveReduce),
+                      stub_hooks(env), fanout.data(), fanout.size())
+                  .is_ok());
+  ASSERT_EQ(env.forwards.size(), 2u);
+  EXPECT_EQ(cells[3], 100u);   // acc seeded with own contribution
+  EXPECT_EQ(cells[4], 2u);     // expected children
+  EXPECT_EQ(cells[5], 0u);     // arrived
+  EXPECT_EQ(cells[6], ~0ull);  // parent: root
+  EXPECT_TRUE(env.replies.empty());
+  env.forwards.clear();
+  // First contribution folds quietly; the last one replies the total.
+  Bytes c1 = reduce_contribute_payload(0, 5);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kCollectiveReduce),
+                      stub_hooks(env), c1.data(), c1.size())
+                  .is_ok());
+  EXPECT_TRUE(env.replies.empty());
+  EXPECT_EQ(cells[3], 105u);
+  Bytes c2 = reduce_contribute_payload(0, 7);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kCollectiveReduce),
+                      stub_hooks(env), c2.data(), c2.size())
+                  .is_ok());
+  EXPECT_TRUE(env.forwards.empty());
+  ASSERT_EQ(env.replies.size(), 1u);
+  std::uint64_t value = 0;
+  std::memcpy(&value, env.replies[0].data() + 16, 8);
+  EXPECT_EQ(value, 112u);
+}
+
+TEST(Interp, CollectiveReduceMinMaxCountFolds) {
+  struct Case {
+    std::uint64_t op;
+    std::uint64_t contrib;
+    std::uint64_t c1, c2;
+    std::uint64_t expected;
+  };
+  // op 1 = min, 2 = max, 3 = count (contrib ignored, folds arrive as 1s).
+  const Case cases[] = {
+      {1, 50, 9, 70, 9},
+      {2, 50, 9, 70, 70},
+      {3, 50, 1, 1, 3},
+  };
+  for (const Case& c : cases) {
+    StubEnv env;
+    env.peer_count = 4;
+    env.self_peer = 0;
+    alignas(64) std::uint64_t cells[8] = {};
+    cells[2] = c.contrib;
+    env.target_override = cells;
+    Bytes fanout = reduce_fanout_payload(4, ~0ull, c.op);
+    ASSERT_TRUE(execute(lowered(ir::KernelKind::kCollectiveReduce),
+                        stub_hooks(env), fanout.data(), fanout.size())
+                    .is_ok());
+    for (std::uint64_t v : {c.c1, c.c2}) {
+      Bytes contrib = reduce_contribute_payload(0, v);
+      ASSERT_TRUE(execute(lowered(ir::KernelKind::kCollectiveReduce),
+                          stub_hooks(env), contrib.data(), contrib.size())
+                      .is_ok());
+    }
+    ASSERT_EQ(env.replies.size(), 1u) << "op " << c.op;
+    std::uint64_t value = 0;
+    std::memcpy(&value, env.replies[0].data() + 16, 8);
+    EXPECT_EQ(value, c.expected) << "op " << c.op;
+  }
 }
 
 TEST(Interp, RemoteStoreReportsHookStatus) {

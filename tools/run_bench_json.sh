@@ -2,12 +2,17 @@
 # Regenerates the machine-readable perf trajectory at the repo root:
 #   BENCH_tsi.json  — Tables I-VI (TSI overhead + message rates)
 #   BENCH_dapc.json — Figures 5-12 + the async window sweep
-#   BENCH_shm.json  — fig_mt_scale: multi-initiator scaling on the sim
-#                     (virtual-time) and shm (real-threads wall-clock)
-#                     transport backends
+#   BENCH_shm.json  — fig_mt_scale + fig_collectives: the sim
+#                     (virtual-time) vs shm (real-threads wall-clock)
+#                     transport-backend comparisons
 #
 # BENCH_tsi/BENCH_dapc virtual-time numbers are machine-independent;
 # BENCH_shm wall-clock rates depend on the host that ran them.
+#
+# Each document is accumulated in a temp file and moved into place only
+# after every bench feeding it has succeeded, so a mid-sweep crash leaves
+# the previous trajectory intact instead of a half-written (or deleted)
+# file.
 #
 # Usage: tools/run_bench_json.sh <build-dir> [out-dir]
 # Honors TC_BENCH_FAST=1 for shrunk smoke sweeps (CI).
@@ -20,24 +25,36 @@ mkdir -p "$out_dir"
 tsi_json="$out_dir/BENCH_tsi.json"
 dapc_json="$out_dir/BENCH_dapc.json"
 shm_json="$out_dir/BENCH_shm.json"
-rm -f "$tsi_json" "$dapc_json" "$shm_json"
+
+# Inside out_dir, so the final mv is a same-filesystem atomic rename (a
+# cross-filesystem mv degrades to copy+unlink, which a crash can truncate).
+tmp_dir=$(mktemp -d "$out_dir/.tc_bench.XXXXXX")
+trap 'rm -rf "$tmp_dir"' EXIT
+tsi_tmp="$tmp_dir/BENCH_tsi.json"
+dapc_tmp="$tmp_dir/BENCH_dapc.json"
+shm_tmp="$tmp_dir/BENCH_shm.json"
 
 for bench in table1_tsi_ookami table2_tsi_bf2 table3_tsi_xeon \
              table4_rates_ookami table5_rates_bf2 table6_rates_xeon; do
-  "$build_dir/$bench" --json "$tsi_json" > /dev/null
+  "$build_dir/$bench" --json "$tsi_tmp" > /dev/null
   echo "ran $bench"
 done
+mv "$tsi_tmp" "$tsi_json"
 
 for bench in fig5_dapc_depth_thor_bf2 fig6_dapc_depth_ookami \
              fig7_dapc_depth_thor_xeon fig8_dapc_depth_julia \
              fig9_dapc_scale_thor_bf2 fig10_dapc_scale_ookami \
              fig11_dapc_scale_thor_xeon fig12_dapc_scale_julia \
              fig_async_window; do
-  "$build_dir/$bench" --json "$dapc_json" > /dev/null
+  "$build_dir/$bench" --json "$dapc_tmp" > /dev/null
   echo "ran $bench"
 done
+mv "$dapc_tmp" "$dapc_json"
 
-"$build_dir/fig_mt_scale" --json "$shm_json" > /dev/null
-echo "ran fig_mt_scale"
+for bench in fig_mt_scale fig_collectives; do
+  "$build_dir/$bench" --json "$shm_tmp" > /dev/null
+  echo "ran $bench"
+done
+mv "$shm_tmp" "$shm_json"
 
 echo "wrote $tsi_json, $dapc_json and $shm_json"
