@@ -1,6 +1,7 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -408,6 +409,114 @@ std::vector<DapcSeries> dapc_initiator_sweep(
     out.push_back(std::move(series));
   }
   return out;
+}
+
+// --- whole-figure drivers -----------------------------------------------------
+
+int run_dapc_depth_figure(const DapcFigureSpec& spec, std::size_t servers,
+                          std::size_t fast_servers, int argc, char** argv) {
+  const std::size_t n = fast_mode() ? fast_servers : servers;
+  const std::vector<std::uint64_t> depths =
+      fast_mode()
+          ? std::vector<std::uint64_t>{1, 16, 256}
+          : std::vector<std::uint64_t>{1, 4, 16, 64, 256, 1024, 4096};
+  auto series = dapc_depth_sweep(spec.platform, n, spec.modes, depths);
+  print_dapc_figure(spec.title, "depth", series);
+  append_json(json_path_from_args(argc, argv),
+              dapc_series_json(spec.bench, spec.platform_tag, "depth",
+                               series));
+  return 0;
+}
+
+int run_dapc_scale_figure(const DapcFigureSpec& spec,
+                          const std::vector<std::size_t>& server_counts,
+                          int argc, char** argv) {
+  const std::uint64_t depth = fast_mode() ? 256 : 4096;
+  const std::vector<std::size_t> counts =
+      fast_mode() ? std::vector<std::size_t>{2, 4} : server_counts;
+  auto series = dapc_server_sweep(spec.platform, counts, depth, spec.modes);
+  print_dapc_figure(spec.title, "servers", series);
+  append_json(json_path_from_args(argc, argv),
+              dapc_series_json(spec.bench, spec.platform_tag, "servers",
+                               series));
+  return 0;
+}
+
+// --- generic labeled series ---------------------------------------------------
+
+StatusOr<double> measure_warm(
+    const std::function<StatusOr<double>()>& run_once, bool wall_clock) {
+  TC_RETURN_IF_ERROR(run_once().status());  // warm: untimed first round
+  if (!wall_clock) return run_once();       // deterministic: exact answer
+  std::vector<double> laps;
+  for (int rep = 0; rep < 3; ++rep) {
+    TC_ASSIGN_OR_RETURN(double lap, run_once());
+    laps.push_back(lap);
+  }
+  std::sort(laps.begin(), laps.end());
+  return laps[laps.size() / 2];
+}
+
+namespace {
+
+std::string json_number(double value);  // defined with the JSON helpers below
+
+/// Integral values (e.g. nanosecond latencies) serialize exactly; %.6g
+/// would round anything past six significant digits.
+std::string json_value(double value) {
+  if (value == std::floor(value) && std::abs(value) < 9.2e18) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  return json_number(value);
+}
+
+}  // namespace
+
+std::string labeled_series_json(const char* bench, const char* platform,
+                                const char* x_label, const char* unit,
+                                const std::vector<LabeledSeries>& series) {
+  std::string out = std::string("{\"bench\":\"") + bench +
+                    "\",\"platform\":\"" + platform + "\",\"x\":\"" +
+                    x_label + "\",\"unit\":\"" + unit + "\",\"series\":[";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    if (s != 0) out += ",";
+    out += "{\"mode\":\"" + series[s].label + "\",\"points\":[";
+    for (std::size_t i = 0; i < series[s].points.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"x\":" + std::to_string(series[s].points[i].x) +
+             ",\"y\":" + json_value(series[s].points[i].value) + "}";
+    }
+    out += "]}";
+  }
+  return out + "]}";
+}
+
+void print_labeled_table(const char* title, const char* x_label,
+                         const std::vector<LabeledSeries>& series,
+                         double display_scale, const char* display_suffix) {
+  std::printf("%s\n", title);
+  std::printf("%10s", x_label);
+  for (const LabeledSeries& s : series) {
+    std::printf("  %26s", s.label.c_str());
+  }
+  std::printf("\n");
+  std::vector<std::uint64_t> xs;
+  for (const LabeledSeries& s : series) {
+    for (const LabeledPoint& p : s.points) xs.push_back(p.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  for (std::uint64_t x : xs) {
+    std::printf("%10llu", static_cast<unsigned long long>(x));
+    for (const LabeledSeries& s : series) {
+      double value = -1.0;
+      for (const LabeledPoint& p : s.points) {
+        if (p.x == x) value = p.value * display_scale;
+      }
+      std::printf("  %24.1f%2s", value, display_suffix);
+    }
+    std::printf("\n");
+  }
 }
 
 // --- machine-readable output (--json) ----------------------------------------

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,69 @@ std::vector<DapcSeries> dapc_initiator_sweep(
     const std::vector<xrdma::ChaseMode>& modes,
     const std::vector<std::uint64_t>& initiator_counts, std::uint64_t depth,
     std::uint64_t chases, std::uint64_t window);
+
+// --- whole-figure drivers -----------------------------------------------------
+// Everything that varies between the eight fig5-fig12 reproductions in one
+// spec; the shared sweep/print/JSON scaffolding lives here once instead of
+// being copied per driver. Output is byte-identical to the historical
+// per-driver mains (BENCH_dapc.json regenerates unchanged).
+
+struct DapcFigureSpec {
+  const char* bench;         ///< JSON bench tag, e.g. "fig5"
+  const char* platform_tag;  ///< JSON platform tag, e.g. "thor_bf2"
+  hetsim::Platform platform;
+  const char* title;
+  std::vector<xrdma::ChaseMode> modes;
+};
+
+/// Depth sweep at a fixed server count (figures 5-8): the paper's shared
+/// {1..4096} depth ladder ({1,16,256} under TC_BENCH_FAST, with
+/// fast_servers servers).
+int run_dapc_depth_figure(const DapcFigureSpec& spec, std::size_t servers,
+                          std::size_t fast_servers, int argc, char** argv);
+
+/// Server-count sweep at depth 4096 (figures 9-12; depth 256 and counts
+/// {2,4} under TC_BENCH_FAST).
+int run_dapc_scale_figure(const DapcFigureSpec& spec,
+                          const std::vector<std::size_t>& server_counts,
+                          int argc, char** argv);
+
+// --- generic labeled series ---------------------------------------------------
+// For benches whose series are not DAPC chase modes (collectives,
+// workloads): one label per series, one (x, value) list each, with shared
+// table printing and JSON serialization.
+
+struct LabeledPoint {
+  std::uint64_t x = 0;
+  double value = 0;
+};
+
+struct LabeledSeries {
+  std::string label;
+  std::vector<LabeledPoint> points;
+};
+
+/// The warm-measurement discipline shared by the labeled-series benches
+/// (fig_collectives, fig_workloads): one untimed warm run — ships code,
+/// compiles/decodes, fills every cache — then a single timed run when the
+/// clock is deterministic (sim), or the median of three timed runs when
+/// it is the wall clock (shm; guards against scheduler noise).
+StatusOr<double> measure_warm(
+    const std::function<StatusOr<double>()>& run_once, bool wall_clock);
+
+/// Serializes labeled series as {"bench", "platform", "x", "unit",
+/// "series": [{"mode", "points": [{"x", "y"}]}]}.
+std::string labeled_series_json(const char* bench, const char* platform,
+                                const char* x_label, const char* unit,
+                                const std::vector<LabeledSeries>& series);
+
+/// Prints one row per distinct x, one column per series; values are
+/// rendered as value * display_scale followed by display_suffix (e.g.
+/// scale 1e-3 + "us" renders nanoseconds as microseconds).
+void print_labeled_table(const char* title, const char* x_label,
+                         const std::vector<LabeledSeries>& series,
+                         double display_scale = 1.0,
+                         const char* display_suffix = "");
 
 // --- machine-readable output (--json) ----------------------------------------
 // Every bench main accepts `--json <path>`: results are appended to `path`

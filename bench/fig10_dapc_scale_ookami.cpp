@@ -3,20 +3,11 @@
 #include "bench_util.hpp"
 using namespace tc;
 int main(int argc, char** argv) {
-  const std::uint64_t depth = bench::fast_mode() ? 256 : 4096;
-  const std::vector<std::size_t> counts =
-      bench::fast_mode() ? std::vector<std::size_t>{2, 4}
-                         : std::vector<std::size_t>{2, 4, 8, 16, 32, 64};
-  auto series = bench::dapc_server_sweep(
-      hetsim::Platform::kOokami, counts, depth,
-      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode,
-       xrdma::ChaseMode::kInterpreted});
-  bench::print_dapc_figure(
-      "Figure 10: Ookami DAPC scaling, depth 4096", "servers", series);
-  bench::append_json(
-      bench::json_path_from_args(argc, argv),
-      bench::dapc_series_json("fig10", "ookami_a64fx", "servers",
-                               series));
-  return 0;
+  return bench::run_dapc_scale_figure(
+      {"fig10", "ookami_a64fx", hetsim::Platform::kOokami,
+       "Figure 10: Ookami DAPC scaling, depth 4096",
+       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+        xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode,
+        xrdma::ChaseMode::kInterpreted}},
+      {2, 4, 8, 16, 32, 64}, argc, argv);
 }

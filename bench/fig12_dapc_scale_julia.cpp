@@ -3,22 +3,11 @@
 #include "bench_util.hpp"
 using namespace tc;
 int main(int argc, char** argv) {
-  const std::uint64_t depth = bench::fast_mode() ? 256 : 4096;
-  const std::vector<std::size_t> counts =
-      bench::fast_mode() ? std::vector<std::size_t>{2, 4}
-                         : std::vector<std::size_t>{2, 4, 8, 16, 32};
-  auto series = bench::dapc_server_sweep(
-      hetsim::Platform::kThorBF2, counts, depth,
-      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kHllBitcode, xrdma::ChaseMode::kHllDrivesC,
-       xrdma::ChaseMode::kCachedBitcode,
-       xrdma::ChaseMode::kInterpreted});
-  bench::print_dapc_figure(
-      "Figure 12: Thor BF2 DAPC scaling with HLL frontend, depth 4096",
-      "servers", series);
-  bench::append_json(
-      bench::json_path_from_args(argc, argv),
-      bench::dapc_series_json("fig12", "thor_bf2", "servers",
-                               series));
-  return 0;
+  return bench::run_dapc_scale_figure(
+      {"fig12", "thor_bf2", hetsim::Platform::kThorBF2,
+       "Figure 12: Thor BF2 DAPC scaling with HLL frontend, depth 4096",
+       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+        xrdma::ChaseMode::kHllBitcode, xrdma::ChaseMode::kHllDrivesC,
+        xrdma::ChaseMode::kCachedBitcode, xrdma::ChaseMode::kInterpreted}},
+      {2, 4, 8, 16, 32}, argc, argv);
 }

@@ -3,21 +3,11 @@
 #include "bench_util.hpp"
 using namespace tc;
 int main(int argc, char** argv) {
-  const std::size_t servers = bench::fast_mode() ? 4 : 64;
-  const std::vector<std::uint64_t> depths =
-      bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
-                         : std::vector<std::uint64_t>{1, 4, 16, 64, 256, 1024, 4096};
-  auto series = bench::dapc_depth_sweep(
-      hetsim::Platform::kOokami, servers,
-      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode,
-       xrdma::ChaseMode::kInterpreted},
-      depths);
-  bench::print_dapc_figure("Figure 6: Ookami 64-server DAPC depth sweep",
-                           "depth", series);
-  bench::append_json(
-      bench::json_path_from_args(argc, argv),
-      bench::dapc_series_json("fig6", "ookami_a64fx", "depth",
-                               series));
-  return 0;
+  return bench::run_dapc_depth_figure(
+      {"fig6", "ookami_a64fx", hetsim::Platform::kOokami,
+       "Figure 6: Ookami 64-server DAPC depth sweep",
+       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+        xrdma::ChaseMode::kCachedBinary, xrdma::ChaseMode::kCachedBitcode,
+        xrdma::ChaseMode::kInterpreted}},
+      /*servers=*/64, /*fast_servers=*/4, argc, argv);
 }

@@ -2,22 +2,10 @@
 #include "bench_util.hpp"
 using namespace tc;
 int main(int argc, char** argv) {
-  const std::size_t servers = bench::fast_mode() ? 4 : 16;
-  const std::vector<std::uint64_t> depths =
-      bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
-                         : std::vector<std::uint64_t>{1, 4, 16, 64, 256, 1024, 4096};
-  auto series = bench::dapc_depth_sweep(
-      hetsim::Platform::kThorXeon, servers,
-      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kCachedBitcode,
-       xrdma::ChaseMode::kInterpreted},
-      depths);
-  bench::print_dapc_figure(
-      "Figure 7: Thor 16-server DAPC depth sweep (Xeon client and servers)",
-      "depth", series);
-  bench::append_json(
-      bench::json_path_from_args(argc, argv),
-      bench::dapc_series_json("fig7", "thor_xeon", "depth",
-                               series));
-  return 0;
+  return bench::run_dapc_depth_figure(
+      {"fig7", "thor_xeon", hetsim::Platform::kThorXeon,
+       "Figure 7: Thor 16-server DAPC depth sweep (Xeon client and servers)",
+       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+        xrdma::ChaseMode::kCachedBitcode, xrdma::ChaseMode::kInterpreted}},
+      /*servers=*/16, /*fast_servers=*/4, argc, argv);
 }

@@ -4,23 +4,11 @@
 #include "bench_util.hpp"
 using namespace tc;
 int main(int argc, char** argv) {
-  const std::size_t servers = bench::fast_mode() ? 4 : 32;
-  const std::vector<std::uint64_t> depths =
-      bench::fast_mode() ? std::vector<std::uint64_t>{1, 16, 256}
-                         : std::vector<std::uint64_t>{1, 4, 16, 64, 256, 1024, 4096};
-  auto series = bench::dapc_depth_sweep(
-      hetsim::Platform::kThorBF2, servers,
-      {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
-       xrdma::ChaseMode::kHllBitcode, xrdma::ChaseMode::kHllDrivesC,
-       xrdma::ChaseMode::kCachedBitcode,
-       xrdma::ChaseMode::kInterpreted},
-      depths);
-  bench::print_dapc_figure(
-      "Figure 8: Thor 32-server DAPC depth sweep, HLL (Julia-analogue) vs C",
-      "depth", series);
-  bench::append_json(
-      bench::json_path_from_args(argc, argv),
-      bench::dapc_series_json("fig8", "thor_bf2", "depth",
-                               series));
-  return 0;
+  return bench::run_dapc_depth_figure(
+      {"fig8", "thor_bf2", hetsim::Platform::kThorBF2,
+       "Figure 8: Thor 32-server DAPC depth sweep, HLL (Julia-analogue) vs C",
+       {xrdma::ChaseMode::kActiveMessage, xrdma::ChaseMode::kGet,
+        xrdma::ChaseMode::kHllBitcode, xrdma::ChaseMode::kHllDrivesC,
+        xrdma::ChaseMode::kCachedBitcode, xrdma::ChaseMode::kInterpreted}},
+      /*servers=*/32, /*fast_servers=*/4, argc, argv);
 }

@@ -54,42 +54,15 @@ StatusOr<std::int64_t> run_once(xrdma::CollectiveEngine& engine, Coll coll,
 
 StatusOr<std::int64_t> measure(xrdma::CollectiveEngine& engine, Coll coll,
                                bool wall_clock) {
-  // Warm round: ships code, compiles/decodes, touches every cache.
-  TC_ASSIGN_OR_RETURN(std::int64_t warm, run_once(engine, coll, 0));
-  if (!wall_clock) return run_once(engine, coll, 1);  // deterministic
-  (void)warm;
-  std::vector<std::int64_t> laps;
-  for (std::uint64_t rep = 1; rep <= 3; ++rep) {
-    TC_ASSIGN_OR_RETURN(std::int64_t ns, run_once(engine, coll, rep));
-    laps.push_back(ns);
-  }
-  std::sort(laps.begin(), laps.end());
-  return laps[laps.size() / 2];  // median-of-3 against scheduler noise
-}
-
-struct Series {
-  std::string mode;
-  std::vector<std::pair<std::uint64_t, std::int64_t>> points;  // (N, ns)
-};
-
-std::string series_json(const char* bench, const char* platform,
-                        const std::vector<Series>& series) {
-  std::string out = std::string("{\"bench\":\"") + bench +
-                    "\",\"platform\":\"" + platform +
-                    "\",\"x\":\"servers\",\"unit\":\"latency_ns\","
-                    "\"series\":[";
-  for (std::size_t s = 0; s < series.size(); ++s) {
-    if (s != 0) out += ",";
-    out += "{\"mode\":\"" + series[s].mode + "\",\"points\":[";
-    for (std::size_t i = 0; i < series[s].points.size(); ++i) {
-      if (i != 0) out += ",";
-      out += "{\"x\":" + std::to_string(series[s].points[i].first) +
-             ",\"latency_ns\":" +
-             std::to_string(series[s].points[i].second) + "}";
-    }
-    out += "]}";
-  }
-  return out + "]}";
+  // The shared warm / median-of-3 discipline; rounds vary the broadcast
+  // value so repeats are distinguishable in the landing cells.
+  std::uint64_t round = 0;
+  auto lap = [&]() -> StatusOr<double> {
+    TC_ASSIGN_OR_RETURN(std::int64_t ns, run_once(engine, coll, round++));
+    return static_cast<double>(ns);  // exact: latencies are far below 2^53
+  };
+  TC_ASSIGN_OR_RETURN(double ns, bench::measure_warm(lap, wall_clock));
+  return static_cast<std::int64_t>(ns);
 }
 
 }  // namespace
@@ -112,13 +85,12 @@ int main(int argc, char** argv) {
   for (hetsim::Backend backend :
        {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
     const bool wall = backend == hetsim::Backend::kShm;
-    std::vector<Series> all;
+    std::vector<bench::LabeledSeries> all;
     for (xrdma::CollectiveRepr repr : reprs) {
       for (Coll coll : colls) {
-        Series series;
-        series.mode = std::string(coll_name(coll)) + "_" +
-                      xrdma::collective_repr_name(repr);
-        all.push_back(series);
+        all.push_back({std::string(coll_name(coll)) + "_" +
+                           xrdma::collective_repr_name(repr),
+                       {}});
       }
     }
     for (std::size_t n : server_counts) {
@@ -151,10 +123,11 @@ int main(int argc, char** argv) {
         for (Coll coll : colls) {
           auto ns = measure(**engine, coll, wall);
           if (ns.is_ok()) {
-            all[series_index].points.push_back({n, *ns});
+            all[series_index].points.push_back(
+                {n, static_cast<double>(*ns)});
           } else {
             std::fprintf(stderr, "%s N=%zu failed: %s\n",
-                         all[series_index].mode.c_str(), n,
+                         all[series_index].label.c_str(), n,
                          ns.status().to_string().c_str());
           }
           ++series_index;
@@ -162,31 +135,20 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::printf("\nCollective latency vs N (%s backend, %s):\n",
-                hetsim::backend_name(backend),
-                wall ? "wall-clock on this host"
-                     : "calibrated Thor-Xeon virtual time");
-    std::printf("%10s", "N");
-    for (const Series& s : all) std::printf("  %24s", s.mode.c_str());
-    std::printf("\n");
-    for (std::size_t i = 0; i < server_counts.size(); ++i) {
-      const std::size_t n = server_counts[i];
-      std::printf("%10zu", n);
-      for (const Series& s : all) {
-        double us = -1.0;
-        for (const auto& [x, ns] : s.points) {
-          if (x == n) us = static_cast<double>(ns) * 1e-3;
-        }
-        std::printf("  %22.1fus", us);
-      }
-      std::printf("\n");
-    }
-
+    const std::string title =
+        std::string("\nCollective latency vs N (") +
+        hetsim::backend_name(backend) + " backend, " +
+        (wall ? "wall-clock on this host"
+              : "calibrated Thor-Xeon virtual time") +
+        "):";
+    bench::print_labeled_table(title.c_str(), "N", all, /*display_scale=*/1e-3,
+                               /*display_suffix=*/"us");
     const std::string bench_name =
         std::string("fig_collectives_") + hetsim::backend_name(backend);
-    bench::append_json(json,
-                       series_json(bench_name.c_str(),
-                                   hetsim::platform_name(platform), all));
+    bench::append_json(
+        json, bench::labeled_series_json(bench_name.c_str(),
+                                         hetsim::platform_name(platform),
+                                         "servers", "latency_ns", all));
   }
   return 0;
 }

@@ -1,0 +1,168 @@
+// Remote data-structure workload sweep (beyond the paper): warm throughput
+// of the three workload-suite scenarios — hash-probe, ordered-search, and
+// BFS frontier expansion — versus server count and versus concurrent
+// initiators, on both transport backends and in every code representation
+// the traversal travels as (predeployed Active Message, fat bitcode, AOT
+// objects, portable bytecode, HLL-frontend bitcode).
+//
+//  * sim — calibrated Thor-Xeon virtual time; deterministic, so one run
+//    per point is the exact answer.
+//  * shm — real progress threads, wall-clock on this host; each point is
+//    the median of three repetitions after a full warmup round (the same
+//    methodology as fig_mt_scale / fig_collectives).
+//
+// Units: lookups/second for hash-probe and ordered-search (window 8
+// pipelined per initiator), visited vertices/second for BFS. Every
+// measured run is warm: the first untimed round ships the kernel along
+// every edge; the timed rounds ride truncated frames and warm caches.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workloads/workload_engine.hpp"
+
+using namespace tc;
+
+namespace {
+
+struct ModeList {
+  std::vector<workloads::WorkloadMode> modes = {
+      workloads::WorkloadMode::kActiveMessage,
+      workloads::WorkloadMode::kPortable,
+#if TC_WITH_LLVM
+      workloads::WorkloadMode::kBitcode,
+      workloads::WorkloadMode::kObject,
+      workloads::WorkloadMode::kHllBitcode,
+#endif
+  };
+};
+
+constexpr workloads::Workload kWorkloads[] = {
+    workloads::Workload::kHashProbe,
+    workloads::Workload::kOrderedSearch,
+    workloads::Workload::kBfs,
+};
+
+std::string series_label(workloads::Workload workload,
+                         workloads::WorkloadMode mode) {
+  return std::string(workloads::workload_name(workload)) + "_" +
+         workloads::workload_mode_name(mode);
+}
+
+/// One warm measurement on an engine: lookups (lanes concurrent query
+/// streams) or BFS (lanes concurrent sources). Returns ops/second,
+/// following the shared warm / median-of-3 discipline of measure_warm().
+StatusOr<double> measure(workloads::WorkloadEngine& engine,
+                         std::size_t lanes, std::size_t queries,
+                         bool wall_clock) {
+  auto run_once = [&]() -> StatusOr<double> {
+    if (engine.workload() == workloads::Workload::kBfs) {
+      std::vector<std::uint64_t> sources;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        sources.push_back((1 + 37 * lane) % engine.universe());
+      }
+      TC_ASSIGN_OR_RETURN(workloads::WorkloadResult result,
+                          engine.run_bfs_all(sources));
+      return result.ops_per_second;
+    }
+    std::vector<std::vector<std::uint64_t>> per_lane;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      per_lane.push_back(engine.sample_queries(lane, queries));
+    }
+    TC_ASSIGN_OR_RETURN(workloads::WorkloadResult result,
+                        engine.run_lookups_all(per_lane));
+    return result.ops_per_second;
+  };
+  return bench::measure_warm(run_once, wall_clock);
+}
+
+StatusOr<double> run_point(hetsim::Backend backend, std::size_t servers,
+                           std::size_t lanes, workloads::Workload workload,
+                           workloads::WorkloadMode mode,
+                           std::size_t queries) {
+  hetsim::ClusterConfig cluster_config;
+  cluster_config.platform = hetsim::Platform::kThorXeon;
+  cluster_config.backend = backend;
+  cluster_config.server_count = servers;
+  cluster_config.client_count = lanes;
+  TC_ASSIGN_OR_RETURN(auto cluster, hetsim::Cluster::create(cluster_config));
+  workloads::WorkloadConfig config;
+  config.workload = workload;
+  config.mode = mode;
+  config.lanes = lanes;
+  config.window = 8;
+  TC_ASSIGN_OR_RETURN(auto engine,
+                      workloads::WorkloadEngine::create(*cluster, config));
+  return measure(*engine, lanes, queries,
+                 backend == hetsim::Backend::kShm);
+}
+
+void sweep(const std::string& json, hetsim::Backend backend,
+           const char* bench_suffix, const char* x_label,
+           const std::vector<std::size_t>& xs, bool x_is_lanes,
+           std::size_t queries) {
+  const ModeList ml;
+  std::vector<bench::LabeledSeries> all;
+  for (workloads::Workload workload : kWorkloads) {
+    for (workloads::WorkloadMode mode : ml.modes) {
+      all.push_back({series_label(workload, mode), {}});
+    }
+  }
+  for (std::size_t x : xs) {
+    const std::size_t servers = x_is_lanes ? 4 : x;
+    const std::size_t lanes = x_is_lanes ? x : 1;
+    std::size_t index = 0;
+    for (workloads::Workload workload : kWorkloads) {
+      for (workloads::WorkloadMode mode : ml.modes) {
+        auto rate = run_point(backend, servers, lanes, workload, mode,
+                              queries);
+        if (rate.is_ok()) {
+          all[index].points.push_back({x, *rate});
+        } else {
+          std::fprintf(stderr, "%s %s=%zu failed: %s\n",
+                       all[index].label.c_str(), x_label, x,
+                       rate.status().to_string().c_str());
+        }
+        ++index;
+      }
+    }
+  }
+  std::string title =
+      std::string("\nWorkload throughput vs ") + x_label + " (" +
+      hetsim::backend_name(backend) + " backend, " +
+      (backend == hetsim::Backend::kSim
+           ? "calibrated Thor-Xeon virtual time"
+           : "wall-clock on this host") +
+      "; ops/s = lookups/s, BFS: visited vertices/s):";
+  bench::print_labeled_table(title.c_str(), x_label, all);
+  const std::string bench_name = std::string("fig_workloads") +
+                                 bench_suffix + "_" +
+                                 hetsim::backend_name(backend);
+  bench::append_json(json, bench::labeled_series_json(
+                               bench_name.c_str(), "thor_xeon", x_label,
+                               "ops_per_second", all));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json = bench::json_path_from_args(argc, argv);
+  const bool fast = bench::fast_mode();
+  const std::vector<std::size_t> server_counts =
+      fast ? std::vector<std::size_t>{2, 4}
+           : std::vector<std::size_t>{2, 4, 8, 16};
+  const std::vector<std::size_t> lane_counts =
+      fast ? std::vector<std::size_t>{1, 2}
+           : std::vector<std::size_t>{1, 2, 4};
+  const std::size_t queries = fast ? 16 : 48;
+
+  for (hetsim::Backend backend :
+       {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+    sweep(json, backend, "", "servers", server_counts,
+          /*x_is_lanes=*/false, queries);
+    sweep(json, backend, "_lanes", "initiators", lane_counts,
+          /*x_is_lanes=*/true, queries);
+  }
+  return 0;
+}

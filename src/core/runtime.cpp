@@ -780,7 +780,12 @@ Status Runtime::ctx_forward(ExecContext& ctx, std::uint64_t peer,
   transport_->execute_on(
       node_, 0,
       [this, dst = peers_[peer], frame = std::move(frame)] {
-        (void)send_frame(dst, frame);
+        Status sent = send_frame(dst, frame);
+        if (!sent.is_ok()) {
+          TC_LOG(kWarn, "runtime")
+              << "node " << node_ << " deferred forward to node " << dst
+              << " failed: " << sent.to_string();
+        }
       },
       /*scale_cost=*/true);
   return Status::ok();

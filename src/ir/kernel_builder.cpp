@@ -804,6 +804,446 @@ void emit_collective_reduce(Emitter& e) {
   e.b.CreateRetVoid();
 }
 
+// Remote hash-table lookup (the workload suite's hash-probe scenario).
+// Payload: [key:u64][slot:u64][probes_left:u64][tag:u64]. The table is an
+// open-addressing array of {key, value} bucket pairs sharded bucket-major
+// across servers (shard_size words / 2 buckets each); slot is the global
+// bucket index of the current probe. The kernel walks the linear-probe
+// collision chain through the local shard and self-forwards to the owning
+// server when the probe sequence crosses a shard boundary; it replies
+// [value][tag] on a key match and [~0][tag] on an empty bucket or probe
+// exhaustion (the miss sentinel).
+void emit_hash_probe(Emitter& e) {
+  e.begin_entry();
+  auto* shard_words =
+      e.b.CreateCall(e.hk_shard_size(), {e.arg_ctx}, "shard_words");
+  auto* self = e.b.CreateCall(e.hk_self_peer(), {e.arg_ctx}, "self");
+  auto* base = e.b.CreateCall(e.hk_shard_base(), {e.arg_ctx}, "base");
+  auto* count = e.b.CreateCall(e.hk_peer_count(), {e.arg_ctx}, "count");
+  auto* bps = e.b.CreateUDiv(shard_words, llvm::ConstantInt::get(e.i64, 2),
+                             "buckets_per_shard");
+  auto* cap = e.b.CreateMul(bps, count, "capacity");
+  auto* key = e.load_payload_u64(0, "key");
+  auto* slot0 = e.load_payload_u64(1, "slot0");
+  auto* probes0 = e.load_payload_u64(2, "probes0");
+  auto* entry_bb = e.b.GetInsertBlock();
+
+  auto* loop_bb = e.block("probe");
+  auto* forward_bb = e.block("forward");
+  auto* local_bb = e.block("local");
+  auto* hit_bb = e.block("hit");
+  auto* check_empty_bb = e.block("check_empty");
+  auto* miss_bb = e.block("miss");
+  auto* step_bb = e.block("step");
+  auto* advance_bb = e.block("advance");
+  e.b.CreateBr(loop_bb);
+
+  e.b.SetInsertPoint(loop_bb);
+  auto* slot = e.b.CreatePHI(e.i64, 2, "slot");
+  auto* probes = e.b.CreatePHI(e.i64, 2, "probes");
+  slot->addIncoming(slot0, entry_bb);
+  probes->addIncoming(probes0, entry_bb);
+  auto* owner = e.b.CreateUDiv(slot, bps, "owner");
+  auto* is_local = e.b.CreateICmpEQ(owner, self, "is_local");
+  e.b.CreateCondBr(is_local, local_bb, forward_bb);
+
+  e.b.SetInsertPoint(forward_bb);
+  e.store_payload_u64(1, slot);
+  e.store_payload_u64(2, probes);
+  e.b.CreateCall(e.hk_forward(),
+                 {e.arg_ctx, owner, e.arg_payload, e.arg_size});
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(local_bb);
+  e.guard();
+  auto* local = e.b.CreateURem(slot, bps, "local");
+  auto* pair = e.b.CreateMul(local, llvm::ConstantInt::get(e.i64, 2));
+  auto* k_ptr = e.b.CreateInBoundsGEP(e.i64, base, pair, "k_ptr");
+  auto* stored = e.b.CreateLoad(e.i64, k_ptr, "stored");
+  e.b.CreateCondBr(e.b.CreateICmpEQ(stored, key, "is_hit"), hit_bb,
+                   check_empty_bb);
+
+  e.b.SetInsertPoint(hit_bb);
+  auto* v_ptr = e.b.CreateConstInBoundsGEP1_64(e.i64, k_ptr, 1, "v_ptr");
+  auto* value = e.b.CreateLoad(e.i64, v_ptr, "value");
+  e.store_payload_u64(0, value);
+  e.store_payload_u64(1, e.load_payload_u64(3, "tag"));
+  e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
+                                llvm::ConstantInt::get(e.i64, 16)});
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(check_empty_bb);
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(stored, llvm::ConstantInt::get(e.i64, 0), "is_empty"),
+      miss_bb, step_bb);
+
+  e.b.SetInsertPoint(miss_bb);
+  e.store_payload_u64(0, llvm::ConstantInt::get(e.i64, ~0ull));
+  e.store_payload_u64(1, e.load_payload_u64(3, "miss_tag"));
+  e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
+                                llvm::ConstantInt::get(e.i64, 16)});
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(step_bb);
+  auto* probes1 =
+      e.b.CreateSub(probes, llvm::ConstantInt::get(e.i64, 1), "probes1");
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(probes1, llvm::ConstantInt::get(e.i64, 0),
+                       "exhausted"),
+      miss_bb, advance_bb);
+
+  e.b.SetInsertPoint(advance_bb);
+  auto* slot1 = e.b.CreateURem(
+      e.b.CreateAdd(slot, llvm::ConstantInt::get(e.i64, 1)), cap, "slot1");
+  slot->addIncoming(slot1, advance_bb);
+  probes->addIncoming(probes1, advance_bb);
+  e.b.CreateBr(loop_bb);
+}
+
+// Ordered search over a sharded sorted index (the workload suite's
+// skip-list scenario). Payload: [target:u64][node:u64][level:u64][tag:u64].
+// Node records are 10 words — [key][value][(next_id, next_key) x 4 levels]
+// — sharded rank-major (shard_size words / 10 nodes each). Carrying the
+// successor's *key* alongside each down-link makes the comparison-driven
+// branch locally decidable, so the kernel descends in-shard hops in a tight
+// loop and forwards itself only when a taken link crosses a shard boundary.
+// Replies [value][tag] when the landing node's key matches, [~0][tag]
+// otherwise.
+void emit_ordered_search(Emitter& e) {
+  e.begin_entry();
+  auto* shard_words =
+      e.b.CreateCall(e.hk_shard_size(), {e.arg_ctx}, "shard_words");
+  auto* self = e.b.CreateCall(e.hk_self_peer(), {e.arg_ctx}, "self");
+  auto* base = e.b.CreateCall(e.hk_shard_base(), {e.arg_ctx}, "base");
+  auto* nps = e.b.CreateUDiv(shard_words, llvm::ConstantInt::get(e.i64, 10),
+                             "nodes_per_shard");
+  auto* target = e.load_payload_u64(0, "target");
+  auto* node0 = e.load_payload_u64(1, "node0");
+  auto* level0 = e.load_payload_u64(2, "level0");
+  auto* entry_bb = e.b.GetInsertBlock();
+
+  auto* hop_bb = e.block("hop");
+  auto* forward_bb = e.block("forward");
+  auto* local_bb = e.block("local");
+  auto* desc_bb = e.block("descend");
+  auto* take_bb = e.block("take");
+  auto* down_bb = e.block("down");
+  auto* down_step_bb = e.block("down_step");
+  auto* fin_bb = e.block("fin");
+  e.b.CreateBr(hop_bb);
+
+  e.b.SetInsertPoint(hop_bb);
+  auto* node = e.b.CreatePHI(e.i64, 2, "node");
+  auto* level_in = e.b.CreatePHI(e.i64, 2, "level_in");
+  node->addIncoming(node0, entry_bb);
+  level_in->addIncoming(level0, entry_bb);
+  auto* owner = e.b.CreateUDiv(node, nps, "owner");
+  e.b.CreateCondBr(e.b.CreateICmpEQ(owner, self, "is_local"), local_bb,
+                   forward_bb);
+
+  e.b.SetInsertPoint(forward_bb);
+  e.store_payload_u64(1, node);
+  e.store_payload_u64(2, level_in);
+  e.b.CreateCall(e.hk_forward(),
+                 {e.arg_ctx, owner, e.arg_payload, e.arg_size});
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(local_bb);
+  e.guard();
+  auto* local = e.b.CreateURem(node, nps, "local");
+  auto* rec = e.b.CreateInBoundsGEP(
+      e.i64, base, e.b.CreateMul(local, llvm::ConstantInt::get(e.i64, 10)),
+      "rec");
+  e.b.CreateBr(desc_bb);
+
+  e.b.SetInsertPoint(desc_bb);
+  auto* level = e.b.CreatePHI(e.i64, 2, "level");
+  level->addIncoming(level_in, local_bb);
+  auto* finger = e.b.CreateAdd(
+      llvm::ConstantInt::get(e.i64, 2),
+      e.b.CreateMul(level, llvm::ConstantInt::get(e.i64, 2)), "finger");
+  auto* id_ptr = e.b.CreateInBoundsGEP(e.i64, rec, finger, "id_ptr");
+  auto* next_id = e.b.CreateLoad(e.i64, id_ptr, "next_id");
+  auto* next_key = e.b.CreateLoad(
+      e.i64, e.b.CreateConstInBoundsGEP1_64(e.i64, id_ptr, 1), "next_key");
+  auto* valid = e.b.CreateICmpNE(
+      next_id, llvm::ConstantInt::get(e.i64, ~0ull), "valid");
+  auto* le = e.b.CreateICmpULE(next_key, target, "le");
+  e.b.CreateCondBr(e.b.CreateAnd(valid, le, "take_link"), take_bb, down_bb);
+
+  e.b.SetInsertPoint(take_bb);
+  node->addIncoming(next_id, take_bb);
+  level_in->addIncoming(level, take_bb);
+  e.b.CreateBr(hop_bb);
+
+  e.b.SetInsertPoint(down_bb);
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(level, llvm::ConstantInt::get(e.i64, 0), "bottom"),
+      fin_bb, down_step_bb);
+  e.b.SetInsertPoint(down_step_bb);
+  level->addIncoming(
+      e.b.CreateSub(level, llvm::ConstantInt::get(e.i64, 1)), down_step_bb);
+  e.b.CreateBr(desc_bb);
+
+  e.b.SetInsertPoint(fin_bb);
+  auto* landed_key = e.b.CreateLoad(e.i64, rec, "landed_key");
+  auto* found = e.b.CreateICmpEQ(landed_key, target, "found");
+  auto* value = e.b.CreateLoad(
+      e.i64, e.b.CreateConstInBoundsGEP1_64(e.i64, rec, 1), "value");
+  auto* result = e.b.CreateSelect(
+      found, value, llvm::ConstantInt::get(e.i64, ~0ull), "result");
+  e.store_payload_u64(0, result);
+  e.store_payload_u64(1, e.load_payload_u64(3, "tag"));
+  e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
+                                llvm::ConstantInt::get(e.i64, 16)});
+  e.b.CreateRetVoid();
+}
+
+// Self-propagating BFS frontier expansion (the workload suite's graph
+// scenario). Two message kinds discriminated by payload word 0:
+//   visit [0][lane][vertex][from]  (32 bytes)
+//   ack   [1][lane]                (16 bytes)
+// The shard is a local CSR slice — word 0: vertices_per_shard, words
+// [1, vps+1]: row offsets, the rest: global column indices — and the
+// target is an array of 64-byte per-lane cells {visited_count,
+// visited_bitmap*, worklist*, engaged, parent, deficit}. A visit drains
+// the local closure through the lane worklist (bitmap dedup) and forwards
+// each frontier vertex that leaves the shard, stamping itself as the
+// child's `from`. Completion is Dijkstra-Scholten: the first visit
+// engages a neutral server under its sender (that ack is deferred), later
+// visits are acked right after processing, every forward bumps the
+// deficit, and the child ack that drains it disengages the server —
+// cascading the ack to its own parent, or replying [lane][0] to the chain
+// origin at the engagement root (parent == ~0). A naive credit count at
+// the origin would be unsound: a child's ack can overtake its parent's
+// and the outstanding counter transiently hits zero mid-traversal.
+void emit_bfs_frontier(Emitter& e) {
+  e.begin_entry();
+  auto* lane = e.load_payload_u64(1, "lane");
+  auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
+  auto* cell = e.b.CreateBitCast(
+      e.b.CreateInBoundsGEP(
+          e.i8, raw,
+          e.b.CreateMul(lane, llvm::ConstantInt::get(e.i64, 64))),
+      e.i64p, "cell");
+  auto* engaged_ptr = e.b.CreateConstInBoundsGEP1_64(e.i64, cell, 3);
+  auto* parent_ptr = e.b.CreateConstInBoundsGEP1_64(e.i64, cell, 4);
+  auto* deficit_ptr = e.b.CreateConstInBoundsGEP1_64(e.i64, cell, 5);
+  auto* kind = e.load_payload_u64(0, "kind");
+
+  auto* ack_bb = e.block("ack");
+  auto* visit_msg_bb = e.block("visit_msg");
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(kind, llvm::ConstantInt::get(e.i64, 0), "is_visit"),
+      visit_msg_bb, ack_bb);
+
+  // Shared tails; every predecessor passes the ack destination / nothing.
+  auto* quiet_bb = e.block("quiet");
+  auto* reply_origin_bb = e.block("reply_origin");
+  auto* send_ack_bb = e.block("send_ack");
+
+  // --- ack from a child server ----------------------------------------------
+  e.b.SetInsertPoint(ack_bb);
+  auto* deficit = e.b.CreateSub(
+      e.b.CreateLoad(e.i64, deficit_ptr, "deficit0"),
+      llvm::ConstantInt::get(e.i64, 1), "deficit");
+  e.b.CreateStore(deficit, deficit_ptr);
+  auto* drained_bb = e.block("drained");
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(deficit, llvm::ConstantInt::get(e.i64, 0),
+                       "drained"),
+      drained_bb, quiet_bb);
+  e.b.SetInsertPoint(drained_bb);
+  e.b.CreateStore(llvm::ConstantInt::get(e.i64, 0), engaged_ptr);
+  auto* my_parent = e.b.CreateLoad(e.i64, parent_ptr, "my_parent");
+  auto* at_root = e.b.CreateICmpEQ(
+      my_parent, llvm::ConstantInt::get(e.i64, ~0ull), "at_root");
+  e.b.CreateCondBr(at_root, reply_origin_bb, send_ack_bb);
+
+  // --- visit -----------------------------------------------------------------
+  e.b.SetInsertPoint(visit_msg_bb);
+  auto* base = e.b.CreateCall(e.hk_shard_base(), {e.arg_ctx}, "base");
+  auto* self = e.b.CreateCall(e.hk_self_peer(), {e.arg_ctx}, "self");
+  auto* vps = e.b.CreateLoad(e.i64, base, "vps");
+  auto* v0 = e.load_payload_u64(2, "v0");
+  auto* owner = e.b.CreateUDiv(v0, vps, "owner");
+
+  auto* forward_bb = e.block("route");
+  auto* run_bb = e.block("run");
+  e.b.CreateCondBr(e.b.CreateICmpEQ(owner, self, "is_local"), run_bb,
+                   forward_bb);
+
+  e.b.SetInsertPoint(forward_bb);
+  e.b.CreateCall(e.hk_forward(),
+                 {e.arg_ctx, owner, e.arg_payload, e.arg_size});
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(run_bb);
+  // Read `from` before the expansion: forwarded children overwrite
+  // payload word 3 with this server's own index.
+  auto* from = e.load_payload_u64(3, "from");
+  auto* bitmap = e.b.CreateIntToPtr(
+      e.b.CreateLoad(e.i64, e.b.CreateConstInBoundsGEP1_64(e.i64, cell, 1)),
+      e.i64p, "bitmap");
+  auto* stack = e.b.CreateIntToPtr(
+      e.b.CreateLoad(e.i64, e.b.CreateConstInBoundsGEP1_64(e.i64, cell, 2)),
+      e.i64p, "stack");
+  e.b.CreateStore(v0, stack);
+  auto* run_entry_bb = e.b.GetInsertBlock();
+
+  auto* wloop_bb = e.block("worklist");
+  auto* pop_bb = e.block("pop");
+  auto* visit_bb = e.block("visit");
+  auto* eloop_bb = e.block("edges");
+  auto* edge_bb = e.block("edge");
+  auto* push_bb = e.block("push");
+  auto* send_bb = e.block("send");
+  auto* next_edge_bb = e.block("next_edge");
+  auto* done_bb = e.block("done");
+  e.b.CreateBr(wloop_bb);
+
+  e.b.SetInsertPoint(wloop_bb);
+  auto* sp = e.b.CreatePHI(e.i64, 3, "sp");
+  auto* spawned = e.b.CreatePHI(e.i64, 3, "spawned");
+  sp->addIncoming(llvm::ConstantInt::get(e.i64, 1), run_entry_bb);
+  spawned->addIncoming(llvm::ConstantInt::get(e.i64, 0), run_entry_bb);
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(sp, llvm::ConstantInt::get(e.i64, 0), "drained"),
+      done_bb, pop_bb);
+
+  e.b.SetInsertPoint(pop_bb);
+  auto* sp1 = e.b.CreateSub(sp, llvm::ConstantInt::get(e.i64, 1), "sp1");
+  auto* u = e.b.CreateLoad(
+      e.i64, e.b.CreateInBoundsGEP(e.i64, stack, sp1), "u");
+  auto* lu = e.b.CreateURem(u, vps, "lu");
+  auto* word_ptr = e.b.CreateInBoundsGEP(
+      e.i64, bitmap,
+      e.b.CreateLShr(lu, llvm::ConstantInt::get(e.i64, 6)), "word_ptr");
+  auto* word = e.b.CreateLoad(e.i64, word_ptr, "word");
+  auto* bit = e.b.CreateShl(
+      llvm::ConstantInt::get(e.i64, 1),
+      e.b.CreateAnd(lu, llvm::ConstantInt::get(e.i64, 63)), "bit");
+  auto* seen = e.b.CreateICmpNE(
+      e.b.CreateAnd(word, bit), llvm::ConstantInt::get(e.i64, 0), "seen");
+  sp->addIncoming(sp1, pop_bb);
+  spawned->addIncoming(spawned, pop_bb);
+  e.b.CreateCondBr(seen, wloop_bb, visit_bb);
+
+  e.b.SetInsertPoint(visit_bb);
+  e.guard();
+  e.b.CreateStore(e.b.CreateOr(word, bit), word_ptr);
+  auto* visited = e.b.CreateLoad(e.i64, cell, "visited");
+  e.b.CreateStore(
+      e.b.CreateAdd(visited, llvm::ConstantInt::get(e.i64, 1)), cell);
+  auto* row_base = e.b.CreateInBoundsGEP(e.i64, base, lu, "row_base");
+  auto* row = e.b.CreateLoad(
+      e.i64, e.b.CreateConstInBoundsGEP1_64(e.i64, row_base, 1), "row");
+  auto* row_end = e.b.CreateLoad(
+      e.i64, e.b.CreateConstInBoundsGEP1_64(e.i64, row_base, 2), "row_end");
+  auto* visit_exit_bb = e.b.GetInsertBlock();
+  e.b.CreateBr(eloop_bb);
+
+  e.b.SetInsertPoint(eloop_bb);
+  auto* edge = e.b.CreatePHI(e.i64, 3, "e");
+  auto* esp = e.b.CreatePHI(e.i64, 3, "esp");
+  auto* espawned = e.b.CreatePHI(e.i64, 3, "espawned");
+  edge->addIncoming(row, visit_exit_bb);
+  esp->addIncoming(sp1, visit_exit_bb);
+  espawned->addIncoming(spawned, visit_exit_bb);
+  sp->addIncoming(esp, eloop_bb);
+  spawned->addIncoming(espawned, eloop_bb);
+  e.b.CreateCondBr(e.b.CreateICmpULT(edge, row_end, "more_edges"), edge_bb,
+                   wloop_bb);
+
+  e.b.SetInsertPoint(edge_bb);
+  auto* col_index = e.b.CreateAdd(
+      e.b.CreateAdd(vps, llvm::ConstantInt::get(e.i64, 2)), edge,
+      "col_index");
+  auto* nb = e.b.CreateLoad(
+      e.i64, e.b.CreateInBoundsGEP(e.i64, base, col_index), "nb");
+  auto* nb_owner = e.b.CreateUDiv(nb, vps, "nb_owner");
+  e.b.CreateCondBr(e.b.CreateICmpEQ(nb_owner, self, "nb_local"), push_bb,
+                   send_bb);
+
+  e.b.SetInsertPoint(push_bb);
+  e.b.CreateStore(nb, e.b.CreateInBoundsGEP(e.i64, stack, esp));
+  auto* esp1 =
+      e.b.CreateAdd(esp, llvm::ConstantInt::get(e.i64, 1), "esp1");
+  e.b.CreateBr(next_edge_bb);
+
+  e.b.SetInsertPoint(send_bb);
+  e.store_payload_u64(2, nb);
+  e.store_payload_u64(3, self);  // the child acks us, its DS parent
+  e.b.CreateCall(e.hk_forward(),
+                 {e.arg_ctx, nb_owner, e.arg_payload,
+                  llvm::ConstantInt::get(e.i64, 32)});
+  auto* espawned1 = e.b.CreateAdd(
+      espawned, llvm::ConstantInt::get(e.i64, 1), "espawned1");
+  e.b.CreateBr(next_edge_bb);
+
+  e.b.SetInsertPoint(next_edge_bb);
+  auto* next_sp = e.b.CreatePHI(e.i64, 2, "next_sp");
+  auto* next_spawned = e.b.CreatePHI(e.i64, 2, "next_spawned");
+  next_sp->addIncoming(esp1, push_bb);
+  next_sp->addIncoming(esp, send_bb);
+  next_spawned->addIncoming(espawned, push_bb);
+  next_spawned->addIncoming(espawned1, send_bb);
+  edge->addIncoming(
+      e.b.CreateAdd(edge, llvm::ConstantInt::get(e.i64, 1)), next_edge_bb);
+  esp->addIncoming(next_sp, next_edge_bb);
+  espawned->addIncoming(next_spawned, next_edge_bb);
+  e.b.CreateBr(eloop_bb);
+
+  e.b.SetInsertPoint(done_bb);
+  e.b.CreateStore(
+      e.b.CreateAdd(e.b.CreateLoad(e.i64, deficit_ptr, "deficit_in"),
+                    spawned, "deficit_out"),
+      deficit_ptr);
+  auto* engaged = e.b.CreateLoad(e.i64, engaged_ptr, "engaged");
+  auto* ack_now_bb = e.block("ack_now");
+  auto* neutral_bb = e.block("neutral");
+  e.b.CreateCondBr(
+      e.b.CreateICmpNE(engaged, llvm::ConstantInt::get(e.i64, 0)),
+      ack_now_bb, neutral_bb);
+  e.b.SetInsertPoint(ack_now_bb);  // engaged elsewhere: ack the sender now
+  e.b.CreateBr(send_ack_bb);
+  e.b.SetInsertPoint(neutral_bb);
+  auto* engage_bb = e.block("engage");
+  auto* resolve_bb = e.block("resolve");
+  e.b.CreateCondBr(
+      e.b.CreateICmpEQ(spawned, llvm::ConstantInt::get(e.i64, 0)),
+      resolve_bb, engage_bb);
+  e.b.SetInsertPoint(engage_bb);  // ack deferred until the deficit drains
+  e.b.CreateStore(from, parent_ptr);
+  e.b.CreateStore(llvm::ConstantInt::get(e.i64, 1), engaged_ptr);
+  e.b.CreateRetVoid();
+  e.b.SetInsertPoint(resolve_bb);  // neutral and childless: resolve now
+  auto* from_origin = e.b.CreateICmpEQ(
+      from, llvm::ConstantInt::get(e.i64, ~0ull), "from_origin");
+  e.b.CreateCondBr(from_origin, reply_origin_bb, send_ack_bb);
+
+  // --- shared tails ----------------------------------------------------------
+  e.b.SetInsertPoint(quiet_bb);
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(send_ack_bb);
+  auto* ack_dst = e.b.CreatePHI(e.i64, 3, "ack_dst");
+  ack_dst->addIncoming(my_parent, drained_bb);
+  ack_dst->addIncoming(from, ack_now_bb);
+  ack_dst->addIncoming(from, resolve_bb);
+  e.store_payload_u64(0, llvm::ConstantInt::get(e.i64, 1));  // kind = ack
+  e.b.CreateCall(e.hk_forward(), {e.arg_ctx, ack_dst, e.arg_payload,
+                                  llvm::ConstantInt::get(e.i64, 16)});
+  e.b.CreateRetVoid();
+
+  e.b.SetInsertPoint(reply_origin_bb);
+  e.store_payload_u64(0, lane);  // reply [lane][0] to the chain origin
+  e.store_payload_u64(1, llvm::ConstantInt::get(e.i64, 0));
+  e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
+                                llvm::ConstantInt::get(e.i64, 16)});
+  e.b.CreateRetVoid();
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<llvm::Module>> build_kernel(
@@ -833,6 +1273,9 @@ StatusOr<std::unique_ptr<llvm::Module>> build_kernel(
       emit_collective_broadcast(e);
       break;
     case KernelKind::kCollectiveReduce: emit_collective_reduce(e); break;
+    case KernelKind::kHashProbe: emit_hash_probe(e); break;
+    case KernelKind::kOrderedSearch: emit_ordered_search(e); break;
+    case KernelKind::kBfsFrontier: emit_bfs_frontier(e); break;
   }
   TC_RETURN_IF_ERROR(verify_module(*module));
   return module;

@@ -17,6 +17,9 @@ const char* kernel_name(KernelKind kind) {
     case KernelKind::kTreeBroadcast: return "tree_broadcast";
     case KernelKind::kCollectiveBroadcast: return "coll_bcast";
     case KernelKind::kCollectiveReduce: return "coll_reduce";
+    case KernelKind::kHashProbe: return "hash_probe";
+    case KernelKind::kOrderedSearch: return "ordered_search";
+    case KernelKind::kBfsFrontier: return "bfs_frontier";
   }
   return "unknown";
 }
@@ -49,6 +52,12 @@ const char* kernel_description(KernelKind kind) {
       return "lane-aware rooted broadcast with per-leaf origin acks";
     case KernelKind::kCollectiveReduce:
       return "binomial-tree reduction (sum/min/max/count) with root reply";
+    case KernelKind::kHashProbe:
+      return "sharded open-addressing hash lookup with cross-shard probes";
+    case KernelKind::kOrderedSearch:
+      return "skip-list descent over a sharded sorted index with fingers";
+    case KernelKind::kBfsFrontier:
+      return "self-propagating BFS over a distributed CSR graph";
   }
   return "";
 }

@@ -56,7 +56,30 @@ enum class KernelKind {
   /// folding partial values (sum/min/max/count) into per-lane cells until
   /// the root replies to the origin with the final value.
   kCollectiveReduce,
+  /// Remote-data-structure suite (src/workloads): open-addressing hash
+  /// lookup over server-sharded buckets. Walks the linear-probe collision
+  /// chain through the local shard and self-forwards to the owning server
+  /// when the probe sequence crosses a shard boundary; replies
+  /// [value|miss][tag] to the chain origin.
+  kHashProbe,
+  /// Skip-list-style descent over a sharded sorted index: every node
+  /// record carries (next_id, next_key) fingers per level, so the
+  /// comparison-driven branch is locally decidable — the DAPC chase
+  /// generalized from "next pointer" to "key <= target?". Hops that stay
+  /// in-shard loop locally; shard-crossing down-links forward the kernel.
+  kOrderedSearch,
+  /// Self-propagating BFS frontier expansion over a distributed CSR graph:
+  /// marks per-(server, lane) visited bitmaps, expands the local closure
+  /// through a lane-local worklist, forwards frontier vertices to their
+  /// owning servers, and acks every consumed message to the chain origin
+  /// ([lane][spawned]) so the initiator completes by credit counting.
+  kBfsFrontier,
 };
+
+/// Number of kernel kinds (the enum is dense, starting at 0) — lets tools
+/// iterate the catalogue. Keep in lockstep with the last enumerator.
+inline constexpr int kKernelKindCount =
+    static_cast<int>(KernelKind::kBfsFrontier) + 1;
 
 /// Stable library name used for registration and wire identity.
 const char* kernel_name(KernelKind kind);

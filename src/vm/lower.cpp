@@ -540,6 +540,326 @@ void lower_collective_reduce(Assembler& a, const ir::KernelOptions& o) {
   a.ret();
 }
 
+// Remote hash-table lookup — emit_hash_probe().
+// Payload: [key:u64][slot:u64][probes_left:u64][tag:u64]; the table is an
+// open-addressing array of {key, value} bucket pairs, shard_size / 2
+// buckets per server. Probes the linear chain locally, forwards itself at
+// shard crossings, replies [value|~0][tag] to the chain origin.
+void lower_hash_probe(Assembler& a, const ir::KernelOptions& o) {
+  const auto loop = a.make_label();
+  const auto local = a.make_label();
+  const auto hit = a.make_label();
+  const auto miss = a.make_label();
+  const auto out = a.make_label();
+  a.hook(HookId::kShardSize, 2);
+  a.hook(HookId::kSelfPeer, 3);
+  a.hook(HookId::kShardBase, 4);
+  a.hook(HookId::kPeerCount, 9);
+  a.li(10, 2);
+  a.alu(Opcode::kUdiv, 8, 2, 10);  // buckets per shard
+  a.alu(Opcode::kMul, 9, 8, 9);    // capacity = bps * peer_count
+  a.ld64(5, P, 0);   // key
+  a.ld64(6, P, 8);   // slot
+  a.ld64(7, P, 16);  // probes_left
+  a.bind(loop);
+  a.alu(Opcode::kUdiv, 10, 6, 8);  // owner = slot / bps
+  a.alu(Opcode::kCeq, 11, 10, 3);
+  a.brnz(11, local);
+  // forward: refresh the in-place probe state, ship to the owning server.
+  a.st64(6, P, 8);
+  a.st64(7, P, 16);
+  a.mov(kArg0, 10);
+  a.mov(kArg1, P);
+  a.mov(kArg2, N);
+  a.hook(HookId::kForward, 11, kArg0);
+  a.ret();
+  a.bind(local);
+  guard(a, o);
+  a.alu(Opcode::kUrem, 10, 6, 8);  // local bucket
+  a.li(11, 16);
+  a.alu(Opcode::kMul, 10, 10, 11);
+  a.alu(Opcode::kAdd, 10, 4, 10);  // &shard[2 * local]
+  a.ld64(11, 10);                  // stored key
+  a.alu(Opcode::kCeq, 2, 11, 5);
+  a.brnz(2, hit);
+  a.brz(11, miss);                 // empty bucket: definitive miss
+  a.li(2, 1);
+  a.alu(Opcode::kSub, 7, 7, 2);    // --probes_left
+  a.brz(7, miss);
+  a.alu(Opcode::kAdd, 6, 6, 2);
+  a.alu(Opcode::kUrem, 6, 6, 9);   // slot = (slot + 1) % capacity
+  a.br(loop);
+  a.bind(hit);
+  a.ld64(2, 10, 8);                // value
+  a.br(out);
+  a.bind(miss);
+  a.li(2, ~0ull);                  // the miss sentinel
+  a.bind(out);
+  a.st64(2, P, 0);
+  a.ld64(2, P, 24);                // tag
+  a.st64(2, P, 8);
+  a.mov(kArg1, P);
+  a.li(kArg2, 16);
+  a.hook(HookId::kReply, 2, kArg1);
+  a.ret();
+}
+
+// Ordered search over the sharded skip-list index — emit_ordered_search().
+// Payload: [target:u64][node:u64][level:u64][tag:u64]; 10-word node
+// records [key][value][(next_id, next_key) x 4 levels]. The stored finger
+// keys make the descent locally decidable: in-shard hops loop, cross-shard
+// down-links forward. Replies [value|~0][tag].
+void lower_ordered_search(Assembler& a, const ir::KernelOptions& o) {
+  const auto hop = a.make_label();
+  const auto local = a.make_label();
+  const auto desc = a.make_label();
+  const auto down = a.make_label();
+  const auto fin = a.make_label();
+  const auto miss = a.make_label();
+  const auto out = a.make_label();
+  a.hook(HookId::kShardSize, 2);
+  a.hook(HookId::kSelfPeer, 3);
+  a.hook(HookId::kShardBase, 4);
+  a.li(10, 10);
+  a.alu(Opcode::kUdiv, 8, 2, 10);  // nodes per shard
+  a.ld64(5, P, 0);   // target
+  a.ld64(6, P, 8);   // node
+  a.ld64(7, P, 16);  // level
+  a.bind(hop);
+  a.alu(Opcode::kUdiv, 10, 6, 8);  // owner = node / nps
+  a.alu(Opcode::kCeq, 11, 10, 3);
+  a.brnz(11, local);
+  a.st64(6, P, 8);
+  a.st64(7, P, 16);
+  a.mov(kArg0, 10);
+  a.mov(kArg1, P);
+  a.mov(kArg2, N);
+  a.hook(HookId::kForward, 11, kArg0);
+  a.ret();
+  a.bind(local);
+  guard(a, o);
+  a.alu(Opcode::kUrem, 9, 6, 8);
+  a.li(10, 80);
+  a.alu(Opcode::kMul, 9, 9, 10);
+  a.alu(Opcode::kAdd, 9, 4, 9);    // record base address
+  a.bind(desc);
+  a.li(10, 16);
+  a.alu(Opcode::kMul, 11, 7, 10);
+  a.alu(Opcode::kAdd, 11, 11, 10); // finger offset: 16 + 16 * level
+  a.alu(Opcode::kAdd, 11, 9, 11);
+  a.ld64(2, 11, 0);                // next_id
+  a.ld64(10, 11, 8);               // next_key
+  a.li(11, ~0ull);
+  a.alu(Opcode::kCne, 11, 2, 11);
+  a.brz(11, down);                 // NIL link: descend a level
+  a.alu(Opcode::kCule, 11, 10, 5);
+  a.brz(11, down);                 // next_key > target: descend
+  a.mov(6, 2);                     // take the link at this level
+  a.br(hop);
+  a.bind(down);
+  a.brz(7, fin);
+  a.li(10, 1);
+  a.alu(Opcode::kSub, 7, 7, 10);
+  a.br(desc);
+  a.bind(fin);
+  a.ld64(2, 9, 0);                 // landing key
+  a.alu(Opcode::kCeq, 2, 2, 5);
+  a.brz(2, miss);
+  a.ld64(2, 9, 8);                 // value
+  a.br(out);
+  a.bind(miss);
+  a.li(2, ~0ull);
+  a.bind(out);
+  a.st64(2, P, 0);
+  a.ld64(2, P, 24);                // tag
+  a.st64(2, P, 8);
+  a.mov(kArg1, P);
+  a.li(kArg2, 16);
+  a.hook(HookId::kReply, 2, kArg1);
+  a.ret();
+}
+
+// Self-propagating BFS frontier expansion — emit_bfs_frontier(). Two
+// message kinds discriminated by payload word 0:
+//   visit [0][lane][vertex][from]  (32 bytes)
+//   ack   [1][lane]                (16 bytes)
+// The shard is a CSR slice [vps][row_offsets x vps+1][global cols]; the
+// per-lane 64-byte cell holds {visited_count, visited_bitmap*, worklist*,
+// engaged, parent, deficit}. A visit drains the local closure through the
+// worklist (bitmap dedup) and forwards cross-shard frontier vertices,
+// stamping itself as their `from`. Completion is Dijkstra-Scholten: the
+// first visit engages a neutral server under its sender (its ack is
+// deferred), later visits are acked right after processing, every forward
+// bumps the server's deficit, and a child ack that drains the deficit
+// disengages the server — acking *its* parent in turn, or replying
+// [lane][0] to the chain origin at the engagement root (parent == ~0).
+// Credit counting to the origin would be unsound here: a child's ack can
+// overtake its parent's, so the naive outstanding counter transiently hits
+// zero mid-traversal; the DS engagement tree cannot.
+void lower_bfs_frontier(Assembler& a, const ir::KernelOptions& o) {
+  const auto visit_kind = a.make_label();
+  const auto quiet = a.make_label();
+  const auto reply_origin = a.make_label();
+  const auto run = a.make_label();
+  const auto wloop = a.make_label();
+  const auto visit = a.make_label();
+  const auto eloop = a.make_label();
+  const auto push = a.make_label();
+  const auto next_edge = a.make_label();
+  const auto done = a.make_label();
+  const auto complete_now = a.make_label();
+  const auto ack_now = a.make_label();
+  const auto send_ack = a.make_label();
+  a.hook(HookId::kTarget, 5);
+  a.ld64(11, P, 8);  // lane
+  a.li(15, 64);
+  a.alu(Opcode::kMul, 11, 11, 15);
+  a.alu(Opcode::kAdd, 5, 5, 11);   // cell = target + lane * 64
+  a.ld64(2, P, 0);   // kind
+  a.brz(2, visit_kind);
+  // --- ack from a child server -----------------------------------------------
+  a.ld64(10, 5, 40);               // deficit
+  a.li(15, 1);
+  a.alu(Opcode::kSub, 10, 10, 15);
+  a.st64(10, 5, 40);
+  a.brnz(10, quiet);               // children still outstanding
+  a.li(15, 0);
+  a.st64(15, 5, 24);               // disengage
+  a.ld64(10, 5, 32);               // parent
+  a.li(11, ~0ull);
+  a.alu(Opcode::kCeq, 11, 10, 11);
+  a.brnz(11, reply_origin);        // engagement root: origin completes
+  a.br(send_ack);                  // cascade: ack our own parent
+  a.bind(quiet);
+  a.ret();
+  // --- visit -----------------------------------------------------------------
+  a.bind(visit_kind);
+  a.hook(HookId::kShardBase, 2);
+  a.hook(HookId::kSelfPeer, 3);
+  a.ld64(4, 2, 0);   // vps = shard word 0
+  a.ld64(10, P, 16); // vertex
+  a.alu(Opcode::kUdiv, 11, 10, 4);
+  a.alu(Opcode::kCeq, 15, 11, 3);
+  a.brnz(15, run);
+  a.mov(kArg0, 11);  // mis-routed: ship to the owning server
+  a.mov(kArg1, P);
+  a.mov(kArg2, N);
+  a.hook(HookId::kForward, 15, kArg0);
+  a.ret();
+  a.bind(run);
+  a.ld64(15, P, 24);
+  a.st64(15, 5, 48); // park `from`: the expansion overwrites payload word 3
+  a.ld64(6, 5, 8);   // visited bitmap base
+  a.ld64(7, 5, 16);  // worklist base
+  a.st64(10, 7, 0);  // worklist[0] = vertex
+  a.li(8, 1);        // sp
+  a.li(9, 0);        // spawned
+  a.bind(wloop);
+  a.brz(8, done);
+  a.li(15, 1);
+  a.alu(Opcode::kSub, 8, 8, 15);   // --sp
+  a.li(15, 8);
+  a.alu(Opcode::kMul, 10, 8, 15);
+  a.alu(Opcode::kAdd, 10, 7, 10);
+  a.ld64(10, 10);                  // u = worklist[sp]
+  a.alu(Opcode::kUrem, 10, 10, 4); // local vertex index
+  a.li(15, 6);
+  a.alu(Opcode::kShr, 11, 10, 15);
+  a.li(15, 8);
+  a.alu(Opcode::kMul, 11, 11, 15);
+  a.alu(Opcode::kAdd, 11, 6, 11);  // bitmap word address
+  a.li(15, 63);
+  a.alu(Opcode::kAnd, 12, 10, 15);
+  a.li(15, 1);
+  a.alu(Opcode::kShl, 13, 15, 12); // bit = 1 << (lu & 63)
+  a.ld64(14, 11);                  // bitmap word
+  a.alu(Opcode::kAnd, 15, 14, 13);
+  a.brnz(15, wloop);               // already visited
+  a.bind(visit);
+  guard(a, o);
+  a.alu(Opcode::kOr, 14, 14, 13);
+  a.st64(14, 11);                  // mark visited
+  a.ld64(15, 5, 0);
+  a.li(13, 1);
+  a.alu(Opcode::kAdd, 15, 15, 13);
+  a.st64(15, 5, 0);                // ++cell.visited_count
+  a.li(15, 8);
+  a.alu(Opcode::kMul, 11, 10, 15);
+  a.alu(Opcode::kAdd, 11, 2, 11);  // &row_offsets[lu] - 8
+  a.ld64(10, 11, 8);               // e = row_offsets[lu]
+  a.ld64(11, 11, 16);              // row_offsets[lu + 1]
+  a.bind(eloop);
+  a.alu(Opcode::kCult, 15, 10, 11);
+  a.brz(15, wloop);
+  a.alu(Opcode::kAdd, 14, 4, 10);  // vps + e
+  a.li(15, 2);
+  a.alu(Opcode::kAdd, 14, 14, 15);
+  a.li(15, 8);
+  a.alu(Opcode::kMul, 14, 14, 15);
+  a.alu(Opcode::kAdd, 14, 2, 14);
+  a.ld64(13, 14);                  // nb = cols[e]
+  a.alu(Opcode::kUdiv, 14, 13, 4); // nb owner
+  a.alu(Opcode::kCeq, 15, 14, 3);
+  a.brnz(15, push);
+  a.st64(13, P, 16);               // frontier leaves the shard: forward,
+  a.st64(3, P, 24);                // stamping ourselves as its `from`
+  a.mov(kArg0, 14);
+  a.mov(kArg1, P);
+  a.li(kArg2, 32);
+  a.hook(HookId::kForward, 15, kArg0);
+  a.li(15, 1);
+  a.alu(Opcode::kAdd, 9, 9, 15);   // ++spawned
+  a.br(next_edge);
+  a.bind(push);
+  a.li(15, 8);
+  a.alu(Opcode::kMul, 14, 8, 15);
+  a.alu(Opcode::kAdd, 14, 7, 14);
+  a.st64(13, 14);                  // worklist[sp] = nb
+  a.li(15, 1);
+  a.alu(Opcode::kAdd, 8, 8, 15);   // ++sp
+  a.bind(next_edge);
+  a.li(15, 1);
+  a.alu(Opcode::kAdd, 10, 10, 15); // ++e
+  a.br(eloop);
+  a.bind(done);
+  a.ld64(10, 5, 40);
+  a.alu(Opcode::kAdd, 10, 10, 9);
+  a.st64(10, 5, 40);               // deficit += spawned
+  a.ld64(11, 5, 24);               // engaged?
+  a.brnz(11, ack_now);
+  a.brz(9, complete_now);          // spawned == 0: resolve immediately
+  a.ld64(10, 5, 48);               // the parked `from`
+  a.st64(10, 5, 32);               // parent = from
+  a.li(11, 1);
+  a.st64(11, 5, 24);               // engage (ack deferred to disengage)
+  a.ret();
+  a.bind(complete_now);            // neutral, childless: resolve now
+  a.ld64(10, 5, 48);               // the parked `from`
+  a.li(11, ~0ull);
+  a.alu(Opcode::kCeq, 11, 10, 11);
+  a.brnz(11, reply_origin);        // the seed itself resolved in one shot
+  a.br(send_ack);
+  a.bind(ack_now);                 // already engaged: ack the sender now
+  a.ld64(10, 5, 48);               // the parked `from`
+  a.bind(send_ack);                // r10 = destination peer
+  a.li(15, 1);
+  a.st64(15, P, 0);                // kind = ack ([1][lane])
+  a.mov(kArg0, 10);
+  a.mov(kArg1, P);
+  a.li(kArg2, 16);
+  a.hook(HookId::kForward, 15, kArg0);
+  a.ret();
+  a.bind(reply_origin);
+  a.ld64(15, P, 8);                // reply [lane][0] to the chain origin
+  a.st64(15, P, 0);
+  a.li(15, 0);
+  a.st64(15, P, 8);
+  a.mov(kArg1, P);
+  a.li(kArg2, 16);
+  a.hook(HookId::kReply, 15, kArg1);
+  a.ret();
+}
+
 }  // namespace
 
 StatusOr<Program> lower_kernel(ir::KernelKind kind,
@@ -567,6 +887,11 @@ StatusOr<Program> lower_kernel(ir::KernelKind kind,
     case ir::KernelKind::kCollectiveReduce:
       lower_collective_reduce(a, options);
       break;
+    case ir::KernelKind::kHashProbe: lower_hash_probe(a, options); break;
+    case ir::KernelKind::kOrderedSearch:
+      lower_ordered_search(a, options);
+      break;
+    case ir::KernelKind::kBfsFrontier: lower_bfs_frontier(a, options); break;
   }
   return a.finish(kRegs);
 }

@@ -1,0 +1,82 @@
+#include "workloads/graph.hpp"
+
+#include "common/rng.hpp"
+
+namespace tc::workloads {
+
+StatusOr<ShardedCsrGraph> ShardedCsrGraph::build(
+    const CsrGraphConfig& config) {
+  if (config.vertices_per_shard == 0 || config.shard_count == 0) {
+    return invalid_argument("csr graph: zero shards or shard size");
+  }
+
+  ShardedCsrGraph graph;
+  graph.total_ = config.vertices_per_shard * config.shard_count;
+  graph.vertices_per_shard_ = config.vertices_per_shard;
+  graph.shards_.resize(config.shard_count);
+
+  // One seeded stream drawn vertex-major, so the graph is identical no
+  // matter which backend or representation later walks it.
+  Xoshiro256 rng(config.seed);
+  for (std::uint64_t s = 0; s < config.shard_count; ++s) {
+    std::vector<std::uint64_t>& shard = graph.shards_[s];
+    shard.push_back(config.vertices_per_shard);
+    std::vector<std::uint64_t> cols;
+    std::vector<std::uint64_t> rows = {0};
+    for (std::uint64_t i = 0; i < config.vertices_per_shard; ++i) {
+      const std::uint64_t degree = rng.below(2 * config.avg_degree + 1);
+      for (std::uint64_t d = 0; d < degree; ++d) {
+        cols.push_back(rng.below(graph.total_));
+      }
+      rows.push_back(cols.size());
+    }
+    shard.insert(shard.end(), rows.begin(), rows.end());
+    shard.insert(shard.end(), cols.begin(), cols.end());
+  }
+  return graph;
+}
+
+std::uint64_t ShardedCsrGraph::worklist_bound(std::uint64_t server) const {
+  const std::vector<std::uint64_t>& shard = shards_[server];
+  std::uint64_t intra = 0;
+  const std::uint64_t edges = shard[1 + vertices_per_shard_];
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const std::uint64_t dst = shard[2 + vertices_per_shard_ + e];
+    if (dst / vertices_per_shard_ == server) ++intra;
+  }
+  return intra + 1;
+}
+
+std::vector<std::uint64_t> ShardedCsrGraph::neighbors(std::uint64_t v) const {
+  const std::vector<std::uint64_t>& shard = shards_[v / vertices_per_shard_];
+  const std::uint64_t local = v % vertices_per_shard_;
+  const std::uint64_t row = shard[1 + local];
+  const std::uint64_t end = shard[2 + local];
+  std::vector<std::uint64_t> out;
+  out.reserve(end - row);
+  for (std::uint64_t e = row; e < end; ++e) {
+    out.push_back(shard[2 + vertices_per_shard_ + e]);
+  }
+  return out;
+}
+
+std::uint64_t ShardedCsrGraph::reachable_count(std::uint64_t source) const {
+  std::vector<bool> visited(total_, false);
+  std::vector<std::uint64_t> frontier = {source};
+  visited[source] = true;
+  std::uint64_t count = 1;
+  while (!frontier.empty()) {
+    const std::uint64_t v = frontier.back();
+    frontier.pop_back();
+    for (std::uint64_t u : neighbors(v)) {
+      if (!visited[u]) {
+        visited[u] = true;
+        ++count;
+        frontier.push_back(u);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace tc::workloads

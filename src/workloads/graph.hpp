@@ -1,0 +1,64 @@
+// The distributed CSR graph of the workload suite: vertices are sharded
+// contiguously (vertex V lives on server V / vertices_per_shard) and each
+// server holds the CSR slice of its own vertices, with *global* column
+// indices — an edge whose destination falls outside the shard is exactly
+// the frontier hop the BFS kernel forwards to the owning server.
+//
+// Shard word layout (what Runtime::set_shard exposes to the kernel):
+//   word 0                — vertices_per_shard (the kernel derives ownership
+//                           from it; shard sizes differ per server)
+//   words 1 .. vps + 1    — row offsets (vps + 1 entries, offsets[0] == 0)
+//   words vps + 2 ..      — column indices (global vertex ids)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace tc::workloads {
+
+struct CsrGraphConfig {
+  std::uint64_t vertices_per_shard = 64;
+  std::uint64_t shard_count = 2;
+  /// Out-degrees are uniform in [0, 2 * avg_degree], so the mean is
+  /// avg_degree; destinations are uniform over all vertices.
+  std::uint64_t avg_degree = 4;
+  std::uint64_t seed = 0xbf5ull;
+};
+
+class ShardedCsrGraph {
+ public:
+  ShardedCsrGraph() = default;
+
+  static StatusOr<ShardedCsrGraph> build(const CsrGraphConfig& config);
+
+  std::uint64_t total_vertices() const { return total_; }
+  std::uint64_t vertices_per_shard() const { return vertices_per_shard_; }
+  std::uint64_t shard_count() const { return shards_.size(); }
+
+  std::vector<std::uint64_t>& shard(std::uint64_t server) {
+    return shards_[server];
+  }
+  const std::vector<std::uint64_t>& shard(std::uint64_t server) const {
+    return shards_[server];
+  }
+
+  /// Worst-case worklist depth of one kernel invocation on `server`: the
+  /// incoming vertex plus every intra-shard edge (each can push once).
+  std::uint64_t worklist_bound(std::uint64_t server) const;
+
+  /// Out-neighbors of a vertex, read back through the CSR slices.
+  std::vector<std::uint64_t> neighbors(std::uint64_t v) const;
+
+  /// Reference BFS on a single node: how many vertices are reachable from
+  /// `source` (the source itself included).
+  std::uint64_t reachable_count(std::uint64_t source) const;
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t vertices_per_shard_ = 0;
+  std::vector<std::vector<std::uint64_t>> shards_;
+};
+
+}  // namespace tc::workloads

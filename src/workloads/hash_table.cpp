@@ -1,0 +1,80 @@
+#include "workloads/hash_table.hpp"
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace tc::workloads {
+
+std::uint64_t ShardedHashTable::mix(std::uint64_t key) {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+StatusOr<ShardedHashTable> ShardedHashTable::build(
+    const HashTableConfig& config) {
+  if (config.buckets_per_shard == 0 || config.shard_count == 0) {
+    return invalid_argument("hash table: zero shards or shard size");
+  }
+  if (config.fill_percent == 0 || config.fill_percent >= 100) {
+    return invalid_argument(
+        "hash table: fill_percent must be in (0, 100) so probe chains "
+        "terminate");
+  }
+
+  ShardedHashTable table;
+  table.capacity_ = config.buckets_per_shard * config.shard_count;
+  table.buckets_per_shard_ = config.buckets_per_shard;
+  table.shards_.assign(
+      config.shard_count,
+      std::vector<std::uint64_t>(2 * config.buckets_per_shard, 0));
+
+  const std::uint64_t inserted =
+      table.capacity_ * config.fill_percent / 100;
+  Xoshiro256 rng(config.seed);
+  std::unordered_set<std::uint64_t> used;
+  while (table.keys_.size() < inserted) {
+    const std::uint64_t key = rng() | 1;  // nonzero (0 marks empty buckets)
+    if (!used.insert(key).second) continue;
+    std::uint64_t slot = table.start_slot(key);
+    while (table.bucket_key(slot) != 0) slot = (slot + 1) % table.capacity_;
+    auto& shard = table.shards_[slot / config.buckets_per_shard];
+    const std::uint64_t local = 2 * (slot % config.buckets_per_shard);
+    shard[local] = key;
+    shard[local + 1] = mix(key ^ config.seed) >> 1;  // value < 2^63 != kMiss
+    table.keys_.push_back(key);
+  }
+  return table;
+}
+
+std::uint64_t ShardedHashTable::lookup(std::uint64_t key) const {
+  std::uint64_t slot = start_slot(key);
+  for (std::uint64_t probes = 0; probes < capacity_; ++probes) {
+    const auto& shard = shards_[slot / buckets_per_shard_];
+    const std::uint64_t local = 2 * (slot % buckets_per_shard_);
+    if (shard[local] == key) return shard[local + 1];
+    if (shard[local] == 0) return kMiss;
+    slot = (slot + 1) % capacity_;
+  }
+  return kMiss;
+}
+
+double ShardedHashTable::cross_shard_fraction() const {
+  std::uint64_t crossing = 0;
+  for (std::uint64_t key : keys_) {
+    std::uint64_t slot = start_slot(key);
+    const std::uint64_t home_shard = slot / buckets_per_shard_;
+    while (bucket_key(slot) != key) {
+      slot = (slot + 1) % capacity_;
+    }
+    if (slot / buckets_per_shard_ != home_shard) ++crossing;
+  }
+  return keys_.empty()
+             ? 0.0
+             : static_cast<double>(crossing) /
+                   static_cast<double>(keys_.size());
+}
+
+}  // namespace tc::workloads

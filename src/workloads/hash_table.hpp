@@ -1,0 +1,84 @@
+// The sharded open-addressing hash table of the remote-data-structure
+// workload suite: one logical array of {key, value} buckets split
+// bucket-major across servers (bucket B lives on server B / buckets_per_shard
+// at local pair B % buckets_per_shard), probed with linear probing from the
+// key's home slot. A probe chain that runs off the end of a shard continues
+// on the next server — exactly the crossing the hash-probe kernel turns into
+// a self-forward.
+//
+// Shard word layout (what Runtime::set_shard exposes to the kernel):
+//   word 2*i     — bucket i's key (0 = empty; keys are always nonzero)
+//   word 2*i + 1 — bucket i's value
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace tc::workloads {
+
+/// The lookup-miss sentinel every workload reply uses (values never
+/// collide with it: builders mask stored values below 2^63).
+inline constexpr std::uint64_t kMiss = ~0ull;
+
+struct HashTableConfig {
+  std::uint64_t buckets_per_shard = 256;
+  std::uint64_t shard_count = 2;
+  std::uint64_t seed = 0x4a5b6c7dull;
+  /// Occupied fraction of the global capacity, in percent (< 100 so every
+  /// probe chain terminates at an empty bucket).
+  std::uint64_t fill_percent = 70;
+};
+
+class ShardedHashTable {
+ public:
+  ShardedHashTable() = default;
+
+  static StatusOr<ShardedHashTable> build(const HashTableConfig& config);
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t buckets_per_shard() const { return buckets_per_shard_; }
+  std::uint64_t shard_count() const { return shards_.size(); }
+
+  /// Mutable shard storage (2 * buckets_per_shard words) — attach to the
+  /// server runtimes via set_shard().
+  std::vector<std::uint64_t>& shard(std::uint64_t server) {
+    return shards_[server];
+  }
+  const std::vector<std::uint64_t>& shard(std::uint64_t server) const {
+    return shards_[server];
+  }
+
+  /// The inserted keys, in insertion order (hit-query sampling).
+  const std::vector<std::uint64_t>& keys() const { return keys_; }
+
+  /// SplitMix64-style mixer mapping a key to its home slot; shared by the
+  /// builder, the reference lookup and the drivers (the traveling kernel
+  /// itself receives the precomputed start slot).
+  static std::uint64_t mix(std::uint64_t key);
+  std::uint64_t start_slot(std::uint64_t key) const {
+    return mix(key) % capacity_;
+  }
+
+  /// Reference lookup walking the sharded layout exactly as the kernel
+  /// does: value on a key match, kMiss on an empty bucket or a full cycle.
+  std::uint64_t lookup(std::uint64_t key) const;
+
+  /// Fraction of inserted keys whose probe chain crosses at least one
+  /// shard boundary (each crossing is a kernel self-forward).
+  double cross_shard_fraction() const;
+
+ private:
+  std::uint64_t bucket_key(std::uint64_t slot) const {
+    return shards_[slot / buckets_per_shard_]
+                  [2 * (slot % buckets_per_shard_)];
+  }
+
+  std::uint64_t capacity_ = 0;
+  std::uint64_t buckets_per_shard_ = 0;
+  std::vector<std::vector<std::uint64_t>> shards_;
+  std::vector<std::uint64_t> keys_;
+};
+
+}  // namespace tc::workloads

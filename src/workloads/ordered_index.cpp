@@ -1,0 +1,113 @@
+#include "workloads/ordered_index.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "workloads/hash_table.hpp"  // kMiss, the shared mixer
+
+namespace tc::workloads {
+
+StatusOr<ShardedOrderedIndex> ShardedOrderedIndex::build(
+    const OrderedIndexConfig& config) {
+  if (config.keys_per_shard == 0 || config.shard_count == 0) {
+    return invalid_argument("ordered index: zero shards or shard size");
+  }
+  const std::uint64_t total = config.keys_per_shard * config.shard_count;
+  if (total < 2) {
+    return invalid_argument("ordered index: need the head plus one key");
+  }
+
+  ShardedOrderedIndex index;
+  index.node_count_ = total;
+  index.nodes_per_shard_ = config.keys_per_shard;
+
+  // total - 1 distinct keys in [1, 2^63) (clear of both sentinels), sorted
+  // so node rank == key rank; deterministic values derived per key.
+  Xoshiro256 rng(config.seed);
+  std::unordered_set<std::uint64_t> used;
+  while (index.keys_.size() < total - 1) {
+    const std::uint64_t key = (rng() >> 1) | 1;
+    if (used.insert(key).second) index.keys_.push_back(key);
+  }
+  std::sort(index.keys_.begin(), index.keys_.end());
+  index.values_.reserve(index.keys_.size());
+  for (std::uint64_t key : index.keys_) {
+    index.values_.push_back(ShardedHashTable::mix(key ^ config.seed) >> 1);
+  }
+
+  // Tower heights: head gets the full tower; node r is promoted a level
+  // with probability 1/4 (the classic skip-list quarter decimation), drawn
+  // deterministically from the seeded stream.
+  std::vector<std::uint64_t> height(total, 1);
+  height[0] = kLevels;
+  for (std::uint64_t r = 1; r < total; ++r) {
+    while (height[r] < kLevels && rng.below(4) == 0) ++height[r];
+  }
+
+  // Fingers: next[l] of node r is the nearest higher-rank node promoted
+  // past level l. One descending sweep with a per-level "last seen" cursor.
+  index.shards_.assign(
+      config.shard_count,
+      std::vector<std::uint64_t>(config.keys_per_shard * kRecordWords, 0));
+  std::uint64_t last[kLevels];
+  std::uint64_t last_key[kLevels];
+  for (std::uint64_t l = 0; l < kLevels; ++l) last[l] = kNil;
+  for (std::uint64_t r = total; r-- > 0;) {
+    auto& shard = index.shards_[r / config.keys_per_shard];
+    std::uint64_t* rec =
+        shard.data() + (r % config.keys_per_shard) * kRecordWords;
+    rec[0] = r == 0 ? 0 : index.keys_[r - 1];
+    rec[1] = r == 0 ? 0 : index.values_[r - 1];
+    for (std::uint64_t l = 0; l < kLevels; ++l) {
+      if (l < height[r]) {
+        rec[2 + 2 * l] = last[l];
+        rec[3 + 2 * l] = last[l] == kNil ? 0 : last_key[l];
+      } else {
+        rec[2 + 2 * l] = kNil;  // never read: arrivals stay below height
+        rec[3 + 2 * l] = 0;
+      }
+    }
+    for (std::uint64_t l = 0; l < height[r]; ++l) {
+      last[l] = r;
+      last_key[l] = rec[0];
+    }
+  }
+  return index;
+}
+
+std::uint64_t ShardedOrderedIndex::lookup(std::uint64_t key) const {
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return kMiss;
+  return values_[static_cast<std::size_t>(it - keys_.begin())];
+}
+
+double ShardedOrderedIndex::cross_shard_fraction() const {
+  std::uint64_t taken = 0, crossing = 0;
+  for (std::uint64_t key : keys_) {
+    std::uint64_t node = 0;
+    std::uint64_t level = kLevels - 1;
+    while (true) {
+      const auto& shard = shards_[node / nodes_per_shard_];
+      const std::uint64_t* rec =
+          shard.data() + (node % nodes_per_shard_) * kRecordWords;
+      const std::uint64_t next_id = rec[2 + 2 * level];
+      const std::uint64_t next_key = rec[3 + 2 * level];
+      if (next_id != kNil && next_key <= key) {
+        ++taken;
+        if (next_id / nodes_per_shard_ != node / nodes_per_shard_) {
+          ++crossing;
+        }
+        node = next_id;
+        continue;
+      }
+      if (level == 0) break;
+      --level;
+    }
+  }
+  return taken == 0 ? 0.0
+                    : static_cast<double>(crossing) /
+                          static_cast<double>(taken);
+}
+
+}  // namespace tc::workloads

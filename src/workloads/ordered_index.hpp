@@ -1,0 +1,74 @@
+// The sharded sorted index of the workload suite: a static skip list whose
+// nodes are laid out rank-major across servers (node R — the R-th smallest
+// key — lives on server R / nodes_per_shard), so low-level links walk
+// within a shard while tower links jump across shard boundaries — the
+// shard-crossing down-links the ordered-search kernel turns into
+// self-forwards.
+//
+// Every node record stores (next_id, next_key) *fingers* per level: carrying
+// the successor's key alongside the link makes the comparison-driven branch
+// locally decidable, so a traveling kernel never needs a remote read to
+// decide whether to take a link (the standard finger construction of
+// distributed skip lists).
+//
+// Record layout (10 words, what Runtime::set_shard exposes):
+//   word 0 — key (node 0 is the head, key 0; real keys are >= 1)
+//   word 1 — value
+//   words 2 + 2*l, 3 + 2*l — (next_id, next_key) at level l, l < 4;
+//                            next_id == ~0 marks a NIL link.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace tc::workloads {
+
+struct OrderedIndexConfig {
+  std::uint64_t keys_per_shard = 64;  ///< nodes per shard (head included)
+  std::uint64_t shard_count = 2;
+  std::uint64_t seed = 0x51a9ull;
+};
+
+class ShardedOrderedIndex {
+ public:
+  static constexpr std::uint64_t kLevels = 4;
+  static constexpr std::uint64_t kRecordWords = 2 + 2 * kLevels;
+  static constexpr std::uint64_t kNil = ~0ull;
+
+  ShardedOrderedIndex() = default;
+
+  static StatusOr<ShardedOrderedIndex> build(const OrderedIndexConfig& config);
+
+  std::uint64_t node_count() const { return node_count_; }
+  std::uint64_t nodes_per_shard() const { return nodes_per_shard_; }
+  std::uint64_t shard_count() const { return shards_.size(); }
+
+  /// Mutable shard storage (nodes_per_shard * kRecordWords words).
+  std::vector<std::uint64_t>& shard(std::uint64_t server) {
+    return shards_[server];
+  }
+  const std::vector<std::uint64_t>& shard(std::uint64_t server) const {
+    return shards_[server];
+  }
+
+  /// The indexed keys in ascending order (head excluded).
+  const std::vector<std::uint64_t>& keys() const { return keys_; }
+
+  /// Reference lookup (sorted-array binary search): value or kMiss.
+  std::uint64_t lookup(std::uint64_t key) const;
+
+  /// Fraction of taken links in a full descent, averaged over all keys,
+  /// that cross a shard boundary (each is a kernel self-forward).
+  double cross_shard_fraction() const;
+
+ private:
+  std::uint64_t node_count_ = 0;
+  std::uint64_t nodes_per_shard_ = 0;
+  std::vector<std::vector<std::uint64_t>> shards_;
+  std::vector<std::uint64_t> keys_;    ///< sorted, keys_[r] = node r+1's key
+  std::vector<std::uint64_t> values_;  ///< aligned with keys_
+};
+
+}  // namespace tc::workloads

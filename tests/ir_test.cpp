@@ -58,8 +58,11 @@ constexpr KernelKind kAllKernels[] = {
     KernelKind::kSpawner,             KernelKind::kSinSum,
     KernelKind::kRemoteStore,         KernelKind::kStatsSummary,
     KernelKind::kTreeBroadcast,       KernelKind::kCollectiveBroadcast,
-    KernelKind::kCollectiveReduce,
+    KernelKind::kCollectiveReduce,    KernelKind::kHashProbe,
+    KernelKind::kOrderedSearch,       KernelKind::kBfsFrontier,
 };
+static_assert(std::size(kAllKernels) == kKernelKindCount,
+              "keep the test catalogue in lockstep with KernelKind");
 
 class KernelBuildP
     : public ::testing::TestWithParam<std::tuple<KernelKind, const char*>> {};
@@ -105,6 +108,35 @@ TEST(KernelBuilder, HllGuardsChangeEmission) {
   ASSERT_TRUE(b.is_ok());
   EXPECT_EQ((*a)->getFunction(abi::kHookHllGuard), nullptr);
   EXPECT_NE((*b)->getFunction(abi::kHookHllGuard), nullptr);
+}
+
+TEST(KernelBuilder, WorkloadKernelsReferenceTheirHooks) {
+  llvm::LLVMContext context;
+  // The lookup kernels route by shard ownership and answer the origin.
+  for (KernelKind kind :
+       {KernelKind::kHashProbe, KernelKind::kOrderedSearch}) {
+    auto module = build_kernel(context, kind, {kTripleX86, "", ""});
+    ASSERT_TRUE(module.is_ok()) << kernel_name(kind);
+    for (const char* hook : {abi::kHookShardBase, abi::kHookShardSize,
+                             abi::kHookSelfPeer, abi::kHookPeerCount,
+                             abi::kHookForward, abi::kHookReply}) {
+      if (kind == KernelKind::kOrderedSearch &&
+          std::string(hook) == abi::kHookPeerCount) {
+        continue;  // the index derives ownership from shard size alone
+      }
+      EXPECT_NE((*module)->getFunction(hook), nullptr)
+          << kernel_name(kind) << " " << hook;
+    }
+  }
+  // BFS additionally lands per-lane state through the target pointer.
+  auto bfs = build_kernel(context, KernelKind::kBfsFrontier,
+                          {kTripleX86, "", ""});
+  ASSERT_TRUE(bfs.is_ok());
+  for (const char* hook : {abi::kHookTarget, abi::kHookShardBase,
+                           abi::kHookSelfPeer, abi::kHookForward,
+                           abi::kHookReply}) {
+    EXPECT_NE((*bfs)->getFunction(hook), nullptr) << hook;
+  }
 }
 
 TEST(KernelBuilder, ChaserReferencesAllChaseHooks) {

@@ -640,6 +640,276 @@ TEST(Interp, CollectiveReduceMinMaxCountFolds) {
   }
 }
 
+// --- the workload-suite kernels ----------------------------------------------
+
+// Shard 1 of 2, 4 buckets local ({key, value} pairs for global buckets
+// 4..7), capacity 8.
+struct HashProbeEnv {
+  StubEnv env;
+  std::uint64_t shard[8] = {10, 100, 11, 101, 0, 0, 12, 102};
+  HashProbeEnv() {
+    env.shard = shard;
+    env.shard_size = 8;  // words; buckets_per_shard = 4
+    env.self_peer = 1;
+    env.peer_count = 2;
+  }
+};
+
+Bytes hash_payload(std::uint64_t key, std::uint64_t slot,
+                   std::uint64_t probes, std::uint64_t tag) {
+  ByteWriter w;
+  w.u64(key);
+  w.u64(slot);
+  w.u64(probes);
+  w.u64(tag);
+  return std::move(w).take();
+}
+
+TEST(Interp, HashProbeWalksChainToHit) {
+  HashProbeEnv h;
+  // Start at bucket 4 (key 10), probing for key 11 one slot further.
+  Bytes payload = hash_payload(11, 4, 8, 0xAA);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kHashProbe),
+                      stub_hooks(h.env), payload.data(), payload.size())
+                  .is_ok());
+  EXPECT_TRUE(h.env.forwards.empty());
+  ASSERT_EQ(h.env.replies.size(), 1u);
+  ASSERT_EQ(h.env.replies[0].size(), 16u);
+  std::uint64_t value = 0, tag = 0;
+  std::memcpy(&value, h.env.replies[0].data(), 8);
+  std::memcpy(&tag, h.env.replies[0].data() + 8, 8);
+  EXPECT_EQ(value, 101u);
+  EXPECT_EQ(tag, 0xAAu);
+}
+
+TEST(Interp, HashProbeEmptyBucketIsDefinitiveMiss) {
+  HashProbeEnv h;
+  // Key 99 starting at bucket 5: key 11 mismatches, bucket 6 is empty.
+  Bytes payload = hash_payload(99, 5, 8, 7);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kHashProbe),
+                      stub_hooks(h.env), payload.data(), payload.size())
+                  .is_ok());
+  ASSERT_EQ(h.env.replies.size(), 1u);
+  std::uint64_t value = 0;
+  std::memcpy(&value, h.env.replies[0].data(), 8);
+  EXPECT_EQ(value, ~0ull);  // the miss sentinel
+}
+
+TEST(Interp, HashProbeForwardsWhenChainCrossesShard) {
+  HashProbeEnv h;
+  // Bucket 7 (key 12) mismatches; (7 + 1) % 8 = 0 is owned by peer 0.
+  Bytes payload = hash_payload(99, 7, 8, 3);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kHashProbe),
+                      stub_hooks(h.env), payload.data(), payload.size())
+                  .is_ok());
+  EXPECT_TRUE(h.env.replies.empty());
+  ASSERT_EQ(h.env.forwards.size(), 1u);
+  EXPECT_EQ(h.env.forwards[0].peer, 0u);
+  std::uint64_t slot = 0, probes = 0;
+  std::memcpy(&slot, h.env.forwards[0].payload.data() + 8, 8);
+  std::memcpy(&probes, h.env.forwards[0].payload.data() + 16, 8);
+  EXPECT_EQ(slot, 0u);
+  EXPECT_EQ(probes, 7u);  // one probe consumed before the crossing
+}
+
+TEST(Interp, HashProbeBudgetExhaustionMisses) {
+  HashProbeEnv h;
+  // One probe only, landing on a mismatching non-empty bucket.
+  Bytes payload = hash_payload(99, 4, 1, 5);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kHashProbe),
+                      stub_hooks(h.env), payload.data(), payload.size())
+                  .is_ok());
+  ASSERT_EQ(h.env.replies.size(), 1u);
+  std::uint64_t value = 0;
+  std::memcpy(&value, h.env.replies[0].data(), 8);
+  EXPECT_EQ(value, ~0ull);
+}
+
+// Shard 0 of 2: head (node 0, key 0) and node 1 (key 10); nodes 2 (key 20,
+// height 2) and 3 (key 30) live on peer 1. 10-word records with
+// (next_id, next_key) fingers per level.
+struct OrderedEnv {
+  StubEnv env;
+  std::uint64_t shard[20] = {};
+  OrderedEnv() {
+    auto set = [&](std::size_t node, std::uint64_t key, std::uint64_t value,
+                   std::initializer_list<std::pair<std::uint64_t,
+                                                   std::uint64_t>> fingers) {
+      std::uint64_t* rec = shard + node * 10;
+      rec[0] = key;
+      rec[1] = value;
+      for (std::size_t l = 0; l < 4; ++l) {
+        rec[2 + 2 * l] = ~0ull;
+        rec[3 + 2 * l] = 0;
+      }
+      std::size_t l = 0;
+      for (const auto& [id, k] : fingers) {
+        rec[2 + 2 * l] = id;
+        rec[3 + 2 * l] = k;
+        ++l;
+      }
+    };
+    set(0, 0, 0, {{1, 10}, {2, 20}});  // head: l0 -> node 1, l1 -> node 2
+    set(1, 10, 1000, {{2, 20}});
+    env.shard = shard;
+    env.shard_size = 20;  // words; nodes_per_shard = 2
+    env.self_peer = 0;
+    env.peer_count = 2;
+  }
+};
+
+Bytes search_payload(std::uint64_t target, std::uint64_t node,
+                     std::uint64_t level, std::uint64_t tag) {
+  ByteWriter w;
+  w.u64(target);
+  w.u64(node);
+  w.u64(level);
+  w.u64(tag);
+  return std::move(w).take();
+}
+
+TEST(Interp, OrderedSearchDescendsToLocalHit) {
+  OrderedEnv o;
+  Bytes payload = search_payload(10, 0, 3, 0xBB);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kOrderedSearch),
+                      stub_hooks(o.env), payload.data(), payload.size())
+                  .is_ok());
+  EXPECT_TRUE(o.env.forwards.empty());
+  ASSERT_EQ(o.env.replies.size(), 1u);
+  std::uint64_t value = 0, tag = 0;
+  std::memcpy(&value, o.env.replies[0].data(), 8);
+  std::memcpy(&tag, o.env.replies[0].data() + 8, 8);
+  EXPECT_EQ(value, 1000u);
+  EXPECT_EQ(tag, 0xBBu);
+}
+
+TEST(Interp, OrderedSearchMissesBetweenKeys) {
+  OrderedEnv o;
+  // 15 lands on node 1 (key 10 < 15 < next key 20): not equal -> miss.
+  Bytes payload = search_payload(15, 0, 3, 1);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kOrderedSearch),
+                      stub_hooks(o.env), payload.data(), payload.size())
+                  .is_ok());
+  ASSERT_EQ(o.env.replies.size(), 1u);
+  std::uint64_t value = 0;
+  std::memcpy(&value, o.env.replies[0].data(), 8);
+  EXPECT_EQ(value, ~0ull);
+}
+
+TEST(Interp, OrderedSearchForwardsAtShardCrossingLink) {
+  OrderedEnv o;
+  // 25 takes the head's level-1 finger to node 2 — owned by peer 1.
+  Bytes payload = search_payload(25, 0, 3, 9);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kOrderedSearch),
+                      stub_hooks(o.env), payload.data(), payload.size())
+                  .is_ok());
+  EXPECT_TRUE(o.env.replies.empty());
+  ASSERT_EQ(o.env.forwards.size(), 1u);
+  EXPECT_EQ(o.env.forwards[0].peer, 1u);
+  std::uint64_t node = 0, level = 0;
+  std::memcpy(&node, o.env.forwards[0].payload.data() + 8, 8);
+  std::memcpy(&level, o.env.forwards[0].payload.data() + 16, 8);
+  EXPECT_EQ(node, 2u);
+  EXPECT_EQ(level, 1u);  // the descent resumes at the taken level
+}
+
+// Shard 0 of 2: vertices 0..3 local (vps = 4); adjacency 0 -> {1, 4}.
+// CSR slice [vps][row offsets x 5][cols]; the cell carries the visited
+// bitmap / worklist pointers plus the Dijkstra-Scholten words.
+struct BfsEnv {
+  StubEnv env;
+  std::uint64_t shard[8] = {4, 0, 2, 2, 2, 2, 1, 4};
+  alignas(64) std::uint64_t cell[8] = {};
+  std::uint64_t bitmap[1] = {};
+  std::uint64_t worklist[4] = {};
+  BfsEnv() {
+    env.shard = shard;
+    env.shard_size = 8;
+    env.self_peer = 0;
+    env.peer_count = 2;
+    env.target_override = cell;
+    cell[1] = reinterpret_cast<std::uint64_t>(bitmap);
+    cell[2] = reinterpret_cast<std::uint64_t>(worklist);
+  }
+};
+
+Bytes bfs_visit_payload(std::uint64_t lane, std::uint64_t vertex,
+                        std::uint64_t from) {
+  ByteWriter w;
+  w.u64(0);
+  w.u64(lane);
+  w.u64(vertex);
+  w.u64(from);
+  return std::move(w).take();
+}
+
+TEST(Interp, BfsFrontierExpandsLocallyEngagesAndForwards) {
+  BfsEnv b;
+  // Seed at vertex 0 from the origin (~0): visits 0 and its local
+  // neighbor 1, forwards frontier vertex 4 to peer 1, engages.
+  Bytes payload = bfs_visit_payload(0, 0, ~0ull);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kBfsFrontier),
+                      stub_hooks(b.env), payload.data(), payload.size())
+                  .is_ok());
+  EXPECT_EQ(b.cell[0], 2u);                // visited 0 and 1
+  EXPECT_EQ(b.bitmap[0], 0b11u);
+  ASSERT_EQ(b.env.forwards.size(), 1u);
+  EXPECT_EQ(b.env.forwards[0].peer, 1u);
+  ASSERT_EQ(b.env.forwards[0].payload.size(), 32u);
+  std::uint64_t vertex = 0, from = 0;
+  std::memcpy(&vertex, b.env.forwards[0].payload.data() + 16, 8);
+  std::memcpy(&from, b.env.forwards[0].payload.data() + 24, 8);
+  EXPECT_EQ(vertex, 4u);
+  EXPECT_EQ(from, 0u);                     // the child acks us
+  EXPECT_TRUE(b.env.replies.empty());      // engaged: the ack is deferred
+  EXPECT_EQ(b.cell[3], 1u);                // engaged
+  EXPECT_EQ(b.cell[4], ~0ull);             // parent: the chain origin
+  EXPECT_EQ(b.cell[5], 1u);                // deficit: one child in flight
+
+  // The child's ack drains the deficit: disengage and, as the engagement
+  // root, reply [lane][0] to the origin.
+  b.env.forwards.clear();
+  ByteWriter w;
+  w.u64(1);
+  w.u64(0);
+  Bytes ack = std::move(w).take();
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kBfsFrontier),
+                      stub_hooks(b.env), ack.data(), ack.size())
+                  .is_ok());
+  EXPECT_TRUE(b.env.forwards.empty());
+  ASSERT_EQ(b.env.replies.size(), 1u);
+  ASSERT_EQ(b.env.replies[0].size(), 16u);
+  std::uint64_t lane = 0, zero = 1;
+  std::memcpy(&lane, b.env.replies[0].data(), 8);
+  std::memcpy(&zero, b.env.replies[0].data() + 8, 8);
+  EXPECT_EQ(lane, 0u);
+  EXPECT_EQ(zero, 0u);
+  EXPECT_EQ(b.cell[3], 0u);  // disengaged
+}
+
+TEST(Interp, BfsFrontierAcksRevisitsImmediately) {
+  BfsEnv b;
+  Bytes seed = bfs_visit_payload(0, 0, ~0ull);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kBfsFrontier),
+                      stub_hooks(b.env), seed.data(), seed.size())
+                  .is_ok());
+  b.env.forwards.clear();
+  // A revisit of vertex 1 from peer 1 while engaged: no expansion, the
+  // sender is acked right away ([1][lane] back to peer 1).
+  Bytes revisit = bfs_visit_payload(0, 1, 1);
+  ASSERT_TRUE(execute(lowered(ir::KernelKind::kBfsFrontier),
+                      stub_hooks(b.env), revisit.data(), revisit.size())
+                  .is_ok());
+  EXPECT_EQ(b.cell[0], 2u);  // nothing new visited
+  ASSERT_EQ(b.env.forwards.size(), 1u);
+  EXPECT_EQ(b.env.forwards[0].peer, 1u);
+  ASSERT_EQ(b.env.forwards[0].payload.size(), 16u);
+  std::uint64_t kind = 0;
+  std::memcpy(&kind, b.env.forwards[0].payload.data(), 8);
+  EXPECT_EQ(kind, 1u);       // an ack message
+  EXPECT_EQ(b.cell[5], 1u);  // the original deficit is untouched
+}
+
 TEST(Interp, RemoteStoreReportsHookStatus) {
   StubEnv env;  // stub remote_write returns -3
   ByteWriter w;

@@ -1,60 +1,100 @@
 #!/usr/bin/env bash
 # Regenerates the machine-readable perf trajectory at the repo root:
-#   BENCH_tsi.json  — Tables I-VI (TSI overhead + message rates)
-#   BENCH_dapc.json — Figures 5-12 + the async window sweep
-#   BENCH_shm.json  — fig_mt_scale + fig_collectives: the sim
-#                     (virtual-time) vs shm (real-threads wall-clock)
-#                     transport-backend comparisons
+#   BENCH_tsi.json       — Tables I-VI (TSI overhead + message rates)
+#   BENCH_dapc.json      — Figures 5-12 + the async window sweep
+#   BENCH_shm.json       — fig_mt_scale + fig_collectives: the sim
+#                          (virtual-time) vs shm (real-threads wall-clock)
+#                          transport-backend comparisons
+#   BENCH_workloads.json — fig_workloads: the remote-data-structure suite
+#                          (hash-probe / ordered-search / BFS) across
+#                          backends, representations and initiator counts
 #
 # BENCH_tsi/BENCH_dapc virtual-time numbers are machine-independent;
-# BENCH_shm wall-clock rates depend on the host that ran them.
+# BENCH_shm/BENCH_workloads wall-clock rates depend on the host that ran
+# them (their sim halves are machine-independent).
 #
 # Each document is accumulated in a temp file and moved into place only
 # after every bench feeding it has succeeded, so a mid-sweep crash leaves
 # the previous trajectory intact instead of a half-written (or deleted)
 # file.
 #
-# Usage: tools/run_bench_json.sh <build-dir> [out-dir]
+# Usage: tools/run_bench_json.sh <build-dir> [out-dir] [--only <group>]
+#   --only tsi|dapc|shm|workloads regenerates a single JSON document
+#   without re-running the full trajectory.
 # Honors TC_BENCH_FAST=1 for shrunk smoke sweeps (CI).
 set -euo pipefail
 
-build_dir=${1:?usage: tools/run_bench_json.sh <build-dir> [out-dir]}
-out_dir=${2:-$(dirname "$0")/..}
+build_dir=${1:?usage: tools/run_bench_json.sh <build-dir> [out-dir] [--only <group>]}
+shift
+out_dir=$(dirname "$0")/..
+out_dir_set=0
+only=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --only)
+      only=${2:?--only needs a group: tsi|dapc|shm|workloads}
+      shift 2
+      ;;
+    --*)
+      echo "unknown option '$1' (did you mean '--only <group>'?)" >&2
+      exit 2
+      ;;
+    *)
+      if [ "$out_dir_set" = 1 ]; then
+        echo "unexpected extra argument '$1'" >&2
+        exit 2
+      fi
+      out_dir=$1
+      out_dir_set=1
+      shift
+      ;;
+  esac
+done
+case "$only" in
+  ""|tsi|dapc|shm|workloads) ;;
+  *)
+    echo "unknown --only group '$only' (expected tsi|dapc|shm|workloads)" >&2
+    exit 2
+    ;;
+esac
 mkdir -p "$out_dir"
-
-tsi_json="$out_dir/BENCH_tsi.json"
-dapc_json="$out_dir/BENCH_dapc.json"
-shm_json="$out_dir/BENCH_shm.json"
 
 # Inside out_dir, so the final mv is a same-filesystem atomic rename (a
 # cross-filesystem mv degrades to copy+unlink, which a crash can truncate).
 tmp_dir=$(mktemp -d "$out_dir/.tc_bench.XXXXXX")
 trap 'rm -rf "$tmp_dir"' EXIT
-tsi_tmp="$tmp_dir/BENCH_tsi.json"
-dapc_tmp="$tmp_dir/BENCH_dapc.json"
-shm_tmp="$tmp_dir/BENCH_shm.json"
 
-for bench in table1_tsi_ookami table2_tsi_bf2 table3_tsi_xeon \
-             table4_rates_ookami table5_rates_bf2 table6_rates_xeon; do
-  "$build_dir/$bench" --json "$tsi_tmp" > /dev/null
-  echo "ran $bench"
-done
-mv "$tsi_tmp" "$tsi_json"
+# run_group <group> <json-name> <bench>...: accumulates every bench's
+# --json output in a temp document, then atomically installs it.
+run_group() {
+  local group=$1 json_name=$2
+  shift 2
+  if [ -n "$only" ] && [ "$only" != "$group" ]; then
+    return 0
+  fi
+  local tmp="$tmp_dir/$json_name"
+  local bench
+  for bench in "$@"; do
+    "$build_dir/$bench" --json "$tmp" > /dev/null
+    echo "ran $bench"
+  done
+  mv "$tmp" "$out_dir/$json_name"
+  echo "wrote $out_dir/$json_name"
+}
 
-for bench in fig5_dapc_depth_thor_bf2 fig6_dapc_depth_ookami \
-             fig7_dapc_depth_thor_xeon fig8_dapc_depth_julia \
-             fig9_dapc_scale_thor_bf2 fig10_dapc_scale_ookami \
-             fig11_dapc_scale_thor_xeon fig12_dapc_scale_julia \
-             fig_async_window; do
-  "$build_dir/$bench" --json "$dapc_tmp" > /dev/null
-  echo "ran $bench"
-done
-mv "$dapc_tmp" "$dapc_json"
+run_group tsi BENCH_tsi.json \
+  table1_tsi_ookami table2_tsi_bf2 table3_tsi_xeon \
+  table4_rates_ookami table5_rates_bf2 table6_rates_xeon
 
-for bench in fig_mt_scale fig_collectives; do
-  "$build_dir/$bench" --json "$shm_tmp" > /dev/null
-  echo "ran $bench"
-done
-mv "$shm_tmp" "$shm_json"
+run_group dapc BENCH_dapc.json \
+  fig5_dapc_depth_thor_bf2 fig6_dapc_depth_ookami \
+  fig7_dapc_depth_thor_xeon fig8_dapc_depth_julia \
+  fig9_dapc_scale_thor_bf2 fig10_dapc_scale_ookami \
+  fig11_dapc_scale_thor_xeon fig12_dapc_scale_julia \
+  fig_async_window
 
-echo "wrote $tsi_json, $dapc_json and $shm_json"
+run_group shm BENCH_shm.json \
+  fig_mt_scale fig_collectives
+
+run_group workloads BENCH_workloads.json \
+  fig_workloads

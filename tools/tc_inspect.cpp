@@ -9,6 +9,8 @@
 //                                        bitcode entries print .ll (needs LLVM)
 //   tc_inspect emit-demo <file>          write the TSI demo archive to a file
 //   tc_inspect emit-vm-demo <file>       write the portable TSI archive
+//   tc_inspect kernels                   list the stock KernelKind catalogue
+//                                        (wire name + one-line description)
 //
 // Useful when debugging what actually travels on the wire: entry triples,
 // code sizes, deps manifests, header fields, delimiter placement.
@@ -208,6 +210,17 @@ int cmd_emit_demo(const char* path) {
   return write_archive(*archive, path);
 }
 
+int cmd_kernels() {
+  std::printf("%d stock ifunc kernels (wire name: description):\n",
+              ir::kKernelKindCount);
+  for (int k = 0; k < ir::kKernelKindCount; ++k) {
+    const auto kind = static_cast<ir::KernelKind>(k);
+    std::printf("  %-16s %s\n", ir::kernel_name(kind),
+                ir::kernel_description(kind));
+  }
+  return 0;
+}
+
 int cmd_emit_vm_demo(const char* path) {
   auto archive = vm::build_portable_kernel(ir::KernelKind::kTargetSideIncrement);
   if (!archive.is_ok()) {
@@ -224,7 +237,8 @@ void usage() {
                "       tc_inspect frame <file>\n"
                "       tc_inspect disas <file> [triple|portable]\n"
                "       tc_inspect emit-demo <file>\n"
-               "       tc_inspect emit-vm-demo <file>\n");
+               "       tc_inspect emit-vm-demo <file>\n"
+               "       tc_inspect kernels\n");
 }
 
 }  // namespace
@@ -249,6 +263,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "emit-vm-demo") == 0 && argc >= 3) {
     return cmd_emit_vm_demo(argv[2]);
   }
+  if (std::strcmp(cmd, "kernels") == 0) return cmd_kernels();
   usage();
   return 2;
 }
