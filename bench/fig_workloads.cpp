@@ -16,10 +16,14 @@
 // measured run is warm: the first untimed round ships the kernel along
 // every edge; the timed rounds ride truncated frames and warm caches.
 #include <algorithm>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/collect.hpp"
+#include "obs/export.hpp"
 #include "workloads/workload_engine.hpp"
 
 using namespace tc;
@@ -144,10 +148,84 @@ void sweep(const std::string& json, hetsim::Backend backend,
                                "ops_per_second", all));
 }
 
+/// --trace <out.json>: a dedicated traced run — multi-initiator cross-shard
+/// hash-probe on the shm backend with the distributed tracer attached —
+/// exported as Chrome trace-event JSON (load in ui.perfetto.dev, or digest
+/// with `tc_inspect trace <out.json>`). Runs on its own cluster so the
+/// throughput sweeps above stay untraced and byte-identical.
+Status run_traced(const std::string& trace_path) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  hetsim::ClusterConfig cluster_config;
+  cluster_config.platform = hetsim::Platform::kThorXeon;
+  cluster_config.backend = hetsim::Backend::kShm;
+  cluster_config.server_count = 4;
+  cluster_config.client_count = 2;
+  cluster_config.tracer = &tracer;
+  cluster_config.metrics = &metrics;
+  TC_ASSIGN_OR_RETURN(auto cluster, hetsim::Cluster::create(cluster_config));
+  workloads::WorkloadConfig config;
+  config.workload = workloads::Workload::kHashProbe;
+  config.mode = workloads::default_workload_mode();
+  config.lanes = 2;
+  config.window = 4;
+  // Small, highly occupied shards: collision chains regularly run off the
+  // shard edge, so the trace shows the probe kernel self-forwarding across
+  // shard boundaries (the behavior this artifact exists to make visible).
+  config.buckets_per_shard = 64;
+  config.fill_percent = 90;
+  TC_ASSIGN_OR_RETURN(auto engine,
+                      workloads::WorkloadEngine::create(*cluster, config));
+  std::vector<std::vector<std::uint64_t>> per_lane;
+  for (std::size_t lane = 0; lane < config.lanes; ++lane) {
+    per_lane.push_back(engine->sample_queries(lane, 24));
+  }
+  TC_ASSIGN_OR_RETURN(workloads::WorkloadResult result,
+                      engine->run_lookups_all(per_lane));
+
+  obs::collect_cluster_metrics(*cluster, metrics);
+  obs::collect_tracer_gauges(tracer, metrics);
+  const std::vector<obs::TraceEvent> events = tracer.drain_all();
+  std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return internal_error("--trace: cannot open " + trace_path);
+  }
+  out << obs::chrome_trace_json(events, "fig_workloads hash-probe shm");
+  out.close();
+  std::fprintf(stderr,
+               "--trace: %zu span events (%llu dropped) from %llu lookups "
+               "-> %s\n",
+               events.size(),
+               static_cast<unsigned long long>(tracer.total_dropped()),
+               static_cast<unsigned long long>(result.completed),
+               trace_path.c_str());
+  std::fputs(obs::metrics_text(metrics.snapshot()).c_str(), stderr);
+  return Status::ok();
+}
+
+std::string trace_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json = bench::json_path_from_args(argc, argv);
+  const std::string trace_path = trace_path_from_args(argc, argv);
+  if (!trace_path.empty()) {
+    Status status = run_traced(trace_path);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "--trace failed: %s\n",
+                   status.to_string().c_str());
+      return 1;
+    }
+    // --trace on its own produces just the trace artifact; with --json the
+    // full sweep below still runs.
+    if (json.empty()) return 0;
+  }
   const bool fast = bench::fast_mode();
   const std::vector<std::size_t> server_counts =
       fast ? std::vector<std::size_t>{2, 4}

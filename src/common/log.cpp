@@ -1,6 +1,13 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <string>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace tc {
 
@@ -21,14 +28,39 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+// One write() per record: stderr is unbuffered, so a multi-part fprintf can
+// reach the fd as several syscalls and interleave with the shm backend's
+// progress threads (or another process sharing the terminal). A single
+// write of a fully formatted line is atomic in practice for pipe/terminal
+// sinks, keeping each record on its own line.
+void write_all(const char* data, std::size_t size) {
+#ifdef _WIN32
+  std::fwrite(data, 1, size, stderr);
+#else
+  while (size > 0) {
+    const ::ssize_t n = ::write(STDERR_FILENO, data, size);
+    if (n <= 0) return;  // a wedged stderr is not worth retrying forever
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+#endif
+}
 }  // namespace
 
 void Logger::write(LogLevel level, std::string_view module,
                    std::string_view msg) {
+  std::string line;
+  line.reserve(16 + module.size() + msg.size());
+  line += "[tc ";
+  line += level_tag(level);
+  line += ' ';
+  line += module;
+  line += "] ";
+  line += msg;
+  line += '\n';
   std::lock_guard<std::mutex> lock(mu_);
-  std::fprintf(stderr, "[tc %s %.*s] %.*s\n", level_tag(level),
-               static_cast<int>(module.size()), module.data(),
-               static_cast<int>(msg.size()), msg.data());
+  write_all(line.data(), line.size());
 }
 
 }  // namespace tc

@@ -14,6 +14,7 @@
 
 #include "common/bytes.hpp"
 #include "fabric/memory.hpp"
+#include "obs/trace.hpp"
 #include "vm/interp.hpp"
 
 namespace tc::core {
@@ -43,6 +44,12 @@ struct ExecContext {
   std::uint32_t injects_issued = 0;
   std::uint32_t replies_issued = 0;
   std::uint32_t hll_guard_calls = 0;
+
+  /// Trace context the carrying frame arrived with (untraced when tracing
+  /// is off) and the span id of this invocation's execute span — forwards
+  /// and replies emitted by the ifunc parent their hops under it.
+  obs::TraceContext trace;
+  std::uint32_t span_id = 0;
 };
 
 }  // namespace tc::core

@@ -18,19 +18,26 @@ void encode_header(ByteWriter& w, const FrameHeader& h) {
   w.u16(kFrameMagic);
   w.u8(kProtocolVersion);
   w.u8(static_cast<std::uint8_t>(h.repr |
-                                 (h.code_only ? kReprCodeOnlyFlag : 0)));
+                                 (h.code_only ? kReprCodeOnlyFlag : 0) |
+                                 (h.traced() ? kReprTracedFlag : 0)));
   w.u64(h.ifunc_id);
   w.u32(h.origin_node);
   w.u32(h.payload_size);
   w.u32(h.code_size);
   w.u16(header_check(ByteSpan(w.bytes().data() + w.size() - 24, 24)));
+  if (h.traced()) {
+    w.u64(h.trace.trace_id);
+    w.u32(h.trace.hop);
+    w.u32(h.trace.parent_span);
+  }
 }
 
 }  // namespace
 
 StatusOr<Frame> Frame::build(std::uint64_t ifunc_id, ir::CodeRepr repr,
                              ByteSpan code_archive, ByteSpan payload,
-                             std::uint32_t origin_node, bool code_only) {
+                             std::uint32_t origin_node, bool code_only,
+                             const obs::TraceContext* trace) {
   if (code_archive.empty()) {
     return invalid_argument("Frame::build: empty code archive");
   }
@@ -49,6 +56,7 @@ StatusOr<Frame> Frame::build(std::uint64_t ifunc_id, ir::CodeRepr repr,
   frame.header_.origin_node = origin_node;
   frame.header_.payload_size = static_cast<std::uint32_t>(payload.size());
   frame.header_.code_size = static_cast<std::uint32_t>(code_archive.size());
+  if (trace != nullptr && trace->traced()) frame.header_.trace = *trace;
 
   ByteWriter w;
   encode_header(w, frame.header_);
@@ -58,6 +66,31 @@ StatusOr<Frame> Frame::build(std::uint64_t ifunc_id, ir::CodeRepr repr,
   w.u32(kMagicCodeEnd);
   frame.bytes_ = std::move(w).take();
   return frame;
+}
+
+StatusOr<Frame> Frame::with_trace(const Frame& frame,
+                                  const obs::TraceContext& trace) {
+  const FrameHeader& h = frame.header();
+  ByteSpan data = frame.full_view();
+  return build(h.ifunc_id, static_cast<ir::CodeRepr>(h.repr),
+               code_view(data, h), payload_view(data, h), h.origin_node,
+               h.code_only, &trace);
+}
+
+Bytes Frame::traced_wire(const Frame& frame, const obs::TraceContext& trace,
+                         bool include_code) {
+  FrameHeader h = frame.header();
+  h.trace = trace;
+  const ByteSpan data = frame.full_view();
+  ByteWriter w;
+  encode_header(w, h);
+  w.raw(payload_view(data, frame.header()));
+  w.u32(kMagicPayloadEnd);
+  if (include_code) {
+    w.raw(code_view(data, frame.header()));
+    w.u32(kMagicCodeEnd);
+  }
+  return std::move(w).take();
 }
 
 StatusOr<FrameHeader> Frame::peek_header(ByteSpan data) {
@@ -70,11 +103,13 @@ StatusOr<FrameHeader> Frame::peek_header(ByteSpan data) {
   std::uint8_t version = 0;
   FrameHeader h;
   std::uint16_t check = 0;
+  bool traced = false;
   TC_RETURN_IF_ERROR(r.u16(magic));
   TC_RETURN_IF_ERROR(r.u8(version));
   TC_RETURN_IF_ERROR(r.u8(h.repr));
   h.code_only = (h.repr & kReprCodeOnlyFlag) != 0;
-  h.repr &= static_cast<std::uint8_t>(~kReprCodeOnlyFlag);
+  traced = (h.repr & kReprTracedFlag) != 0;
+  h.repr &= static_cast<std::uint8_t>(~(kReprCodeOnlyFlag | kReprTracedFlag));
   TC_RETURN_IF_ERROR(r.u64(h.ifunc_id));
   TC_RETURN_IF_ERROR(r.u32(h.origin_node));
   TC_RETURN_IF_ERROR(r.u32(h.payload_size));
@@ -85,15 +120,29 @@ StatusOr<FrameHeader> Frame::peek_header(ByteSpan data) {
     return data_loss("bad frame magic 0x" +
                      hex(ByteSpan(data.data(), 2)));
   }
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return data_loss("unsupported protocol version " +
                      std::to_string(version));
+  }
+  if (traced && version < 3) {
+    return data_loss("trace extension on a pre-v3 frame");
   }
   if (check != header_check(data.subspan(0, 24))) {
     return data_loss("header check mismatch");
   }
   if (h.repr > static_cast<std::uint8_t>(ir::CodeRepr::kPortable)) {
     return data_loss("unknown code representation " + std::to_string(h.repr));
+  }
+  if (traced) {
+    if (data.size() < kHeaderSize + kTraceExtSize) {
+      return data_loss("frame shorter than its trace extension");
+    }
+    TC_RETURN_IF_ERROR(r.u64(h.trace.trace_id));
+    TC_RETURN_IF_ERROR(r.u32(h.trace.hop));
+    TC_RETURN_IF_ERROR(r.u32(h.trace.parent_span));
+    if (!h.trace.traced()) {
+      return data_loss("traced frame with zero trace id");
+    }
   }
   return h;
 }
@@ -115,14 +164,14 @@ Status check_magic(ByteSpan data, std::size_t offset,
 StatusOr<bool> Frame::validate(ByteSpan data) {
   TC_ASSIGN_OR_RETURN(FrameHeader h, peek_header(data));
   const std::size_t truncated =
-      kHeaderSize + h.payload_size + kMagicSize;
+      h.prefix_size() + h.payload_size + kMagicSize;
   const std::size_t full = truncated + h.code_size + kMagicSize;
   if (data.size() != truncated && data.size() != full) {
     return data_loss("frame length " + std::to_string(data.size()) +
                      " is neither truncated (" + std::to_string(truncated) +
                      ") nor full (" + std::to_string(full) + ")");
   }
-  TC_RETURN_IF_ERROR(check_magic(data, kHeaderSize + h.payload_size,
+  TC_RETURN_IF_ERROR(check_magic(data, h.prefix_size() + h.payload_size,
                                  kMagicPayloadEnd, "payload-end"));
   const bool has_code = data.size() == full;
   if (has_code) {
@@ -133,18 +182,27 @@ StatusOr<bool> Frame::validate(ByteSpan data) {
 }
 
 ByteSpan Frame::payload_view(ByteSpan data, const FrameHeader& header) {
-  return data.subspan(kHeaderSize, header.payload_size);
+  return data.subspan(header.prefix_size(), header.payload_size);
 }
 
 ByteSpan Frame::code_view(ByteSpan data, const FrameHeader& header) {
-  return data.subspan(kHeaderSize + header.payload_size + kMagicSize,
+  return data.subspan(header.prefix_size() + header.payload_size + kMagicSize,
                       header.code_size);
 }
 
-Bytes encode_result_frame(std::uint32_t origin_node, ByteSpan data) {
+Bytes encode_result_frame(std::uint32_t origin_node, ByteSpan data,
+                          const obs::TraceContext* trace) {
   ByteWriter w;
-  w.u16(kResultMagic);
-  w.u32(origin_node);
+  if (trace != nullptr && trace->traced()) {
+    w.u16(kResultTracedMagic);
+    w.u32(origin_node);
+    w.u64(trace->trace_id);
+    w.u32(trace->hop);
+    w.u32(trace->parent_span);
+  } else {
+    w.u16(kResultMagic);
+    w.u32(origin_node);
+  }
   w.blob(data);
   return std::move(w).take();
 }
@@ -154,8 +212,18 @@ StatusOr<ResultFrame> decode_result_frame(ByteSpan bytes) {
   std::uint16_t magic = 0;
   ResultFrame out;
   TC_RETURN_IF_ERROR(r.u16(magic));
-  if (magic != kResultMagic) return data_loss("not a result frame");
+  if (magic != kResultMagic && magic != kResultTracedMagic) {
+    return data_loss("not a result frame");
+  }
   TC_RETURN_IF_ERROR(r.u32(out.origin_node));
+  if (magic == kResultTracedMagic) {
+    TC_RETURN_IF_ERROR(r.u64(out.trace.trace_id));
+    TC_RETURN_IF_ERROR(r.u32(out.trace.hop));
+    TC_RETURN_IF_ERROR(r.u32(out.trace.parent_span));
+    if (!out.trace.traced()) {
+      return data_loss("traced result frame with zero trace id");
+    }
+  }
   TC_RETURN_IF_ERROR(r.blob(out.data));
   if (!r.exhausted()) return data_loss("result frame trailing bytes");
   return out;
@@ -163,7 +231,11 @@ StatusOr<ResultFrame> decode_result_frame(ByteSpan bytes) {
 
 bool is_result_frame(ByteSpan bytes) {
   if (bytes.size() < 2) return false;
-  return bytes[0] == (kResultMagic & 0xff) && bytes[1] == (kResultMagic >> 8);
+  if (bytes[0] == (kResultMagic & 0xff) && bytes[1] == (kResultMagic >> 8)) {
+    return true;
+  }
+  return bytes[0] == (kResultTracedMagic & 0xff) &&
+         bytes[1] == (kResultTracedMagic >> 8);
 }
 
 Bytes encode_nack_frame(std::uint64_t ifunc_id) {
@@ -218,7 +290,7 @@ StatusOr<std::vector<ByteSpan>> decode_batch_frame(ByteSpan bytes) {
   TC_RETURN_IF_ERROR(r.u16(magic));
   if (magic != kBatchMagic) return data_loss("not a batch frame");
   TC_RETURN_IF_ERROR(r.u8(version));
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return data_loss("unsupported batch protocol version " +
                      std::to_string(version));
   }

@@ -11,6 +11,11 @@
 // 26-byte header layout (little-endian):
 //   u16 frame magic | u8 version | u8 repr | u64 ifunc_id |
 //   u32 origin_node | u32 payload_size | u32 code_size | u16 header check
+//
+// Protocol v3: when the repr byte carries kReprTracedFlag, a 16-byte trace
+// extension (u64 trace id | u32 hop | u32 parent span) sits between the
+// header and the payload. Tracing off ⇒ no flag, no extension, and the
+// frame is laid out exactly as in v2.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,7 @@
 #include "common/status.hpp"
 #include "core/protocol.hpp"
 #include "ir/fat_bitcode.hpp"
+#include "obs/trace.hpp"
 
 namespace tc::core {
 
@@ -29,6 +35,13 @@ struct FrameHeader {
   std::uint32_t origin_node = 0;
   std::uint32_t payload_size = 0;
   std::uint32_t code_size = 0;  ///< full-frame code-section size, always set
+  /// v3 trace extension; trace.traced() == false means none on the wire.
+  obs::TraceContext trace;
+  bool traced() const { return trace.traced(); }
+  /// Bytes before the payload: header plus the optional trace extension.
+  std::size_t prefix_size() const {
+    return kHeaderSize + (traced() ? kTraceExtSize : 0);
+  }
 };
 
 /// An immutable, reusable ifunc message (paper: "the ifunc message is never
@@ -36,11 +49,26 @@ struct FrameHeader {
 class Frame {
  public:
   /// Assembles a frame from an ifunc's identity, serialized code archive,
-  /// and payload.
+  /// and payload. A non-null `trace` with trace.traced() attaches the v3
+  /// trace extension (kTraceExtSize bytes after the header); null or an
+  /// untraced context adds nothing to the wire.
   static StatusOr<Frame> build(std::uint64_t ifunc_id, ir::CodeRepr repr,
                                ByteSpan code_archive, ByteSpan payload,
                                std::uint32_t origin_node,
-                               bool code_only = false);
+                               bool code_only = false,
+                               const obs::TraceContext* trace = nullptr);
+
+  /// Rebuilds `frame` with `trace` attached (the frame itself is immutable;
+  /// tracing ships a traced copy).
+  static StatusOr<Frame> with_trace(const Frame& frame,
+                                    const obs::TraceContext& trace);
+
+  /// Traced wire image of `frame` in its full or truncated form. Unlike
+  /// with_trace this splices only the bytes that actually ship — a traced
+  /// truncated send copies ~tens of bytes instead of the whole code
+  /// archive, which is what keeps tracing overhead flat on warm paths.
+  static Bytes traced_wire(const Frame& frame, const obs::TraceContext& trace,
+                           bool include_code);
 
   const Bytes& bytes() const { return bytes_; }
   const FrameHeader& header() const { return header_; }
@@ -49,7 +77,7 @@ class Frame {
   std::size_t full_size() const { return bytes_.size(); }
   /// Size of a truncated transmission (through MAGIC1).
   std::size_t truncated_size() const {
-    return kHeaderSize + header_.payload_size + kMagicSize;
+    return header_.prefix_size() + header_.payload_size + kMagicSize;
   }
 
   ByteSpan full_view() const { return as_span(bytes_); }
@@ -80,15 +108,22 @@ class Frame {
 // --- result frames -----------------------------------------------------------
 // Small two-sided messages used by the X-RDMA ReturnResult operation:
 //   u16 result magic | u32 origin_node | u32 data_size | data
-Bytes encode_result_frame(std::uint32_t origin_node, ByteSpan data);
+// The traced variant (kResultTracedMagic, protocol v3) carries the 16-byte
+// trace context between origin_node and the data blob, so the initiator can
+// close the trace with a result-arrival span:
+//   u16 traced magic | u32 origin_node | u64 trace_id | u32 hop |
+//   u32 parent_span | u32 data_size | data
+Bytes encode_result_frame(std::uint32_t origin_node, ByteSpan data,
+                          const obs::TraceContext* trace = nullptr);
 
 struct ResultFrame {
   std::uint32_t origin_node = 0;
   ByteSpan data;
+  obs::TraceContext trace;  ///< trace.traced() == false for plain results
 };
 StatusOr<ResultFrame> decode_result_frame(ByteSpan bytes);
 
-/// True if `bytes` starts with the result-frame magic.
+/// True if `bytes` starts with either result-frame magic.
 bool is_result_frame(ByteSpan bytes);
 
 // --- NACK control frames ------------------------------------------------------

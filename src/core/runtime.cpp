@@ -193,6 +193,44 @@ StatusOr<Frame> Runtime::create_message(std::uint64_t ifunc_id,
                       payload, node_);
 }
 
+void Runtime::record_span(obs::SpanKind kind, const obs::TraceContext& trace,
+                          std::uint32_t span_id, std::int64_t ts_ns,
+                          std::int64_t dur_ns, std::uint64_t ifunc_id,
+                          std::uint32_t peer, std::uint8_t repr,
+                          std::uint8_t tier) {
+  obs::TraceEvent event;
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.trace_id = trace.trace_id;
+  event.ifunc_id = ifunc_id;
+  event.node = static_cast<std::uint32_t>(node_);
+  event.peer = peer;
+  event.span_id = span_id;
+  event.parent_span = trace.parent_span;
+  event.hop = trace.hop;
+  event.kind = kind;
+  event.repr = repr;
+  event.tier = tier;
+  options_.tracer->ring(static_cast<std::uint32_t>(node_)).push(event);
+}
+
+void Runtime::record_batch_flush(std::int64_t first_queued_ns) {
+  if (options_.metrics == nullptr || first_queued_ns == 0) return;
+  const std::int64_t waited = transport_->now_ns() - first_queued_ns;
+  options_.metrics->histogram("batch_flush_ns")
+      .record(waited > 0 ? static_cast<std::uint64_t>(waited) : 0);
+}
+
+void Runtime::dispatch_frame_bytes(fabric::NodeId dst, ByteSpan bytes,
+                                   fabric::CompletionFn on_complete) {
+  if (options_.batch.max_frames > 1) {
+    enqueue_batched_frame(dst, bytes, std::move(on_complete));
+  } else {
+    transport_->post_send(node_, dst, bytes, /*fragments=*/1,
+                          std::move(on_complete));
+  }
+}
+
 Status Runtime::send_frame(fabric::NodeId dst, const Frame& frame,
                            fabric::CompletionFn on_complete) {
   if (dst == node_) {
@@ -205,22 +243,39 @@ Status Runtime::send_frame(fabric::NodeId dst, const Frame& frame,
     peer_has_code = !options_.force_full_frames && sent_code_.contains(key);
     if (!peer_has_code) sent_code_.insert(key);
   }
-  ByteSpan view;
   if (peer_has_code) {
     ++stats_.frames_sent_truncated;
     stats_.code_bytes_saved += frame.full_size() - frame.truncated_size();
-    view = frame.truncated_view();
   } else {
     ++stats_.frames_sent_full;
     stats_.code_bytes_sent += frame.header().code_size;
-    view = frame.full_view();
   }
-  if (options_.batch.max_frames > 1) {
-    enqueue_batched_frame(dst, view, std::move(on_complete));
-  } else {
-    transport_->post_send(node_, dst, view, /*fragments=*/1,
-                          std::move(on_complete));
+  if (tracing() && !frame.header().traced()) {
+    // Root of a new request chain: mint a trace id, stamp hop 0, and ship
+    // a traced wire image instead. Everything downstream — the arrival, the
+    // execute span, any forwards — inherits this context. traced_wire
+    // splices only the bytes that actually ship, so the warm (truncated)
+    // path never copies the code archive.
+    obs::TraceContext root;
+    root.trace_id = options_.tracer->next_trace_id();
+    root.hop = 0;
+    const std::uint32_t span = options_.tracer->next_span_id();
+    // The frame carries the send span as parent, so the receiving node's
+    // spans hang under it.
+    root.parent_span = span;
+    const Bytes wire =
+        Frame::traced_wire(frame, root, /*include_code=*/!peer_has_code);
+    obs::TraceContext at_send = root;
+    at_send.parent_span = 0;  // the root send has no parent
+    record_span(obs::SpanKind::kRootSend, at_send, span, transport_->now_ns(),
+                0, frame.header().ifunc_id, static_cast<std::uint32_t>(dst),
+                frame.header().repr, 0);
+    dispatch_frame_bytes(dst, as_span(wire), std::move(on_complete));
+    return Status::ok();
   }
+  dispatch_frame_bytes(
+      dst, peer_has_code ? frame.truncated_view() : frame.full_view(),
+      std::move(on_complete));
   return Status::ok();
 }
 
@@ -254,10 +309,14 @@ void Runtime::enqueue_batched_frame(fabric::NodeId dst, ByteSpan frame_bytes,
   {
     std::lock_guard lock(shard.mu);
     PendingBatch& batch = shard.batches[dst];
+    if (batch.frames.empty() && options_.metrics != nullptr) {
+      batch.first_queued_ns = transport_->now_ns();
+    }
     batch.frames.emplace_back(frame_bytes.begin(), frame_bytes.end());
     batch.completions.push_back(std::move(on_complete));
     if (batch.frames.size() >= max_frames) {
       ++stats_.batch_full_flushes;
+      record_batch_flush(batch.first_queued_ns);
       full_frames = std::move(batch.frames);
       full_completions = std::move(batch.completions);
       batch.frames.clear();
@@ -298,6 +357,7 @@ void Runtime::enqueue_batched_frame(fabric::NodeId dst, ByteSpan frame_bytes,
               return;
             }
             ++self.stats_.batch_deadline_flushes;
+            self.record_batch_flush(it->second.first_queued_ns);
             frames = std::move(it->second.frames);
             completions = std::move(it->second.completions);
             it->second.frames.clear();
@@ -319,6 +379,7 @@ void Runtime::flush_batch(fabric::NodeId dst) {
     auto it = shard.batches.find(dst);
     if (it == shard.batches.end() || it->second.frames.empty()) return;
     PendingBatch& batch = it->second;
+    record_batch_flush(batch.first_queued_ns);
     frames = std::move(batch.frames);
     completions = std::move(batch.completions);
     batch.frames.clear();
@@ -418,6 +479,11 @@ Status Runtime::process_frame(ByteSpan data, fabric::NodeId source) {
   if (is_result_frame(data)) {
     TC_ASSIGN_OR_RETURN(ResultFrame result, decode_result_frame(data));
     ++stats_.results_received;
+    if (result.trace.traced() && tracing()) {
+      record_span(obs::SpanKind::kResultArrival, result.trace,
+                  options_.tracer->next_span_id(), transport_->now_ns(), 0,
+                  0, static_cast<std::uint32_t>(source), 0, 0);
+    }
     if (result_handler_) result_handler_(result.data, source);
     return Status::ok();
   }
@@ -458,8 +524,26 @@ std::int64_t Runtime::charge(std::int64_t configured_ns,
 }
 
 Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
+  const bool tracing_on = tracing();
+  const std::int64_t t_arrive = tracing_on ? transport_->now_ns() : 0;
   TC_ASSIGN_OR_RETURN(bool has_code, Frame::validate(data));
   TC_ASSIGN_OR_RETURN(FrameHeader header, Frame::peek_header(data));
+
+  if (header.traced() && tracing_on) {
+    record_span(obs::SpanKind::kArrival, header.trace,
+                options_.tracer->next_span_id(), t_arrive, 0, header.ifunc_id,
+                static_cast<std::uint32_t>(source), header.repr, 0);
+    // Decode covers validate + header peek: virtual time does not advance
+    // in sim (the span collapses to an instant), wall time on shm.
+    const std::int64_t decode_ns = transport_->now_ns() - t_arrive;
+    record_span(obs::SpanKind::kDecode, header.trace,
+                options_.tracer->next_span_id(), t_arrive, decode_ns,
+                header.ifunc_id, static_cast<std::uint32_t>(source),
+                header.repr, 0);
+    // Cold-path materialization below (compile/link/load) parents under
+    // this frame's context.
+    active_trace_ = header.trace;
+  }
 
   auto it = registry_.find(header.ifunc_id);
   if (it == registry_.end()) {
@@ -476,8 +560,8 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
           std::lock_guard lock(pending_payloads_mu_);
           auto& pending = pending_payloads_[header.ifunc_id];
           first_pending = pending.empty();
-          pending.emplace_back(Bytes(payload.begin(), payload.end()),
-                               header.origin_node);
+          pending.push_back({Bytes(payload.begin(), payload.end()),
+                             header.origin_node, header.trace});
         }
         if (first_pending) {
           transport_->post_send(node_, source,
@@ -520,7 +604,7 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
   }
 
   // Drain any payloads that were waiting for this code (NACK recovery).
-  std::vector<std::pair<Bytes, fabric::NodeId>> drained;
+  std::vector<PendingPayload> drained;
   {
     std::lock_guard lock(pending_payloads_mu_);
     if (auto pending = pending_payloads_.find(header.ifunc_id);
@@ -529,8 +613,9 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
       pending_payloads_.erase(pending);
     }
   }
-  for (auto& [payload, origin] : drained) {
-    execute_ifunc(reg, header.ifunc_id, std::move(payload), origin);
+  for (PendingPayload& stashed : drained) {
+    execute_ifunc(reg, header.ifunc_id, std::move(stashed.payload),
+                  stashed.origin, stashed.trace);
   }
   if (header.code_only) return Status::ok();
 
@@ -538,7 +623,7 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
   // addr/depth before forwarding itself).
   ByteSpan payload = Frame::payload_view(data, header);
   execute_ifunc(reg, header.ifunc_id, Bytes(payload.begin(), payload.end()),
-                header.origin_node);
+                header.origin_node, header.trace);
   return Status::ok();
 }
 
@@ -549,6 +634,8 @@ Status Runtime::compile_registered(Registered& reg) {
   TC_ASSIGN_OR_RETURN(const ir::ArchiveEntry* entry,
                       lib.archive().select(engine_->triple()));
   jit::CompileStats compile_stats;
+  const std::int64_t t0 =
+      tracing() && active_trace_.traced() ? transport_->now_ns() : 0;
   if (lib.repr() == ir::CodeRepr::kObject) {
     TC_ASSIGN_OR_RETURN(
         reg.entry,
@@ -558,7 +645,15 @@ Status Runtime::compile_registered(Registered& reg) {
     reg.tier = jit::Tier::kLinked;
     ++stats_.object_links;
     stats_.real_jit_ns_total += compile_stats.compile_ns;
-    charge(options_.link_cost_ns, compile_stats.compile_ns);
+    const std::int64_t charged =
+        charge(options_.link_cost_ns, compile_stats.compile_ns);
+    if (tracing() && active_trace_.traced()) {
+      record_span(obs::SpanKind::kLink, active_trace_,
+                  options_.tracer->next_span_id(), t0, charged, lib.id(),
+                  static_cast<std::uint32_t>(node_),
+                  static_cast<std::uint8_t>(lib.repr()),
+                  static_cast<std::uint8_t>(reg.tier));
+    }
   } else {
     // kBitcode archives, and the bitcode entries riding in a kPortable
     // archive (tier promotion).
@@ -573,7 +668,14 @@ Status Runtime::compile_registered(Registered& reg) {
                                   compile_stats.optimize_ns +
                                   compile_stats.compile_ns;
     stats_.real_jit_ns_total += measured;
-    charge(options_.jit_cost_ns, measured);
+    const std::int64_t charged = charge(options_.jit_cost_ns, measured);
+    if (tracing() && active_trace_.traced()) {
+      record_span(obs::SpanKind::kCompile, active_trace_,
+                  options_.tracer->next_span_id(), t0, charged, lib.id(),
+                  static_cast<std::uint32_t>(node_),
+                  static_cast<std::uint8_t>(lib.repr()),
+                  static_cast<std::uint8_t>(reg.tier));
+    }
   }
   last_compile_stats_ = compile_stats;
   return Status::ok();
@@ -587,6 +689,8 @@ Status Runtime::load_portable(Registered& reg) {
   const IfuncLibrary& lib = reg.library;
   TC_ASSIGN_OR_RETURN(const ir::ArchiveEntry* entry,
                       lib.archive().select_portable());
+  const std::int64_t t_virt =
+      tracing() && active_trace_.traced() ? transport_->now_ns() : 0;
   const std::int64_t t0 = now_ns();
   TC_ASSIGN_OR_RETURN(reg.program, vm::Program::deserialize(as_span(entry->code)));
   const std::int64_t measured = now_ns() - t0;
@@ -595,7 +699,14 @@ Status Runtime::load_portable(Registered& reg) {
   ++stats_.portable_loads;
   // The decode is the entire cold-path cost of this tier — microseconds
   // where the JIT tier pays milliseconds.
-  charge(options_.portable_load_cost_ns, measured);
+  const std::int64_t charged = charge(options_.portable_load_cost_ns, measured);
+  if (tracing() && active_trace_.traced()) {
+    record_span(obs::SpanKind::kPortableLoad, active_trace_,
+                options_.tracer->next_span_id(), t_virt, charged, lib.id(),
+                static_cast<std::uint32_t>(node_),
+                static_cast<std::uint8_t>(lib.repr()),
+                static_cast<std::uint8_t>(reg.tier));
+  }
   jit::CompileStats compile_stats;
   compile_stats.code_bytes = entry->code.size();
   compile_stats.parse_ns = measured;
@@ -676,15 +787,17 @@ void Runtime::maybe_promote(Registered& reg, std::uint64_t ifunc_id) {
 }
 
 void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
-                            Bytes payload, fabric::NodeId origin_node) {
+                            Bytes payload, fabric::NodeId origin_node,
+                            obs::TraceContext trace) {
   // The lookup+exec charge lands before the ifunc's visible effects: the
   // invocation is scheduled behind the charged interval. `reg` is stable:
   // unordered_map never moves nodes, and deregistration is not reachable
   // from inside the event this lambda runs in.
   Registered* regp = &reg;
   const std::int64_t configured = options_.lookup_exec_cost_ns;
-  auto invoke = [this, regp, ifunc_id, origin_node,
+  auto invoke = [this, regp, ifunc_id, origin_node, trace,
                  payload = std::move(payload)]() mutable {
+    const bool traced = trace.traced() && tracing();
     ExecContext ctx;
     ctx.runtime = this;
     ctx.node = node_;
@@ -695,6 +808,14 @@ void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
     ctx.shard_size = shard_size_;
     ctx.peers = &peers_;
     ctx.self_peer = self_peer_;
+    if (traced) {
+      ctx.trace = trace;
+      // Lazy re-materialization below parents its compile/link spans under
+      // this hop (the execute span id is allocated after the tier probe so
+      // the drained timeline reads lookup-then-execute).
+      active_trace_ = trace;
+    }
+    const std::int64_t t_start = traced ? transport_->now_ns() : 0;
 
     if (regp->entry == nullptr && !regp->has_program) {
       // A bounded cache can evict this ifunc between frame processing and
@@ -710,6 +831,16 @@ void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
       }
     }
     const bool interpreted = regp->entry == nullptr && regp->has_program;
+    if (traced) {
+      // The tier probe is where the receive path asked the cache which
+      // tier backs this invocation.
+      record_span(obs::SpanKind::kTierLookup, trace,
+                  options_.tracer->next_span_id(), t_start, 0, ifunc_id,
+                  static_cast<std::uint32_t>(origin_node),
+                  static_cast<std::uint8_t>(regp->library.repr()),
+                  static_cast<std::uint8_t>(regp->tier));
+      ctx.span_id = options_.tracer->next_span_id();
+    }
     const std::int64_t t0 = now_ns();
     std::uint64_t interp_ops = 0;
     if (interpreted) {
@@ -751,6 +882,32 @@ void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
     // measured execution) so callers observing fabric.now() after idling
     // see the completion time, not the invocation time.
     transport_->sync_to_compute_horizon(node_);
+    if (traced) {
+      // Service time of this hop: charged virtual ns on sim (the horizon
+      // was just synced), wall-clock ns on shm.
+      const std::int64_t service_ns = transport_->now_ns() - t_start;
+      record_span(obs::SpanKind::kExecute, trace, ctx.span_id, t_start,
+                  service_ns, ifunc_id,
+                  static_cast<std::uint32_t>(origin_node),
+                  static_cast<std::uint8_t>(regp->library.repr()),
+                  static_cast<std::uint8_t>(regp->tier));
+      active_trace_ = obs::TraceContext{};
+    }
+    if (options_.metrics != nullptr) {
+      const std::int64_t hop_ns =
+          traced ? transport_->now_ns() - t_start : measured;
+      // Per-tier histogram pointers are cached on the registration — the
+      // registry lookup (mutex + name build) is far too heavy per hop.
+      obs::Histogram*& hist =
+          regp->hop_hist[static_cast<std::size_t>(regp->tier)];
+      if (hist == nullptr) {
+        hist = &options_.metrics->histogram(
+            "hop_service_ns/" + regp->library.name() + "/" +
+            ir::code_repr_name(regp->library.repr()) + "/" +
+            jit::tier_name(regp->tier));
+      }
+      hist->record(hop_ns > 0 ? static_cast<std::uint64_t>(hop_ns) : 0);
+    }
   };
   transport_->execute_on(node_, configured >= 0 ? configured : 0,
                          std::move(invoke), /*scale_cost=*/false);
@@ -770,10 +927,27 @@ Status Runtime::ctx_forward(ExecContext& ctx, std::uint64_t peer,
     return internal_error("forward: executing ifunc not in registry");
   }
   const IfuncLibrary& lib = it->second.library;
+  obs::TraceContext child;
+  const obs::TraceContext* child_ptr = nullptr;
+  if (ctx.trace.traced() && tracing()) {
+    // The forwarded frame is the next hop of this chain, parented under
+    // the send span so the tree reads root → execute → forward → execute.
+    const std::uint32_t send_span = options_.tracer->next_span_id();
+    child.trace_id = ctx.trace.trace_id;
+    child.hop = ctx.trace.hop + 1;
+    child.parent_span = send_span;
+    child_ptr = &child;
+    obs::TraceContext at_send = child;
+    at_send.parent_span = ctx.span_id;
+    record_span(obs::SpanKind::kForwardSend, at_send, send_span,
+                transport_->now_ns(), 0, ctx.ifunc_id,
+                static_cast<std::uint32_t>(peers_[peer]),
+                static_cast<std::uint8_t>(lib.repr()), 0);
+  }
   TC_ASSIGN_OR_RETURN(
       Frame frame,
       Frame::build(ctx.ifunc_id, lib.repr(), as_span(lib.serialized_archive()),
-                   payload, ctx.origin_node));
+                   payload, ctx.origin_node, /*code_only=*/false, child_ptr));
   ++ctx.forwards_issued;
   // Depart after the compute this invocation has charged so far (e.g. HLL
   // guard costs for the loop iterations that preceded the forward).
@@ -782,6 +956,7 @@ Status Runtime::ctx_forward(ExecContext& ctx, std::uint64_t peer,
       [this, dst = peers_[peer], frame = std::move(frame)] {
         Status sent = send_frame(dst, frame);
         if (!sent.is_ok()) {
+          ++stats_.forward_send_failures;
           TC_LOG(kWarn, "runtime")
               << "node " << node_ << " deferred forward to node " << dst
               << " failed: " << sent.to_string();
@@ -799,12 +974,29 @@ Status Runtime::ctx_inject(ExecContext& ctx, std::uint64_t peer,
   }
   TC_ASSIGN_OR_RETURN(std::uint64_t id, ifunc_id_by_name(ifunc_name));
   const IfuncLibrary& lib = registry_.at(id).library;
+  obs::TraceContext child;
+  const obs::TraceContext* child_ptr = nullptr;
+  if (ctx.trace.traced() && tracing()) {
+    // Injected work stays on the parent chain (same trace id, next hop) —
+    // it is caused by this invocation even though a different ifunc runs.
+    const std::uint32_t send_span = options_.tracer->next_span_id();
+    child.trace_id = ctx.trace.trace_id;
+    child.hop = ctx.trace.hop + 1;
+    child.parent_span = send_span;
+    child_ptr = &child;
+    obs::TraceContext at_send = child;
+    at_send.parent_span = ctx.span_id;
+    record_span(obs::SpanKind::kForwardSend, at_send, send_span,
+                transport_->now_ns(), 0, id,
+                static_cast<std::uint32_t>(peers_[peer]),
+                static_cast<std::uint8_t>(lib.repr()), 0);
+  }
   // Keep the chain origin: results of injected work route to the request's
   // originator, not to this intermediate node.
   TC_ASSIGN_OR_RETURN(
       Frame frame,
       Frame::build(id, lib.repr(), as_span(lib.serialized_archive()), payload,
-                   ctx.origin_node));
+                   ctx.origin_node, /*code_only=*/false, child_ptr));
   ++ctx.injects_issued;
   transport_->execute_on(
       node_, 0,
@@ -816,7 +1008,21 @@ Status Runtime::ctx_inject(ExecContext& ctx, std::uint64_t peer,
 }
 
 Status Runtime::ctx_reply(ExecContext& ctx, ByteSpan data) {
-  Bytes result = encode_result_frame(node_, data);
+  obs::TraceContext reply_ctx;
+  const obs::TraceContext* reply_ptr = nullptr;
+  if (ctx.trace.traced() && tracing()) {
+    const std::uint32_t send_span = options_.tracer->next_span_id();
+    reply_ctx.trace_id = ctx.trace.trace_id;
+    reply_ctx.hop = ctx.trace.hop + 1;
+    reply_ctx.parent_span = send_span;
+    reply_ptr = &reply_ctx;
+    obs::TraceContext at_send = reply_ctx;
+    at_send.parent_span = ctx.span_id;
+    record_span(obs::SpanKind::kReplySend, at_send, send_span,
+                transport_->now_ns(), 0, ctx.ifunc_id,
+                static_cast<std::uint32_t>(ctx.origin_node), 0, 0);
+  }
+  Bytes result = encode_result_frame(node_, data, reply_ptr);
   ++ctx.replies_issued;
   transport_->execute_on(
       node_, 0,

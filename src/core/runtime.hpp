@@ -40,6 +40,8 @@
 #include "fabric/sim_transport.hpp"
 #include "fabric/transport.hpp"
 #include "jit/code_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "vm/bytecode.hpp"
 
 #if TC_WITH_LLVM
@@ -118,6 +120,15 @@ struct RuntimeOptions {
   /// receive (header walk + dispatch); hetsim profiles pin a calibrated
   /// per-platform value. Applies only to batched traffic.
   std::int64_t batch_unpack_cost_ns = 0;
+
+  /// Distributed tracing (obs/trace.hpp). Null — the default — disables
+  /// tracing entirely: no trace extension on the wire, no span recording,
+  /// and the send/receive paths are byte-for-byte the untraced protocol.
+  /// The tracer must outlive the runtime and have a ring for this node.
+  obs::Tracer* tracer = nullptr;
+  /// Latency histograms (hop service time per kernel × repr × tier, batch
+  /// flush latency). Null — the default — records nothing.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Handler for X-RDMA results returning to this node:
@@ -238,6 +249,9 @@ class Runtime {
     std::atomic<std::uint64_t> interp_executions{0};  ///< interpreted runs
     std::atomic<std::uint64_t> interp_ops{0};  ///< bytecode instrs retired
     std::atomic<std::uint64_t> tier_promotions{0};  ///< interp -> JIT
+    /// Deferred ctx_forward sends that failed after the ifunc returned
+    /// (the forward was already charged; the frame never left the node).
+    std::atomic<std::uint64_t> forward_send_failures{0};
     std::atomic<std::int64_t> real_jit_ns_total{0};  ///< measured, not virtual
   };
   const Stats& stats() const { return stats_; }
@@ -264,6 +278,10 @@ class Runtime {
     /// Cleared when promotion is impossible (no host bitcode entry), so
     /// the archive is probed once, not per invocation.
     bool promotable = true;
+    /// Lazily resolved "hop_service_ns/<kernel>/<repr>/<tier>" histograms,
+    /// indexed by jit::Tier — the registry lookup takes a mutex and builds
+    /// a name string, far too heavy for the per-hop record path.
+    std::array<obs::Histogram*, 3> hop_hist{};
   };
 
   Runtime(fabric::Transport& transport, fabric::NodeId node,
@@ -288,6 +306,11 @@ class Runtime {
   /// One logical (non-batch) frame: result / NACK / ifunc dispatch.
   Status process_frame(ByteSpan data, fabric::NodeId source);
   Status process_ifunc_frame(ByteSpan data, fabric::NodeId source);
+  /// Hands encoded frame bytes to the batcher or straight to the transport.
+  /// Both paths copy `bytes` before returning, so views into temporaries
+  /// (e.g. a traced wire image) are safe.
+  void dispatch_frame_bytes(fabric::NodeId dst, ByteSpan bytes,
+                            fabric::CompletionFn on_complete);
   /// Queues an encoded frame for coalescing toward `dst` (batching on).
   void enqueue_batched_frame(fabric::NodeId dst, ByteSpan frame_bytes,
                              fabric::CompletionFn on_complete);
@@ -297,8 +320,21 @@ class Runtime {
   void ship_batch(fabric::NodeId dst, std::vector<Bytes> frames,
                   std::vector<fabric::CompletionFn> completions);
   void execute_ifunc(Registered& reg, std::uint64_t ifunc_id, Bytes payload,
-                     fabric::NodeId origin_node);
+                     fabric::NodeId origin_node,
+                     obs::TraceContext trace = {});
   std::int64_t charge(std::int64_t configured_ns, std::int64_t measured_ns);
+
+  // --- tracing (no-ops when options_.tracer is null or disabled) -------------
+  bool tracing() const {
+    return options_.tracer != nullptr && options_.tracer->enabled();
+  }
+  /// Stamps node + ids and pushes into this node's ring.
+  void record_span(obs::SpanKind kind, const obs::TraceContext& trace,
+                   std::uint32_t span_id, std::int64_t ts_ns,
+                   std::int64_t dur_ns, std::uint64_t ifunc_id,
+                   std::uint32_t peer, std::uint8_t repr, std::uint8_t tier);
+  /// Batch flush latency histogram (no-op without a metrics registry).
+  void record_batch_flush(std::int64_t first_queued_ns);
 
   fabric::Transport* transport_;
   /// Set when this runtime was created from a Fabric& (owns its adapter).
@@ -317,10 +353,19 @@ class Runtime {
   /// Payloads of truncated frames waiting for code (NACK recovery).
   /// Mutex-guarded: the receive path may run on a progress thread while
   /// another context inspects or drains the same ifunc's backlog.
+  struct PendingPayload {
+    Bytes payload;
+    fabric::NodeId origin = 0;
+    obs::TraceContext trace;  ///< carried across the NACK round trip
+  };
   std::mutex pending_payloads_mu_;
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::pair<Bytes, fabric::NodeId>>>
+  std::unordered_map<std::uint64_t, std::vector<PendingPayload>>
       pending_payloads_;
+  /// Trace context of the frame currently in the receive/execute path, so
+  /// cold-path compile/link/load spans parent correctly. Touched only from
+  /// this node's single progress context (the same invariant the batching
+  /// deadline events rely on).
+  obs::TraceContext active_trace_;
   /// (peer << 32 | ifunc-id-fold) pairs that already received code.
   /// Guarded so concurrent initiator contexts can share one runtime.
   std::mutex sent_code_mu_;
@@ -334,6 +379,9 @@ class Runtime {
   struct PendingBatch {
     std::vector<Bytes> frames;
     std::vector<fabric::CompletionFn> completions;
+    /// When the oldest queued frame entered the batch (metrics: flush
+    /// latency histogram).
+    std::int64_t first_queued_ns = 0;
     /// Incremented on every flush; an armed deadline event only fires a
     /// flush if the generation it captured is still current (i.e. the
     /// batch it was armed for has not already shipped full).

@@ -113,6 +113,10 @@ class ShmTransport final : public Transport {
     s.ops_dropped = ops_dropped_.load(std::memory_order_relaxed);
     return s;
   }
+  /// Per-node dispatch counters (obs/collect feeds these into the registry).
+  Worker::Stats worker_stats(NodeId node) const {
+    return nodes_.at(node)->worker.stats();
+  }
 
  private:
   /// One wire operation riding a link ring.

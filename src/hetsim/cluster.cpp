@@ -109,6 +109,14 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::create(
       profile.ifunc_exec_ns + profile.dapc_ifunc_hop_ns;
   am_options.exec_cost_ns = profile.am_exec_ns + profile.dapc_am_hop_ns;
 
+  if (config.tracer != nullptr) {
+    config.tracer->ensure_nodes(node_count);
+    runtime_options.tracer = config.tracer;
+  }
+  runtime_options.metrics = config.metrics;
+  cluster->tracer_ = config.tracer;
+  cluster->metrics_ = config.metrics;
+
   for (fabric::NodeId node = 0; node < node_count; ++node) {
     if (config.with_ifunc_runtimes) {
       // Sim runtimes attach to the fabric directly (each owns its

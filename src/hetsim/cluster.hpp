@@ -28,6 +28,8 @@
 #include "fabric/shm_transport.hpp"
 #include "fabric/sim_transport.hpp"
 #include "hetsim/profiles.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tc::hetsim {
 
@@ -46,6 +48,11 @@ struct ClusterConfig {
   bool with_am_runtimes = true;     ///< attach am::AmRuntime on every node
   /// Override the per-guard HLL cost (<0 keeps the profile value).
   std::int64_t hll_guard_ns_override = -1;
+  /// Optional observability sinks, shared by every runtime in the cluster.
+  /// Null (the default) compiles all tracing out of the hot paths and keeps
+  /// the wire protocol byte-for-byte identical to an untraced build.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Cluster {
@@ -75,6 +82,10 @@ class Cluster {
   bool has_ifunc_runtimes() const { return !runtimes_.empty(); }
   bool has_am_runtimes() const { return !am_runtimes_.empty(); }
 
+  /// The observability sinks from ClusterConfig (null when not attached).
+  obs::Tracer* tracer() { return tracer_; }
+  obs::MetricsRegistry* metrics() { return metrics_; }
+
   // --- backend-neutral completion hooks --------------------------------------
   /// Drives the backend from `node`'s progress context until `pred()`
   /// holds. On the simulated backend this is the global event loop (every
@@ -99,6 +110,8 @@ class Cluster {
   std::unique_ptr<fabric::ShmTransport> shm_;
   fabric::Transport* transport_ = nullptr;
   const HwProfile* profile_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<fabric::NodeId> clients_;
   std::vector<fabric::NodeId> servers_;
   std::vector<std::unique_ptr<core::Runtime>> runtimes_;

@@ -1,0 +1,376 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace tc::obs {
+
+namespace {
+
+// Wire-stable value names, mirrored here (not #included) so obs/ stays
+// dependency-free below core: ir::CodeRepr and jit::Tier are protocol
+// constants that cannot be renumbered without a version bump.
+const char* repr_name(std::uint8_t repr) {
+  switch (repr & 0x0F) {
+    case 0: return "bitcode";
+    case 1: return "object";
+    case 2: return "portable";
+    default: return "repr?";
+  }
+}
+
+const char* tier_name(std::uint8_t tier) {
+  switch (tier) {
+    case 0: return "interpreted";
+    case 1: return "jit";
+    case 2: return "linked";
+    default: return "tier?";
+  }
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min(static_cast<std::size_t>(n),
+                                      sizeof buf - 1));
+}
+
+bool is_send(SpanKind kind) {
+  return kind == SpanKind::kRootSend || kind == SpanKind::kForwardSend ||
+         kind == SpanKind::kReplySend;
+}
+
+bool is_arrival(SpanKind kind) {
+  return kind == SpanKind::kArrival || kind == SpanKind::kResultArrival;
+}
+
+/// ts in microseconds with sub-us precision kept ("%.3f" of ns/1000).
+void append_ts(std::string& out, std::int64_t ns) {
+  appendf(out, "%" PRId64 ".%03d", ns / 1000,
+          static_cast<int>(ns % 1000 < 0 ? -(ns % 1000) : ns % 1000));
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const std::string& process_name) {
+  std::string out;
+  out.reserve(events.size() * 256 + 1024);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":"
+         "{\"name\":\"";
+  append_escaped(out, process_name);
+  out += "\"}}";
+
+  std::set<std::uint32_t> nodes;
+  for (const TraceEvent& event : events) nodes.insert(event.node);
+  for (std::uint32_t node : nodes) {
+    appendf(out,
+            ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+            "\"args\":{\"name\":\"node %u\"}}",
+            node, node);
+  }
+
+  for (const TraceEvent& event : events) {
+    out += ",\n{\"name\":\"";
+    out += span_kind_name(event.kind);
+    out += "\",\"cat\":\"span\",";
+    if (event.dur_ns > 0) {
+      out += "\"ph\":\"X\",\"ts\":";
+      append_ts(out, event.ts_ns);
+      out += ",\"dur\":";
+      append_ts(out, event.dur_ns);
+    } else {
+      out += "\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      append_ts(out, event.ts_ns);
+    }
+    appendf(out, ",\"pid\":1,\"tid\":%u", event.node);
+    appendf(out,
+            ",\"args\":{\"trace\":%" PRIu64 ",\"hop\":%u,\"span\":%u,"
+            "\"parent\":%u,\"ifunc\":\"0x%" PRIx64 "\",\"repr\":\"%s\","
+            "\"tier\":\"%s\",\"peer\":%u,\"node\":%u,\"dur_ns\":%" PRId64 "}}",
+            event.trace_id, event.hop, event.span_id, event.parent_span,
+            event.ifunc_id, repr_name(event.repr), tier_name(event.tier),
+            event.peer, event.node, event.dur_ns);
+  }
+
+  // Forward arrows: the k-th send of (trace, hop) pairs with the k-th
+  // arrival of the same (trace, hop) — the hop index carried on the wire is
+  // bumped by the sender, so a forward recorded with hop=h lands as the
+  // arrival recorded with hop=h. Events arrive ts-sorted (drain_all), so
+  // "k-th" is timestamp order on both sides.
+  std::map<std::pair<std::uint64_t, std::uint32_t>,
+           std::pair<std::vector<const TraceEvent*>,
+                     std::vector<const TraceEvent*>>>
+      flows;
+  for (const TraceEvent& event : events) {
+    if (event.trace_id == 0) continue;
+    if (is_send(event.kind)) {
+      flows[{event.trace_id, event.hop}].first.push_back(&event);
+    } else if (is_arrival(event.kind)) {
+      flows[{event.trace_id, event.hop}].second.push_back(&event);
+    }
+  }
+  std::uint64_t flow_id = 1;
+  for (const auto& [key, pair] : flows) {
+    const auto& [sends, arrivals] = pair;
+    const std::size_t n = std::min(sends.size(), arrivals.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      const TraceEvent* send = sends[k];
+      const TraceEvent* arrival = arrivals[k];
+      out += ",\n{\"name\":\"hop\",\"cat\":\"flow\",\"ph\":\"s\",\"ts\":";
+      append_ts(out, send->ts_ns + (send->dur_ns > 0 ? send->dur_ns : 0));
+      appendf(out, ",\"pid\":1,\"tid\":%u,\"id\":%" PRIu64 "}", send->node,
+              flow_id);
+      out += ",\n{\"name\":\"hop\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+             "\"ts\":";
+      append_ts(out, arrival->ts_ns);
+      appendf(out, ",\"pid\":1,\"tid\":%u,\"id\":%" PRIu64 "}", arrival->node,
+              flow_id);
+      ++flow_id;
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::string metrics_text(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  if (!snapshot.counters.empty()) {
+    out += "counters:\n";
+    std::size_t width = 0;
+    for (const auto& entry : snapshot.counters) {
+      width = std::max(width, entry.name.size());
+    }
+    for (const auto& entry : snapshot.counters) {
+      appendf(out, "  %-*s %" PRIu64 "\n", static_cast<int>(width),
+              entry.name.c_str(), entry.value);
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges:\n";
+    std::size_t width = 0;
+    for (const auto& entry : snapshot.gauges) {
+      width = std::max(width, entry.name.size());
+    }
+    for (const auto& entry : snapshot.gauges) {
+      appendf(out, "  %-*s %" PRId64 "\n", static_cast<int>(width),
+              entry.name.c_str(), entry.value);
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& entry : snapshot.histograms) {
+      appendf(out,
+              "  %s: count=%" PRIu64 " sum=%" PRIu64 " mean=%" PRIu64
+              " p50<=%" PRIu64 " p99<=%" PRIu64 " max<=%" PRIu64 "\n",
+              entry.name.c_str(), entry.count, entry.sum,
+              entry.count ? entry.sum / entry.count : 0, entry.p50, entry.p99,
+              entry.max_bound);
+    }
+  }
+  return out;
+}
+
+std::string metrics_json(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out = "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& entry : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "\"";
+    append_escaped(out, entry.name);
+    appendf(out, "\":%" PRIu64, entry.value);
+  }
+  out += "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& entry : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "\"";
+    append_escaped(out, entry.name);
+    appendf(out, "\":%" PRId64, entry.value);
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& entry : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "\"";
+    append_escaped(out, entry.name);
+    appendf(out,
+            "\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"p50\":%" PRIu64
+            ",\"p99\":%" PRIu64 ",\"buckets\":[",
+            entry.count, entry.sum, entry.p50, entry.p99);
+    bool first_bucket = true;
+    for (const auto& [bucket, count] : entry.buckets) {
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      appendf(out, "[%zu,%" PRIu64 "]", bucket, count);
+    }
+    out += "]}";
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+namespace {
+
+/// Pulls `"key":<number>` out of one exported event line. The exporter
+/// writes one event per line with stable field spelling, so tc_inspect can
+/// read its own output back without a JSON library.
+bool find_u64(const std::string& line, const char* key, std::uint64_t* out) {
+  std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + needle.size();
+  if (*p == '"') ++p;  // hex-string fields like "ifunc":"0x2a"
+  char* end = nullptr;
+  *out = std::strtoull(p, &end, 0);
+  return end != p;
+}
+
+bool find_i64_ts(const std::string& line, const char* key, std::int64_t* out) {
+  std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const char* p = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double us = std::strtod(p, &end);
+  if (end == p) return false;
+  *out = static_cast<std::int64_t>(us * 1000.0 + (us < 0 ? -0.5 : 0.5));
+  return true;
+}
+
+bool find_string(const std::string& line, const char* key, std::string* out) {
+  std::string needle = std::string("\"") + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+}  // namespace
+
+ParsedSummary summarize_chrome_trace(const std::string& json,
+                                     std::size_t max_traces) {
+  struct Hop {
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0;
+    std::uint64_t hop = 0;
+    std::uint64_t node = 0;
+    std::uint64_t peer = 0;
+    std::uint64_t ifunc = 0;
+    std::string name;
+    std::string repr;
+    std::string tier;
+  };
+  std::map<std::uint64_t, std::vector<Hop>> traces;
+  ParsedSummary summary;
+
+  std::size_t start = 0;
+  while (start < json.size()) {
+    auto end = json.find('\n', start);
+    if (end == std::string::npos) end = json.size();
+    const std::string line = json.substr(start, end - start);
+    start = end + 1;
+    if (line.find("\"cat\":\"span\"") == std::string::npos) continue;
+
+    Hop hop;
+    std::uint64_t trace_id = 0;
+    if (!find_u64(line, "trace", &trace_id)) continue;
+    ++summary.events;
+    if (trace_id == 0) continue;
+    find_i64_ts(line, "ts", &hop.ts_ns);
+    if (std::uint64_t dur = 0; find_u64(line, "dur_ns", &dur)) {
+      hop.dur_ns = static_cast<std::int64_t>(dur);
+    }
+    find_u64(line, "hop", &hop.hop);
+    find_u64(line, "node", &hop.node);
+    find_u64(line, "peer", &hop.peer);
+    find_u64(line, "ifunc", &hop.ifunc);
+    find_string(line, "name", &hop.name);
+    find_string(line, "repr", &hop.repr);
+    find_string(line, "tier", &hop.tier);
+    summary.max_hops = std::max(summary.max_hops, hop.hop);
+    traces[trace_id].push_back(std::move(hop));
+  }
+  summary.traces = traces.size();
+
+  appendf(summary.text,
+          "%" PRIu64 " trace(s), %" PRIu64 " span event(s), deepest hop %"
+          PRIu64 "\n",
+          summary.traces, summary.events, summary.max_hops);
+  std::size_t rendered = 0;
+  for (auto& [trace_id, hops] : traces) {
+    if (max_traces != 0 && rendered >= max_traces) {
+      appendf(summary.text, "... (%zu more traces)\n",
+              traces.size() - rendered);
+      break;
+    }
+    ++rendered;
+    std::stable_sort(hops.begin(), hops.end(),
+                     [](const Hop& a, const Hop& b) {
+                       if (a.hop != b.hop) return a.hop < b.hop;
+                       return a.ts_ns < b.ts_ns;
+                     });
+    appendf(summary.text, "trace %" PRIu64 " (ifunc 0x%" PRIx64 "):\n",
+            trace_id, hops.empty() ? 0 : hops.front().ifunc);
+    for (const Hop& hop : hops) {
+      appendf(summary.text,
+              "  hop %-2" PRIu64 " node %-3" PRIu64 " %-14s", hop.hop,
+              hop.node, hop.name.c_str());
+      if (hop.name == "execute") {
+        appendf(summary.text, " tier=%s repr=%s", hop.tier.c_str(),
+                hop.repr.c_str());
+      } else if (hop.name == "root_send" || hop.name == "forward_send" ||
+                 hop.name == "reply_send") {
+        appendf(summary.text, " -> node %" PRIu64, hop.peer);
+      }
+      if (hop.dur_ns > 0) {
+        appendf(summary.text, " (%" PRId64 " ns)", hop.dur_ns);
+      }
+      summary.text += "\n";
+    }
+  }
+  return summary;
+}
+
+}  // namespace tc::obs

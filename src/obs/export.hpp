@@ -1,0 +1,53 @@
+// Exporters for the observability layer.
+//
+//  * chrome_trace_json — the merged per-node span timeline as Chrome
+//    trace-event JSON (the format chrome://tracing and ui.perfetto.dev
+//    load). One track ("thread") per node, "X" complete events for spans
+//    with duration, "i" instants for point events, and "s"/"f" flow pairs
+//    drawing a forward arrow from every send span to the matching arrival
+//    on the receiving node — so a cross-shard probe renders as a chain of
+//    arrows hopping between node tracks.
+//  * metrics snapshots — the registry as aligned text (for stderr / logs)
+//    or JSON (for artifacts and diffing).
+//  * trace_summary — the tc_inspect-facing digest of a trace file: per-trace
+//    hop chains with node/tier/repr/service-time per hop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tc::obs {
+
+/// Serializes merged events (Tracer::drain_all order) as Chrome trace-event
+/// JSON. `process_name` labels the single process track. Timestamps convert
+/// ns -> us (the format's unit) keeping three decimals, so sim virtual-ns
+/// stay exact.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const std::string& process_name = "three-chains");
+
+/// Registry snapshot as human-readable aligned text.
+std::string metrics_text(const MetricsRegistry::Snapshot& snapshot);
+
+/// Registry snapshot as JSON ({"counters":{...},"gauges":{...},
+/// "histograms":{...}}).
+std::string metrics_json(const MetricsRegistry::Snapshot& snapshot);
+
+/// Parsed-back view of one exported trace event (tc_inspect side).
+struct ParsedSummary {
+  std::uint64_t traces = 0;        ///< distinct trace ids
+  std::uint64_t events = 0;
+  std::uint64_t max_hops = 0;
+  std::string text;                ///< the rendered per-trace digest
+};
+
+/// Reads a chrome_trace_json file back and renders per-trace hop chains:
+/// node, kind, tier, repr, and service time for every hop, in hop order.
+/// `max_traces` bounds the rendered chains (0 = all).
+ParsedSummary summarize_chrome_trace(const std::string& json,
+                                     std::size_t max_traces = 0);
+
+}  // namespace tc::obs

@@ -1,0 +1,70 @@
+#include "obs/metrics.hpp"
+
+namespace tc::obs {
+
+std::uint64_t Histogram::quantile_bound(double q) const {
+  const std::uint64_t total = total_count();
+  if (total == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.5);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    if (running >= target) return bucket_upper_bound(i);
+  }
+  return bucket_upper_bound(kBucketCount - 1);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    Snapshot::HistogramEntry entry;
+    entry.name = name;
+    entry.count = hist->total_count();
+    entry.sum = hist->sum();
+    entry.p50 = hist->quantile_bound(0.50);
+    entry.p99 = hist->quantile_bound(0.99);
+    entry.max_bound = 0;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      const std::uint64_t count = hist->bucket_count(i);
+      if (count == 0) continue;
+      entry.buckets.emplace_back(i, count);
+      entry.max_bound = Histogram::bucket_upper_bound(i);
+    }
+    snap.histograms.push_back(std::move(entry));
+  }
+  return snap;
+}
+
+}  // namespace tc::obs

@@ -1,0 +1,38 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace tc::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRootSend: return "root_send";
+    case SpanKind::kArrival: return "arrival";
+    case SpanKind::kDecode: return "decode";
+    case SpanKind::kTierLookup: return "tier_lookup";
+    case SpanKind::kCompile: return "compile";
+    case SpanKind::kLink: return "link";
+    case SpanKind::kPortableLoad: return "portable_load";
+    case SpanKind::kExecute: return "execute";
+    case SpanKind::kForwardSend: return "forward_send";
+    case SpanKind::kReplySend: return "reply_send";
+    case SpanKind::kResultArrival: return "result_arrival";
+  }
+  return "unknown";
+}
+
+std::vector<TraceEvent> Tracer::drain_all() {
+  std::vector<TraceEvent> merged;
+  for (auto& ring : rings_) {
+    std::vector<TraceEvent> events = ring->drain();
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              return a.span_id < b.span_id;
+            });
+  return merged;
+}
+
+}  // namespace tc::obs

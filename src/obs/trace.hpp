@@ -1,0 +1,207 @@
+// Hop-by-hop distributed tracing for self-forwarding ifuncs.
+//
+// The system's defining behavior — kernels that forward themselves across
+// shard boundaries — is invisible to per-node counters: Runtime::Stats says
+// *how many* forwards happened, not where a given probe hopped or which
+// tier executed each hop. This module supplies the missing pieces:
+//
+//  * TraceContext — a compact (16-byte) per-request context piggybacked on
+//    the ifunc frame (protocol v3, flag-gated: zero wire bytes when tracing
+//    is off). The trace id names the request chain, the hop index counts
+//    frame transmissions since the root send, and parent_span links each
+//    hop's spans to the span that caused them.
+//  * TraceEvent / TraceRing — each node records spans (arrival, decode,
+//    tier lookup, compile/link/load, execute, forward/reply send) into a
+//    per-node lock-free bounded ring. The producer is the node's single
+//    progress context (the same SPSC discipline as fabric/spsc_ring.hpp);
+//    when the ring fills the *oldest* event is overwritten and counted, so
+//    a post-run drain always yields the most recent window plus an exact
+//    dropped total.
+//  * Tracer — the per-cluster handle: one ring per node, atomic span/trace
+//    id allocators, a global enable switch. Timestamps come from the
+//    transport clock: virtual nanoseconds on the simulated backend (traces
+//    of a deterministic run are themselves deterministic), monotonic
+//    wall-clock on shm.
+//
+// Events are drained after a run quiesces and merged across nodes; see
+// obs/export.hpp for the Chrome trace-event (Perfetto-loadable) emitter.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tc::obs {
+
+/// Per-request trace context carried hop to hop. trace_id 0 = untraced.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint32_t hop = 0;          ///< frame transmissions since the root send
+  std::uint32_t parent_span = 0;  ///< span that emitted the carrying frame
+  bool traced() const { return trace_id != 0; }
+};
+
+/// Wire footprint of an attached context: u64 trace_id | u32 hop |
+/// u32 parent_span, little-endian, immediately after the frame header.
+inline constexpr std::size_t kTraceContextWireSize = 16;
+
+enum class SpanKind : std::uint8_t {
+  kRootSend = 0,       ///< initiator ships the first frame of a chain
+  kArrival,            ///< frame landed in the node's receive path
+  kDecode,             ///< header/delimiter validation + payload view
+  kTierLookup,         ///< code-cache probe for the executing tier
+  kCompile,            ///< bitcode parse+optimize+JIT (cold path)
+  kLink,               ///< AOT object link (cold path)
+  kPortableLoad,       ///< portable-program decode (cold path)
+  kExecute,            ///< the ifunc invocation itself
+  kForwardSend,        ///< executing ifunc re-ships itself to a peer
+  kReplySend,          ///< executing ifunc returns a result to the origin
+  kResultArrival,      ///< result frame landed back at the initiator
+};
+inline constexpr int kSpanKindCount =
+    static_cast<int>(SpanKind::kResultArrival) + 1;
+
+const char* span_kind_name(SpanKind kind);
+
+/// One recorded span. POD and fixed-size so the ring is a flat array.
+struct TraceEvent {
+  std::int64_t ts_ns = 0;   ///< virtual ns (sim) or wall-clock ns (shm)
+  std::int64_t dur_ns = 0;  ///< 0 = instant event
+  std::uint64_t trace_id = 0;
+  std::uint64_t ifunc_id = 0;
+  std::uint32_t node = 0;
+  std::uint32_t peer = 0;  ///< dst for send spans, source for arrivals
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_span = 0;
+  std::uint32_t hop = 0;
+  SpanKind kind = SpanKind::kExecute;
+  std::uint8_t repr = 0;  ///< ir::CodeRepr on the wire (execute/compile)
+  std::uint8_t tier = 0;  ///< jit::Tier backing the execution
+  std::uint8_t reserved = 0;
+};
+
+/// Bounded per-node event ring. Single producer (the node's progress
+/// context); drained once the run has quiesced. Overwrites the oldest event
+/// when full — the retained window is always the most recent `capacity`
+/// events and `dropped()` reports exactly how many were lost. Indices are
+/// release/acquire atomics so a concurrent occupancy probe (metrics gauges)
+/// stays race-free.
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit TraceRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Never fails: a full ring drops its oldest event.
+  void push(const TraceEvent& event) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail - head >= slots_.size()) {
+      // Oldest-dropped: reclaim the head slot for the incoming event.
+      head_.store(head + 1, std::memory_order_release);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slots_[tail & mask_] = event;
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  /// Events currently retained (racy by nature; used for occupancy gauges).
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Consumes the retained window, oldest first, and resets the ring. Call
+  /// only after the producer has quiesced (post-run drain).
+  std::vector<TraceEvent> drain() {
+    std::vector<TraceEvent> out;
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    out.reserve(static_cast<std::size_t>(tail - head));
+    for (; head != tail; ++head) out.push_back(slots_[head & mask_]);
+    head_.store(head, std::memory_order_release);
+    return out;
+  }
+
+ private:
+  std::size_t mask_ = 0;
+  std::vector<TraceEvent> slots_;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The per-cluster tracing handle: one TraceRing per node plus the id
+/// allocators every node shares. Create it before the cluster, hand it to
+/// ClusterConfig (or RuntimeOptions directly); drain after the run.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t node_count = 0,
+                  std::size_t ring_capacity = kDefaultRingCapacity)
+      : ring_capacity_(ring_capacity) {
+    ensure_nodes(node_count);
+  }
+
+  /// Grows the per-node ring set. Setup-time only (before any progress
+  /// thread records): hetsim::Cluster calls this with its node count.
+  void ensure_nodes(std::size_t count) {
+    while (rings_.size() < count) {
+      rings_.push_back(std::make_unique<TraceRing>(ring_capacity_));
+    }
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  std::size_t node_count() const { return rings_.size(); }
+  TraceRing& ring(std::uint32_t node) { return *rings_.at(node); }
+  const TraceRing& ring(std::uint32_t node) const { return *rings_.at(node); }
+
+  /// Fresh non-zero trace id (one per root request chain).
+  std::uint64_t next_trace_id() {
+    return next_trace_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Fresh non-zero span id, unique across every node of the run.
+  std::uint32_t next_span_id() {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total_dropped() const {
+    std::uint64_t total = 0;
+    for (const auto& ring : rings_) total += ring->dropped();
+    return total;
+  }
+
+  /// Drains every node's ring and merges the events into one timeline,
+  /// sorted by timestamp (span id breaks ties so the merge is stable across
+  /// runs of the deterministic backend). Post-run only.
+  std::vector<TraceEvent> drain_all();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint32_t> next_span_{1};
+  std::size_t ring_capacity_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+}  // namespace tc::obs

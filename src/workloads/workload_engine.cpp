@@ -349,6 +349,11 @@ Status WorkloadEngine::setup(const WorkloadConfig& config) {
   } else if (!cluster_->has_ifunc_runtimes()) {
     return failed_precondition("cluster built without ifunc runtimes");
   }
+  if (cluster_->metrics() != nullptr) {
+    e2e_hist_ = &cluster_->metrics()->histogram(
+        std::string("e2e_ns/") + workload_name(config_.workload) + "/" +
+        workload_mode_name(config_.mode));
+  }
   TC_RETURN_IF_ERROR(setup_data_structure());
   return setup_lanes();
 }
@@ -541,6 +546,9 @@ Status WorkloadEngine::send_payload(Lane& lane, fabric::NodeId dst,
 }
 
 Status WorkloadEngine::issue_lookup(Lane& lane, std::uint64_t index) {
+  if (e2e_hist_ != nullptr && index < lane.issue_ns.size()) {
+    lane.issue_ns[index] = cluster_->transport().now_ns();
+  }
   const std::uint64_t key = (*lane.queries)[index];
   ByteWriter w;
   fabric::NodeId dst = 0;
@@ -568,6 +576,11 @@ void WorkloadEngine::on_lookup_reply(Lane& lane, std::uint64_t tag,
     return;
   }
   lane.values[tag] = value;
+  if (e2e_hist_ != nullptr && tag < lane.issue_ns.size()) {
+    const std::int64_t delta =
+        cluster_->transport().now_ns() - lane.issue_ns[tag];
+    e2e_hist_->record(delta > 0 ? static_cast<std::uint64_t>(delta) : 0);
+  }
   ++lane.completed;
   if (lane.next_query < lane.queries->size()) {
     Status status = issue_lookup(lane, lane.next_query++);
@@ -636,6 +649,7 @@ StatusOr<WorkloadResult> WorkloadEngine::run_lookups(
   Lane& lane = lanes_[lane_index];
   lane.queries = &keys;
   lane.values.assign(keys.size(), 0);
+  if (e2e_hist_ != nullptr) lane.issue_ns.assign(keys.size(), 0);
   lane.completed = 0;
   lane.failed = false;
 
@@ -692,6 +706,7 @@ StatusOr<WorkloadResult> WorkloadEngine::run_lookups_all(
     Lane& lane = lanes_[i];
     lane.queries = &per_lane[i];
     lane.values.assign(per_lane[i].size(), 0);
+    if (e2e_hist_ != nullptr) lane.issue_ns.assign(per_lane[i].size(), 0);
     lane.completed = 0;
     lane.failed = false;
   }

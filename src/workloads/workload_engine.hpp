@@ -174,6 +174,9 @@ class WorkloadEngine {
     // Windowed lookups.
     const std::vector<std::uint64_t>* queries = nullptr;
     std::vector<std::uint64_t> values;
+    /// Per-query issue timestamps, populated only when the cluster carries
+    /// a metrics registry (feeds the end-to-end latency histogram).
+    std::vector<std::int64_t> issue_ns;
     std::uint64_t next_query = 0;
     std::uint64_t completed = 0;
     // BFS credit counting: outstanding messages not yet acked.
@@ -201,6 +204,9 @@ class WorkloadEngine {
 
   hetsim::Cluster* cluster_;
   WorkloadConfig config_;
+  /// End-to-end chase latency histogram ("e2e_ns/<workload>/<mode>") when
+  /// the cluster was built with a MetricsRegistry; null otherwise.
+  obs::Histogram* e2e_hist_ = nullptr;
 
   ShardedHashTable hash_;
   ShardedOrderedIndex index_;

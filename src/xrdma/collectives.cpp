@@ -329,6 +329,13 @@ Status CollectiveEngine::issue_reduce(Lane& lane, std::size_t lane_index,
       servers[root_], lane.reduce_ifunc, as_span(w.bytes()));
 }
 
+void CollectiveEngine::record_e2e(const char* what, std::int64_t elapsed_ns) {
+  if (cluster_->metrics() == nullptr) return;
+  cluster_->metrics()
+      ->histogram(std::string("e2e_ns/collective/") + what)
+      .record(elapsed_ns > 0 ? static_cast<std::uint64_t>(elapsed_ns) : 0);
+}
+
 StatusOr<CollectiveResult> CollectiveEngine::broadcast(std::uint64_t value,
                                                        std::size_t lane_index) {
   if (lane_index >= lanes_.size()) {
@@ -356,6 +363,7 @@ StatusOr<CollectiveResult> CollectiveEngine::broadcast(std::uint64_t value,
   }
   result.elapsed_ns = transport.now_ns() - t0;
   result.wall_clock = !transport.deterministic();
+  record_e2e("broadcast", result.elapsed_ns);
   result.delivered = lane.acks;
   result.value = value;
   const auto frames1 = frame_counts();
@@ -387,6 +395,7 @@ StatusOr<CollectiveResult> CollectiveEngine::reduce(CollectiveOp op,
   }
   result.elapsed_ns = transport.now_ns() - t0;
   result.wall_clock = !transport.deterministic();
+  record_e2e("reduce", result.elapsed_ns);
   result.delivered = cluster_->server_nodes().size();
   result.value = lane.reduce_value;
   const auto frames1 = frame_counts();
@@ -506,6 +515,7 @@ StatusOr<CollectiveResult> CollectiveEngine::broadcast_all(
   }
   result.elapsed_ns = transport.now_ns() - t0;
   result.wall_clock = !transport.deterministic();
+  record_e2e("broadcast_all", result.elapsed_ns);
   const auto frames1 = frame_counts();
   result.frames_full = frames1.first - frames0.first;
   result.frames_truncated = frames1.second - frames0.second;

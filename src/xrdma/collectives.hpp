@@ -202,6 +202,9 @@ class CollectiveEngine {
   Status issue_reduce(Lane& lane, std::size_t lane_index, CollectiveOp op);
   /// Sums frames_sent_{full,truncated} over every cluster runtime.
   std::pair<std::uint64_t, std::uint64_t> frame_counts() const;
+  /// Feeds a completed collective's end-to-end latency into the cluster's
+  /// metrics registry ("e2e_ns/collective/<what>") when one is attached.
+  void record_e2e(const char* what, std::int64_t elapsed_ns);
 
   hetsim::Cluster* cluster_;
   std::size_t root_ = 0;

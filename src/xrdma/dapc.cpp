@@ -86,6 +86,10 @@ Status DapcDriver::setup() {
     initiators_[i].index = i;
     initiators_[i].node = cluster_->client_nodes()[i];
   }
+  if (cluster_->metrics() != nullptr) {
+    e2e_hist_ = &cluster_->metrics()->histogram(
+        std::string("e2e_ns/dapc/") + chase_mode_name(mode_));
+  }
 
   const auto& servers = cluster_->server_nodes();
   switch (mode_) {
@@ -242,6 +246,7 @@ void DapcDriver::install_result_handler(Initiator& init) {
 StatusOr<DapcResult> DapcDriver::run_batch() {
   for (Initiator& init : initiators_) {
     init.values.assign(config_.chases, 0);
+    if (e2e_hist_ != nullptr) init.issue_ns.assign(config_.chases, 0);
     init.next_chase = 0;
     init.completed = 0;
     init.failed = false;
@@ -322,6 +327,11 @@ StatusOr<DapcResult> DapcDriver::run_batch() {
 void DapcDriver::on_chase_complete(Initiator& init, std::uint64_t index,
                                    std::uint64_t value) {
   init.values[index] = value;
+  if (e2e_hist_ != nullptr && index < init.issue_ns.size()) {
+    const std::int64_t delta =
+        cluster_->transport().now_ns() - init.issue_ns[index];
+    e2e_hist_->record(delta > 0 ? static_cast<std::uint64_t>(delta) : 0);
+  }
   ++init.completed;
   if (init.next_chase < config_.chases) {
     Status status = issue_chase(init, init.next_chase++);
@@ -330,6 +340,9 @@ void DapcDriver::on_chase_complete(Initiator& init, std::uint64_t index,
 }
 
 Status DapcDriver::issue_chase(Initiator& init, std::uint64_t index) {
+  if (e2e_hist_ != nullptr && index < init.issue_ns.size()) {
+    init.issue_ns[index] = cluster_->transport().now_ns();
+  }
   const std::uint64_t start = init.starts[index];
   const std::uint64_t owner = table_.owner_of(start);
   const fabric::NodeId dst = cluster_->server_nodes()[owner];

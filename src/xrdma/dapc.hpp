@@ -117,6 +117,9 @@ class DapcDriver {
     std::vector<std::uint64_t> starts;
     std::vector<std::uint64_t> expected;
     std::vector<std::uint64_t> values;
+    /// Per-chase issue timestamps when the cluster carries a metrics
+    /// registry (feeds the end-to-end chase-latency histogram).
+    std::vector<std::int64_t> issue_ns;
     std::uint64_t next_chase = 0;
     std::uint64_t completed = 0;
     bool failed = false;
@@ -144,6 +147,9 @@ class DapcDriver {
   ChaseMode mode_;
   DapcConfig config_;
   DistributedPointerTable table_;
+  /// End-to-end chase latency ("e2e_ns/dapc/<mode>") when the cluster was
+  /// built with a MetricsRegistry; null otherwise.
+  obs::Histogram* e2e_hist_ = nullptr;
 
   std::vector<Initiator> initiators_;
 

@@ -28,6 +28,18 @@ std::unique_ptr<hetsim::Cluster> make_cluster(
   return std::move(cluster).value();
 }
 
+// Deferred ctx_forward sends must never fail in a healthy run: a nonzero
+// counter means a cross-shard probe silently went nowhere (the bug class
+// is logged-but-lost forwards).
+void expect_no_forward_send_failures(hetsim::Cluster& cluster) {
+  if (!cluster.has_ifunc_runtimes()) return;
+  const std::size_t nodes = cluster.node_count();
+  for (fabric::NodeId node = 0; node < nodes; ++node) {
+    EXPECT_EQ(cluster.runtime(node).stats().forward_send_failures.load(), 0u)
+        << "node " << node;
+  }
+}
+
 // --- sharded builders --------------------------------------------------------
 
 TEST(ShardedHashTableTest, ReferenceLookupHitsAndMisses) {
@@ -163,6 +175,7 @@ TEST_P(WorkloadSuiteP, HashLookupsMatchReference) {
   EXPECT_EQ(result->hits, expected_hits);
   EXPECT_GT(result->hits, 0u);
   EXPECT_LT(result->hits, queries.size());  // the stream mixes in misses
+  expect_no_forward_send_failures(*cluster);
 }
 
 TEST_P(WorkloadSuiteP, OrderedSearchMatchesReference) {
@@ -208,6 +221,7 @@ TEST_P(WorkloadSuiteP, BfsVisitsExactlyTheReachableSet) {
     for (std::size_t s = 0; s < 4; ++s) per_server += engine->bfs_visited(s);
     EXPECT_EQ(per_server, result->hits);
   }
+  expect_no_forward_send_failures(*cluster);
 }
 
 TEST_P(WorkloadSuiteP, WindowedLookupsMatchSequential) {

@@ -25,6 +25,9 @@ check_path() {
   [ -z "$path" ] && return 0
   case $path in
     http://*|https://*|mailto:*) return 0 ;;
+    # Absolute paths point outside the repo (e.g. ROADMAP's references to
+    # the /root/related/ corpus on the growth machine) — not ours to check.
+    /*) return 0 ;;
   esac
   local base
   base=$(dirname "$doc")

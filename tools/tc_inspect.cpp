@@ -4,6 +4,10 @@
 //   tc_inspect archive <file>            dump a serialized fat archive
 //                                        (TCFB bitcode / TCFO object / TCFP portable)
 //   tc_inspect frame <file>              decode an ifunc message frame
+//   tc_inspect trace <file> [n]          digest a Chrome trace-event JSON
+//                                        (fig_workloads --trace output):
+//                                        per-request hop chains with node,
+//                                        tier, repr and service time
 //   tc_inspect disas <file> [triple]     disassemble one archive entry —
 //                                        portable entries print vm mnemonics,
 //                                        bitcode entries print .ll (needs LLVM)
@@ -15,6 +19,7 @@
 // Useful when debugging what actually travels on the wire: entry triples,
 // code sizes, deps manifests, header fields, delimiter placement.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -22,6 +27,7 @@
 #include "core/frame.hpp"
 #include "ir/fat_bitcode.hpp"
 #include "ir/kernels.hpp"
+#include "obs/export.hpp"
 #include "vm/bytecode.hpp"
 #include "vm/lower.hpp"
 
@@ -94,13 +100,18 @@ int cmd_frame(const char* path) {
               ir::code_repr_name(static_cast<ir::CodeRepr>(header->repr)),
               header->code_only ? " (code-only)" : "",
               header->origin_node);
+  if (header->traced()) {
+    std::printf("  trace:   id=%llu hop=%u parent_span=%u\n",
+                static_cast<unsigned long long>(header->trace.trace_id),
+                header->trace.hop, header->trace.parent_span);
+  }
   std::printf("  payload: %u bytes\n", header->payload_size);
   std::printf("  code:    %u bytes (%s)\n", header->code_size,
               has_code.is_ok() && *has_code ? "present"
                                             : "truncated / not delivered");
   std::printf("  sizes:   truncated=%zu full=%zu\n",
-              core::kHeaderSize + header->payload_size + core::kMagicSize,
-              core::kHeaderSize + header->payload_size + core::kMagicSize +
+              header->prefix_size() + header->payload_size + core::kMagicSize,
+              header->prefix_size() + header->payload_size + core::kMagicSize +
                   header->code_size + core::kMagicSize);
   if (has_code.is_ok() && *has_code) {
     auto archive = ir::FatBitcode::deserialize(
@@ -230,11 +241,36 @@ int cmd_emit_vm_demo(const char* path) {
   return write_archive(*archive, path);
 }
 
+int cmd_trace(const char* path, const char* max_traces_arg) {
+  auto data = read_file(path);
+  if (!data.is_ok()) {
+    std::fprintf(stderr, "%s\n", data.status().to_string().c_str());
+    return 1;
+  }
+  std::size_t max_traces = 0;
+  if (max_traces_arg != nullptr) {
+    max_traces = static_cast<std::size_t>(std::strtoull(max_traces_arg,
+                                                        nullptr, 10));
+  }
+  const std::string json(reinterpret_cast<const char*>(data->data()),
+                         data->size());
+  obs::ParsedSummary summary = obs::summarize_chrome_trace(json, max_traces);
+  if (summary.events == 0) {
+    std::fprintf(stderr, "no trace events found in %s (expected "
+                 "chrome_trace_json output, e.g. fig_workloads --trace)\n",
+                 path);
+    return 1;
+  }
+  std::fputs(summary.text.c_str(), stdout);
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: tc_inspect demo\n"
                "       tc_inspect archive <file>\n"
                "       tc_inspect frame <file>\n"
+               "       tc_inspect trace <file> [max_traces]\n"
                "       tc_inspect disas <file> [triple|portable]\n"
                "       tc_inspect emit-demo <file>\n"
                "       tc_inspect emit-vm-demo <file>\n"
@@ -254,6 +290,9 @@ int main(int argc, char** argv) {
     return cmd_archive(argv[2]);
   }
   if (std::strcmp(cmd, "frame") == 0 && argc >= 3) return cmd_frame(argv[2]);
+  if (std::strcmp(cmd, "trace") == 0 && argc >= 3) {
+    return cmd_trace(argv[2], argc >= 4 ? argv[3] : nullptr);
+  }
   if (std::strcmp(cmd, "disas") == 0 && argc >= 3) {
     return cmd_disas(argv[2], argc >= 4 ? argv[3] : nullptr);
   }
