@@ -16,6 +16,7 @@
 // measured run is warm: the first untimed round ships the kernel along
 // every edge; the timed rounds ride truncated frames and warm caches.
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -30,6 +31,15 @@ using namespace tc;
 
 namespace {
 
+/// --faults <rate>: total per-link fault probability (0 disables, the
+/// default). The rate is split across kinds in the chaos-harness
+/// proportions (drop 40% / duplicate 30% / delay 20% / truncate 10%) and
+/// runtimes retry failed sends, so the sweep measures how throughput
+/// degrades under loss instead of whether the run survives it. Zero leaves
+/// every configuration — and all JSON output — byte-identical to a build
+/// without this knob.
+double g_fault_rate = 0.0;
+
 struct ModeList {
   std::vector<workloads::WorkloadMode> modes = {
       workloads::WorkloadMode::kActiveMessage,
@@ -40,6 +50,14 @@ struct ModeList {
       workloads::WorkloadMode::kHllBitcode,
 #endif
   };
+  ModeList() {
+    if (g_fault_rate > 0) {
+      // Predeployed Active Messages have no NACK/retry machinery — under
+      // injected loss they cannot recover by design, so the faulted sweep
+      // covers the self-forwarding representations only.
+      std::erase(modes, workloads::WorkloadMode::kActiveMessage);
+    }
+  }
 };
 
 constexpr workloads::Workload kWorkloads[] = {
@@ -90,6 +108,14 @@ StatusOr<double> run_point(hetsim::Backend backend, std::size_t servers,
   cluster_config.backend = backend;
   cluster_config.server_count = servers;
   cluster_config.client_count = lanes;
+  if (g_fault_rate > 0) {
+    cluster_config.faults.rates.drop = 0.4 * g_fault_rate;
+    cluster_config.faults.rates.duplicate = 0.3 * g_fault_rate;
+    cluster_config.faults.rates.delay = 0.2 * g_fault_rate;
+    cluster_config.faults.rates.truncate = 0.1 * g_fault_rate;
+    cluster_config.max_send_retries = 10;
+    cluster_config.shm_run_until_timeout_ms = 20'000;
+  }
   TC_ASSIGN_OR_RETURN(auto cluster, hetsim::Cluster::create(cluster_config));
   workloads::WorkloadConfig config;
   config.workload = workload;
@@ -139,9 +165,16 @@ void sweep(const std::string& json, hetsim::Backend backend,
            ? "calibrated Thor-Xeon virtual time"
            : "wall-clock on this host") +
       "; ops/s = lookups/s, BFS: visited vertices/s):";
+  if (g_fault_rate > 0) {
+    title += "\n  [fault injection: " + std::to_string(g_fault_rate) +
+             " per-link fault rate, retries on]";
+  }
   bench::print_labeled_table(title.c_str(), x_label, all);
+  // Faulted runs get their own series names so an explicit --faults --json
+  // run can never overwrite the canonical (fault-free) trajectory entries.
   const std::string bench_name = std::string("fig_workloads") +
-                                 bench_suffix + "_" +
+                                 bench_suffix +
+                                 (g_fault_rate > 0 ? "_faults" : "") + "_" +
                                  hetsim::backend_name(backend);
   bench::append_json(json, bench::labeled_series_json(
                                bench_name.c_str(), "thor_xeon", x_label,
@@ -210,11 +243,27 @@ std::string trace_path_from_args(int argc, char** argv) {
   return "";
 }
 
+double faults_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      const double rate = std::atof(argv[i + 1]);
+      if (rate < 0.0 || rate >= 1.0) {
+        std::fprintf(stderr, "--faults wants a rate in [0, 1), got %s\n",
+                     argv[i + 1]);
+        std::exit(2);
+      }
+      return rate;
+    }
+  }
+  return 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string json = bench::json_path_from_args(argc, argv);
   const std::string trace_path = trace_path_from_args(argc, argv);
+  g_fault_rate = faults_from_args(argc, argv);
   if (!trace_path.empty()) {
     Status status = run_traced(trace_path);
     if (!status.is_ok()) {

@@ -226,9 +226,75 @@ void Runtime::dispatch_frame_bytes(fabric::NodeId dst, ByteSpan bytes,
   if (options_.batch.max_frames > 1) {
     enqueue_batched_frame(dst, bytes, std::move(on_complete));
   } else {
-    transport_->post_send(node_, dst, bytes, /*fragments=*/1,
-                          std::move(on_complete));
+    post_wire(dst, bytes, /*fragments=*/1, std::move(on_complete));
   }
+}
+
+void Runtime::post_wire(fabric::NodeId dst, ByteSpan bytes,
+                        std::size_t fragments,
+                        fabric::CompletionFn on_complete) {
+  if (options_.max_send_retries == 0) {
+    transport_->post_send(node_, dst, bytes, fragments,
+                          std::move(on_complete));
+    return;
+  }
+  // Retry needs the bytes to outlive the first attempt; the one copy here
+  // is the entire cost of enabling the knob, shared across all attempts.
+  auto buffer = std::make_shared<const Bytes>(bytes.begin(), bytes.end());
+  post_wire_attempt(dst, std::move(buffer), fragments, std::move(on_complete),
+                    options_.max_send_retries);
+}
+
+void Runtime::post_wire_attempt(fabric::NodeId dst,
+                                std::shared_ptr<const Bytes> buffer,
+                                std::size_t fragments,
+                                fabric::CompletionFn on_complete,
+                                std::size_t retries_left) {
+  // A failed completion means the transport knows the frame did not land
+  // (lossy-shim drop/truncate detection, a NIC timeout): re-shipping the
+  // same bytes is at-least-once, never at-least-twice — successful frames
+  // are not retried. Backoff rides schedule_after so a correlated fault
+  // burst has passed by the next attempt; the weak token keeps a backoff
+  // armed at destruction time from touching a freed runtime.
+  ByteSpan view = as_span(*buffer);
+  transport_->post_send(
+      node_, dst, view, fragments,
+      [this, alive = std::weak_ptr<Runtime*>(alive_token_), dst,
+       buffer = std::move(buffer), fragments,
+       on_complete = std::move(on_complete),
+       retries_left](Status status) mutable {
+        if (status.is_ok()) {
+          if (on_complete) on_complete(status);
+          return;
+        }
+        auto token = alive.lock();
+        if (!token) {
+          if (on_complete) on_complete(status);
+          return;
+        }
+        if (retries_left == 0) {
+          ++stats_.send_retries_exhausted;
+          TC_LOG(kWarn, "runtime")
+              << "node " << node_ << " send to node " << dst
+              << " abandoned after retry budget: " << status.to_string();
+          if (on_complete) on_complete(status);
+          return;
+        }
+        ++stats_.send_retries;
+        transport_->schedule_after(
+            node_, options_.retry_backoff_ns,
+            [this, alive, dst, buffer = std::move(buffer), fragments,
+             on_complete = std::move(on_complete), retries_left]() mutable {
+              if (alive.expired()) {
+                if (on_complete) {
+                  on_complete(unavailable("runtime destroyed mid-retry"));
+                }
+                return;
+              }
+              post_wire_attempt(dst, std::move(buffer), fragments,
+                                std::move(on_complete), retries_left - 1);
+            });
+      });
 }
 
 Status Runtime::send_frame(fabric::NodeId dst, const Frame& frame,
@@ -396,8 +462,8 @@ void Runtime::ship_batch(fabric::NodeId dst, std::vector<Bytes> frames,
   if (frames.size() == 1) {
     // A lone frame ships bare: no container overhead, and the receive path
     // is identical to the unbatched protocol.
-    transport_->post_send(node_, dst, as_span(frames.front()), /*fragments=*/1,
-                          std::move(completions.front()));
+    post_wire(dst, as_span(frames.front()), /*fragments=*/1,
+              std::move(completions.front()));
     return;
   }
   StatusOr<Bytes> container = encode_batch_frame(frames);
@@ -405,20 +471,21 @@ void Runtime::ship_batch(fabric::NodeId dst, std::vector<Bytes> frames,
     // Unreachable with the enqueue-side u16 cap, but never drop frames on
     // a codec refusal — ship them individually instead.
     for (std::size_t i = 0; i < frames.size(); ++i) {
-      transport_->post_send(node_, dst, as_span(frames[i]), /*fragments=*/1,
-                            std::move(completions[i]));
+      post_wire(dst, as_span(frames[i]), /*fragments=*/1,
+                std::move(completions[i]));
     }
     return;
   }
   ++stats_.batches_sent;
   stats_.frames_coalesced += frames.size();
-  transport_->post_send(
-      node_, dst, as_span(*container), frames.size(),
-      [completions = std::move(completions)](Status status) {
-        for (const fabric::CompletionFn& fn : completions) {
-          if (fn) fn(status);
-        }
-      });
+  // Retried as one unit: a failed container was not delivered at all (the
+  // shim discards mangled frames whole), so re-shipping repeats no part.
+  post_wire(dst, as_span(*container), frames.size(),
+            [completions = std::move(completions)](Status status) {
+              for (const fabric::CompletionFn& fn : completions) {
+                if (fn) fn(status);
+              }
+            });
 }
 
 Status Runtime::send_ifunc(fabric::NodeId dst, std::uint64_t ifunc_id,
@@ -502,8 +569,7 @@ Status Runtime::process_frame(ByteSpan data, fabric::NodeId source) {
         Frame frame,
         Frame::build(ifunc_id, lib.repr(), as_span(lib.serialized_archive()),
                      {}, node_, /*code_only=*/true));
-    transport_->post_send(node_, source, frame.full_view(), /*fragments=*/1,
-                          {});
+    post_wire(source, frame.full_view(), /*fragments=*/1, {});
     ++stats_.frames_sent_full;
     stats_.code_bytes_sent += frame.header().code_size;
     return Status::ok();
@@ -564,9 +630,8 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
                              header.origin_node, header.trace});
         }
         if (first_pending) {
-          transport_->post_send(node_, source,
-                                as_span(encode_nack_frame(header.ifunc_id)),
-                                /*fragments=*/1, {});
+          post_wire(source, as_span(encode_nack_frame(header.ifunc_id)),
+                    /*fragments=*/1, {});
           ++stats_.nacks_sent;
         }
         return Status::ok();
@@ -1027,8 +1092,7 @@ Status Runtime::ctx_reply(ExecContext& ctx, ByteSpan data) {
   transport_->execute_on(
       node_, 0,
       [this, origin = ctx.origin_node, result = std::move(result)] {
-        transport_->post_send(node_, origin, as_span(result), /*fragments=*/1,
-                              {});
+        post_wire(origin, as_span(result), /*fragments=*/1, {});
       },
       /*scale_cost=*/true);
   return Status::ok();

@@ -111,6 +111,20 @@ struct RuntimeOptions {
   /// such frames are dropped as protocol errors, as in the paper.
   bool nack_recovery = true;
 
+  /// Wire-send retry budget (fault tolerance). 0 — the default — disables
+  /// retry entirely: the send path is byte-for-byte the classic protocol
+  /// (no buffer copies, failures reported straight to the caller's
+  /// completion). > 0 makes every runtime wire send — ifunc frames, batch
+  /// containers, NACKs, code resends, result replies — re-ship the same
+  /// bytes when its completion reports failure, up to this many retries,
+  /// spaced retry_backoff_ns apart. Retries give at-least-once delivery;
+  /// a de-duplicating transport (fabric::FaultyTransport, or a real
+  /// reliable NIC) turns that into exactly-once.
+  std::size_t max_send_retries = 0;
+  /// Spacing between retry attempts (virtual ns on sim, wall on shm).
+  /// Must exceed a fault burst's footprint for bursts to be survivable.
+  std::int64_t retry_backoff_ns = 2'000;
+
   /// Sender-side frame coalescing; defaults to disabled (max_frames = 1),
   /// which preserves the paper's one-frame-per-message wire behaviour
   /// exactly. Also adjustable after creation via set_batch_options().
@@ -252,9 +266,25 @@ class Runtime {
     /// Deferred ctx_forward sends that failed after the ifunc returned
     /// (the forward was already charged; the frame never left the node).
     std::atomic<std::uint64_t> forward_send_failures{0};
+    /// Wire sends re-shipped after a failed completion (max_send_retries).
+    std::atomic<std::uint64_t> send_retries{0};
+    /// Sends abandoned with the retry budget spent — the failure the
+    /// chaos harness asserts never happens under its configured rates.
+    std::atomic<std::uint64_t> send_retries_exhausted{0};
     std::atomic<std::int64_t> real_jit_ns_total{0};  ///< measured, not virtual
   };
   const Stats& stats() const { return stats_; }
+  /// Payloads stashed awaiting a NACK code resend — nonzero after a run
+  /// quiesces means a recovery round-trip was lost (watchdog dumps this).
+  std::size_t pending_payload_count() const {
+    std::lock_guard lock(pending_payloads_mu_);
+    std::size_t total = 0;
+    for (const auto& [id, backlog] : pending_payloads_) {
+      (void)id;
+      total += backlog.size();
+    }
+    return total;
+  }
   const jit::CodeCache& cache() const { return cache_; }
   /// The (this node, dst) endpoint. Sim backend only — the shm backend has
   /// no per-pair endpoint objects; use transport().post_* there.
@@ -311,6 +341,16 @@ class Runtime {
   /// (e.g. a traced wire image) are safe.
   void dispatch_frame_bytes(fabric::NodeId dst, ByteSpan bytes,
                             fabric::CompletionFn on_complete);
+  /// The single wire-send chokepoint every runtime send funnels through.
+  /// With max_send_retries == 0 this is exactly transport().post_send;
+  /// otherwise failed completions re-ship the copied bytes with backoff.
+  void post_wire(fabric::NodeId dst, ByteSpan bytes, std::size_t fragments,
+                 fabric::CompletionFn on_complete);
+  void post_wire_attempt(fabric::NodeId dst,
+                         std::shared_ptr<const Bytes> buffer,
+                         std::size_t fragments,
+                         fabric::CompletionFn on_complete,
+                         std::size_t retries_left);
   /// Queues an encoded frame for coalescing toward `dst` (batching on).
   void enqueue_batched_frame(fabric::NodeId dst, ByteSpan frame_bytes,
                              fabric::CompletionFn on_complete);
@@ -358,7 +398,7 @@ class Runtime {
     fabric::NodeId origin = 0;
     obs::TraceContext trace;  ///< carried across the NACK round trip
   };
-  std::mutex pending_payloads_mu_;
+  mutable std::mutex pending_payloads_mu_;
   std::unordered_map<std::uint64_t, std::vector<PendingPayload>>
       pending_payloads_;
   /// Trace context of the frame currently in the receive/execute path, so

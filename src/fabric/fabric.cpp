@@ -52,23 +52,32 @@ void Fabric::execute_on(NodeId node_id, std::int64_t cost_ns,
                         std::function<void()> fn, bool scale_cost) {
   // Re-queue until the node is idle, charge the cost, then run the body at
   // the *end* of the charged interval so its visible effects (sends,
-  // stores) occur after the modeled work completes.
-  auto attempt = std::make_shared<std::function<void()>>();
-  *attempt = [this, node_id, cost_ns, scale_cost, fn = std::move(fn),
-              attempt]() mutable {
-    Node& n = node(node_id);
-    if (n.busy_until > now_) {
-      schedule_at(n.busy_until, *attempt);
-      return;
-    }
-    consume_compute(node_id, cost_ns, scale_cost);
-    if (n.busy_until > now_) {
-      schedule_at(n.busy_until, std::move(fn));
-    } else {
-      fn();
-    }
-  };
-  schedule_at(now_, *attempt);
+  // stores) occur after the modeled work completes. The re-queue recurses
+  // through a named member rather than a closure that captures a
+  // shared_ptr to itself — the self-capture formed a reference cycle that
+  // leaked every attempt closure (and whatever `fn` held) per call.
+  schedule_at(now_, [this, node_id, cost_ns, scale_cost,
+                     fn = std::move(fn)]() mutable {
+    execute_when_idle(node_id, cost_ns, scale_cost, std::move(fn));
+  });
+}
+
+void Fabric::execute_when_idle(NodeId node_id, std::int64_t cost_ns,
+                               bool scale_cost, std::function<void()> fn) {
+  Node& n = node(node_id);
+  if (n.busy_until > now_) {
+    schedule_at(n.busy_until, [this, node_id, cost_ns, scale_cost,
+                               fn = std::move(fn)]() mutable {
+      execute_when_idle(node_id, cost_ns, scale_cost, std::move(fn));
+    });
+    return;
+  }
+  consume_compute(node_id, cost_ns, scale_cost);
+  if (n.busy_until > now_) {
+    schedule_at(n.busy_until, std::move(fn));
+  } else {
+    fn();
+  }
 }
 
 void Fabric::consume_compute(NodeId node_id, std::int64_t cost_ns,

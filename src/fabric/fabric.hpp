@@ -86,6 +86,11 @@ class Fabric {
   void consume_compute(NodeId node, std::int64_t cost_ns,
                        bool scale_cost = true);
 
+  /// execute_on's re-queue step: runs `fn` once the node goes idle,
+  /// rescheduling itself at busy_until while it is not.
+  void execute_when_idle(NodeId node, std::int64_t cost_ns, bool scale_cost,
+                         std::function<void()> fn);
+
   /// Reserves the src→dst injection channel for one message of `bytes` and
   /// returns the virtual time at which it enters the wire. Back-to-back
   /// sends serialize here, which is what makes large (uncached) frames

@@ -40,11 +40,52 @@ Cluster::~Cluster() {
 
 Status Cluster::drive_until(fabric::NodeId node,
                             const std::function<bool()>& pred) {
-  return transport_->run_until(node, pred);
+  Status status = transport_->run_until(node, pred);
+  if (!status.is_ok()) dump_stuck_state(node, status);
+  return status;
 }
 
 void Cluster::settle() {
   if (backend_ == Backend::kSim) fabric_.run_until_idle();
+}
+
+void Cluster::dump_stuck_state(fabric::NodeId node, const Status& status) {
+  TC_LOG(kError, "hetsim")
+      << "drive_until(node " << node
+      << ") gave up: " << status.to_string()
+      << " — dumping per-node state (a completion was probably lost)";
+  for (std::size_t n = 0; n < runtimes_.size(); ++n) {
+    const core::Runtime::Stats& s = runtimes_[n]->stats();
+    TC_LOG(kError, "hetsim")
+        << "  node " << n << ": sent full=" << s.frames_sent_full.load()
+        << " trunc=" << s.frames_sent_truncated.load()
+        << " recv=" << s.frames_received.load()
+        << " exec=" << s.frames_executed.load()
+        << " nacks tx/rx=" << s.nacks_sent.load() << "/"
+        << s.nacks_received.load()
+        << " retries=" << s.send_retries.load()
+        << " exhausted=" << s.send_retries_exhausted.load()
+        << " fwd_fail=" << s.forward_send_failures.load()
+        << " proto_err=" << s.protocol_errors.load()
+        << " pending_nack_payloads=" << runtimes_[n]->pending_payload_count();
+  }
+  if (faulty_ != nullptr) {
+    const fabric::FaultyTransport::StatsSnapshot fs = faulty_->stats();
+    TC_LOG(kError, "hetsim")
+        << "  fault shim: intercepted=" << fs.frames_intercepted
+        << " drops=" << fs.drops << " dups=" << fs.duplicates
+        << " delays=" << fs.delays << " truncates=" << fs.truncates
+        << " rx_discards=" << fs.dup_discards + fs.truncate_discards;
+    const std::vector<fabric::InjectionEvent> log = faulty_->injection_log();
+    const std::size_t tail = log.size() > 16 ? log.size() - 16 : 0;
+    for (std::size_t i = tail; i < log.size(); ++i) {
+      const fabric::InjectionEvent& e = log[i];
+      TC_LOG(kError, "hetsim")
+          << "  injection[" << i << "]: " << fabric::fault_kind_name(e.kind)
+          << " src=" << e.src << " dst=" << e.dst << " seq=" << e.seq
+          << " size=" << e.size << " at_ns=" << e.at_ns;
+    }
+  }
 }
 
 fabric::Fabric& Cluster::fabric() {
@@ -87,7 +128,12 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::create(
     cluster->sim_ = std::make_unique<fabric::SimTransport>(cluster->fabric_);
     cluster->transport_ = cluster->sim_.get();
   } else {
-    cluster->shm_ = std::make_unique<fabric::ShmTransport>(node_count);
+    fabric::ShmTransportOptions shm_options;
+    if (config.shm_run_until_timeout_ms >= 0) {
+      shm_options.run_until_timeout_ms = config.shm_run_until_timeout_ms;
+    }
+    cluster->shm_ =
+        std::make_unique<fabric::ShmTransport>(node_count, shm_options);
     cluster->transport_ = cluster->shm_.get();
     for (std::size_t i = 0; i < config.client_count; ++i) {
       cluster->clients_.push_back(static_cast<fabric::NodeId>(i));
@@ -98,7 +144,18 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::create(
     }
   }
 
+  if (config.faults.enabled()) {
+    // Chaos mode: the shim decorates whichever backend was just built, and
+    // every runtime (sim included) attaches through it so all frame
+    // traffic crosses the lossy layer.
+    cluster->faulty_ = std::make_unique<fabric::FaultyTransport>(
+        *cluster->transport_, config.faults, config.tracer, config.metrics);
+    cluster->transport_ = cluster->faulty_.get();
+  }
+
   core::RuntimeOptions runtime_options = runtime_options_for(profile);
+  runtime_options.max_send_retries = config.max_send_retries;
+  runtime_options.retry_backoff_ns = config.retry_backoff_ns;
   if (config.hll_guard_ns_override >= 0) {
     runtime_options.hll_guard_cost_ns = config.hll_guard_ns_override;
   }
@@ -121,9 +178,10 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::create(
     if (config.with_ifunc_runtimes) {
       // Sim runtimes attach to the fabric directly (each owns its
       // SimTransport adapter, the historical per-runtime endpoint layout);
-      // shm runtimes share the cluster's transport.
+      // shm runtimes — and every runtime under fault injection — share the
+      // cluster's transport so frames cross the shim.
       auto runtime_or =
-          config.backend == Backend::kSim
+          config.backend == Backend::kSim && cluster->faulty_ == nullptr
               ? core::Runtime::create(cluster->fabric_, node, runtime_options)
               : core::Runtime::create(*cluster->transport_, node,
                                       runtime_options);
@@ -133,7 +191,7 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::create(
     }
     if (config.with_am_runtimes) {
       auto am_or =
-          config.backend == Backend::kSim
+          config.backend == Backend::kSim && cluster->faulty_ == nullptr
               ? am::AmRuntime::create(cluster->fabric_, node, am_options)
               : am::AmRuntime::create(*cluster->transport_, node, am_options);
       if (!am_or.is_ok()) return am_or.status();

@@ -25,6 +25,7 @@
 #include "am/am_runtime.hpp"
 #include "core/runtime.hpp"
 #include "fabric/fabric.hpp"
+#include "fabric/faulty_transport.hpp"
 #include "fabric/shm_transport.hpp"
 #include "fabric/sim_transport.hpp"
 #include "hetsim/profiles.hpp"
@@ -53,6 +54,21 @@ struct ClusterConfig {
   /// the wire protocol byte-for-byte identical to an untraced build.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Fault injection (chaos testing): when faults.enabled(), the backend
+  /// transport is wrapped in a fabric::FaultyTransport and every runtime —
+  /// including sim runtimes, which otherwise own per-runtime adapters —
+  /// attaches through the shared shim. Disabled by default: nothing is
+  /// wrapped and the wire behaviour is byte-identical to earlier builds.
+  fabric::FaultConfig faults;
+  /// Wire-send retry budget forwarded to every runtime (see
+  /// core::RuntimeOptions::max_send_retries); chaos configurations set
+  /// this so recovery outlasts the injected fault schedule. 0 = off.
+  std::size_t max_send_retries = 0;
+  std::int64_t retry_backoff_ns = 2'000;
+  /// Shm watchdog: run_until gives up after this much wall time (<0 keeps
+  /// the backend default). Chaos tests shorten it so a lost-completion bug
+  /// fails fast with a state dump instead of hanging ctest.
+  std::int64_t shm_run_until_timeout_ms = -1;
 };
 
 class Cluster {
@@ -86,6 +102,10 @@ class Cluster {
   obs::Tracer* tracer() { return tracer_; }
   obs::MetricsRegistry* metrics() { return metrics_; }
 
+  /// The fault-injection shim (null when ClusterConfig::faults is
+  /// disabled). Injection log and shim stats for chaos assertions.
+  fabric::FaultyTransport* fault_shim() { return faulty_.get(); }
+
   // --- backend-neutral completion hooks --------------------------------------
   /// Drives the backend from `node`'s progress context until `pred()`
   /// holds. On the simulated backend this is the global event loop (every
@@ -100,6 +120,10 @@ class Cluster {
 
  private:
   Cluster() = default;
+  /// Watchdog: when drive_until/settle cannot finish, log every runtime's
+  /// Stats, NACK backlog and the shim's injection tail before returning —
+  /// a lost-completion bug reads as a dump, not a silent ctest hang.
+  void dump_stuck_state(fabric::NodeId node, const Status& status);
 
   Backend backend_ = Backend::kSim;
   // Transports are declared before the runtimes so they are destroyed
@@ -108,6 +132,7 @@ class Cluster {
   fabric::Fabric fabric_;
   std::unique_ptr<fabric::SimTransport> sim_;
   std::unique_ptr<fabric::ShmTransport> shm_;
+  std::unique_ptr<fabric::FaultyTransport> faulty_;
   fabric::Transport* transport_ = nullptr;
   const HwProfile* profile_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

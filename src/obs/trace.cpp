@@ -17,6 +17,7 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kForwardSend: return "forward_send";
     case SpanKind::kReplySend: return "reply_send";
     case SpanKind::kResultArrival: return "result_arrival";
+    case SpanKind::kFaultInject: return "fault_inject";
   }
   return "unknown";
 }

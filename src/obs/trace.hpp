@@ -59,9 +59,10 @@ enum class SpanKind : std::uint8_t {
   kForwardSend,        ///< executing ifunc re-ships itself to a peer
   kReplySend,          ///< executing ifunc returns a result to the origin
   kResultArrival,      ///< result frame landed back at the initiator
+  kFaultInject,        ///< FaultyTransport injected a fault on a link
 };
 inline constexpr int kSpanKindCount =
-    static_cast<int>(SpanKind::kResultArrival) + 1;
+    static_cast<int>(SpanKind::kFaultInject) + 1;
 
 const char* span_kind_name(SpanKind kind);
 

@@ -172,6 +172,58 @@ TEST(Frame, TrailerDelimiterCorruptionDetected) {
                   .is_ok());
 }
 
+// --- traced wire images ----------------------------------------------------------
+// traced_wire splices only the bytes that ship. The byte-count checks here
+// pin the property the NACK-redelivery path depends on: a traced truncated
+// send adds exactly the 16-byte trace extension and never copies the code
+// archive, however large it is.
+
+TEST(FrameTracedWire, TruncatedImageAddsOnlyTraceExt) {
+  const Bytes code = make_code(5159);  // the paper's ~5 KiB TSI archive
+  const Bytes payload = {1, 2, 3};
+  auto frame = Frame::build(21, ir::CodeRepr::kBitcode, as_span(code),
+                            as_span(payload), 4);
+  ASSERT_TRUE(frame.is_ok());
+  obs::TraceContext trace;
+  trace.trace_id = 0xABCD;
+  trace.hop = 2;
+  trace.parent_span = 77;
+  Bytes wire = Frame::traced_wire(*frame, trace, /*include_code=*/false);
+  // Exactly trace-ext bigger than the untraced truncated send: the 5 KiB
+  // archive contributed zero bytes to the redelivery-path image.
+  EXPECT_EQ(wire.size(), frame->truncated_size() + kTraceExtSize);
+  auto has_code = Frame::validate(as_span(wire));
+  ASSERT_TRUE(has_code.is_ok());
+  EXPECT_FALSE(*has_code);
+  auto header = Frame::peek_header(as_span(wire));
+  ASSERT_TRUE(header.is_ok());
+  EXPECT_TRUE(header->traced());
+  EXPECT_EQ(header->trace.trace_id, 0xABCDu);
+  EXPECT_EQ(header->trace.hop, 2u);
+  EXPECT_EQ(header->trace.parent_span, 77u);
+  ByteSpan p = Frame::payload_view(as_span(wire), *header);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), p.begin(), p.end()));
+}
+
+TEST(FrameTracedWire, FullImageAddsOnlyTraceExt) {
+  const Bytes code = make_code(4096);
+  const Bytes payload = {9};
+  auto frame = Frame::build(22, ir::CodeRepr::kObject, as_span(code),
+                            as_span(payload), 1);
+  ASSERT_TRUE(frame.is_ok());
+  obs::TraceContext trace;
+  trace.trace_id = 7;
+  Bytes wire = Frame::traced_wire(*frame, trace, /*include_code=*/true);
+  EXPECT_EQ(wire.size(), frame->full_size() + kTraceExtSize);
+  auto has_code = Frame::validate(as_span(wire));
+  ASSERT_TRUE(has_code.is_ok());
+  EXPECT_TRUE(*has_code);
+  auto header = Frame::peek_header(as_span(wire));
+  ASSERT_TRUE(header.is_ok());
+  ByteSpan c = Frame::code_view(as_span(wire), *header);
+  EXPECT_TRUE(std::equal(code.begin(), code.end(), c.begin(), c.end()));
+}
+
 class FrameSweepP : public ::testing::TestWithParam<
                         std::tuple<std::size_t, std::size_t, ir::CodeRepr>> {};
 

@@ -65,13 +65,19 @@ tmp_dir=$(mktemp -d "$out_dir/.tc_bench.XXXXXX")
 trap 'rm -rf "$tmp_dir"' EXIT
 
 # run_group <group> <json-name> <bench>...: accumulates every bench's
-# --json output in a temp document, then atomically installs it.
+# --json output in a temp document, then atomically installs it. Records
+# every group it sees so the post-run guard below can prove --only matched
+# a real group even if the upfront case list drifts.
+seen_groups=""
+only_matched=0
 run_group() {
   local group=$1 json_name=$2
   shift 2
+  seen_groups="$seen_groups $group"
   if [ -n "$only" ] && [ "$only" != "$group" ]; then
     return 0
   fi
+  [ -n "$only" ] && only_matched=1
   local tmp="$tmp_dir/$json_name"
   local bench
   for bench in "$@"; do
@@ -98,3 +104,11 @@ run_group shm BENCH_shm.json \
 
 run_group workloads BENCH_workloads.json \
   fig_workloads
+
+# Guard against drift between the upfront --only case list and the groups
+# actually registered above: a group that validates but matches nothing
+# would otherwise succeed while writing no JSON at all.
+if [ -n "$only" ] && [ "$only_matched" = 0 ]; then
+  echo "--only '$only' matched no bench group (have:$seen_groups)" >&2
+  exit 2
+fi
