@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "core/context.hpp"
 #include "ir/target_info.hpp"
+#include "vm/fuse.hpp"
 
 namespace tc::core {
 
@@ -75,6 +76,16 @@ void Runtime::attach_notifier() {
 }
 
 Runtime::~Runtime() {
+#if TC_WITH_LLVM
+  // Stop the background promotion worker first: it may still hold a compile
+  // in flight, and everything it touches (engine, mailbox) must outlive it.
+  {
+    std::lock_guard lock(promote_mu_);
+    promote_stop_ = true;
+  }
+  promote_cv_.notify_all();
+  if (promote_thread_.joinable()) promote_thread_.join();
+#endif
   // Like closing a socket with unsent buffers: frames still waiting in a
   // batch are cancelled, not silently lost — each queued completion hears
   // about it. (Shipping them here would schedule fabric events against
@@ -694,6 +705,9 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
 
 Status Runtime::compile_registered(Registered& reg) {
 #if TC_WITH_LLVM
+  // The background promotion worker shares the ORC engine; serialize all
+  // engine traffic (creation, add, remove) behind one mutex.
+  std::lock_guard<std::mutex> engine_lock(engine_mu_);
   TC_RETURN_IF_ERROR(ensure_engine());
   const IfuncLibrary& lib = reg.library;
   TC_ASSIGN_OR_RETURN(const ir::ArchiveEntry* entry,
@@ -742,6 +756,7 @@ Status Runtime::compile_registered(Registered& reg) {
                   static_cast<std::uint8_t>(reg.tier));
     }
   }
+  reg.engine_lib = lib.name();
   last_compile_stats_ = compile_stats;
   return Status::ok();
 #else
@@ -757,7 +772,15 @@ Status Runtime::load_portable(Registered& reg) {
   const std::int64_t t_virt =
       tracing() && active_trace_.traced() ? transport_->now_ns() : 0;
   const std::int64_t t0 = now_ns();
-  TC_ASSIGN_OR_RETURN(reg.program, vm::Program::deserialize(as_span(entry->code)));
+  TC_ASSIGN_OR_RETURN(vm::Program program,
+                      vm::Program::deserialize(as_span(entry->code)));
+  // Superinstruction fusion is a node-local rewrite applied after decode —
+  // the wire format never carries fused opcodes (see vm/fuse.hpp).
+  if (options_.fuse_superinstructions) {
+    reg.program = vm::fuse_program(program);
+  } else {
+    reg.program = std::move(program);
+  }
   const std::int64_t measured = now_ns() - t0;
   reg.has_program = true;
   reg.tier = jit::Tier::kInterpreted;
@@ -806,9 +829,14 @@ Status Runtime::materialize_and_cache(Registered& reg,
       // a later frame re-materializes without a NACK round trip.
       Registered& victim = evicted_it->second;
 #if TC_WITH_LLVM
-      if (victim.entry != nullptr && engine_ != nullptr) {
-        (void)engine_->remove_library(victim.library.name());
+      if (victim.entry != nullptr && !victim.engine_lib.empty()) {
+        std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        if (engine_ != nullptr) (void)engine_->remove_library(victim.engine_lib);
       }
+      victim.engine_lib.clear();
+      // A promotion compile may still be in flight for the victim; the
+      // cleared flag makes its result read as stale and get discarded.
+      victim.promote_pending = false;
 #endif
       victim.entry = nullptr;
       victim.has_program = false;
@@ -825,29 +853,156 @@ void Runtime::maybe_promote(Registered& reg, std::uint64_t ifunc_id) {
     return;
   }
 #if TC_WITH_LLVM
+  if (reg.promote_pending) return;  // compile already in flight
   // Promotion needs a bitcode entry for this host riding in the portable
   // archive; probe once and remember a miss.
-  if (!reg.library.archive().select(ir::host_triple()).is_ok()) {
+  auto entry = reg.library.archive().select(ir::host_triple());
+  if (!entry.is_ok()) {
     reg.promotable = false;
     return;
   }
-  Status status = compile_registered(reg);
-  if (!status.is_ok()) {
-    TC_LOG(kWarn, "runtime") << "node " << node_ << " promotion of '"
-                             << reg.library.name()
-                             << "' failed: " << status.to_string();
-    reg.promotable = false;
-    return;
+  // Snapshot everything the compile needs: the registration can be evicted
+  // or deregistered while the job is in flight, so the worker never touches
+  // `reg`. The engine library name is uniquified so a stale result can be
+  // discarded without colliding with a later retry or eviction.
+  PromoteJob job;
+  job.ifunc_id = ifunc_id;
+  job.kernel = reg.library.name();
+  job.engine_name =
+      reg.library.name() + "#promo" + std::to_string(++promote_seq_);
+  job.bitcode = (*entry)->code;
+  job.deps = reg.library.archive().dependencies();
+  reg.promote_pending = true;
+  {
+    std::lock_guard<std::mutex> lock(promote_mu_);
+    if (!promote_thread_started_) {
+      promote_thread_ = std::thread([this] { promotion_worker(); });
+      promote_thread_started_ = true;
+    }
+    promote_queue_.push_back(std::move(job));
   }
-  ++stats_.tier_promotions;
-  if (jit::CachedIfunc* cached = cache_.peek(ifunc_id); cached != nullptr) {
-    cached->entry = reg.entry;
-    cached->tier = reg.tier;
-    cached->compile_stats = last_compile_stats_;
-  }
+  promote_cv_.notify_all();
 #else
   (void)ifunc_id;
   reg.promotable = false;  // no JIT tier to promote to
+#endif
+}
+
+#if TC_WITH_LLVM
+// Background compile thread. Jobs are self-contained snapshots; the only
+// shared state the worker touches is the ORC engine (under engine_mu_) and
+// the completion mailbox (under promote_mu_). Results are applied on the
+// progress context by apply_ready_promotions() — the worker never mutates a
+// registration or a stat the progress thread reads without synchronization.
+void Runtime::promotion_worker() {
+  std::unique_lock<std::mutex> lock(promote_mu_);
+  for (;;) {
+    promote_cv_.wait(
+        lock, [this] { return promote_stop_ || !promote_queue_.empty(); });
+    if (promote_stop_) return;
+    PromoteJob job = std::move(promote_queue_.front());
+    promote_queue_.pop_front();
+    ++promote_inflight_;
+    lock.unlock();
+
+    if (options_.promote_compile_hook) options_.promote_compile_hook();
+    PromoteDone done;
+    done.ifunc_id = job.ifunc_id;
+    done.kernel = std::move(job.kernel);
+    done.engine_name = std::move(job.engine_name);
+    const std::int64_t t0 = now_ns();
+    {
+      std::lock_guard<std::mutex> engine_lock(engine_mu_);
+      Status ready = ensure_engine();
+      if (!ready.is_ok()) {
+        done.status = ready;
+      } else {
+        auto compiled =
+            engine_->add_ifunc_bitcode(done.engine_name, as_span(job.bitcode),
+                                       job.deps, &done.compile_stats);
+        if (compiled.is_ok()) {
+          done.entry = *compiled;
+        } else {
+          done.status = compiled.status();
+        }
+      }
+    }
+    const std::int64_t measured = now_ns() - t0;
+    if (options_.metrics != nullptr) {
+      // Histogram::record is a relaxed atomic; the registry lookup takes
+      // its own mutex. Both are safe off the progress thread.
+      options_.metrics->histogram("promote_compile_ns/" + done.kernel)
+          .record(measured > 0 ? static_cast<std::uint64_t>(measured) : 0);
+    }
+
+    lock.lock();
+    promote_done_.push_back(std::move(done));
+    promote_ready_.store(true, std::memory_order_release);
+    --promote_inflight_;
+    promote_cv_.notify_all();
+  }
+}
+
+// Progress-context half of background promotion: drain the mailbox and swap
+// compiled entries into their registrations. Runs at the top of every
+// invocation, so the tier flip is atomic with respect to execution — an
+// invocation either sees the interpreter or the compiled entry, never a torn
+// intermediate.
+void Runtime::apply_ready_promotions() {
+  std::vector<PromoteDone> ready;
+  {
+    std::lock_guard<std::mutex> lock(promote_mu_);
+    ready.swap(promote_done_);
+    promote_ready_.store(false, std::memory_order_relaxed);
+  }
+  for (PromoteDone& done : ready) {
+    auto it = registry_.find(done.ifunc_id);
+    Registered* reg = it != registry_.end() ? &it->second : nullptr;
+    if (reg == nullptr || !reg->promote_pending || reg->entry != nullptr ||
+        !reg->has_program || reg->tier != jit::Tier::kInterpreted) {
+      // Stale: the registration was evicted, deregistered, or re-tiered
+      // while the compile was in flight. Drop the orphaned library.
+      if (done.entry != nullptr) {
+        std::lock_guard<std::mutex> engine_lock(engine_mu_);
+        if (engine_ != nullptr) (void)engine_->remove_library(done.engine_name);
+      }
+      if (reg != nullptr) reg->promote_pending = false;
+      continue;
+    }
+    reg->promote_pending = false;
+    if (!done.status.is_ok()) {
+      ++stats_.promotions_failed;
+      TC_LOG(kWarn, "runtime")
+          << "node " << node_ << " promotion of '" << done.kernel
+          << "' failed: " << done.status.to_string();
+      reg->promotable = false;  // logged once; no retry this materialization
+      continue;
+    }
+    reg->entry = done.entry;
+    reg->tier = jit::Tier::kJit;
+    reg->engine_lib = done.engine_name;
+    ++stats_.tier_promotions;
+    ++stats_.jit_compiles;
+    stats_.real_jit_ns_total += done.compile_stats.parse_ns +
+                                done.compile_stats.optimize_ns +
+                                done.compile_stats.compile_ns;
+    last_compile_stats_ = done.compile_stats;
+    if (jit::CachedIfunc* cached = cache_.peek(done.ifunc_id);
+        cached != nullptr) {
+      cached->entry = reg->entry;
+      cached->tier = reg->tier;
+      cached->compile_stats = done.compile_stats;
+    }
+  }
+}
+#endif  // TC_WITH_LLVM
+
+void Runtime::wait_for_promotions() {
+#if TC_WITH_LLVM
+  std::unique_lock<std::mutex> lock(promote_mu_);
+  promote_cv_.wait(lock, [this] {
+    return promote_queue_.empty() && promote_inflight_ == 0;
+  });
 #endif
 }
 
@@ -862,6 +1017,14 @@ void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
   const std::int64_t configured = options_.lookup_exec_cost_ns;
   auto invoke = [this, regp, ifunc_id, origin_node, trace,
                  payload = std::move(payload)]() mutable {
+#if TC_WITH_LLVM
+    // Swap in any finished background promotions before the tier probe, so
+    // this invocation (and the hop_service_ns it records) runs on the new
+    // tier — the compile itself never stalled the progress thread.
+    if (promote_ready_.load(std::memory_order_acquire)) {
+      apply_ready_promotions();
+    }
+#endif
     const bool traced = trace.traced() && tracing();
     ExecContext ctx;
     ctx.runtime = this;

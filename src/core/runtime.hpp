@@ -22,11 +22,14 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -85,11 +88,24 @@ struct RuntimeOptions {
   std::int64_t portable_load_cost_ns = -1;
 
   /// Invocation count at which an interpreted ifunc whose archive also
-  /// carries host bitcode is promoted to the JIT tier.
+  /// carries host bitcode is promoted to the JIT tier. The compile runs on
+  /// a background thread; the interpreted entry keeps serving until the
+  /// compiled entry is swapped in on the progress context.
   std::uint64_t promote_after = 8;
   /// Pin the interpreter tier: never promote, even when bitcode and LLVM
   /// are available (the tier-pinned / VM-only configuration).
   bool interp_only = false;
+
+  /// Apply the superinstruction fuser (vm/fuse.hpp) to portable programs
+  /// at load time. Node-local: the wire format never carries fused
+  /// opcodes. Off for differential testing.
+  bool fuse_superinstructions = true;
+
+  /// Test seam: when set, the background promotion worker calls this right
+  /// before compiling a job. Blocking inside it holds the promotion in
+  /// flight while invocations keep interpreting (the no-compile-on-the-
+  /// progress-thread race tests).
+  std::function<void()> promote_compile_hook;
 
   /// Process incoming frames automatically as fabric events (the polling
   /// daemon thread of the paper). Disable for manual-poll unit tests.
@@ -263,6 +279,9 @@ class Runtime {
     std::atomic<std::uint64_t> interp_executions{0};  ///< interpreted runs
     std::atomic<std::uint64_t> interp_ops{0};  ///< bytecode instrs retired
     std::atomic<std::uint64_t> tier_promotions{0};  ///< interp -> JIT
+    /// Background promotion compiles that failed (logged once per kernel;
+    /// the ifunc keeps interpreting).
+    std::atomic<std::uint64_t> promotions_failed{0};
     /// Deferred ctx_forward sends that failed after the ifunc returned
     /// (the forward was already charged; the frame never left the node).
     std::atomic<std::uint64_t> forward_send_failures{0};
@@ -295,6 +314,12 @@ class Runtime {
     return last_compile_stats_;
   }
 
+  /// Blocks until every queued background promotion compile has finished.
+  /// The tier swap itself is applied by the next invocation on the node's
+  /// progress context, never from here (transport threading contract).
+  /// Test/deterministic-bench seam; no-op without LLVM.
+  void wait_for_promotions();
+
  private:
   struct Registered {
     IfuncLibrary library;
@@ -308,6 +333,13 @@ class Runtime {
     /// Cleared when promotion is impossible (no host bitcode entry), so
     /// the archive is probed once, not per invocation.
     bool promotable = true;
+    /// A background promotion compile is queued or in flight; cleared when
+    /// its result is applied or discarded on the progress context.
+    bool promote_pending = false;
+    /// Name the engine knows this ifunc's current library under (promotion
+    /// jobs use uniquified names so a stale in-flight compile can never
+    /// collide with a re-promotion after eviction).
+    std::string engine_lib;
     /// Lazily resolved "hop_service_ns/<kernel>/<repr>/<tier>" histograms,
     /// indexed by jit::Tier — the registry lookup takes a mutex and builds
     /// a name string, far too heavy for the per-hop record path.
@@ -332,6 +364,16 @@ class Runtime {
   /// cache evicts an ifunc that still has an invocation in flight.
   Status materialize_and_cache(Registered& reg, std::uint64_t ifunc_id);
   void maybe_promote(Registered& reg, std::uint64_t ifunc_id);
+#if TC_WITH_LLVM
+  /// Background compile worker: drains promote_queue_, compiles under
+  /// engine_mu_, and posts results to the promote_done_ mailbox. Never
+  /// touches the transport or the registry.
+  void promotion_worker();
+  /// Applies (or discards) finished background compiles. Progress-context
+  /// only — called at the top of each scheduled invocation, which is the
+  /// only place registry entries and cache tiers may be written.
+  void apply_ready_promotions();
+#endif
   Status process_message(const fabric::ReceivedMessage& msg);
   /// One logical (non-batch) frame: result / NACK / ifunc dispatch.
   Status process_frame(ByteSpan data, fabric::NodeId source);
@@ -384,6 +426,44 @@ class Runtime {
 
 #if TC_WITH_LLVM
   std::unique_ptr<jit::OrcEngine> engine_;
+  /// Serializes OrcEngine access between the progress context's synchronous
+  /// compile paths and the background promotion worker (the engine's
+  /// library bookkeeping is not itself thread-safe).
+  std::mutex engine_mu_;
+
+  /// One queued background promotion. Everything the compile needs is
+  /// snapshotted at enqueue time, so a deregistration or eviction racing
+  /// the worker can never dangle a reference into the registry.
+  struct PromoteJob {
+    std::uint64_t ifunc_id = 0;
+    std::string kernel;       ///< library name (logs, metrics)
+    std::string engine_name;  ///< uniquified engine library name
+    Bytes bitcode;
+    std::vector<std::string> deps;
+  };
+  /// A finished background compile, waiting in the mailbox for the
+  /// progress context to swap the tier (or discard it).
+  struct PromoteDone {
+    std::uint64_t ifunc_id = 0;
+    std::string kernel;
+    std::string engine_name;
+    abi::EntryFn entry = nullptr;
+    Status status;
+    jit::CompileStats compile_stats;
+  };
+  std::mutex promote_mu_;
+  std::condition_variable promote_cv_;
+  std::deque<PromoteJob> promote_queue_;
+  std::vector<PromoteDone> promote_done_;
+  std::size_t promote_inflight_ = 0;
+  bool promote_stop_ = false;
+  bool promote_thread_started_ = false;
+  std::thread promote_thread_;
+  /// Cheap has-mail flag so the hot invoke path pays one relaxed load, not
+  /// a mutex, when no promotion is pending (the common case).
+  std::atomic<bool> promote_ready_{false};
+  /// Uniquifies promotion engine-library names; progress-context only.
+  std::uint64_t promote_seq_ = 0;
 #endif
   jit::CodeCache cache_;
   jit::CompileStats last_compile_stats_;

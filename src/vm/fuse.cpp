@@ -1,0 +1,241 @@
+#include "vm/fuse.hpp"
+
+#include <vector>
+
+namespace tc::vm {
+
+namespace {
+
+bool is_branch(Opcode op) {
+  return op == Opcode::kBr || op == Opcode::kBrz || op == Opcode::kBrnz;
+}
+
+/// Width code stored in a fused Ld*Br head's `c` operand; -1 for non-loads.
+int load_width_code(Opcode op) {
+  switch (op) {
+    case Opcode::kLd64: return 0;
+    case Opcode::kLd32: return 1;
+    case Opcode::kLd8: return 2;
+    default: return -1;
+  }
+}
+
+bool is_compare(Opcode op) {
+  return op == Opcode::kCeq || op == Opcode::kCne || op == Opcode::kCult ||
+         op == Opcode::kCule;
+}
+
+bool is_bitop(Opcode op) {
+  return op == Opcode::kAnd || op == Opcode::kOr || op == Opcode::kXor ||
+         op == Opcode::kShl || op == Opcode::kShr;
+}
+
+/// Instructions admissible as interior kFusedLdiRun tail slots (straight
+/// line — no control transfer; hooks, branches and ret are handled
+/// separately by the run scanner). udiv/urem may trap — the interpreter
+/// reports the true slot index.
+bool is_straight_line(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kLdi:
+    case Opcode::kLdk:
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kUdiv:
+    case Opcode::kUrem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kCeq:
+    case Opcode::kCne:
+    case Opcode::kCult:
+    case Opcode::kCule:
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFadd32:
+    case Opcode::kFmul32:
+    case Opcode::kLd8:
+    case Opcode::kLd32:
+    case Opcode::kLd64:
+    case Opcode::kSt32:
+    case Opcode::kSt64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Whether `in` reads register `r` (as an operand, a store value, a load
+/// base, or a branch condition). This is the consumption test that keeps
+/// unrelated adjacencies — in particular every window-shaped sequence of
+/// the calibrated chaser stream — out of the fuser.
+bool reads_reg(const Instr& in, std::uint8_t r) {
+  switch (in.op) {
+    case Opcode::kMov:
+      return in.b == r;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kUdiv:
+    case Opcode::kUrem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kCeq:
+    case Opcode::kCne:
+    case Opcode::kCult:
+    case Opcode::kCule:
+    case Opcode::kFadd:
+    case Opcode::kFsub:
+    case Opcode::kFmul:
+    case Opcode::kFdiv:
+    case Opcode::kFadd32:
+    case Opcode::kFmul32:
+      return in.b == r || in.c == r;
+    case Opcode::kLd8:
+    case Opcode::kLd32:
+    case Opcode::kLd64:
+      return in.b == r;
+    case Opcode::kSt32:
+    case Opcode::kSt64:
+      return in.a == r || in.b == r;
+    case Opcode::kBrz:
+    case Opcode::kBrnz:
+      return in.a == r;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Program fuse_program(const Program& program, FuseStats* stats) {
+  Program fused = program;
+  std::vector<Instr>& code = fused.code_;
+  const std::size_t n = code.size();
+
+  // Tail slots must not be branch targets: a branch into the middle of a
+  // window must execute the original instructions, which only works if no
+  // window *head* ever lands mid-window.
+  std::vector<bool> target(n, false);
+  for (const Instr& in : code) {
+    if (is_branch(in.op)) target[static_cast<std::size_t>(in.imm)] = true;
+  }
+
+  FuseStats local;
+
+  // [load; compare-or-bitop consuming the loaded reg; conditional branch on
+  // the middle's result] → one fused head. Returns 0 (no match), 1 (cmp)
+  // or 2 (bitop) without mutating, so the run scanner can use it as a
+  // lookahead.
+  auto match_ld_br = [&](std::size_t pc) -> int {
+    if (pc + 2 >= n) return 0;
+    const Instr& ld = code[pc];
+    if (load_width_code(ld.op) < 0) return 0;
+    const Instr& mid = code[pc + 1];
+    const Instr& br = code[pc + 2];
+    const bool cmp = is_compare(mid.op);
+    if (!cmp && !is_bitop(mid.op)) return 0;
+    if (br.op != Opcode::kBrz && br.op != Opcode::kBrnz) return 0;
+    if (target[pc + 1] || target[pc + 2]) return 0;
+    if (mid.b != ld.a && mid.c != ld.a) return 0;  // must consume the load
+    if (br.a != mid.a) return 0;  // branch must test the middle's result
+    return cmp ? 1 : 2;
+  };
+
+  std::size_t pc = 0;
+  while (pc < n) {
+    const Opcode op = code[pc].op;
+    // Skip windows fused on a previous pass (makes the pass idempotent).
+    if (op == Opcode::kFusedLdCmpBr || op == Opcode::kFusedLdAndBr) {
+      pc += 3;
+      continue;
+    }
+    if (op == Opcode::kFusedLdiRun) {
+      pc += 1 + code[pc].b;
+      continue;
+    }
+
+    if (const int kind = match_ld_br(pc)) {
+      const Instr ld = code[pc];
+      code[pc] = Instr{kind == 1 ? Opcode::kFusedLdCmpBr
+                                 : Opcode::kFusedLdAndBr,
+                       ld.a, ld.b,
+                       static_cast<std::uint8_t>(load_width_code(ld.op)),
+                       ld.imm};
+      if (kind == 1) {
+        ++local.ld_cmp_br;
+      } else {
+        ++local.ld_alu_br;
+      }
+      local.instrs_covered += 3;
+      pc += 3;
+      continue;
+    }
+
+    if (op == Opcode::kLdi) {
+      // Greedy run behind the ldi: straight-line instructions and hooks,
+      // with conditional branches admitted anywhere as side exits (taken
+      // leaves the run, not-taken falls through to the next tail) and an
+      // unconditional br or ret closing it. Loads that open a Ld*Br window
+      // are left for that stronger pattern. The head's `c` records whether
+      // the run needs the interpreter's generic tail loop (hooks, ret, or
+      // an interior side exit) or the fast straight-prefix path.
+      std::size_t len = 0;
+      bool slow = false;
+      while (len < kMaxFusedRun) {
+        const std::size_t q = pc + 1 + len;
+        if (q >= n || target[q]) break;
+        const Instr& t = code[q];
+        if (t.op == Opcode::kBr || t.op == Opcode::kRet) {
+          slow = slow || t.op == Opcode::kRet;
+          ++len;
+          break;
+        }
+        if (t.op == Opcode::kBrz || t.op == Opcode::kBrnz) {
+          ++len;
+          continue;  // side exit; whether it is interior is settled below
+        }
+        if (t.op == Opcode::kHook) {
+          slow = true;
+          ++len;
+          continue;
+        }
+        if (!is_straight_line(t.op)) break;
+        if (load_width_code(t.op) >= 0 && match_ld_br(q) != 0) break;
+        ++len;
+      }
+      // A conditional branch in any slot but the last makes the run a
+      // side-exit run, which only the generic tail loop executes.
+      for (std::size_t i = 0; i + 1 < len && !slow; ++i) {
+        const Opcode t = code[pc + 1 + i].op;
+        slow = t == Opcode::kBrz || t == Opcode::kBrnz;
+      }
+      if (len > 0 && reads_reg(code[pc + 1], code[pc].a)) {
+        const Instr ldi = code[pc];
+        code[pc] = Instr{Opcode::kFusedLdiRun, ldi.a,
+                         static_cast<std::uint8_t>(len),
+                         static_cast<std::uint8_t>(slow ? 1 : 0), ldi.imm};
+        ++local.ldi_runs;
+        local.instrs_covered += 1 + len;
+        pc += 1 + len;
+        continue;
+      }
+    }
+
+    ++pc;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return fused;
+}
+
+}  // namespace tc::vm

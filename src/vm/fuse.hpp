@@ -1,0 +1,79 @@
+// Superinstruction fusion for the portable-bytecode interpreter.
+//
+// fuse_program() is a node-local peephole pass run after deserialization
+// (never before serialization: fused opcodes sit above kOpcodeCount and are
+// rejected by wire validation, so the wire format is byte-identical with or
+// without fusion). It collapses the sequences the traversal kernels spend
+// their time in:
+//
+//   * kFusedLdCmpBr — [ld8/ld32/ld64; compare consuming the loaded reg;
+//     brz/brnz on the compare result]: the hash-probe key check and the
+//     skip-list finger compare.
+//   * kFusedLdAndBr — same shape with a bitop (and/or/xor/shl/shr) in the
+//     middle: the BFS visited-bitmap probe.
+//   * kFusedLdiRun — [ldi; up to kMaxFusedRun tail instructions whose
+//     first consumes the ldi destination]: the address-arithmetic
+//     preambles (li stride; mul; add; ...) every kernel's inner loop opens
+//     with. Tails are straight-line instructions plus hooks. Conditional
+//     branches may appear anywhere as *side exits* — taken leaves the run,
+//     not-taken falls through to the next tail — while an unconditional br
+//     or ret closes the run, so a whole traversal step ([owner check;
+//     side exit to the forward path; address math; finger loads; compare;
+//     loop branch]) or a forward/reply epilogue ([li size; address math;
+//     stores; arg movs; hook; ret]) retires as one op.
+//
+// Only the *head* instruction of a window is replaced; the tail slots keep
+// their original instructions. A branch into the middle of a window simply
+// executes the unfused originals — no control-flow rewriting, no target
+// renumbering. The fused handlers perform exactly the constituent register
+// and memory effects, so execution results are identical; only the retired
+// op count changes (a fused window charges one op), which is the entire
+// point: hetsim charges interpreter virtual time per retired op.
+//
+// Safety rails (all enforced here):
+//   * no tail slot may be a branch target (the head may be one);
+//   * the middle instruction of Ld*Br windows must consume the loaded
+//     register, and the branch must test the middle's result — this is
+//     also what keeps the fig5-fig12 chaser stream fusion-free and its
+//     calibrated op counts byte-identical;
+//   * kFusedLdiRun tails are straight-line instructions, hooks, or
+//     conditional side exits; an unconditional br or ret may appear only
+//     as the final slot; the first tail must consume the ldi destination
+//     (hooks and branches never qualify as the consumer); udiv/urem and
+//     hooks may trap — the interpreter reports faults exactly as the
+//     unfused stream would. The first-tail-consumes rule is load-bearing
+//     for chaser safety: neither chaser variant has an ldi whose immediate
+//     successor reads it, so no run extension can touch the calibrated
+//     streams (tests/vm_fuse_test.cpp pins this).
+#pragma once
+
+#include <cstddef>
+
+#include "vm/bytecode.hpp"
+
+namespace tc::vm {
+
+/// Maximum number of tail slots behind a kFusedLdiRun head (the head's `b`
+/// operand, so it must stay below 256); the whole window is at most
+/// 1 + kMaxFusedRun instructions. Sized so a traversal kernel can unroll
+/// several per-hop steps — each an owner check with a side exit, record
+/// address math, finger loads, a compare, and a loop branch — into one
+/// run: the skip-list kernel packs three link takes (13 slots each with
+/// guards) or four level descents into a single retired op.
+inline constexpr std::size_t kMaxFusedRun = 42;
+
+struct FuseStats {
+  std::size_t ld_cmp_br = 0;    ///< load→compare→branch windows
+  std::size_t ld_alu_br = 0;    ///< load→bitop→branch windows
+  std::size_t ldi_runs = 0;     ///< ldi-led straight-line runs
+  std::size_t instrs_covered = 0;  ///< original instrs inside fused windows
+
+  std::size_t windows() const { return ld_cmp_br + ld_alu_br + ldi_runs; }
+};
+
+/// Returns a copy of `program` with fusible window heads replaced by
+/// superinstructions. `program` must already be validated (it came out of
+/// Program::deserialize or Assembler::finish). Idempotent on its own output.
+Program fuse_program(const Program& program, FuseStats* stats = nullptr);
+
+}  // namespace tc::vm

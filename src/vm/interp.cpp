@@ -1,34 +1,49 @@
 #include "vm/interp.hpp"
 
+#include <bit>
 #include <cstring>
+#include <string>
+
+// Threaded (computed-goto) dispatch needs the GNU &&label extension; the
+// build can also force the portable switch loop for differential testing
+// or exotic toolchains.
+#if !defined(TC_VM_SWITCH_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define TC_VM_HAS_THREADED 1
+#else
+#define TC_VM_HAS_THREADED 0
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TC_VM_COLD __attribute__((noinline, cold))
+#define TC_VM_NOINLINE __attribute__((noinline))
+#define TC_VM_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define TC_VM_COLD
+#define TC_VM_NOINLINE
+#define TC_VM_FORCE_INLINE inline
+#endif
 
 namespace tc::vm {
 
+// The dispatch tables in interp_dispatch.inc enumerate every opcode by
+// hand; force a revisit when the ISA grows.
+static_assert(kTotalOpcodeCount == 37,
+              "update the dispatch tables in vm/interp_dispatch.inc");
+
 namespace {
 
-inline double as_f64(std::uint64_t bits) {
-  double v;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
+inline double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
 
 inline std::uint64_t f64_bits(double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
+  return std::bit_cast<std::uint64_t>(v);
 }
 
 inline float as_f32(std::uint64_t bits) {
-  const std::uint32_t low = static_cast<std::uint32_t>(bits);
-  float v;
-  std::memcpy(&v, &low, sizeof(v));
-  return v;
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
 }
 
 inline std::uint64_t f32_bits(float v) {
-  std::uint32_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  return bits;
+  return std::bit_cast<std::uint32_t>(v);
 }
 
 inline std::uint8_t* mem_addr(std::uint64_t base, std::int32_t offset) {
@@ -65,210 +80,273 @@ inline void store_word(std::uint8_t* addr, T value) {
   std::memcpy(addr, &value, sizeof(T));
 }
 
+// --- cold paths ---------------------------------------------------------------
+// Error construction allocates strings; keeping it out of line keeps the
+// dispatch loop's register pressure and icache footprint down.
+
+TC_VM_COLD Status err_fuel(std::uint64_t max_ops) {
+  return resource_exhausted("vm: op budget (" + std::to_string(max_ops) +
+                            ") exhausted");
+}
+
+TC_VM_COLD Status err_div_zero(const char* what, std::size_t pc) {
+  return internal_error("vm: " + std::string(what) + " by zero at instr " +
+                        std::to_string(pc));
+}
+
+TC_VM_COLD Status err_off_end() {
+  // Unreachable for validated programs (last instruction is a terminator),
+  // but keep the fail-safe so a logic bug here cannot become UB.
+  return internal_error("vm: execution ran off the end of the program");
+}
+
+TC_VM_COLD Status err_bad_opcode(unsigned op, std::size_t pc) {
+  return internal_error("vm: bad opcode " + std::to_string(op) +
+                        " at instr " + std::to_string(pc));
+}
+
+TC_VM_COLD Status err_missing_hook(const char* name) {
+  return failed_precondition("vm: " + std::string(name) +
+                             " hook not provided");
+}
+
+// --- hooks --------------------------------------------------------------------
+// Out of line: the nested switch is by far the largest handler and every
+// call crosses into runtime code anyway.
+
+TC_VM_NOINLINE Status do_hook(const Instr& in, const HookTable& hooks,
+                              std::uint64_t* regs) {
+  const HookId hook = static_cast<HookId>(in.a);
+  const std::uint64_t* args = &regs[in.c];
+  switch (hook) {
+    case HookId::kTarget:
+      if (hooks.target == nullptr) return err_missing_hook("target");
+      regs[in.b] = reinterpret_cast<std::uint64_t>(hooks.target(hooks.ctx));
+      break;
+    case HookId::kNode:
+      if (hooks.node == nullptr) return err_missing_hook("node");
+      regs[in.b] = hooks.node(hooks.ctx);
+      break;
+    case HookId::kPeerCount:
+      if (hooks.peer_count == nullptr) return err_missing_hook("peer_count");
+      regs[in.b] = hooks.peer_count(hooks.ctx);
+      break;
+    case HookId::kSelfPeer:
+      if (hooks.self_peer == nullptr) return err_missing_hook("self_peer");
+      regs[in.b] = hooks.self_peer(hooks.ctx);
+      break;
+    case HookId::kShardBase:
+      if (hooks.shard_base == nullptr) return err_missing_hook("shard_base");
+      regs[in.b] =
+          reinterpret_cast<std::uint64_t>(hooks.shard_base(hooks.ctx));
+      break;
+    case HookId::kShardSize:
+      if (hooks.shard_size == nullptr) return err_missing_hook("shard_size");
+      regs[in.b] = hooks.shard_size(hooks.ctx);
+      break;
+    case HookId::kForward:
+      if (hooks.forward == nullptr) return err_missing_hook("forward");
+      regs[in.b] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(hooks.forward(
+              hooks.ctx, args[0],
+              reinterpret_cast<const std::uint8_t*>(args[1]), args[2])));
+      break;
+    case HookId::kInject:
+      if (hooks.inject == nullptr) return err_missing_hook("inject");
+      regs[in.b] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(hooks.inject(
+              hooks.ctx, args[0], reinterpret_cast<const char*>(args[1]),
+              reinterpret_cast<const std::uint8_t*>(args[2]), args[3])));
+      break;
+    case HookId::kReply:
+      if (hooks.reply == nullptr) return err_missing_hook("reply");
+      regs[in.b] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(hooks.reply(
+              hooks.ctx, reinterpret_cast<const std::uint8_t*>(args[0]),
+              args[1])));
+      break;
+    case HookId::kRemoteWrite:
+      if (hooks.remote_write == nullptr) {
+        return err_missing_hook("remote_write");
+      }
+      regs[in.b] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(hooks.remote_write(
+              hooks.ctx, args[0], args[1],
+              reinterpret_cast<const std::uint8_t*>(args[2]), args[3])));
+      break;
+    case HookId::kHllGuard:
+      if (hooks.hll_guard == nullptr) return err_missing_hook("hll_guard");
+      hooks.hll_guard(hooks.ctx);
+      break;
+    case HookId::kSin:
+      if (hooks.sin_fn == nullptr) return err_missing_hook("sin");
+      regs[in.b] = f64_bits(hooks.sin_fn(as_f64(args[0])));
+      break;
+    case HookId::kShardInfo:
+      // The whole shard-arrival preamble in one hook (r[b..b+3]); the
+      // validator guarantees the four-register span is in range.
+      if (hooks.shard_size == nullptr) return err_missing_hook("shard_size");
+      if (hooks.self_peer == nullptr) return err_missing_hook("self_peer");
+      if (hooks.shard_base == nullptr) return err_missing_hook("shard_base");
+      if (hooks.peer_count == nullptr) return err_missing_hook("peer_count");
+      regs[in.b] = hooks.shard_size(hooks.ctx);
+      regs[in.b + 1] = hooks.self_peer(hooks.ctx);
+      regs[in.b + 2] =
+          reinterpret_cast<std::uint64_t>(hooks.shard_base(hooks.ctx));
+      regs[in.b + 3] = hooks.peer_count(hooks.ctx);
+      break;
+  }
+  return Status::ok();
+}
+
+// --- fused-run tails ----------------------------------------------------------
+
+/// Executes one straight-line instruction out of a fused window's tail slot
+/// (the subset fuse_program admits: no hooks, no ret, no branches). Returns
+/// false and fills *fault on a trap; `slot` is the true instruction index,
+/// so a div-by-zero reports the same location fused or unfused. Force-inlined
+/// into the kFusedLdiRun handler: a call per tail slot would cost more than
+/// the dispatch the fusion saved.
+TC_VM_FORCE_INLINE bool exec_straight(const Instr& in, std::uint64_t* regs,
+                                      const std::uint64_t* pool,
+                                      std::size_t slot, Status* fault) {
+  switch (in.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kLdi:
+      regs[in.a] =
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+      break;
+    case Opcode::kLdk:
+      regs[in.a] = pool[in.imm];
+      break;
+    case Opcode::kMov:
+      regs[in.a] = regs[in.b];
+      break;
+    case Opcode::kAdd:
+      regs[in.a] = regs[in.b] + regs[in.c];
+      break;
+    case Opcode::kSub:
+      regs[in.a] = regs[in.b] - regs[in.c];
+      break;
+    case Opcode::kMul:
+      regs[in.a] = regs[in.b] * regs[in.c];
+      break;
+    case Opcode::kUdiv:
+      if (regs[in.c] == 0) {
+        *fault = err_div_zero("division", slot);
+        return false;
+      }
+      regs[in.a] = regs[in.b] / regs[in.c];
+      break;
+    case Opcode::kUrem:
+      if (regs[in.c] == 0) {
+        *fault = err_div_zero("remainder", slot);
+        return false;
+      }
+      regs[in.a] = regs[in.b] % regs[in.c];
+      break;
+    case Opcode::kAnd:
+      regs[in.a] = regs[in.b] & regs[in.c];
+      break;
+    case Opcode::kOr:
+      regs[in.a] = regs[in.b] | regs[in.c];
+      break;
+    case Opcode::kXor:
+      regs[in.a] = regs[in.b] ^ regs[in.c];
+      break;
+    case Opcode::kShl:
+      regs[in.a] = regs[in.b] << (regs[in.c] & 63);
+      break;
+    case Opcode::kShr:
+      regs[in.a] = regs[in.b] >> (regs[in.c] & 63);
+      break;
+    case Opcode::kCeq:
+      regs[in.a] = regs[in.b] == regs[in.c] ? 1 : 0;
+      break;
+    case Opcode::kCne:
+      regs[in.a] = regs[in.b] != regs[in.c] ? 1 : 0;
+      break;
+    case Opcode::kCult:
+      regs[in.a] = regs[in.b] < regs[in.c] ? 1 : 0;
+      break;
+    case Opcode::kCule:
+      regs[in.a] = regs[in.b] <= regs[in.c] ? 1 : 0;
+      break;
+    case Opcode::kFadd:
+      regs[in.a] = f64_bits(as_f64(regs[in.b]) + as_f64(regs[in.c]));
+      break;
+    case Opcode::kFsub:
+      regs[in.a] = f64_bits(as_f64(regs[in.b]) - as_f64(regs[in.c]));
+      break;
+    case Opcode::kFmul:
+      regs[in.a] = f64_bits(as_f64(regs[in.b]) * as_f64(regs[in.c]));
+      break;
+    case Opcode::kFdiv:
+      regs[in.a] = f64_bits(as_f64(regs[in.b]) / as_f64(regs[in.c]));
+      break;
+    case Opcode::kFadd32:
+      regs[in.a] = f32_bits(as_f32(regs[in.b]) + as_f32(regs[in.c]));
+      break;
+    case Opcode::kFmul32:
+      regs[in.a] = f32_bits(as_f32(regs[in.b]) * as_f32(regs[in.c]));
+      break;
+    case Opcode::kLd8:
+      regs[in.a] = *mem_addr(regs[in.b], in.imm);
+      break;
+    case Opcode::kLd32:
+      regs[in.a] = load_word<std::uint32_t>(mem_addr(regs[in.b], in.imm));
+      break;
+    case Opcode::kLd64:
+      regs[in.a] = load_word<std::uint64_t>(mem_addr(regs[in.b], in.imm));
+      break;
+    case Opcode::kSt32:
+      store_word<std::uint32_t>(mem_addr(regs[in.b], in.imm),
+                                static_cast<std::uint32_t>(regs[in.a]));
+      break;
+    case Opcode::kSt64:
+      store_word<std::uint64_t>(mem_addr(regs[in.b], in.imm), regs[in.a]);
+      break;
+    default:
+      *fault = internal_error("vm: unexpected opcode in fused run at instr " +
+                              std::to_string(slot));
+      return false;
+  }
+  return true;
+}
+
+// --- dispatch loops -----------------------------------------------------------
+
+#define TC_VM_DISPATCH_NAME execute_switch
+#define TC_VM_DISPATCH_THREADED 0
+#include "vm/interp_dispatch.inc"
+#undef TC_VM_DISPATCH_NAME
+#undef TC_VM_DISPATCH_THREADED
+
+#if TC_VM_HAS_THREADED
+#define TC_VM_DISPATCH_NAME execute_threaded
+#define TC_VM_DISPATCH_THREADED 1
+#include "vm/interp_dispatch.inc"
+#undef TC_VM_DISPATCH_NAME
+#undef TC_VM_DISPATCH_THREADED
+#endif
+
 }  // namespace
+
+bool threaded_dispatch_available() { return TC_VM_HAS_THREADED != 0; }
 
 StatusOr<InterpResult> execute(const Program& program, const HookTable& hooks,
                                std::uint8_t* payload,
                                std::uint64_t payload_size,
                                const InterpOptions& options) {
-  std::uint64_t regs[kMaxRegisters] = {};
-  // Entry convention: r0 = payload pointer, r1 = payload size.
-  regs[0] = reinterpret_cast<std::uint64_t>(payload);
-  regs[1] = payload_size;
-
-  const Instr* code = program.code().data();
-  const std::size_t code_size = program.code().size();
-  const std::uint64_t* pool = program.pool().data();
-
-  InterpResult result;
-  std::size_t pc = 0;
-  while (pc < code_size) {
-    if (++result.ops > options.max_ops) {
-      return resource_exhausted("vm: op budget (" +
-                                std::to_string(options.max_ops) +
-                                ") exhausted");
-    }
-    const Instr in = code[pc];
-    ++pc;
-    switch (in.op) {
-      case Opcode::kNop: break;
-      case Opcode::kLdi:
-        regs[in.a] = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(in.imm));
-        break;
-      case Opcode::kLdk: regs[in.a] = pool[in.imm]; break;
-      case Opcode::kMov: regs[in.a] = regs[in.b]; break;
-      case Opcode::kAdd: regs[in.a] = regs[in.b] + regs[in.c]; break;
-      case Opcode::kSub: regs[in.a] = regs[in.b] - regs[in.c]; break;
-      case Opcode::kMul: regs[in.a] = regs[in.b] * regs[in.c]; break;
-      case Opcode::kUdiv:
-        if (regs[in.c] == 0) {
-          return internal_error("vm: division by zero at instr " +
-                                std::to_string(pc - 1));
-        }
-        regs[in.a] = regs[in.b] / regs[in.c];
-        break;
-      case Opcode::kUrem:
-        if (regs[in.c] == 0) {
-          return internal_error("vm: remainder by zero at instr " +
-                                std::to_string(pc - 1));
-        }
-        regs[in.a] = regs[in.b] % regs[in.c];
-        break;
-      case Opcode::kAnd: regs[in.a] = regs[in.b] & regs[in.c]; break;
-      case Opcode::kOr: regs[in.a] = regs[in.b] | regs[in.c]; break;
-      case Opcode::kXor: regs[in.a] = regs[in.b] ^ regs[in.c]; break;
-      case Opcode::kShl: regs[in.a] = regs[in.b] << (regs[in.c] & 63); break;
-      case Opcode::kShr: regs[in.a] = regs[in.b] >> (regs[in.c] & 63); break;
-      case Opcode::kCeq: regs[in.a] = regs[in.b] == regs[in.c] ? 1 : 0; break;
-      case Opcode::kCne: regs[in.a] = regs[in.b] != regs[in.c] ? 1 : 0; break;
-      case Opcode::kCult: regs[in.a] = regs[in.b] < regs[in.c] ? 1 : 0; break;
-      case Opcode::kCule:
-        regs[in.a] = regs[in.b] <= regs[in.c] ? 1 : 0;
-        break;
-      case Opcode::kFadd:
-        regs[in.a] = f64_bits(as_f64(regs[in.b]) + as_f64(regs[in.c]));
-        break;
-      case Opcode::kFsub:
-        regs[in.a] = f64_bits(as_f64(regs[in.b]) - as_f64(regs[in.c]));
-        break;
-      case Opcode::kFmul:
-        regs[in.a] = f64_bits(as_f64(regs[in.b]) * as_f64(regs[in.c]));
-        break;
-      case Opcode::kFdiv:
-        regs[in.a] = f64_bits(as_f64(regs[in.b]) / as_f64(regs[in.c]));
-        break;
-      case Opcode::kFadd32:
-        regs[in.a] = f32_bits(as_f32(regs[in.b]) + as_f32(regs[in.c]));
-        break;
-      case Opcode::kFmul32:
-        regs[in.a] = f32_bits(as_f32(regs[in.b]) * as_f32(regs[in.c]));
-        break;
-      case Opcode::kLd8: regs[in.a] = *mem_addr(regs[in.b], in.imm); break;
-      case Opcode::kLd32:
-        regs[in.a] = load_word<std::uint32_t>(mem_addr(regs[in.b], in.imm));
-        break;
-      case Opcode::kLd64:
-        regs[in.a] = load_word<std::uint64_t>(mem_addr(regs[in.b], in.imm));
-        break;
-      case Opcode::kSt32:
-        store_word<std::uint32_t>(mem_addr(regs[in.b], in.imm),
-                                  static_cast<std::uint32_t>(regs[in.a]));
-        break;
-      case Opcode::kSt64:
-        store_word<std::uint64_t>(mem_addr(regs[in.b], in.imm), regs[in.a]);
-        break;
-      case Opcode::kBr: pc = static_cast<std::size_t>(in.imm); break;
-      case Opcode::kBrz:
-        if (regs[in.a] == 0) pc = static_cast<std::size_t>(in.imm);
-        break;
-      case Opcode::kBrnz:
-        if (regs[in.a] != 0) pc = static_cast<std::size_t>(in.imm);
-        break;
-      case Opcode::kHook: {
-        const HookId hook = static_cast<HookId>(in.a);
-        const std::uint64_t* args = &regs[in.c];
-        switch (hook) {
-          case HookId::kTarget:
-            if (hooks.target == nullptr) {
-              return failed_precondition("vm: target hook not provided");
-            }
-            regs[in.b] =
-                reinterpret_cast<std::uint64_t>(hooks.target(hooks.ctx));
-            break;
-          case HookId::kNode:
-            if (hooks.node == nullptr) {
-              return failed_precondition("vm: node hook not provided");
-            }
-            regs[in.b] = hooks.node(hooks.ctx);
-            break;
-          case HookId::kPeerCount:
-            if (hooks.peer_count == nullptr) {
-              return failed_precondition("vm: peer_count hook not provided");
-            }
-            regs[in.b] = hooks.peer_count(hooks.ctx);
-            break;
-          case HookId::kSelfPeer:
-            if (hooks.self_peer == nullptr) {
-              return failed_precondition("vm: self_peer hook not provided");
-            }
-            regs[in.b] = hooks.self_peer(hooks.ctx);
-            break;
-          case HookId::kShardBase:
-            if (hooks.shard_base == nullptr) {
-              return failed_precondition("vm: shard_base hook not provided");
-            }
-            regs[in.b] =
-                reinterpret_cast<std::uint64_t>(hooks.shard_base(hooks.ctx));
-            break;
-          case HookId::kShardSize:
-            if (hooks.shard_size == nullptr) {
-              return failed_precondition("vm: shard_size hook not provided");
-            }
-            regs[in.b] = hooks.shard_size(hooks.ctx);
-            break;
-          case HookId::kForward:
-            if (hooks.forward == nullptr) {
-              return failed_precondition("vm: forward hook not provided");
-            }
-            regs[in.b] = static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(hooks.forward(
-                    hooks.ctx, args[0],
-                    reinterpret_cast<const std::uint8_t*>(args[1]),
-                    args[2])));
-            break;
-          case HookId::kInject:
-            if (hooks.inject == nullptr) {
-              return failed_precondition("vm: inject hook not provided");
-            }
-            regs[in.b] = static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(hooks.inject(
-                    hooks.ctx, args[0],
-                    reinterpret_cast<const char*>(args[1]),
-                    reinterpret_cast<const std::uint8_t*>(args[2]),
-                    args[3])));
-            break;
-          case HookId::kReply:
-            if (hooks.reply == nullptr) {
-              return failed_precondition("vm: reply hook not provided");
-            }
-            regs[in.b] = static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(hooks.reply(
-                    hooks.ctx,
-                    reinterpret_cast<const std::uint8_t*>(args[0]),
-                    args[1])));
-            break;
-          case HookId::kRemoteWrite:
-            if (hooks.remote_write == nullptr) {
-              return failed_precondition("vm: remote_write hook not provided");
-            }
-            regs[in.b] = static_cast<std::uint64_t>(
-                static_cast<std::int64_t>(hooks.remote_write(
-                    hooks.ctx, args[0], args[1],
-                    reinterpret_cast<const std::uint8_t*>(args[2]),
-                    args[3])));
-            break;
-          case HookId::kHllGuard:
-            if (hooks.hll_guard == nullptr) {
-              return failed_precondition("vm: hll_guard hook not provided");
-            }
-            hooks.hll_guard(hooks.ctx);
-            break;
-          case HookId::kSin:
-            if (hooks.sin_fn == nullptr) {
-              return failed_precondition("vm: sin hook not provided");
-            }
-            regs[in.b] = f64_bits(hooks.sin_fn(as_f64(args[0])));
-            break;
-        }
-        break;
-      }
-      case Opcode::kRet: return result;
-    }
+#if TC_VM_HAS_THREADED
+  if (options.dispatch != Dispatch::kSwitch) {
+    return execute_threaded(program, hooks, payload, payload_size, options);
   }
-  // Unreachable for validated programs (last instruction is a terminator),
-  // but keep the fail-safe so a logic bug here cannot become UB.
-  return internal_error("vm: execution ran off the end of the program");
+#else
+  // Dispatch::kThreaded degrades to the switch loop in this build.
+#endif
+  return execute_switch(program, hooks, payload, payload_size, options);
 }
 
 }  // namespace tc::vm

@@ -43,10 +43,32 @@ struct HookTable {
   double (*sin_fn)(double) = nullptr;
 };
 
+/// Interpreter dispatch strategy. The execution semantics are identical in
+/// every mode (the differential suite asserts it); only the inner-loop
+/// mechanics differ.
+enum class Dispatch : std::uint8_t {
+  /// Threaded when the build supports it, otherwise switch.
+  kDefault = 0,
+  /// The classic while/switch loop — the portable fallback, always built.
+  kSwitch,
+  /// Computed-goto (&&label) dispatch: one indirect jump per instruction
+  /// from a per-opcode table, so the branch predictor keys on the *current*
+  /// opcode instead of a single shared dispatch branch. Falls back to
+  /// kSwitch on compilers without the extension or when the build forces
+  /// TC_VM_SWITCH_DISPATCH.
+  kThreaded,
+};
+
+/// Whether this build contains the computed-goto dispatch loop.
+bool threaded_dispatch_available();
+
 struct InterpOptions {
   /// Fuel limit: executing more instructions than this fails with
   /// kResourceExhausted instead of hanging the node on a looping program.
+  /// The check rides the branch handlers (straight-line code cannot loop),
+  /// so a program may overshoot by at most its code length.
   std::uint64_t max_ops = 1ull << 30;
+  Dispatch dispatch = Dispatch::kDefault;
 };
 
 struct InterpResult {

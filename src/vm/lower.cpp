@@ -545,62 +545,75 @@ void lower_collective_reduce(Assembler& a, const ir::KernelOptions& o) {
 // open-addressing array of {key, value} bucket pairs, shard_size / 2
 // buckets per server. Probes the linear chain locally, forwards itself at
 // shard crossings, replies [value|~0][tag] to the chain origin.
+// The lowering is scheduled for the superinstruction fuser (vm/fuse.hpp)
+// around side-exit runs. The entry run carries the kShardInfo hook (behind
+// a consuming mov so the li-led run qualifies) plus the arrival math, and
+// falls into the probe loop. The whole probe iteration — owner check with
+// a side exit to the forward path, bucket address math, key/value loads,
+// hit side exit, empty-bucket side exit, probe advance, back edge — is a
+// single run, so each probe retires one op. The bucket value load is
+// speculative (always in bounds, buckets are 16 bytes) and lands the hit
+// result in r2 before the hit exit; load order keeps every compare off a
+// load's heels so no load-compare-branch window splits the run.
 void lower_hash_probe(Assembler& a, const ir::KernelOptions& o) {
   const auto loop = a.make_label();
-  const auto local = a.make_label();
-  const auto hit = a.make_label();
+  const auto fwd = a.make_label();
   const auto miss = a.make_label();
   const auto out = a.make_label();
-  a.hook(HookId::kShardSize, 2);
-  a.hook(HookId::kSelfPeer, 3);
-  a.hook(HookId::kShardBase, 4);
-  a.hook(HookId::kPeerCount, 9);
+  // Entry run: [li; consuming mov; shard-info hook; arrival math; loads].
   a.li(10, 2);
+  a.mov(11, 10);                   // consumes the li: the run admission rule
+  a.hook(HookId::kShardInfo, 2);   // r2 size, r3 self, r4 base, r5 count
   a.alu(Opcode::kUdiv, 8, 2, 10);  // buckets per shard
-  a.alu(Opcode::kMul, 9, 8, 9);    // capacity = bps * peer_count
-  a.ld64(5, P, 0);   // key
+  a.alu(Opcode::kMul, 9, 8, 5);    // capacity = bps * peer_count
   a.ld64(6, P, 8);   // slot
   a.ld64(7, P, 16);  // probes_left
+  // Probe loop: one run per iteration.
   a.bind(loop);
-  a.alu(Opcode::kUdiv, 10, 6, 8);  // owner = slot / bps
+  a.li(11, 1);
+  a.alu(Opcode::kMul, kArg0, 6, 11);   // slot copy seeds the run
+  a.alu(Opcode::kUdiv, 10, kArg0, 8);  // owner
+  a.alu(Opcode::kUrem, kArg0, kArg0, 8);  // local bucket
   a.alu(Opcode::kCeq, 11, 10, 3);
-  a.brnz(11, local);
-  // forward: refresh the in-place probe state, ship to the owning server.
-  a.st64(6, P, 8);
-  a.st64(7, P, 16);
+  a.brz(11, fwd);                  // side exit: the chain left the shard
+  guard(a, o);
+  a.li(10, 16);
+  a.alu(Opcode::kMul, 10, kArg0, 10);
+  a.alu(Opcode::kAdd, 10, 4, 10);  // &shard[2 * local]
+  a.ld64(5, P, 0);                 // probe key
+  a.ld64(11, 10);                  // stored key
+  a.ld64(2, 10, 8);                // value (speculative)
+  a.alu(Opcode::kCeq, kArg1, 11, 5);
+  a.brnz(kArg1, out);              // side exit: hit, r2 holds the value
+  a.brz(11, miss);                 // side exit: empty bucket, definitive miss
+  a.li(2, 1);
+  a.alu(Opcode::kSub, 7, 7, 2);    // --probes_left
+  a.alu(Opcode::kAdd, 6, 6, 2);
+  a.alu(Opcode::kUrem, 6, 6, 9);   // slot = (slot + 1) % capacity
+  a.brnz(7, loop);                 // back edge; falls through when drained
+  a.bind(miss);                    // probe budget drained, or empty bucket
+  a.li(2, ~0ull);                  // the miss sentinel; falls into the reply
+  // Reply run: the tag-address li leads, the hook and ret close it.
+  a.bind(out);
+  a.li(11, 24);
+  a.alu(Opcode::kAdd, 11, P, 11);  // &payload[24]
+  a.st64(2, P, 0);
+  a.ld64(11, 11, 0);               // tag
+  a.st64(11, P, 8);
+  a.mov(kArg1, P);
+  a.li(kArg2, 16);
+  a.hook(HookId::kReply, 2, kArg1);
+  a.ret();
+  // Forward: refresh the in-place probe state, ship to the owning server.
+  a.bind(fwd);
+  a.li(kArg0, 8);
+  a.alu(Opcode::kAdd, kArg0, P, kArg0);  // &payload[8]
+  a.st64(6, kArg0, 0);
+  a.st64(7, kArg0, 8);
   a.mov(kArg0, 10);
   a.mov(kArg1, P);
   a.mov(kArg2, N);
   a.hook(HookId::kForward, 11, kArg0);
-  a.ret();
-  a.bind(local);
-  guard(a, o);
-  a.alu(Opcode::kUrem, 10, 6, 8);  // local bucket
-  a.li(11, 16);
-  a.alu(Opcode::kMul, 10, 10, 11);
-  a.alu(Opcode::kAdd, 10, 4, 10);  // &shard[2 * local]
-  a.ld64(11, 10);                  // stored key
-  a.alu(Opcode::kCeq, 2, 11, 5);
-  a.brnz(2, hit);
-  a.brz(11, miss);                 // empty bucket: definitive miss
-  a.li(2, 1);
-  a.alu(Opcode::kSub, 7, 7, 2);    // --probes_left
-  a.brz(7, miss);
-  a.alu(Opcode::kAdd, 6, 6, 2);
-  a.alu(Opcode::kUrem, 6, 6, 9);   // slot = (slot + 1) % capacity
-  a.br(loop);
-  a.bind(hit);
-  a.ld64(2, 10, 8);                // value
-  a.br(out);
-  a.bind(miss);
-  a.li(2, ~0ull);                  // the miss sentinel
-  a.bind(out);
-  a.st64(2, P, 0);
-  a.ld64(2, P, 24);                // tag
-  a.st64(2, P, 8);
-  a.mov(kArg1, P);
-  a.li(kArg2, 16);
-  a.hook(HookId::kReply, 2, kArg1);
   a.ret();
 }
 
@@ -609,73 +622,129 @@ void lower_hash_probe(Assembler& a, const ir::KernelOptions& o) {
 // records [key][value][(next_id, next_key) x 4 levels]. The stored finger
 // keys make the descent locally decidable: in-shard hops loop, cross-shard
 // down-links forward. Replies [value|~0][tag].
+// Scheduled for the fuser like lower_hash_probe, but with the hop loops
+// unrolled inside the side-exit runs: three link takes (or four level
+// descents) retire as one op each run. Loop invariants are cached in
+// registers so each unrolled body stays small — r15 holds self * nps (the
+// ownership test becomes `rank = node - r15; rank < nps`, one sub and one
+// cult, with the wraparound of an underflowing sub failing the cult for
+// nodes on earlier shards), r7 is repurposed from the level to the finger
+// byte offset 16 * level (the forward path divides it back), and r4 is
+// biased by 16 so a record's finger array is `r4 + 80 * rank` directly.
+// The NIL-link test is folded into the key compare — NIL fingers carry ~0
+// as their key while real keys stay below 2^63, so `next_key <= target`
+// alone rejects them — and the reply is branch-free: `or(value, hit - 1)`
+// yields the value on a hit and ~0 on a miss, which lets the landing
+// check and the reply epilogue fuse into one run.
 void lower_ordered_search(Assembler& a, const ir::KernelOptions& o) {
-  const auto hop = a.make_label();
-  const auto local = a.make_label();
-  const auto desc = a.make_label();
+  const auto fwd = a.make_label();
+  const auto take = a.make_label();
   const auto down = a.make_label();
   const auto fin = a.make_label();
-  const auto miss = a.make_label();
-  const auto out = a.make_label();
-  a.hook(HookId::kShardSize, 2);
-  a.hook(HookId::kSelfPeer, 3);
-  a.hook(HookId::kShardBase, 4);
+  // Entry run: [li; consuming mov; shard-info hook; arrival math; owner
+  // side exit; record address; finger probe]. One retired op per arrival.
   a.li(10, 10);
+  a.mov(11, 10);                   // consumes the li: the run admission rule
+  a.hook(HookId::kShardInfo, 2);   // r2 size, r3 self, r4 base (count: r5)
   a.alu(Opcode::kUdiv, 8, 2, 10);  // nodes per shard
-  a.ld64(5, P, 0);   // target
+  a.ld64(5, P, 0);   // target (the unused peer count is overwritten)
   a.ld64(6, P, 8);   // node
   a.ld64(7, P, 16);  // level
-  a.bind(hop);
-  a.alu(Opcode::kUdiv, 10, 6, 8);  // owner = node / nps
-  a.alu(Opcode::kCeq, 11, 10, 3);
-  a.brnz(11, local);
-  a.st64(6, P, 8);
-  a.st64(7, P, 16);
-  a.mov(kArg0, 10);
-  a.mov(kArg1, P);
-  a.mov(kArg2, N);
-  a.hook(HookId::kForward, 11, kArg0);
-  a.ret();
-  a.bind(local);
+  a.li(10, 16);
+  a.alu(Opcode::kMul, 7, 7, 10);   // r7 = finger offset, 16 * level
+  a.alu(Opcode::kAdd, 4, 4, 10);   // bias the base: records' finger arrays
+  a.alu(Opcode::kMul, 15, 3, 8);   // first owned node id, self * nps
+  a.alu(Opcode::kSub, 9, 6, 15);   // local rank (wraps when not ours)
+  a.alu(Opcode::kCult, 11, 9, 8);
+  a.brz(11, fwd);                  // side exit: arrived at the wrong shard
   guard(a, o);
-  a.alu(Opcode::kUrem, 9, 6, 8);
   a.li(10, 80);
   a.alu(Opcode::kMul, 9, 9, 10);
-  a.alu(Opcode::kAdd, 9, 4, 9);    // record base address
-  a.bind(desc);
-  a.li(10, 16);
-  a.alu(Opcode::kMul, 11, 7, 10);
-  a.alu(Opcode::kAdd, 11, 11, 10); // finger offset: 16 + 16 * level
-  a.alu(Opcode::kAdd, 11, 9, 11);
-  a.ld64(2, 11, 0);                // next_id
-  a.ld64(10, 11, 8);               // next_key
-  a.li(11, ~0ull);
-  a.alu(Opcode::kCne, 11, 2, 11);
-  a.brz(11, down);                 // NIL link: descend a level
-  a.alu(Opcode::kCule, 11, 10, 5);
-  a.brz(11, down);                 // next_key > target: descend
-  a.mov(6, 2);                     // take the link at this level
-  a.br(hop);
+  a.alu(Opcode::kAdd, 9, 4, 9);    // finger-array address of the record
+  a.alu(Opcode::kAdd, 11, 9, 7);
+  a.ld64(kArg1, 11, 8);            // next_key (~0 for NIL links); loaded
+  a.ld64(2, 11, 0);                // before next_id so the compare does not
+  a.alu(Opcode::kCule, 11, kArg1, 5);  // trail its load (a Ld*Br window
+  a.brnz(11, take);                // would split the run)
+  a.br(down);
+  // Link-take run, three hops unrolled: `mul node, next_id, 1` moves the
+  // taken link into the node register while consuming the leading li
+  // (kArg0 stays 1 across the bodies), and each body re-checks ownership
+  // (side exit to the forward path), recomputes the record address, and
+  // probes the same level's finger — so up to three in-shard horizontal
+  // hops retire as a single op before the back edge re-enters the run.
+  a.bind(take);
+  a.li(kArg0, 1);
+  for (int unroll = 0; unroll < 3; ++unroll) {
+    a.alu(Opcode::kMul, 6, 2, kArg0);  // node = next_id
+    a.alu(Opcode::kSub, 9, 6, 15);     // local rank
+    a.alu(Opcode::kCult, 11, 9, 8);
+    a.brz(11, fwd);                  // side exit: the link left the shard
+    guard(a, o);
+    a.li(10, 80);
+    a.alu(Opcode::kMul, 9, 9, 10);
+    a.alu(Opcode::kAdd, 9, 4, 9);
+    a.alu(Opcode::kAdd, 11, 9, 7);
+    a.ld64(kArg1, 11, 8);            // next_key
+    a.ld64(2, 11, 0);                // next_id
+    a.alu(Opcode::kCule, 11, kArg1, 5);
+    if (unroll < 2) {
+      a.brz(11, down);               // side exit: overshoot or NIL, descend
+    } else {
+      a.brnz(11, take);              // back edge; falls through to descend
+    }
+  }
+  // Descend run, four levels unrolled: each body tests the level floor
+  // (side exit to the reply), steps the cached finger offset down one
+  // level, and probes that level's finger on the same record.
   a.bind(down);
-  a.brz(7, fin);
-  a.li(10, 1);
-  a.alu(Opcode::kSub, 7, 7, 10);
-  a.br(desc);
+  a.li(10, 16);
+  for (int unroll = 0; unroll < 4; ++unroll) {
+    a.alu(Opcode::kCult, 11, 7, 10);  // offset < 16 means level 0
+    a.brnz(11, fin);                 // side exit: bottomed out
+    a.alu(Opcode::kSub, 7, 7, 10);   // --level
+    a.alu(Opcode::kAdd, 11, 9, 7);
+    a.ld64(kArg1, 11, 8);            // next_key
+    a.ld64(2, 11, 0);                // next_id
+    a.alu(Opcode::kCule, 11, kArg1, 5);
+    a.brnz(11, take);
+  }
+  a.br(down);
+  // Branch-free reply run: hit = (landing key == target); hit - 1 is 0 on
+  // a hit and ~0 on a miss, so `or(value, hit - 1)` is the reply word and
+  // the whole landing-check-plus-reply epilogue is one retired op.
   a.bind(fin);
-  a.ld64(2, 9, 0);                 // landing key
-  a.alu(Opcode::kCeq, 2, 2, 5);
-  a.brz(2, miss);
-  a.ld64(2, 9, 8);                 // value
-  a.br(out);
-  a.bind(miss);
-  a.li(2, ~0ull);
-  a.bind(out);
+  a.li(10, 16);
+  a.alu(Opcode::kSub, kArg0, 9, 10);  // un-bias: the record's key address
+  a.ld64(2, kArg0, 8);             // value (speculative)
+  a.ld64(kArg0, kArg0, 0);         // landing key
+  a.alu(Opcode::kCeq, kArg0, kArg0, 5);
+  a.li(10, 1);
+  a.alu(Opcode::kSub, kArg0, kArg0, 10);
+  a.alu(Opcode::kOr, 2, 2, kArg0);  // value on a hit, ~0 on a miss
+  a.li(11, 24);
+  a.alu(Opcode::kAdd, 11, P, 11);  // &payload[24]
   a.st64(2, P, 0);
-  a.ld64(2, P, 24);                // tag
-  a.st64(2, P, 8);
+  a.ld64(11, 11, 0);               // tag
+  a.st64(11, P, 8);
   a.mov(kArg1, P);
   a.li(kArg2, 16);
   a.hook(HookId::kReply, 2, kArg1);
+  a.ret();
+  // Forward: refresh the in-place descent state (dividing the cached
+  // finger offset back into the level the payload carries), ship to the
+  // owning server.
+  a.bind(fwd);
+  a.li(kArg0, 8);
+  a.alu(Opcode::kAdd, kArg0, P, kArg0);  // &payload[8]
+  a.st64(6, kArg0, 0);
+  a.li(10, 16);
+  a.alu(Opcode::kUdiv, 11, 7, 10);  // level = finger offset / 16
+  a.st64(11, kArg0, 8);
+  a.alu(Opcode::kUdiv, kArg0, 6, 8);  // owner = node / nps
+  a.mov(kArg1, P);
+  a.mov(kArg2, N);
+  a.hook(HookId::kForward, 11, kArg0);
   a.ret();
 }
 
@@ -801,8 +870,13 @@ void lower_bfs_frontier(Assembler& a, const ir::KernelOptions& o) {
   a.alu(Opcode::kUdiv, 14, 13, 4); // nb owner
   a.alu(Opcode::kCeq, 15, 14, 3);
   a.brnz(15, push);
-  a.st64(13, P, 16);               // frontier leaves the shard: forward,
-  a.st64(3, P, 24);                // stamping ourselves as its `from`
+  // Frontier leaves the shard: forward, stamping ourselves as its `from`.
+  // Led by the payload-address li so the stores, the arg marshaling, the
+  // hook, the spawn count and the loop-back branch all ride one run.
+  a.li(15, 16);
+  a.alu(Opcode::kAdd, 15, P, 15);  // &payload[16]
+  a.st64(13, 15, 0);
+  a.st64(3, 15, 8);
   a.mov(kArg0, 14);
   a.mov(kArg1, P);
   a.li(kArg2, 32);

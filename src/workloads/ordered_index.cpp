@@ -62,10 +62,13 @@ StatusOr<ShardedOrderedIndex> ShardedOrderedIndex::build(
     for (std::uint64_t l = 0; l < kLevels; ++l) {
       if (l < height[r]) {
         rec[2 + 2 * l] = last[l];
-        rec[3 + 2 * l] = last[l] == kNil ? 0 : last_key[l];
+        // A NIL link carries kNil as its finger key too: keys are < 2^63
+        // (rng() >> 1), so `next_key <= target` alone rejects NIL links —
+        // the portable kernel's descent needs no separate NIL test.
+        rec[3 + 2 * l] = last[l] == kNil ? kNil : last_key[l];
       } else {
         rec[2 + 2 * l] = kNil;  // never read: arrivals stay below height
-        rec[3 + 2 * l] = 0;
+        rec[3 + 2 * l] = kNil;
       }
     }
     for (std::uint64_t l = 0; l < height[r]; ++l) {

@@ -15,7 +15,10 @@
 //   word 0 — key (node 0 is the head, key 0; real keys are >= 1)
 //   word 1 — value
 //   words 2 + 2*l, 3 + 2*l — (next_id, next_key) at level l, l < 4;
-//                            next_id == ~0 marks a NIL link.
+//                            next_id == ~0 marks a NIL link, and its finger
+//                            key is ~0 too — keys stay below 2^63, so the
+//                            `next_key <= target` compare alone rejects NIL
+//                            links (the portable kernel relies on this).
 #pragma once
 
 #include <cstdint>

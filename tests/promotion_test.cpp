@@ -1,0 +1,251 @@
+// Background tier-promotion tests (LLVM-only): the compile runs on a
+// worker thread while the progress thread keeps serving interpreted
+// invocations, the finished entry is swapped in atomically between
+// invocations, failures are counted once and leave the ifunc interpreting,
+// and the compile latency lands in the promote_compile_ns histogram.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/ifunc.hpp"
+#include "core/runtime.hpp"
+#include "fabric/fabric.hpp"
+#include "ir/fat_bitcode.hpp"
+#include "ir/kernels.hpp"
+#include "ir/target_info.hpp"
+#include "obs/metrics.hpp"
+#include "vm/lower.hpp"
+
+namespace tc {
+namespace {
+
+/// Blocks the promotion worker inside its compile hook until released, so a
+/// test can hold a compile "in flight" for as long as it needs.
+struct CompileGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  std::atomic<bool> reached{false};
+
+  std::function<void()> hook() {
+    return [this] {
+      reached.store(true, std::memory_order_release);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return released; });
+    };
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+  void wait_reached() {
+    while (!reached.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+};
+
+struct Pair {
+  fabric::Fabric fabric;
+  fabric::NodeId a = 0, b = 0;
+  std::unique_ptr<core::Runtime> send, recv;
+
+  explicit Pair(core::RuntimeOptions recv_options) {
+    fabric.set_default_link(fabric::instant_link());
+    a = fabric.add_node("a");
+    b = fabric.add_node("b");
+    auto s = core::Runtime::create(fabric, a);
+    auto r = core::Runtime::create(fabric, b, recv_options);
+    EXPECT_TRUE(s.is_ok());
+    EXPECT_TRUE(r.is_ok());
+    send = std::move(*s);
+    recv = std::move(*r);
+  }
+};
+
+std::uint64_t register_tiered_tsi(Pair& pair) {
+  auto lib = core::IfuncLibrary::from_tiered_kernel(
+      ir::KernelKind::kTargetSideIncrement);
+  EXPECT_TRUE(lib.is_ok()) << lib.status().to_string();
+  auto id = pair.send->register_ifunc(std::move(*lib));
+  EXPECT_TRUE(id.is_ok());
+  return *id;
+}
+
+TEST(BackgroundPromotion, InvocationsProceedWhileCompileIsInFlight) {
+  CompileGate gate;
+  core::RuntimeOptions options;
+  options.promote_after = 2;
+  options.promote_compile_hook = gate.hook();
+  Pair pair(options);
+  const std::uint64_t id = register_tiered_tsi(pair);
+
+  std::uint64_t counter = 0;
+  pair.recv->set_target_ptr(&counter);
+  Bytes payload{0};
+
+  // Cross the threshold: invocation 2 enqueues the promotion, whose compile
+  // immediately parks inside the gate.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(pair.send->send_ifunc(pair.b, id, as_span(payload)).is_ok());
+    pair.fabric.run_until_idle();
+  }
+  gate.wait_reached();
+
+  // The progress thread must keep serving interpreted invocations while the
+  // compile is held hostage — this is the "no compile work on the progress
+  // thread" acceptance criterion.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pair.send->send_ifunc(pair.b, id, as_span(payload)).is_ok());
+    pair.fabric.run_until_idle();
+  }
+  EXPECT_EQ(counter, 5u);
+  EXPECT_EQ(pair.recv->stats().interp_executions, 5u);
+  EXPECT_EQ(pair.recv->stats().tier_promotions, 0u);
+
+  // Release the compile; the very next invocation runs JIT'd.
+  gate.release();
+  pair.recv->wait_for_promotions();
+  ASSERT_TRUE(pair.send->send_ifunc(pair.b, id, as_span(payload)).is_ok());
+  pair.fabric.run_until_idle();
+  EXPECT_EQ(counter, 6u);
+  EXPECT_EQ(pair.recv->stats().interp_executions, 5u);
+  EXPECT_EQ(pair.recv->stats().tier_promotions, 1u);
+  EXPECT_EQ(pair.recv->stats().jit_compiles, 1u);
+}
+
+TEST(BackgroundPromotion, InFlightInvocationsCrossTheSwapExactlyOnce) {
+  CompileGate gate;
+  core::RuntimeOptions options;
+  options.promote_after = 1;
+  options.promote_compile_hook = gate.hook();
+  Pair pair(options);
+  const std::uint64_t id = register_tiered_tsi(pair);
+
+  std::uint64_t counter = 0;
+  pair.recv->set_target_ptr(&counter);
+  Bytes payload{0};
+
+  // Invocation 1 crosses the threshold; the compile parks in the gate.
+  ASSERT_TRUE(pair.send->send_ifunc(pair.b, id, as_span(payload)).is_ok());
+  pair.fabric.run_until_idle();
+  gate.wait_reached();
+
+  // Queue four more invocations *without* draining, then let the compile
+  // finish so its result is pending while they are still in flight.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pair.send->send_ifunc(pair.b, id, as_span(payload)).is_ok());
+  }
+  gate.release();
+  pair.recv->wait_for_promotions();
+
+  // Draining now interleaves the tier swap with the queued invocations:
+  // each one must execute exactly once, on the interpreter or on the JIT
+  // entry, never torn between the two.
+  pair.fabric.run_until_idle();
+  EXPECT_EQ(counter, 5u);
+  EXPECT_EQ(pair.recv->stats().frames_executed, 5u);
+  EXPECT_EQ(pair.recv->stats().tier_promotions, 1u);
+  // The ready result is swapped in at the head of the first drained
+  // invocation, so exactly the pre-swap send ran interpreted and the four
+  // queued ones ran JIT'd — and nothing ran twice or on a torn entry.
+  EXPECT_EQ(pair.recv->stats().interp_executions, 1u);
+  EXPECT_EQ(pair.recv->stats().protocol_errors, 0u);
+}
+
+TEST(BackgroundPromotion, FailedCompileIsCountedOnceAndKeepsInterpreting) {
+  // A portable archive whose host-triple entry is garbage: promotion is
+  // attempted (the probe sees a host entry) and the background compile
+  // fails. The ifunc must keep serving interpreted invocations, the failure
+  // must be counted exactly once, and no retry storm may follow.
+  auto portable =
+      vm::build_portable_kernel(ir::KernelKind::kTargetSideIncrement);
+  ASSERT_TRUE(portable.is_ok());
+  ir::FatBitcode archive(ir::CodeRepr::kPortable);
+  ASSERT_TRUE(archive
+                  .add_entry({ir::kTriplePortable, "", ""},
+                             portable->entries()[0].code)
+                  .is_ok());
+  Bytes garbage{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01, 0x02, 0x03};
+  ASSERT_TRUE(
+      archive.add_entry({ir::host_triple(), "", ""}, garbage).is_ok());
+  auto lib = core::IfuncLibrary::from_archive("bad_promo", std::move(archive));
+  ASSERT_TRUE(lib.is_ok());
+
+  core::RuntimeOptions options;
+  options.promote_after = 1;
+  Pair pair(options);
+  auto id = pair.send->register_ifunc(std::move(*lib));
+  ASSERT_TRUE(id.is_ok());
+
+  std::uint64_t counter = 0;
+  pair.recv->set_target_ptr(&counter);
+  Bytes payload{0};
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(pair.send->send_ifunc(pair.b, *id, as_span(payload)).is_ok());
+    pair.fabric.run_until_idle();
+    if (i == 1) pair.recv->wait_for_promotions();
+  }
+  EXPECT_EQ(counter, 4u);
+  EXPECT_EQ(pair.recv->stats().interp_executions, 4u);
+  EXPECT_EQ(pair.recv->stats().promotions_failed, 1u);
+  EXPECT_EQ(pair.recv->stats().tier_promotions, 0u);
+  EXPECT_EQ(pair.recv->stats().jit_compiles, 0u);
+}
+
+TEST(BackgroundPromotion, CompileLatencyLandsInMetricsHistogram) {
+  obs::MetricsRegistry metrics;
+  core::RuntimeOptions options;
+  options.promote_after = 1;
+  options.metrics = &metrics;
+  Pair pair(options);
+  const std::uint64_t id = register_tiered_tsi(pair);
+
+  std::uint64_t counter = 0;
+  pair.recv->set_target_ptr(&counter);
+  Bytes payload{0};
+  ASSERT_TRUE(pair.send->send_ifunc(pair.b, id, as_span(payload)).is_ok());
+  pair.fabric.run_until_idle();
+  pair.recv->wait_for_promotions();
+
+  const auto snapshot = metrics.snapshot();
+  bool found = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name.rfind("promote_compile_ns/", 0) == 0) {
+      found = true;
+      EXPECT_EQ(h.count, 1u) << h.name;
+      EXPECT_GT(h.sum, 0u) << h.name;
+    }
+  }
+  EXPECT_TRUE(found) << "no promote_compile_ns histogram recorded";
+}
+
+TEST(BackgroundPromotion, DestructionWithCompileInFlightIsClean) {
+  // Tearing the runtime down while a compile is parked in the gate must not
+  // hang or crash: the destructor stops the worker and joins it.
+  CompileGate gate;
+  core::RuntimeOptions options;
+  options.promote_after = 1;
+  options.promote_compile_hook = gate.hook();
+  {
+    Pair pair(options);
+    const std::uint64_t id = register_tiered_tsi(pair);
+    std::uint64_t counter = 0;
+    pair.recv->set_target_ptr(&counter);
+    Bytes payload{0};
+    ASSERT_TRUE(pair.send->send_ifunc(pair.b, id, as_span(payload)).is_ok());
+    pair.fabric.run_until_idle();
+    gate.wait_reached();
+    gate.release();
+    // Destruction races the in-flight compile from here.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tc

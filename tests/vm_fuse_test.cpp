@@ -1,0 +1,454 @@
+// Tests for the interpreter's execution-core rewrite (src/vm/fuse.cpp and
+// the dual dispatch loops of vm/interp_dispatch.inc):
+//   * unit tests of the superinstruction pass — which windows fuse, which
+//     safety rail blocks each near-miss, idempotence;
+//   * the calibration guard — the fig5-fig12 chaser stream must stay
+//     fusion-free, or its retired-op counts (and the committed BENCH_dapc
+//     trajectory) would shift;
+//   * a differential fuzzer over random valid programs asserting
+//     switch-dispatch ≡ threaded-dispatch ≡ fusion-on ≡ fusion-off for
+//     payload bytes, status, and (per dispatch pair) retired-op counts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "ir/kernels.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/fuse.hpp"
+#include "vm/interp.hpp"
+#include "vm/lower.hpp"
+
+namespace tc::vm {
+namespace {
+
+Program lowered(ir::KernelKind kind, bool tagged = false) {
+  ir::KernelOptions options;
+  options.chaser_tagged = tagged;
+  auto program = lower_kernel(kind, options);
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+  return std::move(program).value();
+}
+
+/// Builds a validated Program from raw instructions by serializing the wire
+/// layout by hand and running it through the real decode path — the same
+/// validation every arriving ifunc gets.
+StatusOr<Program> assemble_raw(std::uint16_t reg_count,
+                               const std::vector<Instr>& code,
+                               const std::vector<std::uint64_t>& pool) {
+  ByteWriter w;
+  w.u32(kProgramMagic);
+  w.u16(kProgramVersion);
+  w.u16(reg_count);
+  w.u32(static_cast<std::uint32_t>(code.size()));
+  w.u32(static_cast<std::uint32_t>(pool.size()));
+  for (const Instr& in : code) {
+    w.u8(static_cast<std::uint8_t>(in.op));
+    w.u8(in.a);
+    w.u8(in.b);
+    w.u8(in.c);
+    w.u32(static_cast<std::uint32_t>(in.imm));
+  }
+  for (std::uint64_t k : pool) w.u64(k);
+  w.u64(fnv1a64(as_span(w.bytes())));
+  const Bytes wire = std::move(w).take();
+  return Program::deserialize(as_span(wire));
+}
+
+// --- fusion pass unit tests ----------------------------------------------------
+
+TEST(Fuse, LoadCompareBranchFuses) {
+  std::vector<Instr> code{
+      {Opcode::kLd64, 2, 0, 0, 0},   // r2 = *(u64*)payload
+      {Opcode::kCeq, 3, 2, 4, 0},    // r3 = (r2 == r4)
+      {Opcode::kBrnz, 3, 0, 0, 4},   // taken -> ret
+      {Opcode::kNop, 0, 0, 0, 0},
+      {Opcode::kRet, 0, 0, 0, 0},
+  };
+  auto program = assemble_raw(8, code, {});
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  FuseStats stats;
+  Program fused = fuse_program(*program, &stats);
+  EXPECT_EQ(stats.ld_cmp_br, 1u);
+  EXPECT_EQ(stats.windows(), 1u);
+  EXPECT_EQ(fused.code()[0].op, Opcode::kFusedLdCmpBr);
+  EXPECT_EQ(fused.code()[0].c, 0);  // width code: ld64
+  // Tail slots keep the originals (a branch into the middle still works).
+  EXPECT_EQ(fused.code()[1].op, Opcode::kCeq);
+  EXPECT_EQ(fused.code()[2].op, Opcode::kBrnz);
+}
+
+TEST(Fuse, LoadBitopBranchFuses) {
+  std::vector<Instr> code{
+      {Opcode::kLd32, 2, 0, 0, 4},   // the BFS visited-bitmap probe shape
+      {Opcode::kAnd, 3, 2, 4, 0},
+      {Opcode::kBrz, 3, 0, 0, 4},
+      {Opcode::kNop, 0, 0, 0, 0},
+      {Opcode::kRet, 0, 0, 0, 0},
+  };
+  auto program = assemble_raw(8, code, {});
+  ASSERT_TRUE(program.is_ok());
+  FuseStats stats;
+  Program fused = fuse_program(*program, &stats);
+  EXPECT_EQ(stats.ld_alu_br, 1u);
+  EXPECT_EQ(fused.code()[0].op, Opcode::kFusedLdAndBr);
+  EXPECT_EQ(fused.code()[0].c, 1);  // width code: ld32
+}
+
+TEST(Fuse, MiddleMustConsumeTheLoad) {
+  // Same shape, but the compare ignores the loaded register — exactly the
+  // chaser adjacency that must never fuse.
+  std::vector<Instr> code{
+      {Opcode::kLd64, 2, 0, 0, 0},
+      {Opcode::kCeq, 3, 4, 5, 0},   // does not read r2
+      {Opcode::kBrnz, 3, 0, 0, 4},
+      {Opcode::kNop, 0, 0, 0, 0},
+      {Opcode::kRet, 0, 0, 0, 0},
+  };
+  auto program = assemble_raw(8, code, {});
+  ASSERT_TRUE(program.is_ok());
+  FuseStats stats;
+  fuse_program(*program, &stats);
+  EXPECT_EQ(stats.ld_cmp_br, 0u);
+}
+
+TEST(Fuse, BranchMustTestTheMiddleResult) {
+  std::vector<Instr> code{
+      {Opcode::kLd64, 2, 0, 0, 0},
+      {Opcode::kCeq, 3, 2, 4, 0},
+      {Opcode::kBrnz, 5, 0, 0, 4},  // tests r5, not the compare's r3
+      {Opcode::kNop, 0, 0, 0, 0},
+      {Opcode::kRet, 0, 0, 0, 0},
+  };
+  auto program = assemble_raw(8, code, {});
+  ASSERT_TRUE(program.is_ok());
+  FuseStats stats;
+  fuse_program(*program, &stats);
+  EXPECT_EQ(stats.windows(), 0u);
+}
+
+TEST(Fuse, BranchTargetInTailBlocksFusion) {
+  std::vector<Instr> code{
+      {Opcode::kBr, 0, 0, 0, 2},     // jumps into the would-be window middle
+      {Opcode::kLd64, 2, 0, 0, 0},
+      {Opcode::kCeq, 3, 2, 4, 0},    // branch target -> tail may not fuse
+      {Opcode::kBrnz, 3, 0, 0, 5},
+      {Opcode::kNop, 0, 0, 0, 0},
+      {Opcode::kRet, 0, 0, 0, 0},
+  };
+  auto program = assemble_raw(8, code, {});
+  ASSERT_TRUE(program.is_ok());
+  FuseStats stats;
+  fuse_program(*program, &stats);
+  EXPECT_EQ(stats.ld_cmp_br, 0u);
+}
+
+TEST(Fuse, LdiRunFusesStraightLinePreamble) {
+  std::vector<Instr> code{
+      {Opcode::kLdi, 2, 0, 0, 8},    // stride
+      {Opcode::kMul, 3, 4, 2, 0},    // consumes the ldi destination
+      {Opcode::kAdd, 5, 3, 6, 0},
+      {Opcode::kLd64, 7, 5, 0, 0},
+      {Opcode::kRet, 0, 0, 0, 0},
+  };
+  auto program = assemble_raw(8, code, {});
+  ASSERT_TRUE(program.is_ok());
+  FuseStats stats;
+  Program fused = fuse_program(*program, &stats);
+  EXPECT_EQ(stats.ldi_runs, 1u);
+  EXPECT_EQ(fused.code()[0].op, Opcode::kFusedLdiRun);
+  EXPECT_EQ(fused.code()[0].b, 4);  // mul, add, ld64, and the closing ret
+  EXPECT_EQ(fused.code()[0].c, 1);  // ret in the run -> generic tail loop
+  EXPECT_EQ(fused.code()[1].op, Opcode::kMul);
+}
+
+TEST(Fuse, LdiRunRequiresFirstTailToConsume) {
+  std::vector<Instr> code{
+      {Opcode::kLdi, 2, 0, 0, 8},
+      {Opcode::kAdd, 3, 4, 5, 0},    // unrelated to r2 — no run
+      {Opcode::kRet, 0, 0, 0, 0},
+  };
+  auto program = assemble_raw(8, code, {});
+  ASSERT_TRUE(program.is_ok());
+  FuseStats stats;
+  fuse_program(*program, &stats);
+  EXPECT_EQ(stats.ldi_runs, 0u);
+}
+
+TEST(Fuse, IdempotentOnItsOwnOutput) {
+  Program program = lowered(ir::KernelKind::kHashProbe);
+  FuseStats first;
+  Program fused = fuse_program(program, &first);
+  ASSERT_GT(first.windows(), 0u);
+  FuseStats second;
+  Program again = fuse_program(fused, &second);
+  EXPECT_EQ(second.windows(), 0u) << "re-fusing found new windows";
+  ASSERT_EQ(again.code().size(), fused.code().size());
+  for (std::size_t i = 0; i < fused.code().size(); ++i) {
+    EXPECT_EQ(again.code()[i].op, fused.code()[i].op) << "instr " << i;
+  }
+}
+
+TEST(Fuse, TraversalKernelsAllFuse) {
+  // The three workload kernels are what the pass exists for; each must
+  // contain at least one window or the perf story evaporates silently.
+  for (ir::KernelKind kind : {ir::KernelKind::kHashProbe,
+                              ir::KernelKind::kOrderedSearch,
+                              ir::KernelKind::kBfsFrontier}) {
+    FuseStats stats;
+    fuse_program(lowered(kind), &stats);
+    EXPECT_GT(stats.windows(), 0u)
+        << ir::kernel_name(kind) << " lowered to zero fusible windows";
+  }
+}
+
+TEST(Fuse, ChaserStreamsStayFusionFree) {
+  // Calibration guard: fig5-fig12 and BENCH_dapc charge virtual time per
+  // retired interpreter op for the chaser kernels. Fusion changes retired-op
+  // counts, so any fused window in a chaser stream would silently shift the
+  // committed trajectory. The consumption rails above keep them out; this
+  // pins that down.
+  for (bool tagged : {false, true}) {
+    FuseStats stats;
+    fuse_program(lowered(ir::KernelKind::kChaser, tagged), &stats);
+    EXPECT_EQ(stats.windows(), 0u)
+        << (tagged ? "tagged" : "classic")
+        << " chaser fused — BENCH_dapc byte-identity is broken";
+  }
+}
+
+// --- differential fuzzer -------------------------------------------------------
+
+/// One sampled execution configuration's observable outcome.
+struct RunOutcome {
+  Status status;
+  Bytes payload;
+  std::uint64_t ops = 0;
+};
+
+RunOutcome run_config(const Program& program, const Bytes& payload_init,
+                      Dispatch dispatch) {
+  RunOutcome out;
+  out.payload = payload_init;
+  HookTable hooks;  // no hooks: generated programs never emit kHook
+  InterpOptions options;
+  options.dispatch = dispatch;
+  auto r = execute(program, hooks, out.payload.data(), out.payload.size(),
+                   options);
+  if (r.is_ok()) {
+    out.ops = r->ops;
+  } else {
+    out.status = r.status();
+  }
+  return out;
+}
+
+/// Generates a random valid program: scratch registers r2..r15, all memory
+/// relative to r0 within the 256-byte payload, forward-only branches (so
+/// every program terminates without fuel pressure), no hooks. Fusible
+/// idioms are seeded explicitly so the corpus actually exercises the fused
+/// handlers.
+std::vector<Instr> generate_program(std::mt19937_64& rng) {
+  const std::size_t body = 24 + rng() % 40;
+  std::vector<Instr> code;
+  auto reg = [&] { return static_cast<std::uint8_t>(2 + rng() % 14); };
+  auto fwd = [&](std::size_t at) {
+    // Target in (at, body]; body is the final ret.
+    return static_cast<std::int32_t>(at + 1 + rng() % (body - at));
+  };
+  while (code.size() < body) {
+    const std::size_t i = code.size();
+    const std::size_t room = body - i;
+    const int pick = static_cast<int>(rng() % 100);
+    if (pick < 18 && room >= 3) {
+      // Seeded Ld*Br window (sometimes a near-miss that must not fuse).
+      const Opcode ld = (rng() % 2) ? Opcode::kLd64 : Opcode::kLd32;
+      const std::int32_t off =
+          static_cast<std::int32_t>(8 * (rng() % 24));
+      const std::uint8_t dst = reg();
+      const std::uint8_t res = reg();
+      const bool consume = rng() % 4 != 0;
+      const Opcode mid = (rng() % 2) ? Opcode::kCeq : Opcode::kAnd;
+      code.push_back({ld, dst, 0, 0, off});
+      code.push_back({mid, res, consume ? dst : reg(), reg(), 0});
+      code.push_back({(rng() % 2) ? Opcode::kBrz : Opcode::kBrnz, res, 0, 0,
+                      fwd(i + 2)});
+      continue;
+    }
+    if (pick < 30 && room >= 3) {
+      // Seeded ldi-led run.
+      const std::uint8_t dst = reg();
+      code.push_back({Opcode::kLdi, dst, 0, 0,
+                      static_cast<std::int32_t>(rng() % 64)});
+      code.push_back({Opcode::kAdd, reg(), dst, reg(), 0});
+      code.push_back({Opcode::kMul, reg(), reg(), reg(), 0});
+      continue;
+    }
+    switch (rng() % 12) {
+      case 0:
+        code.push_back({Opcode::kLdi, reg(), 0, 0,
+                        static_cast<std::int32_t>(rng() % 1024) - 512});
+        break;
+      case 1:
+        code.push_back({Opcode::kMov, reg(), reg(), 0, 0});
+        break;
+      case 2: {
+        static const Opcode kAlu[] = {Opcode::kAdd, Opcode::kSub,
+                                      Opcode::kMul, Opcode::kAnd,
+                                      Opcode::kOr,  Opcode::kXor,
+                                      Opcode::kShl, Opcode::kShr};
+        code.push_back({kAlu[rng() % 8], reg(), reg(), reg(), 0});
+        break;
+      }
+      case 3: {
+        static const Opcode kCmp[] = {Opcode::kCeq, Opcode::kCne,
+                                      Opcode::kCult, Opcode::kCule};
+        code.push_back({kCmp[rng() % 4], reg(), reg(), reg(), 0});
+        break;
+      }
+      case 4:
+        // udiv/urem may trap on a zero divisor — all four configurations
+        // must then report the identical fault at the identical slot.
+        code.push_back({(rng() % 2) ? Opcode::kUdiv : Opcode::kUrem, reg(),
+                        reg(), reg(), 0});
+        break;
+      case 5:
+        code.push_back({(rng() % 2) ? Opcode::kFadd : Opcode::kFmul, reg(),
+                        reg(), reg(), 0});
+        break;
+      case 6:
+        code.push_back({Opcode::kLd8, reg(), 0, 0,
+                        static_cast<std::int32_t>(rng() % 256)});
+        break;
+      case 7:
+        code.push_back({Opcode::kLd64, reg(), 0, 0,
+                        static_cast<std::int32_t>(8 * (rng() % 32))});
+        break;
+      case 8:
+        code.push_back({Opcode::kSt32, reg(), 0, 0,
+                        static_cast<std::int32_t>(4 * (rng() % 64))});
+        break;
+      case 9:
+        code.push_back({Opcode::kSt64, reg(), 0, 0,
+                        static_cast<std::int32_t>(8 * (rng() % 32))});
+        break;
+      case 10:
+        code.push_back({Opcode::kLdk, reg(), 0, 0,
+                        static_cast<std::int32_t>(rng() % 3)});
+        break;
+      default:
+        code.push_back({(rng() % 2) ? Opcode::kBrz : Opcode::kBrnz, reg(), 0,
+                        0, fwd(i)});
+        break;
+    }
+  }
+  code.push_back({Opcode::kRet, 0, 0, 0, 0});
+  return code;
+}
+
+TEST(FuzzDifferential, DispatchAndFusionAreValueEquivalent) {
+  const bool threaded = threaded_dispatch_available();
+  std::size_t corpus_windows = 0;
+  std::size_t corpus_faults = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    std::mt19937_64 rng(0x7C0DE5EEDull + seed);
+    auto program = assemble_raw(16, generate_program(rng),
+                                {rng(), rng(), rng()});
+    ASSERT_TRUE(program.is_ok())
+        << "seed " << seed << ": " << program.status().to_string();
+
+    FuseStats stats;
+    Program fused = fuse_program(*program, &stats);
+    corpus_windows += stats.windows();
+
+    Bytes payload(256);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+
+    const RunOutcome base = run_config(*program, payload, Dispatch::kSwitch);
+    if (!base.status.is_ok()) ++corpus_faults;
+
+    std::vector<std::pair<const char*, RunOutcome>> others;
+    others.emplace_back("fused/switch",
+                        run_config(fused, payload, Dispatch::kSwitch));
+    if (threaded) {
+      others.emplace_back("raw/threaded",
+                          run_config(*program, payload, Dispatch::kThreaded));
+      others.emplace_back("fused/threaded",
+                          run_config(fused, payload, Dispatch::kThreaded));
+    }
+    for (const auto& [name, out] : others) {
+      ASSERT_EQ(out.status.to_string(), base.status.to_string())
+          << "seed " << seed << " config " << name;
+      ASSERT_EQ(out.payload, base.payload)
+          << "seed " << seed << " config " << name << " diverged in memory";
+    }
+    // Retired-op counts must match across dispatch modes (virtual time must
+    // not depend on the dispatch mechanism); fusion legitimately retires
+    // fewer ops, never more.
+    if (threaded) {
+      EXPECT_EQ(others[1].second.ops, base.ops) << "seed " << seed;
+      EXPECT_EQ(others[2].second.ops, others[0].second.ops)
+          << "seed " << seed;
+    }
+    EXPECT_LE(others[0].second.ops, base.ops) << "seed " << seed;
+  }
+  // The corpus must actually exercise what it claims to: fused windows and
+  // fault paths both appear.
+  EXPECT_GT(corpus_windows, 100u);
+  EXPECT_GT(corpus_faults, 0u);
+}
+
+TEST(FuzzDifferential, LoweredKernelsExecuteIdenticallyFused) {
+  // The stock computational kernels (payload-only, no hooks beyond target —
+  // use payload_sum and vec_reduce shapes through raw payload comparison)
+  // are covered by vm_test's semantic suite; here we pin the fused/unfused
+  // equivalence for the fusion-heavy traversal kernels at the instruction
+  // level: every reachable pc in the fused program either holds the
+  // original instruction or heads a window whose tails are the originals.
+  for (ir::KernelKind kind : {ir::KernelKind::kHashProbe,
+                              ir::KernelKind::kOrderedSearch,
+                              ir::KernelKind::kBfsFrontier,
+                              ir::KernelKind::kChaser}) {
+    Program raw = lowered(kind);
+    Program fused = fuse_program(raw);
+    ASSERT_EQ(raw.code().size(), fused.code().size());
+    for (std::size_t i = 0; i < raw.code().size(); ++i) {
+      const Instr& f = fused.code()[i];
+      const Instr& o = raw.code()[i];
+      if (f.op == o.op) {
+        EXPECT_EQ(f.imm, o.imm);
+        continue;
+      }
+      // A rewritten head preserves the original's dst/imm so the fused
+      // handler performs the identical first effect.
+      EXPECT_TRUE(f.op == Opcode::kFusedLdCmpBr ||
+                  f.op == Opcode::kFusedLdAndBr ||
+                  f.op == Opcode::kFusedLdiRun)
+          << ir::kernel_name(kind) << " instr " << i;
+      EXPECT_EQ(f.a, o.a);
+      EXPECT_EQ(f.imm, o.imm);
+    }
+  }
+}
+
+TEST(Disassemble, ShowsFusedWindows) {
+  Program fused = fuse_program(lowered(ir::KernelKind::kHashProbe));
+  const std::string text = disassemble(fused);
+  EXPECT_NE(text.find("f.ld"), std::string::npos)
+      << "fused mnemonics missing from disassembly:\n" << text;
+  EXPECT_NE(text.find("fused tail"), std::string::npos);
+}
+
+TEST(Dispatch, ThreadedAvailabilityMatchesBuild) {
+#if defined(TC_VM_SWITCH_DISPATCH)
+  EXPECT_FALSE(threaded_dispatch_available());
+#elif defined(__GNUC__) || defined(__clang__)
+  EXPECT_TRUE(threaded_dispatch_available());
+#endif
+}
+
+}  // namespace
+}  // namespace tc::vm

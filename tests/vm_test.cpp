@@ -740,7 +740,7 @@ struct OrderedEnv {
       rec[1] = value;
       for (std::size_t l = 0; l < 4; ++l) {
         rec[2 + 2 * l] = ~0ull;
-        rec[3 + 2 * l] = 0;
+        rec[3 + 2 * l] = ~0ull;  // NIL links carry ~0 finger keys (builder)
       }
       std::size_t l = 0;
       for (const auto& [id, k] : fingers) {
@@ -1201,6 +1201,12 @@ TEST_F(VmRuntimeTest, TieredArchivePromotesAfterThreshold) {
     ASSERT_TRUE((*send_rt)->send_ifunc(nb, *id, as_span(payload)).is_ok());
     fabric.run_until_idle();
     EXPECT_EQ(counter, static_cast<std::uint64_t>(i));
+    if (i == 3) {
+      // The third invocation crosses the threshold and *enqueues* the
+      // promotion; the compile runs on a background thread. Block until it
+      // finishes so invocations 4 and 5 deterministically run JIT'd.
+      (*recv_rt)->wait_for_promotions();
+    }
   }
   const auto& stats = (*recv_rt)->stats();
   // First three invocations interpret; the third crosses the threshold and
