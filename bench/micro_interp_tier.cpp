@@ -10,12 +10,18 @@
 // steady-state cost are reported.
 //
 // The Dispatch×Fusion section measures the execution-core rewrite layer by
-// layer: {switch, threaded} dispatch × {raw, fused} programs on the three
-// traversal kernels the workload suite runs (hash-probe chain walk,
-// skip-list descent, BFS frontier expansion), against self-contained hook
-// environments so the numbers isolate the interpreter inner loop. The
-// `bytecode_ops` counter is the retired-op rate — the quantity hetsim
-// charges virtual time for, and therefore what fusion buys on sim.
+// layer: {switch, threaded} dispatch × {raw, Ld*Br-only, fully fused}
+// programs on the three traversal kernels the workload suite runs
+// (hash-probe chain walk, skip-list descent, BFS frontier expansion),
+// against self-contained hook environments so the numbers isolate the
+// interpreter inner loop. The `bytecode_ops` counter is the retired-op
+// (dispatch) rate, `bytecode_instrs` the constituent-instruction rate, and
+// `inline_slots` the rate of tail slots run inside the inlined Ld*Br
+// handlers; hetsim charges virtual time per constituent instruction and
+// refunds the calibrated dispatch share only for inline slots, so the
+// fuse:1-vs-fuse:0 wall-clock delta over inline_slots here is exactly the
+// measurement that fit `interp_dispatch_ns` (hetsim/profiles.cpp), and the
+// fuse:2 column documents why kFusedLdiRun earns no refund.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -226,18 +232,27 @@ Scenario bfs_scenario() {
 }
 
 void run_dispatch_fusion(benchmark::State& state, Scenario scenario) {
-  const bool want_fused = state.range(0) != 0;
+  // fuse: 0 = off, 1 = Ld*Br windows only (the runtime default), 2 = also
+  // kFusedLdiRun. The 1-vs-0 wall-clock delta over inline_slots fits the
+  // Ld*Br dispatch refund; the 2-vs-1 delta shows what the interpretive run
+  // loop costs (historically: nothing saved, often a loss).
+  const int fuse_level = static_cast<int>(state.range(0));
   const bool want_threaded = state.range(1) != 0;
   vm::FuseStats stats;
-  const vm::Program program = want_fused
-                                  ? vm::fuse_program(scenario.program, &stats)
-                                  : scenario.program;
+  const vm::Program program =
+      fuse_level > 0
+          ? vm::fuse_program(
+                scenario.program, &stats,
+                vm::FuseOptions{/*ld_br=*/true, /*ldi_runs=*/fuse_level > 1})
+          : scenario.program;
   vm::InterpOptions options;
   options.dispatch =
       want_threaded ? vm::Dispatch::kThreaded : vm::Dispatch::kSwitch;
   vm::HookTable hooks = shard_hooks(scenario.env);
   Bytes payload = scenario.payload;
   std::uint64_t total_ops = 0;
+  std::uint64_t total_instrs = 0;
+  std::uint64_t total_inline_slots = 0;
   for (auto _ : state) {
     scenario.reset();
     std::memcpy(payload.data(), scenario.payload.data(), payload.size());
@@ -245,11 +260,23 @@ void run_dispatch_fusion(benchmark::State& state, Scenario scenario) {
                          options);
     if (!r.is_ok()) state.SkipWithError(r.status().to_string().c_str());
     total_ops += r->ops;
+    total_instrs += r->instrs;
+    total_inline_slots += r->inline_fused_slots;
     benchmark::DoNotOptimize(payload.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  // bytecode_ops is the retired-op (dispatch) rate; bytecode_instrs is the
+  // constituent-instruction rate, identical across fusion modes;
+  // inline_slots is the rate of tail slots run inside inlined Ld*Br
+  // handlers. The fuse:1-vs-fuse:0 wall-clock delta divided by the inline
+  // slots is how hetsim's interp_dispatch_ns is fit — see
+  // hetsim/profiles.cpp.
   state.counters["bytecode_ops"] = benchmark::Counter(
       static_cast<double>(total_ops), benchmark::Counter::kIsRate);
+  state.counters["bytecode_instrs"] = benchmark::Counter(
+      static_cast<double>(total_instrs), benchmark::Counter::kIsRate);
+  state.counters["inline_slots"] = benchmark::Counter(
+      static_cast<double>(total_inline_slots), benchmark::Counter::kIsRate);
   state.counters["fused_windows"] =
       benchmark::Counter(static_cast<double>(stats.windows()));
   if (want_threaded && !vm::threaded_dispatch_available()) {
@@ -266,16 +293,17 @@ void BM_DispatchFusion_OrderedSearch(benchmark::State& state) {
 void BM_DispatchFusion_Bfs(benchmark::State& state) {
   run_dispatch_fusion(state, bfs_scenario());
 }
-// Args: {fused, threaded}. ArgNames render as fuse:X/goto:Y in reports.
+// Args: {fuse level, threaded}. ArgNames render as fuse:X/goto:Y in
+// reports; fuse 0 = off, 1 = Ld*Br only (runtime default), 2 = +ldi runs.
 BENCHMARK(BM_DispatchFusion_HashProbe)
     ->ArgNames({"fuse", "goto"})
-    ->ArgsProduct({{0, 1}, {0, 1}});
+    ->ArgsProduct({{0, 1, 2}, {0, 1}});
 BENCHMARK(BM_DispatchFusion_OrderedSearch)
     ->ArgNames({"fuse", "goto"})
-    ->ArgsProduct({{0, 1}, {0, 1}});
+    ->ArgsProduct({{0, 1, 2}, {0, 1}});
 BENCHMARK(BM_DispatchFusion_Bfs)
     ->ArgNames({"fuse", "goto"})
-    ->ArgsProduct({{0, 1}, {0, 1}});
+    ->ArgsProduct({{0, 1, 2}, {0, 1}});
 
 #if TC_WITH_LLVM
 

@@ -150,7 +150,10 @@ StatusOr<std::uint64_t> Runtime::register_ifunc(IfuncLibrary library) {
     return already_exists("ifunc '" + library.name() + "' already registered");
   }
   names_.emplace(library.name(), id);
-  registry_.emplace(id, Registered{std::move(library), nullptr});
+  auto [it, inserted] =
+      registry_.emplace(id, Registered{std::move(library), nullptr});
+  (void)inserted;
+  it->second.generation = ++registration_seq_;
   return id;
 }
 
@@ -669,6 +672,7 @@ Status Runtime::process_ifunc_frame(ByteSpan data, fabric::NodeId source) {
     auto [reg_it, inserted] = registry_.emplace(
         header.ifunc_id, Registered{std::move(lib), nullptr});
     (void)inserted;
+    reg_it->second.generation = ++registration_seq_;
     it = reg_it;
   }
 
@@ -777,7 +781,10 @@ Status Runtime::load_portable(Registered& reg) {
   // Superinstruction fusion is a node-local rewrite applied after decode —
   // the wire format never carries fused opcodes (see vm/fuse.hpp).
   if (options_.fuse_superinstructions) {
-    reg.program = vm::fuse_program(program);
+    reg.program = vm::fuse_program(
+        program, nullptr,
+        vm::FuseOptions{/*ld_br=*/true,
+                        /*ldi_runs=*/options_.fuse_ldi_runs});
   } else {
     reg.program = std::move(program);
   }
@@ -867,6 +874,7 @@ void Runtime::maybe_promote(Registered& reg, std::uint64_t ifunc_id) {
   // discarded without colliding with a later retry or eviction.
   PromoteJob job;
   job.ifunc_id = ifunc_id;
+  job.generation = reg.generation;
   job.kernel = reg.library.name();
   job.engine_name =
       reg.library.name() + "#promo" + std::to_string(++promote_seq_);
@@ -908,6 +916,7 @@ void Runtime::promotion_worker() {
     if (options_.promote_compile_hook) options_.promote_compile_hook();
     PromoteDone done;
     done.ifunc_id = job.ifunc_id;
+    done.generation = job.generation;
     done.kernel = std::move(job.kernel);
     done.engine_name = std::move(job.engine_name);
     const std::int64_t t0 = now_ns();
@@ -958,15 +967,25 @@ void Runtime::apply_ready_promotions() {
   for (PromoteDone& done : ready) {
     auto it = registry_.find(done.ifunc_id);
     Registered* reg = it != registry_.end() ? &it->second : nullptr;
-    if (reg == nullptr || !reg->promote_pending || reg->entry != nullptr ||
+    // The generation check is what catches a dereg/re-register of the same
+    // id while the compile was in flight: the new registration can look
+    // promotion-ready in every other respect (pending, interpreted, no
+    // entry), but this result was compiled from the *old* registration's
+    // bitcode and must not be swapped in for the new one.
+    const bool stale = reg == nullptr || reg->generation != done.generation;
+    if (stale || !reg->promote_pending || reg->entry != nullptr ||
         !reg->has_program || reg->tier != jit::Tier::kInterpreted) {
-      // Stale: the registration was evicted, deregistered, or re-tiered
-      // while the compile was in flight. Drop the orphaned library.
+      // The registration was evicted, deregistered, re-registered, or
+      // re-tiered while the compile was in flight. Drop the orphaned
+      // library.
       if (done.entry != nullptr) {
         std::lock_guard<std::mutex> engine_lock(engine_mu_);
         if (engine_ != nullptr) (void)engine_->remove_library(done.engine_name);
       }
-      if (reg != nullptr) reg->promote_pending = false;
+      // Only the registration this result belongs to may have its pending
+      // flag cleared — a successor generation's own compile may still be
+      // in flight.
+      if (reg != nullptr && !stale) reg->promote_pending = false;
       continue;
     }
     reg->promote_pending = false;
@@ -1071,6 +1090,8 @@ void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
     }
     const std::int64_t t0 = now_ns();
     std::uint64_t interp_ops = 0;
+    std::uint64_t interp_instrs = 0;
+    std::uint64_t interp_inline_slots = 0;
     if (interpreted) {
       vm::HookTable hooks = runtime_vm_hooks(ctx);
       auto result =
@@ -1083,16 +1104,34 @@ void Runtime::execute_ifunc(Registered& reg, std::uint64_t ifunc_id,
         return;
       }
       interp_ops = result->ops;
+      interp_instrs = result->instrs;
+      interp_inline_slots = result->inline_fused_slots;
       ++stats_.interp_executions;
       stats_.interp_ops += interp_ops;
+      stats_.interp_instrs += interp_instrs;
     } else {
       regp->entry(&ctx, payload.data(), payload.size());
     }
     const std::int64_t measured = now_ns() - t0;
     if (interpreted && options_.interp_op_ns >= 0) {
-      // Calibrated interpreter tax: dispatch cost × instructions retired.
+      // Calibrated interpreter tax. Every constituent instruction pays the
+      // full per-instruction cost — fused windows execute every tail slot
+      // for real, so they are charged per instruction, not per retired op.
+      // The only work fusion provably removes is the dispatch of tail slots
+      // the inlined Ld*Br handlers run (kFusedLdiRun's interpretive tail
+      // loop saves nothing per microbenchmark — see vm/interp.hpp), so
+      // exactly that share is refunded per inline_fused_slots. With fusion
+      // off all three counters collapse (instrs == ops, inline slots == 0)
+      // and the charge reduces to interp_op_ns × ops, bit-identical to the
+      // pre-fusion model (the fig5-fig12 / BENCH_dapc byte-identity).
+      const std::int64_t instrs = static_cast<std::int64_t>(interp_instrs);
+      const std::int64_t refunded_slots =
+          static_cast<std::int64_t>(interp_inline_slots);
+      const std::int64_t dispatch_ns = std::clamp<std::int64_t>(
+          options_.interp_dispatch_ns, 0, options_.interp_op_ns);
       transport_->consume_compute(
-          node_, options_.interp_op_ns * static_cast<std::int64_t>(interp_ops),
+          node_,
+          options_.interp_op_ns * instrs - dispatch_ns * refunded_slots,
           /*scale_cost=*/false);
     } else if (options_.lookup_exec_cost_ns < 0) {
       transport_->consume_compute(node_, measured, /*scale_cost=*/true);

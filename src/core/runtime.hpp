@@ -82,7 +82,19 @@ struct RuntimeOptions {
   std::int64_t hll_guard_cost_ns = 0;     ///< per tc_hll_guard call
   /// Per-instruction cost of the interpreter tier (hetsim profiles pin a
   /// calibrated per-platform value; <0 charges the measured wall time).
+  /// Every *constituent* bytecode instruction pays this — a fused
+  /// superinstruction window is charged per instruction it executes, not
+  /// per retired op.
   std::int64_t interp_op_ns = -1;
+  /// The dispatch (fetch/decode/indirect-jump) share of interp_op_ns,
+  /// refunded once per tail slot executed inside an *inlined* Ld*Br
+  /// superinstruction handler (InterpResult::inline_fused_slots) — the only
+  /// slots whose dispatch work provably disappears. kFusedLdiRun tail slots
+  /// earn no refund: its interpretive tail loop costs about as much as
+  /// ordinary dispatch (microbenchmarked; hetsim/profiles.cpp documents the
+  /// fit). Clamped to [0, interp_op_ns]. 0 — the default — charges fused
+  /// and unfused streams identically (fusion buys nothing in virtual time).
+  std::int64_t interp_dispatch_ns = 0;
   /// One-time decode+validate of a portable program on first arrival —
   /// the (tiny) cold-path cost that replaces the JIT stall.
   std::int64_t portable_load_cost_ns = -1;
@@ -100,6 +112,12 @@ struct RuntimeOptions {
   /// at load time. Node-local: the wire format never carries fused
   /// opcodes. Off for differential testing.
   bool fuse_superinstructions = true;
+  /// Also form kFusedLdiRun windows at load time. Off by default: the run
+  /// handler's interpretive tail loop microbenchmarks at-or-above ordinary
+  /// dispatch cost per slot (bench/micro_interp_tier.cpp), so runs shrink
+  /// retired-op counts without making anything faster — real or simulated.
+  /// Kept as an opt-in for the ablation and for disassembly tooling.
+  bool fuse_ldi_runs = false;
 
   /// Test seam: when set, the background promotion worker calls this right
   /// before compiling a job. Blocking inside it holds the promotion in
@@ -277,7 +295,13 @@ class Runtime {
     std::atomic<std::uint64_t> cache_evictions{0};
     std::atomic<std::uint64_t> portable_loads{0};  ///< programs decoded
     std::atomic<std::uint64_t> interp_executions{0};  ///< interpreted runs
-    std::atomic<std::uint64_t> interp_ops{0};  ///< bytecode instrs retired
+    /// Retired interpreter ops (dispatches): a fused superinstruction
+    /// window counts as ONE. Not comparable across fuse_superinstructions
+    /// on/off — interp_instrs is the fusion-invariant count.
+    std::atomic<std::uint64_t> interp_ops{0};
+    /// Constituent bytecode instructions executed, counting every tail
+    /// slot inside fused windows; identical across fusion on/off.
+    std::atomic<std::uint64_t> interp_instrs{0};
     std::atomic<std::uint64_t> tier_promotions{0};  ///< interp -> JIT
     /// Background promotion compiles that failed (logged once per kernel;
     /// the ifunc keeps interpreting).
@@ -340,6 +364,13 @@ class Runtime {
     /// jobs use uniquified names so a stale in-flight compile can never
     /// collide with a re-promotion after eviction).
     std::string engine_lib;
+    /// Identity of this *registration*, not just the ifunc id: assigned
+    /// fresh every time the id enters the registry. A promotion result is
+    /// applied only if the generation it was compiled for is still the one
+    /// registered — a dereg/re-register of the same id with different
+    /// bitcode while a compile is in flight must not get the stale entry
+    /// swapped in, and id+flags alone cannot tell the two apart.
+    std::uint64_t generation = 0;
     /// Lazily resolved "hop_service_ns/<kernel>/<repr>/<tier>" histograms,
     /// indexed by jit::Tier — the registry lookup takes a mutex and builds
     /// a name string, far too heavy for the per-hop record path.
@@ -436,15 +467,19 @@ class Runtime {
   /// the worker can never dangle a reference into the registry.
   struct PromoteJob {
     std::uint64_t ifunc_id = 0;
+    std::uint64_t generation = 0;  ///< Registered::generation at enqueue
     std::string kernel;       ///< library name (logs, metrics)
     std::string engine_name;  ///< uniquified engine library name
     Bytes bitcode;
     std::vector<std::string> deps;
   };
   /// A finished background compile, waiting in the mailbox for the
-  /// progress context to swap the tier (or discard it).
+  /// progress context to swap the tier (or discard it). Carries the
+  /// generation the bitcode was snapshotted from; apply_ready_promotions
+  /// discards it if the id has since been re-registered.
   struct PromoteDone {
     std::uint64_t ifunc_id = 0;
+    std::uint64_t generation = 0;
     std::string kernel;
     std::string engine_name;
     abi::EntryFn entry = nullptr;
@@ -470,6 +505,10 @@ class Runtime {
 
   std::unordered_map<std::uint64_t, Registered> registry_;
   std::unordered_map<std::string, std::uint64_t> names_;
+  /// Source of Registered::generation values; bumped at every insertion
+  /// (explicit registration and auto-registration alike). Progress-context
+  /// only, like the registry itself.
+  std::uint64_t registration_seq_ = 0;
   /// Payloads of truncated frames waiting for code (NACK recovery).
   /// Mutex-guarded: the receive path may run on a progress thread while
   /// another context inspects or drains the same ifunc's backlog.

@@ -178,7 +178,8 @@ class Program {
 
  private:
   friend class Assembler;
-  friend Program fuse_program(const Program& program, struct FuseStats* stats);
+  friend Program fuse_program(const Program& program, struct FuseStats* stats,
+                              const struct FuseOptions& options);
   std::uint16_t reg_count_ = 0;
   std::vector<Instr> code_;
   std::vector<std::uint64_t> pool_;

@@ -117,7 +117,8 @@ bool reads_reg(const Instr& in, std::uint8_t r) {
 
 }  // namespace
 
-Program fuse_program(const Program& program, FuseStats* stats) {
+Program fuse_program(const Program& program, FuseStats* stats,
+                     const FuseOptions& options) {
   Program fused = program;
   std::vector<Instr>& code = fused.code_;
   const std::size_t n = code.size();
@@ -164,7 +165,7 @@ Program fuse_program(const Program& program, FuseStats* stats) {
       continue;
     }
 
-    if (const int kind = match_ld_br(pc)) {
+    if (const int kind = options.ld_br ? match_ld_br(pc) : 0) {
       const Instr ld = code[pc];
       code[pc] = Instr{kind == 1 ? Opcode::kFusedLdCmpBr
                                  : Opcode::kFusedLdAndBr,
@@ -181,7 +182,7 @@ Program fuse_program(const Program& program, FuseStats* stats) {
       continue;
     }
 
-    if (op == Opcode::kLdi) {
+    if (op == Opcode::kLdi && options.ldi_runs) {
       // Greedy run behind the ldi: straight-line instructions and hooks,
       // with conditional branches admitted anywhere as side exits (taken
       // leaves the run, not-taken falls through to the next tail) and an
@@ -210,7 +211,10 @@ Program fuse_program(const Program& program, FuseStats* stats) {
           continue;
         }
         if (!is_straight_line(t.op)) break;
-        if (load_width_code(t.op) >= 0 && match_ld_br(q) != 0) break;
+        if (options.ld_br && load_width_code(t.op) >= 0 &&
+            match_ld_br(q) != 0) {
+          break;  // leave the load for the stronger Ld*Br pattern
+        }
         ++len;
       }
       // A conditional branch in any slot but the last makes the run a
@@ -219,7 +223,15 @@ Program fuse_program(const Program& program, FuseStats* stats) {
         const Opcode t = code[pc + 1 + i].op;
         slow = t == Opcode::kBrz || t == Opcode::kBrnz;
       }
-      if (len > 0 && reads_reg(code[pc + 1], code[pc].a)) {
+      // The consumer test honors the documented rail (fuse.hpp): hooks and
+      // branches never qualify — a brz/brnz *testing* the ldi destination
+      // is a side exit, not address-math consumption, and admitting it
+      // would let an [ldi; branch-on-dest] adjacency fuse and silently
+      // shift a calibrated stream's retired-op counts.
+      const bool first_consumes = len > 0 && !is_branch(code[pc + 1].op) &&
+                                  code[pc + 1].op != Opcode::kHook &&
+                                  reads_reg(code[pc + 1], code[pc].a);
+      if (first_consumes) {
         const Instr ldi = code[pc];
         code[pc] = Instr{Opcode::kFusedLdiRun, ldi.a,
                          static_cast<std::uint8_t>(len),

@@ -27,8 +27,12 @@
 // executes the unfused originals — no control-flow rewriting, no target
 // renumbering. The fused handlers perform exactly the constituent register
 // and memory effects, so execution results are identical; only the retired
-// op count changes (a fused window charges one op), which is the entire
-// point: hetsim charges interpreter virtual time per retired op.
+// op count changes (a fused window retires as one op), while the
+// constituent-instruction count (InterpResult::instrs) is unchanged. What
+// fusion buys is the per-op dispatch: hetsim charges interpreter virtual
+// time per constituent instruction and refunds only the calibrated
+// dispatch share for each fused-away tail slot (RuntimeOptions::
+// interp_dispatch_ns) — the execution work itself is never discounted.
 //
 // Safety rails (all enforced here):
 //   * no tail slot may be a branch target (the head may be one);
@@ -44,7 +48,9 @@
 //     unfused stream would. The first-tail-consumes rule is load-bearing
 //     for chaser safety: neither chaser variant has an ldi whose immediate
 //     successor reads it, so no run extension can touch the calibrated
-//     streams (tests/vm_fuse_test.cpp pins this).
+//     streams (tests/vm_fuse_test.cpp pins this, including that a branch
+//     or hook touching the ldi destination does NOT count as the
+//     consumer).
 #pragma once
 
 #include <cstddef>
@@ -71,9 +77,22 @@ struct FuseStats {
   std::size_t windows() const { return ld_cmp_br + ld_alu_br + ldi_runs; }
 };
 
+/// Which window classes the pass may form. The two classes have very
+/// different execution mechanics — Ld*Br handlers *inline* the three
+/// constituent effects (a true superinstruction: no per-slot dispatch at
+/// all), while kFusedLdiRun walks its tail slots through an interpretive
+/// loop whose per-slot cost microbenchmarks show is on par with ordinary
+/// dispatch (bench/micro_interp_tier's DispatchFusion matrix measures the
+/// split) — so callers fit or ablate them independently.
+struct FuseOptions {
+  bool ld_br = true;     ///< kFusedLdCmpBr / kFusedLdAndBr
+  bool ldi_runs = true;  ///< kFusedLdiRun
+};
+
 /// Returns a copy of `program` with fusible window heads replaced by
 /// superinstructions. `program` must already be validated (it came out of
 /// Program::deserialize or Assembler::finish). Idempotent on its own output.
-Program fuse_program(const Program& program, FuseStats* stats = nullptr);
+Program fuse_program(const Program& program, FuseStats* stats = nullptr,
+                     const FuseOptions& options = {});
 
 }  // namespace tc::vm

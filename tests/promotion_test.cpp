@@ -225,6 +225,85 @@ TEST(BackgroundPromotion, CompileLatencyLandsInMetricsHistogram) {
   EXPECT_TRUE(found) << "no promote_compile_ns histogram recorded";
 }
 
+TEST(BackgroundPromotion, ReRegisteredIdNeverGetsTheStaleCompile) {
+  // The dereg/re-register race: ifunc id X (= fnv of the name) is
+  // promoted, and while that compile is parked in the gate, X is
+  // deregistered and re-registered with *different* bitcode, which then
+  // reaches the promote threshold itself. The first compile's result must
+  // be discarded — id+pending+tier all match the new registration, so only
+  // the generation check can tell the stale entry apart — and the new
+  // registration must end up running its own code, not the old one's.
+  auto wrap = [](ir::KernelKind kind) {
+    auto lib = core::IfuncLibrary::from_tiered_kernel(kind);
+    EXPECT_TRUE(lib.is_ok()) << lib.status().to_string();
+    ir::FatBitcode archive = lib->archive();
+    auto renamed = core::IfuncLibrary::from_archive("morph", std::move(archive));
+    EXPECT_TRUE(renamed.is_ok());
+    return std::move(*renamed);
+  };
+
+  CompileGate gate;
+  fabric::Fabric fabric;
+  fabric.set_default_link(fabric::instant_link());
+  const fabric::NodeId a = fabric.add_node("a");
+  const fabric::NodeId b = fabric.add_node("b");
+  core::RuntimeOptions send_options;
+  send_options.force_full_frames = true;  // re-registered code must ship
+  core::RuntimeOptions recv_options;
+  recv_options.promote_after = 1;
+  recv_options.promote_compile_hook = gate.hook();
+  auto send = core::Runtime::create(fabric, a, send_options);
+  auto recv = core::Runtime::create(fabric, b, recv_options);
+  ASSERT_TRUE(send.is_ok());
+  ASSERT_TRUE(recv.is_ok());
+
+  std::uint64_t counter = 0;
+  (*recv)->set_target_ptr(&counter);
+  Bytes payload{5};
+
+  // Registration 1: target-side increment (+1 per invocation). The first
+  // invocation auto-registers it on the receiver, runs interpreted, and
+  // parks its promotion compile in the gate.
+  auto id1 = (*send)->register_ifunc(wrap(ir::KernelKind::kTargetSideIncrement));
+  ASSERT_TRUE(id1.is_ok());
+  ASSERT_TRUE((*send)->send_ifunc(b, *id1, as_span(payload)).is_ok());
+  fabric.run_until_idle();
+  gate.wait_reached();
+  EXPECT_EQ(counter, 1u);
+
+  // Same id, new bitcode: payload-sum, which *sets* the target to the
+  // byte sum instead of incrementing it. The receiver drops its
+  // registration and auto-registers the replacement from the re-shipped
+  // archive; its invocation crosses the threshold and queues a second
+  // compile behind the parked one.
+  ASSERT_TRUE((*recv)->deregister_ifunc(*id1).is_ok());
+  ASSERT_TRUE((*send)->deregister_ifunc(*id1).is_ok());
+  auto id2 = (*send)->register_ifunc(wrap(ir::KernelKind::kPayloadSum));
+  ASSERT_TRUE(id2.is_ok());
+  ASSERT_EQ(*id2, *id1);
+  ASSERT_TRUE((*send)->send_ifunc(b, *id2, as_span(payload)).is_ok());
+  fabric.run_until_idle();
+  EXPECT_EQ(counter, 5u);
+
+  // Let both compiles finish, then invoke with fresh payloads: the stale
+  // result (registration 1's increment entry) must be discarded and the
+  // fresh result swapped in, so each invocation sets the counter to its
+  // payload sum. With the stale entry swapped in instead, the counter
+  // would increment: 6, then 7.
+  gate.release();
+  (*recv)->wait_for_promotions();
+  Bytes payload7{7};
+  ASSERT_TRUE((*send)->send_ifunc(b, *id2, as_span(payload7)).is_ok());
+  fabric.run_until_idle();
+  EXPECT_EQ(counter, 7u);
+  Bytes payload9{9};
+  ASSERT_TRUE((*send)->send_ifunc(b, *id2, as_span(payload9)).is_ok());
+  fabric.run_until_idle();
+  EXPECT_EQ(counter, 9u);
+  EXPECT_EQ((*recv)->stats().tier_promotions, 1u);
+  EXPECT_EQ((*recv)->stats().protocol_errors, 0u);
+}
+
 TEST(BackgroundPromotion, DestructionWithCompileInFlightIsClean) {
   // Tearing the runtime down while a compile is parked in the gate must not
   // hang or crash: the destructor stops the worker and joins it.

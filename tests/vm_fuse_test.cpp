@@ -178,6 +178,42 @@ TEST(Fuse, LdiRunRequiresFirstTailToConsume) {
   EXPECT_EQ(stats.ldi_runs, 0u);
 }
 
+TEST(Fuse, BranchOnLdiDestIsNotAConsumer) {
+  // fuse.hpp's rail: hooks and branches never qualify as the consumer. A
+  // brz *testing* the ldi destination is a side exit, not address-math
+  // consumption — [ldi; brz-on-dest] must stay unfused, or any calibrated
+  // stream with that adjacency would silently change its retired-op count.
+  std::vector<Instr> code{
+      {Opcode::kLdi, 2, 0, 0, 0},
+      {Opcode::kBrz, 2, 0, 0, 4},    // tests r2 — side exit, not consumer
+      {Opcode::kAdd, 3, 2, 4, 0},
+      {Opcode::kNop, 0, 0, 0, 0},
+      {Opcode::kRet, 0, 0, 0, 0},
+  };
+  auto program = assemble_raw(8, code, {});
+  ASSERT_TRUE(program.is_ok());
+  FuseStats stats;
+  Program fused = fuse_program(*program, &stats);
+  EXPECT_EQ(stats.ldi_runs, 0u);
+  EXPECT_EQ(fused.code()[0].op, Opcode::kLdi);
+}
+
+TEST(Fuse, HookAfterLdiIsNotAConsumer) {
+  // Same rail, hook flavor: a hook writing into the ldi destination's
+  // register file is not the consumer either.
+  std::vector<Instr> code{
+      {Opcode::kLdi, 2, 0, 0, 8},
+      {Opcode::kHook, 1, 2, 0, 0},   // hll hook id; dst register r2
+      {Opcode::kAdd, 3, 2, 4, 0},
+      {Opcode::kRet, 0, 0, 0, 0},
+  };
+  auto program = assemble_raw(8, code, {});
+  ASSERT_TRUE(program.is_ok());
+  FuseStats stats;
+  fuse_program(*program, &stats);
+  EXPECT_EQ(stats.ldi_runs, 0u);
+}
+
 TEST(Fuse, IdempotentOnItsOwnOutput) {
   Program program = lowered(ir::KernelKind::kHashProbe);
   FuseStats first;
@@ -227,6 +263,8 @@ struct RunOutcome {
   Status status;
   Bytes payload;
   std::uint64_t ops = 0;
+  std::uint64_t instrs = 0;
+  std::uint64_t inline_slots = 0;
 };
 
 RunOutcome run_config(const Program& program, const Bytes& payload_init,
@@ -240,6 +278,8 @@ RunOutcome run_config(const Program& program, const Bytes& payload_init,
                    options);
   if (r.is_ok()) {
     out.ops = r->ops;
+    out.instrs = r->instrs;
+    out.inline_slots = r->inline_fused_slots;
   } else {
     out.status = r.status();
   }
@@ -363,6 +403,9 @@ TEST(FuzzDifferential, DispatchAndFusionAreValueEquivalent) {
     FuseStats stats;
     Program fused = fuse_program(*program, &stats);
     corpus_windows += stats.windows();
+    // The runtime's default fusion config: Ld*Br windows only, no runs.
+    Program ld_br_only = fuse_program(
+        *program, nullptr, FuseOptions{/*ld_br=*/true, /*ldi_runs=*/false});
 
     Bytes payload(256);
     for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
@@ -373,11 +416,15 @@ TEST(FuzzDifferential, DispatchAndFusionAreValueEquivalent) {
     std::vector<std::pair<const char*, RunOutcome>> others;
     others.emplace_back("fused/switch",
                         run_config(fused, payload, Dispatch::kSwitch));
+    others.emplace_back("ldbr/switch",
+                        run_config(ld_br_only, payload, Dispatch::kSwitch));
     if (threaded) {
       others.emplace_back("raw/threaded",
                           run_config(*program, payload, Dispatch::kThreaded));
       others.emplace_back("fused/threaded",
                           run_config(fused, payload, Dispatch::kThreaded));
+      others.emplace_back("ldbr/threaded",
+                          run_config(ld_br_only, payload, Dispatch::kThreaded));
     }
     for (const auto& [name, out] : others) {
       ASSERT_EQ(out.status.to_string(), base.status.to_string())
@@ -387,13 +434,41 @@ TEST(FuzzDifferential, DispatchAndFusionAreValueEquivalent) {
     }
     // Retired-op counts must match across dispatch modes (virtual time must
     // not depend on the dispatch mechanism); fusion legitimately retires
-    // fewer ops, never more.
+    // fewer ops, never more. The constituent-instruction count is the
+    // fusion-INVARIANT charge base: every configuration must report exactly
+    // the unfused stream's instruction count, or the fused handlers'
+    // tail-slot accounting (and with it the hetsim interpreter charge) has
+    // drifted from what actually executed. The inline-slot count (the
+    // dispatch-refund base) may never exceed the fused-away total and must
+    // be zero on unfused streams.
     if (threaded) {
-      EXPECT_EQ(others[1].second.ops, base.ops) << "seed " << seed;
-      EXPECT_EQ(others[2].second.ops, others[0].second.ops)
+      EXPECT_EQ(others[2].second.ops, base.ops) << "seed " << seed;
+      EXPECT_EQ(others[3].second.ops, others[0].second.ops)
+          << "seed " << seed;
+      EXPECT_EQ(others[4].second.ops, others[1].second.ops)
           << "seed " << seed;
     }
     EXPECT_LE(others[0].second.ops, base.ops) << "seed " << seed;
+    EXPECT_LE(others[0].second.ops, others[1].second.ops) << "seed " << seed;
+    EXPECT_EQ(base.instrs, base.ops) << "seed " << seed;
+    EXPECT_EQ(base.inline_slots, 0u) << "seed " << seed;
+    if (base.status.is_ok()) {
+      for (const auto& [name, out] : others) {
+        EXPECT_EQ(out.instrs, base.instrs)
+            << "seed " << seed << " config " << name
+            << ": fused windows mis-counted executed tail slots";
+        EXPECT_LE(out.inline_slots, out.instrs - out.ops)
+            << "seed " << seed << " config " << name;
+      }
+      // The refund base is a property of the program, not the dispatch
+      // loop: both loops must count the same inline slots.
+      if (threaded) {
+        EXPECT_EQ(others[3].second.inline_slots, others[0].second.inline_slots)
+            << "seed " << seed;
+        EXPECT_EQ(others[4].second.inline_slots, others[1].second.inline_slots)
+            << "seed " << seed;
+      }
+    }
   }
   // The corpus must actually exercise what it claims to: fused windows and
   // fault paths both appear.
