@@ -10,6 +10,11 @@ namespace tc::hll {
 
 StatusOr<core::IfuncLibrary> build_library(ir::KernelKind kind,
                                            bool drive_with_c, bool tagged) {
+  if (tagged && kind != ir::KernelKind::kChaser) {
+    return invalid_argument(
+        std::string("hll: tagged applies only to the chaser kernel, not ") +
+        ir::kernel_name(kind));
+  }
   ir::KernelOptions options;
   options.hll_guards = !drive_with_c;
   options.chaser_tagged = tagged;

@@ -22,7 +22,9 @@ namespace tc::hll {
 /// Builds an ifunc library through the HLL frontend. With drive_with_c the
 /// code itself is the C-frontend emission (no guards) — only the client-side
 /// integration is "high-level". `tagged` builds the async-window chaser
-/// variant (see xrdma::build_chaser_library).
+/// variant (see xrdma::build_chaser_library) and is only valid with
+/// KernelKind::kChaser — any other kind returns an invalid-argument Status
+/// (the flag used to be silently ignored).
 StatusOr<core::IfuncLibrary> build_library(ir::KernelKind kind,
                                            bool drive_with_c = false,
                                            bool tagged = false);

@@ -5,6 +5,7 @@
 
 #include "ir/abi.hpp"
 #include "ir/bitcode.hpp"
+#include "workloads/shard_layout.hpp"
 
 namespace tc::ir {
 
@@ -616,7 +617,8 @@ void emit_collective_broadcast(Emitter& e) {
   auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
   auto* lane = e.load_payload_u64(3, "lane");
   auto* cell_off = e.b.CreateMul(
-      lane, llvm::ConstantInt::get(e.i64, 64), "cell_off");
+      lane, llvm::ConstantInt::get(e.i64, workloads::kLaneCellBytes),
+      "cell_off");
   auto* cell = e.b.CreateBitCast(
       e.b.CreateInBoundsGEP(e.i8, raw, cell_off), e.i64p, "cell");
   auto* value = e.load_payload_u64(2, "value");
@@ -658,7 +660,8 @@ void emit_collective_reduce(Emitter& e) {
   auto cell_for_lane = [&e](llvm::Value* lane) {
     auto* raw = e.b.CreateCall(e.hk_target(), {e.arg_ctx}, "target_raw");
     auto* off = e.b.CreateMul(
-        lane, llvm::ConstantInt::get(e.i64, 64), "cell_off");
+        lane, llvm::ConstantInt::get(e.i64, workloads::kLaneCellBytes),
+        "cell_off");
     return e.b.CreateBitCast(
         e.b.CreateInBoundsGEP(e.i8, raw, off), e.i64p, "cell");
   };
@@ -820,8 +823,10 @@ void emit_hash_probe(Emitter& e) {
   auto* self = e.b.CreateCall(e.hk_self_peer(), {e.arg_ctx}, "self");
   auto* base = e.b.CreateCall(e.hk_shard_base(), {e.arg_ctx}, "base");
   auto* count = e.b.CreateCall(e.hk_peer_count(), {e.arg_ctx}, "count");
-  auto* bps = e.b.CreateUDiv(shard_words, llvm::ConstantInt::get(e.i64, 2),
-                             "buckets_per_shard");
+  auto* bps = e.b.CreateUDiv(
+      shard_words,
+      llvm::ConstantInt::get(e.i64, workloads::kHashBucketWords),
+      "buckets_per_shard");
   auto* cap = e.b.CreateMul(bps, count, "capacity");
   auto* key = e.load_payload_u64(0, "key");
   auto* slot0 = e.load_payload_u64(1, "slot0");
@@ -857,7 +862,8 @@ void emit_hash_probe(Emitter& e) {
   e.b.SetInsertPoint(local_bb);
   e.guard();
   auto* local = e.b.CreateURem(slot, bps, "local");
-  auto* pair = e.b.CreateMul(local, llvm::ConstantInt::get(e.i64, 2));
+  auto* pair = e.b.CreateMul(
+      local, llvm::ConstantInt::get(e.i64, workloads::kHashBucketWords));
   auto* k_ptr = e.b.CreateInBoundsGEP(e.i64, base, pair, "k_ptr");
   auto* stored = e.b.CreateLoad(e.i64, k_ptr, "stored");
   e.b.CreateCondBr(e.b.CreateICmpEQ(stored, key, "is_hit"), hit_bb,
@@ -874,11 +880,13 @@ void emit_hash_probe(Emitter& e) {
 
   e.b.SetInsertPoint(check_empty_bb);
   e.b.CreateCondBr(
-      e.b.CreateICmpEQ(stored, llvm::ConstantInt::get(e.i64, 0), "is_empty"),
+      e.b.CreateICmpEQ(
+          stored, llvm::ConstantInt::get(e.i64, workloads::kHashEmptyKey),
+          "is_empty"),
       miss_bb, step_bb);
 
   e.b.SetInsertPoint(miss_bb);
-  e.store_payload_u64(0, llvm::ConstantInt::get(e.i64, ~0ull));
+  e.store_payload_u64(0, llvm::ConstantInt::get(e.i64, workloads::kMiss));
   e.store_payload_u64(1, e.load_payload_u64(3, "miss_tag"));
   e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
                                 llvm::ConstantInt::get(e.i64, 16)});
@@ -915,8 +923,10 @@ void emit_ordered_search(Emitter& e) {
       e.b.CreateCall(e.hk_shard_size(), {e.arg_ctx}, "shard_words");
   auto* self = e.b.CreateCall(e.hk_self_peer(), {e.arg_ctx}, "self");
   auto* base = e.b.CreateCall(e.hk_shard_base(), {e.arg_ctx}, "base");
-  auto* nps = e.b.CreateUDiv(shard_words, llvm::ConstantInt::get(e.i64, 10),
-                             "nodes_per_shard");
+  auto* nps = e.b.CreateUDiv(
+      shard_words,
+      llvm::ConstantInt::get(e.i64, workloads::kIndexRecordWords),
+      "nodes_per_shard");
   auto* target = e.load_payload_u64(0, "target");
   auto* node0 = e.load_payload_u64(1, "node0");
   auto* level0 = e.load_payload_u64(2, "level0");
@@ -952,7 +962,9 @@ void emit_ordered_search(Emitter& e) {
   e.guard();
   auto* local = e.b.CreateURem(node, nps, "local");
   auto* rec = e.b.CreateInBoundsGEP(
-      e.i64, base, e.b.CreateMul(local, llvm::ConstantInt::get(e.i64, 10)),
+      e.i64, base,
+      e.b.CreateMul(local,
+                    llvm::ConstantInt::get(e.i64, workloads::kIndexRecordWords)),
       "rec");
   e.b.CreateBr(desc_bb);
 
@@ -960,14 +972,18 @@ void emit_ordered_search(Emitter& e) {
   auto* level = e.b.CreatePHI(e.i64, 2, "level");
   level->addIncoming(level_in, local_bb);
   auto* finger = e.b.CreateAdd(
-      llvm::ConstantInt::get(e.i64, 2),
-      e.b.CreateMul(level, llvm::ConstantInt::get(e.i64, 2)), "finger");
+      llvm::ConstantInt::get(e.i64, workloads::kIndexFingerBaseWord),
+      e.b.CreateMul(level,
+                    llvm::ConstantInt::get(
+                        e.i64, workloads::kIndexFingerBytes /
+                                   workloads::kShardWordBytes)),
+      "finger");
   auto* id_ptr = e.b.CreateInBoundsGEP(e.i64, rec, finger, "id_ptr");
   auto* next_id = e.b.CreateLoad(e.i64, id_ptr, "next_id");
   auto* next_key = e.b.CreateLoad(
       e.i64, e.b.CreateConstInBoundsGEP1_64(e.i64, id_ptr, 1), "next_key");
   auto* valid = e.b.CreateICmpNE(
-      next_id, llvm::ConstantInt::get(e.i64, ~0ull), "valid");
+      next_id, llvm::ConstantInt::get(e.i64, workloads::kIndexNil), "valid");
   auto* le = e.b.CreateICmpULE(next_key, target, "le");
   e.b.CreateCondBr(e.b.CreateAnd(valid, le, "take_link"), take_bb, down_bb);
 
@@ -991,7 +1007,8 @@ void emit_ordered_search(Emitter& e) {
   auto* value = e.b.CreateLoad(
       e.i64, e.b.CreateConstInBoundsGEP1_64(e.i64, rec, 1), "value");
   auto* result = e.b.CreateSelect(
-      found, value, llvm::ConstantInt::get(e.i64, ~0ull), "result");
+      found, value, llvm::ConstantInt::get(e.i64, workloads::kMiss),
+      "result");
   e.store_payload_u64(0, result);
   e.store_payload_u64(1, e.load_payload_u64(3, "tag"));
   e.b.CreateCall(e.hk_reply(), {e.arg_ctx, e.arg_payload,
@@ -1024,7 +1041,8 @@ void emit_bfs_frontier(Emitter& e) {
   auto* cell = e.b.CreateBitCast(
       e.b.CreateInBoundsGEP(
           e.i8, raw,
-          e.b.CreateMul(lane, llvm::ConstantInt::get(e.i64, 64))),
+          e.b.CreateMul(lane, llvm::ConstantInt::get(
+                                  e.i64, workloads::kLaneCellBytes))),
       e.i64p, "cell");
   auto* engaged_ptr = e.b.CreateConstInBoundsGEP1_64(e.i64, cell, 3);
   auto* parent_ptr = e.b.CreateConstInBoundsGEP1_64(e.i64, cell, 4);

@@ -87,6 +87,26 @@ const char* kernel_name(KernelKind kind);
 /// One-line human description (used by examples and docs).
 const char* kernel_description(KernelKind kind);
 
+/// Which frontend sources a kernel's implementations.
+enum class KernelSource {
+  /// The three hand-synchronized legacy emitters: the native AM handler
+  /// (xrdma/, workloads/), the IRBuilder emission (ir/kernel_builder.cpp)
+  /// and the bytecode lowering (vm/lower.cpp).
+  kLegacy,
+  /// A single KIR definition (src/kir/) generates all three backends; the
+  /// portable-bytecode and AM paths route through it, and the conformance
+  /// suite (tests/kir_test.cpp) pins the generated bytecode byte-identical
+  /// to the retained legacy lowering.
+  kKir,
+};
+
+const char* kernel_source_name(KernelSource source);
+
+/// Registry entry: where this kernel's implementations come from. The port
+/// proceeds kernel-by-kernel — flipping a kind here reroutes the bytecode
+/// and AM production paths through src/kir/ with no call-site changes.
+KernelSource kernel_source(KernelKind kind);
+
 struct KernelOptions {
   /// Emit tc_hll_guard() dynamic-dispatch guards around loop bodies — the
   /// high-level-language (Julia-analogue) frontend signature.

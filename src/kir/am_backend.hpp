@@ -1,0 +1,43 @@
+// kir→am, stage 2: KIR definitions as predeployed Active-Message handlers.
+//
+// Bridges the AmContext surface onto the vm::HookTable the evaluator (and
+// the bytecode interpreter) consume — forward becomes
+// AmRuntime::send(peers[i], handler_index, ...) with the chain origin
+// preserved, reply becomes AmRuntime::reply — and wraps evaluation of a
+// prepared def into an am::AmHandlerFn. The AM baseline stays the paper's
+// lower bound: on the simulated fabric a handler invocation is charged the
+// calibrated constant profile cost regardless of how the handler body is
+// implemented, so routing AM execution through the evaluator leaves every
+// figure byte-identical.
+#pragma once
+
+#include "am/am_runtime.hpp"
+#include "common/status.hpp"
+#include "ir/kernels.hpp"
+#include "kir/kir.hpp"
+#include "vm/interp.hpp"
+
+namespace tc::kir {
+
+/// A hook table over an AmContext: target/peer/shard queries read the
+/// context, forward re-sends the handler's own index through the runtime
+/// (origin preserved), reply sends a result frame to the chain origin.
+/// inject/remote_write are not part of the AM surface and return -1;
+/// hll_guard is a no-op (native AM handlers never carried guards); sin is
+/// libm's. The returned table borrows `ctx` — it must outlive the table.
+vm::HookTable am_hooks(am::AmContext& ctx);
+
+/// Evaluates `def` once inside an AM handler invocation. Errors are
+/// returned, not swallowed — callers decide whether to log-and-drop (the
+/// handler contract) or propagate (tests).
+Status run_in_am_context(const Def& def, am::AmContext& ctx,
+                         std::uint8_t* payload, std::uint64_t size);
+
+/// Builds the predeployed AM handler for a KIR-sourced kernel: evaluates
+/// the prepared def, logging and dropping malformed invocations (payloads
+/// below the def's declared floor) and evaluation faults, like the native
+/// handlers it replaces.
+StatusOr<am::AmHandlerFn> make_am_handler(ir::KernelKind kind,
+                                          const ir::KernelOptions& options = {});
+
+}  // namespace tc::kir

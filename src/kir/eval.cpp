@@ -1,0 +1,280 @@
+#include "kir/eval.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "workloads/shard_layout.hpp"
+
+namespace tc::kir {
+
+namespace {
+
+inline double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+inline std::uint64_t f64_bits(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+inline float as_f32(std::uint64_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+}
+
+inline std::uint64_t f32_bits(float v) {
+  return std::bit_cast<std::uint32_t>(v);
+}
+
+inline std::uint8_t* mem_addr(std::uint64_t base, std::int64_t offset) {
+  return reinterpret_cast<std::uint8_t*>(base +
+                                         static_cast<std::uint64_t>(offset));
+}
+
+// Tear-free aligned word accesses, mirroring the interpreter: on the
+// real-threads backend handlers publish into memory other threads poll, and
+// compiled code gets word-sized atomicity from the hardware.
+template <typename T>
+inline T load_word(const std::uint8_t* addr) {
+  if ((reinterpret_cast<std::uintptr_t>(addr) & (sizeof(T) - 1)) == 0) {
+    return __atomic_load_n(reinterpret_cast<const T*>(addr), __ATOMIC_ACQUIRE);
+  }
+  T v;
+  std::memcpy(&v, addr, sizeof(T));
+  return v;
+}
+
+template <typename T>
+inline void store_word(std::uint8_t* addr, T value) {
+  if ((reinterpret_cast<std::uintptr_t>(addr) & (sizeof(T) - 1)) == 0) {
+    __atomic_store_n(reinterpret_cast<T*>(addr), value, __ATOMIC_RELEASE);
+    return;
+  }
+  std::memcpy(addr, &value, sizeof(T));
+}
+
+Status err_missing_hook(const char* name) {
+  return failed_precondition("kir: " + std::string(name) +
+                             " hook not provided");
+}
+
+Status do_hook(vm::HookId hook, std::uint8_t dst, std::uint8_t arg_base,
+               const vm::HookTable& hooks, std::uint64_t* regs) {
+  const std::uint64_t* args = &regs[arg_base];
+  switch (hook) {
+    case vm::HookId::kTarget:
+      if (hooks.target == nullptr) return err_missing_hook("target");
+      regs[dst] = reinterpret_cast<std::uint64_t>(hooks.target(hooks.ctx));
+      break;
+    case vm::HookId::kNode:
+      if (hooks.node == nullptr) return err_missing_hook("node");
+      regs[dst] = hooks.node(hooks.ctx);
+      break;
+    case vm::HookId::kPeerCount:
+      if (hooks.peer_count == nullptr) return err_missing_hook("peer_count");
+      regs[dst] = hooks.peer_count(hooks.ctx);
+      break;
+    case vm::HookId::kSelfPeer:
+      if (hooks.self_peer == nullptr) return err_missing_hook("self_peer");
+      regs[dst] = hooks.self_peer(hooks.ctx);
+      break;
+    case vm::HookId::kShardBase:
+      if (hooks.shard_base == nullptr) return err_missing_hook("shard_base");
+      regs[dst] = reinterpret_cast<std::uint64_t>(hooks.shard_base(hooks.ctx));
+      break;
+    case vm::HookId::kShardSize:
+      if (hooks.shard_size == nullptr) return err_missing_hook("shard_size");
+      regs[dst] = hooks.shard_size(hooks.ctx);
+      break;
+    case vm::HookId::kForward:
+      if (hooks.forward == nullptr) return err_missing_hook("forward");
+      regs[dst] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(hooks.forward(
+              hooks.ctx, args[0],
+              reinterpret_cast<const std::uint8_t*>(args[1]), args[2])));
+      break;
+    case vm::HookId::kInject:
+      if (hooks.inject == nullptr) return err_missing_hook("inject");
+      regs[dst] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(hooks.inject(
+              hooks.ctx, args[0], reinterpret_cast<const char*>(args[1]),
+              reinterpret_cast<const std::uint8_t*>(args[2]), args[3])));
+      break;
+    case vm::HookId::kReply:
+      if (hooks.reply == nullptr) return err_missing_hook("reply");
+      regs[dst] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(hooks.reply(
+              hooks.ctx, reinterpret_cast<const std::uint8_t*>(args[0]),
+              args[1])));
+      break;
+    case vm::HookId::kRemoteWrite:
+      if (hooks.remote_write == nullptr) {
+        return err_missing_hook("remote_write");
+      }
+      regs[dst] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(hooks.remote_write(
+              hooks.ctx, args[0], args[1],
+              reinterpret_cast<const std::uint8_t*>(args[2]), args[3])));
+      break;
+    case vm::HookId::kHllGuard:
+      if (hooks.hll_guard == nullptr) return err_missing_hook("hll_guard");
+      hooks.hll_guard(hooks.ctx);
+      break;
+    case vm::HookId::kSin:
+      if (hooks.sin_fn == nullptr) return err_missing_hook("sin");
+      regs[dst] = f64_bits(hooks.sin_fn(as_f64(args[0])));
+      break;
+    case vm::HookId::kShardInfo:
+      if (hooks.shard_size == nullptr) return err_missing_hook("shard_size");
+      if (hooks.self_peer == nullptr) return err_missing_hook("self_peer");
+      if (hooks.shard_base == nullptr) return err_missing_hook("shard_base");
+      if (hooks.peer_count == nullptr) return err_missing_hook("peer_count");
+      regs[dst] = hooks.shard_size(hooks.ctx);
+      regs[dst + 1] = hooks.self_peer(hooks.ctx);
+      regs[dst + 2] =
+          reinterpret_cast<std::uint64_t>(hooks.shard_base(hooks.ctx));
+      regs[dst + 3] = hooks.peer_count(hooks.ctx);
+      break;
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+StatusOr<EvalResult> evaluate(const Def& def, const vm::HookTable& hooks,
+                              std::uint8_t* payload,
+                              std::uint64_t payload_size,
+                              const EvalOptions& options) {
+  TC_RETURN_IF_ERROR(verify(def));
+  std::uint64_t regs[vm::kMaxRegisters] = {};
+  regs[0] = reinterpret_cast<std::uint64_t>(payload);
+  regs[1] = payload_size;
+  EvalResult result;
+  std::size_t pc = 0;
+  while (true) {
+    if (result.ops++ >= options.max_ops) {
+      return resource_exhausted("kir: op budget (" +
+                                std::to_string(options.max_ops) +
+                                ") exhausted");
+    }
+    const Inst& in = def.code[pc];
+    std::size_t next = pc + 1;
+    switch (in.op) {
+      case Op::kConst:
+      case Op::kConstF:
+        regs[in.a] = in.wide;
+        break;
+      case Op::kMov:
+        regs[in.a] = regs[in.b];
+        break;
+      case Op::kAdd: regs[in.a] = regs[in.b] + regs[in.c]; break;
+      case Op::kSub: regs[in.a] = regs[in.b] - regs[in.c]; break;
+      case Op::kMul: regs[in.a] = regs[in.b] * regs[in.c]; break;
+      case Op::kUdiv:
+        if (regs[in.c] == 0) {
+          return internal_error("kir: division by zero at instr " +
+                                std::to_string(pc));
+        }
+        regs[in.a] = regs[in.b] / regs[in.c];
+        break;
+      case Op::kUrem:
+        if (regs[in.c] == 0) {
+          return internal_error("kir: remainder by zero at instr " +
+                                std::to_string(pc));
+        }
+        regs[in.a] = regs[in.b] % regs[in.c];
+        break;
+      case Op::kAnd: regs[in.a] = regs[in.b] & regs[in.c]; break;
+      case Op::kOr: regs[in.a] = regs[in.b] | regs[in.c]; break;
+      case Op::kXor: regs[in.a] = regs[in.b] ^ regs[in.c]; break;
+      case Op::kShl: regs[in.a] = regs[in.b] << (regs[in.c] & 63); break;
+      case Op::kShr: regs[in.a] = regs[in.b] >> (regs[in.c] & 63); break;
+      case Op::kCeq: regs[in.a] = regs[in.b] == regs[in.c] ? 1 : 0; break;
+      case Op::kCne: regs[in.a] = regs[in.b] != regs[in.c] ? 1 : 0; break;
+      case Op::kCult: regs[in.a] = regs[in.b] < regs[in.c] ? 1 : 0; break;
+      case Op::kCule: regs[in.a] = regs[in.b] <= regs[in.c] ? 1 : 0; break;
+      case Op::kFadd:
+        regs[in.a] = f64_bits(as_f64(regs[in.b]) + as_f64(regs[in.c]));
+        break;
+      case Op::kFsub:
+        regs[in.a] = f64_bits(as_f64(regs[in.b]) - as_f64(regs[in.c]));
+        break;
+      case Op::kFmul:
+        regs[in.a] = f64_bits(as_f64(regs[in.b]) * as_f64(regs[in.c]));
+        break;
+      case Op::kFdiv:
+        regs[in.a] = f64_bits(as_f64(regs[in.b]) / as_f64(regs[in.c]));
+        break;
+      case Op::kFadd32:
+        regs[in.a] = f32_bits(as_f32(regs[in.b]) + as_f32(regs[in.c]));
+        break;
+      case Op::kFmul32:
+        regs[in.a] = f32_bits(as_f32(regs[in.b]) * as_f32(regs[in.c]));
+        break;
+      case Op::kLd8:
+        regs[in.a] = *mem_addr(regs[in.b], in.imm);
+        break;
+      case Op::kLd32:
+        regs[in.a] = load_word<std::uint32_t>(mem_addr(regs[in.b], in.imm));
+        break;
+      case Op::kLd64:
+        regs[in.a] = load_word<std::uint64_t>(mem_addr(regs[in.b], in.imm));
+        break;
+      case Op::kSt32:
+        store_word<std::uint32_t>(mem_addr(regs[in.b], in.imm),
+                                  static_cast<std::uint32_t>(regs[in.a]));
+        break;
+      case Op::kSt64:
+        store_word<std::uint64_t>(mem_addr(regs[in.b], in.imm), regs[in.a]);
+        break;
+      case Op::kLdPayload:
+        regs[in.a] = load_word<std::uint64_t>(payload + in.imm);
+        break;
+      case Op::kStPayload:
+        store_word<std::uint64_t>(payload + in.imm, regs[in.a]);
+        break;
+      case Op::kLdShardWord:
+        regs[in.a] = load_word<std::uint64_t>(mem_addr(
+            regs[in.b], in.imm * static_cast<std::int64_t>(
+                                     workloads::kShardWordBytes)));
+        break;
+      case Op::kStShardWord:
+        store_word<std::uint64_t>(
+            mem_addr(regs[in.b],
+                     in.imm * static_cast<std::int64_t>(
+                                  workloads::kShardWordBytes)),
+            regs[in.a]);
+        break;
+      case Op::kBr:
+        next = static_cast<std::size_t>(in.imm);
+        break;
+      case Op::kBrz:
+        if (regs[in.a] == 0) next = static_cast<std::size_t>(in.imm);
+        break;
+      case Op::kBrnz:
+        if (regs[in.a] != 0) next = static_cast<std::size_t>(in.imm);
+        break;
+      case Op::kHook:
+        TC_RETURN_IF_ERROR(do_hook(in.hook, in.b, in.c, hooks, regs));
+        break;
+      case Op::kForward:
+        TC_RETURN_IF_ERROR(
+            do_hook(vm::HookId::kForward, in.a, in.c, hooks, regs));
+        break;
+      case Op::kReply:
+        TC_RETURN_IF_ERROR(
+            do_hook(vm::HookId::kReply, in.a, in.c, hooks, regs));
+        break;
+      case Op::kGuard:
+        // Raw-def marker: guarded when a guard hook is installed, a no-op
+        // otherwise (prepared defs carry kHook(kHllGuard) instead, which
+        // *requires* the hook — matching the interpreter).
+        if (hooks.hll_guard != nullptr) hooks.hll_guard(hooks.ctx);
+        break;
+      case Op::kTrace:
+        break;
+      case Op::kRet:
+        return result;
+    }
+    pc = next;
+  }
+}
+
+}  // namespace tc::kir

@@ -1,0 +1,41 @@
+// kir→am, stage 1: a direct evaluator over KIR definitions.
+//
+// This is what runs when a KIR-sourced kernel executes as a *predeployed*
+// Active-Message handler (am_backend.hpp wraps it in an AmHandlerFn): the
+// def is walked instruction by instruction against the same vm::HookTable
+// surface the bytecode interpreter uses, with identical semantics —
+// sign-extended i32 hook results, IEEE bit-pattern floats, trapping
+// unsigned division, tear-free aligned word accesses, a fuel limit. The
+// differential suite runs the evaluator against the interpreter on the same
+// hook table and asserts identical payload/target/traffic outcomes.
+//
+// Unlike the backends, the evaluator also accepts *raw* defs: a kGuard
+// marker calls the hll_guard hook when one is installed and is a no-op
+// otherwise, and kTrace is always a no-op.
+#pragma once
+
+#include "common/status.hpp"
+#include "kir/kir.hpp"
+#include "vm/interp.hpp"
+
+namespace tc::kir {
+
+struct EvalOptions {
+  /// Fuel limit, counted per executed instruction; exceeding it fails with
+  /// kResourceExhausted instead of hanging the node on a looping def.
+  std::uint64_t max_ops = 1ull << 30;
+};
+
+struct EvalResult {
+  /// Executed KIR instructions (kGuard/kTrace markers included).
+  std::uint64_t ops = 0;
+};
+
+/// Evaluates `def` over a mutable payload. Runtime faults — division by
+/// zero, a missing hook, fuel exhaustion — surface as error Statuses.
+StatusOr<EvalResult> evaluate(const Def& def, const vm::HookTable& hooks,
+                              std::uint8_t* payload,
+                              std::uint64_t payload_size,
+                              const EvalOptions& options = {});
+
+}  // namespace tc::kir

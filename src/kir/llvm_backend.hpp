@@ -1,0 +1,46 @@
+// kir→llvm: emits the JIT/AOT LLVM IR representation of a KIR definition.
+// Compiled out (not in TC_SOURCES) under TC_WITH_LLVM=OFF.
+//
+// The emission is a direct register-machine translation: one i64 alloca
+// per KIR register, one basic block per leader, hooks as calls to the
+// tc_ctx_* ABI symbols of ir/abi.hpp with i32 results sign-extended —
+// mem2reg and the ORC pipeline turn this into the same quality of code the
+// hand-written IRBuilder emitters produce. The output is *value-equivalent*
+// to the legacy emission, not byte-identical bitcode; production bitcode
+// archives therefore still ship the legacy emission (its byte size rides
+// wire frames that feed the sim's link timing), while the JIT differential
+// suite compiles and runs this backend against the other two. Flipping
+// production over is the documented follow-up in ROADMAP.md.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include <llvm/IR/LLVMContext.h>
+#include <llvm/IR/Module.h>
+
+#include "common/status.hpp"
+#include "ir/fat_bitcode.hpp"
+#include "ir/kernels.hpp"
+#include "ir/target_info.hpp"
+#include "kir/kir.hpp"
+
+namespace tc::kir {
+
+/// Builds one *prepared* def (guards resolved, traces stripped) as an LLVM
+/// module implementing the `tc_main` entry ABI for the given target.
+StatusOr<std::unique_ptr<llvm::Module>> build_kir_module(
+    llvm::LLVMContext& context, const Def& def,
+    const ir::TargetDescriptor& target);
+
+/// Builds the KIR-sourced kernel for every target and packs a fat-bitcode
+/// archive — the kir→llvm twin of ir::build_fat_kernel.
+StatusOr<ir::FatBitcode> build_kir_fat_kernel(
+    ir::KernelKind kind, std::span<const ir::TargetDescriptor> targets,
+    const ir::KernelOptions& options = {});
+
+/// Convenience: fat archive for default_fat_targets().
+StatusOr<ir::FatBitcode> build_default_kir_fat_kernel(
+    ir::KernelKind kind, const ir::KernelOptions& options = {});
+
+}  // namespace tc::kir

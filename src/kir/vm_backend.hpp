@@ -1,0 +1,22 @@
+// kir→vm: emits portable bytecode from a KIR definition.
+//
+// By construction a transcription, not a compilation: after the guard and
+// trace passes, every remaining KIR instruction maps to exactly one
+// bytecode instruction, so instruction indices — and therefore branch
+// targets, the li/pool-spill choices and the serialized bytes — coincide
+// with the legacy hand lowering the defs were transcribed from. The
+// conformance suite pins that byte identity against vm::lower_kernel_legacy.
+#pragma once
+
+#include "common/status.hpp"
+#include "kir/kir.hpp"
+#include "vm/bytecode.hpp"
+
+namespace tc::kir {
+
+/// Emits the bytecode program for a *prepared* def (guards resolved, traces
+/// stripped — see prepared_def()); a def still carrying kGuard/kTrace
+/// markers is a failed_precondition.
+StatusOr<vm::Program> emit_vm(const Def& def);
+
+}  // namespace tc::kir

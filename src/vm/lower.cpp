@@ -1,21 +1,23 @@
 #include "vm/lower.hpp"
 
 #include "ir/target_info.hpp"
+#include "kir/kernels.hpp"
+#include "kir/vm_backend.hpp"
+#include "workloads/shard_layout.hpp"
 
 namespace tc::vm {
 
 namespace {
 
-// Register conventions shared by all kernels. r0/r1 are fixed by the entry
-// ABI; kernels allocate upwards from r2. Hook calls with arguments marshal
-// them into the consecutive scratch window starting at kArg0.
-constexpr std::uint8_t P = 0;   ///< payload pointer (entry ABI)
-constexpr std::uint8_t N = 1;   ///< payload size (entry ABI)
-constexpr std::uint8_t kArg0 = 12;
-constexpr std::uint8_t kArg1 = 13;
-constexpr std::uint8_t kArg2 = 14;
-constexpr std::uint8_t kArg3 = 15;
-constexpr std::uint16_t kRegs = 16;
+// Short local aliases for the register conventions of lower.hpp (shared
+// with ir/kernel_builder.cpp and the KIR definitions of src/kir/).
+constexpr std::uint8_t P = kRegPayload;
+constexpr std::uint8_t N = kRegSize;
+constexpr std::uint8_t kArg0 = kRegArg0;
+constexpr std::uint8_t kArg1 = kRegArg1;
+constexpr std::uint8_t kArg2 = kRegArg2;
+constexpr std::uint8_t kArg3 = kRegArg3;
+constexpr std::uint16_t kRegs = kKernelRegCount;
 
 /// Mirrors Emitter::guard(): the HLL frontend's dynamic-dispatch tax.
 void guard(Assembler& a, const ir::KernelOptions& options) {
@@ -128,7 +130,7 @@ void lower_chaser(Assembler& a, const ir::KernelOptions& o) {
   a.ld64(5, P, 0);   // addr
   a.ld64(6, P, 8);   // depth
   a.li(10, 1);
-  a.li(11, 8);
+  a.li(11, workloads::kShardWordBytes);
   a.bind(loop);
   a.alu(Opcode::kUdiv, 7, 5, 2);   // owner = addr / shard_size
   a.alu(Opcode::kCeq, 8, 7, 3);
@@ -366,7 +368,7 @@ void lower_collective_broadcast(Assembler& a, const ir::KernelOptions& o) {
   a.bind(done);
   a.hook(HookId::kTarget, 5);
   a.ld64(6, P, 24);                // lane
-  a.li(7, 64);
+  a.li(7, workloads::kLaneCellBytes);
   a.alu(Opcode::kMul, 6, 6, 7);
   a.alu(Opcode::kAdd, 5, 5, 6);    // cell = target + lane * 64
   a.ld64(4, P, 16);                // value
@@ -448,7 +450,7 @@ void lower_collective_reduce(Assembler& a, const ir::KernelOptions& o) {
   a.bind(ffin);
   a.hook(HookId::kTarget, 5);
   a.ld64(6, P, 32);                // lane
-  a.li(7, 64);
+  a.li(7, workloads::kLaneCellBytes);
   a.alu(Opcode::kMul, 6, 6, 7);
   a.alu(Opcode::kAdd, 5, 5, 6);    // cell = target + lane * 64
   // Own contribution: 1 for op kCount (3), cell.contrib otherwise.
@@ -494,7 +496,7 @@ void lower_collective_reduce(Assembler& a, const ir::KernelOptions& o) {
   a.bind(contribute);
   a.hook(HookId::kTarget, 5);
   a.ld64(6, P, 8);                 // lane
-  a.li(7, 64);
+  a.li(7, workloads::kLaneCellBytes);
   a.alu(Opcode::kMul, 6, 6, 7);
   a.alu(Opcode::kAdd, 5, 5, 6);    // cell
   guard(a, o);
@@ -577,7 +579,7 @@ void lower_hash_probe(Assembler& a, const ir::KernelOptions& o) {
   a.alu(Opcode::kCeq, 11, 10, 3);
   a.brz(11, fwd);                  // side exit: the chain left the shard
   guard(a, o);
-  a.li(10, 16);
+  a.li(10, workloads::kHashBucketBytes);
   a.alu(Opcode::kMul, 10, kArg0, 10);
   a.alu(Opcode::kAdd, 10, 4, 10);  // &shard[2 * local]
   a.ld64(5, P, 0);                 // probe key
@@ -643,14 +645,14 @@ void lower_ordered_search(Assembler& a, const ir::KernelOptions& o) {
   const auto fin = a.make_label();
   // Entry run: [li; consuming mov; shard-info hook; arrival math; owner
   // side exit; record address; finger probe]. One retired op per arrival.
-  a.li(10, 10);
+  a.li(10, workloads::kIndexRecordWords);
   a.mov(11, 10);                   // consumes the li: the run admission rule
   a.hook(HookId::kShardInfo, 2);   // r2 size, r3 self, r4 base (count: r5)
   a.alu(Opcode::kUdiv, 8, 2, 10);  // nodes per shard
   a.ld64(5, P, 0);   // target (the unused peer count is overwritten)
   a.ld64(6, P, 8);   // node
   a.ld64(7, P, 16);  // level
-  a.li(10, 16);
+  a.li(10, workloads::kIndexFingerBytes);
   a.alu(Opcode::kMul, 7, 7, 10);   // r7 = finger offset, 16 * level
   a.alu(Opcode::kAdd, 4, 4, 10);   // bias the base: records' finger arrays
   a.alu(Opcode::kMul, 15, 3, 8);   // first owned node id, self * nps
@@ -658,7 +660,7 @@ void lower_ordered_search(Assembler& a, const ir::KernelOptions& o) {
   a.alu(Opcode::kCult, 11, 9, 8);
   a.brz(11, fwd);                  // side exit: arrived at the wrong shard
   guard(a, o);
-  a.li(10, 80);
+  a.li(10, workloads::kIndexRecordBytes);
   a.alu(Opcode::kMul, 9, 9, 10);
   a.alu(Opcode::kAdd, 9, 4, 9);    // finger-array address of the record
   a.alu(Opcode::kAdd, 11, 9, 7);
@@ -681,7 +683,7 @@ void lower_ordered_search(Assembler& a, const ir::KernelOptions& o) {
     a.alu(Opcode::kCult, 11, 9, 8);
     a.brz(11, fwd);                  // side exit: the link left the shard
     guard(a, o);
-    a.li(10, 80);
+    a.li(10, workloads::kIndexRecordBytes);
     a.alu(Opcode::kMul, 9, 9, 10);
     a.alu(Opcode::kAdd, 9, 4, 9);
     a.alu(Opcode::kAdd, 11, 9, 7);
@@ -698,7 +700,7 @@ void lower_ordered_search(Assembler& a, const ir::KernelOptions& o) {
   // (side exit to the reply), steps the cached finger offset down one
   // level, and probes that level's finger on the same record.
   a.bind(down);
-  a.li(10, 16);
+  a.li(10, workloads::kIndexFingerBytes);
   for (int unroll = 0; unroll < 4; ++unroll) {
     a.alu(Opcode::kCult, 11, 7, 10);  // offset < 16 means level 0
     a.brnz(11, fin);                 // side exit: bottomed out
@@ -714,7 +716,7 @@ void lower_ordered_search(Assembler& a, const ir::KernelOptions& o) {
   // a hit and ~0 on a miss, so `or(value, hit - 1)` is the reply word and
   // the whole landing-check-plus-reply epilogue is one retired op.
   a.bind(fin);
-  a.li(10, 16);
+  a.li(10, workloads::kIndexFingerBytes);
   a.alu(Opcode::kSub, kArg0, 9, 10);  // un-bias: the record's key address
   a.ld64(2, kArg0, 8);             // value (speculative)
   a.ld64(kArg0, kArg0, 0);         // landing key
@@ -738,7 +740,7 @@ void lower_ordered_search(Assembler& a, const ir::KernelOptions& o) {
   a.li(kArg0, 8);
   a.alu(Opcode::kAdd, kArg0, P, kArg0);  // &payload[8]
   a.st64(6, kArg0, 0);
-  a.li(10, 16);
+  a.li(10, workloads::kIndexFingerBytes);
   a.alu(Opcode::kUdiv, 11, 7, 10);  // level = finger offset / 16
   a.st64(11, kArg0, 8);
   a.alu(Opcode::kUdiv, kArg0, 6, 8);  // owner = node / nps
@@ -781,7 +783,7 @@ void lower_bfs_frontier(Assembler& a, const ir::KernelOptions& o) {
   const auto send_ack = a.make_label();
   a.hook(HookId::kTarget, 5);
   a.ld64(11, P, 8);  // lane
-  a.li(15, 64);
+  a.li(15, workloads::kLaneCellBytes);
   a.alu(Opcode::kMul, 11, 11, 15);
   a.alu(Opcode::kAdd, 5, 5, 11);   // cell = target + lane * 64
   a.ld64(2, P, 0);   // kind
@@ -938,6 +940,15 @@ void lower_bfs_frontier(Assembler& a, const ir::KernelOptions& o) {
 
 StatusOr<Program> lower_kernel(ir::KernelKind kind,
                                const ir::KernelOptions& options) {
+  if (ir::kernel_source(kind) == ir::KernelSource::kKir) {
+    TC_ASSIGN_OR_RETURN(kir::Def def, kir::prepared_def(kind, options));
+    return kir::emit_vm(def);
+  }
+  return lower_kernel_legacy(kind, options);
+}
+
+StatusOr<Program> lower_kernel_legacy(ir::KernelKind kind,
+                                      const ir::KernelOptions& options) {
   Assembler a;
   switch (kind) {
     case ir::KernelKind::kTargetSideIncrement: lower_tsi(a, options); break;

@@ -16,9 +16,34 @@
 
 namespace tc::vm {
 
-/// Lowers one stock kernel to a validated portable program.
+// Register conventions shared by every kernel frontend — the legacy
+// lowerings below, the IRBuilder emitters, and the KIR definitions
+// (src/kir/), whose registers map one to one onto bytecode registers.
+// r0/r1 are fixed by the `tc_main(ctx, payload, size)` entry ABI; kernels
+// allocate upwards from r2 and marshal hook arguments into the consecutive
+// scratch window starting at kRegArg0.
+inline constexpr std::uint8_t kRegPayload = 0;  ///< payload pointer
+inline constexpr std::uint8_t kRegSize = 1;     ///< payload size
+inline constexpr std::uint8_t kRegArg0 = 12;
+inline constexpr std::uint8_t kRegArg1 = 13;
+inline constexpr std::uint8_t kRegArg2 = 14;
+inline constexpr std::uint8_t kRegArg3 = 15;
+/// Register file size every stock kernel is finished with.
+inline constexpr std::uint16_t kKernelRegCount = 16;
+
+/// Lowers one stock kernel to a validated portable program. Kernels whose
+/// ir::kernel_source() is kKir route through their single-source KIR
+/// definition (src/kir/vm_backend); the rest use the hand-written legacy
+/// lowerings below.
 StatusOr<Program> lower_kernel(ir::KernelKind kind,
                                const ir::KernelOptions& options = {});
+
+/// The hand-written lowerings for *all* kernels, bypassing the KIR route —
+/// retained as the conformance oracle: tests/kir_test.cpp pins the KIR
+/// backend's bytecode byte-identical to this output, and the tc_inspect
+/// `kir` subcommand diffs the two.
+StatusOr<Program> lower_kernel_legacy(ir::KernelKind kind,
+                                      const ir::KernelOptions& options = {});
 
 /// Packs the lowered kernel into a portable ('TCFP') archive holding a
 /// single ISA-independent entry.

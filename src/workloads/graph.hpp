@@ -4,17 +4,20 @@
 // indices — an edge whose destination falls outside the shard is exactly
 // the frontier hop the BFS kernel forwards to the owning server.
 //
-// Shard word layout (what Runtime::set_shard exposes to the kernel):
-//   word 0                — vertices_per_shard (the kernel derives ownership
-//                           from it; shard sizes differ per server)
-//   words 1 .. vps + 1    — row offsets (vps + 1 entries, offsets[0] == 0)
-//   words vps + 2 ..      — column indices (global vertex ids)
+// Shard word layout (kCsr* in workloads/shard_layout.hpp — the shared
+// source the kernel emitters derive their offsets from):
+//   word kCsrVpsWord       — vertices_per_shard (the kernel derives
+//                            ownership from it; shard sizes differ per
+//                            server)
+//   words 1 .. vps + 1     — row offsets (vps + 1 entries, offsets[0] == 0)
+//   words vps + 2 ..       — column indices (global vertex ids)
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/status.hpp"
+#include "workloads/shard_layout.hpp"
 
 namespace tc::workloads {
 

@@ -15,12 +15,9 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "workloads/shard_layout.hpp"
 
 namespace tc::workloads {
-
-/// The lookup-miss sentinel every workload reply uses (values never
-/// collide with it: builders mask stored values below 2^63).
-inline constexpr std::uint64_t kMiss = ~0ull;
 
 struct HashTableConfig {
   std::uint64_t buckets_per_shard = 256;
@@ -72,7 +69,8 @@ class ShardedHashTable {
  private:
   std::uint64_t bucket_key(std::uint64_t slot) const {
     return shards_[slot / buckets_per_shard_]
-                  [2 * (slot % buckets_per_shard_)];
+                  [kHashBucketWords * (slot % buckets_per_shard_) +
+                   kHashKeyWord];
   }
 
   std::uint64_t capacity_ = 0;

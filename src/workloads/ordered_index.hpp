@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "workloads/shard_layout.hpp"
 
 namespace tc::workloads {
 
@@ -36,9 +37,12 @@ struct OrderedIndexConfig {
 
 class ShardedOrderedIndex {
  public:
-  static constexpr std::uint64_t kLevels = 4;
-  static constexpr std::uint64_t kRecordWords = 2 + 2 * kLevels;
-  static constexpr std::uint64_t kNil = ~0ull;
+  // Aliases of the shared layout constants (workloads/shard_layout.hpp) —
+  // the kernel emitters and AM handlers derive their offsets from the same
+  // source.
+  static constexpr std::uint64_t kLevels = kIndexLevels;
+  static constexpr std::uint64_t kRecordWords = kIndexRecordWords;
+  static constexpr std::uint64_t kNil = kIndexNil;
 
   ShardedOrderedIndex() = default;
 

@@ -7,8 +7,11 @@
 #include <utility>
 
 #include "common/bytes.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "ir/kernels.hpp"
+#include "kir/am_backend.hpp"
+#include "kir/kernels.hpp"
 #if TC_WITH_LLVM
 #include "ir/kernel_builder.hpp"
 #include "jit/compiler.hpp"
@@ -119,6 +122,30 @@ void write_u64(std::uint8_t* p, std::uint64_t v) {
 // kept in lockstep by the workloads_test mode-equivalence matrix.
 
 am::AmHandlerFn make_hash_probe_handler() {
+  if (ir::kernel_source(ir::KernelKind::kHashProbe) ==
+      ir::KernelSource::kKir) {
+    // KIR-sourced: evaluate the single shared definition instead of the
+    // hand-written mirror. The validation gate (exact frame size, attached
+    // shard and peer table) and the silent-drop contract are unchanged; the
+    // sim charges the same calibrated AM exec cost either way.
+    auto def_or = kir::prepared_def(ir::KernelKind::kHashProbe, {});
+    if (def_or.is_ok()) {
+      return [def = std::move(def_or).value()](
+                 am::AmContext& ctx, std::uint8_t* p, std::uint64_t n) {
+        if (n != 32 || ctx.shard_base == nullptr || ctx.peers == nullptr) {
+          return;
+        }
+        Status status = kir::run_in_am_context(def, ctx, p, n);
+        if (!status.is_ok()) {
+          TC_LOG(kWarn, "workloads")
+              << "AM hash_probe: " << status.message();
+        }
+      };
+    }
+    TC_LOG(kWarn, "workloads")
+        << "AM hash_probe: KIR definition unavailable, falling back to the "
+           "native handler";
+  }
   return [](am::AmContext& ctx, std::uint8_t* p, std::uint64_t n) {
     if (n != 32 || ctx.shard_base == nullptr || ctx.peers == nullptr) return;
     const std::uint64_t key = read_u64(p);

@@ -4,6 +4,8 @@
 
 #include "common/log.hpp"
 #include "ir/kernels.hpp"
+#include "kir/am_backend.hpp"
+#include "kir/kernels.hpp"
 #if TC_WITH_LLVM
 #include "ir/kernel_builder.hpp"
 #include "jit/compiler.hpp"
@@ -82,7 +84,9 @@ StatusOr<core::IfuncLibrary> build_chaser_library(ir::CodeRepr repr,
 #endif
 }
 
-am::AmHandlerFn make_chase_am_handler() {
+namespace {
+
+am::AmHandlerFn legacy_chase_am_handler() {
   // Mirrors emit_chaser() in ir/kernel_builder.cpp instruction for
   // instruction; the pair is kept in lockstep by the mode-equivalence
   // tests. Dispatches on the payload size exactly as the ifunc kernels do:
@@ -120,6 +124,42 @@ am::AmHandlerFn make_chase_am_handler() {
         return;
       }
       address = value;
+    }
+  };
+}
+
+}  // namespace
+
+am::AmHandlerFn make_chase_am_handler() {
+  if (ir::kernel_source(ir::KernelKind::kChaser) != ir::KernelSource::kKir) {
+    return legacy_chase_am_handler();
+  }
+  // KIR-sourced: the same single definition that lowers to bytecode and
+  // LLVM IR is evaluated in place of the hand-written handler. Payload-size
+  // dispatch (16 = classic, 24 = tagged) and the warn-and-drop contract are
+  // preserved here; the evaluator charges nothing extra in the sim, whose
+  // AM exec cost is the calibrated constant.
+  ir::KernelOptions classic_opts;
+  ir::KernelOptions tagged_opts;
+  tagged_opts.chaser_tagged = true;
+  auto classic = kir::prepared_def(ir::KernelKind::kChaser, classic_opts);
+  auto tagged = kir::prepared_def(ir::KernelKind::kChaser, tagged_opts);
+  if (!classic.is_ok() || !tagged.is_ok()) {
+    TC_LOG(kWarn, "xrdma") << "AM chaser: KIR definition unavailable, "
+                              "falling back to the native handler";
+    return legacy_chase_am_handler();
+  }
+  return [classic = std::move(classic).value(),
+          tagged = std::move(tagged).value()](
+             am::AmContext& ctx, std::uint8_t* payload, std::uint64_t size) {
+    if (size != 16 && size != 24) {
+      TC_LOG(kWarn, "xrdma") << "AM chaser: bad payload";
+      return;
+    }
+    const kir::Def& def = size == 24 ? tagged : classic;
+    Status status = kir::run_in_am_context(def, ctx, payload, size);
+    if (!status.is_ok()) {
+      TC_LOG(kWarn, "xrdma") << "AM chaser: " << status.message();
     }
   };
 }
