@@ -528,6 +528,38 @@ std::string json_path_from_args(int argc, char** argv) {
   return "";
 }
 
+std::vector<hetsim::Backend> backends_from_args(
+    int argc, char** argv, std::vector<hetsim::Backend> defaults) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--backends") != 0) continue;
+    std::vector<hetsim::Backend> out;
+    std::string list = argv[i + 1];
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      const std::size_t comma = list.find(',', start);
+      const std::string name = list.substr(
+          start, comma == std::string::npos ? std::string::npos
+                                            : comma - start);
+      if (name == "sim") {
+        out.push_back(hetsim::Backend::kSim);
+      } else if (name == "shm") {
+        out.push_back(hetsim::Backend::kShm);
+      } else if (name == "socket") {
+        out.push_back(hetsim::Backend::kSocket);
+      } else {
+        std::fprintf(stderr,
+                     "--backends: unknown backend '%s' (want a comma-"
+                     "separated list of sim, shm, socket)\n", name.c_str());
+        std::exit(2);
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return out;
+  }
+  return defaults;
+}
+
 void append_json(const std::string& path, const std::string& object) {
   if (path.empty()) return;
   std::string document;

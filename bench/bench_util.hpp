@@ -91,10 +91,10 @@ std::vector<DapcSeries> dapc_window_sweep(
 /// Multi-initiator sweep (fig_mt_scale): aggregate chase rate vs M
 /// concurrent initiators, each with its own client node and in-flight
 /// window W, on the chosen transport backend. Backend::kSim reports
-/// deterministic virtual-time rates; Backend::kShm runs M real OS threads
-/// against per-node progress threads and reports wall-clock rates — the
-/// two columns of the wall-clock vs virtual-time methodology in
-/// EXPERIMENTS.md.
+/// deterministic virtual-time rates; Backend::kShm and Backend::kSocket
+/// run M real OS threads against per-node progress threads and report
+/// wall-clock rates — the columns of the wall-clock vs virtual-time
+/// methodology in EXPERIMENTS.md.
 std::vector<DapcSeries> dapc_initiator_sweep(
     hetsim::Platform platform, hetsim::Backend backend, std::size_t servers,
     const std::vector<xrdma::ChaseMode>& modes,
@@ -146,7 +146,7 @@ struct LabeledSeries {
 /// (fig_collectives, fig_workloads): one untimed warm run — ships code,
 /// compiles/decodes, fills every cache — then a single timed run when the
 /// clock is deterministic (sim), or the median of three timed runs when
-/// it is the wall clock (shm; guards against scheduler noise).
+/// it is the wall clock (shm/socket; guards against scheduler noise).
 StatusOr<double> measure_warm(
     const std::function<StatusOr<double>()>& run_once, bool wall_clock);
 
@@ -172,6 +172,14 @@ void print_labeled_table(const char* title, const char* x_label,
 
 /// Returns the path following `--json`, or "" when absent.
 std::string json_path_from_args(int argc, char** argv);
+
+/// Parses `--backends a,b,c` (names: sim, shm, socket) into a backend list;
+/// returns `defaults` when the flag is absent. Unknown names abort with a
+/// usage message — a typo must not silently shrink a sweep. Lets the CI
+/// socket leg run `fig_mt_scale --backends socket` without re-measuring the
+/// sim/shm columns, and keeps default output byte-identical.
+std::vector<hetsim::Backend> backends_from_args(
+    int argc, char** argv, std::vector<hetsim::Backend> defaults);
 
 /// Appends `object` (a serialized JSON object) to the array in `path`,
 /// creating the file as `[object]` if needed. No-op when `path` is empty.

@@ -8,6 +8,10 @@
 //  * shm — the real-threads shared-memory transport. M OS threads drive M
 //    client nodes against one progress thread per server; rates are real
 //    wall-clock on this host.
+//  * socket (off by default; `--backends sim,shm,socket`) — the same
+//    real-threads shape over kernel stream sockets: every frame crosses a
+//    socketpair, so the column prices the syscall + wire-codec overhead
+//    against shm's ring writes.
 //
 // Comparing the two columns for the same (M, mode) point is the
 // "wall-clock vs virtual-time" methodology described in EXPERIMENTS.md:
@@ -36,8 +40,8 @@ int main(int argc, char** argv) {
   };
   const hetsim::Platform platform = hetsim::Platform::kThorXeon;
 
-  for (hetsim::Backend backend :
-       {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+  for (hetsim::Backend backend : bench::backends_from_args(
+           argc, argv, {hetsim::Backend::kSim, hetsim::Backend::kShm})) {
     auto series = bench::dapc_initiator_sweep(platform, backend, servers,
                                               modes, initiators, depth,
                                               chases, window);

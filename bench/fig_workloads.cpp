@@ -132,7 +132,7 @@ StatusOr<double> run_point(hetsim::Backend backend, std::size_t servers,
   if (std::getenv("TC_WORKLOADS_OPS_DEBUG") != nullptr &&
       cluster->has_ifunc_runtimes()) {
     auto dbg = measure(*engine, lanes, queries,
-                       backend == hetsim::Backend::kShm);
+                       backend != hetsim::Backend::kSim);
     if (dbg.is_ok()) {
       std::uint64_t ops = 0, instrs = 0, execs = 0, completed = 0;
       for (fabric::NodeId n = 0; n < cluster->node_count(); ++n) {
@@ -157,7 +157,7 @@ StatusOr<double> run_point(hetsim::Backend backend, std::size_t servers,
     return dbg;
   }
   return measure(*engine, lanes, queries,
-                 backend == hetsim::Backend::kShm);
+                 backend != hetsim::Backend::kSim);
 }
 
 void sweep(const std::string& json, hetsim::Backend backend,
@@ -316,8 +316,8 @@ int main(int argc, char** argv) {
            : std::vector<std::size_t>{1, 2, 4};
   const std::size_t queries = fast ? 16 : 48;
 
-  for (hetsim::Backend backend :
-       {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+  for (hetsim::Backend backend : bench::backends_from_args(
+           argc, argv, {hetsim::Backend::kSim, hetsim::Backend::kShm})) {
     sweep(json, backend, "", "servers", server_counts,
           /*x_is_lanes=*/false, queries);
     sweep(json, backend, "_lanes", "initiators", lane_counts,

@@ -116,17 +116,69 @@ void ShmTransport::push_op(NodeId src, NodeId dst, Op op) {
   //  * below the nesting cap, drain our own rings while we wait (dispatch
   //    is re-entrant by contract), which breaks the cycle of two nodes
   //    blocked on each other's full rings;
-  //  * at the cap, just yield — the consumer side owes us space.
+  //  * at the cap, just yield — the consumer side owes us space;
+  //  * past full_ring_wait_ms the consumer is considered wedged: stop
+  //    waiting and fail the op's completion with the shared
+  //    backpressure_status() so the runtime's retry policy takes over —
+  //    the same signal the socket backend's full tx queue reports.
   constexpr int kMaxNestedProgress = 8;
+  const std::int64_t deadline =
+      now_ns() + options_.full_ring_wait_ms * 1'000'000;
+  std::uint32_t spins = 0;
   while (!r.try_push(op)) {
     if (stop_.load(std::memory_order_relaxed)) {
       ops_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if ((++spins & 0x3F) == 0 && now_ns() > deadline) {
+      backpressure_failures_.fetch_add(1, std::memory_order_relaxed);
+      fail_op_backpressure(src, dst, op);
       return;
     }
     if (g_progress_depth < kMaxNestedProgress) {
       progress(src);
     } else {
       std::this_thread::yield();
+    }
+  }
+}
+
+void ShmTransport::fail_op_backpressure(NodeId src, NodeId dst, Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kAck:
+    case Op::Kind::kGetAck:
+      // The completion this ack routes to lives on the *peer*; all we can
+      // do is drop it and let the peer's watchdog surface the loss.
+      ops_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case Op::Kind::kGet: {
+      GetCompletionFn cb;
+      {
+        NodeState& state = *nodes_[src];
+        std::lock_guard lock(state.completions_mu);
+        auto it = state.get_completions.find(op.cid);
+        if (it != state.get_completions.end()) {
+          cb = std::move(it->second);
+          state.get_completions.erase(it);
+        }
+      }
+      if (cb) cb(backpressure_status(src, dst));
+      return;
+    }
+    default: {
+      if (op.cid == 0) return;  // fire-and-forget: nothing to fail
+      CompletionFn cb;
+      {
+        NodeState& state = *nodes_[src];
+        std::lock_guard lock(state.completions_mu);
+        auto it = state.completions.find(op.cid);
+        if (it != state.completions.end()) {
+          cb = std::move(it->second);
+          state.completions.erase(it);
+        }
+      }
+      if (cb) cb(backpressure_status(src, dst));
+      return;
     }
   }
 }

@@ -21,7 +21,12 @@
 // Backpressure: a full ring blocks the producer, which drains its own
 // incoming rings while it waits (dispatch is re-entrant, nesting-capped),
 // so two nodes saturating each other's rings cannot deadlock; a stopping
-// transport drops the op instead so teardown always joins.
+// transport drops the op instead so teardown always joins. A producer that
+// stays blocked past full_ring_wait_ms stops waiting and fails the op's
+// completion with fabric::backpressure_status() — the same send-buffer-full
+// Status the socket backend reports when its tx queue is exhausted — so
+// the runtime's max_send_retries policy backs off identically over both
+// wall-clock backends.
 #pragma once
 
 #include <atomic>
@@ -44,6 +49,12 @@ struct ShmTransportOptions {
   std::size_t ring_capacity = 8192;
   /// Safety net for run_until: give up after this much wall time.
   std::int64_t run_until_timeout_ms = 30'000;
+  /// How long a producer blocked on a full ring keeps draining/yielding
+  /// before the op is abandoned and its completion fails with
+  /// fabric::backpressure_status(). Generous by default: a healthy consumer
+  /// opens ring space in microseconds, so only a truly wedged (or
+  /// fault-injected) peer ever hits this.
+  std::int64_t full_ring_wait_ms = 2'000;
 };
 
 class ShmTransport final : public Transport {
@@ -104,6 +115,9 @@ class ShmTransport final : public Transport {
     std::uint64_t ops_drained = 0;
     std::uint64_t producer_stalls = 0;  ///< full-ring backpressure events
     std::uint64_t ops_dropped = 0;      ///< posts abandoned during shutdown
+    /// Ops abandoned after full_ring_wait_ms; their completions failed
+    /// with fabric::backpressure_status().
+    std::uint64_t backpressure_failures = 0;
   };
   Stats stats() const {
     Stats s;
@@ -111,6 +125,8 @@ class ShmTransport final : public Transport {
     s.ops_drained = ops_drained_.load(std::memory_order_relaxed);
     s.producer_stalls = producer_stalls_.load(std::memory_order_relaxed);
     s.ops_dropped = ops_dropped_.load(std::memory_order_relaxed);
+    s.backpressure_failures =
+        backpressure_failures_.load(std::memory_order_relaxed);
     return s;
   }
   /// Per-node dispatch counters (obs/collect feeds these into the registry).
@@ -169,7 +185,14 @@ class ShmTransport final : public Transport {
   }
   /// Blocking push with backpressure (drains `src`'s own rings while the
   /// target ring is full, unless already inside progress on this thread).
+  /// Gives up after full_ring_wait_ms and routes the op to
+  /// fail_op_backpressure.
   void push_op(NodeId src, NodeId dst, Op op);
+  /// Fails the abandoned op's stashed completion with
+  /// backpressure_status(src, dst). Acks carry a *remote* completion we
+  /// cannot reach — those are dropped and counted; the peer's watchdog
+  /// (run_until timeout) surfaces the loss.
+  void fail_op_backpressure(NodeId src, NodeId dst, Op& op);
   void handle_op(NodeId node, Op& op);
   bool fire_due_timers(NodeId node);
   std::uint64_t stash_completion(NodeId node, CompletionFn cb);
@@ -190,6 +213,7 @@ class ShmTransport final : public Transport {
   std::atomic<std::uint64_t> ops_drained_{0};
   std::atomic<std::uint64_t> producer_stalls_{0};
   std::atomic<std::uint64_t> ops_dropped_{0};
+  std::atomic<std::uint64_t> backpressure_failures_{0};
 };
 
 }  // namespace tc::fabric

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
@@ -36,6 +37,24 @@ namespace tc::fabric {
 
 using CompletionFn = std::function<void(Status)>;
 using GetCompletionFn = std::function<void(StatusOr<Bytes>)>;
+
+/// The canonical completion Status every wall-clock backend reports when a
+/// bounded send buffer (shm SPSC ring, socket tx queue) stays full: the op
+/// was never put on the wire and it is safe — and expected — for the retry
+/// layer (core::RuntimeOptions::max_send_retries) to back off and re-post
+/// the same bytes. Shared so shm and socket are indistinguishable to the
+/// runtime's retry policy.
+inline Status backpressure_status(NodeId src, NodeId dst) {
+  return resource_exhausted("send buffer full: node " + std::to_string(src) +
+                            " -> node " + std::to_string(dst));
+}
+
+/// True when `status` is the shared send-buffer-exhaustion signal above (as
+/// opposed to other kResourceExhausted sources such as run_until budgets).
+inline bool is_backpressure(const Status& status) {
+  return status.code() == ErrorCode::kResourceExhausted &&
+         status.message().rfind("send buffer full", 0) == 0;
+}
 
 class Transport {
  public:

@@ -10,6 +10,7 @@ const char* backend_name(Backend backend) {
   switch (backend) {
     case Backend::kSim: return "sim";
     case Backend::kShm: return "shm";
+    case Backend::kSocket: return "socket";
   }
   return "unknown";
 }
@@ -34,9 +35,10 @@ am::AmRuntime::Options am_options_for(const HwProfile& profile) {
 }
 
 Cluster::~Cluster() {
-  // The shm progress threads dispatch into the runtimes (delivery
+  // The wall-clock progress threads dispatch into the runtimes (delivery
   // notifiers, AM handlers); they must stop before any runtime is freed.
   if (shm_ != nullptr) shm_->stop_progress_threads();
+  if (socket_ != nullptr) socket_->stop_progress_threads();
 }
 
 Status Cluster::drive_until(fabric::NodeId node,
@@ -129,13 +131,25 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::create(
     cluster->sim_ = std::make_unique<fabric::SimTransport>(cluster->fabric_);
     cluster->transport_ = cluster->sim_.get();
   } else {
-    fabric::ShmTransportOptions shm_options;
-    if (config.shm_run_until_timeout_ms >= 0) {
-      shm_options.run_until_timeout_ms = config.shm_run_until_timeout_ms;
+    if (config.backend == Backend::kShm) {
+      fabric::ShmTransportOptions shm_options;
+      if (config.shm_run_until_timeout_ms >= 0) {
+        shm_options.run_until_timeout_ms = config.shm_run_until_timeout_ms;
+      }
+      cluster->shm_ =
+          std::make_unique<fabric::ShmTransport>(node_count, shm_options);
+      cluster->transport_ = cluster->shm_.get();
+    } else {
+      fabric::SocketTransportOptions socket_options;
+      if (config.shm_run_until_timeout_ms >= 0) {
+        socket_options.run_until_timeout_ms = config.shm_run_until_timeout_ms;
+      }
+      auto socket_or = fabric::SocketTransport::create_threaded(
+          node_count, socket_options);
+      if (!socket_or.is_ok()) return socket_or.status();
+      cluster->socket_ = std::move(*socket_or);
+      cluster->transport_ = cluster->socket_.get();
     }
-    cluster->shm_ =
-        std::make_unique<fabric::ShmTransport>(node_count, shm_options);
-    cluster->transport_ = cluster->shm_.get();
     for (std::size_t i = 0; i < config.client_count; ++i) {
       cluster->clients_.push_back(static_cast<fabric::NodeId>(i));
     }
@@ -205,6 +219,8 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::create(
     // Servers run the paper's daemon-thread model for real; initiator
     // nodes are driven inline by the workload's own threads.
     cluster->shm_->start_progress_threads(cluster->servers_);
+  } else if (config.backend == Backend::kSocket) {
+    cluster->socket_->start_progress_threads(cluster->servers_);
   }
   return cluster;
 }

@@ -14,6 +14,11 @@
 //    the application's own threads, and measurements are wall-clock. The
 //    profile's virtual-time constants are ignored (real work takes real
 //    time); everything else — protocols, JIT tiers, caching — is identical.
+//  * Backend::kSocket — the real-sockets transport in threaded (socketpair)
+//    mode: same topology and threading model as kShm, but every verb is
+//    serialized through the length-prefixed wire codec and the kernel's
+//    socket buffers. The in-tree stand-in for the true multi-process
+//    deployment (fabric::SocketTransport::create_process / tools/tc_launch).
 #pragma once
 
 #include <cstddef>
@@ -28,13 +33,14 @@
 #include "fabric/faulty_transport.hpp"
 #include "fabric/shm_transport.hpp"
 #include "fabric/sim_transport.hpp"
+#include "fabric/socket_transport.hpp"
 #include "hetsim/profiles.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace tc::hetsim {
 
-enum class Backend { kSim, kShm };
+enum class Backend { kSim, kShm, kSocket };
 
 const char* backend_name(Backend backend);
 
@@ -65,9 +71,10 @@ struct ClusterConfig {
   /// this so recovery outlasts the injected fault schedule. 0 = off.
   std::size_t max_send_retries = 0;
   std::int64_t retry_backoff_ns = 2'000;
-  /// Shm watchdog: run_until gives up after this much wall time (<0 keeps
-  /// the backend default). Chaos tests shorten it so a lost-completion bug
-  /// fails fast with a state dump instead of hanging ctest.
+  /// Wall-clock (shm/socket) watchdog: run_until gives up after this much
+  /// wall time (<0 keeps the backend default). Chaos tests shorten it so a
+  /// lost-completion bug fails fast with a state dump instead of hanging
+  /// ctest.
   std::int64_t shm_run_until_timeout_ms = -1;
 };
 
@@ -132,6 +139,7 @@ class Cluster {
   fabric::Fabric fabric_;
   std::unique_ptr<fabric::SimTransport> sim_;
   std::unique_ptr<fabric::ShmTransport> shm_;
+  std::unique_ptr<fabric::SocketTransport> socket_;
   std::unique_ptr<fabric::FaultyTransport> faulty_;
   fabric::Transport* transport_ = nullptr;
   const HwProfile* profile_ = nullptr;

@@ -1,0 +1,73 @@
+// Multi-process cluster launcher: every node is a separate OS process,
+// joined into a full mesh by fabric::SocketTransport::create_process over
+// Unix-domain (or TCP) stream sockets. This is the deployment shape the
+// paper's physical clusters actually run — separate address spaces, kernel
+// sockets between them — and the proof that nothing in the protocol stack
+// leans on shared memory: registered-segment rkeys travel as out-of-band
+// kSegment adverts, one-sided PUT/GET are serviced by the target process's
+// progress context, and barriers coordinate phases across the mesh.
+//
+// Three roles (tools/tc_launch is the CLI over this):
+//
+//  * kSmoke       — mesh bring-up: every node messages and PUTs into every
+//                   peer; cheap enough for CI's multi-process job.
+//  * kConformance — the transport conformance contract (FIFO sends, AM
+//                   dispatch + miss, PUT/GET + bounds faults, segment
+//                   publication, ifunc NACK recovery) re-checked across
+//                   real process boundaries.
+//  * kDapc        — a real distributed pointer chase: node 0 chases through
+//                   shards held by server processes, in traveling-AM and
+//                   client-driven-GET modes, verified against the reference
+//                   walk.
+//
+// launch() forks node_count children (each runs run_node then _Exit); a
+// deployment may instead start processes by hand — run_node(options, self)
+// with matching endpoint lists is all a node needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fabric/memory.hpp"
+
+namespace tc::mp {
+
+enum class Role { kSmoke, kConformance, kDapc };
+
+const char* role_name(Role role);
+StatusOr<Role> role_from_name(const std::string& name);
+
+struct MpOptions {
+  Role role = Role::kSmoke;
+  std::size_t node_count = 3;
+  /// Endpoint specs ("unix:<path>" or "tcp:<ipv4>:<port>"), one per node.
+  /// Empty: launch() creates a fresh socket directory under /tmp and uses
+  /// SocketTransport::unix_endpoints.
+  std::vector<std::string> endpoints;
+  /// Bootstrap patience (forwarded to SocketTransportOptions).
+  std::int64_t connect_timeout_ms = 10'000;
+  std::int64_t run_until_timeout_ms = 30'000;
+
+  // --- kDapc knobs ----------------------------------------------------------
+  std::uint64_t depth = 32;
+  std::uint64_t chases = 64;
+  std::uint64_t entries_per_shard = 1024;
+  std::uint64_t seed = 0xDA9C;
+
+  /// Print per-phase progress from every node (children inherit stderr).
+  bool verbose = false;
+};
+
+/// Runs node `self` of the mesh in the calling process: connects the
+/// transport, plays `options.role`, returns the process exit code
+/// (0 = success). Does not fork.
+int run_node(const MpOptions& options, fabric::NodeId self);
+
+/// Forks one child per node, each running run_node, and waits for all of
+/// them. Fails if any child exits nonzero or dies on a signal. Creates (and
+/// removes) a temporary socket directory when options.endpoints is empty.
+Status launch(MpOptions options);
+
+}  // namespace tc::mp

@@ -2,9 +2,19 @@
 
 #include <string>
 
+#include "fabric/shm_transport.hpp"
+#include "fabric/socket_transport.hpp"
+
 namespace tc::obs {
 
 namespace {
+
+void collect_worker(const std::string& prefix, const fabric::Worker::Stats& w,
+                    MetricsRegistry& registry) {
+  registry.counter(prefix + "ams_delivered").set(w.ams_delivered);
+  registry.counter(prefix + "messages_delivered").set(w.messages_delivered);
+  registry.counter(prefix + "am_dispatch_misses").set(w.am_dispatch_misses);
+}
 
 std::string node_prefix(fabric::NodeId node) {
   return "node" + std::to_string(node) + ".";
@@ -92,29 +102,36 @@ void collect_cluster_metrics(hetsim::Cluster& cluster,
     registry.counter("fabric.sends").set(s.sends);
     registry.counter("fabric.bytes_on_wire").set(s.bytes_on_wire);
     for (fabric::NodeId node = 0; node < cluster.node_count(); ++node) {
-      const fabric::Worker::Stats w = cluster.fabric().node(node).worker.stats();
-      const std::string prefix = node_prefix(node) + "worker.";
-      registry.counter(prefix + "ams_delivered").set(w.ams_delivered);
-      registry.counter(prefix + "messages_delivered").set(w.messages_delivered);
-      registry.counter(prefix + "am_dispatch_misses").set(w.am_dispatch_misses);
+      collect_worker(node_prefix(node) + "worker.",
+                     cluster.fabric().node(node).worker.stats(), registry);
     }
-  } else {
-    auto* shm = dynamic_cast<fabric::ShmTransport*>(&cluster.transport());
-    if (shm != nullptr) {
-      const fabric::ShmTransport::Stats s = shm->stats();
-      registry.counter("shm.ops_pushed").set(s.ops_pushed);
-      registry.counter("shm.ops_drained").set(s.ops_drained);
-      registry.counter("shm.producer_stalls").set(s.producer_stalls);
-      registry.counter("shm.ops_dropped").set(s.ops_dropped);
-      for (fabric::NodeId node = 0; node < cluster.node_count(); ++node) {
-        const fabric::Worker::Stats w = shm->worker_stats(node);
-        const std::string prefix = node_prefix(node) + "worker.";
-        registry.counter(prefix + "ams_delivered").set(w.ams_delivered);
-        registry.counter(prefix + "messages_delivered")
-            .set(w.messages_delivered);
-        registry.counter(prefix + "am_dispatch_misses")
-            .set(w.am_dispatch_misses);
-      }
+  } else if (auto* shm =
+                 dynamic_cast<fabric::ShmTransport*>(&cluster.transport())) {
+    const fabric::ShmTransport::Stats s = shm->stats();
+    registry.counter("shm.ops_pushed").set(s.ops_pushed);
+    registry.counter("shm.ops_drained").set(s.ops_drained);
+    registry.counter("shm.producer_stalls").set(s.producer_stalls);
+    registry.counter("shm.ops_dropped").set(s.ops_dropped);
+    registry.counter("shm.backpressure_failures").set(s.backpressure_failures);
+    for (fabric::NodeId node = 0; node < cluster.node_count(); ++node) {
+      collect_worker(node_prefix(node) + "worker.", shm->worker_stats(node),
+                     registry);
+    }
+  } else if (auto* socket = dynamic_cast<fabric::SocketTransport*>(
+                 &cluster.transport())) {
+    const fabric::SocketTransport::Stats s = socket->stats();
+    registry.counter("socket.frames_sent").set(s.frames_sent);
+    registry.counter("socket.frames_received").set(s.frames_received);
+    registry.counter("socket.bytes_sent").set(s.bytes_sent);
+    registry.counter("socket.bytes_received").set(s.bytes_received);
+    registry.counter("socket.partial_writes").set(s.partial_writes);
+    registry.counter("socket.backpressure_rejects")
+        .set(s.backpressure_rejects);
+    registry.counter("socket.disconnects").set(s.disconnects);
+    registry.counter("socket.rx_partial_discards").set(s.rx_partial_discards);
+    for (fabric::NodeId node = 0; node < cluster.node_count(); ++node) {
+      collect_worker(node_prefix(node) + "worker.",
+                     socket->worker_stats(node), registry);
     }
   }
 }

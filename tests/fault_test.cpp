@@ -36,6 +36,7 @@
 #include "fabric/faulty_transport.hpp"
 #include "fabric/shm_transport.hpp"
 #include "fabric/sim_transport.hpp"
+#include "fabric/socket_transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "workloads/workload_engine.hpp"
@@ -71,9 +72,14 @@ class FaultyShimTest : public ::testing::TestWithParam<hetsim::Backend> {
       }
       sim_ = std::make_unique<fabric::SimTransport>(*fabric_);
       shim_ = std::make_unique<FaultyTransport>(*sim_, config);
-    } else {
+    } else if (GetParam() == hetsim::Backend::kShm) {
       shm_ = std::make_unique<fabric::ShmTransport>(kNodes);
       shim_ = std::make_unique<FaultyTransport>(*shm_, config);
+    } else {
+      auto socket = fabric::SocketTransport::create_threaded(kNodes);
+      ASSERT_TRUE(socket.is_ok()) << socket.status().to_string();
+      socket_ = std::move(*socket);
+      shim_ = std::make_unique<FaultyTransport>(*socket_, config);
     }
   }
 
@@ -94,6 +100,7 @@ class FaultyShimTest : public ::testing::TestWithParam<hetsim::Backend> {
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<fabric::SimTransport> sim_;
   std::unique_ptr<fabric::ShmTransport> shm_;
+  std::unique_ptr<fabric::SocketTransport> socket_;
   std::unique_ptr<FaultyTransport> shim_;
 };
 
@@ -249,7 +256,8 @@ TEST_P(FaultyShimTest, PerLinkOverridesScopeFaultsToOneLink) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, FaultyShimTest,
                          ::testing::Values(hetsim::Backend::kSim,
-                                           hetsim::Backend::kShm),
+                                           hetsim::Backend::kShm,
+                                           hetsim::Backend::kSocket),
                          backend_param_name);
 
 // Reordering is observable on the deterministic backend: a delayed frame
@@ -382,9 +390,14 @@ class RuntimeRetryTest : public ::testing::TestWithParam<hetsim::Backend> {
       fabric_->add_node("b");
       sim_ = std::make_unique<fabric::SimTransport>(*fabric_);
       shim_ = std::make_unique<FaultyTransport>(*sim_, config);
-    } else {
+    } else if (GetParam() == hetsim::Backend::kShm) {
       shm_ = std::make_unique<fabric::ShmTransport>(2);
       shim_ = std::make_unique<FaultyTransport>(*shm_, config);
+    } else {
+      auto socket = fabric::SocketTransport::create_threaded(2);
+      ASSERT_TRUE(socket.is_ok()) << socket.status().to_string();
+      socket_ = std::move(*socket);
+      shim_ = std::make_unique<FaultyTransport>(*socket_, config);
     }
   }
 
@@ -401,6 +414,7 @@ class RuntimeRetryTest : public ::testing::TestWithParam<hetsim::Backend> {
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<fabric::SimTransport> sim_;
   std::unique_ptr<fabric::ShmTransport> shm_;
+  std::unique_ptr<fabric::SocketTransport> socket_;
   std::unique_ptr<FaultyTransport> shim_;
 };
 
@@ -500,7 +514,8 @@ TEST_P(RuntimeRetryTest, DefaultZeroRetriesKeepsOldFailurePath) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, RuntimeRetryTest,
                          ::testing::Values(hetsim::Backend::kSim,
-                                           hetsim::Backend::kShm),
+                                           hetsim::Backend::kShm,
+                                           hetsim::Backend::kSocket),
                          backend_param_name);
 
 // --- layer 3: end-to-end conformance under the chaos mix ----------------------
@@ -513,7 +528,8 @@ struct ChaosParam {
 std::vector<ChaosParam> chaos_params() {
   std::vector<ChaosParam> out;
   for (hetsim::Backend backend :
-       {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+       {hetsim::Backend::kSim, hetsim::Backend::kShm,
+        hetsim::Backend::kSocket}) {
     // The AM baseline is excluded by design: post_am is never faulted (it
     // has no recovery protocol to exercise).
     out.push_back({backend, workloads::WorkloadMode::kPortable});
@@ -681,7 +697,8 @@ TEST_P(ChaosCollectiveTest, CollectiveSuiteExactUnderFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, ChaosCollectiveTest,
                          ::testing::Values(hetsim::Backend::kSim,
-                                           hetsim::Backend::kShm),
+                                           hetsim::Backend::kShm,
+                                           hetsim::Backend::kSocket),
                          backend_param_name);
 
 class ChaosDapcTest : public ::testing::TestWithParam<hetsim::Backend> {};
@@ -718,7 +735,8 @@ TEST_P(ChaosDapcTest, WindowedBatchedChaseCorrectUnderFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, ChaosDapcTest,
                          ::testing::Values(hetsim::Backend::kSim,
-                                           hetsim::Backend::kShm),
+                                           hetsim::Backend::kShm,
+                                           hetsim::Backend::kSocket),
                          backend_param_name);
 
 // --- determinism, transparency, watchdog --------------------------------------
@@ -835,6 +853,139 @@ TEST(ChaosWatchdogTest, ImpossibleRecoveryFailsFastOnShm) {
   const auto queries = (*engine)->sample_queries(0, 4, 70);
   auto result = (*engine)->run_lookups(queries);
   EXPECT_FALSE(result.is_ok());
+}
+
+TEST(ChaosWatchdogTest, ImpossibleRecoveryFailsFastOnSocket) {
+  FaultRates dead;
+  dead.drop = 1.0;
+  auto config = chaos::chaos_cluster_config(hetsim::Backend::kSocket, dead);
+  config.max_send_retries = 2;
+  config.shm_run_until_timeout_ms = 2'000;  // forwarded to the socket watchdog
+  auto cluster = hetsim::Cluster::create(config);
+  ASSERT_TRUE(cluster.is_ok());
+  workloads::WorkloadConfig wconfig;
+  wconfig.workload = workloads::Workload::kHashProbe;
+  wconfig.mode = workloads::WorkloadMode::kPortable;
+  wconfig.buckets_per_shard = 32;
+  auto engine = workloads::WorkloadEngine::create(**cluster, wconfig);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+  const auto queries = (*engine)->sample_queries(0, 4, 70);
+  auto result = (*engine)->run_lookups(queries);
+  EXPECT_FALSE(result.is_ok());
+}
+
+// --- sockets-only faults -------------------------------------------------------
+// Faults the shim cannot express because they live below the frame layer:
+// a TCP/Unix stream dying mid-frame, and a slow consumer backing the
+// bounded send buffer up into the sender. Both are native behaviors of
+// fabric::SocketTransport; these tests pin the contract the chaos harness
+// relies on when a real process disappears.
+
+// A peer vanishing mid-message: the wire carries a partial frame, the
+// receiver discards the torn tail (never surfacing a mangled frame), and
+// every in-flight completion toward the dead peer fails kUnavailable.
+TEST(SocketFaultTest, MidMessagePeerDisconnectDiscardsPartialFrame) {
+  auto transport_or = fabric::SocketTransport::create_threaded(2);
+  ASSERT_TRUE(transport_or.is_ok()) << transport_or.status().to_string();
+  fabric::SocketTransport& transport = **transport_or;
+
+  // Large enough that one progress(0) spin cannot push it through the
+  // socketpair's kernel buffer: the frame is mid-flight, split between
+  // kernel memory and the sender's tx queue.
+  const Bytes big(1u << 20, 0xAB);
+  std::vector<Status> results;
+  transport.post_send(0, 1, as_span(big), 1,
+                      [&](Status s) { results.push_back(std::move(s)); });
+  (void)transport.progress(0);
+  ASSERT_TRUE(results.empty());  // partially written, completion pending
+
+  ASSERT_TRUE(transport.kill_connection(0, 1).is_ok());
+  // Both ends must observe the death independently: the sender's next
+  // write fails (failing the completion), and the receiver drains the
+  // buffered partial frame, hits EOF, and discards the torn tail.
+  for (int spin = 0; spin < 1'000'000; ++spin) {
+    if (!results.empty() && transport.stats().rx_partial_discards >= 1) break;
+    (void)transport.progress(0);
+    (void)transport.progress(1);
+  }
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].code(), ErrorCode::kUnavailable)
+      << results[0].to_string();
+  // The torn frame never reached the runtime layer...
+  EXPECT_FALSE(transport.try_recv(1).has_value());
+  const auto stats = transport.stats();
+  EXPECT_GE(stats.disconnects, 1u);
+  // ...and the receive side counted exactly what it threw away.
+  EXPECT_GE(stats.rx_partial_discards, 1u);
+  // The link stays down: later posts fail immediately.
+  bool later_failed = false;
+  transport.post_send(0, 1, as_span(Bytes{1}), 1, [&](Status s) {
+    later_failed = !s.is_ok();
+    EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
+  });
+  for (int spin = 0; spin < 1'000'000 && !later_failed; ++spin) {
+    (void)transport.progress(0);
+  }
+  EXPECT_TRUE(later_failed);
+}
+
+// A consumer that never drains: the bounded send buffer fills, further
+// posts fail with the shared backpressure Status (the same one ShmTransport
+// reports on a full ring, so RuntimeOptions::max_send_retries backs off
+// identically on both wall-clock backends), and the link recovers once the
+// consumer catches up.
+TEST(SocketFaultTest, SlowConsumerBackpressureIsRetryableAndRecovers) {
+  fabric::SocketTransportOptions options;
+  options.send_buffer_bytes = 16 * 1024;
+  auto transport_or = fabric::SocketTransport::create_threaded(2, options);
+  ASSERT_TRUE(transport_or.is_ok()) << transport_or.status().to_string();
+  fabric::SocketTransport& transport = **transport_or;
+
+  const Bytes big(1u << 20, 0x5C);  // each frame dwarfs the 16 KiB budget
+  std::optional<Status> rejected;
+  std::size_t accepted = 0;
+  std::size_t delivered_ok = 0;
+  for (int attempt = 0; attempt < 64 && !rejected.has_value(); ++attempt) {
+    bool fired_now = false;
+    transport.post_send(0, 1, as_span(big), 1, [&](Status s) {
+      if (s.is_ok()) {
+        ++delivered_ok;
+      } else {
+        fired_now = true;
+        rejected = std::move(s);
+      }
+    });
+    // Accepted posts queue their completion (the ack needs node 1, which
+    // never runs); only a rejection fires synchronously.
+    if (!fired_now) ++accepted;
+    (void)transport.progress(0);  // node 1 never runs: nothing drains
+  }
+  ASSERT_TRUE(rejected.has_value()) << "send buffer never filled";
+  EXPECT_TRUE(fabric::is_backpressure(*rejected)) << rejected->to_string();
+  EXPECT_EQ(rejected->code(), ErrorCode::kResourceExhausted);
+  EXPECT_GE(transport.stats().backpressure_rejects, 1u);
+
+  // The slow consumer wakes up: everything that was accepted drains and
+  // completes OK, then the same post that was just rejected goes through.
+  for (int spin = 0; spin < 1'000'000 && delivered_ok < accepted; ++spin) {
+    (void)transport.progress(0);
+    (void)transport.progress(1);
+    while (transport.try_recv(1).has_value()) {
+    }
+  }
+  ASSERT_EQ(delivered_ok, accepted);
+  bool recovered = false;
+  transport.post_send(0, 1, as_span(big), 1, [&](Status s) {
+    EXPECT_TRUE(s.is_ok()) << s.to_string();
+    recovered = s.is_ok();
+  });
+  for (int spin = 0; spin < 1'000'000 && !recovered; ++spin) {
+    (void)transport.progress(0);
+    (void)transport.progress(1);
+    while (transport.try_recv(1).has_value()) {
+    }
+  }
+  EXPECT_TRUE(recovered);
 }
 
 // --- traced frames inside batch containers across NACK redelivery ------------

@@ -368,9 +368,10 @@ TEST_P(TracedClusterP, CrossShardProbeRoundTripsTraceContext) {
   EXPECT_TRUE(saw_e2e);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothBackends, TracedClusterP,
+INSTANTIATE_TEST_SUITE_P(AllBackends, TracedClusterP,
                          ::testing::Values(hetsim::Backend::kSim,
-                                           hetsim::Backend::kShm),
+                                           hetsim::Backend::kShm,
+                                           hetsim::Backend::kSocket),
                          [](const auto& info) {
                            return std::string(
                                hetsim::backend_name(info.param));

@@ -121,7 +121,8 @@ struct SuiteParam {
 std::vector<SuiteParam> suite_params() {
   std::vector<SuiteParam> out;
   for (hetsim::Backend backend :
-       {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+       {hetsim::Backend::kSim, hetsim::Backend::kShm,
+        hetsim::Backend::kSocket}) {
     out.push_back({backend, WorkloadMode::kActiveMessage});
     out.push_back({backend, WorkloadMode::kPortable});
 #if TC_WITH_LLVM
@@ -165,7 +166,7 @@ TEST_P(WorkloadSuiteP, HashLookupsMatchReference) {
   auto result = engine->run_lookups(queries);
   ASSERT_TRUE(result.is_ok()) << result.status().to_string();
   EXPECT_EQ(result->completed, queries.size());
-  EXPECT_EQ(result->wall_clock, GetParam().backend == hetsim::Backend::kShm);
+  EXPECT_EQ(result->wall_clock, GetParam().backend != hetsim::Backend::kSim);
   std::uint64_t expected_hits = 0;
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const std::uint64_t expected = engine->expected_lookup(queries[i]);
@@ -276,9 +277,10 @@ INSTANTIATE_TEST_SUITE_P(BackendsAndModes, WorkloadSuiteP,
 TEST(WorkloadEquivalence, ValuesIdenticalAcrossBackends) {
   for (Workload workload :
        {Workload::kHashProbe, Workload::kOrderedSearch, Workload::kBfs}) {
-    std::vector<std::uint64_t> sim_values, shm_values;
+    std::vector<std::uint64_t> sim_values;
     for (hetsim::Backend backend :
-         {hetsim::Backend::kSim, hetsim::Backend::kShm}) {
+         {hetsim::Backend::kSim, hetsim::Backend::kShm,
+          hetsim::Backend::kSocket}) {
       auto cluster = make_cluster(4, backend);
       WorkloadConfig config;
       config.workload = workload;
@@ -287,8 +289,7 @@ TEST(WorkloadEquivalence, ValuesIdenticalAcrossBackends) {
       config.vertices_per_shard = 24;
       auto engine = WorkloadEngine::create(*cluster, config);
       ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
-      auto& out =
-          backend == hetsim::Backend::kSim ? sim_values : shm_values;
+      std::vector<std::uint64_t> out;
       if (workload == Workload::kBfs) {
         auto result = (*engine)->run_bfs(5);
         ASSERT_TRUE(result.is_ok()) << result.status().to_string();
@@ -299,8 +300,13 @@ TEST(WorkloadEquivalence, ValuesIdenticalAcrossBackends) {
         ASSERT_TRUE(result.is_ok()) << result.status().to_string();
         out = result->values;
       }
+      if (backend == hetsim::Backend::kSim) {
+        sim_values = out;
+      } else {
+        EXPECT_EQ(out, sim_values) << workload_name(workload) << " on "
+                                   << hetsim::backend_name(backend);
+      }
     }
-    EXPECT_EQ(sim_values, shm_values) << workload_name(workload);
   }
 }
 
@@ -398,7 +404,8 @@ TEST_P(MultiInitiatorP, ConcurrentBfsLanesStayIsolated) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, MultiInitiatorP,
                          ::testing::Values(hetsim::Backend::kSim,
-                                           hetsim::Backend::kShm),
+                                           hetsim::Backend::kShm,
+                                           hetsim::Backend::kSocket),
                          [](const ::testing::TestParamInfo<hetsim::Backend>&
                                info) {
                            return hetsim::backend_name(info.param);

@@ -263,11 +263,11 @@ TEST(DapcEquivalence, WindowedModesObserveIdenticalValues) {
   }
 }
 
-std::unique_ptr<hetsim::Cluster> small_shm_cluster(std::size_t servers,
-                                                   std::size_t clients = 1) {
+std::unique_ptr<hetsim::Cluster> small_wall_cluster(
+    hetsim::Backend backend, std::size_t servers, std::size_t clients = 1) {
   hetsim::ClusterConfig config;
   config.platform = hetsim::Platform::kThorXeon;
-  config.backend = hetsim::Backend::kShm;
+  config.backend = backend;
   config.server_count = servers;
   config.client_count = clients;
   auto cluster = hetsim::Cluster::create(config);
@@ -275,10 +275,16 @@ std::unique_ptr<hetsim::Cluster> small_shm_cluster(std::size_t servers,
   return std::move(cluster).value();
 }
 
-TEST(DapcBackendEquivalence, EveryModeObservesIdenticalValuesOnShm) {
+std::unique_ptr<hetsim::Cluster> small_shm_cluster(std::size_t servers,
+                                                   std::size_t clients = 1) {
+  return small_wall_cluster(hetsim::Backend::kShm, servers, clients);
+}
+
+TEST(DapcBackendEquivalence, EveryModeObservesIdenticalValuesOnWallClock) {
   // The pluggable-transport acceptance property: all chase modes walk the
   // identical address/value sequence whether the fabric is the calibrated
-  // virtual-time simulation or real threads over shared-memory rings.
+  // virtual-time simulation, real threads over shared-memory rings, or
+  // real threads over stream sockets.
   for (ChaseMode mode : kAllModes) {
     std::vector<std::uint64_t> reference;
     {
@@ -291,16 +297,20 @@ TEST(DapcBackendEquivalence, EveryModeObservesIdenticalValuesOnShm) {
       EXPECT_FALSE(result->wall_clock);
       reference = result->values;
     }
-    auto shm_cluster = small_shm_cluster(3);
-    auto driver = DapcDriver::create(*shm_cluster, mode, small_config());
-    ASSERT_TRUE(driver.is_ok()) << chase_mode_name(mode);
-    auto result = (*driver)->run();
-    ASSERT_TRUE(result.is_ok())
-        << chase_mode_name(mode) << ": " << result.status().to_string();
-    EXPECT_TRUE(result->wall_clock);
-    EXPECT_EQ(result->correct, result->completed) << chase_mode_name(mode);
-    EXPECT_EQ(result->values, reference) << chase_mode_name(mode);
-    EXPECT_GT(result->chases_per_second, 0.0) << chase_mode_name(mode);
+    for (hetsim::Backend backend :
+         {hetsim::Backend::kShm, hetsim::Backend::kSocket}) {
+      auto wall_cluster = small_wall_cluster(backend, 3);
+      auto driver = DapcDriver::create(*wall_cluster, mode, small_config());
+      ASSERT_TRUE(driver.is_ok()) << chase_mode_name(mode);
+      auto result = (*driver)->run();
+      ASSERT_TRUE(result.is_ok())
+          << chase_mode_name(mode) << " on " << hetsim::backend_name(backend)
+          << ": " << result.status().to_string();
+      EXPECT_TRUE(result->wall_clock);
+      EXPECT_EQ(result->correct, result->completed) << chase_mode_name(mode);
+      EXPECT_EQ(result->values, reference) << chase_mode_name(mode);
+      EXPECT_GT(result->chases_per_second, 0.0) << chase_mode_name(mode);
+    }
   }
 }
 

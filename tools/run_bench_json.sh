@@ -8,10 +8,15 @@
 #   BENCH_workloads.json — fig_workloads: the remote-data-structure suite
 #                          (hash-probe / ordered-search / BFS) across
 #                          backends, representations and initiator counts
+#   BENCH_socket.json    — fig_mt_scale + fig_workloads restricted to the
+#                          socket backend (--backends socket): wall-clock
+#                          rates over kernel stream sockets, the column to
+#                          hold against BENCH_shm/BENCH_workloads when
+#                          pricing the syscall + wire-codec overhead
 #
 # BENCH_tsi/BENCH_dapc virtual-time numbers are machine-independent;
-# BENCH_shm/BENCH_workloads wall-clock rates depend on the host that ran
-# them (their sim halves are machine-independent).
+# BENCH_shm/BENCH_workloads/BENCH_socket wall-clock rates depend on the
+# host that ran them (their sim halves are machine-independent).
 #
 # Each document is accumulated in a temp file and moved into place only
 # after every bench feeding it has succeeded, so a mid-sweep crash leaves
@@ -19,8 +24,8 @@
 # file.
 #
 # Usage: tools/run_bench_json.sh <build-dir> [out-dir] [--only <group>]
-#   --only tsi|dapc|shm|workloads regenerates a single JSON document
-#   without re-running the full trajectory.
+#   --only tsi|dapc|shm|workloads|socket regenerates a single JSON
+#   document without re-running the full trajectory.
 # Honors TC_BENCH_FAST=1 for shrunk smoke sweeps (CI).
 set -euo pipefail
 
@@ -32,7 +37,7 @@ only=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --only)
-      only=${2:?--only needs a group: tsi|dapc|shm|workloads}
+      only=${2:?--only needs a group: tsi|dapc|shm|workloads|socket}
       shift 2
       ;;
     --*)
@@ -51,9 +56,9 @@ while [ $# -gt 0 ]; do
   esac
 done
 case "$only" in
-  ""|tsi|dapc|shm|workloads) ;;
+  ""|tsi|dapc|shm|workloads|socket) ;;
   *)
-    echo "unknown --only group '$only' (expected tsi|dapc|shm|workloads)" >&2
+    echo "unknown --only group '$only' (expected tsi|dapc|shm|workloads|socket)" >&2
     exit 2
     ;;
 esac
@@ -65,9 +70,11 @@ tmp_dir=$(mktemp -d "$out_dir/.tc_bench.XXXXXX")
 trap 'rm -rf "$tmp_dir"' EXIT
 
 # run_group <group> <json-name> <bench>...: accumulates every bench's
-# --json output in a temp document, then atomically installs it. Records
-# every group it sees so the post-run guard below can prove --only matched
-# a real group even if the upfront case list drifts.
+# --json output in a temp document, then atomically installs it. A <bench>
+# entry may carry flags ("fig_mt_scale --backends socket"); the first word
+# is the binary under <build-dir>, the rest pass through. Records every
+# group it sees so the post-run guard below can prove --only matched a
+# real group even if the upfront case list drifts.
 seen_groups=""
 only_matched=0
 run_group() {
@@ -81,7 +88,8 @@ run_group() {
   local tmp="$tmp_dir/$json_name"
   local bench
   for bench in "$@"; do
-    "$build_dir/$bench" --json "$tmp" > /dev/null
+    read -r -a cmd <<< "$bench"
+    "$build_dir/${cmd[0]}" "${cmd[@]:1}" --json "$tmp" > /dev/null
     echo "ran $bench"
   done
   mv "$tmp" "$out_dir/$json_name"
@@ -104,6 +112,10 @@ run_group shm BENCH_shm.json \
 
 run_group workloads BENCH_workloads.json \
   fig_workloads
+
+run_group socket BENCH_socket.json \
+  "fig_mt_scale --backends socket" \
+  "fig_workloads --backends socket"
 
 # Guard against drift between the upfront --only case list and the groups
 # actually registered above: a group that validates but matches nothing

@@ -1,0 +1,130 @@
+// tc_launch — run a Three-Chains cluster as real processes.
+//
+//   tc_launch --role smoke --nodes 3
+//       fork 3 node processes over Unix-domain sockets, run the mesh
+//       bring-up check (sends + AMs + PUTs in every direction)
+//   tc_launch --role conformance --nodes 3
+//       the transport conformance contract (FIFO, AM dispatch/miss,
+//       PUT/GET + bounds faults, ifunc NACK recovery) across processes
+//   tc_launch --role dapc --nodes 4 --depth 64 --chases 256
+//       distributed pointer chase: node 0 chases through shards held by
+//       3 server processes, traveling-AM and client-GET modes, verified
+//       against the reference walk
+//   tc_launch --role dapc --nodes 2 --self 0 --endpoint unix:/tmp/a.sock \
+//             --endpoint unix:/tmp/b.sock
+//       no fork: run ONLY node 0 in this process against the listed
+//       endpoints (start the other node yourself — possibly on another
+//       machine with tcp:<ip>:<port> endpoints)
+//
+// Exit code 0 only when every node finished its role cleanly.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hetsim/mp_launch.hpp"
+
+using namespace tc;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tc_launch --role smoke|conformance|dapc [--nodes N]\n"
+      "                 [--depth D] [--chases C] [--entries E] [--seed S]\n"
+      "                 [--connect-timeout-ms T] [--verbose]\n"
+      "                 [--self I --endpoint SPEC ... (one per node)]\n"
+      "  Without --self: forks N local node processes over unix sockets.\n"
+      "  With --self: runs only node I in this process; every node's\n"
+      "  endpoint must be listed in order (unix:<path> or tcp:<ip>:<port>).\n");
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mp::MpOptions options;
+  bool have_role = false;
+  long long self = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tc_launch: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (arg == "--role") {
+      auto role = mp::role_from_name(next());
+      if (!role.is_ok()) {
+        std::fprintf(stderr, "tc_launch: %s\n",
+                     role.status().to_string().c_str());
+        return 2;
+      }
+      options.role = *role;
+      have_role = true;
+    } else if (arg == "--nodes" && parse_u64(next(), v)) {
+      options.node_count = v;
+    } else if (arg == "--depth" && parse_u64(next(), v)) {
+      options.depth = v;
+    } else if (arg == "--chases" && parse_u64(next(), v)) {
+      options.chases = v;
+    } else if (arg == "--entries" && parse_u64(next(), v)) {
+      options.entries_per_shard = v;
+    } else if (arg == "--seed" && parse_u64(next(), v)) {
+      options.seed = v;
+    } else if (arg == "--connect-timeout-ms" && parse_u64(next(), v)) {
+      options.connect_timeout_ms = static_cast<std::int64_t>(v);
+    } else if (arg == "--self" && parse_u64(next(), v)) {
+      self = static_cast<long long>(v);
+    } else if (arg == "--endpoint") {
+      options.endpoints.push_back(next());
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "tc_launch: unknown argument %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (!have_role) {
+    usage();
+    return 2;
+  }
+  if (!options.endpoints.empty()) {
+    options.node_count = options.endpoints.size();
+  }
+
+  if (self >= 0) {
+    // Manual deployment: this process is exactly one node.
+    if (options.endpoints.size() != options.node_count) {
+      std::fprintf(stderr,
+                   "tc_launch: --self needs one --endpoint per node\n");
+      return 2;
+    }
+    return mp::run_node(options, static_cast<fabric::NodeId>(self));
+  }
+
+  const Status status = mp::launch(options);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "tc_launch: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::printf("[tc_launch] %s: %zu nodes ok\n", mp::role_name(options.role),
+              options.node_count);
+  return 0;
+}
